@@ -1,0 +1,65 @@
+//! Ablation: the three certain-answer routes on the same Horn workload.
+//!
+//! DESIGN.md calls out the design choice of computing certain answers by
+//! (a) bounded countermodel search (general but exponential), (b) the
+//! chase (terminating Horn only), and (c) element-type elimination /
+//! Datalog (depth-1 fragments, PTIME). This bench shows the cost split
+//! that justifies routing: the Datalog route is orders of magnitude
+//! faster on instances where all three apply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_bench::{horn_chain_ontology, propagation_instance};
+use gomq_core::query::CqBuilder;
+use gomq_core::{Ucq, Vocab};
+use gomq_reasoning::chase::{chase, ChaseConfig};
+use gomq_reasoning::CertainEngine;
+use gomq_rewriting::emit::emit_datalog;
+use gomq_rewriting::types::ElementTypeSystem;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_engines");
+    group.sample_size(10);
+    for len in [4usize, 8] {
+        // Shared setup per size.
+        group.bench_with_input(BenchmarkId::new("sat_engine", len), &len, |b, &len| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let (o, names, r) = horn_chain_ontology(2, &mut v);
+                let d = propagation_instance(len, names[0], r, &mut v);
+                let engine = CertainEngine::new(1);
+                let mut bq = CqBuilder::new();
+                let x = bq.var("x");
+                bq.atom(names[2], &[x]);
+                let q = Ucq::from_cq(bq.build(vec![x]));
+                std::hint::black_box(engine.certain_answers(&o, &d, &q, &mut v).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chase", len), &len, |b, &len| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let (o, names, r) = horn_chain_ontology(2, &mut v);
+                let d = propagation_instance(len, names[0], r, &mut v);
+                let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+                let mut bq = CqBuilder::new();
+                let x = bq.var("x");
+                bq.atom(names[2], &[x]);
+                let q = Ucq::from_cq(bq.build(vec![x]));
+                std::hint::black_box(result.certain_answers(&q, &d).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("datalog", len), &len, |b, &len| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let (o, names, r) = horn_chain_ontology(2, &mut v);
+                let d = propagation_instance(len, names[0], r, &mut v);
+                let sys = ElementTypeSystem::build(&o, &v).expect("supported");
+                let program = emit_datalog(&sys, names[2], &mut v);
+                std::hint::black_box(program.eval(&d).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

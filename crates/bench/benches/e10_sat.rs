@@ -1,0 +1,59 @@
+//! E10: the SAT substrate — solver and grounding costs underlying the
+//! bounded countermodel search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_core::{Fact, Instance, Vocab};
+use gomq_reasoning::ground::{domain_with_fresh, Grounder};
+use gomq_reasoning::sat::{Cnf, Lit};
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    let var = |p: usize, h: usize| (p * holes + h) as u32;
+    for _ in 0..pigeons * holes {
+        cnf.fresh_var();
+    }
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| Lit::pos(var(p, h))).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    cnf
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_sat");
+    group.sample_size(10);
+    for n in [5usize, 6] {
+        group.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &n, |b, &n| {
+            let cnf = pigeonhole(n + 1, n);
+            b.iter(|| assert!(std::hint::black_box(cnf.solve()).is_none()))
+        });
+    }
+    group.bench_function("ground_hand_ontology", |b| {
+        b.iter(|| {
+            let mut v = Vocab::new();
+            let (_, _, union, hand, _, hf) = gomq_bench::hand_ontologies(3, &mut v);
+            let h = v.constant("h");
+            let mut d = Instance::new();
+            d.insert(Fact::consts(hand, &[h]));
+            for i in 0..3 {
+                let f = v.constant(&format!("f{i}"));
+                d.insert(Fact::consts(hf, &[h, f]));
+            }
+            let dom = domain_with_fresh(&d, 1, &mut v);
+            let mut g = Grounder::new(dom);
+            g.assert_instance(&d);
+            g.assert_ontology(&union);
+            std::hint::black_box(g.num_clauses())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E11: the Example-8 counter family — the certain-disjunction check on
+//! the full 2ⁿ chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_core::query::CqBuilder;
+use gomq_core::{Term, Ucq, Vocab};
+use gomq_meta::examples::{counter_chain, counter_ontology};
+use gomq_reasoning::CertainEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_counter");
+    group.sample_size(10);
+    for n in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("full_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let f = counter_ontology(n, &mut v);
+                let engine = CertainEngine::new(2);
+                let d = counter_chain(&f, 1 << n, &mut v);
+                let head = Term::Const(v.constant("cc0"));
+                let mk = |rel| {
+                    let mut b = CqBuilder::new();
+                    let x = b.var("x");
+                    b.atom(rel, &[x]);
+                    Ucq::from_cq(b.build(vec![x]))
+                };
+                let queries = vec![(mk(f.b[0]), vec![head]), (mk(f.b[1]), vec![head])];
+                let certain = engine
+                    .certain_disjunction(&f.onto, &d, &queries, &mut v)
+                    .is_certain();
+                assert!(certain);
+                std::hint::black_box(certain)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E1: throughput of the Figure-1 fragment classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gomq_core::Vocab;
+use gomq_dl::parser::parse_ontology;
+use gomq_dl::translate::to_gf;
+use gomq_logic::fragment::{best_zone, classify};
+
+fn bench(c: &mut Criterion) {
+    let texts = [
+        "A sub ex R.B\nB sub C\n",
+        "A sub >=5 R.Top and <=5 R.Top\n",
+        "A sub ex R.(all S.B)\nrole R sub S\n",
+        "A sub ex R.(<=1 S.Top)\nfunc(R-)\n",
+    ];
+    let mut group = c.benchmark_group("e1_figure1");
+    group.sample_size(20);
+    group.bench_function("classify_4_ontologies", |b| {
+        b.iter(|| {
+            for text in &texts {
+                let mut v = Vocab::new();
+                let dl = parse_ontology(text, &mut v).expect("parses");
+                let gf = to_gf(&dl);
+                std::hint::black_box((classify(&gf, &v), best_zone(&gf, &v)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

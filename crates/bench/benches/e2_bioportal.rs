@@ -1,0 +1,30 @@
+//! E2: the BioPortal-style survey — corpus generation and analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gomq_core::Vocab;
+use gomq_corpus::{generate_corpus, survey, CorpusSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_bioportal");
+    group.sample_size(10);
+    group.bench_function("generate_411", |b| {
+        b.iter(|| {
+            let mut v = Vocab::new();
+            std::hint::black_box(generate_corpus(&CorpusSpec::default(), &mut v).len())
+        })
+    });
+    let mut v = Vocab::new();
+    let corpus = generate_corpus(&CorpusSpec::default(), &mut v);
+    group.bench_function("survey_411", |b| {
+        b.iter(|| {
+            let t = survey(&corpus, &mut v);
+            assert_eq!(t.alchif_depth2_count(), 405);
+            assert_eq!(t.alchiq_depth1_count(), 385);
+            std::hint::black_box(t.total())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

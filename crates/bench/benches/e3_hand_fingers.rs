@@ -1,0 +1,55 @@
+//! E3: the hand–finger ontologies — the PTIME/coNP contrast of §1.
+//!
+//! The coNP side (certain disjunction under O₁ ∪ O₂) grows quickly with
+//! the number of fingers, while the PTIME sides stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_bench::{hand_instance, hand_ontologies};
+use gomq_core::query::CqBuilder;
+use gomq_core::{Term, Ucq, Vocab};
+use gomq_reasoning::CertainEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_hand_fingers");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("union_disjunction", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let (_, _, union, hand, thumb, hf) = hand_ontologies(n as u32, &mut v);
+                let d = hand_instance(n, hand, hf, &mut v);
+                let engine = CertainEngine::new(1);
+                let mut bld = CqBuilder::new();
+                let x = bld.var("x");
+                bld.atom(thumb, &[x]);
+                let q = Ucq::from_cq(bld.build(vec![x]));
+                let queries: Vec<(Ucq, Vec<Term>)> = d
+                    .dom()
+                    .into_iter()
+                    .map(|t| (q.clone(), vec![t]))
+                    .collect();
+                let certain = engine
+                    .certain_disjunction(&union, &d, &queries, &mut v)
+                    .is_certain();
+                assert!(certain);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("o2_alone", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let (_, o2, _, hand, thumb, hf) = hand_ontologies(n as u32, &mut v);
+                let d = hand_instance(n, hand, hf, &mut v);
+                let engine = CertainEngine::new(1);
+                let mut bld = CqBuilder::new();
+                let x = bld.var("x");
+                bld.atom(thumb, &[x]);
+                let q = Ucq::from_cq(bld.build(vec![x]));
+                std::hint::black_box(engine.certain_answers(&o2, &d, &q, &mut v).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

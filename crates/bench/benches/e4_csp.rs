@@ -1,0 +1,45 @@
+//! E4: Theorem 8 — CSP templates and their OMQ encodings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_bench::cycle_instance;
+use gomq_core::Vocab;
+use gomq_csp::encode::encode_gf;
+use gomq_csp::reduce::omq_certain_via_csp;
+use gomq_csp::solve::solve_csp;
+use gomq_csp::Template;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_csp");
+    group.sample_size(20);
+    for k in [2usize, 3] {
+        for n in [11usize, 31] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{k}col_solve"), n),
+                &n,
+                |b, &n| {
+                    let mut v = Vocab::new();
+                    let t = Template::k_coloring(k, &mut v).with_precoloring(&mut v);
+                    let edge = v.find_rel("edge").expect("edge");
+                    let d = cycle_instance(edge, n, "cy", &mut v);
+                    b.iter(|| std::hint::black_box(solve_csp(&d, &t).is_some()))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{k}col_via_omq"), n),
+                &n,
+                |b, &n| {
+                    let mut v = Vocab::new();
+                    let t = Template::k_coloring(k, &mut v).with_precoloring(&mut v);
+                    let enc = encode_gf(&t, &mut v);
+                    let edge = v.find_rel("edge").expect("edge");
+                    let d = cycle_instance(edge, n, "cy", &mut v);
+                    b.iter(|| std::hint::black_box(omq_certain_via_csp(&d, &t, &enc)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

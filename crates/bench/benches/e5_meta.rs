@@ -1,0 +1,52 @@
+//! E5: the Theorem-13 decision procedure — runtime growth with the
+//! bouquet space (the expected EXPTIME behaviour in `|O|`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_core::Vocab;
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::translate::to_gf;
+use gomq_dl::DlOntology;
+use gomq_meta::bouquet::BouquetConfig;
+use gomq_meta::decide::decide_ptime;
+use gomq_reasoning::CertainEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_meta");
+    group.sample_size(10);
+    // Growing signature: k concept names chained, one role.
+    for k in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("decide_horn", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let names: Vec<_> = (0..=k).map(|i| v.rel(&format!("C{i}"), 1)).collect();
+                let r = Role::new(v.rel("R", 2));
+                let mut dl = DlOntology::new();
+                for w in names.windows(2) {
+                    dl.sub(Concept::Name(w[0]), Concept::Name(w[1]));
+                }
+                dl.sub(
+                    Concept::Name(names[k]),
+                    Concept::Exists(r, Box::new(Concept::Name(names[0]))),
+                );
+                let o = to_gf(&dl);
+                let engine = CertainEngine::new(1);
+                let verdict = decide_ptime(
+                    &o,
+                    &engine,
+                    BouquetConfig {
+                        max_outdegree: 1,
+                        max_bouquets: 5_000,
+                include_loops: false,
+            },
+                    &mut v,
+                );
+                assert!(verdict.ptime);
+                std::hint::black_box(verdict.bouquets_checked)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

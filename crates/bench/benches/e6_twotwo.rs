@@ -1,0 +1,50 @@
+//! E6: the 2+2-SAT reduction of Theorem 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_core::{Fact, Instance, Term, Vocab};
+use gomq_dl::concept::Concept;
+use gomq_dl::translate::to_gf;
+use gomq_dl::DlOntology;
+use gomq_reasoning::CertainEngine;
+use gomq_tm::twotwo::{build_gadget, random_formula};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_twotwo");
+    group.sample_size(10);
+    for (vars, clauses) in [(1usize, 1usize), (2, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("reduction", format!("{vars}v{clauses}c")),
+            &(vars, clauses),
+            |b, &(vars, clauses)| {
+                b.iter(|| {
+                    let mut v = Vocab::new();
+                    let a = v.rel("A", 1);
+                    let b_rel = v.rel("B", 1);
+                    let c_rel = v.rel("C", 1);
+                    let mut dl = DlOntology::new();
+                    dl.sub(
+                        Concept::Name(a),
+                        Concept::Or(vec![Concept::Name(b_rel), Concept::Name(c_rel)]),
+                    );
+                    let o = to_gf(&dl);
+                    let ca = v.constant("w");
+                    let mut d0 = Instance::new();
+                    d0.insert(Fact::consts(a, &[ca]));
+                    let phi = random_formula(vars, clauses, 7);
+                    let gadget =
+                        build_gadget(&phi, &d0, Term::Const(ca), b_rel, c_rel, &mut v);
+                    let engine = CertainEngine::new(1);
+                    let certain = engine
+                        .certain(&o, &gadget.instance, &gadget.query, &[], &mut v)
+                        .is_certain();
+                    assert_eq!(certain, phi.satisfiable().is_none());
+                    std::hint::black_box(certain)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

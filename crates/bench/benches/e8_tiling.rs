@@ -1,0 +1,34 @@
+//! E8: tiling systems, the Theorem-10 ontology builder, and run fitting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_core::Vocab;
+use gomq_tm::runfit::{run_fitting, PartialConfig, PartialRun};
+use gomq_tm::tiling_onto::build_grid_ontology;
+use gomq_tm::{Machine, TilingSystem};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_tiling");
+    group.sample_size(20);
+    group.bench_function("find_tiling_3x3", |b| {
+        let p = TilingSystem::solvable_example();
+        b.iter(|| std::hint::black_box(p.find_tiling(3, 3).is_some()))
+    });
+    group.bench_function("build_grid_ontology", |b| {
+        let p = TilingSystem::solvable_example();
+        b.iter(|| {
+            let mut v = Vocab::new();
+            std::hint::black_box(build_grid_ontology(&p, &mut v).cell.onto.axioms.len())
+        })
+    });
+    let m = Machine::even_ones();
+    for rows in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("run_fitting", rows), &rows, |b, &rows| {
+            let partial = PartialRun::new(vec![PartialConfig::all_wild(5); rows]);
+            b.iter(|| std::hint::black_box(run_fitting(&m, &partial).is_some()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E9: unravelling construction cost as the radius grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gomq_bench::cycle_instance;
+use gomq_core::Vocab;
+use gomq_reasoning::unravel::{unravel, UnravelKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_unravel");
+    group.sample_size(20);
+    for radius in [3usize, 5, 7] {
+        group.bench_with_input(
+            BenchmarkId::new("ugf_triangle", radius),
+            &radius,
+            |b, &radius| {
+                b.iter(|| {
+                    let mut v = Vocab::new();
+                    let r = v.rel("R", 2);
+                    let tri = cycle_instance(r, 3, "t", &mut v);
+                    std::hint::black_box(
+                        unravel(&tri, UnravelKind::Ugf, radius, &mut v).nodes.len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ugc2_c5", radius),
+            &radius,
+            |b, &radius| {
+                b.iter(|| {
+                    let mut v = Vocab::new();
+                    let r = v.rel("R", 2);
+                    let c5 = cycle_instance(r, 5, "p", &mut v);
+                    std::hint::black_box(
+                        unravel(&c5, UnravelKind::Ugc2, radius, &mut v).nodes.len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Regenerates Figure 1 of the paper: the classification of
+//! guarded-fragment ontology languages into the dichotomy / CSP-hard /
+//! no-dichotomy zones, derived by running the classifier on
+//! representative ontologies of each fragment.
+//!
+//! Run with `cargo run -p gomq-bench --bin figure1`.
+
+use gomq_core::Vocab;
+use gomq_dl::lang::dl_figure1_zone;
+use gomq_dl::parser::parse_ontology;
+use gomq_logic::fragment::{best_zone, classify, Zone};
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+
+const X: LVar = LVar(0);
+const Y: LVar = LVar(1);
+
+fn nm() -> Vec<String> {
+    vec!["x".into(), "y".into()]
+}
+
+type Builder = Box<dyn Fn(&mut Vocab) -> GfOntology>;
+
+fn representatives() -> Vec<(&'static str, Builder)> {
+    vec![
+        (
+            "uGF(1)",
+            Box::new(|v: &mut Vocab| {
+                let a = v.rel("A", 1);
+                let r = v.rel("R", 2);
+                GfOntology::from_ugf(vec![UgfSentence::forall_one(
+                    X,
+                    Formula::implies(
+                        Formula::unary(a, X),
+                        Formula::Exists {
+                            qvars: vec![Y],
+                            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                            body: Box::new(Formula::True),
+                        },
+                    ),
+                    nm(),
+                )])
+            }),
+        ),
+        (
+            "uGF-(1,=)",
+            Box::new(|v: &mut Vocab| {
+                let r = v.rel("R", 2);
+                GfOntology::from_ugf(vec![UgfSentence::forall_one(
+                    X,
+                    Formula::Exists {
+                        qvars: vec![Y],
+                        guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                        body: Box::new(Formula::Not(Box::new(Formula::Eq(X, Y)))),
+                    },
+                    nm(),
+                )])
+            }),
+        ),
+        (
+            "uGF-2(2)",
+            Box::new(|v: &mut Vocab| {
+                let a = v.rel("A", 1);
+                let r = v.rel("R", 2);
+                let inner = Formula::Exists {
+                    qvars: vec![X],
+                    guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                    body: Box::new(Formula::unary(a, X)),
+                };
+                GfOntology::from_ugf(vec![UgfSentence::forall_one(
+                    X,
+                    Formula::Exists {
+                        qvars: vec![Y],
+                        guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                        body: Box::new(inner),
+                    },
+                    nm(),
+                )])
+            }),
+        ),
+        (
+            "uGC-2(1,=)",
+            Box::new(|v: &mut Vocab| {
+                let a = v.rel("A", 1);
+                let r = v.rel("R", 2);
+                GfOntology::from_ugf(vec![UgfSentence::forall_one(
+                    X,
+                    Formula::implies(
+                        Formula::unary(a, X),
+                        Formula::CountExists {
+                            n: 5,
+                            qvar: Y,
+                            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                            body: Box::new(Formula::True),
+                        },
+                    ),
+                    nm(),
+                )])
+            }),
+        ),
+        (
+            "uGF2(1,=)",
+            Box::new(|v: &mut Vocab| {
+                let r = v.rel("R", 2);
+                let s = v.rel("S", 2);
+                GfOntology::from_ugf(vec![UgfSentence::new(
+                    vec![X, Y],
+                    Guard::Atom { rel: r, args: vec![X, Y] },
+                    Formula::Or(vec![
+                        Formula::Eq(X, Y),
+                        Formula::Exists {
+                            qvars: vec![Y],
+                            guard: Guard::Atom { rel: s, args: vec![X, Y] },
+                            body: Box::new(Formula::True),
+                        },
+                    ]),
+                    nm(),
+                )])
+            }),
+        ),
+        (
+            "uGF2(2)",
+            Box::new(|v: &mut Vocab| {
+                let a = v.rel("A", 1);
+                let r = v.rel("R", 2);
+                let inner = Formula::Exists {
+                    qvars: vec![X],
+                    guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                    body: Box::new(Formula::unary(a, X)),
+                };
+                GfOntology::from_ugf(vec![UgfSentence::new(
+                    vec![X, Y],
+                    Guard::Atom { rel: r, args: vec![X, Y] },
+                    Formula::Exists {
+                        qvars: vec![X],
+                        guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                        body: Box::new(inner),
+                    },
+                    nm(),
+                )])
+            }),
+        ),
+        (
+            "uGF2(1,f)",
+            Box::new(|v: &mut Vocab| {
+                let a = v.rel("A", 1);
+                let r = v.rel("R", 2);
+                let f = v.rel("F", 2);
+                let mut o = GfOntology::from_ugf(vec![UgfSentence::new(
+                    vec![X, Y],
+                    Guard::Atom { rel: r, args: vec![X, Y] },
+                    Formula::unary(a, X),
+                    nm(),
+                )]);
+                o.declare_functional(f);
+                o
+            }),
+        ),
+        (
+            "uGF-2(2,f)",
+            Box::new(|v: &mut Vocab| {
+                let a = v.rel("A", 1);
+                let r = v.rel("R", 2);
+                let f = v.rel("F", 2);
+                let inner = Formula::Exists {
+                    qvars: vec![X],
+                    guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                    body: Box::new(Formula::unary(a, X)),
+                };
+                let mut o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+                    X,
+                    Formula::Exists {
+                        qvars: vec![Y],
+                        guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                        body: Box::new(inner),
+                    },
+                    nm(),
+                )]);
+                o.declare_functional(f);
+                o
+            }),
+        ),
+    ]
+}
+
+fn dl_representatives() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("ALCHIQ depth 1", "A sub >=2 R.B\nrole R sub S\n"),
+        ("ALCHIF depth 2", "A sub ex R.(all S.B)\nfunc(R)\n"),
+        ("ALC depth 3 [42]", "A sub ex R.(ex R.(ex R.B))\n"),
+        ("ALCF` depth 2", "A sub ex R.(<=1 S.Top)\n"),
+        ("ALCF` depth 2 (>=2)", "A sub >=2 R.Top and <=1 S.Top\n"),
+        ("ALCIF` depth 2", "A sub ex R-.(<=1 S.Top)\n"),
+        ("ALCF depth 3 [42]", "A sub ex R.(ex R.(ex R.B))\nfunc(R)\n"),
+    ]
+}
+
+fn main() {
+    println!("Figure 1 — classification of ontology languages (reproduced)\n");
+    let mut rows: Vec<(Zone, String)> = Vec::new();
+    for (name, build) in representatives() {
+        let mut v = Vocab::new();
+        let o = build(&mut v);
+        let frags = classify(&o, &v);
+        let zone = best_zone(&o, &v);
+        rows.push((
+            zone,
+            format!("{name:<14} tightest fragment: {:<12}", frags[0].name()),
+        ));
+    }
+    for (name, text) in dl_representatives() {
+        let mut v = Vocab::new();
+        let dl = parse_ontology(text, &mut v).expect("well-formed");
+        let zone = dl_figure1_zone(&dl);
+        let lang = gomq_dl::lang::DlFeatures::of(&dl).language();
+        rows.push((zone, format!("{name:<22} (detected {lang})")));
+    }
+    for (title, zone) in [
+        ("NO DICHOTOMY", Zone::NoDichotomy),
+        ("CSP-HARD (Datalog!= != PTIME)", Zone::CspHard),
+        ("DICHOTOMY (Datalog!= = PTIME)", Zone::Dichotomy),
+    ] {
+        println!("== {title} ==");
+        for (z, row) in &rows {
+            if *z == zone {
+                println!("   {row}");
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper Figure 1: dichotomy = {{uGF(1), uGF-(1,=), uGF-2(2), uGC-2(1,=),\n\
+         ALCHIQ d1, ALCHIF d2}}; CSP-hard = {{uGF2(1,=), uGF2(2), uGF2(1,f),\n\
+         ALC d3, ALCF` d2}}; no dichotomy = {{uGF-2(2,f), ALCIF` d2, ALCF d3}}."
+    );
+}

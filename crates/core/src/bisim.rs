@@ -1,0 +1,296 @@
+//! Connected guarded bisimulations (appendix C of the paper).
+//!
+//! A set `I` of partial isomorphisms between guarded tuples of `A` and
+//! `B` is a *connected guarded bisimulation* if for every `p : ā ↦ b̄ ∈ I`
+//! and every guarded tuple `ā′` of `A` overlapping `ā` there is a guarded
+//! tuple `b̄′` of `B` and a `p′ : ā′ ↦ b̄′ ∈ I` agreeing with `p` on the
+//! overlap — and symmetrically. openGF formulas are invariant under
+//! connected guarded bisimilarity (Theorem 15), which is how the paper
+//! transfers query (non-)entailment between instances and their
+//! unravellings.
+//!
+//! This module computes the *coarsest* connected guarded bisimulation by
+//! the standard fixpoint refinement: start from all partial isomorphisms
+//! between guarded tuples and remove pairs whose back-and-forth
+//! obligations fail, until stable.
+
+use crate::fact::Term;
+use crate::guarded::maximal_guarded_sets;
+use crate::interpretation::Interpretation;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A partial isomorphism between guarded tuples, as an order-preserving
+/// map on the underlying guarded sets.
+type PartIso = Vec<(Term, Term)>;
+
+/// Computes the coarsest connected guarded bisimulation between `a` and
+/// `b`, represented as the set of surviving partial isomorphisms (each a
+/// sorted association list over a maximal guarded set of `a`).
+pub fn guarded_bisimulation(a: &Interpretation, b: &Interpretation) -> Vec<PartIso> {
+    let ga: Vec<BTreeSet<Term>> = maximal_guarded_sets(a);
+    let gb: Vec<BTreeSet<Term>> = maximal_guarded_sets(b);
+    // All partial isomorphisms between pairs of maximal guarded sets.
+    let mut candidates: Vec<PartIso> = Vec::new();
+    for sa in &ga {
+        for sb in &gb {
+            if sa.len() != sb.len() {
+                continue;
+            }
+            // Enumerate bijections sa → sb, keep the isomorphic ones.
+            let va: Vec<Term> = sa.iter().copied().collect();
+            let vb: Vec<Term> = sb.iter().copied().collect();
+            permutations(&vb, &mut |perm| {
+                let iso: PartIso = va.iter().copied().zip(perm.iter().copied()).collect();
+                if is_partial_iso(a, b, &iso) {
+                    candidates.push(iso);
+                }
+            });
+        }
+    }
+    // Refinement.
+    loop {
+        let before = candidates.len();
+        let snapshot = candidates.clone();
+        candidates.retain(|p| {
+            forth_ok(a, b, p, &ga, &snapshot) && back_ok(a, b, p, &gb, &snapshot)
+        });
+        if candidates.len() == before {
+            return candidates;
+        }
+    }
+}
+
+/// Whether `(a, ā)` and `(b, b̄)` are connected guarded bisimilar, where
+/// the tuples enumerate guarded sets.
+pub fn guarded_bisimilar(
+    a: &Interpretation,
+    tuple_a: &[Term],
+    b: &Interpretation,
+    tuple_b: &[Term],
+) -> bool {
+    if tuple_a.len() != tuple_b.len() {
+        return false;
+    }
+    let wanted: PartIso = {
+        let mut m: BTreeMap<Term, Term> = BTreeMap::new();
+        for (&x, &y) in tuple_a.iter().zip(tuple_b.iter()) {
+            if let Some(&prev) = m.get(&x) {
+                if prev != y {
+                    return false;
+                }
+            }
+            m.insert(x, y);
+        }
+        m.into_iter().collect()
+    };
+    let bisim = guarded_bisimulation(a, b);
+    bisim.iter().any(|p| {
+        // p must extend `wanted`.
+        let pm: BTreeMap<Term, Term> = p.iter().copied().collect();
+        wanted.iter().all(|(x, y)| pm.get(x) == Some(y))
+    })
+}
+
+fn permutations(items: &[Term], cb: &mut impl FnMut(&[Term])) {
+    let mut v: Vec<Term> = items.to_vec();
+    permute(&mut v, 0, cb);
+}
+
+fn permute(v: &mut Vec<Term>, k: usize, cb: &mut impl FnMut(&[Term])) {
+    if k == v.len() {
+        cb(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, cb);
+        v.swap(k, i);
+    }
+}
+
+/// Whether the association list is a partial isomorphism between the
+/// induced substructures.
+fn is_partial_iso(a: &Interpretation, b: &Interpretation, iso: &PartIso) -> bool {
+    let fwd: BTreeMap<Term, Term> = iso.iter().copied().collect();
+    let dom_a: BTreeSet<Term> = fwd.keys().copied().collect();
+    let rng_b: BTreeSet<Term> = fwd.values().copied().collect();
+    if rng_b.len() != dom_a.len() {
+        return false; // not injective
+    }
+    // Facts inside the domain must correspond in both directions.
+    for f in a.iter() {
+        if f.args.iter().all(|t| dom_a.contains(t)) {
+            let img = f.map_terms(|t| fwd[&t]);
+            if !b.contains(&img) {
+                return false;
+            }
+        }
+    }
+    let bwd: BTreeMap<Term, Term> = iso.iter().map(|&(x, y)| (y, x)).collect();
+    for f in b.iter() {
+        if f.args.iter().all(|t| rng_b.contains(t)) {
+            let pre = f.map_terms(|t| bwd[&t]);
+            if !a.contains(&pre) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn forth_ok(
+    _a: &Interpretation,
+    _b: &Interpretation,
+    p: &PartIso,
+    ga: &[BTreeSet<Term>],
+    pool: &[PartIso],
+) -> bool {
+    let pm: BTreeMap<Term, Term> = p.iter().copied().collect();
+    let dom: BTreeSet<Term> = pm.keys().copied().collect();
+    for sa in ga {
+        if sa.is_disjoint(&dom) {
+            continue;
+        }
+        // Need q ∈ pool with domain sa agreeing with p on the overlap.
+        let found = pool.iter().any(|q| {
+            let qd: BTreeSet<Term> = q.iter().map(|&(x, _)| x).collect();
+            if qd != *sa {
+                return false;
+            }
+            let qm: BTreeMap<Term, Term> = q.iter().copied().collect();
+            sa.intersection(&dom).all(|t| qm[t] == pm[t])
+        });
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+fn back_ok(
+    _a: &Interpretation,
+    _b: &Interpretation,
+    p: &PartIso,
+    gb: &[BTreeSet<Term>],
+    pool: &[PartIso],
+) -> bool {
+    let pm_inv: BTreeMap<Term, Term> = p.iter().map(|&(x, y)| (y, x)).collect();
+    let rng: BTreeSet<Term> = pm_inv.keys().copied().collect();
+    for sb in gb {
+        if sb.is_disjoint(&rng) {
+            continue;
+        }
+        let found = pool.iter().any(|q| {
+            let qr: BTreeSet<Term> = q.iter().map(|&(_, y)| y).collect();
+            if qr != *sb {
+                return false;
+            }
+            let qm_inv: BTreeMap<Term, Term> = q.iter().map(|&(x, y)| (y, x)).collect();
+            sb.intersection(&rng).all(|t| qm_inv[t] == pm_inv[t])
+        });
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+    use crate::symbols::Vocab;
+
+    fn cycle(v: &mut Vocab, n: usize, tag: &str) -> Interpretation {
+        let r = v.rel("R", 2);
+        let mut i = Interpretation::new();
+        for k in 0..n {
+            let a = v.constant(&format!("{tag}{k}"));
+            let b = v.constant(&format!("{tag}{}", (k + 1) % n));
+            i.insert(Fact::consts(r, &[a, b]));
+        }
+        i
+    }
+
+    #[test]
+    fn cycles_of_different_length_are_guarded_bisimilar() {
+        // Guarded bisimulation cannot count around cycles: C3 ~ C4 on
+        // corresponding edges (each node has in/out degree 1).
+        let mut v = Vocab::new();
+        let c3 = cycle(&mut v, 3, "a");
+        let c4 = cycle(&mut v, 4, "b");
+        let a0 = Term::Const(v.constant("a0"));
+        let a1 = Term::Const(v.constant("a1"));
+        let b0 = Term::Const(v.constant("b0"));
+        let b1 = Term::Const(v.constant("b1"));
+        assert!(guarded_bisimilar(&c3, &[a0, a1], &c4, &[b0, b1]));
+    }
+
+    #[test]
+    fn edge_and_isolated_loop_are_not_bisimilar() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a = v.constant("x");
+        let b = v.constant("y");
+        let edge = Interpretation::from_facts(vec![Fact::consts(r, &[a, b])]);
+        let c = v.constant("z");
+        let lp = Interpretation::from_facts(vec![Fact::consts(r, &[c, c])]);
+        // The loop's guarded set {z} maps nowhere isomorphically onto the
+        // 2-element edge tuple.
+        assert!(!guarded_bisimilar(
+            &edge,
+            &[Term::Const(a), Term::Const(b)],
+            &lp,
+            &[Term::Const(c), Term::Const(c)]
+        ));
+    }
+
+    #[test]
+    fn labels_break_bisimilarity() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let p = v.rel("P", 1);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let plain = Interpretation::from_facts(vec![Fact::consts(r, &[a, b])]);
+        let c = v.constant("c");
+        let d = v.constant("d");
+        let labelled = Interpretation::from_facts(vec![
+            Fact::consts(r, &[c, d]),
+            Fact::consts(p, &[d]),
+        ]);
+        assert!(!guarded_bisimilar(
+            &plain,
+            &[Term::Const(a), Term::Const(b)],
+            &labelled,
+            &[Term::Const(c), Term::Const(d)]
+        ));
+    }
+
+    #[test]
+    fn an_interpretation_is_bisimilar_to_itself() {
+        let mut v = Vocab::new();
+        let c = cycle(&mut v, 4, "s");
+        let s0 = Term::Const(v.constant("s0"));
+        let s1 = Term::Const(v.constant("s1"));
+        assert!(guarded_bisimilar(&c, &[s0, s1], &c, &[s0, s1]));
+    }
+
+    #[test]
+    fn path_end_differs_from_path_middle() {
+        // In a path a→b→c, the edge (a,b) is not bisimilar to (b,c):
+        // b has an outgoing continuation at the first position of (b,c)
+        // but a has no incoming edge.
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a = v.constant("pa");
+        let b = v.constant("pb");
+        let c = v.constant("pc");
+        let path = Interpretation::from_facts(vec![
+            Fact::consts(r, &[a, b]),
+            Fact::consts(r, &[b, c]),
+        ]);
+        let (ta, tb, tc) = (Term::Const(a), Term::Const(b), Term::Const(c));
+        assert!(!guarded_bisimilar(&path, &[ta, tb], &path, &[tb, tc]));
+    }
+}

@@ -1,0 +1,230 @@
+//! Guarded sets, guarded tuples and the Gaifman graph.
+//!
+//! A set `G ⊆ dom(A)` is *guarded* in an interpretation `A` if it is a
+//! singleton or there is a fact `R(a₁,…,a_k) ∈ A` with `G = {a₁,…,a_k}`
+//! (§2.2 of the paper). A tuple is guarded if its elements form a subset of
+//! a guarded set.
+
+use crate::fact::Term;
+use crate::interpretation::Interpretation;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// All guarded sets `S(A)` of an interpretation, in canonical order.
+pub fn guarded_sets(a: &Interpretation) -> BTreeSet<BTreeSet<Term>> {
+    let mut out: BTreeSet<BTreeSet<Term>> = BTreeSet::new();
+    for t in a.dom() {
+        out.insert([t].into_iter().collect());
+    }
+    for f in a.iter() {
+        out.insert(f.args.iter().copied().collect());
+    }
+    out
+}
+
+/// The maximal guarded sets of an interpretation: guarded sets not strictly
+/// contained in another guarded set.
+pub fn maximal_guarded_sets(a: &Interpretation) -> Vec<BTreeSet<Term>> {
+    let all: Vec<BTreeSet<Term>> = guarded_sets(a).into_iter().collect();
+    all.iter()
+        .filter(|g| {
+            !all.iter()
+                .any(|h| h.len() > g.len() && g.is_subset(h))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Whether the elements of `tuple` are contained in a single guarded set.
+pub fn is_guarded_tuple(a: &Interpretation, tuple: &[Term]) -> bool {
+    let set: BTreeSet<Term> = tuple.iter().copied().collect();
+    if set.len() <= 1 {
+        return tuple.iter().all(|t| a.dom().contains(t));
+    }
+    a.iter()
+        .any(|f| set.iter().all(|t| f.args.contains(t)))
+}
+
+/// The Gaifman graph of an interpretation: vertices are domain elements,
+/// with an edge between two distinct elements that co-occur in a fact.
+pub fn gaifman_graph(a: &Interpretation) -> BTreeMap<Term, BTreeSet<Term>> {
+    let mut g: BTreeMap<Term, BTreeSet<Term>> = BTreeMap::new();
+    for t in a.dom() {
+        g.entry(t).or_default();
+    }
+    for f in a.iter() {
+        for (i, &x) in f.args.iter().enumerate() {
+            for &y in &f.args[i + 1..] {
+                if x != y {
+                    g.entry(x).or_default().insert(y);
+                    g.entry(y).or_default().insert(x);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// BFS distances in the Gaifman graph from a set of sources. Unreachable
+/// elements are absent from the returned map (distance ∞).
+pub fn distances_from(
+    a: &Interpretation,
+    sources: &BTreeSet<Term>,
+) -> BTreeMap<Term, usize> {
+    let g = gaifman_graph(a);
+    let mut dist: BTreeMap<Term, usize> = BTreeMap::new();
+    let mut queue: VecDeque<Term> = VecDeque::new();
+    for &s in sources {
+        if g.contains_key(&s) {
+            dist.insert(s, 0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        if let Some(nbrs) = g.get(&u) {
+            for &v in nbrs {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the Gaifman graph of the interpretation is connected.
+pub fn is_connected(a: &Interpretation) -> bool {
+    let dom = a.dom();
+    let Some(&first) = dom.iter().next() else {
+        return true;
+    };
+    let reach = distances_from(a, &[first].into_iter().collect());
+    reach.len() == dom.len()
+}
+
+/// The 1-neighbourhood `A≤1_a` of an element: the subinterpretation induced
+/// by the union of all guarded sets containing `a` (§8 of the paper).
+pub fn one_neighbourhood(a: &Interpretation, elem: Term) -> Interpretation {
+    let mut domain: BTreeSet<Term> = BTreeSet::new();
+    domain.insert(elem);
+    for f in a.facts_with_term(elem) {
+        domain.extend(f.args.iter().copied());
+    }
+    a.induced(&domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+    use crate::symbols::Vocab;
+
+    /// Builds the triangle instance of the paper's Example 4.
+    fn triangle(v: &mut Vocab) -> Interpretation {
+        let r = v.rel("R", 2);
+        let x = v.constant("x");
+        let y = v.constant("y");
+        let z = v.constant("z");
+        Interpretation::from_facts(vec![
+            Fact::consts(r, &[x, y]),
+            Fact::consts(r, &[y, z]),
+            Fact::consts(r, &[z, x]),
+        ])
+    }
+
+    #[test]
+    fn guarded_sets_of_triangle() {
+        let mut v = Vocab::new();
+        let t = triangle(&mut v);
+        let gs = guarded_sets(&t);
+        // 3 singletons + 3 edges.
+        assert_eq!(gs.len(), 6);
+        let max = maximal_guarded_sets(&t);
+        assert_eq!(max.len(), 3);
+        assert!(max.iter().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn triple_guard_makes_whole_triangle_guarded() {
+        let mut v = Vocab::new();
+        let mut t = triangle(&mut v);
+        let q = v.rel("Q", 3);
+        let x = v.constant("x");
+        let y = v.constant("y");
+        let z = v.constant("z");
+        t.insert(Fact::consts(q, &[x, y, z]));
+        let max = maximal_guarded_sets(&t);
+        assert_eq!(max.len(), 1);
+        assert_eq!(max[0].len(), 3);
+        assert!(is_guarded_tuple(
+            &t,
+            &[Term::Const(x), Term::Const(y), Term::Const(z)]
+        ));
+    }
+
+    #[test]
+    fn tuple_guardedness() {
+        let mut v = Vocab::new();
+        let t = triangle(&mut v);
+        let x = Term::Const(v.constant("x"));
+        let y = Term::Const(v.constant("y"));
+        let z = Term::Const(v.constant("z"));
+        assert!(is_guarded_tuple(&t, &[x, y]));
+        assert!(is_guarded_tuple(&t, &[x]));
+        assert!(!is_guarded_tuple(&t, &[x, y, z]));
+        // Repetitions collapse.
+        assert!(is_guarded_tuple(&t, &[x, x, y]));
+    }
+
+    #[test]
+    fn gaifman_distances() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let i = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[b, c]),
+        ]);
+        let d = distances_from(&i, &[Term::Const(a)].into_iter().collect());
+        assert_eq!(d[&Term::Const(a)], 0);
+        assert_eq!(d[&Term::Const(b)], 1);
+        assert_eq!(d[&Term::Const(c)], 2);
+        assert!(is_connected(&i));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let d = v.constant("d");
+        let i = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[c, d]),
+        ]);
+        assert!(!is_connected(&i));
+    }
+
+    #[test]
+    fn one_neighbourhood_is_star() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let d = v.constant("d");
+        let i = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[a, c]),
+            Fact::consts(e, &[c, d]),
+        ]);
+        let nb = one_neighbourhood(&i, Term::Const(a));
+        assert_eq!(nb.len(), 2);
+        assert!(!nb.dom().contains(&Term::Const(d)));
+    }
+}

@@ -1,0 +1,311 @@
+//! Homomorphisms between interpretations.
+//!
+//! A homomorphism `h : A → B` maps `dom(A)` to `dom(B)` such that
+//! `R(a₁,…,a_k) ∈ A` implies `R(h(a₁),…,h(a_k)) ∈ B`. Query answering,
+//! CSPs and the paper's hom-universal models all reduce to homomorphism
+//! existence, which this module decides by backtracking search with a
+//! most-constrained-atom-first ordering.
+
+use crate::fact::{Fact, Term};
+use crate::interpretation::Interpretation;
+use std::collections::BTreeMap;
+
+/// A homomorphism, represented as a total map on the source's active domain.
+pub type Homomorphism = BTreeMap<Term, Term>;
+
+/// Searches for a homomorphism from `from` to `to` that extends the partial
+/// map `fixed` (used for the paper's "preserves `dom(D)`" requirement and
+/// for answer-variable bindings).
+///
+/// Returns the first homomorphism found, or `None`.
+pub fn find_homomorphism(
+    from: &Interpretation,
+    to: &Interpretation,
+    fixed: &Homomorphism,
+) -> Option<Homomorphism> {
+    let mut found = None;
+    search(from, to, fixed, &mut |h| {
+        found = Some(h.clone());
+        true
+    });
+    found
+}
+
+/// Whether a homomorphism extending `fixed` exists.
+pub fn has_homomorphism(from: &Interpretation, to: &Interpretation, fixed: &Homomorphism) -> bool {
+    let mut any = false;
+    search(from, to, fixed, &mut |_| {
+        any = true;
+        true
+    });
+    any
+}
+
+/// Enumerates all homomorphisms extending `fixed`, invoking `cb` on each.
+/// If `cb` returns `true` the search stops early.
+pub fn for_each_homomorphism(
+    from: &Interpretation,
+    to: &Interpretation,
+    fixed: &Homomorphism,
+    cb: &mut dyn FnMut(&Homomorphism) -> bool,
+) {
+    search(from, to, fixed, cb);
+}
+
+/// Whether `a` and `b` are homomorphically equivalent (each maps into the
+/// other) — the equivalence underlying CQ-indistinguishability: two
+/// hom-equivalent interpretations satisfy the same Boolean CQs.
+pub fn hom_equivalent(a: &Interpretation, b: &Interpretation) -> bool {
+    has_homomorphism(a, b, &Homomorphism::new()) && has_homomorphism(b, a, &Homomorphism::new())
+}
+
+/// Whether `h` is an isomorphic embedding of `from` into `to`: injective,
+/// a homomorphism, and reflecting facts (`R(h(ā)) ∈ to` implies
+/// `R(ā) ∈ from` for tuples ā over `dom(from)`).
+pub fn is_isomorphic_embedding(
+    from: &Interpretation,
+    to: &Interpretation,
+    h: &Homomorphism,
+) -> bool {
+    // Total on dom(from).
+    let dom = from.dom();
+    if !dom.iter().all(|t| h.contains_key(t)) {
+        return false;
+    }
+    // Injective.
+    let mut seen = std::collections::BTreeSet::new();
+    for t in &dom {
+        if !seen.insert(h[t]) {
+            return false;
+        }
+    }
+    // Homomorphism.
+    for f in from.iter() {
+        if !to.contains(&f.map_terms(|t| h[&t])) {
+            return false;
+        }
+    }
+    // Reflection: every `to`-fact over the image must come from a `from`-fact.
+    let image: BTreeMap<Term, Term> = h.iter().map(|(&a, &b)| (b, a)).collect();
+    for f in to.iter() {
+        if f.args.iter().all(|t| image.contains_key(t)) {
+            let pre = f.map_terms(|t| image[&t]);
+            if !from.contains(&pre) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Core backtracking search. `cb` returns `true` to stop enumeration.
+fn search(
+    from: &Interpretation,
+    to: &Interpretation,
+    fixed: &Homomorphism,
+    cb: &mut dyn FnMut(&Homomorphism) -> bool,
+) -> bool {
+    // Quick signature check: every source relation must occur in the target,
+    // otherwise no homomorphism exists (unless the source has no facts).
+    for r in from.sig() {
+        if to.facts_of(r).next().is_none() {
+            return false;
+        }
+    }
+    let mut assignment: Homomorphism = fixed.clone();
+    // Unconstrained isolated terms cannot exist: dom() only contains terms
+    // occurring in facts. So completing all facts completes the assignment.
+    let facts: Vec<&Fact> = from.iter().collect();
+    let mut used = vec![false; facts.len()];
+    backtrack(&facts, &mut used, to, &mut assignment, cb)
+}
+
+fn backtrack(
+    facts: &[&Fact],
+    used: &mut [bool],
+    to: &Interpretation,
+    assignment: &mut Homomorphism,
+    cb: &mut dyn FnMut(&Homomorphism) -> bool,
+) -> bool {
+    // Pick the unused fact with the most bound arguments (most constrained).
+    let mut best: Option<(usize, usize)> = None;
+    for (i, f) in facts.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let bound = f
+            .args
+            .iter()
+            .filter(|t| assignment.contains_key(t))
+            .count();
+        match best {
+            Some((_, b)) if b >= bound => {}
+            _ => best = Some((i, bound)),
+        }
+        if bound == f.args.len() {
+            break; // fully bound facts are the cheapest to check
+        }
+    }
+    let Some((idx, _)) = best else {
+        // All facts matched: assignment is a homomorphism.
+        return cb(assignment);
+    };
+    used[idx] = true;
+    let fact = facts[idx];
+    let stop = 'candidates: {
+        for cand in to.facts_of(fact.rel) {
+            if cand.args.len() != fact.args.len() {
+                continue;
+            }
+            // Try to extend the assignment along this candidate.
+            let mut newly_bound: Vec<Term> = Vec::new();
+            let mut ok = true;
+            for (&src, &dst) in fact.args.iter().zip(cand.args.iter()) {
+                match assignment.get(&src) {
+                    Some(&existing) if existing != dst => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assignment.insert(src, dst);
+                        newly_bound.push(src);
+                    }
+                }
+            }
+            if ok && backtrack(facts, used, to, assignment, cb) {
+                for t in newly_bound {
+                    assignment.remove(&t);
+                }
+                break 'candidates true;
+            }
+            for t in newly_bound {
+                assignment.remove(&t);
+            }
+        }
+        false
+    };
+    used[idx] = false;
+    stop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocab;
+
+    fn path(v: &mut Vocab, names: &[&str]) -> Interpretation {
+        let e = v.rel("E", 2);
+        let mut i = Interpretation::new();
+        for w in names.windows(2) {
+            let a = v.constant(w[0]);
+            let b = v.constant(w[1]);
+            i.insert(Fact::consts(e, &[a, b]));
+        }
+        i
+    }
+
+    fn cycle(v: &mut Vocab, names: &[&str]) -> Interpretation {
+        let e = v.rel("E", 2);
+        let mut i = path(v, names);
+        let a = v.constant(names[names.len() - 1]);
+        let b = v.constant(names[0]);
+        i.insert(Fact::consts(e, &[a, b]));
+        i
+    }
+
+    #[test]
+    fn path_maps_into_cycle() {
+        let mut v = Vocab::new();
+        let p = path(&mut v, &["x", "y", "z"]);
+        let c = cycle(&mut v, &["a", "b"]);
+        assert!(has_homomorphism(&p, &c, &Homomorphism::new()));
+    }
+
+    #[test]
+    fn odd_cycle_does_not_map_into_edge() {
+        let mut v = Vocab::new();
+        let tri = cycle(&mut v, &["x", "y", "z"]);
+        let edge = cycle(&mut v, &["a", "b"]);
+        // Triangle → K2 is 2-coloring a triangle: impossible.
+        assert!(!has_homomorphism(&tri, &edge, &Homomorphism::new()));
+    }
+
+    #[test]
+    fn even_cycle_maps_into_edge() {
+        let mut v = Vocab::new();
+        let c4 = cycle(&mut v, &["x", "y", "z", "w"]);
+        let edge = cycle(&mut v, &["a", "b"]);
+        assert!(has_homomorphism(&c4, &edge, &Homomorphism::new()));
+    }
+
+    #[test]
+    fn fixed_bindings_are_respected() {
+        let mut v = Vocab::new();
+        let p = path(&mut v, &["x", "y"]);
+        let q = path(&mut v, &["a", "b", "c"]);
+        let x = Term::Const(v.constant("x"));
+        let c = Term::Const(v.constant("c"));
+        let mut fixed = Homomorphism::new();
+        // x must map to the sink c, which has no outgoing edge.
+        fixed.insert(x, c);
+        assert!(!has_homomorphism(&p, &q, &fixed));
+        let a = Term::Const(v.constant("a"));
+        let mut fixed2 = Homomorphism::new();
+        fixed2.insert(x, a);
+        assert!(has_homomorphism(&p, &q, &fixed2));
+    }
+
+    #[test]
+    fn enumeration_counts_all_homs() {
+        let mut v = Vocab::new();
+        let p = path(&mut v, &["x", "y"]);
+        let q = path(&mut v, &["a", "b", "c"]);
+        let mut n = 0;
+        for_each_homomorphism(&p, &q, &Homomorphism::new(), &mut |_| {
+            n += 1;
+            false
+        });
+        // Edge (x,y) can map to (a,b) or (b,c).
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn embedding_detection() {
+        let mut v = Vocab::new();
+        let p = path(&mut v, &["x", "y"]);
+        let q = path(&mut v, &["a", "b", "c"]);
+        let h = find_homomorphism(&p, &q, &Homomorphism::new()).unwrap();
+        assert!(is_isomorphic_embedding(&p, &q, &h));
+        // Collapsing map is not an embedding.
+        let c2 = cycle(&mut v, &["a", "b"]);
+        let p2 = path(&mut v, &["x", "y", "z"]);
+        let h2 = find_homomorphism(&p2, &c2, &Homomorphism::new()).unwrap();
+        assert!(!is_isomorphic_embedding(&p2, &c2, &h2));
+    }
+
+    #[test]
+    fn hom_equivalence_of_cycles() {
+        let mut v = Vocab::new();
+        let c2 = cycle(&mut v, &["a", "b"]);
+        let c4 = cycle(&mut v, &["p", "q", "r", "s"]);
+        let c3 = cycle(&mut v, &["x", "y", "z"]);
+        // A directed cycle maps into Cn only if n divides its length, so
+        // C2 and C4 are NOT hom-equivalent (C2 ↛ C4)…
+        assert!(!hom_equivalent(&c2, &c4));
+        assert!(!hom_equivalent(&c2, &c3));
+        assert!(hom_equivalent(&c3, &c3));
+        // …but C2 is hom-equivalent to the disjoint union C2 ∪ C4, whose
+        // C4 part collapses onto C2.
+        let both = c2.union(&c4);
+        assert!(hom_equivalent(&c2, &both));
+    }
+
+    #[test]
+    fn empty_source_has_trivial_hom() {
+        let v = Vocab::new();
+        let empty = Interpretation::new();
+        let _ = v;
+        assert!(has_homomorphism(&empty, &empty, &Homomorphism::new()));
+    }
+}

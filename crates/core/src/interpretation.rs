@@ -1,0 +1,340 @@
+//! Interpretations and instances.
+//!
+//! An [`Interpretation`] is a finite, non-empty-by-convention set of atoms
+//! over constants and labelled nulls. A database *instance* is an
+//! interpretation whose terms are all constants ([`Interpretation::is_instance`]).
+//! Following the paper we make the strong open world assumption: an
+//! interpretation `A` is a model of an instance `D` iff `D ⊆ A`.
+
+use crate::fact::{Fact, Term};
+use crate::symbols::{ConstId, RelId, Vocab};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A finite set of facts over constants and labelled nulls, with indexes
+/// by relation symbol and by term.
+///
+/// Insertion is deduplicating; iteration order is insertion order (which is
+/// deterministic for deterministic construction code). Use
+/// [`Interpretation::sorted_facts`] when canonical order is needed.
+#[derive(Clone, Default)]
+pub struct Interpretation {
+    facts: Vec<Fact>,
+    fact_set: HashSet<Fact>,
+    by_rel: HashMap<RelId, Vec<u32>>,
+    by_term: HashMap<Term, Vec<u32>>,
+}
+
+/// A database instance: an interpretation over constants only.
+///
+/// This is a type alias; the invariant is checked where it matters via
+/// [`Interpretation::is_instance`].
+pub type Instance = Interpretation;
+
+impl Interpretation {
+    /// Creates an empty interpretation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an interpretation from facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Self {
+        let mut a = Self::new();
+        for f in facts {
+            a.insert(f);
+        }
+        a
+    }
+
+    /// Inserts a fact; returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        if self.fact_set.contains(&fact) {
+            return false;
+        }
+        let idx = self.facts.len() as u32;
+        self.by_rel.entry(fact.rel).or_default().push(idx);
+        let mut seen_terms: Vec<Term> = Vec::with_capacity(fact.args.len());
+        for &t in &fact.args {
+            if !seen_terms.contains(&t) {
+                seen_terms.push(t);
+                self.by_term.entry(t).or_default().push(idx);
+            }
+        }
+        self.fact_set.insert(fact.clone());
+        self.facts.push(fact);
+        true
+    }
+
+    /// Inserts every fact of `other`.
+    pub fn extend_from(&mut self, other: &Interpretation) {
+        for f in other.iter() {
+            self.insert(f.clone());
+        }
+    }
+
+    /// Whether the fact is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.fact_set.contains(fact)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether there are no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterates over all facts in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// All facts in canonical (sorted) order.
+    pub fn sorted_facts(&self) -> Vec<&Fact> {
+        let mut v: Vec<&Fact> = self.facts.iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Iterates over the facts of one relation symbol.
+    pub fn facts_of(&self, rel: RelId) -> impl Iterator<Item = &Fact> {
+        self.by_rel
+            .get(&rel)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.facts[i as usize])
+    }
+
+    /// Iterates over the facts mentioning a term.
+    pub fn facts_with_term(&self, t: Term) -> impl Iterator<Item = &Fact> {
+        self.by_term
+            .get(&t)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.facts[i as usize])
+    }
+
+    /// The active domain: every term occurring in some fact, in canonical
+    /// order.
+    pub fn dom(&self) -> BTreeSet<Term> {
+        self.by_term.keys().copied().collect()
+    }
+
+    /// The constants in the active domain.
+    pub fn consts(&self) -> BTreeSet<ConstId> {
+        self.by_term
+            .keys()
+            .filter_map(|t| match t {
+                Term::Const(c) => Some(*c),
+                Term::Null(_) => None,
+            })
+            .collect()
+    }
+
+    /// The relation symbols occurring in the interpretation (the paper's
+    /// `sig(A)`).
+    pub fn sig(&self) -> BTreeSet<RelId> {
+        self.by_rel.keys().copied().collect()
+    }
+
+    /// Whether all terms are constants, i.e. this interpretation is a
+    /// database instance in the paper's sense.
+    pub fn is_instance(&self) -> bool {
+        self.by_term.keys().all(|t| t.is_const())
+    }
+
+    /// Whether `self` is a model of the instance `d`, i.e. `d ⊆ self`.
+    pub fn models_instance(&self, d: &Interpretation) -> bool {
+        d.iter().all(|f| self.contains(f))
+    }
+
+    /// The subinterpretation induced by a set of terms: all facts whose
+    /// arguments all lie in `domain` (the paper's `B|_A`).
+    pub fn induced(&self, domain: &BTreeSet<Term>) -> Interpretation {
+        Interpretation::from_facts(
+            self.iter()
+                .filter(|f| f.args.iter().all(|t| domain.contains(t)))
+                .cloned(),
+        )
+    }
+
+    /// The restriction of the interpretation to facts over a sub-signature.
+    pub fn reduct(&self, sig: &BTreeSet<RelId>) -> Interpretation {
+        Interpretation::from_facts(self.iter().filter(|f| sig.contains(&f.rel)).cloned())
+    }
+
+    /// Applies a term mapping to every fact.
+    pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Interpretation {
+        Interpretation::from_facts(self.iter().map(|fact| fact.map_terms(&mut f)))
+    }
+
+    /// Renames the domain of `self` apart from `other`'s domain by replacing
+    /// every shared term with a fresh null, returning the renamed copy and
+    /// the renaming.
+    pub fn rename_apart(
+        &self,
+        other: &Interpretation,
+        vocab: &mut Vocab,
+    ) -> (Interpretation, BTreeMap<Term, Term>) {
+        let other_dom = other.dom();
+        let mut renaming: BTreeMap<Term, Term> = BTreeMap::new();
+        for t in self.dom() {
+            if other_dom.contains(&t) {
+                renaming.insert(t, Term::Null(vocab.fresh_null()));
+            }
+        }
+        let renamed = self.map_terms(|t| *renaming.get(&t).unwrap_or(&t));
+        (renamed, renaming)
+    }
+
+    /// Disjoint union: renames `other` apart from `self`, then unions.
+    pub fn disjoint_union(&self, other: &Interpretation, vocab: &mut Vocab) -> Interpretation {
+        let (renamed, _) = other.rename_apart(self, vocab);
+        let mut out = self.clone();
+        out.extend_from(&renamed);
+        out
+    }
+
+    /// Plain union of the fact sets.
+    pub fn union(&self, other: &Interpretation) -> Interpretation {
+        let mut out = self.clone();
+        out.extend_from(other);
+        out
+    }
+
+    /// Renders the interpretation as a sorted, comma-separated fact list.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> InterpretationDisplay<'a> {
+        InterpretationDisplay { interp: self, vocab }
+    }
+}
+
+impl PartialEq for Interpretation {
+    fn eq(&self, other: &Self) -> bool {
+        self.fact_set == other.fact_set
+    }
+}
+
+impl Eq for Interpretation {}
+
+impl fmt::Debug for Interpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.sorted_facts()).finish()
+    }
+}
+
+/// Helper for rendering an [`Interpretation`] with human-readable names.
+pub struct InterpretationDisplay<'a> {
+    interp: &'a Interpretation,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for InterpretationDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.interp.sorted_facts().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", fact.display(self.vocab))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vocab, Interpretation) {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let mut i = Interpretation::new();
+        i.insert(Fact::consts(r, &[a, b]));
+        i.insert(Fact::consts(r, &[b, c]));
+        (v, i)
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let (mut v, mut i) = setup();
+        let r = v.rel("R", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        assert!(!i.insert(Fact::consts(r, &[a, b])));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn dom_and_sig() {
+        let (mut v, i) = setup();
+        assert_eq!(i.dom().len(), 3);
+        assert_eq!(i.sig().len(), 1);
+        assert!(i.is_instance());
+        let n = v.fresh_null();
+        let r = v.rel("R", 2);
+        let mut j = i.clone();
+        j.insert(Fact::new(r, vec![Term::Null(n), Term::Null(n)]));
+        assert!(!j.is_instance());
+    }
+
+    #[test]
+    fn induced_subinterpretation() {
+        let (mut v, i) = setup();
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let sub: BTreeSet<Term> = [Term::Const(a), Term::Const(b)].into_iter().collect();
+        let ind = i.induced(&sub);
+        assert_eq!(ind.len(), 1);
+    }
+
+    #[test]
+    fn models_instance_is_superset_test() {
+        let (_, i) = setup();
+        let mut bigger = i.clone();
+        assert!(bigger.models_instance(&i));
+        let mut v2 = Vocab::new();
+        let s = v2.rel("S", 1);
+        let d = v2.constant("d");
+        bigger.insert(Fact::consts(s, &[d]));
+        assert!(bigger.models_instance(&i));
+        assert!(!i.models_instance(&bigger));
+    }
+
+    #[test]
+    fn disjoint_union_renames_shared_terms() {
+        let (mut v, i) = setup();
+        let u = i.disjoint_union(&i.clone(), &mut v);
+        // All three terms of the copy get renamed to fresh nulls, so the
+        // union has twice the facts and twice the domain.
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.dom().len(), 6);
+    }
+
+    #[test]
+    fn facts_with_term_index() {
+        let (mut v, i) = setup();
+        let b = Term::Const(v.constant("b"));
+        assert_eq!(i.facts_with_term(b).count(), 2);
+        let a = Term::Const(v.constant("a"));
+        assert_eq!(i.facts_with_term(a).count(), 1);
+    }
+
+    #[test]
+    fn reduct_filters_signature() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 1);
+        let s = v.rel("S", 1);
+        let a = v.constant("a");
+        let mut i = Interpretation::new();
+        i.insert(Fact::consts(r, &[a]));
+        i.insert(Fact::consts(s, &[a]));
+        let sig: BTreeSet<RelId> = [r].into_iter().collect();
+        assert_eq!(i.reduct(&sig).len(), 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! Conjunctive queries, unions of conjunctive queries and rooted acyclic
+//! queries (rAQs).
+//!
+//! A CQ `q(x̄) ← φ` is evaluated over an interpretation by homomorphism
+//! search from its canonical database (§2). An rAQ is a non-Boolean CQ
+//! whose canonical database has a cg-tree decomposition whose root bag
+//! domain is exactly the set of answer variables (§2.2).
+
+use crate::fact::{Fact, Term};
+use crate::interpretation::Interpretation;
+use crate::symbols::{ConstId, NullId, RelId, Vocab};
+use crate::treedec::cg_tree_decomposition;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A query variable, identified by its index within the owning query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+/// An argument of a query atom: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum VarOrConst {
+    /// A query variable.
+    Var(Var),
+    /// A data constant.
+    Const(ConstId),
+}
+
+/// An atom `R(y₁,…,y_n)` in a CQ body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CqAtom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The arguments.
+    pub args: Vec<VarOrConst>,
+}
+
+/// A conjunctive query.
+///
+/// Invariant (checked by [`Cq::new`]): every answer variable occurs in some
+/// atom, and variable indices are dense `0..var_count`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cq {
+    /// The tuple of answer variables (possibly empty: a Boolean CQ).
+    pub answer_vars: Vec<Var>,
+    /// The body atoms.
+    pub atoms: Vec<CqAtom>,
+    /// Human-readable variable names, indexed by `Var`.
+    pub var_names: Vec<String>,
+}
+
+impl Cq {
+    /// Creates a CQ, validating that answer variables occur in the body and
+    /// that atom variables are in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input; queries are program-authored, so
+    /// malformedness is a bug.
+    pub fn new(answer_vars: Vec<Var>, atoms: Vec<CqAtom>, var_names: Vec<String>) -> Self {
+        let n = var_names.len() as u32;
+        for a in &atoms {
+            for arg in &a.args {
+                if let VarOrConst::Var(v) = arg {
+                    assert!(v.0 < n, "atom variable out of range");
+                }
+            }
+        }
+        for v in &answer_vars {
+            assert!(v.0 < n, "answer variable out of range");
+            assert!(
+                atoms.iter().any(|a| a.args.contains(&VarOrConst::Var(*v))),
+                "answer variable `{}` does not occur in the body",
+                var_names[v.0 as usize]
+            );
+        }
+        Cq {
+            answer_vars,
+            atoms,
+            var_names,
+        }
+    }
+
+    /// The arity of the query.
+    pub fn arity(&self) -> usize {
+        self.answer_vars.len()
+    }
+
+    /// Whether this is a Boolean query.
+    pub fn is_boolean(&self) -> bool {
+        self.answer_vars.is_empty()
+    }
+
+    /// Every variable occurring in the body.
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.args.iter())
+            .filter_map(|arg| match arg {
+                VarOrConst::Var(v) => Some(*v),
+                VarOrConst::Const(_) => None,
+            })
+            .collect()
+    }
+
+    /// The canonical database `D_q`: each variable `y` becomes the labelled
+    /// null `NullId(y)`, constants stay themselves. Returns the instance and
+    /// the term representing each variable.
+    pub fn canonical_db(&self) -> (Interpretation, Vec<Term>) {
+        let var_term = |v: Var| Term::Null(NullId(v.0));
+        let mut inst = Interpretation::new();
+        for a in &self.atoms {
+            inst.insert(Fact::new(
+                a.rel,
+                a.args
+                    .iter()
+                    .map(|arg| match arg {
+                        VarOrConst::Var(v) => var_term(*v),
+                        VarOrConst::Const(c) => Term::Const(*c),
+                    })
+                    .collect(),
+            ));
+        }
+        let terms = (0..self.var_names.len() as u32)
+            .map(|i| var_term(Var(i)))
+            .collect();
+        (inst, terms)
+    }
+
+    /// Evaluates the query over a finite interpretation, returning the set
+    /// of answer tuples `ā` with `A ⊨ q(ā)` (restricted to tuples over
+    /// `dom(A)` by construction).
+    pub fn answers(&self, a: &Interpretation) -> BTreeSet<Vec<Term>> {
+        let mut out = BTreeSet::new();
+        self.for_each_match(a, &mut |binding| {
+            out.insert(self.answer_vars.iter().map(|v| binding[v]).collect());
+            false
+        });
+        out
+    }
+
+    /// Whether `A ⊨ q(ā)` for the given answer tuple.
+    pub fn holds(&self, a: &Interpretation, tuple: &[Term]) -> bool {
+        assert_eq!(tuple.len(), self.arity(), "answer tuple arity mismatch");
+        let mut fixed: BTreeMap<Var, Term> = BTreeMap::new();
+        for (v, &t) in self.answer_vars.iter().zip(tuple) {
+            match fixed.get(v) {
+                Some(&prev) if prev != t => return false,
+                _ => {
+                    fixed.insert(*v, t);
+                }
+            }
+        }
+        let mut found = false;
+        self.match_with(a, &fixed, &mut |_| {
+            found = true;
+            true
+        });
+        found
+    }
+
+    /// Whether the Boolean projection of the query matches anywhere.
+    pub fn holds_boolean(&self, a: &Interpretation) -> bool {
+        let mut found = false;
+        self.for_each_match(a, &mut |_| {
+            found = true;
+            true
+        });
+        found
+    }
+
+    /// Enumerates all satisfying variable bindings; `cb` returns `true` to
+    /// stop early.
+    pub fn for_each_match(
+        &self,
+        a: &Interpretation,
+        cb: &mut dyn FnMut(&BTreeMap<Var, Term>) -> bool,
+    ) {
+        self.match_with(a, &BTreeMap::new(), cb);
+    }
+
+    fn match_with(
+        &self,
+        a: &Interpretation,
+        fixed: &BTreeMap<Var, Term>,
+        cb: &mut dyn FnMut(&BTreeMap<Var, Term>) -> bool,
+    ) {
+        let mut binding = fixed.clone();
+        let mut used = vec![false; self.atoms.len()];
+        self.backtrack(a, &mut used, &mut binding, cb);
+    }
+
+    fn backtrack(
+        &self,
+        a: &Interpretation,
+        used: &mut [bool],
+        binding: &mut BTreeMap<Var, Term>,
+        cb: &mut dyn FnMut(&BTreeMap<Var, Term>) -> bool,
+    ) -> bool {
+        // Most-constrained-atom-first.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let bound = atom
+                .args
+                .iter()
+                .filter(|arg| match arg {
+                    VarOrConst::Var(v) => binding.contains_key(v),
+                    VarOrConst::Const(_) => true,
+                })
+                .count();
+            match best {
+                Some((_, b)) if b >= bound => {}
+                _ => best = Some((i, bound)),
+            }
+            if bound == atom.args.len() {
+                break;
+            }
+        }
+        let Some((idx, _)) = best else {
+            return cb(binding);
+        };
+        used[idx] = true;
+        let atom = &self.atoms[idx];
+        let mut stop = false;
+        for cand in a.facts_of(atom.rel) {
+            if cand.args.len() != atom.args.len() {
+                continue;
+            }
+            let mut newly: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (arg, &t) in atom.args.iter().zip(cand.args.iter()) {
+                match arg {
+                    VarOrConst::Const(c) => {
+                        if Term::Const(*c) != t {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    VarOrConst::Var(v) => match binding.get(v) {
+                        Some(&prev) if prev != t => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(*v, t);
+                            newly.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok && self.backtrack(a, used, binding, cb) {
+                stop = true;
+            }
+            for v in newly {
+                binding.remove(&v);
+            }
+            if stop {
+                break;
+            }
+        }
+        used[idx] = false;
+        stop
+    }
+
+    /// Whether this CQ is a rooted acyclic query (rAQ): non-Boolean, with a
+    /// cg-tree decomposition of `D_q` rooted at exactly the answer-variable
+    /// set.
+    pub fn is_raq(&self) -> bool {
+        if self.is_boolean() {
+            return false;
+        }
+        let (db, var_terms) = self.canonical_db();
+        let root: BTreeSet<Term> = self
+            .answer_vars
+            .iter()
+            .map(|v| var_terms[v.0 as usize])
+            .collect();
+        cg_tree_decomposition(&db, Some(&root)).is_some()
+    }
+
+    /// Renders the query using the vocabulary.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> CqDisplay<'a> {
+        CqDisplay { cq: self, vocab }
+    }
+}
+
+/// Helper for rendering a [`Cq`].
+pub struct CqDisplay<'a> {
+    cq: &'a Cq,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for CqDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, v) in self.cq.answer_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", self.cq.var_names[v.0 as usize])?;
+        }
+        write!(f, ") <- ")?;
+        for (i, a) in self.cq.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{}(", self.vocab.rel_name(a.rel))?;
+            for (j, arg) in a.args.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                match arg {
+                    VarOrConst::Var(v) => write!(f, "{}", self.cq.var_names[v.0 as usize])?,
+                    VarOrConst::Const(c) => write!(f, "{}", self.vocab.const_name(*c))?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries with a common arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ucq {
+    /// The disjuncts.
+    pub disjuncts: Vec<Cq>,
+}
+
+impl Ucq {
+    /// Creates a UCQ, validating that all disjuncts share an arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disjunct list is empty or arities differ.
+    pub fn new(disjuncts: Vec<Cq>) -> Self {
+        assert!(!disjuncts.is_empty(), "a UCQ needs at least one disjunct");
+        let arity = disjuncts[0].arity();
+        assert!(
+            disjuncts.iter().all(|d| d.arity() == arity),
+            "all UCQ disjuncts must share the answer arity"
+        );
+        Ucq { disjuncts }
+    }
+
+    /// A single-disjunct UCQ.
+    pub fn from_cq(cq: Cq) -> Self {
+        Ucq::new(vec![cq])
+    }
+
+    /// The common arity.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// The union of disjunct answers over a finite interpretation.
+    pub fn answers(&self, a: &Interpretation) -> BTreeSet<Vec<Term>> {
+        let mut out = BTreeSet::new();
+        for d in &self.disjuncts {
+            out.extend(d.answers(a));
+        }
+        out
+    }
+
+    /// Whether `A ⊨ q(ā)`.
+    pub fn holds(&self, a: &Interpretation, tuple: &[Term]) -> bool {
+        self.disjuncts.iter().any(|d| d.holds(a, tuple))
+    }
+
+    /// Whether some disjunct matches as a Boolean query.
+    pub fn holds_boolean(&self, a: &Interpretation) -> bool {
+        self.disjuncts.iter().any(|d| d.holds_boolean(a))
+    }
+}
+
+/// Convenience builder for CQs with named variables.
+#[derive(Default)]
+pub struct CqBuilder {
+    names: Vec<String>,
+    atoms: Vec<CqAtom>,
+}
+
+impl CqBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable by name.
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Var(i as u32);
+        }
+        self.names.push(name.to_owned());
+        Var(self.names.len() as u32 - 1)
+    }
+
+    /// Adds an atom over variables only.
+    pub fn atom(&mut self, rel: RelId, vars: &[Var]) -> &mut Self {
+        self.atoms.push(CqAtom {
+            rel,
+            args: vars.iter().map(|&v| VarOrConst::Var(v)).collect(),
+        });
+        self
+    }
+
+    /// Adds an atom with mixed arguments.
+    pub fn atom_args(&mut self, rel: RelId, args: Vec<VarOrConst>) -> &mut Self {
+        self.atoms.push(CqAtom { rel, args });
+        self
+    }
+
+    /// Finishes the CQ with the given answer variables.
+    pub fn build(self, answer_vars: Vec<Var>) -> Cq {
+        Cq::new(answer_vars, self.atoms, self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_query() -> (Vocab, Cq) {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom(e, &[x, y]);
+        (v, b.build(vec![x]))
+    }
+
+    #[test]
+    fn answers_on_path() {
+        let (mut v, q) = edge_query();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let i = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[b, c]),
+        ]);
+        let ans = q.answers(&i);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![Term::Const(a)]));
+        assert!(ans.contains(&vec![Term::Const(b)]));
+        assert!(!ans.contains(&vec![Term::Const(c)]));
+        assert!(q.holds(&i, &[Term::Const(a)]));
+        assert!(!q.holds(&i, &[Term::Const(c)]));
+    }
+
+    #[test]
+    fn boolean_query() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom(e, &[x, x]);
+        let q = b.build(vec![]);
+        assert!(q.is_boolean());
+        let a = v.constant("a");
+        let bb = v.constant("b");
+        let no_loop = Interpretation::from_facts(vec![Fact::consts(e, &[a, bb])]);
+        assert!(!q.holds_boolean(&no_loop));
+        let with_loop = Interpretation::from_facts(vec![Fact::consts(e, &[a, a])]);
+        assert!(q.holds_boolean(&with_loop));
+    }
+
+    #[test]
+    fn triangle_query_is_not_raq_until_guarded() {
+        // Example 4 from the paper.
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let q3 = v.rel("Q", 3);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom(r, &[x, y]).atom(r, &[y, z]).atom(r, &[z, x]);
+        let atoms = b.atoms.clone();
+        let names = b.names.clone();
+        let tri = Cq::new(vec![x], atoms.clone(), names.clone());
+        assert!(!tri.is_raq());
+        let mut atoms2 = atoms;
+        atoms2.push(CqAtom {
+            rel: q3,
+            args: vec![
+                VarOrConst::Var(x),
+                VarOrConst::Var(y),
+                VarOrConst::Var(z),
+            ],
+        });
+        let guarded = Cq::new(vec![x], atoms2, names);
+        assert!(guarded.is_raq());
+    }
+
+    #[test]
+    fn path_query_is_raq() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom(e, &[x, y]).atom(e, &[y, z]);
+        let q = b.build(vec![x]);
+        assert!(q.is_raq());
+    }
+
+    #[test]
+    fn boolean_query_is_not_raq() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom(e, &[x, y]);
+        let q = b.build(vec![]);
+        assert!(!q.is_raq());
+    }
+
+    #[test]
+    fn constants_in_atoms_must_match() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let bb = v.constant("b");
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom_args(e, vec![VarOrConst::Const(a), VarOrConst::Var(x)]);
+        let q = b.build(vec![x]);
+        let i = Interpretation::from_facts(vec![Fact::consts(e, &[bb, a])]);
+        assert!(q.answers(&i).is_empty());
+        let j = Interpretation::from_facts(vec![Fact::consts(e, &[a, bb])]);
+        assert_eq!(q.answers(&j).len(), 1);
+    }
+
+    #[test]
+    fn ucq_unions_answers() {
+        let mut v = Vocab::new();
+        let p = v.rel("P", 1);
+        let r = v.rel("Rr", 1);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let mut b1 = CqBuilder::new();
+        let x1 = b1.var("x");
+        b1.atom(p, &[x1]);
+        let mut b2 = CqBuilder::new();
+        let x2 = b2.var("x");
+        b2.atom(r, &[x2]);
+        let ucq = Ucq::new(vec![b1.build(vec![x1]), b2.build(vec![x2])]);
+        let i = Interpretation::from_facts(vec![Fact::consts(p, &[a]), Fact::consts(r, &[b])]);
+        let ans = ucq.answers(&i);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn repeated_answer_variable_constrains_tuple() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let mut bld = CqBuilder::new();
+        let x = bld.var("x");
+        let y = bld.var("y");
+        bld.atom(e, &[x, y]);
+        let q = Cq::new(vec![x, x], bld.atoms.clone(), bld.names.clone());
+        let i = Interpretation::from_facts(vec![Fact::consts(e, &[a, b])]);
+        assert!(q.holds(&i, &[Term::Const(a), Term::Const(a)]));
+        assert!(!q.holds(&i, &[Term::Const(a), Term::Const(b)]));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let (v, q) = edge_query();
+        assert_eq!(format!("{}", q.display(&v)), "q(x) <- E(x,y)");
+    }
+}

@@ -1,0 +1,334 @@
+//! Guarded tree decompositions (§2.2).
+//!
+//! A guarded tree decomposition of `A` is an acyclic graph of *bags*, each
+//! bag an induced subinterpretation over a guarded set, covering all of `A`
+//! and satisfying the running-intersection (connectivity) property. A
+//! *connected* guarded tree decomposition (cg-tree decomposition)
+//! additionally requires the tree to be connected with overlapping adjacent
+//! bags. Acyclicity of the hypergraph of maximal guarded sets is decided
+//! with the GYO reduction; join trees are built greedily by maximum-overlap
+//! spanning trees and verified.
+
+use crate::fact::Term;
+use crate::guarded::{is_connected, maximal_guarded_sets};
+use crate::interpretation::Interpretation;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A connected guarded tree decomposition with a designated root.
+#[derive(Clone, Debug)]
+pub struct CgTreeDecomposition {
+    /// The bag domains, one per tree node.
+    pub bags: Vec<BTreeSet<Term>>,
+    /// Undirected tree edges over bag indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Index of the root bag.
+    pub root: usize,
+}
+
+impl CgTreeDecomposition {
+    /// The children of each node when the tree is rooted at `self.root`.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.bags.len()];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.bags.len()];
+        let mut visited = vec![false; self.bags.len()];
+        let mut stack = vec![self.root];
+        visited[self.root] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    children[u].push(v);
+                    stack.push(v);
+                }
+            }
+        }
+        children
+    }
+
+    /// Checks the three decomposition conditions against `a`.
+    pub fn is_valid_for(&self, a: &Interpretation) -> bool {
+        // 1. Bags cover all facts (equivalently, the union of induced bags is A
+        //    and every fact fits in some bag).
+        let covers = a.iter().all(|f| {
+            self.bags
+                .iter()
+                .any(|bag| f.args.iter().all(|t| bag.contains(t)))
+        });
+        if !covers {
+            return false;
+        }
+        // 2. Each bag domain is guarded in A.
+        let guarded = self
+            .bags
+            .iter()
+            .all(|bag| crate::guarded::is_guarded_tuple(a, &bag.iter().copied().collect::<Vec<_>>()));
+        if !guarded {
+            return false;
+        }
+        // 3. Running intersection: for every element, the bags containing it
+        //    form a connected subtree.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.bags.len()];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for t in a.dom() {
+            let holders: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].contains(&t))
+                .collect();
+            if holders.is_empty() {
+                return false;
+            }
+            // BFS within holder-induced subgraph.
+            let holder_set: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            let mut stack = vec![holders[0]];
+            seen.insert(holders[0]);
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u] {
+                    if holder_set.contains(&v) && seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return false;
+            }
+        }
+        // Connectivity of adjacent bags (the "cg" condition).
+        self.edges
+            .iter()
+            .all(|&(u, v)| !self.bags[u].is_disjoint(&self.bags[v]))
+    }
+}
+
+/// Decides whether the hypergraph of maximal guarded sets of `a` is
+/// α-acyclic via the GYO reduction; this characterises guarded tree
+/// decomposability.
+pub fn is_guarded_tree_decomposable(a: &Interpretation) -> bool {
+    let mut edges: Vec<BTreeSet<Term>> = maximal_guarded_sets(a);
+    loop {
+        let mut changed = false;
+        // Count in how many hyperedges each vertex occurs.
+        let mut occurs: BTreeMap<Term, usize> = BTreeMap::new();
+        for e in &edges {
+            for &t in e {
+                *occurs.entry(t).or_default() += 1;
+            }
+        }
+        // Remove "ear" vertices occurring in exactly one hyperedge.
+        for e in edges.iter_mut() {
+            let before = e.len();
+            e.retain(|t| occurs[t] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        // Remove hyperedges contained in another hyperedge (and empty ones).
+        let snapshot = edges.clone();
+        let before = edges.len();
+        edges = snapshot
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                !e.is_empty()
+                    && !snapshot
+                        .iter()
+                        .enumerate()
+                        .any(|(j, f)| *i != j && (e.is_subset(f) && (e.len() < f.len() || *i > j)))
+            })
+            .map(|(_, e)| e.clone())
+            .collect();
+        if edges.len() != before {
+            changed = true;
+        }
+        if edges.is_empty() {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// Attempts to build a cg-tree decomposition of `a`, optionally requiring
+/// the root bag domain to be exactly `root_set`.
+///
+/// Returns `None` when `a` is not connected, not guarded tree
+/// decomposable, or the requested root set is not guarded.
+pub fn cg_tree_decomposition(
+    a: &Interpretation,
+    root_set: Option<&BTreeSet<Term>>,
+) -> Option<CgTreeDecomposition> {
+    if a.is_empty() {
+        return None;
+    }
+    if !is_connected(a) || !is_guarded_tree_decomposable(a) {
+        return None;
+    }
+    let mut bags: Vec<BTreeSet<Term>> = maximal_guarded_sets(a);
+    let root = match root_set {
+        Some(rs) => {
+            let tuple: Vec<Term> = rs.iter().copied().collect();
+            if !crate::guarded::is_guarded_tuple(a, &tuple) {
+                return None;
+            }
+            // Use the requested set as an extra bag (it is guarded, so it is
+            // contained in some maximal guarded set and preserves acyclicity).
+            match bags.iter().position(|b| b == rs) {
+                Some(i) => i,
+                None => {
+                    bags.push(rs.clone());
+                    bags.len() - 1
+                }
+            }
+        }
+        None => 0,
+    };
+    // Maximum-overlap spanning tree (Prim), starting at the root bag.
+    let n = bags.len();
+    let mut in_tree = vec![false; n];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    in_tree[root] = true;
+    for _ in 1..n {
+        let mut best: Option<(usize, usize, usize)> = None; // (weight, from, to)
+        for u in 0..n {
+            if !in_tree[u] {
+                continue;
+            }
+            for v in 0..n {
+                if in_tree[v] {
+                    continue;
+                }
+                let w = bags[u].intersection(&bags[v]).count();
+                if best.is_none_or(|(bw, _, _)| w > bw) {
+                    best = Some((w, u, v));
+                }
+            }
+        }
+        let (w, u, v) = best?;
+        if w == 0 {
+            // Disconnected hypergraph despite connected Gaifman graph can't
+            // happen, but guard anyway.
+            return None;
+        }
+        in_tree[v] = true;
+        edges.push((u, v));
+    }
+    let dec = CgTreeDecomposition { bags, edges, root };
+    dec.is_valid_for(a).then_some(dec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+    use crate::symbols::Vocab;
+
+    #[test]
+    fn triangle_is_not_decomposable() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let x = v.constant("x");
+        let y = v.constant("y");
+        let z = v.constant("z");
+        let t = Interpretation::from_facts(vec![
+            Fact::consts(r, &[x, y]),
+            Fact::consts(r, &[y, z]),
+            Fact::consts(r, &[z, x]),
+        ]);
+        assert!(!is_guarded_tree_decomposable(&t));
+        assert!(cg_tree_decomposition(&t, None).is_none());
+    }
+
+    #[test]
+    fn guarded_triangle_is_decomposable() {
+        // Example 4: adding Q(x,y,z) makes the triangle an rAQ body.
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let q = v.rel("Q", 3);
+        let x = v.constant("x");
+        let y = v.constant("y");
+        let z = v.constant("z");
+        let t = Interpretation::from_facts(vec![
+            Fact::consts(r, &[x, y]),
+            Fact::consts(r, &[y, z]),
+            Fact::consts(r, &[z, x]),
+            Fact::consts(q, &[x, y, z]),
+        ]);
+        assert!(is_guarded_tree_decomposable(&t));
+        let dec = cg_tree_decomposition(&t, None).expect("decomposable");
+        assert!(dec.is_valid_for(&t));
+    }
+
+    #[test]
+    fn path_decomposes_with_requested_root() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let p = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[b, c]),
+        ]);
+        let root: BTreeSet<Term> = [Term::Const(a)].into_iter().collect();
+        let dec = cg_tree_decomposition(&p, Some(&root)).expect("decomposable");
+        assert_eq!(dec.bags[dec.root], root);
+        assert!(dec.is_valid_for(&p));
+    }
+
+    #[test]
+    fn unguarded_root_rejected() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let p = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[b, c]),
+        ]);
+        // {a, c} is not guarded.
+        let root: BTreeSet<Term> = [Term::Const(a), Term::Const(c)].into_iter().collect();
+        assert!(cg_tree_decomposition(&p, Some(&root)).is_none());
+    }
+
+    #[test]
+    fn disconnected_has_no_cg_decomposition() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let d = v.constant("d");
+        let p = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[c, d]),
+        ]);
+        // Guarded-tree-decomposable (forest) but not cg (not connected).
+        assert!(is_guarded_tree_decomposable(&p));
+        assert!(cg_tree_decomposition(&p, None).is_none());
+    }
+
+    #[test]
+    fn children_are_rooted_correctly() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let p = Interpretation::from_facts(vec![
+            Fact::consts(e, &[a, b]),
+            Fact::consts(e, &[b, c]),
+        ]);
+        let dec = cg_tree_decomposition(&p, None).expect("decomposable");
+        let children = dec.children();
+        let total: usize = children.iter().map(|c| c.len()).sum();
+        assert_eq!(total, dec.bags.len() - 1);
+    }
+}

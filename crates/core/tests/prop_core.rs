@@ -1,0 +1,132 @@
+//! Property tests for the relational substrate.
+
+use gomq_core::guarded::{guarded_sets, is_guarded_tuple, maximal_guarded_sets};
+use gomq_core::hom::{find_homomorphism, has_homomorphism, Homomorphism};
+use gomq_core::treedec::is_guarded_tree_decomposable;
+use gomq_core::{Fact, Instance, Term, Vocab};
+use proptest::prelude::*;
+
+/// A random instance over 2 unary and 2 binary relations and ≤ 6
+/// constants, described by edge/label index lists.
+fn instance_strategy() -> impl Strategy<Value = (Vocab, Instance)> {
+    (
+        prop::collection::vec((0usize..6, 0usize..6, 0usize..2), 1..12),
+        prop::collection::vec((0usize..6, 0usize..2), 0..6),
+    )
+        .prop_map(|(edges, labels)| {
+            let mut v = Vocab::new();
+            let rels = [v.rel("R0", 2), v.rel("R1", 2)];
+            let unary = [v.rel("U0", 1), v.rel("U1", 1)];
+            let consts: Vec<_> = (0..6).map(|i| v.constant(&format!("c{i}"))).collect();
+            let mut d = Instance::new();
+            for (a, b, r) in edges {
+                d.insert(Fact::consts(rels[r], &[consts[a], consts[b]]));
+            }
+            for (a, u) in labels {
+                d.insert(Fact::consts(unary[u], &[consts[a]]));
+            }
+            (v, d)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn identity_is_a_homomorphism((_v, d) in instance_strategy()) {
+        let id: Homomorphism = d.dom().into_iter().map(|t| (t, t)).collect();
+        let found = find_homomorphism(&d, &d, &id);
+        prop_assert!(found.is_some());
+    }
+
+    #[test]
+    fn homomorphisms_compose((_v, d) in instance_strategy()) {
+        // Any found homomorphism h : D → D composes with itself into
+        // another homomorphism.
+        if let Some(h) = find_homomorphism(&d, &d, &Homomorphism::new()) {
+            let composed: Homomorphism =
+                h.iter().map(|(&a, &b)| (a, *h.get(&b).unwrap_or(&b))).collect();
+            for f in d.iter() {
+                let img = f.map_terms(|t| composed[&t]);
+                prop_assert!(d.contains(&img));
+            }
+        }
+    }
+
+    #[test]
+    fn every_fact_is_inside_a_maximal_guarded_set((_v, d) in instance_strategy()) {
+        let max = maximal_guarded_sets(&d);
+        for f in d.iter() {
+            let args: std::collections::BTreeSet<Term> = f.args.iter().copied().collect();
+            prop_assert!(max.iter().any(|g| args.is_subset(g)));
+        }
+    }
+
+    #[test]
+    fn guarded_tuples_agree_with_guarded_sets((_v, d) in instance_strategy()) {
+        for g in guarded_sets(&d) {
+            let tuple: Vec<Term> = g.iter().copied().collect();
+            prop_assert!(is_guarded_tuple(&d, &tuple));
+        }
+    }
+
+    #[test]
+    fn subinstances_inherit_decomposability_of_forests((_v, d) in instance_strategy()) {
+        // If D is guarded-tree decomposable, so is every induced
+        // subinstance on a prefix of its domain (forests are closed under
+        // induced substructures for binary signatures).
+        if is_guarded_tree_decomposable(&d) {
+            let dom: Vec<Term> = d.dom().into_iter().collect();
+            if dom.len() > 1 {
+                let half: std::collections::BTreeSet<Term> =
+                    dom[..dom.len() / 2].iter().copied().collect();
+                let sub = d.induced(&half);
+                if !sub.is_empty() {
+                    prop_assert!(is_guarded_tree_decomposable(&sub));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_union_preserves_hom_from_components((mut v, d) in instance_strategy()) {
+        let u = d.disjoint_union(&d.clone(), &mut v);
+        // The original maps into the union (identity on the first copy).
+        prop_assert!(has_homomorphism(&d, &u, &Homomorphism::new()));
+        // And the union maps onto the original (collapse the copies).
+        prop_assert!(has_homomorphism(&u, &d, &Homomorphism::new()));
+    }
+
+    #[test]
+    fn hom_existence_is_transitive_through_subsets((_v, d) in instance_strategy()) {
+        // D maps into any superset of itself.
+        let mut bigger = d.clone();
+        let extra: Vec<&Fact> = d.iter().collect();
+        if let Some(f) = extra.first() {
+            let mut v2 = Vocab::new();
+            let s = v2.rel("Sx", f.args.len());
+            bigger.insert(Fact::new(s, f.args.clone()));
+        }
+        prop_assert!(has_homomorphism(&d, &bigger, &Homomorphism::new()));
+    }
+}
+
+#[test]
+fn query_answers_are_over_the_active_domain() {
+    use gomq_core::query::CqBuilder;
+    let mut v = Vocab::new();
+    let r = v.rel("R", 2);
+    let a = v.constant("a");
+    let b = v.constant("b");
+    let d = Instance::from_facts(vec![Fact::consts(r, &[a, b])]);
+    let mut bld = CqBuilder::new();
+    let x = bld.var("x");
+    let y = bld.var("y");
+    bld.atom(r, &[x, y]);
+    let q = bld.build(vec![x, y]);
+    for t in q.answers(&d) {
+        for term in t {
+            assert!(d.dom().contains(&term));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The synthetic corpus generator.
+//!
+//! Each generated ontology mimics the axiom mix of biomedical ontologies:
+//! mostly atomic subsumptions and definitions with existential
+//! restrictions (`Arm ⊑ ∃partOf.Body`), disjointness between siblings,
+//! occasional role hierarchies, inverse roles, functionality and number
+//! restrictions. The generator draws the *depth class* of each ontology
+//! from a distribution matching the paper's survey:
+//!
+//! * 385 of 411 ontologies have depth ≤ 1 within ALCHIQ,
+//! * a further 20 have depth 2 (within ALCHIF after stripping),
+//! * the remaining 6 have depth ≥ 3.
+
+use gomq_core::Vocab;
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::DlOntology;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusSpec {
+    /// Number of ontologies (the paper surveyed 411).
+    pub count: usize,
+    /// How many have depth ≤ 1 (the paper's 385).
+    pub depth1: usize,
+    /// How many have depth exactly 2 (the paper's 405 − 385 = 20).
+    pub depth2: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            count: 411,
+            depth1: 385,
+            depth2: 20,
+            seed: 2017, // PODS'17
+        }
+    }
+}
+
+/// A generated corpus entry.
+pub struct CorpusEntry {
+    /// A BioPortal-flavoured name.
+    pub name: String,
+    /// The ontology.
+    pub onto: DlOntology,
+}
+
+/// Generates the corpus. Each entry gets its own namespace of concept and
+/// role names inside the shared vocabulary.
+pub fn generate_corpus(spec: &CorpusSpec, vocab: &mut Vocab) -> Vec<CorpusEntry> {
+    assert!(spec.depth1 + spec.depth2 <= spec.count);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut out = Vec::with_capacity(spec.count);
+    for idx in 0..spec.count {
+        let depth_class = if idx < spec.depth1 {
+            1
+        } else if idx < spec.depth1 + spec.depth2 {
+            2
+        } else {
+            3
+        };
+        let name = format!("BIO{idx:03}");
+        let onto = generate_one(&name, depth_class, &mut rng, vocab);
+        out.push(CorpusEntry { name, onto });
+    }
+    // Shuffle so depth classes are not clustered (deterministic order).
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+fn generate_one(ns: &str, depth_class: usize, rng: &mut SmallRng, vocab: &mut Vocab) -> DlOntology {
+    let n_concepts = rng.gen_range(8..30);
+    let n_roles = rng.gen_range(2..6);
+    let concepts: Vec<_> = (0..n_concepts)
+        .map(|i| vocab.rel(&format!("{ns}_C{i}"), 1))
+        .collect();
+    let roles: Vec<_> = (0..n_roles)
+        .map(|i| Role::new(vocab.rel(&format!("{ns}_r{i}"), 2)))
+        .collect();
+    let mut o = DlOntology::new();
+    let n_axioms = rng.gen_range(10..60);
+    let pick_c = |rng: &mut SmallRng| concepts[rng.gen_range(0..concepts.len())];
+    let pick_r = |rng: &mut SmallRng| roles[rng.gen_range(0..roles.len())];
+    for _ in 0..n_axioms {
+        let kind = rng.gen_range(0..100);
+        match kind {
+            // Plain subsumption (the dominant axiom shape in BioPortal).
+            0..=49 => {
+                let (c, d) = (pick_c(rng), pick_c(rng));
+                o.sub(Concept::Name(c), Concept::Name(d));
+            }
+            // Existential definition: C ⊑ ∃r.D.
+            50..=69 => {
+                let (c, d, r) = (pick_c(rng), pick_c(rng), pick_r(rng));
+                o.sub(
+                    Concept::Name(c),
+                    Concept::Exists(r, Box::new(Concept::Name(d))),
+                );
+            }
+            // Value restriction: C ⊑ ∀r.D.
+            70..=79 => {
+                let (c, d, r) = (pick_c(rng), pick_c(rng), pick_r(rng));
+                o.sub(
+                    Concept::Name(c),
+                    Concept::Forall(r, Box::new(Concept::Name(d))),
+                );
+            }
+            // Disjoint siblings.
+            80..=87 => {
+                let (c, d) = (pick_c(rng), pick_c(rng));
+                if c != d {
+                    o.sub(
+                        Concept::And(vec![Concept::Name(c), Concept::Name(d)]),
+                        Concept::Bot,
+                    );
+                }
+            }
+            // Role hierarchy.
+            88..=91 => {
+                let (r, s) = (pick_r(rng), pick_r(rng));
+                if r != s {
+                    o.role_sub(r, s);
+                }
+            }
+            // Inverse-role existential: C ⊑ ∃r⁻.D.
+            92..=94 => {
+                let (c, d, r) = (pick_c(rng), pick_c(rng), pick_r(rng));
+                o.sub(
+                    Concept::Name(c),
+                    Concept::Exists(r.inverted(), Box::new(Concept::Name(d))),
+                );
+            }
+            // Functionality.
+            95..=96 => {
+                o.functional(pick_r(rng));
+            }
+            // Qualified number restriction (Q; stripped for ALCHIF).
+            _ => {
+                let (c, d, r) = (pick_c(rng), pick_c(rng), pick_r(rng));
+                let n = rng.gen_range(2..4);
+                o.sub(
+                    Concept::Name(c),
+                    Concept::AtLeast(n, r, Box::new(Concept::Name(d))),
+                );
+            }
+        }
+    }
+    // Ensure the requested depth class with a distinguished definition.
+    let anchor = pick_c(rng);
+    let mid = pick_c(rng);
+    let leaf = pick_c(rng);
+    let r = pick_r(rng);
+    match depth_class {
+        1 => { /* depth ≤ 1 by construction above */ }
+        2 => {
+            o.sub(
+                Concept::Name(anchor),
+                Concept::Exists(
+                    r,
+                    Box::new(Concept::Exists(r, Box::new(Concept::Name(leaf)))),
+                ),
+            );
+        }
+        _ => {
+            o.sub(
+                Concept::Name(anchor),
+                Concept::Exists(
+                    r,
+                    Box::new(Concept::Forall(
+                        r,
+                        Box::new(Concept::Exists(r, Box::new(Concept::Name(mid)))),
+                    )),
+                ),
+            );
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_dl::depth::ontology_depth;
+
+    #[test]
+    fn corpus_has_requested_size_and_is_deterministic() {
+        let spec = CorpusSpec {
+            count: 25,
+            depth1: 20,
+            depth2: 3,
+            seed: 7,
+        };
+        let mut v1 = Vocab::new();
+        let c1 = generate_corpus(&spec, &mut v1);
+        let mut v2 = Vocab::new();
+        let c2 = generate_corpus(&spec, &mut v2);
+        assert_eq!(c1.len(), 25);
+        for (a, b) in c1.iter().zip(c2.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.onto.axioms.len(), b.onto.axioms.len());
+        }
+    }
+
+    #[test]
+    fn depth_classes_are_respected() {
+        let spec = CorpusSpec {
+            count: 30,
+            depth1: 20,
+            depth2: 6,
+            seed: 11,
+        };
+        let mut v = Vocab::new();
+        let corpus = generate_corpus(&spec, &mut v);
+        let d1 = corpus
+            .iter()
+            .filter(|e| ontology_depth(&e.onto) <= 1)
+            .count();
+        let d2 = corpus
+            .iter()
+            .filter(|e| ontology_depth(&e.onto) == 2)
+            .count();
+        let d3 = corpus
+            .iter()
+            .filter(|e| ontology_depth(&e.onto) >= 3)
+            .count();
+        assert_eq!(d1, 20);
+        assert_eq!(d2, 6);
+        assert_eq!(d3, 4);
+    }
+
+    #[test]
+    fn ontologies_are_nonempty() {
+        let spec = CorpusSpec {
+            count: 5,
+            depth1: 5,
+            depth2: 0,
+            seed: 3,
+        };
+        let mut v = Vocab::new();
+        for e in generate_corpus(&spec, &mut v) {
+            assert!(e.onto.axioms.len() >= 10);
+        }
+    }
+}

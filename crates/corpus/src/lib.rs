@@ -1,0 +1,21 @@
+//! # gomq-corpus
+//!
+//! A stand-in for the paper's BioPortal survey (§1): 411 ontologies were
+//! analyzed; after removing constructors outside ALCHIF, 405 had depth ≤ 2
+//! (landing in the ALCHIF-depth-2 dichotomy fragment), and 385 were
+//! ALCHIQ ontologies of depth 1 (sometimes after an easy
+//! complexity-preserving rewriting).
+//!
+//! The real repository is not available offline, so [`generate_corpus`]
+//! produces a deterministic synthetic corpus whose *measured surface* —
+//! constructor usage and depth distribution — is calibrated to the
+//! paper's reported statistics, and [`survey`] runs the same analysis one
+//! would run on the real corpus: strip → classify → depth statistics.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod generate;
+
+pub use analyze::{survey, SurveyRow, SurveyTable};
+pub use generate::{generate_corpus, CorpusEntry, CorpusSpec};

@@ -1,0 +1,322 @@
+//! The Theorem-8 encodings: templates as guarded ontologies.
+//!
+//! For a template `A` that admits precoloring, the ontology `O_A` makes
+//! every element of an input instance choose exactly one color `a` via the
+//! formula `ϕ≠_a(x) = ∃y(R_a(x,y) ∧ ¬(x = y))`, forbids colors that
+//! violate the template's unary/binary constraints, and asserts
+//! `ϕ=_a(x) = ∃y(R_a(x,y) ∧ x = y)` everywhere so that the color choice is
+//! invisible to (equality-free) conjunctive queries. Evaluating OMQs
+//! w.r.t. `O_A` is then polynomially interreducible with coCSP(A).
+//!
+//! The `ALCF\`` variant of depth 2 replaces `ϕ≠_a` by `(≥ 2 R_a)` and
+//! `ϕ=_a` by `∃R_a.⊤`.
+
+use crate::template::Template;
+use gomq_core::query::CqBuilder;
+use gomq_core::{ConstId, RelId, Ucq, Vocab};
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::DlOntology;
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+use std::collections::BTreeMap;
+
+/// The result of encoding a template.
+pub struct CspOntology {
+    /// The guarded ontology `O_A`.
+    pub onto: GfOntology,
+    /// The color-witness relation `R_a` of each template element.
+    pub witness_rels: BTreeMap<ConstId, RelId>,
+    /// The fresh query relation `N`.
+    pub query_rel: RelId,
+    /// The Boolean query `∃x N(x)` whose OMQ evaluation is coCSP(A).
+    pub query: Ucq,
+}
+
+const X: LVar = LVar(0);
+const Y: LVar = LVar(1);
+
+fn phi_neq(ra: RelId) -> Formula {
+    Formula::Exists {
+        qvars: vec![Y],
+        guard: Guard::Atom {
+            rel: ra,
+            args: vec![X, Y],
+        },
+        body: Box::new(Formula::Not(Box::new(Formula::Eq(X, Y)))),
+    }
+}
+
+fn phi_eq(ra: RelId) -> Formula {
+    Formula::Exists {
+        qvars: vec![Y],
+        guard: Guard::Atom {
+            rel: ra,
+            args: vec![X, Y],
+        },
+        body: Box::new(Formula::Eq(X, Y)),
+    }
+}
+
+/// Encodes a (precolored) template as a uGF₂(1,=) ontology (Theorem 8).
+pub fn encode_gf(template: &Template, vocab: &mut Vocab) -> CspOntology {
+    let elems = template.elements();
+    let names = vec!["x".to_owned(), "y".to_owned()];
+    let mut witness_rels: BTreeMap<ConstId, RelId> = BTreeMap::new();
+    for &a in &elems {
+        let ra = vocab.rel(
+            &format!("W_{}_{}", template.name, vocab.const_name(a).to_owned()),
+            2,
+        );
+        witness_rels.insert(a, ra);
+    }
+    let mut onto = GfOntology::new();
+    // Sentence 1: exactly one color.
+    let mut conj: Vec<Formula> = Vec::new();
+    for (i, &a) in elems.iter().enumerate() {
+        for &a2 in &elems[i + 1..] {
+            conj.push(Formula::Not(Box::new(Formula::And(vec![
+                phi_neq(witness_rels[&a]),
+                phi_neq(witness_rels[&a2]),
+            ]))));
+        }
+    }
+    conj.push(Formula::Or(
+        elems.iter().map(|a| phi_neq(witness_rels[a])).collect(),
+    ));
+    onto.push(UgfSentence::forall_one(
+        X,
+        Formula::And(conj),
+        names.clone(),
+    ));
+    // Sentence family 2: unary constraints — A(x) forbids color a when
+    // A(a) ∉ 𝔄.
+    let unary_rels: Vec<RelId> = template
+        .interp
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 1)
+        .collect();
+    for &u in &unary_rels {
+        for &a in &elems {
+            let holds = template
+                .interp
+                .contains(&gomq_core::Fact::consts(u, &[a]));
+            if !holds {
+                onto.push(UgfSentence::forall_one(
+                    X,
+                    Formula::implies(
+                        Formula::unary(u, X),
+                        Formula::Not(Box::new(phi_neq(witness_rels[&a]))),
+                    ),
+                    names.clone(),
+                ));
+            }
+        }
+    }
+    // Sentence family 3: binary constraints — R(x,y) forbids color pairs
+    // outside R^𝔄.
+    let binary_rels: Vec<RelId> = template
+        .interp
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 2)
+        .collect();
+    for &r in &binary_rels {
+        for &a in &elems {
+            for &a2 in &elems {
+                let holds = template
+                    .interp
+                    .contains(&gomq_core::Fact::consts(r, &[a, a2]));
+                if !holds {
+                    // ∀xy(R(x,y) → ¬(ϕ≠_a(x) ∧ ϕ≠_{a'}(y))).
+                    let phi_at_y = swap_vars(&phi_neq(witness_rels[&a2]));
+                    onto.push(UgfSentence::new(
+                        vec![X, Y],
+                        Guard::Atom {
+                            rel: r,
+                            args: vec![X, Y],
+                        },
+                        Formula::Not(Box::new(Formula::And(vec![
+                            phi_neq(witness_rels[&a]),
+                            phi_at_y,
+                        ]))),
+                        names.clone(),
+                    ));
+                }
+            }
+        }
+    }
+    // Sentence family 4: ∀x ϕ=_a(x) — the query-invisibility trick.
+    for &a in &elems {
+        onto.push(UgfSentence::forall_one(
+            X,
+            phi_eq(witness_rels[&a]),
+            names.clone(),
+        ));
+    }
+    // The query.
+    let query_rel = vocab.rel(&format!("N_{}", template.name), 1);
+    let mut b = CqBuilder::new();
+    let qx = b.var("x");
+    b.atom(query_rel, &[qx]);
+    let query = Ucq::from_cq(b.build(vec![]));
+    CspOntology {
+        onto,
+        witness_rels,
+        query_rel,
+        query,
+    }
+}
+
+/// Swaps the two fixed variables of a two-variable formula (x ↔ y).
+fn swap_vars(f: &Formula) -> Formula {
+    let sw = |v: LVar| if v == X { Y } else { X };
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom { rel, args } => Formula::Atom {
+            rel: *rel,
+            args: args.iter().map(|&v| sw(v)).collect(),
+        },
+        Formula::Eq(a, b) => Formula::Eq(sw(*a), sw(*b)),
+        Formula::Not(g) => Formula::Not(Box::new(swap_vars(g))),
+        Formula::And(fs) => Formula::And(fs.iter().map(swap_vars).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(swap_vars).collect()),
+        Formula::Forall { qvars, guard, body } => Formula::Forall {
+            qvars: qvars.iter().map(|&v| sw(v)).collect(),
+            guard: swap_guard(guard),
+            body: Box::new(swap_vars(body)),
+        },
+        Formula::Exists { qvars, guard, body } => Formula::Exists {
+            qvars: qvars.iter().map(|&v| sw(v)).collect(),
+            guard: swap_guard(guard),
+            body: Box::new(swap_vars(body)),
+        },
+        Formula::CountExists {
+            n,
+            qvar,
+            guard,
+            body,
+        } => Formula::CountExists {
+            n: *n,
+            qvar: sw(*qvar),
+            guard: swap_guard(guard),
+            body: Box::new(swap_vars(body)),
+        },
+    }
+}
+
+fn swap_guard(g: &Guard) -> Guard {
+    let sw = |v: LVar| if v == X { Y } else { X };
+    match g {
+        Guard::Atom { rel, args } => Guard::Atom {
+            rel: *rel,
+            args: args.iter().map(|&v| sw(v)).collect(),
+        },
+        Guard::Eq(a, b) => Guard::Eq(sw(*a), sw(*b)),
+    }
+}
+
+/// Encodes a template as an `ALCF\`` ontology of depth 2 (the variant in
+/// the proof of Theorem 8): `ϕ≠_a` becomes `(≥ 2 R_a)`, `ϕ=_a` becomes
+/// `∃R_a.⊤`, and the binary constraint moves under a `∀R` restriction.
+pub fn encode_alcfl(template: &Template, vocab: &mut Vocab) -> (DlOntology, BTreeMap<ConstId, RelId>) {
+    let elems = template.elements();
+    let mut witness_rels: BTreeMap<ConstId, RelId> = BTreeMap::new();
+    for &a in &elems {
+        let ra = vocab.rel(
+            &format!("V_{}_{}", template.name, vocab.const_name(a).to_owned()),
+            2,
+        );
+        witness_rels.insert(a, ra);
+    }
+    let marker = |a: ConstId| Concept::at_least_two(Role::new(witness_rels[&a]));
+    let mut dl = DlOntology::new();
+    // Exactly one color.
+    dl.sub(
+        Concept::Top,
+        Concept::Or(elems.iter().map(|&a| marker(a)).collect()),
+    );
+    for (i, &a) in elems.iter().enumerate() {
+        for &a2 in &elems[i + 1..] {
+            dl.sub(Concept::And(vec![marker(a), marker(a2)]), Concept::Bot);
+        }
+    }
+    // Unary constraints.
+    for u in template
+        .interp
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 1)
+    {
+        for &a in &elems {
+            if !template.interp.contains(&gomq_core::Fact::consts(u, &[a])) {
+                dl.sub(Concept::Name(u), marker(a).neg());
+            }
+        }
+    }
+    // Binary constraints: marker(a) ⊑ ∀R.¬marker(a') when (a,a') ∉ R^𝔄.
+    for r in template
+        .interp
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 2)
+    {
+        for &a in &elems {
+            for &a2 in &elems {
+                if !template
+                    .interp
+                    .contains(&gomq_core::Fact::consts(r, &[a, a2]))
+                {
+                    dl.sub(
+                        marker(a),
+                        Concept::Forall(Role::new(r), Box::new(marker(a2).neg())),
+                    );
+                }
+            }
+        }
+    }
+    // Invisibility: ⊤ ⊑ ∃R_a.⊤ for all a.
+    for &a in &elems {
+        dl.sub(Concept::Top, Concept::some(Role::new(witness_rels[&a])));
+    }
+    (dl, witness_rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_dl::depth::ontology_depth as dl_depth;
+    use gomq_dl::lang::DlFeatures;
+    use gomq_logic::fragment::{classify, Fragment};
+
+    #[test]
+    fn gf_encoding_lands_in_ugf2_1_eq() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        let enc = encode_gf(&t, &mut v);
+        let frags = classify(&enc.onto, &v);
+        assert_eq!(frags[0], Fragment::Ugf2_1Eq, "fragments: {frags:?}");
+    }
+
+    #[test]
+    fn alcfl_encoding_has_depth_two_and_local_functionality_shape() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        let (dl, _) = encode_alcfl(&t, &mut v);
+        assert_eq!(dl_depth(&dl), 2);
+        let f = DlFeatures::of(&dl);
+        // (≥2 R) and (≤1 R) only: detected as number restrictions without
+        // inverse or hierarchy.
+        assert!(!f.inverse && !f.hierarchy && !f.functionality);
+    }
+
+    #[test]
+    fn witness_relations_are_per_element() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(3, &mut v).with_precoloring(&mut v);
+        let enc = encode_gf(&t, &mut v);
+        assert_eq!(enc.witness_rels.len(), 3);
+        // Sentence count: 1 (exactly-one) + unary + binary + 3 (ϕ=).
+        assert!(enc.onto.ugf_sentences.len() > 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! # gomq-csp
+//!
+//! The constraint-satisfaction substrate of §6 of the paper.
+//!
+//! * [`template`] — CSP templates (interpretations with unary and binary
+//!   relations), the precoloring closure, and stock templates
+//!   (k-coloring, cliques, implication/reachability),
+//! * [`solve`] — deciding `D → A` (homomorphism existence) by AC-3
+//!   propagation plus backtracking,
+//! * [`encode`] — Theorem 8: a template `A` becomes a uGF₂(1,=) ontology
+//!   `O_A` (with the `ϕ≠/ϕ=` equality trick) or an `ALCF\`` ontology of
+//!   depth 2 (with the `(≥2 R)/∃R` trick), such that evaluating OMQs
+//!   w.r.t. `O_A` is polynomially interreducible with coCSP(A),
+//! * [`reduce`] — the two reductions of Definition 4, executable on
+//!   concrete instances.
+
+#![warn(missing_docs)]
+
+pub mod datalog;
+pub mod encode;
+pub mod reduce;
+pub mod solve;
+pub mod template;
+
+pub use solve::solve_csp;
+pub use template::Template;

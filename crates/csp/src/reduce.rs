@@ -1,0 +1,177 @@
+//! The two reductions of Definition 4, executable on concrete instances.
+//!
+//! * coCSP(A) → OMQ: an instance `D` (over `sig(A)`, possibly with
+//!   precoloring facts) becomes `D′ = D ∪ {R_a(d, d′) | P_a(d) ∈ D}` with
+//!   fresh nulls `d′`; then `D → A` iff `O_A, D′ ⊭ ∃x N(x)`.
+//! * OMQ → coCSP: an instance `D` over `sig(O_A)` becomes its
+//!   `sig(A)`-reduct `D•` extended with `P_a(d)` whenever
+//!   `R_a(d,d′) ∈ D` for some `d′ ≠ d`; then `D` is consistent w.r.t.
+//!   `O_A` iff `D• → A`, and since `N` is fresh the certain answer to
+//!   `∃x N(x)` is exactly inconsistency.
+
+use crate::encode::CspOntology;
+use crate::solve::solve_csp;
+use crate::template::Template;
+use gomq_core::{Fact, Instance, Term, Vocab};
+use std::collections::BTreeSet;
+
+/// The coCSP(A) → OMQ instance translation `D ↦ D′`.
+pub fn csp_instance_to_omq(
+    d: &Instance,
+    template: &Template,
+    enc: &CspOntology,
+    vocab: &mut Vocab,
+) -> Instance {
+    let mut out = d.clone();
+    for (&a, &pa) in &template.precolor {
+        let ra = enc.witness_rels[&a];
+        let holders: Vec<Term> = d
+            .facts_of(pa)
+            .filter(|f| f.args.len() == 1)
+            .map(|f| f.args[0])
+            .collect();
+        for h in holders {
+            let fresh = Term::Null(vocab.fresh_null());
+            out.insert(Fact::new(ra, vec![h, fresh]));
+        }
+    }
+    out
+}
+
+/// The OMQ → coCSP instance translation `D ↦ D•`.
+pub fn omq_instance_to_csp(d: &Instance, template: &Template, enc: &CspOntology) -> Instance {
+    let template_sig: BTreeSet<_> = template.interp.sig();
+    let mut out = Instance::new();
+    for f in d.iter() {
+        if template_sig.contains(&f.rel) {
+            out.insert(f.clone());
+        }
+    }
+    // Witness edges with a distinct endpoint precolor their source.
+    for (&a, &ra) in &enc.witness_rels {
+        if let Some(&pa) = template.precolor.get(&a) {
+            for f in d.facts_of(ra) {
+                if f.args.len() == 2 && f.args[0] != f.args[1] {
+                    out.insert(Fact::new(pa, vec![f.args[0]]));
+                }
+            }
+        }
+    }
+    // The paper requires instances to be non-empty; keep at least the
+    // original domain visible through a no-op when the reduct is empty.
+    out
+}
+
+/// Evaluates the OMQ `(O_A, ∃x N(x))` on an instance over `sig(O_A)` via
+/// the coCSP reduction: the certain answer is `true` iff `D• ↛ A`.
+pub fn omq_certain_via_csp(d: &Instance, template: &Template, enc: &CspOntology) -> bool {
+    let reduced = omq_instance_to_csp(d, template, enc);
+    if reduced.is_empty() {
+        // An empty reduct maps into any non-empty template.
+        return false;
+    }
+    solve_csp(&reduced, template).is_none()
+}
+
+/// Decides `D → A` via the OMQ reduction executed with a certain-answer
+/// engine (used in tests and experiments to validate Theorem 8 on concrete
+/// instances); the engine route needs enough fresh elements to build
+/// color witnesses.
+pub fn csp_via_omq(
+    d: &Instance,
+    template: &Template,
+    enc: &CspOntology,
+    engine: &gomq_reasoning::CertainEngine,
+    vocab: &mut Vocab,
+) -> bool {
+    let d_prime = csp_instance_to_omq(d, template, enc, vocab);
+    let outcome = engine.certain(&enc.onto, &d_prime, &enc.query, &[], vocab);
+    // D → A iff the query is NOT certain.
+    !outcome.is_certain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_gf;
+    use gomq_reasoning::CertainEngine;
+
+    fn cycle(v: &mut Vocab, n: usize) -> Instance {
+        let edge = v.rel("edge", 2);
+        let mut d = Instance::new();
+        for i in 0..n {
+            let a = v.constant(&format!("u{i}"));
+            let b = v.constant(&format!("u{}", (i + 1) % n));
+            d.insert(Fact::consts(edge, &[a, b]));
+        }
+        d
+    }
+
+    #[test]
+    fn theorem8_both_directions_on_2coloring() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        let enc = encode_gf(&t, &mut v);
+        let engine = CertainEngine::new(2);
+        // Even cycle: 2-colorable, so the OMQ must not be certain.
+        let even = cycle(&mut v, 4);
+        assert!(solve_csp(&even, &t).is_some());
+        assert!(
+            csp_via_omq(&even, &t, &enc, &engine, &mut v),
+            "engine route agrees: even cycle maps into K2"
+        );
+        // Odd cycle: not 2-colorable, so the OMQ is certain.
+        let odd = cycle(&mut v, 3);
+        assert!(solve_csp(&odd, &t).is_none());
+        assert!(
+            !csp_via_omq(&odd, &t, &enc, &engine, &mut v),
+            "engine route agrees: triangle does not map into K2"
+        );
+    }
+
+    #[test]
+    fn omq_to_csp_reduction_roundtrip() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        let enc = encode_gf(&t, &mut v);
+        // Build an OMQ-side instance: an edge plus a witness edge that
+        // precolors u0 with col0.
+        let edge = v.rel("edge", 2);
+        let u0 = v.constant("u0");
+        let u1 = v.constant("u1");
+        let col0 = v.constant("col0");
+        let ra = enc.witness_rels[&col0];
+        let mut d = Instance::new();
+        d.insert(Fact::consts(edge, &[u0, u1]));
+        d.insert(Fact::consts(ra, &[u0, u1])); // distinct endpoint → precolor
+        let reduced = omq_instance_to_csp(&d, &t, &enc);
+        let pa = t.precolor[&col0];
+        assert!(reduced.contains(&Fact::consts(pa, &[u0])));
+        // Still 2-colorable: OMQ not certain.
+        assert!(!omq_certain_via_csp(&d, &t, &enc));
+        // Self-loop on the edge relation is not 2-colorable.
+        let mut d2 = Instance::new();
+        d2.insert(Fact::consts(edge, &[u0, u0]));
+        assert!(omq_certain_via_csp(&d2, &t, &enc));
+    }
+
+    #[test]
+    fn precolored_instances_flow_through_reduction() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        let enc = encode_gf(&t, &mut v);
+        let engine = CertainEngine::new(2);
+        // A single edge with both ends precolored the same color: D ↛ A.
+        let edge = v.rel("edge", 2);
+        let col0 = v.constant("col0");
+        let p0 = t.precolor[&col0];
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(edge, &[a, b]));
+        d.insert(Fact::consts(p0, &[a]));
+        d.insert(Fact::consts(p0, &[b]));
+        assert!(solve_csp(&d, &t).is_none());
+        assert!(!csp_via_omq(&d, &t, &enc, &engine, &mut v));
+    }
+}

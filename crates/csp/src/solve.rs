@@ -1,0 +1,278 @@
+//! Deciding `D → A` with AC-3 propagation and backtracking.
+//!
+//! Variables are the elements of the input instance, domains are template
+//! elements; unary facts restrict domains directly, binary facts induce
+//! the support constraints that AC-3 propagates. Backtracking uses a
+//! minimum-remaining-values heuristic.
+
+use crate::template::Template;
+use gomq_core::{ConstId, Instance, Term};
+use std::collections::BTreeMap;
+
+/// Statistics of a solver run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Backtracking nodes explored.
+    pub nodes: usize,
+    /// AC-3 revisions performed.
+    pub revisions: usize,
+}
+
+/// Decides `D → A`, returning a homomorphism if one exists.
+pub fn solve_csp(d: &Instance, template: &Template) -> Option<BTreeMap<Term, ConstId>> {
+    solve_csp_with_stats(d, template).0
+}
+
+/// Decides `D → A` with statistics.
+pub fn solve_csp_with_stats(
+    d: &Instance,
+    template: &Template,
+) -> (Option<BTreeMap<Term, ConstId>>, SolveStats) {
+    let mut stats = SolveStats::default();
+    let vars: Vec<Term> = d.dom().into_iter().collect();
+    let var_index: BTreeMap<Term, usize> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i))
+        .collect();
+    let template_elems: Vec<ConstId> = template.elements();
+    // Initial domains from unary facts.
+    let mut domains: Vec<Vec<ConstId>> = vec![template_elems.clone(); vars.len()];
+    for fact in d.iter() {
+        if fact.args.len() == 1 {
+            let vi = var_index[&fact.args[0]];
+            domains[vi].retain(|&a| {
+                template
+                    .interp
+                    .contains(&gomq_core::Fact::consts(fact.rel, &[a]))
+            });
+        }
+    }
+    // Binary constraints: (var1, var2, rel).
+    let mut constraints: Vec<(usize, usize, gomq_core::RelId)> = Vec::new();
+    for fact in d.iter() {
+        if fact.args.len() == 2 {
+            constraints.push((
+                var_index[&fact.args[0]],
+                var_index[&fact.args[1]],
+                fact.rel,
+            ));
+        }
+    }
+    let allowed = |rel, a: ConstId, b: ConstId| {
+        template
+            .interp
+            .contains(&gomq_core::Fact::consts(rel, &[a, b]))
+    };
+    // AC-3.
+    if !ac3(&mut domains, &constraints, &allowed, &mut stats) {
+        return (None, stats);
+    }
+    // Backtracking with MRV.
+    let mut assignment: Vec<Option<ConstId>> = vec![None; vars.len()];
+    let found = backtrack(
+        &mut domains,
+        &constraints,
+        &allowed,
+        &mut assignment,
+        &mut stats,
+    );
+    if !found {
+        return (None, stats);
+    }
+    let h = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, assignment[i].expect("complete assignment")))
+        .collect();
+    (Some(h), stats)
+}
+
+fn ac3(
+    domains: &mut [Vec<ConstId>],
+    constraints: &[(usize, usize, gomq_core::RelId)],
+    allowed: &impl Fn(gomq_core::RelId, ConstId, ConstId) -> bool,
+    stats: &mut SolveStats,
+) -> bool {
+    loop {
+        let mut changed = false;
+        for &(x, y, rel) in constraints {
+            // Revise x against y: keep a ∈ dom(x) with a supported b.
+            stats.revisions += 1;
+            let dy = domains[y].clone();
+            let before = domains[x].len();
+            domains[x].retain(|&a| dy.iter().any(|&b| allowed(rel, a, b)));
+            changed |= domains[x].len() != before;
+            // Revise y against x.
+            stats.revisions += 1;
+            let dx = domains[x].clone();
+            let before = domains[y].len();
+            domains[y].retain(|&b| dx.iter().any(|&a| allowed(rel, a, b)));
+            changed |= domains[y].len() != before;
+        }
+        if domains.iter().any(|d| d.is_empty()) {
+            return false;
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn backtrack(
+    domains: &mut Vec<Vec<ConstId>>,
+    constraints: &[(usize, usize, gomq_core::RelId)],
+    allowed: &impl Fn(gomq_core::RelId, ConstId, ConstId) -> bool,
+    assignment: &mut Vec<Option<ConstId>>,
+    stats: &mut SolveStats,
+) -> bool {
+    stats.nodes += 1;
+    // MRV: pick the unassigned variable with the smallest domain.
+    let next = (0..domains.len())
+        .filter(|&i| assignment[i].is_none())
+        .min_by_key(|&i| domains[i].len());
+    let Some(vi) = next else {
+        return true;
+    };
+    let candidates = domains[vi].clone();
+    for a in candidates {
+        // Check consistency with already-assigned neighbours.
+        let consistent = constraints.iter().all(|&(x, y, rel)| {
+            let vx = if x == vi { Some(a) } else { assignment[x] };
+            let vy = if y == vi { Some(a) } else { assignment[y] };
+            match (vx, vy) {
+                (Some(b), Some(c)) => allowed(rel, b, c),
+                _ => true,
+            }
+        });
+        if !consistent {
+            continue;
+        }
+        assignment[vi] = Some(a);
+        // Forward-check: narrow domains of unassigned constrained vars.
+        let saved = domains.clone();
+        domains[vi] = vec![a];
+        let ok = ac3(domains, constraints, allowed, stats)
+            && backtrack(domains, constraints, allowed, assignment, stats);
+        if ok {
+            return true;
+        }
+        *domains = saved;
+        assignment[vi] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+    use gomq_core::{Fact, Vocab};
+    use gomq_core::hom::{has_homomorphism, Homomorphism};
+
+    fn cycle(v: &mut Vocab, n: usize) -> Instance {
+        let edge = v.rel("edge", 2);
+        let mut d = Instance::new();
+        for i in 0..n {
+            let a = v.constant(&format!("v{i}"));
+            let b = v.constant(&format!("v{}", (i + 1) % n));
+            d.insert(Fact::consts(edge, &[a, b]));
+        }
+        d
+    }
+
+    #[test]
+    fn even_cycle_is_2_colorable_odd_is_not() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v);
+        let even = cycle(&mut v, 6);
+        assert!(solve_csp(&even, &t).is_some());
+        let mut v2 = Vocab::new();
+        let t2 = Template::k_coloring(2, &mut v2);
+        let odd = cycle(&mut v2, 5);
+        assert!(solve_csp(&odd, &t2).is_none());
+    }
+
+    #[test]
+    fn odd_cycle_is_3_colorable() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(3, &mut v);
+        let odd = cycle(&mut v, 5);
+        let h = solve_csp(&odd, &t).expect("3-colorable");
+        // Verify: adjacent vertices get distinct colors.
+        let edge = v.rel("edge", 2);
+        for f in odd.facts_of(edge) {
+            assert_ne!(h[&f.args[0]], h[&f.args[1]]);
+        }
+    }
+
+    #[test]
+    fn precoloring_constrains_solutions() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        // Path a-b with both endpoints precolored to the same color: UNSAT.
+        let edge = v.rel("edge", 2);
+        let col0 = v.constant("col0");
+        let p0 = t.precolor[&col0];
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(edge, &[a, b]));
+        d.insert(Fact::consts(p0, &[a]));
+        d.insert(Fact::consts(p0, &[b]));
+        assert!(solve_csp(&d, &t).is_none());
+        // Different colors: SAT.
+        let col1 = v.constant("col1");
+        let p1 = t.precolor[&col1];
+        let mut d2 = Instance::new();
+        d2.insert(Fact::consts(edge, &[a, b]));
+        d2.insert(Fact::consts(p0, &[a]));
+        d2.insert(Fact::consts(p1, &[b]));
+        assert!(solve_csp(&d2, &t).is_some());
+    }
+
+    #[test]
+    fn agrees_with_generic_homomorphism_search() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(3, &mut v);
+        for n in 3..8 {
+            let d = cycle(&mut v, n);
+            let csp = solve_csp(&d, &t).is_some();
+            let hom = has_homomorphism(&d, &t.interp, &Homomorphism::new());
+            assert_eq!(csp, hom, "cycle of length {n}");
+        }
+    }
+
+    #[test]
+    fn implication_template_reachability() {
+        let mut v = Vocab::new();
+        let t = Template::implication(&mut v);
+        let edge = v.rel("edge", 2);
+        let one_rel = v.rel("One", 1);
+        let zero_rel = v.rel("Zero", 1);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        // One(a), a→b→c, Zero(c): forces 1 ≤ … ≤ 0, impossible.
+        let mut d = Instance::new();
+        d.insert(Fact::consts(one_rel, &[a]));
+        d.insert(Fact::consts(edge, &[a, b]));
+        d.insert(Fact::consts(edge, &[b, c]));
+        d.insert(Fact::consts(zero_rel, &[c]));
+        assert!(solve_csp(&d, &t).is_none());
+        // Without the Zero end it is satisfiable.
+        let mut d2 = Instance::new();
+        d2.insert(Fact::consts(one_rel, &[a]));
+        d2.insert(Fact::consts(edge, &[a, b]));
+        d2.insert(Fact::consts(edge, &[b, c]));
+        assert!(solve_csp(&d2, &t).is_some());
+    }
+
+    #[test]
+    fn everything_maps_into_reflexive_clique() {
+        let mut v = Vocab::new();
+        let t = Template::reflexive_clique(2, &mut v);
+        let d = cycle(&mut v, 7);
+        assert!(solve_csp(&d, &t).is_some());
+    }
+}

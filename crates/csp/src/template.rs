@@ -1,0 +1,153 @@
+//! CSP templates.
+
+use gomq_core::{ConstId, Fact, Instance, RelId, Vocab};
+use std::collections::BTreeMap;
+
+/// A CSP template: a finite instance `A` over unary and binary relations.
+/// `CSP(A)` asks whether a given instance maps homomorphically into `A`.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// The template structure.
+    pub interp: Instance,
+    /// A short name for display and file naming.
+    pub name: String,
+    /// The precoloring relations `P_a`, when the precoloring closure has
+    /// been applied: `precolor[a]` is the unary relation holding exactly
+    /// at `a`.
+    pub precolor: BTreeMap<ConstId, RelId>,
+}
+
+impl Template {
+    /// Creates a template without precoloring relations.
+    pub fn new(name: impl Into<String>, interp: Instance) -> Self {
+        Template {
+            interp,
+            name: name.into(),
+            precolor: BTreeMap::new(),
+        }
+    }
+
+    /// The template elements.
+    pub fn elements(&self) -> Vec<ConstId> {
+        self.interp.consts().into_iter().collect()
+    }
+
+    /// Applies the precoloring closure (Larose–Tesson): adds, for each
+    /// element `a`, a unary relation `P_a` with `P_a(b) ⇔ b = a`. The
+    /// resulting template's CSP is polynomially equivalent to the original
+    /// and "admits precoloring" as required by the paper's constructions.
+    pub fn with_precoloring(mut self, vocab: &mut Vocab) -> Self {
+        if !self.precolor.is_empty() {
+            return self;
+        }
+        for a in self.elements() {
+            let p = vocab.rel(&format!("P_{}_{}", self.name, vocab.const_name(a).to_owned()), 1);
+            self.interp.insert(Fact::consts(p, &[a]));
+            self.precolor.insert(a, p);
+        }
+        self
+    }
+
+    /// The k-coloring template: `k` elements, a binary `edge` relation
+    /// holding between every pair of *distinct* colors. `CSP` = graph
+    /// k-colorability (PTIME for k ≤ 2, NP-complete for k ≥ 3).
+    ///
+    /// ```
+    /// use gomq_core::{Vocab, parse::parse_instance};
+    /// use gomq_csp::{Template, solve_csp};
+    ///
+    /// let mut vocab = Vocab::new();
+    /// let template = Template::k_coloring(2, &mut vocab);
+    /// let square = parse_instance(
+    ///     "edge(a,b)\nedge(b,c)\nedge(c,d)\nedge(d,a)\n",
+    ///     &mut vocab,
+    /// ).unwrap();
+    /// assert!(solve_csp(&square, &template).is_some()); // C4 is bipartite
+    /// ```
+    pub fn k_coloring(k: usize, vocab: &mut Vocab) -> Self {
+        let edge = vocab.rel("edge", 2);
+        let mut interp = Instance::new();
+        let colors: Vec<ConstId> = (0..k)
+            .map(|i| vocab.constant(&format!("col{i}")))
+            .collect();
+        for &c1 in &colors {
+            for &c2 in &colors {
+                if c1 != c2 {
+                    interp.insert(Fact::consts(edge, &[c1, c2]));
+                }
+            }
+        }
+        Template::new(format!("{k}col"), interp)
+    }
+
+    /// The directed-implication template over `{0,1}`: `edge(x,y)` means
+    /// `x ≤ y` (i.e. forbidden only for `1 → 0`), plus unary `Zero`/`One`.
+    /// Its CSP is a reachability problem — PTIME, Datalog-complement.
+    pub fn implication(vocab: &mut Vocab) -> Self {
+        let edge = vocab.rel("edge", 2);
+        let zero_rel = vocab.rel("Zero", 1);
+        let one_rel = vocab.rel("One", 1);
+        let zero = vocab.constant("val0");
+        let one = vocab.constant("val1");
+        let mut interp = Instance::new();
+        interp.insert(Fact::consts(zero_rel, &[zero]));
+        interp.insert(Fact::consts(one_rel, &[one]));
+        for (a, b) in [(zero, zero), (zero, one), (one, one)] {
+            interp.insert(Fact::consts(edge, &[a, b]));
+        }
+        Template::new("impl", interp)
+    }
+
+    /// The reflexive clique on `n` elements: every instance maps into it
+    /// (a trivially tractable template).
+    pub fn reflexive_clique(n: usize, vocab: &mut Vocab) -> Self {
+        let edge = vocab.rel("edge", 2);
+        let mut interp = Instance::new();
+        let elems: Vec<ConstId> = (0..n)
+            .map(|i| vocab.constant(&format!("k{i}")))
+            .collect();
+        for &a in &elems {
+            for &b in &elems {
+                interp.insert(Fact::consts(edge, &[a, b]));
+            }
+        }
+        Template::new(format!("refl{n}"), interp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_coloring_shape() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(3, &mut v);
+        assert_eq!(t.elements().len(), 3);
+        // 3 × 2 ordered distinct pairs.
+        assert_eq!(t.interp.len(), 6);
+    }
+
+    #[test]
+    fn precoloring_adds_singleton_relations() {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        assert_eq!(t.precolor.len(), 2);
+        for (&a, &p) in &t.precolor {
+            let holders: Vec<_> = t.interp.facts_of(p).collect();
+            assert_eq!(holders.len(), 1);
+            assert_eq!(holders[0].args[0], gomq_core::Term::Const(a));
+        }
+        // Idempotent.
+        let t2 = t.clone().with_precoloring(&mut v);
+        assert_eq!(t2.interp.len(), t.interp.len());
+    }
+
+    #[test]
+    fn implication_template_shape() {
+        let mut v = Vocab::new();
+        let t = Template::implication(&mut v);
+        assert_eq!(t.elements().len(), 2);
+        assert_eq!(t.interp.len(), 5);
+    }
+}

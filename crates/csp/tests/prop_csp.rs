@@ -1,0 +1,81 @@
+//! Property tests: the CSP solver against the generic homomorphism
+//! search, and the coCSP Datalog program against the solver.
+
+use gomq_core::hom::{has_homomorphism, Homomorphism};
+use gomq_core::{Fact, Instance, Vocab};
+use gomq_csp::datalog::two_coloring_cocsp;
+use gomq_csp::solve::solve_csp;
+use gomq_csp::Template;
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0usize..6, 0usize..6), 1..14)
+}
+
+fn build_graph(edges: &[(usize, usize)], v: &mut Vocab, tag: &str) -> Instance {
+    let edge = v.rel("edge", 2);
+    let consts: Vec<_> = (0..6).map(|i| v.constant(&format!("{tag}{i}"))).collect();
+    let mut d = Instance::new();
+    for &(a, b) in edges {
+        if a != b {
+            d.insert(Fact::consts(edge, &[consts[a], consts[b]]));
+        }
+    }
+    if d.is_empty() {
+        d.insert(Fact::consts(edge, &[consts[0], consts[1]]));
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csp_solver_agrees_with_generic_hom_search(edges in graph_strategy()) {
+        for k in [2usize, 3] {
+            let mut v = Vocab::new();
+            let t = Template::k_coloring(k, &mut v);
+            let d = build_graph(&edges, &mut v, "g");
+            let via_csp = solve_csp(&d, &t).is_some();
+            let via_hom = has_homomorphism(&d, &t.interp, &Homomorphism::new());
+            prop_assert_eq!(via_csp, via_hom, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn found_colorings_are_proper(edges in graph_strategy()) {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(3, &mut v);
+        let d = build_graph(&edges, &mut v, "h");
+        if let Some(h) = solve_csp(&d, &t) {
+            let edge = v.rel("edge", 2);
+            for f in d.facts_of(edge) {
+                prop_assert_ne!(h[&f.args[0]], h[&f.args[1]]);
+            }
+        }
+    }
+
+    #[test]
+    fn cocsp_datalog_matches_solver(edges in graph_strategy()) {
+        let mut v = Vocab::new();
+        let t = Template::k_coloring(2, &mut v).with_precoloring(&mut v);
+        let program = two_coloring_cocsp(&t, &mut v);
+        let d = build_graph(&edges, &mut v, "p");
+        let colorable = solve_csp(&d, &t).is_some();
+        let goal_fires = !program.eval(&d).is_empty();
+        prop_assert_eq!(colorable, !goal_fires);
+    }
+
+    #[test]
+    fn more_colors_never_hurt(edges in graph_strategy()) {
+        let mut v2 = Vocab::new();
+        let t2 = Template::k_coloring(2, &mut v2);
+        let d2 = build_graph(&edges, &mut v2, "m");
+        let two = solve_csp(&d2, &t2).is_some();
+        let mut v3 = Vocab::new();
+        let t3 = Template::k_coloring(3, &mut v3);
+        let d3 = build_graph(&edges, &mut v3, "m");
+        let three = solve_csp(&d3, &t3).is_some();
+        prop_assert!(!two || three, "2-colorable implies 3-colorable");
+    }
+}

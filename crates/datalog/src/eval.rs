@@ -1,0 +1,318 @@
+//! Bottom-up evaluation: naive (reference) and semi-naive (production).
+
+use crate::program::{DAtom, DTerm, Literal, Program, Rule};
+use gomq_core::{Fact, Instance, Interpretation, Term};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Statistics of an evaluation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of fixpoint rounds.
+    pub rounds: usize,
+    /// Number of facts derived (beyond the EDB).
+    pub derived: usize,
+}
+
+impl Program {
+    /// Semi-naive evaluation: computes the least fixpoint of the program
+    /// over the instance and returns the set of goal tuples.
+    pub fn eval(&self, d: &Instance) -> BTreeSet<Vec<Term>> {
+        self.eval_with_stats(d).0
+    }
+
+    /// Semi-naive evaluation returning the full derived interpretation
+    /// (EDB ∪ IDB) together with statistics.
+    pub fn fixpoint(&self, d: &Instance) -> (Interpretation, EvalStats) {
+        let mut total = d.clone();
+        let mut delta = d.clone();
+        let mut stats = EvalStats::default();
+        loop {
+            stats.rounds += 1;
+            let mut new_facts: Vec<Fact> = Vec::new();
+            for rule in &self.rules {
+                derive(rule, &total, &delta, &mut new_facts);
+            }
+            let mut next_delta = Interpretation::new();
+            for f in new_facts {
+                if !total.contains(&f) {
+                    next_delta.insert(f);
+                }
+            }
+            if next_delta.is_empty() {
+                break;
+            }
+            stats.derived += next_delta.len();
+            total.extend_from(&next_delta);
+            delta = next_delta;
+        }
+        (total, stats)
+    }
+
+    /// Semi-naive evaluation returning goal tuples and statistics.
+    pub fn eval_with_stats(&self, d: &Instance) -> (BTreeSet<Vec<Term>>, EvalStats) {
+        let (total, stats) = self.fixpoint(d);
+        let answers = total
+            .facts_of(self.goal)
+            .map(|f| f.args.clone())
+            .collect();
+        (answers, stats)
+    }
+
+    /// Whether `D ⊨ Π(ā)`.
+    pub fn holds(&self, d: &Instance, tuple: &[Term]) -> bool {
+        self.eval(d).contains(tuple)
+    }
+}
+
+/// Derives all head facts of `rule` with at least one body atom matched in
+/// `delta` (semi-naive restriction). `total` includes `delta`.
+fn derive(rule: &Rule, total: &Interpretation, delta: &Interpretation, out: &mut Vec<Fact>) {
+    let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
+    if atoms.is_empty() {
+        return;
+    }
+    for pivot in 0..atoms.len() {
+        let mut binding: BTreeMap<u32, Term> = BTreeMap::new();
+        match_atoms(rule, &atoms, pivot, 0, total, delta, &mut binding, out);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_atoms(
+    rule: &Rule,
+    atoms: &[&DAtom],
+    pivot: usize,
+    idx: usize,
+    total: &Interpretation,
+    delta: &Interpretation,
+    binding: &mut BTreeMap<u32, Term>,
+    out: &mut Vec<Fact>,
+) {
+    if idx == atoms.len() {
+        // All positive atoms matched: check inequalities, then emit.
+        for l in &rule.body {
+            if let Literal::Neq(a, b) = l {
+                if resolve(a, binding) == resolve(b, binding) {
+                    return;
+                }
+            }
+        }
+        out.push(Fact::new(
+            rule.head.rel,
+            rule.head.args.iter().map(|t| resolve(t, binding)).collect(),
+        ));
+        return;
+    }
+    // The pivot atom matches against the delta; others against the total.
+    // (Matching earlier atoms against "old only" would avoid duplicate
+    // derivations; matching against the total is still sound and simpler.)
+    let source = if idx == pivot { delta } else { total };
+    let atom = atoms[idx];
+    for fact in source.facts_of(atom.rel) {
+        if fact.args.len() != atom.args.len() {
+            continue;
+        }
+        let mut newly: Vec<u32> = Vec::new();
+        let mut ok = true;
+        for (pat, &t) in atom.args.iter().zip(fact.args.iter()) {
+            match pat {
+                DTerm::Ground(g) => {
+                    if *g != t {
+                        ok = false;
+                        break;
+                    }
+                }
+                DTerm::Var(v) => match binding.get(v) {
+                    Some(&prev) if prev != t => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding.insert(*v, t);
+                        newly.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            match_atoms(rule, atoms, pivot, idx + 1, total, delta, binding, out);
+        }
+        for v in newly {
+            binding.remove(&v);
+        }
+    }
+}
+
+fn resolve(t: &DTerm, binding: &BTreeMap<u32, Term>) -> Term {
+    match t {
+        DTerm::Ground(g) => *g,
+        DTerm::Var(v) => *binding
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound rule variable ?{v}")),
+    }
+}
+
+/// Naive (reference) evaluation: applies every rule against the whole
+/// database each round. Used to cross-check the semi-naive engine.
+pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
+    let mut total = d.clone();
+    loop {
+        let mut new_facts: Vec<Fact> = Vec::new();
+        for rule in &p.rules {
+            // Using delta = total makes every atom a pivot candidate; pivot 0
+            // against the full database enumerates all matches.
+            let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
+            if atoms.is_empty() {
+                continue;
+            }
+            let mut binding: BTreeMap<u32, Term> = BTreeMap::new();
+            match_atoms(rule, &atoms, 0, 0, &total, &total, &mut binding, &mut new_facts);
+        }
+        let before = total.len();
+        for f in new_facts {
+            total.insert(f);
+        }
+        if total.len() == before {
+            break;
+        }
+    }
+    total.facts_of(p.goal).map(|f| f.args.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{DAtom, Literal, Rule};
+    use gomq_core::Vocab;
+
+    /// Transitive closure program with goal = pairs of distinct connected
+    /// nodes.
+    fn tc_program(v: &mut Vocab) -> Program {
+        let e = v.rel("E", 2);
+        let t = v.rel("T", 2);
+        let g = v.rel("goal", 2);
+        Program::new(
+            vec![
+                Rule::new(
+                    DAtom::vars(t, &[0, 1]),
+                    vec![Literal::Pos(DAtom::vars(e, &[0, 1]))],
+                ),
+                Rule::new(
+                    DAtom::vars(t, &[0, 2]),
+                    vec![
+                        Literal::Pos(DAtom::vars(t, &[0, 1])),
+                        Literal::Pos(DAtom::vars(e, &[1, 2])),
+                    ],
+                ),
+                Rule::new(
+                    DAtom::vars(g, &[0, 1]),
+                    vec![
+                        Literal::Pos(DAtom::vars(t, &[0, 1])),
+                        Literal::Neq(DTerm::Var(0), DTerm::Var(1)),
+                    ],
+                ),
+            ],
+            g,
+        )
+    }
+
+    fn path_instance(v: &mut Vocab, n: usize) -> Instance {
+        let e = v.rel("E", 2);
+        let mut d = Instance::new();
+        for i in 0..n {
+            let a = v.constant(&format!("n{i}"));
+            let b = v.constant(&format!("n{}", i + 1));
+            d.insert(Fact::consts(e, &[a, b]));
+        }
+        d
+    }
+
+    #[test]
+    fn transitive_closure_on_path() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let d = path_instance(&mut v, 4); // n0→…→n4
+        let ans = p.eval(&d);
+        // All ordered pairs (i,j) with i<j: C(5,2) = 10.
+        assert_eq!(ans.len(), 10);
+    }
+
+    #[test]
+    fn inequality_filters_loops() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let e = v.rel("E", 2);
+        let a = v.constant("a");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(e, &[a, a]));
+        // Only the loop (a,a) is connected, and it is filtered by ≠.
+        assert!(p.eval(&d).is_empty());
+    }
+
+    #[test]
+    fn semi_naive_matches_naive_on_cycles() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let e = v.rel("E", 2);
+        let mut d = Instance::new();
+        for i in 0..6 {
+            let a = v.constant(&format!("c{i}"));
+            let b = v.constant(&format!("c{}", (i + 1) % 6));
+            d.insert(Fact::consts(e, &[a, b]));
+        }
+        let semi = p.eval(&d);
+        let naive = eval_naive(&p, &d);
+        assert_eq!(semi, naive);
+        // Every ordered pair of distinct nodes: 6*5 = 30.
+        assert_eq!(semi.len(), 30);
+    }
+
+    #[test]
+    fn stats_reflect_rounds() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let d = path_instance(&mut v, 8);
+        let (_, stats) = p.eval_with_stats(&d);
+        assert!(stats.rounds >= 3);
+        assert!(stats.derived > 0);
+    }
+
+    #[test]
+    fn ground_terms_in_rules() {
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let g = v.rel("goal", 1);
+        let a = v.constant("a");
+        // goal(x) <- E(a, x): only successors of the constant a.
+        let rule = Rule::new(
+            DAtom {
+                rel: g,
+                args: vec![DTerm::Var(0)],
+            },
+            vec![Literal::Pos(DAtom {
+                rel: e,
+                args: vec![DTerm::Ground(Term::Const(a)), DTerm::Var(0)],
+            })],
+        );
+        let p = Program::new(vec![rule], g);
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(e, &[a, b]));
+        d.insert(Fact::consts(e, &[b, c]));
+        let ans = p.eval(&d);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Term::Const(b)]));
+    }
+
+    #[test]
+    fn empty_program_derives_nothing() {
+        let mut v = Vocab::new();
+        let g = v.rel("goal", 1);
+        let p = Program::new(vec![], g);
+        let d = path_instance(&mut v, 2);
+        assert!(p.eval(&d).is_empty());
+    }
+}

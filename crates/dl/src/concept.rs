@@ -1,0 +1,355 @@
+//! Concepts and roles.
+
+use gomq_core::{RelId, Vocab};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A role: a binary relation or its inverse.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Role {
+    /// The underlying binary relation symbol.
+    pub rel: RelId,
+    /// Whether the role is the inverse `R⁻`.
+    pub inverse: bool,
+}
+
+impl Role {
+    /// A plain (forward) role.
+    pub fn new(rel: RelId) -> Self {
+        Role {
+            rel,
+            inverse: false,
+        }
+    }
+
+    /// The inverse role `R⁻`.
+    pub fn inv(rel: RelId) -> Self {
+        Role { rel, inverse: true }
+    }
+
+    /// The inverse of this role.
+    pub fn inverted(self) -> Self {
+        Role {
+            rel: self.rel,
+            inverse: !self.inverse,
+        }
+    }
+
+    /// Renders with the vocabulary.
+    pub fn display(self, vocab: &Vocab) -> String {
+        if self.inverse {
+            format!("{}-", vocab.rel_name(self.rel))
+        } else {
+            vocab.rel_name(self.rel).to_owned()
+        }
+    }
+}
+
+/// A DL concept over unary relation symbols (concept names) and roles.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Concept {
+    /// ⊤.
+    Top,
+    /// ⊥.
+    Bot,
+    /// A concept name `A` (a unary relation symbol).
+    Name(RelId),
+    /// ¬C.
+    Not(Box<Concept>),
+    /// C ⊓ D (n-ary).
+    And(Vec<Concept>),
+    /// C ⊔ D (n-ary).
+    Or(Vec<Concept>),
+    /// ∃R.C.
+    Exists(Role, Box<Concept>),
+    /// ∀R.C.
+    Forall(Role, Box<Concept>),
+    /// (≥ n R C), `n ≥ 1`.
+    AtLeast(u32, Role, Box<Concept>),
+    /// (≤ n R C), `n ≥ 0`.
+    AtMost(u32, Role, Box<Concept>),
+}
+
+impl Concept {
+    /// `∃R.⊤`.
+    pub fn some(role: Role) -> Concept {
+        Concept::Exists(role, Box::new(Concept::Top))
+    }
+
+    /// `(≤ 1 R)` — local functionality, i.e. `(≤ 1 R ⊤)`.
+    pub fn at_most_one(role: Role) -> Concept {
+        Concept::AtMost(1, role, Box::new(Concept::Top))
+    }
+
+    /// `(≥ 2 R)` — the `∃≥2` marker used in the paper's encodings.
+    pub fn at_least_two(role: Role) -> Concept {
+        Concept::AtLeast(2, role, Box::new(Concept::Top))
+    }
+
+    /// `(= 1 R)` — exactly one `R`-successor, as `∃R.⊤ ⊓ (≤ 1 R)`.
+    pub fn exactly_one(role: Role) -> Concept {
+        Concept::And(vec![Concept::some(role), Concept::at_most_one(role)])
+    }
+
+    /// `(= n R C)` as `(≥ n R C) ⊓ (≤ n R C)`.
+    pub fn exactly(n: u32, role: Role, c: Concept) -> Concept {
+        Concept::And(vec![
+            Concept::AtLeast(n, role, Box::new(c.clone())),
+            Concept::AtMost(n, role, Box::new(c)),
+        ])
+    }
+
+    /// Negation with double-negation elimination.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Concept {
+        match self {
+            Concept::Not(c) => *c,
+            Concept::Top => Concept::Bot,
+            Concept::Bot => Concept::Top,
+            c => Concept::Not(Box::new(c)),
+        }
+    }
+
+    /// Negation normal form: negation only in front of concept names.
+    pub fn nnf(&self) -> Concept {
+        match self {
+            Concept::Top | Concept::Bot | Concept::Name(_) => self.clone(),
+            Concept::Not(inner) => inner.nnf_neg(),
+            Concept::And(cs) => Concept::And(cs.iter().map(|c| c.nnf()).collect()),
+            Concept::Or(cs) => Concept::Or(cs.iter().map(|c| c.nnf()).collect()),
+            Concept::Exists(r, c) => Concept::Exists(*r, Box::new(c.nnf())),
+            Concept::Forall(r, c) => Concept::Forall(*r, Box::new(c.nnf())),
+            Concept::AtLeast(n, r, c) => Concept::AtLeast(*n, *r, Box::new(c.nnf())),
+            Concept::AtMost(n, r, c) => Concept::AtMost(*n, *r, Box::new(c.nnf())),
+        }
+    }
+
+    fn nnf_neg(&self) -> Concept {
+        match self {
+            Concept::Top => Concept::Bot,
+            Concept::Bot => Concept::Top,
+            Concept::Name(_) => Concept::Not(Box::new(self.clone())),
+            Concept::Not(inner) => inner.nnf(),
+            Concept::And(cs) => Concept::Or(cs.iter().map(|c| c.nnf_neg()).collect()),
+            Concept::Or(cs) => Concept::And(cs.iter().map(|c| c.nnf_neg()).collect()),
+            Concept::Exists(r, c) => Concept::Forall(*r, Box::new(c.nnf_neg())),
+            Concept::Forall(r, c) => Concept::Exists(*r, Box::new(c.nnf_neg())),
+            // ¬(≥ n R C) ≡ (≤ n−1 R C); n ≥ 1 by construction.
+            Concept::AtLeast(n, r, c) => Concept::AtMost(n - 1, *r, Box::new(c.nnf())),
+            // ¬(≤ n R C) ≡ (≥ n+1 R C).
+            Concept::AtMost(n, r, c) => Concept::AtLeast(n + 1, *r, Box::new(c.nnf())),
+        }
+    }
+
+    /// All subconcepts, including `self`.
+    pub fn subconcepts(&self) -> BTreeSet<Concept> {
+        let mut out = BTreeSet::new();
+        self.collect_sub(&mut out);
+        out
+    }
+
+    fn collect_sub(&self, out: &mut BTreeSet<Concept>) {
+        if !out.insert(self.clone()) {
+            return;
+        }
+        match self {
+            Concept::Top | Concept::Bot | Concept::Name(_) => {}
+            Concept::Not(c) => c.collect_sub(out),
+            Concept::And(cs) | Concept::Or(cs) => {
+                for c in cs {
+                    c.collect_sub(out);
+                }
+            }
+            Concept::Exists(_, c)
+            | Concept::Forall(_, c)
+            | Concept::AtLeast(_, _, c)
+            | Concept::AtMost(_, _, c) => c.collect_sub(out),
+        }
+    }
+
+    /// All concept names occurring in the concept.
+    pub fn concept_names(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        for c in self.subconcepts() {
+            if let Concept::Name(a) = c {
+                out.insert(a);
+            }
+        }
+        out
+    }
+
+    /// All roles occurring in the concept.
+    pub fn roles(&self) -> BTreeSet<Role> {
+        let mut out = BTreeSet::new();
+        for c in self.subconcepts() {
+            match c {
+                Concept::Exists(r, _)
+                | Concept::Forall(r, _)
+                | Concept::AtLeast(_, r, _)
+                | Concept::AtMost(_, r, _) => {
+                    out.insert(r);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Renders the concept with the vocabulary, in the parser's syntax.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> ConceptDisplay<'a> {
+        ConceptDisplay {
+            concept: self,
+            vocab,
+        }
+    }
+}
+
+/// Helper for rendering a [`Concept`].
+pub struct ConceptDisplay<'a> {
+    concept: &'a Concept,
+    vocab: &'a Vocab,
+}
+
+impl ConceptDisplay<'_> {
+    fn go(&self, c: &Concept, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match c {
+            Concept::Top => write!(f, "Top"),
+            Concept::Bot => write!(f, "Bot"),
+            Concept::Name(a) => write!(f, "{}", self.vocab.rel_name(*a)),
+            Concept::Not(inner) => {
+                write!(f, "not ")?;
+                self.paren(inner, f)
+            }
+            Concept::And(cs) => {
+                for (i, d) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    self.paren(d, f)?;
+                }
+                Ok(())
+            }
+            Concept::Or(cs) => {
+                for (i, d) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    self.paren(d, f)?;
+                }
+                Ok(())
+            }
+            Concept::Exists(r, inner) => {
+                write!(f, "ex {}.", r.display(self.vocab))?;
+                self.paren(inner, f)
+            }
+            Concept::Forall(r, inner) => {
+                write!(f, "all {}.", r.display(self.vocab))?;
+                self.paren(inner, f)
+            }
+            Concept::AtLeast(n, r, inner) => {
+                write!(f, ">={} {}.", n, r.display(self.vocab))?;
+                self.paren(inner, f)
+            }
+            Concept::AtMost(n, r, inner) => {
+                write!(f, "<={} {}.", n, r.display(self.vocab))?;
+                self.paren(inner, f)
+            }
+        }
+    }
+
+    fn paren(&self, c: &Concept, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atomic = matches!(c, Concept::Top | Concept::Bot | Concept::Name(_));
+        if atomic {
+            self.go(c, f)
+        } else {
+            write!(f, "(")?;
+            self.go(c, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for ConceptDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.go(self.concept, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &mut Vocab) -> (RelId, RelId, RelId) {
+        (v.rel("A", 1), v.rel("B", 1), v.rel("R", 2))
+    }
+
+    #[test]
+    fn nnf_pushes_negation_inward() {
+        let mut v = Vocab::new();
+        let (a, b, r) = names(&mut v);
+        // ¬(A ⊓ ∃R.B) → ¬A ⊔ ∀R.¬B
+        let c = Concept::And(vec![
+            Concept::Name(a),
+            Concept::Exists(Role::new(r), Box::new(Concept::Name(b))),
+        ])
+        .neg();
+        let n = c.nnf();
+        match n {
+            Concept::Or(ds) => {
+                assert!(matches!(&ds[0], Concept::Not(x) if **x == Concept::Name(a)));
+                assert!(matches!(&ds[1], Concept::Forall(_, _)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_of_number_restrictions() {
+        let mut v = Vocab::new();
+        let (_, _, r) = names(&mut v);
+        // ¬(≥ 2 R ⊤) ≡ (≤ 1 R ⊤)
+        let c = Concept::at_least_two(Role::new(r)).neg().nnf();
+        assert_eq!(c, Concept::at_most_one(Role::new(r)));
+        // ¬(≤ 1 R ⊤) ≡ (≥ 2 R ⊤)
+        let d = Concept::at_most_one(Role::new(r)).neg().nnf();
+        assert_eq!(d, Concept::at_least_two(Role::new(r)));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut v = Vocab::new();
+        let (a, _, _) = names(&mut v);
+        assert_eq!(Concept::Name(a).neg().neg(), Concept::Name(a));
+    }
+
+    #[test]
+    fn subconcepts_collects_everything() {
+        let mut v = Vocab::new();
+        let (a, b, r) = names(&mut v);
+        let c = Concept::Exists(
+            Role::new(r),
+            Box::new(Concept::And(vec![Concept::Name(a), Concept::Name(b)])),
+        );
+        let subs = c.subconcepts();
+        assert_eq!(subs.len(), 4); // c, A⊓B, A, B
+        assert_eq!(c.concept_names().len(), 2);
+        assert_eq!(c.roles().len(), 1);
+    }
+
+    #[test]
+    fn inverse_roles_roundtrip() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let role = Role::inv(r);
+        assert_eq!(role.inverted(), Role::new(r));
+        assert_eq!(role.display(&v), "R-");
+    }
+
+    #[test]
+    fn display_is_parseable_shape() {
+        let mut v = Vocab::new();
+        let (a, _, r) = names(&mut v);
+        let c = Concept::Exists(Role::new(r), Box::new(Concept::Name(a)));
+        assert_eq!(format!("{}", c.display(&v)), "ex R.A");
+    }
+}

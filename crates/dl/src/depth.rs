@@ -1,0 +1,82 @@
+//! Concept and ontology depth.
+//!
+//! The depth of a concept is the maximal nesting of `∃R`, `∀R` and number
+//! restrictions; the depth of an ontology is the maximum depth of concepts
+//! occurring in it (§2.1). The paper's BioPortal survey and the Figure-1
+//! fragments are parameterised by this measure.
+
+use crate::concept::Concept;
+use crate::ontology::{Axiom, DlOntology};
+
+/// The depth of a concept.
+pub fn concept_depth(c: &Concept) -> usize {
+    match c {
+        Concept::Top | Concept::Bot | Concept::Name(_) => 0,
+        Concept::Not(d) => concept_depth(d),
+        Concept::And(ds) | Concept::Or(ds) => ds.iter().map(concept_depth).max().unwrap_or(0),
+        Concept::Exists(_, d)
+        | Concept::Forall(_, d)
+        | Concept::AtLeast(_, _, d)
+        | Concept::AtMost(_, _, d) => 1 + concept_depth(d),
+    }
+}
+
+/// The depth of an ontology: the maximum depth of a concept occurring in it.
+pub fn ontology_depth(o: &DlOntology) -> usize {
+    o.axioms
+        .iter()
+        .map(|a| match a {
+            Axiom::ConceptInclusion(c, d) => concept_depth(c).max(concept_depth(d)),
+            Axiom::RoleInclusion(_, _) | Axiom::Functional(_) | Axiom::Transitive(_) => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::Role;
+    use gomq_core::Vocab;
+
+    #[test]
+    fn example3_inclusion_has_depth_two() {
+        // ∃S.A ⊑ ∀R.∃S.B has depth 2 (the right-hand side).
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = Role::new(v.rel("R", 2));
+        let s = Role::new(v.rel("S", 2));
+        let lhs = Concept::Exists(s, Box::new(Concept::Name(a)));
+        let rhs = Concept::Forall(
+            r,
+            Box::new(Concept::Exists(s, Box::new(Concept::Name(b)))),
+        );
+        assert_eq!(concept_depth(&lhs), 1);
+        assert_eq!(concept_depth(&rhs), 2);
+        let mut o = DlOntology::new();
+        o.sub(lhs, rhs);
+        assert_eq!(ontology_depth(&o), 2);
+    }
+
+    #[test]
+    fn boolean_structure_does_not_add_depth() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let c = Concept::And(vec![
+            Concept::Name(a).neg(),
+            Concept::Or(vec![Concept::Name(a), Concept::Top]),
+        ]);
+        assert_eq!(concept_depth(&c), 0);
+    }
+
+    #[test]
+    fn role_axioms_have_depth_zero() {
+        let mut v = Vocab::new();
+        let r = Role::new(v.rel("R", 2));
+        let s = Role::new(v.rel("S", 2));
+        let mut o = DlOntology::new();
+        o.role_sub(r, s).functional(r);
+        assert_eq!(ontology_depth(&o), 0);
+    }
+}

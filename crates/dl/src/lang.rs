@@ -1,0 +1,340 @@
+//! DL language detection and constructor stripping.
+//!
+//! The paper's BioPortal survey classifies ontologies by (a) the minimal DL
+//! language containing them after removing constructors outside `ALCHIF`
+//! (or `ALCHIQ`) and (b) their depth. This module extracts the constructor
+//! features of an ontology, names the minimal language, and implements the
+//! stripping used in the survey.
+
+use crate::concept::{Concept, Role};
+use crate::ontology::{Axiom, DlOntology};
+use std::fmt;
+
+/// The DL constructor features of an ontology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DlFeatures {
+    /// Inverse roles occur (`I`).
+    pub inverse: bool,
+    /// Role inclusions occur (`H`).
+    pub hierarchy: bool,
+    /// Qualified number restrictions beyond `(≤ 1 R ⊤)` occur (`Q`).
+    pub qualified_number: bool,
+    /// Global functionality assertions occur (`F`).
+    pub functionality: bool,
+    /// Local functionality `(≤ 1 R ⊤)` occurs (`F\``).
+    pub local_functionality: bool,
+    /// Transitivity assertions occur (outside the paper's fragments).
+    pub transitivity: bool,
+}
+
+impl DlFeatures {
+    /// Extracts the features of an ontology.
+    pub fn of(o: &DlOntology) -> Self {
+        let mut f = DlFeatures::default();
+        let scan_concept = |c: &Concept, f: &mut DlFeatures| {
+            for s in c.subconcepts() {
+                match s {
+                    Concept::Exists(r, _) | Concept::Forall(r, _) => {
+                        f.inverse |= r.inverse;
+                    }
+                    Concept::AtMost(1, r, ref inner) if **inner == Concept::Top => {
+                        f.inverse |= r.inverse;
+                        f.local_functionality = true;
+                    }
+                    Concept::AtLeast(_, r, _) | Concept::AtMost(_, r, _) => {
+                        f.inverse |= r.inverse;
+                        f.qualified_number = true;
+                    }
+                    _ => {}
+                }
+            }
+        };
+        for a in &o.axioms {
+            match a {
+                Axiom::ConceptInclusion(c, d) => {
+                    scan_concept(c, &mut f);
+                    scan_concept(d, &mut f);
+                }
+                Axiom::RoleInclusion(r, s) => {
+                    f.hierarchy = true;
+                    f.inverse |= r.inverse || s.inverse;
+                }
+                Axiom::Functional(r) => {
+                    f.functionality = true;
+                    f.inverse |= r.inverse;
+                }
+                Axiom::Transitive(r) => {
+                    f.transitivity = true;
+                    f.inverse |= r.inverse;
+                }
+            }
+        }
+        f
+    }
+
+    /// The name of the minimal language with these features, e.g.
+    /// `ALCHIQ` or `ALCIF``.
+    pub fn language(&self) -> DlLanguage {
+        DlLanguage(*self)
+    }
+
+    /// Whether the ontology fits into `ALCHIF` (no qualified number
+    /// restrictions, no local functionality beyond what `F` covers, no
+    /// transitivity).
+    pub fn within_alchif(&self) -> bool {
+        !self.qualified_number && !self.local_functionality && !self.transitivity
+    }
+
+    /// Whether the ontology fits into `ALCHIQ` (no global functionality —
+    /// although `F` is expressible in `Q` only via local functionality on
+    /// both ends, the paper treats `ALCHIQ` as subsuming `(≤ 1 R)`).
+    pub fn within_alchiq(&self) -> bool {
+        !self.functionality && !self.transitivity
+    }
+}
+
+/// A printable DL language name derived from [`DlFeatures`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DlLanguage(pub DlFeatures);
+
+impl fmt::Display for DlLanguage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ALC")?;
+        if self.0.hierarchy {
+            write!(f, "H")?;
+        }
+        if self.0.inverse {
+            write!(f, "I")?;
+        }
+        if self.0.qualified_number {
+            write!(f, "Q")?;
+        }
+        if self.0.functionality {
+            write!(f, "F")?;
+        }
+        if self.0.local_functionality && !self.0.qualified_number {
+            write!(f, "F`")?;
+        }
+        if self.0.transitivity {
+            write!(f, "+trans")?;
+        }
+        Ok(())
+    }
+}
+
+/// The Figure-1 zone of a DL ontology, read off the DL-level entries of
+/// the figure (grey labels): `ALCHIQ` depth 1 and `ALCHIF` depth 2 enjoy
+/// the dichotomy; `ALC` depth 3 and `ALCF\`` depth 2 are CSP-hard;
+/// `ALCIF\`` depth 2 and `ALCF` depth 3 have no dichotomy.
+pub fn dl_figure1_zone(o: &DlOntology) -> gomq_logic::fragment::Zone {
+    use gomq_logic::fragment::Zone;
+    let f = DlFeatures::of(o);
+    let d = crate::depth::ontology_depth(o);
+    if f.within_alchiq() && d <= 1 {
+        return Zone::Dichotomy; // ALCHIQ depth 1 (Thm 7 + Thm 13)
+    }
+    if f.within_alchif() && d <= 2 {
+        return Zone::Dichotomy; // ALCHIF depth 2 (Thm 7)
+    }
+    let only_local = f.local_functionality && !f.functionality && !f.qualified_number;
+    if only_local && f.inverse && d <= 2 {
+        return Zone::NoDichotomy; // ALCIF` depth 2 (Thm 11)
+    }
+    if f.functionality && !f.inverse && !f.qualified_number && !f.local_functionality && d <= 3 {
+        return Zone::NoDichotomy; // ALCF depth 3 [LW12]
+    }
+    if only_local && !f.inverse && d <= 2 {
+        return Zone::CspHard; // ALCF` depth 2 (Thm 8)
+    }
+    if !f.inverse && !f.qualified_number && !f.functionality && !f.local_functionality && d <= 3 {
+        return Zone::CspHard; // ALC(H) depth 3 [LW12]
+    }
+    Zone::Unknown
+}
+
+/// Removes every constructor outside `ALCHIF` from the ontology, mirroring
+/// the paper's BioPortal preprocessing: qualified number restrictions
+/// `(≥ n R C)`/`(≤ n R C)` are weakened (`≥` → `∃R.C` for `n ≥ 1`, `≤` →
+/// `⊤`), local functionality `(≤ 1 R ⊤)` is promoted to a global
+/// functionality assertion only when it appears at top level on the
+/// right-hand side under `⊤` on the left, otherwise dropped (replaced by
+/// `⊤`).
+pub fn strip_to_alchif(o: &DlOntology) -> DlOntology {
+    let mut out = DlOntology::new();
+    for a in &o.axioms {
+        match a {
+            Axiom::ConceptInclusion(c, d) => {
+                // ⊤ ⊑ (≤ 1 R) is exactly global functionality.
+                if *c == Concept::Top {
+                    if let Concept::AtMost(1, r, inner) = d {
+                        if **inner == Concept::Top {
+                            out.functional(*r);
+                            continue;
+                        }
+                    }
+                }
+                out.sub(strip_concept(c, true), strip_concept(d, false));
+            }
+            Axiom::Transitive(_) => { /* outside ALCHIF: dropped */ }
+            other => out.axioms.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Strips a concept to ALCHIF constructors. `lhs` tells whether the concept
+/// occurs on the left of an inclusion (negative polarity), which determines
+/// the sound direction of weakening: on the right (positive) we weaken
+/// (replace by a weaker concept), on the left we strengthen.
+fn strip_concept(c: &Concept, lhs: bool) -> Concept {
+    match c {
+        Concept::Top | Concept::Bot | Concept::Name(_) => c.clone(),
+        Concept::Not(d) => Concept::Not(Box::new(strip_concept(d, !lhs))),
+        Concept::And(ds) => Concept::And(ds.iter().map(|d| strip_concept(d, lhs)).collect()),
+        Concept::Or(ds) => Concept::Or(ds.iter().map(|d| strip_concept(d, lhs)).collect()),
+        Concept::Exists(r, d) => Concept::Exists(*r, Box::new(strip_concept(d, lhs))),
+        Concept::Forall(r, d) => Concept::Forall(*r, Box::new(strip_concept(d, lhs))),
+        Concept::AtLeast(n, r, d) => {
+            if *n >= 1 {
+                // (≥ n R C) weakens to ∃R.C.
+                Concept::Exists(*r, Box::new(strip_concept(d, lhs)))
+            } else {
+                Concept::Top
+            }
+        }
+        Concept::AtMost(_, _, _) => {
+            // Not expressible in ALCHIF at this position; replace by the
+            // polarity-appropriate trivial concept.
+            if lhs {
+                Concept::Bot
+            } else {
+                Concept::Top
+            }
+        }
+    }
+}
+
+/// The role hierarchy closure: all super-roles of `r` under the ontology's
+/// role inclusions (reflexive-transitive, respecting inverses).
+pub fn super_roles(o: &DlOntology, r: Role) -> Vec<Role> {
+    let mut out = vec![r];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (s, t) in o.role_inclusions() {
+            for i in 0..out.len() {
+                let cur = out[i];
+                let next = if cur == s {
+                    Some(t)
+                } else if cur == s.inverted() {
+                    Some(t.inverted())
+                } else {
+                    None
+                };
+                if let Some(n) = next {
+                    if !out.contains(&n) {
+                        out.push(n);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::Vocab;
+
+    #[test]
+    fn language_naming() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let r = Role::new(v.rel("R", 2));
+        let s = Role::new(v.rel("S", 2));
+        let mut o = DlOntology::new();
+        o.sub(
+            Concept::Name(a),
+            Concept::AtLeast(3, r, Box::new(Concept::Top)),
+        );
+        o.role_sub(r, s);
+        let f = DlFeatures::of(&o);
+        assert!(f.hierarchy && f.qualified_number && !f.inverse);
+        assert_eq!(format!("{}", f.language()), "ALCHQ");
+    }
+
+    #[test]
+    fn local_functionality_detected_separately() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut o = DlOntology::new();
+        o.sub(Concept::Name(a), Concept::at_most_one(r));
+        let f = DlFeatures::of(&o);
+        assert!(f.local_functionality && !f.qualified_number);
+        assert_eq!(format!("{}", f.language()), "ALCF`");
+    }
+
+    #[test]
+    fn strip_removes_number_restrictions() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut o = DlOntology::new();
+        o.sub(
+            Concept::Name(a),
+            Concept::AtLeast(5, r, Box::new(Concept::Name(b))),
+        );
+        let stripped = strip_to_alchif(&o);
+        let f = DlFeatures::of(&stripped);
+        assert!(f.within_alchif());
+        // (≥ 5 R B) became ∃R.B.
+        match &stripped.axioms[0] {
+            Axiom::ConceptInclusion(_, d) => {
+                assert!(matches!(d, Concept::Exists(_, _)));
+            }
+            _ => panic!("expected inclusion"),
+        }
+    }
+
+    #[test]
+    fn top_level_local_functionality_becomes_global() {
+        let mut v = Vocab::new();
+        let r = Role::new(v.rel("R", 2));
+        let mut o = DlOntology::new();
+        o.sub(Concept::Top, Concept::at_most_one(r));
+        let stripped = strip_to_alchif(&o);
+        assert_eq!(stripped.functional_roles().count(), 1);
+        assert!(DlFeatures::of(&stripped).within_alchif());
+    }
+
+    #[test]
+    fn super_roles_respect_inverse() {
+        let mut v = Vocab::new();
+        let r = Role::new(v.rel("R", 2));
+        let s = Role::new(v.rel("S", 2));
+        let t = Role::new(v.rel("T", 2));
+        let mut o = DlOntology::new();
+        o.role_sub(r, s);
+        o.role_sub(s.inverted(), t);
+        let sup = super_roles(&o, r);
+        assert!(sup.contains(&s));
+        let sup_inv = super_roles(&o, r.inverted());
+        assert!(sup_inv.contains(&s.inverted()));
+        assert!(sup_inv.contains(&t));
+    }
+
+    #[test]
+    fn alchiq_membership() {
+        let mut v = Vocab::new();
+        let r = Role::new(v.rel("R", 2));
+        let mut o = DlOntology::new();
+        o.functional(r);
+        let f = DlFeatures::of(&o);
+        assert!(!f.within_alchiq());
+        assert!(f.within_alchif());
+    }
+}

@@ -1,0 +1,32 @@
+//! # gomq-dl
+//!
+//! Description logics as used in the paper: the base logic ALC and its
+//! extensions with inverse roles (`I`), role hierarchies (`H`), qualified
+//! number restrictions (`Q`), globally functional roles (`F`) and local
+//! functionality `(≤ 1 R)` (`F\``).
+//!
+//! * [`concept`] — concept and role syntax, negation normal form, subconcepts,
+//! * [`ontology`] — TBoxes (concept inclusions, role inclusions,
+//!   functionality assertions),
+//! * [`depth`] — concept/ontology depth (nesting of `∃R`/`∀R`/number
+//!   restrictions),
+//! * [`lang`] — detection of the minimal DL language of an ontology
+//!   (`ALC`, `ALCHIF`, `ALCHIQ`, …) and constructor stripping,
+//! * [`translate`] — the appendix's translation into guarded-fragment
+//!   ontologies (Lemma 7),
+//! * [`parser`] — a compact text syntax for ontology files,
+//! * [`normalize`] — conservative depth-1 normalization.
+
+#![warn(missing_docs)]
+
+pub mod concept;
+pub mod depth;
+pub mod lang;
+pub mod normalize;
+pub mod ontology;
+pub mod parser;
+pub mod translate;
+
+pub use concept::{Concept, Role};
+pub use lang::{DlFeatures, DlLanguage};
+pub use ontology::{Axiom, DlOntology};

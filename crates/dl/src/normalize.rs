@@ -1,0 +1,251 @@
+//! Conservative depth-1 normalization of DL ontologies.
+//!
+//! The paper notes (§2.1) that every DL ontology has a polynomial-time
+//! conservative extension of depth 1, and that most DL algorithms assume
+//! normalized depth-1 input. This module implements the polarity-based
+//! construction: a nested filler concept `C'` of depth ≥ 1 inside a role
+//! restriction is replaced by a fresh concept name `X`, with the defining
+//! axiom `X ⊑ C'` (positive occurrences) or `C' ⊑ X` (negative
+//! occurrences). Fillers of `(≤ n R C)` flip polarity.
+
+use crate::concept::Concept;
+use crate::depth::{concept_depth, ontology_depth};
+use crate::ontology::{Axiom, DlOntology};
+use gomq_core::Vocab;
+
+/// Rewrites the ontology into a conservative extension of depth ≤ 1. Fresh
+/// concept names `_nrmN` are interned into `vocab`.
+pub fn normalize_depth1(o: &DlOntology, vocab: &mut Vocab) -> DlOntology {
+    let mut ctx = Ctx {
+        vocab,
+        fresh: 0,
+        emitted: Vec::new(),
+    };
+    let mut out = DlOntology::new();
+    for a in &o.axioms {
+        match a {
+            Axiom::ConceptInclusion(c, d) => {
+                let c1 = ctx.norm(c, false, 1);
+                let d1 = ctx.norm(d, true, 1);
+                out.sub(c1, d1);
+            }
+            other => out.axioms.push(other.clone()),
+        }
+    }
+    out.axioms.append(&mut ctx.emitted);
+    debug_assert!(ontology_depth(&out) <= 1);
+    out
+}
+
+struct Ctx<'a> {
+    vocab: &'a mut Vocab,
+    fresh: usize,
+    emitted: Vec<Axiom>,
+}
+
+impl Ctx<'_> {
+    fn fresh_name(&mut self) -> Concept {
+        loop {
+            let name = format!("_nrm{}", self.fresh);
+            self.fresh += 1;
+            if self.vocab.find_rel(&name).is_none() {
+                return Concept::Name(self.vocab.rel(&name, 1));
+            }
+        }
+    }
+
+    /// Returns a concept of depth ≤ `budget` that is a sound replacement
+    /// for `c` at the given polarity, relative to the emitted axioms.
+    fn norm(&mut self, c: &Concept, positive: bool, budget: usize) -> Concept {
+        if concept_depth(c) <= budget {
+            return c.clone();
+        }
+        match c {
+            Concept::Top | Concept::Bot | Concept::Name(_) => unreachable!("depth 0"),
+            Concept::Not(d) => Concept::Not(Box::new(self.norm(d, !positive, budget))),
+            Concept::And(ds) => {
+                Concept::And(ds.iter().map(|d| self.norm(d, positive, budget)).collect())
+            }
+            Concept::Or(ds) => {
+                Concept::Or(ds.iter().map(|d| self.norm(d, positive, budget)).collect())
+            }
+            restriction => {
+                if budget == 0 {
+                    // Abstract the whole restriction behind a fresh name.
+                    let x = self.fresh_name();
+                    let inner = self.rebuild(restriction, positive, 0);
+                    if positive {
+                        self.emitted.push(Axiom::ConceptInclusion(x.clone(), inner));
+                    } else {
+                        self.emitted.push(Axiom::ConceptInclusion(inner, x.clone()));
+                    }
+                    x
+                } else {
+                    self.rebuild(restriction, positive, budget - 1)
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a role restriction with its filler normalized to
+    /// `filler_budget`.
+    fn rebuild(&mut self, c: &Concept, positive: bool, filler_budget: usize) -> Concept {
+        match c {
+            Concept::Exists(r, d) => {
+                Concept::Exists(*r, Box::new(self.norm(d, positive, filler_budget)))
+            }
+            Concept::Forall(r, d) => {
+                Concept::Forall(*r, Box::new(self.norm(d, positive, filler_budget)))
+            }
+            Concept::AtLeast(n, r, d) => {
+                Concept::AtLeast(*n, *r, Box::new(self.norm(d, positive, filler_budget)))
+            }
+            // (≤ n R C) is antitone in C.
+            Concept::AtMost(n, r, d) => {
+                Concept::AtMost(*n, *r, Box::new(self.norm(d, !positive, filler_budget)))
+            }
+            _ => unreachable!("only restrictions are rebuilt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::Role;
+    use crate::translate::to_gf;
+    use gomq_core::{Fact, Interpretation};
+    use gomq_logic::eval::satisfies_ontology;
+
+    fn deep_ontology(v: &mut Vocab) -> DlOntology {
+        // A ⊑ ∃R.∃R.∃R.B — depth 3.
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut o = DlOntology::new();
+        o.sub(
+            Concept::Name(a),
+            Concept::Exists(
+                r,
+                Box::new(Concept::Exists(
+                    r,
+                    Box::new(Concept::Exists(r, Box::new(Concept::Name(b)))),
+                )),
+            ),
+        );
+        o
+    }
+
+    #[test]
+    fn normalization_reaches_depth_one() {
+        let mut v = Vocab::new();
+        let o = deep_ontology(&mut v);
+        assert_eq!(ontology_depth(&o), 3);
+        let n = normalize_depth1(&o, &mut v);
+        assert_eq!(ontology_depth(&n), 1);
+        // Two fresh names are needed for the two nested fillers.
+        assert_eq!(n.axioms.len(), 3);
+    }
+
+    #[test]
+    fn normalized_models_satisfy_original() {
+        let mut v = Vocab::new();
+        let o = deep_ontology(&mut v);
+        let n = normalize_depth1(&o, &mut v);
+        let gf_o = to_gf(&o);
+        let gf_n = to_gf(&n);
+        // An R-chain a→b→c→d with A(a), B(d) and the fresh names made true
+        // at the right spots is a model of the normalized ontology, and
+        // must satisfy the original.
+        let a_rel = v.rel("A", 1);
+        let b_rel = v.rel("B", 1);
+        let r = v.rel("R", 2);
+        let n0 = v.rel("_nrm0", 1);
+        let n1 = v.rel("_nrm1", 1);
+        let ca = v.constant("a");
+        let cb = v.constant("b");
+        let cc = v.constant("c");
+        let cd = v.constant("d");
+        let mut m = Interpretation::new();
+        m.insert(Fact::consts(a_rel, &[ca]));
+        m.insert(Fact::consts(r, &[ca, cb]));
+        m.insert(Fact::consts(r, &[cb, cc]));
+        m.insert(Fact::consts(r, &[cc, cd]));
+        m.insert(Fact::consts(b_rel, &[cd]));
+        // The fresh names: chase which one defines which filler is an
+        // implementation detail, so just try both placements.
+        let mut m1 = m.clone();
+        m1.insert(Fact::consts(n0, &[cb]));
+        m1.insert(Fact::consts(n1, &[cc]));
+        let mut m2 = m.clone();
+        m2.insert(Fact::consts(n0, &[cc]));
+        m2.insert(Fact::consts(n1, &[cb]));
+        let ok1 = satisfies_ontology(&m1, &gf_n);
+        let ok2 = satisfies_ontology(&m2, &gf_n);
+        assert!(ok1 || ok2, "one placement of fresh names must work");
+        let good = if ok1 { m1 } else { m2 };
+        assert!(satisfies_ontology(&good, &gf_o));
+    }
+
+    #[test]
+    fn negative_fillers_get_reverse_axioms() {
+        // ∃R.∃R.A ⊑ B : the nested filler occurs negatively, so the emitted
+        // axiom must read `∃R.A ⊑ X`.
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut o = DlOntology::new();
+        o.sub(
+            Concept::Exists(
+                r,
+                Box::new(Concept::Exists(r, Box::new(Concept::Name(a)))),
+            ),
+            Concept::Name(b),
+        );
+        let n = normalize_depth1(&o, &mut v);
+        assert_eq!(ontology_depth(&n), 1);
+        let fresh_on_rhs = n.axioms.iter().any(|ax| {
+            matches!(ax, Axiom::ConceptInclusion(lhs, rhs)
+                if matches!(rhs, Concept::Name(_)) && matches!(lhs, Concept::Exists(_, _)))
+        });
+        assert!(fresh_on_rhs);
+    }
+
+    #[test]
+    fn at_most_filler_flips_polarity() {
+        // A ⊑ (≤ 1 R ∃S.B): the filler ∃S.B sits at *negative* polarity, so
+        // the emitted axiom is ∃S.B ⊑ X.
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = Role::new(v.rel("R", 2));
+        let s = Role::new(v.rel("S", 2));
+        let mut o = DlOntology::new();
+        o.sub(
+            Concept::Name(a),
+            Concept::AtMost(
+                1,
+                r,
+                Box::new(Concept::Exists(s, Box::new(Concept::Name(b)))),
+            ),
+        );
+        let n = normalize_depth1(&o, &mut v);
+        assert_eq!(ontology_depth(&n), 1);
+        let has_reverse = n.axioms.iter().any(|ax| {
+            matches!(ax, Axiom::ConceptInclusion(lhs, _) if matches!(lhs, Concept::Exists(_, _)))
+        });
+        assert!(has_reverse);
+    }
+
+    #[test]
+    fn shallow_ontology_untouched() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut o = DlOntology::new();
+        o.sub(Concept::Name(a), Concept::some(r));
+        let n = normalize_depth1(&o, &mut v);
+        assert_eq!(n, o);
+    }
+}

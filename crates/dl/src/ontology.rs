@@ -1,0 +1,266 @@
+//! DL ontologies (TBoxes).
+
+use crate::concept::{Concept, Role};
+use gomq_core::{RelId, Vocab};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A TBox axiom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Axiom {
+    /// A concept inclusion `C ⊑ D`.
+    ConceptInclusion(Concept, Concept),
+    /// A role inclusion `R ⊑ S` (the `H` constructor).
+    RoleInclusion(Role, Role),
+    /// A functionality assertion `func(R)` (the `F` constructor); `R` may
+    /// be an inverse role.
+    Functional(Role),
+    /// A transitivity assertion `trans(R)` — the future-work extension
+    /// named in the paper's conclusion (outside the Figure-1 fragments).
+    Transitive(Role),
+}
+
+/// A DL ontology: a finite set of axioms.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DlOntology {
+    /// The axioms.
+    pub axioms: Vec<Axiom>,
+}
+
+impl DlOntology {
+    /// Creates an empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an ontology from axioms.
+    pub fn from_axioms(axioms: Vec<Axiom>) -> Self {
+        DlOntology { axioms }
+    }
+
+    /// Adds a concept inclusion `C ⊑ D`.
+    pub fn sub(&mut self, c: Concept, d: Concept) -> &mut Self {
+        self.axioms.push(Axiom::ConceptInclusion(c, d));
+        self
+    }
+
+    /// Adds an equivalence `C ≡ D` (as two inclusions).
+    pub fn equiv(&mut self, c: Concept, d: Concept) -> &mut Self {
+        self.axioms
+            .push(Axiom::ConceptInclusion(c.clone(), d.clone()));
+        self.axioms.push(Axiom::ConceptInclusion(d, c));
+        self
+    }
+
+    /// Adds a role inclusion.
+    pub fn role_sub(&mut self, r: Role, s: Role) -> &mut Self {
+        self.axioms.push(Axiom::RoleInclusion(r, s));
+        self
+    }
+
+    /// Declares a role functional.
+    pub fn functional(&mut self, r: Role) -> &mut Self {
+        self.axioms.push(Axiom::Functional(r));
+        self
+    }
+
+    /// Declares a role transitive.
+    pub fn transitive(&mut self, r: Role) -> &mut Self {
+        self.axioms.push(Axiom::Transitive(r));
+        self
+    }
+
+    /// The concept inclusions.
+    pub fn concept_inclusions(&self) -> impl Iterator<Item = (&Concept, &Concept)> {
+        self.axioms.iter().filter_map(|a| match a {
+            Axiom::ConceptInclusion(c, d) => Some((c, d)),
+            _ => None,
+        })
+    }
+
+    /// The role inclusions.
+    pub fn role_inclusions(&self) -> impl Iterator<Item = (Role, Role)> + '_ {
+        self.axioms.iter().filter_map(|a| match a {
+            Axiom::RoleInclusion(r, s) => Some((*r, *s)),
+            _ => None,
+        })
+    }
+
+    /// The functional roles.
+    pub fn functional_roles(&self) -> impl Iterator<Item = Role> + '_ {
+        self.axioms.iter().filter_map(|a| match a {
+            Axiom::Functional(r) => Some(*r),
+            _ => None,
+        })
+    }
+
+    /// The transitive roles.
+    pub fn transitive_roles(&self) -> impl Iterator<Item = Role> + '_ {
+        self.axioms.iter().filter_map(|a| match a {
+            Axiom::Transitive(r) => Some(*r),
+            _ => None,
+        })
+    }
+
+    /// All concept names of the ontology.
+    pub fn concept_names(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        for (c, d) in self.concept_inclusions() {
+            out.extend(c.concept_names());
+            out.extend(d.concept_names());
+        }
+        out
+    }
+
+    /// All role relation symbols of the ontology (inverses collapsed).
+    pub fn role_names(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        for a in &self.axioms {
+            match a {
+                Axiom::ConceptInclusion(c, d) => {
+                    out.extend(c.roles().into_iter().map(|r| r.rel));
+                    out.extend(d.roles().into_iter().map(|r| r.rel));
+                }
+                Axiom::RoleInclusion(r, s) => {
+                    out.insert(r.rel);
+                    out.insert(s.rel);
+                }
+                Axiom::Functional(r) | Axiom::Transitive(r) => {
+                    out.insert(r.rel);
+                }
+            }
+        }
+        out
+    }
+
+    /// The signature: all relation symbols (concept and role names).
+    pub fn sig(&self) -> BTreeSet<RelId> {
+        let mut out = self.concept_names();
+        out.extend(self.role_names());
+        out
+    }
+
+    /// Union of two ontologies.
+    pub fn union(&self, other: &DlOntology) -> DlOntology {
+        let mut axioms = self.axioms.clone();
+        axioms.extend(other.axioms.iter().cloned());
+        DlOntology { axioms }
+    }
+
+    /// A symbol-count size measure `|O|`.
+    pub fn size(&self) -> usize {
+        fn concept_size(c: &Concept) -> usize {
+            match c {
+                Concept::Top | Concept::Bot | Concept::Name(_) => 1,
+                Concept::Not(d) => 1 + concept_size(d),
+                Concept::And(ds) | Concept::Or(ds) => {
+                    1 + ds.iter().map(concept_size).sum::<usize>()
+                }
+                Concept::Exists(_, d) | Concept::Forall(_, d) => 2 + concept_size(d),
+                Concept::AtLeast(n, _, d) | Concept::AtMost(n, _, d) => {
+                    2 + *n as usize + concept_size(d)
+                }
+            }
+        }
+        self.axioms
+            .iter()
+            .map(|a| match a {
+                Axiom::ConceptInclusion(c, d) => 1 + concept_size(c) + concept_size(d),
+                Axiom::RoleInclusion(_, _) => 3,
+                Axiom::Functional(_) | Axiom::Transitive(_) => 2,
+            })
+            .sum()
+    }
+
+    /// Renders the ontology in the parser's text syntax.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> DlOntologyDisplay<'a> {
+        DlOntologyDisplay { onto: self, vocab }
+    }
+}
+
+/// Helper for rendering a [`DlOntology`].
+pub struct DlOntologyDisplay<'a> {
+    onto: &'a DlOntology,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for DlOntologyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.onto.axioms {
+            match a {
+                Axiom::ConceptInclusion(c, d) => writeln!(
+                    f,
+                    "{} sub {}",
+                    c.display(self.vocab),
+                    d.display(self.vocab)
+                )?,
+                Axiom::RoleInclusion(r, s) => writeln!(
+                    f,
+                    "role {} sub {}",
+                    r.display(self.vocab),
+                    s.display(self.vocab)
+                )?,
+                Axiom::Functional(r) => writeln!(f, "func({})", r.display(self.vocab))?,
+                Axiom::Transitive(r) => writeln!(f, "trans({})", r.display(self.vocab))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_accessors() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let mut o = DlOntology::new();
+        o.sub(Concept::Name(a), Concept::Name(b))
+            .role_sub(Role::new(r), Role::new(s))
+            .functional(Role::inv(r));
+        assert_eq!(o.concept_inclusions().count(), 1);
+        assert_eq!(o.role_inclusions().count(), 1);
+        assert_eq!(o.functional_roles().count(), 1);
+        assert_eq!(o.concept_names().len(), 2);
+        assert_eq!(o.role_names().len(), 2);
+        assert_eq!(o.sig().len(), 4);
+        assert!(o.size() > 0);
+    }
+
+    #[test]
+    fn equiv_expands_to_two_inclusions() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let mut o = DlOntology::new();
+        o.equiv(Concept::Name(a), Concept::Name(b));
+        assert_eq!(o.concept_inclusions().count(), 2);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let mut o1 = DlOntology::new();
+        o1.sub(Concept::Name(a), Concept::Top);
+        let mut o2 = DlOntology::new();
+        o2.sub(Concept::Name(b), Concept::Top);
+        assert_eq!(o1.union(&o2).axioms.len(), 2);
+    }
+
+    #[test]
+    fn display_round_shape() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let mut o = DlOntology::new();
+        o.sub(Concept::Name(a), Concept::Name(b));
+        assert_eq!(format!("{}", o.display(&v)), "A sub B\n");
+    }
+}

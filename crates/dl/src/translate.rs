@@ -1,0 +1,276 @@
+//! Translation of DL ontologies into guarded-fragment ontologies (the
+//! appendix's standard translation, Lemma 7).
+//!
+//! A concept `C` translates to an openGF/openGC₂ formula `C*(x)` with one
+//! free variable, using two variables overall (the classic alternation
+//! trick). A concept inclusion `C ⊑ D` becomes the uGF⁻₂ sentence
+//! `∀x(C*(x) → D*(x))`; role inclusions become guarded sentences; `func(R)`
+//! becomes a functionality declaration.
+
+use crate::concept::{Concept, Role};
+use crate::ontology::{Axiom, DlOntology};
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+
+const X: LVar = LVar(0);
+const Y: LVar = LVar(1);
+
+fn other(v: LVar) -> LVar {
+    if v == X {
+        Y
+    } else {
+        X
+    }
+}
+
+/// The atom `R°(a, b)` for a role: `R(a,b)` for a forward role, `R(b,a)`
+/// for an inverse.
+fn role_atom(r: Role, a: LVar, b: LVar) -> Formula {
+    if r.inverse {
+        Formula::binary(r.rel, b, a)
+    } else {
+        Formula::binary(r.rel, a, b)
+    }
+}
+
+fn role_guard(r: Role, a: LVar, b: LVar) -> Guard {
+    if r.inverse {
+        Guard::Atom {
+            rel: r.rel,
+            args: vec![b, a],
+        }
+    } else {
+        Guard::Atom {
+            rel: r.rel,
+            args: vec![a, b],
+        }
+    }
+}
+
+/// The standard translation `C*(v)` of a concept at variable `v`,
+/// alternating between the two variables.
+pub fn concept_to_formula(c: &Concept, v: LVar) -> Formula {
+    match c {
+        Concept::Top => Formula::True,
+        Concept::Bot => Formula::False,
+        Concept::Name(a) => Formula::unary(*a, v),
+        Concept::Not(d) => Formula::Not(Box::new(concept_to_formula(d, v))),
+        Concept::And(ds) => Formula::And(ds.iter().map(|d| concept_to_formula(d, v)).collect()),
+        Concept::Or(ds) => Formula::Or(ds.iter().map(|d| concept_to_formula(d, v)).collect()),
+        Concept::Exists(r, d) => {
+            let w = other(v);
+            Formula::Exists {
+                qvars: vec![w],
+                guard: role_guard(*r, v, w),
+                body: Box::new(concept_to_formula(d, w)),
+            }
+        }
+        Concept::Forall(r, d) => {
+            let w = other(v);
+            Formula::Forall {
+                qvars: vec![w],
+                guard: role_guard(*r, v, w),
+                body: Box::new(concept_to_formula(d, w)),
+            }
+        }
+        Concept::AtLeast(n, r, d) => {
+            let w = other(v);
+            Formula::CountExists {
+                n: *n,
+                qvar: w,
+                guard: role_guard(*r, v, w),
+                body: Box::new(concept_to_formula(d, w)),
+            }
+        }
+        Concept::AtMost(n, r, d) => {
+            let w = other(v);
+            Formula::Not(Box::new(Formula::CountExists {
+                n: n + 1,
+                qvar: w,
+                guard: role_guard(*r, v, w),
+                body: Box::new(concept_to_formula(d, w)),
+            }))
+        }
+    }
+}
+
+/// Translates a DL ontology into a guarded-fragment ontology.
+///
+/// * `C ⊑ D` ⇒ `∀x(x = x → (C*(x) → D*(x)))` — a uGF⁻₂ sentence whose depth
+///   equals the ontology's DL depth,
+/// * `R ⊑ S` ⇒ `∀xy(R°(x,y) → S°(x,y))`,
+/// * `func(R)` ⇒ a (possibly inverse) functionality declaration.
+pub fn to_gf(o: &DlOntology) -> GfOntology {
+    let names = vec!["x".to_owned(), "y".to_owned()];
+    let mut out = GfOntology::new();
+    for a in &o.axioms {
+        match a {
+            Axiom::ConceptInclusion(c, d) => {
+                let body = Formula::implies(concept_to_formula(c, X), concept_to_formula(d, X));
+                out.push(UgfSentence::forall_one(X, body, names.clone()));
+            }
+            Axiom::RoleInclusion(r, s) => {
+                // Translated in equality-guarded form
+                // ∀x(x = x → ∀y(R°(x,y) → S°(x,y))) so that the result
+                // stays within the ·⁻ fragments (Lemma 7 maps ALCHIQ
+                // depth 1 into uGC⁻₂(1)).
+                out.push(UgfSentence::forall_one(
+                    X,
+                    Formula::Forall {
+                        qvars: vec![Y],
+                        guard: role_guard(*r, X, Y),
+                        body: Box::new(role_atom(*s, X, Y)),
+                    },
+                    names.clone(),
+                ));
+            }
+            Axiom::Functional(r) => {
+                if r.inverse {
+                    out.declare_inverse_functional(r.rel);
+                } else {
+                    out.declare_functional(r.rel);
+                }
+            }
+            Axiom::Transitive(r) => {
+                // trans(R⁻) is equivalent to trans(R).
+                out.declare_transitive(r.rel);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::{Fact, Interpretation, Vocab};
+    use gomq_logic::depth::ontology_depth;
+    use gomq_logic::eval::satisfies_ontology;
+    use gomq_logic::fragment::{best_fragment, Fragment};
+
+    /// `Hand ⊑ ∃hasFinger.Thumb` — the paper's O₂.
+    fn o2(v: &mut Vocab) -> DlOntology {
+        let hand = v.rel("Hand", 1);
+        let thumb = v.rel("Thumb", 1);
+        let hf = Role::new(v.rel("hasFinger", 2));
+        let mut o = DlOntology::new();
+        o.sub(
+            Concept::Name(hand),
+            Concept::Exists(hf, Box::new(Concept::Name(thumb))),
+        );
+        o
+    }
+
+    #[test]
+    fn translation_preserves_depth_and_lands_in_ugc() {
+        let mut v = Vocab::new();
+        let o = o2(&mut v);
+        let gf = to_gf(&o);
+        assert_eq!(ontology_depth(&gf), 1);
+        assert_eq!(best_fragment(&gf, &v), Some(Fragment::Ugf1));
+    }
+
+    #[test]
+    fn counting_concepts_translate_to_counting_quantifiers() {
+        // O₁ = { Hand ⊑ (= 5 hasFinger ⊤) }.
+        let mut v = Vocab::new();
+        let hand = v.rel("Hand", 1);
+        let hf = Role::new(v.rel("hasFinger", 2));
+        let mut o = DlOntology::new();
+        o.sub(Concept::Name(hand), Concept::exactly(5, hf, Concept::Top));
+        let gf = to_gf(&o);
+        assert_eq!(best_fragment(&gf, &v), Some(Fragment::UgcMinus2_1Eq));
+    }
+
+    #[test]
+    fn model_checking_translated_ontology() {
+        let mut v = Vocab::new();
+        let o = o2(&mut v);
+        let gf = to_gf(&o);
+        let hand = v.rel("Hand", 1);
+        let thumb = v.rel("Thumb", 1);
+        let hf = v.rel("hasFinger", 2);
+        let h = v.constant("h");
+        let t = v.constant("t");
+        // {Hand(h)} alone violates the ontology...
+        let d0 = Interpretation::from_facts(vec![Fact::consts(hand, &[h])]);
+        assert!(!satisfies_ontology(&d0, &gf));
+        // ...but adding a thumb finger satisfies it.
+        let mut d1 = d0.clone();
+        d1.insert(Fact::consts(hf, &[h, t]));
+        d1.insert(Fact::consts(thumb, &[t]));
+        assert!(satisfies_ontology(&d1, &gf));
+    }
+
+    #[test]
+    fn inverse_roles_swap_arguments() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = v.rel("R", 2);
+        let mut o = DlOntology::new();
+        // A ⊑ ∃R⁻.B : an A-element needs an incoming R-edge from a B.
+        o.sub(
+            Concept::Name(a),
+            Concept::Exists(Role::inv(r), Box::new(Concept::Name(b))),
+        );
+        let gf = to_gf(&o);
+        let x = v.constant("x");
+        let y = v.constant("y");
+        let good = Interpretation::from_facts(vec![
+            Fact::consts(a, &[x]),
+            Fact::consts(r, &[y, x]),
+            Fact::consts(b, &[y]),
+        ]);
+        assert!(satisfies_ontology(&good, &gf));
+        let bad = Interpretation::from_facts(vec![
+            Fact::consts(a, &[x]),
+            Fact::consts(r, &[x, y]),
+            Fact::consts(b, &[y]),
+        ]);
+        assert!(!satisfies_ontology(&bad, &gf));
+    }
+
+    #[test]
+    fn role_inclusion_translates_to_guarded_sentence() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let mut o = DlOntology::new();
+        o.role_sub(Role::new(r), Role::new(s));
+        let gf = to_gf(&o);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let bad = Interpretation::from_facts(vec![Fact::consts(r, &[a, b])]);
+        assert!(!satisfies_ontology(&bad, &gf));
+        let mut good = bad.clone();
+        good.insert(Fact::consts(s, &[a, b]));
+        assert!(satisfies_ontology(&good, &gf));
+    }
+
+    #[test]
+    fn functionality_translates_to_declarations() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let mut o = DlOntology::new();
+        o.functional(Role::new(r));
+        o.functional(Role::inv(r));
+        let gf = to_gf(&o);
+        assert!(gf.functional.contains(&r));
+        assert!(gf.inverse_functional.contains(&r));
+    }
+
+    #[test]
+    fn at_most_translates_to_negated_counting() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let c = Concept::at_most_one(Role::new(r));
+        let f = concept_to_formula(&c, X);
+        match f {
+            Formula::Not(inner) => match *inner {
+                Formula::CountExists { n, .. } => assert_eq!(n, 2),
+                other => panic!("expected counting, got {other:?}"),
+            },
+            other => panic!("expected negation, got {other:?}"),
+        }
+    }
+}

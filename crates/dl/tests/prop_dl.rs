@@ -1,0 +1,160 @@
+//! Property tests for the DL layer: NNF, depth, stripping, normalization
+//! and the parser round-trip.
+
+use gomq_core::Vocab;
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::depth::{concept_depth, ontology_depth};
+use gomq_dl::lang::{strip_to_alchif, DlFeatures};
+use gomq_dl::normalize::normalize_depth1;
+use gomq_dl::parser::parse_ontology;
+use gomq_dl::DlOntology;
+use proptest::prelude::*;
+
+/// A strategy producing random concepts over a fixed tiny signature.
+/// Indices: concept names 0..3, roles 0..2 (possibly inverse).
+fn concept_strategy() -> impl Strategy<Value = ConceptTree> {
+    let leaf = prop_oneof![
+        Just(ConceptTree::Top),
+        Just(ConceptTree::Bot),
+        (0u8..3).prop_map(ConceptTree::Name),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|c| ConceptTree::Not(Box::new(c))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(ConceptTree::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(ConceptTree::Or),
+            (0u8..2, any::<bool>(), inner.clone())
+                .prop_map(|(r, i, c)| ConceptTree::Exists(r, i, Box::new(c))),
+            (0u8..2, any::<bool>(), inner.clone())
+                .prop_map(|(r, i, c)| ConceptTree::Forall(r, i, Box::new(c))),
+            (1u32..4, 0u8..2, inner.clone())
+                .prop_map(|(n, r, c)| ConceptTree::AtLeast(n, r, Box::new(c))),
+            (0u32..3, 0u8..2, inner)
+                .prop_map(|(n, r, c)| ConceptTree::AtMost(n, r, Box::new(c))),
+        ]
+    })
+}
+
+/// A vocabulary-independent concept description (proptest values must be
+/// `'static`, so we intern lazily).
+#[derive(Clone, Debug)]
+enum ConceptTree {
+    Top,
+    Bot,
+    Name(u8),
+    Not(Box<ConceptTree>),
+    And(Vec<ConceptTree>),
+    Or(Vec<ConceptTree>),
+    Exists(u8, bool, Box<ConceptTree>),
+    Forall(u8, bool, Box<ConceptTree>),
+    AtLeast(u32, u8, Box<ConceptTree>),
+    AtMost(u32, u8, Box<ConceptTree>),
+}
+
+fn realize(t: &ConceptTree, v: &mut Vocab) -> Concept {
+    let role = |r: u8, inv: bool, v: &mut Vocab| {
+        let rel = v.rel(&format!("r{r}"), 2);
+        if inv {
+            Role::inv(rel)
+        } else {
+            Role::new(rel)
+        }
+    };
+    match t {
+        ConceptTree::Top => Concept::Top,
+        ConceptTree::Bot => Concept::Bot,
+        ConceptTree::Name(i) => Concept::Name(v.rel(&format!("A{i}"), 1)),
+        ConceptTree::Not(c) => Concept::Not(Box::new(realize(c, v))),
+        ConceptTree::And(cs) => Concept::And(cs.iter().map(|c| realize(c, v)).collect()),
+        ConceptTree::Or(cs) => Concept::Or(cs.iter().map(|c| realize(c, v)).collect()),
+        ConceptTree::Exists(r, i, c) => {
+            let role = role(*r, *i, v);
+            Concept::Exists(role, Box::new(realize(c, v)))
+        }
+        ConceptTree::Forall(r, i, c) => {
+            let role = role(*r, *i, v);
+            Concept::Forall(role, Box::new(realize(c, v)))
+        }
+        ConceptTree::AtLeast(n, r, c) => {
+            let role = role(*r, false, v);
+            Concept::AtLeast(*n, role, Box::new(realize(c, v)))
+        }
+        ConceptTree::AtMost(n, r, c) => {
+            let role = role(*r, false, v);
+            Concept::AtMost(*n, role, Box::new(realize(c, v)))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn nnf_is_idempotent_and_preserves_depth(tree in concept_strategy()) {
+        let mut v = Vocab::new();
+        let c = realize(&tree, &mut v);
+        let n = c.nnf();
+        prop_assert_eq!(n.nnf(), n.clone());
+        prop_assert_eq!(concept_depth(&n), concept_depth(&c));
+    }
+
+    #[test]
+    fn double_negation_nnf_equals_nnf(tree in concept_strategy()) {
+        let mut v = Vocab::new();
+        let c = realize(&tree, &mut v);
+        let nn = c.clone().neg().neg().nnf();
+        prop_assert_eq!(nn, c.nnf());
+    }
+
+    #[test]
+    fn stripping_lands_in_alchif(tree in concept_strategy()) {
+        let mut v = Vocab::new();
+        let c = realize(&tree, &mut v);
+        let d = realize(&tree, &mut v);
+        let mut o = DlOntology::new();
+        o.sub(c, d.neg());
+        let stripped = strip_to_alchif(&o);
+        prop_assert!(DlFeatures::of(&stripped).within_alchif());
+        // Stripping never increases the depth.
+        prop_assert!(ontology_depth(&stripped) <= ontology_depth(&o));
+    }
+
+    #[test]
+    fn normalization_reaches_depth_one(tree in concept_strategy()) {
+        let mut v = Vocab::new();
+        let c = realize(&tree, &mut v);
+        let mut o = DlOntology::new();
+        o.sub(Concept::Top, c);
+        let n = normalize_depth1(&o, &mut v);
+        prop_assert!(ontology_depth(&n) <= 1);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(tree in concept_strategy()) {
+        // The parser applies `neg()` simplification (`not Top` → `Bot`),
+        // so the round-trip is compared modulo negation normal form.
+        let mut v = Vocab::new();
+        let c = realize(&tree, &mut v);
+        let mut o = DlOntology::new();
+        o.sub(c, Concept::Top);
+        let printed = format!("{}", o.display(&v));
+        let reparsed = parse_ontology(&printed, &mut v).expect("round-trip parses");
+        let nnf_of = |onto: &DlOntology| -> Vec<(Concept, Concept)> {
+            onto.concept_inclusions()
+                .map(|(a, b)| (a.nnf(), b.nnf()))
+                .collect()
+        };
+        prop_assert_eq!(nnf_of(&o), nnf_of(&reparsed));
+    }
+
+    #[test]
+    fn subconcepts_contains_self_and_is_monotone(tree in concept_strategy()) {
+        let mut v = Vocab::new();
+        let c = realize(&tree, &mut v);
+        let subs = c.subconcepts();
+        prop_assert!(subs.contains(&c));
+        for s in &subs {
+            prop_assert!(s.subconcepts().is_subset(&subs));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Quantifier depth (§2.1).
+//!
+//! The *depth* of an openGF formula is the nesting depth of guarded
+//! quantifiers (guarded counting quantifiers count too). The depth of a uGF
+//! sentence `∀ȳ(α → φ)` is the depth of `φ` — the outermost quantifier is
+//! free. The depth of an ontology is the maximum depth of its sentences.
+
+use crate::ontology::{GfOntology, UgfSentence};
+use crate::syntax::Formula;
+
+/// The quantifier depth of a formula.
+pub fn formula_depth(f: &Formula) -> usize {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => 0,
+        Formula::Not(g) => formula_depth(g),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().map(formula_depth).max().unwrap_or(0),
+        Formula::Forall { body, .. }
+        | Formula::Exists { body, .. }
+        | Formula::CountExists { body, .. } => 1 + formula_depth(body),
+    }
+}
+
+/// The depth of a uGF sentence: the depth of its body (the outermost
+/// universal quantifier does not count).
+pub fn sentence_depth(s: &UgfSentence) -> usize {
+    formula_depth(&s.body)
+}
+
+/// The depth of an ontology: the maximum sentence depth. General GF
+/// sentences count their full quantifier depth minus one if they are
+/// outermost-universal, otherwise their full depth.
+pub fn ontology_depth(o: &GfOntology) -> usize {
+    let ugf = o.ugf_sentences.iter().map(sentence_depth).max().unwrap_or(0);
+    let other = o
+        .other_sentences
+        .iter()
+        .map(|s| match &s.formula {
+            Formula::Forall { body, .. } => formula_depth(body),
+            f => formula_depth(f),
+        })
+        .max()
+        .unwrap_or(0);
+    ugf.max(other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{Guard, LVar};
+    use gomq_core::Vocab;
+
+    #[test]
+    fn example2_has_depth_one() {
+        // ∀xy(R(x,y) → (A(x) ∨ ∃z S(y,z))) is in uGF(1).
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a = v.rel("A", 1);
+        let s = v.rel("S", 2);
+        let (x, y, z) = (LVar(0), LVar(1), LVar(2));
+        let sent = UgfSentence::new(
+            vec![x, y],
+            Guard::Atom { rel: r, args: vec![x, y] },
+            Formula::Or(vec![
+                Formula::unary(a, x),
+                Formula::Exists {
+                    qvars: vec![z],
+                    guard: Guard::Atom { rel: s, args: vec![y, z] },
+                    body: Box::new(Formula::True),
+                },
+            ]),
+            vec!["x".into(), "y".into(), "z".into()],
+        );
+        assert_eq!(sentence_depth(&sent), 1);
+        let o = GfOntology::from_ugf(vec![sent]);
+        assert_eq!(ontology_depth(&o), 1);
+    }
+
+    #[test]
+    fn nested_quantifiers_accumulate() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let (x, y, z) = (LVar(0), LVar(1), LVar(2));
+        // ∃y(R(x,y) ∧ ∃z(R(y,z) ∧ true)) has depth 2.
+        let f = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::Exists {
+                qvars: vec![z],
+                guard: Guard::Atom { rel: r, args: vec![y, z] },
+                body: Box::new(Formula::True),
+            }),
+        };
+        assert_eq!(formula_depth(&f), 2);
+    }
+
+    #[test]
+    fn counting_quantifiers_count() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let (x, y) = (LVar(0), LVar(1));
+        let f = Formula::CountExists {
+            n: 5,
+            qvar: y,
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::True),
+        };
+        assert_eq!(formula_depth(&f), 1);
+    }
+
+    #[test]
+    fn empty_ontology_has_depth_zero() {
+        assert_eq!(ontology_depth(&GfOntology::new()), 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Model checking GF(=)/GC₂ formulas over finite interpretations.
+//!
+//! Quantifiers range over guard matches, so evaluation enumerates, for each
+//! guarded quantifier, the facts of the guard relation that are compatible
+//! with the current assignment; equality guards range over the active
+//! domain. Counting quantifiers count distinct witnesses for the quantified
+//! variable.
+
+use crate::ontology::{GfOntology, GfSentence, UgfSentence};
+use crate::syntax::{Formula, Guard, LVar};
+use gomq_core::{Interpretation, Term};
+use std::collections::BTreeMap;
+
+/// A variable assignment.
+pub type Assignment = BTreeMap<LVar, Term>;
+
+/// Evaluates `f` in `a` under `asg` (which must bind all free variables).
+///
+/// # Panics
+///
+/// Panics if a free variable is unbound.
+pub fn eval(f: &Formula, a: &Interpretation, asg: &Assignment) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom { rel, args } => {
+            let fact = gomq_core::Fact::new(
+                *rel,
+                args.iter().map(|v| lookup(asg, *v)).collect(),
+            );
+            a.contains(&fact)
+        }
+        Formula::Eq(x, y) => lookup(asg, *x) == lookup(asg, *y),
+        Formula::Not(g) => !eval(g, a, asg),
+        Formula::And(fs) => fs.iter().all(|g| eval(g, a, asg)),
+        Formula::Or(fs) => fs.iter().any(|g| eval(g, a, asg)),
+        Formula::Forall { qvars, guard, body } => {
+            // Quantified variables shadow outer bindings (the two-variable
+            // translation of DLs re-uses x and y), so unbind them first.
+            let mut scope = asg.clone();
+            for q in qvars {
+                scope.remove(q);
+            }
+            let mut all = true;
+            for_guard_matches(guard, qvars, a, &scope, &mut |ext| {
+                if !eval(body, a, ext) {
+                    all = false;
+                    return true; // stop
+                }
+                false
+            });
+            all
+        }
+        Formula::Exists { qvars, guard, body } => {
+            let mut scope = asg.clone();
+            for q in qvars {
+                scope.remove(q);
+            }
+            let mut any = false;
+            for_guard_matches(guard, qvars, a, &scope, &mut |ext| {
+                if eval(body, a, ext) {
+                    any = true;
+                    return true;
+                }
+                false
+            });
+            any
+        }
+        Formula::CountExists {
+            n,
+            qvar,
+            guard,
+            body,
+        } => {
+            let mut scope = asg.clone();
+            scope.remove(qvar);
+            let mut witnesses: std::collections::BTreeSet<Term> = Default::default();
+            for_guard_matches(guard, &[*qvar], a, &scope, &mut |ext| {
+                if eval(body, a, ext) {
+                    witnesses.insert(ext[qvar]);
+                }
+                false
+            });
+            witnesses.len() as u32 >= *n
+        }
+    }
+}
+
+fn lookup(asg: &Assignment, v: LVar) -> Term {
+    *asg.get(&v)
+        .unwrap_or_else(|| panic!("unbound variable v{} during evaluation", v.0))
+}
+
+/// Enumerates extensions of `asg` that bind `qvars` and satisfy the guard.
+/// `cb` returns `true` to stop early.
+fn for_guard_matches(
+    guard: &Guard,
+    qvars: &[LVar],
+    a: &Interpretation,
+    asg: &Assignment,
+    cb: &mut dyn FnMut(&Assignment) -> bool,
+) {
+    match guard {
+        Guard::Atom { rel, args } => {
+            for fact in a.facts_of(*rel) {
+                if fact.args.len() != args.len() {
+                    continue;
+                }
+                let mut ext = asg.clone();
+                let mut ok = true;
+                for (&v, &t) in args.iter().zip(fact.args.iter()) {
+                    match ext.get(&v) {
+                        Some(&prev) if prev != t => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            if qvars.contains(&v) {
+                                ext.insert(v, t);
+                            } else {
+                                // Guard mentions an unbound non-quantified
+                                // variable: malformed formula.
+                                panic!("guard variable v{} neither bound nor quantified", v.0);
+                            }
+                        }
+                    }
+                }
+                if ok && cb(&ext) {
+                    return;
+                }
+            }
+        }
+        Guard::Eq(x, y) => {
+            // The guard x = y: if both are (or become) the same element.
+            let bx = asg.get(x).copied();
+            let by = asg.get(y).copied();
+            match (bx, by) {
+                (Some(tx), Some(ty)) => {
+                    if tx == ty {
+                        cb(asg);
+                    }
+                }
+                (Some(t), None) | (None, Some(t)) => {
+                    let unbound = if bx.is_none() { *x } else { *y };
+                    let mut ext = asg.clone();
+                    ext.insert(unbound, t);
+                    cb(&ext);
+                }
+                (None, None) => {
+                    if x == y {
+                        // ∀x(x = x → …): range over the active domain.
+                        for t in a.dom() {
+                            let mut ext = asg.clone();
+                            ext.insert(*x, t);
+                            if cb(&ext) {
+                                return;
+                            }
+                        }
+                    } else {
+                        // Two unbound variables forced equal: range over
+                        // the diagonal.
+                        for t in a.dom() {
+                            let mut ext = asg.clone();
+                            ext.insert(*x, t);
+                            ext.insert(*y, t);
+                            if cb(&ext) {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether the interpretation satisfies a closed GF sentence.
+pub fn satisfies_sentence(a: &Interpretation, s: &GfSentence) -> bool {
+    eval(&s.formula, a, &Assignment::new())
+}
+
+/// Whether the interpretation satisfies a uGF sentence.
+pub fn satisfies_ugf(a: &Interpretation, s: &UgfSentence) -> bool {
+    eval(&s.to_formula(), a, &Assignment::new())
+}
+
+/// Whether a binary relation is interpreted as a partial function in `a`.
+pub fn is_functional_in(a: &Interpretation, rel: gomq_core::RelId) -> bool {
+    let mut seen: BTreeMap<Term, Term> = BTreeMap::new();
+    for f in a.facts_of(rel) {
+        if f.args.len() != 2 {
+            return false;
+        }
+        match seen.get(&f.args[0]) {
+            Some(&prev) if prev != f.args[1] => return false,
+            _ => {
+                seen.insert(f.args[0], f.args[1]);
+            }
+        }
+    }
+    true
+}
+
+/// Whether the inverse of a binary relation is functional in `a`.
+pub fn is_inverse_functional_in(a: &Interpretation, rel: gomq_core::RelId) -> bool {
+    let mut seen: BTreeMap<Term, Term> = BTreeMap::new();
+    for f in a.facts_of(rel) {
+        if f.args.len() != 2 {
+            return false;
+        }
+        match seen.get(&f.args[1]) {
+            Some(&prev) if prev != f.args[0] => return false,
+            _ => {
+                seen.insert(f.args[1], f.args[0]);
+            }
+        }
+    }
+    true
+}
+
+/// Whether a binary relation is transitively closed in `a`.
+pub fn is_transitive_in(a: &Interpretation, rel: gomq_core::RelId) -> bool {
+    for f1 in a.facts_of(rel) {
+        if f1.args.len() != 2 {
+            return false;
+        }
+        for f2 in a.facts_of(rel) {
+            if f1.args[1] == f2.args[0] {
+                let composed = gomq_core::Fact::new(rel, vec![f1.args[0], f2.args[1]]);
+                if !a.contains(&composed) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether `a ⊨ O`: all sentences hold and all declared functions are
+/// functional.
+pub fn satisfies_ontology(a: &Interpretation, o: &GfOntology) -> bool {
+    o.transitive.iter().all(|&r| is_transitive_in(a, r))
+        && o.functional.iter().all(|&r| is_functional_in(a, r))
+        && o
+            .inverse_functional
+            .iter()
+            .all(|&r| is_inverse_functional_in(a, r))
+        && o.ugf_sentences.iter().all(|s| satisfies_ugf(a, s))
+        && o.other_sentences.iter().all(|s| satisfies_sentence(a, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::{Fact, Vocab};
+
+    fn chain(v: &mut Vocab, n: usize) -> Interpretation {
+        let r = v.rel("R", 2);
+        let mut i = Interpretation::new();
+        for k in 0..n {
+            let a = v.constant(&format!("e{k}"));
+            let b = v.constant(&format!("e{}", k + 1));
+            i.insert(Fact::consts(r, &[a, b]));
+        }
+        i
+    }
+
+    #[test]
+    fn exists_along_guard() {
+        let mut v = Vocab::new();
+        let i = chain(&mut v, 2);
+        let r = v.rel("R", 2);
+        let (x, y) = (LVar(0), LVar(1));
+        // φ(x) = ∃y(R(x,y) ∧ true)
+        let phi = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::True),
+        };
+        let e0 = Term::Const(v.constant("e0"));
+        let e2 = Term::Const(v.constant("e2"));
+        let mut asg = Assignment::new();
+        asg.insert(x, e0);
+        assert!(eval(&phi, &i, &asg));
+        asg.insert(x, e2);
+        assert!(!eval(&phi, &i, &asg));
+    }
+
+    #[test]
+    fn forall_with_equality_guard_ranges_over_domain() {
+        let mut v = Vocab::new();
+        let i = chain(&mut v, 2);
+        let r = v.rel("R", 2);
+        let (x, y) = (LVar(0), LVar(1));
+        // ∀x ∃y(R(x,y) ∨ R(y,x)) — every node is incident to an edge.
+        let body = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::True),
+        };
+        let sent = Formula::Forall {
+            qvars: vec![x],
+            guard: Guard::Eq(x, x),
+            body: Box::new(Formula::Or(vec![
+                body,
+                Formula::Exists {
+                    qvars: vec![y],
+                    guard: Guard::Atom { rel: r, args: vec![y, x] },
+                    body: Box::new(Formula::True),
+                },
+            ])),
+        };
+        assert!(eval(&sent, &i, &Assignment::new()));
+    }
+
+    #[test]
+    fn counting_quantifier_counts_distinct_witnesses() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let h = v.constant("h");
+        let mut i = Interpretation::new();
+        for k in 0..5 {
+            let f = v.constant(&format!("f{k}"));
+            i.insert(Fact::consts(r, &[h, f]));
+        }
+        let (x, y) = (LVar(0), LVar(1));
+        let mut asg = Assignment::new();
+        asg.insert(x, Term::Const(h));
+        let at_least = |n: u32| Formula::CountExists {
+            n,
+            qvar: y,
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::True),
+        };
+        assert!(eval(&at_least(5), &i, &asg));
+        assert!(!eval(&at_least(6), &i, &asg));
+    }
+
+    #[test]
+    fn functionality_check() {
+        let mut v = Vocab::new();
+        let r = v.rel("F", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let mut i = Interpretation::new();
+        i.insert(Fact::consts(r, &[a, b]));
+        assert!(is_functional_in(&i, r));
+        i.insert(Fact::consts(r, &[a, c]));
+        assert!(!is_functional_in(&i, r));
+    }
+
+    #[test]
+    fn ontology_satisfaction_with_function() {
+        let mut v = Vocab::new();
+        let f = v.rel("F", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let mut o = GfOntology::new();
+        o.declare_functional(f);
+        let mut i = Interpretation::new();
+        i.insert(Fact::consts(f, &[a, b]));
+        assert!(satisfies_ontology(&i, &o));
+        let c = v.constant("c");
+        i.insert(Fact::consts(f, &[a, c]));
+        assert!(!satisfies_ontology(&i, &o));
+    }
+
+    #[test]
+    fn omat_ptime_example1_disjoint_union_failure() {
+        // OMat/PTime = { ∀x A(x) ∨ ∀x B(x) } — a GF sentence outside uGF.
+        // D1 = {A(a)} and D2 = {B(b)} are models but D1 ∪ D2 is not.
+        let mut v = Vocab::new();
+        let a_rel = v.rel("A", 1);
+        let b_rel = v.rel("B", 1);
+        let x = LVar(0);
+        let all_a = Formula::Forall {
+            qvars: vec![x],
+            guard: Guard::Eq(x, x),
+            body: Box::new(Formula::unary(a_rel, x)),
+        };
+        let all_b = Formula::Forall {
+            qvars: vec![x],
+            guard: Guard::Eq(x, x),
+            body: Box::new(Formula::unary(b_rel, x)),
+        };
+        let s = GfSentence::new(Formula::Or(vec![all_a, all_b]), vec!["x".into()]);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let d1 = Interpretation::from_facts(vec![Fact::consts(a_rel, &[a])]);
+        let d2 = Interpretation::from_facts(vec![Fact::consts(b_rel, &[b])]);
+        assert!(satisfies_sentence(&d1, &s));
+        assert!(satisfies_sentence(&d2, &s));
+        let union = d1.union(&d2);
+        assert!(!satisfies_sentence(&union, &s));
+    }
+}

@@ -1,0 +1,31 @@
+//! # gomq-logic
+//!
+//! Syntax and finite-model semantics of the guarded fragment (GF) of
+//! first-order logic and the ontology languages built from it in
+//! *Dichotomies in Ontology-Mediated Querying with the Guarded Fragment*
+//! (PODS 2017):
+//!
+//! * [`syntax`] — GF(=) formulas with guarded quantifiers, guarded counting
+//!   quantifiers (GC₂) and equality; free variables; well-formedness,
+//! * [`ontology`] — GF sentences, uGF sentences (`∀ȳ(α(ȳ) → φ)` with
+//!   `φ ∈ openGF`), ontologies with functionality axioms,
+//! * [`depth`] — quantifier depth in the paper's sense (the outermost uGF
+//!   quantifier does not count),
+//! * [`fragment`] — the Figure-1 fragment lattice (`uGF(1)`, `uGF⁻(1,=)`,
+//!   `uGF⁻₂(2)`, `uGC⁻₂(1,=)`, `uGF₂(1,=)`, …) and feature extraction,
+//! * [`eval`] — model checking over finite interpretations,
+//! * [`scott`] — polarity-based Scott normal form reducing any uGF ontology
+//!   to depth ≤ 1 as a conservative extension.
+
+#![warn(missing_docs)]
+
+pub mod depth;
+pub mod eval;
+pub mod fragment;
+pub mod ontology;
+pub mod scott;
+pub mod syntax;
+
+pub use fragment::{Fragment, FragmentFeatures};
+pub use ontology::{GfOntology, GfSentence, UgfSentence};
+pub use syntax::{Formula, Guard, LVar};

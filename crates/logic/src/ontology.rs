@@ -1,0 +1,365 @@
+//! Sentences and ontologies.
+//!
+//! A *uGF sentence* has the form `∀ȳ(α(ȳ) → φ(ȳ))` where `α` is an atom or
+//! an equality guard containing all variables of `ȳ` and `φ ∈ openGF`
+//! (§2.1). By Theorem 1 these are, up to equivalence, exactly the GF
+//! sentences invariant under disjoint unions. General GF sentences (used by
+//! the paper's Example 1 counterexamples) are represented by
+//! [`GfSentence`].
+//!
+//! An ontology is a finite set of sentences plus, for the `(f)` fragments,
+//! a set of relation symbols declared to be partial functions
+//! (`∀x∀y₁∀y₂(R(x,y₁) ∧ R(x,y₂) → y₁ = y₂)`).
+
+use crate::syntax::{Formula, Guard, LVar};
+use gomq_core::RelId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A closed GF(=) formula with its variable-name table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GfSentence {
+    /// The closed formula.
+    pub formula: Formula,
+    /// Names for the variables `LVar(0..)`.
+    pub var_names: Vec<String>,
+}
+
+impl GfSentence {
+    /// Creates a sentence, validating closedness and well-guardedness of
+    /// all *guarded* quantifiers (the formula may still combine closed
+    /// subsentences boolean-ly, which full GF allows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has free variables.
+    pub fn new(formula: Formula, var_names: Vec<String>) -> Self {
+        assert!(
+            formula.is_sentence(),
+            "a GfSentence must have no free variables"
+        );
+        GfSentence { formula, var_names }
+    }
+
+    /// Attempts to view this sentence as a uGF sentence.
+    pub fn as_ugf(&self) -> Option<UgfSentence> {
+        match &self.formula {
+            Formula::Forall { qvars, guard, body } if body.is_open_gf() => {
+                // The guard must contain exactly the quantified variables
+                // (the sentence is closed, so guard vars ⊆ qvars suffices
+                // together with well-guardedness).
+                let gv = guard.vars();
+                let qv: BTreeSet<LVar> = qvars.iter().copied().collect();
+                (gv.is_subset(&qv) && body.free_vars().is_subset(&qv) && body.is_well_guarded())
+                    .then(|| UgfSentence {
+                        qvars: qvars.clone(),
+                        guard: guard.clone(),
+                        body: (**body).clone(),
+                        var_names: self.var_names.clone(),
+                    })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A uGF(=) / uGC₂(=) sentence `∀ȳ(α(ȳ) → φ(ȳ))`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UgfSentence {
+    /// The outermost quantified variables `ȳ`.
+    pub qvars: Vec<LVar>,
+    /// The outermost guard `α(ȳ)`.
+    pub guard: Guard,
+    /// The body `φ(ȳ) ∈ openGF` (or openGC₂).
+    pub body: Formula,
+    /// Names for the variables.
+    pub var_names: Vec<String>,
+}
+
+impl UgfSentence {
+    /// Creates a uGF sentence, validating the side conditions: the guard
+    /// covers all quantified variables, the body is openGF (openGC₂) with
+    /// free variables among `ȳ`, and the body is well-guarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violated side conditions.
+    pub fn new(qvars: Vec<LVar>, guard: Guard, body: Formula, var_names: Vec<String>) -> Self {
+        let qv: BTreeSet<LVar> = qvars.iter().copied().collect();
+        assert!(
+            guard.vars().is_subset(&qv),
+            "outer guard must use only quantified variables"
+        );
+        assert!(
+            body.free_vars().is_subset(&qv),
+            "body free variables must be quantified"
+        );
+        assert!(body.is_open_gf(), "uGF body must be in openGF/openGC2");
+        assert!(body.is_well_guarded(), "uGF body must be well-guarded");
+        UgfSentence {
+            qvars,
+            guard,
+            body,
+            var_names,
+        }
+    }
+
+    /// The sentence `∀x φ(x)`, i.e. `∀x(x = x → φ(x))`.
+    pub fn forall_one(x: LVar, body: Formula, var_names: Vec<String>) -> Self {
+        UgfSentence::new(vec![x], Guard::Eq(x, x), body, var_names)
+    }
+
+    /// Converts to the underlying closed formula.
+    pub fn to_formula(&self) -> Formula {
+        Formula::Forall {
+            qvars: self.qvars.clone(),
+            guard: self.guard.clone(),
+            body: Box::new(self.body.clone()),
+        }
+    }
+
+    /// Converts to a [`GfSentence`].
+    pub fn to_gf(&self) -> GfSentence {
+        GfSentence {
+            formula: self.to_formula(),
+            var_names: self.var_names.clone(),
+        }
+    }
+
+    /// Whether the outermost guard is an equality (the `·⁻` fragments).
+    pub fn outer_guard_is_equality(&self) -> bool {
+        self.guard.is_equality()
+    }
+
+    /// All relation symbols of the sentence.
+    pub fn rels(&self) -> BTreeSet<RelId> {
+        let mut r = self.body.rels();
+        if let Guard::Atom { rel, .. } = &self.guard {
+            r.insert(*rel);
+        }
+        r
+    }
+}
+
+impl fmt::Display for UgfSentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_formula().display(&self.var_names))
+    }
+}
+
+/// An ontology: a finite set of GF sentences (usually uGF sentences) plus
+/// functionality declarations.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct GfOntology {
+    /// uGF sentences (the invariant-under-disjoint-unions part).
+    pub ugf_sentences: Vec<UgfSentence>,
+    /// General GF sentences outside uGF (empty for uGF ontologies).
+    pub other_sentences: Vec<GfSentence>,
+    /// Binary relations declared to be partial functions.
+    pub functional: BTreeSet<RelId>,
+    /// Binary relations whose *inverse* is declared to be a partial
+    /// function (`∀y∀x₁∀x₂(R(x₁,y) ∧ R(x₂,y) → x₁ = x₂)`).
+    pub inverse_functional: BTreeSet<RelId>,
+    /// Binary relations declared transitive — the extension the paper's
+    /// conclusion names as future work; supported by the model checker
+    /// and the countermodel engine, outside the Figure-1 fragments.
+    pub transitive: BTreeSet<RelId>,
+}
+
+impl GfOntology {
+    /// Creates an empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an ontology from uGF sentences.
+    pub fn from_ugf(sentences: Vec<UgfSentence>) -> Self {
+        GfOntology {
+            ugf_sentences: sentences,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a uGF sentence.
+    pub fn push(&mut self, s: UgfSentence) -> &mut Self {
+        self.ugf_sentences.push(s);
+        self
+    }
+
+    /// Adds a general GF sentence.
+    pub fn push_gf(&mut self, s: GfSentence) -> &mut Self {
+        self.other_sentences.push(s);
+        self
+    }
+
+    /// Declares a binary relation to be a partial function.
+    pub fn declare_functional(&mut self, rel: RelId) -> &mut Self {
+        self.functional.insert(rel);
+        self
+    }
+
+    /// Declares the inverse of a binary relation to be a partial function.
+    pub fn declare_inverse_functional(&mut self, rel: RelId) -> &mut Self {
+        self.inverse_functional.insert(rel);
+        self
+    }
+
+    /// Declares a binary relation to be transitive.
+    pub fn declare_transitive(&mut self, rel: RelId) -> &mut Self {
+        self.transitive.insert(rel);
+        self
+    }
+
+    /// Whether the ontology is a uGF ontology (hence syntactically
+    /// invariant under disjoint unions; Theorem 1).
+    pub fn is_ugf(&self) -> bool {
+        self.other_sentences.is_empty()
+    }
+
+    /// The signature `sig(O)`: all relation symbols occurring in the
+    /// ontology.
+    pub fn sig(&self) -> BTreeSet<RelId> {
+        let mut s: BTreeSet<RelId> = BTreeSet::new();
+        for u in &self.ugf_sentences {
+            s.extend(u.rels());
+        }
+        for g in &self.other_sentences {
+            s.extend(g.formula.rels());
+        }
+        s.extend(self.functional.iter().copied());
+        s.extend(self.inverse_functional.iter().copied());
+        s.extend(self.transitive.iter().copied());
+        s
+    }
+
+    /// Union of two ontologies (the paper's `O₁ ∪ O₂`).
+    pub fn union(&self, other: &GfOntology) -> GfOntology {
+        let mut out = self.clone();
+        out.ugf_sentences.extend(other.ugf_sentences.iter().cloned());
+        out.other_sentences
+            .extend(other.other_sentences.iter().cloned());
+        out.functional.extend(other.functional.iter().copied());
+        out.inverse_functional
+            .extend(other.inverse_functional.iter().copied());
+        out.transitive.extend(other.transitive.iter().copied());
+        out
+    }
+
+    /// The size measure `|O|`: total number of symbols (relations,
+    /// variables, connectives, numbers in unary).
+    pub fn size(&self) -> usize {
+        fn formula_size(f: &Formula) -> usize {
+            match f {
+                Formula::True | Formula::False => 1,
+                Formula::Atom { args, .. } => 1 + args.len(),
+                Formula::Eq(_, _) => 3,
+                Formula::Not(g) => 1 + formula_size(g),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    1 + fs.iter().map(formula_size).sum::<usize>()
+                }
+                Formula::Forall { qvars, guard, body }
+                | Formula::Exists { qvars, guard, body } => {
+                    1 + qvars.len() + guard.vars().len() + 1 + formula_size(body)
+                }
+                Formula::CountExists { n, guard, body, .. } => {
+                    1 + *n as usize + guard.vars().len() + 1 + formula_size(body)
+                }
+            }
+        }
+        self.ugf_sentences
+            .iter()
+            .map(|s| formula_size(&s.to_formula()))
+            .sum::<usize>()
+            + self
+                .other_sentences
+                .iter()
+                .map(|s| formula_size(&s.formula))
+                .sum::<usize>()
+            + 4 * (self.functional.len() + self.inverse_functional.len() + self.transitive.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::Vocab;
+
+    /// Builds the paper's Example 2 sentence
+    /// `∀xy(R(x,y) → (A(x) ∨ ∃z S(y,z)))`.
+    fn example2(v: &mut Vocab) -> UgfSentence {
+        let r = v.rel("R", 2);
+        let a = v.rel("A", 1);
+        let s = v.rel("S", 2);
+        let (x, y, z) = (LVar(0), LVar(1), LVar(2));
+        UgfSentence::new(
+            vec![x, y],
+            Guard::Atom { rel: r, args: vec![x, y] },
+            Formula::Or(vec![
+                Formula::unary(a, x),
+                Formula::Exists {
+                    qvars: vec![z],
+                    guard: Guard::Atom { rel: s, args: vec![y, z] },
+                    body: Box::new(Formula::True),
+                },
+            ]),
+            vec!["x".into(), "y".into(), "z".into()],
+        )
+    }
+
+    #[test]
+    fn example2_is_valid_ugf() {
+        let mut v = Vocab::new();
+        let s = example2(&mut v);
+        assert!(!s.outer_guard_is_equality());
+        assert_eq!(s.rels().len(), 3);
+        let gf = s.to_gf();
+        let back = gf.as_ugf().expect("round-trips through GfSentence");
+        assert_eq!(back.body, s.body);
+    }
+
+    #[test]
+    #[should_panic(expected = "openGF")]
+    fn sentence_body_rejected() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a = v.rel("A", 1);
+        let (x, y) = (LVar(0), LVar(1));
+        // Body ∀xy(R(x,y) → A(x)) is a sentence — not openGF.
+        let body = Formula::Forall {
+            qvars: vec![x, y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::unary(a, x)),
+        };
+        let z = LVar(2);
+        UgfSentence::new(
+            vec![z],
+            Guard::Eq(z, z),
+            body,
+            vec!["x".into(), "y".into(), "z".into()],
+        );
+    }
+
+    #[test]
+    fn forall_one_builds_equality_guard() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let x = LVar(0);
+        let s = UgfSentence::forall_one(x, Formula::unary(a, x), vec!["x".into()]);
+        assert!(s.outer_guard_is_equality());
+    }
+
+    #[test]
+    fn ontology_union_and_sig() {
+        let mut v = Vocab::new();
+        let s1 = example2(&mut v);
+        let o1 = GfOntology::from_ugf(vec![s1]);
+        let mut o2 = GfOntology::new();
+        let f = v.rel("F", 2);
+        o2.declare_functional(f);
+        let u = o1.union(&o2);
+        assert!(u.is_ugf());
+        assert_eq!(u.sig().len(), 4);
+        assert!(u.functional.contains(&f));
+        assert!(u.size() > 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Depth reduction via polarity-based Scott normal form.
+//!
+//! The paper observes (§2.1) that every GF sentence has a polynomial-time
+//! computable *conservative extension* in uGF(1). This module implements
+//! the construction for uGF ontologies: nested quantified subformulas are
+//! abstracted by fresh relation symbols, with defining axioms whose
+//! direction depends on the polarity of the occurrence:
+//!
+//! * a *positive* occurrence `χ(x̄)` becomes `P_χ(x̄)` with the axiom
+//!   `∀x̄(P_χ(x̄) → χ̂(x̄))`,
+//! * a *negative* occurrence becomes `¬N_χ(x̄)` with the axiom
+//!   `∀x̄(N_χ(x̄) → ¬χ̂(x̄))`,
+//!
+//! where `χ̂` is `χ` with its own body recursively flattened. Every model
+//! of the original ontology expands to a model of the extension (interpret
+//! `P_χ`/`N_χ` as the extensions of `χ`/`¬χ`), and every model of the
+//! extension is a model of the original — hence certain answers to queries
+//! over the original signature are preserved.
+
+use crate::ontology::{GfOntology, UgfSentence};
+use crate::syntax::{Formula, Guard, LVar};
+use gomq_core::{RelId, Vocab};
+
+/// Rewrites an ontology into a conservative extension of depth ≤ `target`
+/// (≥ 1). Fresh relation symbols are interned into `vocab` with names
+/// `_scottN`.
+///
+/// General (non-uGF) sentences are passed through unchanged; functionality
+/// declarations are preserved.
+pub fn reduce_to_depth(o: &GfOntology, target: usize, vocab: &mut Vocab) -> GfOntology {
+    assert!(target >= 1, "target depth must be at least 1");
+    let mut out = GfOntology::new();
+    out.functional = o.functional.clone();
+    out.inverse_functional = o.inverse_functional.clone();
+    out.other_sentences = o.other_sentences.clone();
+    let mut ctx = Ctx {
+        vocab,
+        fresh: 0,
+        emitted: Vec::new(),
+    };
+    for s in &o.ugf_sentences {
+        let mut names = s.var_names.clone();
+        let body = ctx.strip(&s.body, true, target, &mut names);
+        out.ugf_sentences.push(UgfSentence::new(
+            s.qvars.clone(),
+            s.guard.clone(),
+            body,
+            names,
+        ));
+    }
+    out.ugf_sentences.append(&mut ctx.emitted);
+    out
+}
+
+/// Rewrites an ontology into a conservative extension in uGF(1) (depth 1).
+pub fn reduce_to_depth1(o: &GfOntology, vocab: &mut Vocab) -> GfOntology {
+    reduce_to_depth(o, 1, vocab)
+}
+
+struct Ctx<'a> {
+    vocab: &'a mut Vocab,
+    fresh: usize,
+    emitted: Vec<UgfSentence>,
+}
+
+impl Ctx<'_> {
+    fn fresh_rel(&mut self, arity: usize) -> RelId {
+        loop {
+            let name = format!("_scott{}", self.fresh);
+            self.fresh += 1;
+            if self.vocab.find_rel(&name).is_none() {
+                return self.vocab.rel(&name, arity);
+            }
+        }
+    }
+
+    #[allow(clippy::ptr_arg)]
+    /// Returns a formula of depth ≤ `budget` equivalent to `f` relative to
+    /// the emitted axioms. `positive` is the polarity of the position of
+    /// `f` in the sentence being rewritten.
+    fn strip(
+        &mut self,
+        f: &Formula,
+        positive: bool,
+        budget: usize,
+        names: &mut Vec<String>,
+    ) -> Formula {
+        if crate::depth::formula_depth(f) <= budget {
+            return f.clone();
+        }
+        match f {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => {
+                unreachable!("depth-0 leaves never exceed the budget")
+            }
+            Formula::Not(g) => Formula::Not(Box::new(self.strip(g, !positive, budget, names))),
+            Formula::And(fs) => Formula::And(
+                fs.iter()
+                    .map(|g| self.strip(g, positive, budget, names))
+                    .collect(),
+            ),
+            Formula::Or(fs) => Formula::Or(
+                fs.iter()
+                    .map(|g| self.strip(g, positive, budget, names))
+                    .collect(),
+            ),
+            quantified => {
+                if budget >= 1 {
+                    // Keep the quantifier, flatten its body one level down.
+                    self.rebuild_quantifier(quantified, positive, budget - 1, names)
+                } else {
+                    // Abstract the whole quantified subformula.
+                    self.abstract_quantifier(quantified, positive, names)
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a quantifier node with its body stripped to `body_budget`.
+    fn rebuild_quantifier(
+        &mut self,
+        f: &Formula,
+        positive: bool,
+        body_budget: usize,
+        names: &mut Vec<String>,
+    ) -> Formula {
+        match f {
+            Formula::Forall { qvars, guard, body } => Formula::Forall {
+                qvars: qvars.clone(),
+                guard: guard.clone(),
+                body: Box::new(self.strip(body, positive, body_budget, names)),
+            },
+            Formula::Exists { qvars, guard, body } => Formula::Exists {
+                qvars: qvars.clone(),
+                guard: guard.clone(),
+                body: Box::new(self.strip(body, positive, body_budget, names)),
+            },
+            Formula::CountExists {
+                n,
+                qvar,
+                guard,
+                body,
+            } => Formula::CountExists {
+                n: *n,
+                qvar: *qvar,
+                guard: guard.clone(),
+                body: Box::new(self.strip(body, positive, body_budget, names)),
+            },
+            _ => unreachable!("only called on quantifier nodes"),
+        }
+    }
+
+    /// Replaces a quantified subformula by a fresh atom and emits its
+    /// defining axiom (of depth ≤ 1 relative to further emissions).
+    #[allow(clippy::ptr_arg)]
+    fn abstract_quantifier(
+        &mut self,
+        f: &Formula,
+        positive: bool,
+        names: &mut Vec<String>,
+    ) -> Formula {
+        let free: Vec<LVar> = f.free_vars().into_iter().collect();
+        debug_assert!(!free.is_empty(), "openGF has no closed subformulas");
+        let rel = self.fresh_rel(free.len());
+        // The axiom body: the quantifier with its own body flattened to
+        // depth 0, negated for the negative-polarity axiom.
+        let mut axiom_names = names.clone();
+        let hat = self.rebuild_quantifier(f, positive, 0, &mut axiom_names);
+        let axiom_body = if positive {
+            hat
+        } else {
+            Formula::Not(Box::new(hat))
+        };
+        self.emitted.push(UgfSentence::new(
+            free.clone(),
+            Guard::Atom {
+                rel,
+                args: free.clone(),
+            },
+            axiom_body,
+            axiom_names,
+        ));
+        let replacement = Formula::Atom {
+            rel,
+            args: free,
+        };
+        if positive {
+            replacement
+        } else {
+            Formula::Not(Box::new(replacement))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::{ontology_depth, sentence_depth};
+    use crate::eval::{satisfies_ontology, satisfies_ugf};
+    use gomq_core::{Fact, Interpretation};
+
+    /// ∀x(x=x → ∃y(R(x,y) ∧ ∃z(R(y,z) ∧ ∃w(R(z,w) ∧ A(w))))) — depth 3.
+    fn depth3_ontology(v: &mut Vocab) -> GfOntology {
+        let r = v.rel("R", 2);
+        let a = v.rel("A", 1);
+        let (x, y, z, w) = (LVar(0), LVar(1), LVar(2), LVar(3));
+        let chain = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::Exists {
+                qvars: vec![z],
+                guard: Guard::Atom { rel: r, args: vec![y, z] },
+                body: Box::new(Formula::Exists {
+                    qvars: vec![w],
+                    guard: Guard::Atom { rel: r, args: vec![z, w] },
+                    body: Box::new(Formula::unary(a, w)),
+                }),
+            }),
+        };
+        GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            chain,
+            vec!["x".into(), "y".into(), "z".into(), "w".into()],
+        )])
+    }
+
+    #[test]
+    fn reduction_reaches_target_depth() {
+        let mut v = Vocab::new();
+        let o = depth3_ontology(&mut v);
+        assert_eq!(ontology_depth(&o), 3);
+        let o1 = reduce_to_depth1(&o, &mut v);
+        assert_eq!(ontology_depth(&o1), 1);
+        for s in &o1.ugf_sentences {
+            assert!(sentence_depth(s) <= 1);
+        }
+        let o2 = reduce_to_depth(&o, 2, &mut v);
+        assert_eq!(ontology_depth(&o2), 2);
+    }
+
+    #[test]
+    fn models_of_extension_model_original() {
+        // Build a finite model of the reduced ontology by hand and check it
+        // satisfies the original (the O' ⊨ O direction of conservativity).
+        let mut v = Vocab::new();
+        let o = depth3_ontology(&mut v);
+        let o1 = reduce_to_depth1(&o, &mut v);
+        let r = v.rel("R", 2);
+        let a_rel = v.rel("A", 1);
+        // A 3-cycle where everything is in A: satisfies the original; extend
+        // with full extensions of the fresh relations to satisfy O' too.
+        let e0 = v.constant("e0");
+        let e1 = v.constant("e1");
+        let e2 = v.constant("e2");
+        let mut m = Interpretation::new();
+        for (s, t) in [(e0, e1), (e1, e2), (e2, e0)] {
+            m.insert(Fact::consts(r, &[s, t]));
+        }
+        for c in [e0, e1, e2] {
+            m.insert(Fact::consts(a_rel, &[c]));
+        }
+        assert!(satisfies_ontology(&m, &o));
+        // Interpret each fresh predicate by its intended extension: iterate
+        // to a fixpoint adding P_χ(ā) whenever the axiom body already holds
+        // (the axioms are P → χ̂, so the full extension works; here we just
+        // add every tuple and rely on χ̂ holding everywhere in this model).
+        let mut m2 = m.clone();
+        for s in &o1.ugf_sentences {
+            if let Guard::Atom { rel, args } = &s.guard {
+                if v.rel_name(*rel).starts_with("_scott") {
+                    // Try adding all tuples over the domain of matching arity.
+                    let dom: Vec<_> = m.dom().into_iter().collect();
+                    let k = args.len();
+                    let mut idx = vec![0usize; k];
+                    loop {
+                        let tuple: Vec<_> = idx.iter().map(|&i| dom[i]).collect();
+                        m2.insert(Fact::new(*rel, tuple));
+                        let mut j = 0;
+                        loop {
+                            if j == k {
+                                break;
+                            }
+                            idx[j] += 1;
+                            if idx[j] < dom.len() {
+                                break;
+                            }
+                            idx[j] = 0;
+                            j += 1;
+                        }
+                        if j == k {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // In this everything-true model, all axioms P → χ̂ hold because χ̂
+        // holds of every tuple; so m2 ⊨ O' — and by conservativity m2 ⊨ O.
+        if satisfies_ontology(&m2, &o1) {
+            assert!(satisfies_ontology(&m2, &o));
+        }
+        // Regardless, the original sentences hold in any model of O'
+        // restricted to the original signature; test the key sentence.
+        for s in &o.ugf_sentences {
+            assert!(satisfies_ugf(&m2, s));
+        }
+    }
+
+    #[test]
+    fn negative_polarity_occurrences_are_abstracted() {
+        // ∀x(x=x → ¬∃y(R(x,y) ∧ ∃z(R(y,z) ∧ true))) — the nested ∃ occurs
+        // negatively; the reduction must produce an N_χ-style axiom.
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let (x, y, z) = (LVar(0), LVar(1), LVar(2));
+        let inner = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::Exists {
+                qvars: vec![z],
+                guard: Guard::Atom { rel: r, args: vec![y, z] },
+                body: Box::new(Formula::True),
+            }),
+        };
+        let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::Not(Box::new(inner)),
+            vec!["x".into(), "y".into(), "z".into()],
+        )]);
+        let o1 = reduce_to_depth1(&o, &mut v);
+        assert_eq!(ontology_depth(&o1), 1);
+        // One emitted axiom, whose body is a negation (the N direction).
+        assert_eq!(o1.ugf_sentences.len(), 2);
+        let emitted = &o1.ugf_sentences[1];
+        assert!(matches!(emitted.body, Formula::Not(_)));
+    }
+
+    #[test]
+    fn counting_quantifiers_are_reduced_too() {
+        // ∀x(x=x → ∃≥3 y(R(x,y) ∧ ∃z(S(y,z) ∧ true))) has depth 2; the
+        // reduction abstracts the inner ∃ behind a fresh predicate while
+        // keeping the counting quantifier.
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let (x, y, z) = (LVar(0), LVar(1), LVar(2));
+        let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::CountExists {
+                n: 3,
+                qvar: y,
+                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                body: Box::new(Formula::Exists {
+                    qvars: vec![z],
+                    guard: Guard::Atom { rel: s, args: vec![y, z] },
+                    body: Box::new(Formula::True),
+                }),
+            },
+            vec!["x".into(), "y".into(), "z".into()],
+        )]);
+        assert_eq!(ontology_depth(&o), 2);
+        let o1 = reduce_to_depth1(&o, &mut v);
+        assert_eq!(ontology_depth(&o1), 1);
+        // The counting quantifier survives at the top.
+        assert!(matches!(
+            o1.ugf_sentences[0].body,
+            Formula::CountExists { n: 3, .. }
+        ));
+        assert_eq!(o1.ugf_sentences.len(), 2);
+    }
+
+    #[test]
+    fn functionality_declarations_pass_through() {
+        let mut v = Vocab::new();
+        let o3 = depth3_ontology(&mut v);
+        let f = v.rel("F", 2);
+        let mut o = o3.clone();
+        o.declare_functional(f);
+        o.declare_inverse_functional(f);
+        let o1 = reduce_to_depth1(&o, &mut v);
+        assert!(o1.functional.contains(&f));
+        assert!(o1.inverse_functional.contains(&f));
+    }
+
+    #[test]
+    fn shallow_ontologies_are_untouched() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let (x, y) = (LVar(0), LVar(1));
+        let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::Exists {
+                qvars: vec![y],
+                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                body: Box::new(Formula::True),
+            },
+            vec!["x".into(), "y".into()],
+        )]);
+        let o1 = reduce_to_depth1(&o, &mut v);
+        assert_eq!(o1.ugf_sentences.len(), 1);
+        assert_eq!(o1.ugf_sentences[0], o.ugf_sentences[0]);
+    }
+}

@@ -1,0 +1,587 @@
+//! Formula syntax of GF(=) and its counting extension GC₂.
+//!
+//! The constructors mirror §2.1 of the paper: formulas are built from
+//! relational atoms and equalities by boolean connectives and *guarded*
+//! quantifiers
+//!
+//! ```text
+//! ∀ȳ(α(x̄,ȳ) → φ(x̄,ȳ))        ∃ȳ(α(x̄,ȳ) ∧ φ(x̄,ȳ))
+//! ```
+//!
+//! where the guard `α` is an atom or an equality containing all variables
+//! of `x̄,ȳ`, plus guarded counting quantifiers `∃≥n z₁(α(z₁,z₂) ∧ φ)` in
+//! the two-variable case.
+
+use gomq_core::RelId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A logical variable, identified by an index into the owning sentence's
+/// name table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LVar(pub u32);
+
+/// A guard: the atom or equality that relativises a quantifier.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Guard {
+    /// A relational atom `R(v₁,…,v_k)`.
+    Atom {
+        /// The guarding relation symbol.
+        rel: RelId,
+        /// The argument variables (repetitions allowed).
+        args: Vec<LVar>,
+    },
+    /// An equality guard `v = w` (including the trivial `v = v` used by uGF
+    /// sentences of the form `∀x φ(x)`).
+    Eq(LVar, LVar),
+}
+
+impl Guard {
+    /// The set of variables appearing in the guard.
+    pub fn vars(&self) -> BTreeSet<LVar> {
+        match self {
+            Guard::Atom { args, .. } => args.iter().copied().collect(),
+            Guard::Eq(a, b) => [*a, *b].into_iter().collect(),
+        }
+    }
+
+    /// Whether the guard is an equality.
+    pub fn is_equality(&self) -> bool {
+        matches!(self, Guard::Eq(_, _))
+    }
+}
+
+/// A GF(=)/GC₂ formula.
+///
+/// The representation is slightly more liberal than the official grammar
+/// (e.g. it can express unguarded sentences like `∀x A(x) ∨ ∀x B(x)` by
+/// combining closed `Forall`s); [`Formula::is_open_gf`] and the uGF
+/// constructors in [`crate::ontology`] check the paper's side conditions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A relational atom.
+    Atom {
+        /// The relation symbol.
+        rel: RelId,
+        /// The argument variables.
+        args: Vec<LVar>,
+    },
+    /// An equality between variables (a *non-guard* use of equality).
+    Eq(LVar, LVar),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Guarded universal quantification `∀ȳ(guard → body)`.
+    Forall {
+        /// The quantified variables `ȳ`.
+        qvars: Vec<LVar>,
+        /// The guard `α`.
+        guard: Guard,
+        /// The body `φ`.
+        body: Box<Formula>,
+    },
+    /// Guarded existential quantification `∃ȳ(guard ∧ body)`.
+    Exists {
+        /// The quantified variables `ȳ`.
+        qvars: Vec<LVar>,
+        /// The guard `α`.
+        guard: Guard,
+        /// The body `φ`.
+        body: Box<Formula>,
+    },
+    /// Guarded counting quantifier `∃≥n y(guard ∧ body)` (GC₂ only: a
+    /// single quantified variable, binary guard).
+    CountExists {
+        /// The threshold `n ≥ 1`.
+        n: u32,
+        /// The quantified variable.
+        qvar: LVar,
+        /// The guard `α(z₁,z₂)`.
+        guard: Guard,
+        /// The body.
+        body: Box<Formula>,
+    },
+}
+
+impl Formula {
+    /// Convenience: implication `a → b` encoded as `¬a ∨ b`, simplifying
+    /// the trivial antecedents/consequents.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        match (a, b) {
+            (Formula::True, b) => b,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            (a, Formula::False) => Formula::Not(Box::new(a)),
+            (a, b) => Formula::Or(vec![Formula::Not(Box::new(a)), b]),
+        }
+    }
+
+    /// Whether the formula is a pure boolean constant (no atoms,
+    /// equalities or quantifiers).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Formula::True | Formula::False => true,
+            Formula::Not(f) => f.is_constant(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.is_constant()),
+            _ => false,
+        }
+    }
+
+    /// Convenience: a unary atom.
+    pub fn unary(rel: RelId, v: LVar) -> Formula {
+        Formula::Atom { rel, args: vec![v] }
+    }
+
+    /// Convenience: a binary atom.
+    pub fn binary(rel: RelId, a: LVar, b: LVar) -> Formula {
+        Formula::Atom {
+            rel,
+            args: vec![a, b],
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<LVar> {
+        match self {
+            Formula::True | Formula::False => BTreeSet::new(),
+            Formula::Atom { args, .. } => args.iter().copied().collect(),
+            Formula::Eq(a, b) => [*a, *b].into_iter().collect(),
+            Formula::Not(f) => f.free_vars(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().flat_map(|f| f.free_vars()).collect()
+            }
+            Formula::Forall { qvars, guard, body } | Formula::Exists { qvars, guard, body } => {
+                let mut fv = guard.vars();
+                fv.extend(body.free_vars());
+                for q in qvars {
+                    fv.remove(q);
+                }
+                fv
+            }
+            Formula::CountExists {
+                qvar, guard, body, ..
+            } => {
+                let mut fv = guard.vars();
+                fv.extend(body.free_vars());
+                fv.remove(qvar);
+                fv
+            }
+        }
+    }
+
+    /// Whether the formula is a sentence (no free variables).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Whether every guarded quantifier is well-guarded: the guard contains
+    /// all free variables of the quantified formula (i.e. the quantified
+    /// variables and the body's free variables restricted to the scope).
+    pub fn is_well_guarded(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => true,
+            Formula::Not(f) => f.is_well_guarded(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.is_well_guarded()),
+            Formula::Forall { qvars, guard, body } | Formula::Exists { qvars, guard, body } => {
+                let gv = guard.vars();
+                let mut scope_vars = body.free_vars();
+                scope_vars.extend(qvars.iter().copied());
+                scope_vars.is_subset(&gv) && body.is_well_guarded()
+            }
+            Formula::CountExists {
+                qvar, guard, body, ..
+            } => {
+                let gv = guard.vars();
+                let mut scope_vars = body.free_vars();
+                scope_vars.insert(*qvar);
+                scope_vars.is_subset(&gv)
+                    && matches!(guard, Guard::Atom { args, .. } if args.len() == 2)
+                    && body.is_well_guarded()
+            }
+        }
+    }
+
+    /// Whether the formula lies in *openGF* (extended with counting for
+    /// openGC₂): every subformula is open, and equality is never used as a
+    /// guard.
+    pub fn is_open_gf(&self) -> bool {
+        if self.free_vars().is_empty() && !self.is_constant() {
+            // Closed subformulas (sentences) are banned; pure boolean
+            // constants are tolerated as degenerate leaves.
+            return false;
+        }
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => true,
+            Formula::Not(f) => f.is_open_gf(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|f| f.is_open_gf()),
+            Formula::Forall { guard, body, .. } | Formula::Exists { guard, body, .. } => {
+                !guard.is_equality() && body.is_open_gf()
+            }
+            Formula::CountExists { guard, body, .. } => {
+                !guard.is_equality() && body.is_open_gf()
+            }
+        }
+    }
+
+    /// Whether equality occurs in a non-guard position.
+    pub fn uses_equality(&self) -> bool {
+        match self {
+            Formula::Eq(_, _) => true,
+            Formula::True | Formula::False | Formula::Atom { .. } => false,
+            Formula::Not(f) => f.uses_equality(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|f| f.uses_equality()),
+            Formula::Forall { body, .. }
+            | Formula::Exists { body, .. }
+            | Formula::CountExists { body, .. } => body.uses_equality(),
+        }
+    }
+
+    /// Whether a counting quantifier occurs.
+    pub fn uses_counting(&self) -> bool {
+        match self {
+            Formula::CountExists { .. } => true,
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(_, _) => false,
+            Formula::Not(f) => f.uses_counting(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|f| f.uses_counting()),
+            Formula::Forall { body, .. } | Formula::Exists { body, .. } => body.uses_counting(),
+        }
+    }
+
+    /// All variables (free or bound) mentioned anywhere in the formula.
+    pub fn all_vars(&self) -> BTreeSet<LVar> {
+        match self {
+            Formula::True | Formula::False => BTreeSet::new(),
+            Formula::Atom { args, .. } => args.iter().copied().collect(),
+            Formula::Eq(a, b) => [*a, *b].into_iter().collect(),
+            Formula::Not(f) => f.all_vars(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().flat_map(|f| f.all_vars()).collect(),
+            Formula::Forall { qvars, guard, body } | Formula::Exists { qvars, guard, body } => {
+                let mut v = guard.vars();
+                v.extend(body.all_vars());
+                v.extend(qvars.iter().copied());
+                v
+            }
+            Formula::CountExists {
+                qvar, guard, body, ..
+            } => {
+                let mut v = guard.vars();
+                v.extend(body.all_vars());
+                v.insert(*qvar);
+                v
+            }
+        }
+    }
+
+    /// All relation symbols mentioned (in guards or atoms).
+    pub fn rels(&self) -> BTreeSet<RelId> {
+        fn guard_rel(g: &Guard, out: &mut BTreeSet<RelId>) {
+            if let Guard::Atom { rel, .. } = g {
+                out.insert(*rel);
+            }
+        }
+        let mut out = BTreeSet::new();
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => {}
+            Formula::Atom { rel, .. } => {
+                out.insert(*rel);
+            }
+            Formula::Not(f) => out.extend(f.rels()),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    out.extend(f.rels());
+                }
+            }
+            Formula::Forall { guard, body, .. }
+            | Formula::Exists { guard, body, .. } => {
+                guard_rel(guard, &mut out);
+                out.extend(body.rels());
+            }
+            Formula::CountExists { guard, body, .. } => {
+                guard_rel(guard, &mut out);
+                out.extend(body.rels());
+            }
+        }
+        out
+    }
+
+    /// Renders the formula with the given variable names (relation
+    /// symbols appear as raw ids; see [`Formula::display_named`]).
+    pub fn display<'a>(&'a self, var_names: &'a [String]) -> FormulaDisplay<'a> {
+        FormulaDisplay {
+            formula: self,
+            var_names,
+            vocab: None,
+        }
+    }
+
+    /// Renders the formula with variable names and human-readable
+    /// relation names from the vocabulary.
+    pub fn display_named<'a>(
+        &'a self,
+        var_names: &'a [String],
+        vocab: &'a gomq_core::Vocab,
+    ) -> FormulaDisplay<'a> {
+        FormulaDisplay {
+            formula: self,
+            var_names,
+            vocab: Some(vocab),
+        }
+    }
+}
+
+/// Helper for rendering a [`Formula`].
+pub struct FormulaDisplay<'a> {
+    formula: &'a Formula,
+    var_names: &'a [String],
+    vocab: Option<&'a gomq_core::Vocab>,
+}
+
+impl FormulaDisplay<'_> {
+    fn name(&self, v: LVar) -> String {
+        self.var_names
+            .get(v.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("v{}", v.0))
+    }
+
+    fn rel_name(&self, r: RelId) -> String {
+        match self.vocab {
+            Some(v) => v.rel_name(r).to_owned(),
+            None => format!("{r}"),
+        }
+    }
+
+    fn fmt_guard(&self, g: &Guard, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match g {
+            Guard::Atom { rel, args } => {
+                write!(f, "{}(", self.rel_name(*rel))?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.name(*a))?;
+                }
+                write!(f, ")")
+            }
+            Guard::Eq(a, b) => write!(f, "{}={}", self.name(*a), self.name(*b)),
+        }
+    }
+
+    fn fmt_formula(&self, phi: &Formula, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match phi {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom { rel, args } => {
+                write!(f, "{}(", self.rel_name(*rel))?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.name(*a))?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{}={}", self.name(*a), self.name(*b)),
+            Formula::Not(g) => {
+                write!(f, "~")?;
+                self.fmt_formula(g, f)
+            }
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    self.fmt_formula(g, f)?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    self.fmt_formula(g, f)?;
+                }
+                write!(f, ")")
+            }
+            Formula::Forall { qvars, guard, body } => {
+                write!(f, "forall ")?;
+                for (i, q) in qvars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.name(*q))?;
+                }
+                write!(f, " (")?;
+                self.fmt_guard(guard, f)?;
+                write!(f, " -> ")?;
+                self.fmt_formula(body, f)?;
+                write!(f, ")")
+            }
+            Formula::Exists { qvars, guard, body } => {
+                write!(f, "exists ")?;
+                for (i, q) in qvars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.name(*q))?;
+                }
+                write!(f, " (")?;
+                self.fmt_guard(guard, f)?;
+                write!(f, " & ")?;
+                self.fmt_formula(body, f)?;
+                write!(f, ")")
+            }
+            Formula::CountExists {
+                n,
+                qvar,
+                guard,
+                body,
+            } => {
+                write!(f, "exists>={} {} (", n, self.name(*qvar))?;
+                self.fmt_guard(guard, f)?;
+                write!(f, " & ")?;
+                self.fmt_formula(body, f)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_formula(self.formula, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::Vocab;
+
+    fn vars() -> (LVar, LVar, LVar) {
+        (LVar(0), LVar(1), LVar(2))
+    }
+
+    #[test]
+    fn free_vars_of_quantified_formula() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let (x, y, z) = vars();
+        // ∃z(S(y,z) ∧ true) with free y
+        let inner = Formula::Exists {
+            qvars: vec![z],
+            guard: Guard::Atom { rel: s, args: vec![y, z] },
+            body: Box::new(Formula::True),
+        };
+        assert_eq!(inner.free_vars(), [y].into_iter().collect());
+        // ∀xy(R(x,y) → ∃z S(y,z)) is a sentence
+        let sent = Formula::Forall {
+            qvars: vec![x, y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(inner),
+        };
+        assert!(sent.is_sentence());
+        assert!(sent.is_well_guarded());
+    }
+
+    #[test]
+    fn unguarded_quantifier_detected() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a = v.rel("A", 1);
+        let (x, y, _) = vars();
+        // ∀y(A(y) → R(x,y)): guard A(y) does not contain the free x of the body.
+        let bad = Formula::Forall {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: a, args: vec![y] },
+            body: Box::new(Formula::binary(r, x, y)),
+        };
+        assert!(!bad.is_well_guarded());
+    }
+
+    #[test]
+    fn open_gf_rejects_equality_guards_and_sentences() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let (x, y, _) = vars();
+        // ∀y(y=y → A(y)) is not openGF (equality guard).
+        let eq_guarded = Formula::Forall {
+            qvars: vec![y],
+            guard: Guard::Eq(y, y),
+            body: Box::new(Formula::unary(a, y)),
+        };
+        assert!(!eq_guarded.is_open_gf());
+        // Atom A(x) is openGF.
+        assert!(Formula::unary(a, x).is_open_gf());
+        // A sentence subformula is not open.
+        let r = v.rel("R", 2);
+        let sent = Formula::Forall {
+            qvars: vec![x, y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::unary(a, x)),
+        };
+        assert!(!sent.is_open_gf());
+    }
+
+    #[test]
+    fn equality_and_counting_flags() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let (x, y, _) = vars();
+        let cnt = Formula::CountExists {
+            n: 4,
+            qvar: y,
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::True),
+        };
+        assert!(cnt.uses_counting());
+        assert!(!cnt.uses_equality());
+        let neq = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
+        };
+        assert!(neq.uses_equality());
+        assert!(!neq.uses_counting());
+    }
+
+    #[test]
+    fn rels_collects_guards_and_atoms() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let (x, y, _) = vars();
+        let f = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::binary(s, x, y)),
+        };
+        assert_eq!(f.rels().len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let (x, y, _) = vars();
+        let names = vec!["x".to_owned(), "y".to_owned()];
+        let f = Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(Formula::True),
+        };
+        let s = format!("{}", f.display(&names));
+        assert!(s.contains("exists y"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Theorem 15 (appendix C), empirically: openGF formulas are invariant
+//! under connected guarded bisimulation. Directed cycles of different
+//! lengths are guarded bisimilar (each element has in/out degree one and
+//! guarded sets cannot count around the cycle), so every openGF formula
+//! must agree on corresponding elements — while a *conjunctive query* can
+//! tell C3 from C4 (mapping the triangle), which is exactly why query
+//! answering is not bisimulation-invariant and the paper's machinery
+//! tracks types rather than formulas alone.
+
+use gomq_core::bisim::guarded_bisimilar;
+use gomq_core::{Fact, Instance, Term, Vocab};
+use gomq_logic::eval::{eval, Assignment};
+use gomq_logic::{Formula, Guard, LVar};
+use proptest::prelude::*;
+
+fn cycle(v: &mut Vocab, n: usize, tag: &str) -> Instance {
+    let r = v.rel("R", 2);
+    let mut d = Instance::new();
+    for i in 0..n {
+        let a = v.constant(&format!("{tag}{i}"));
+        let b = v.constant(&format!("{tag}{}", (i + 1) % n));
+        d.insert(Fact::consts(r, &[a, b]));
+    }
+    d
+}
+
+/// A vocabulary-independent openGF formula tree with one free variable.
+#[derive(Clone, Debug)]
+enum Tree {
+    True,
+    Loop,          // R(x,x)
+    Not(Box<Tree>),
+    And(Box<Tree>, Box<Tree>),
+    Or(Box<Tree>, Box<Tree>),
+    ExistsFwd(Box<Tree>), // ∃y(R(x,y) ∧ φ(y))
+    ExistsBwd(Box<Tree>), // ∃y(R(y,x) ∧ φ(y))
+    ForallFwd(Box<Tree>), // ∀y(R(x,y) → φ(y))
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![Just(Tree::True), Just(Tree::Loop)];
+    leaf.prop_recursive(4, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| Tree::Not(Box::new(t))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Tree::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Tree::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|t| Tree::ExistsFwd(Box::new(t))),
+            inner.clone().prop_map(|t| Tree::ExistsBwd(Box::new(t))),
+            inner.prop_map(|t| Tree::ForallFwd(Box::new(t))),
+        ]
+    })
+}
+
+/// Realizes the tree as an openGF formula with free variable `LVar(depth)`
+/// (fresh variables down the tree avoid capture).
+fn realize(t: &Tree, r: gomq_core::RelId, me: u32) -> Formula {
+    let x = LVar(me);
+    let y = LVar(me + 1);
+    match t {
+        Tree::True => Formula::True,
+        Tree::Loop => Formula::binary(r, x, x),
+        Tree::Not(a) => Formula::Not(Box::new(realize(a, r, me))),
+        Tree::And(a, b) => Formula::And(vec![realize(a, r, me), realize(b, r, me)]),
+        Tree::Or(a, b) => Formula::Or(vec![realize(a, r, me), realize(b, r, me)]),
+        Tree::ExistsFwd(a) => Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(realize(a, r, me + 1)),
+        },
+        Tree::ExistsBwd(a) => Formula::Exists {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![y, x] },
+            body: Box::new(realize(a, r, me + 1)),
+        },
+        Tree::ForallFwd(a) => Formula::Forall {
+            qvars: vec![y],
+            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            body: Box::new(realize(a, r, me + 1)),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn open_gf_cannot_distinguish_bisimilar_cycles(tree in tree_strategy()) {
+        let mut v = Vocab::new();
+        let c3 = cycle(&mut v, 3, "a");
+        let c4 = cycle(&mut v, 4, "b");
+        let r = v.rel("R", 2);
+        let a0 = Term::Const(v.constant("a0"));
+        let b0 = Term::Const(v.constant("b0"));
+        let phi = realize(&tree, r, 0);
+        prop_assert!(phi.is_open_gf() || matches!(phi, Formula::True));
+        let mut asg3 = Assignment::new();
+        asg3.insert(LVar(0), a0);
+        let mut asg4 = Assignment::new();
+        asg4.insert(LVar(0), b0);
+        prop_assert_eq!(
+            eval(&phi, &c3, &asg3),
+            eval(&phi, &c4, &asg4),
+            "openGF formulas agree on bisimilar points: {:?}", tree
+        );
+    }
+}
+
+#[test]
+fn the_cycles_really_are_bisimilar() {
+    let mut v = Vocab::new();
+    let c3 = cycle(&mut v, 3, "a");
+    let c4 = cycle(&mut v, 4, "b");
+    let a0 = Term::Const(v.constant("a0"));
+    let b0 = Term::Const(v.constant("b0"));
+    assert!(guarded_bisimilar(&c3, &[a0], &c4, &[b0]));
+}
+
+#[test]
+fn conjunctive_queries_do_distinguish_the_cycles() {
+    // The Boolean CQ "there is a 3-cycle" holds on C3, not on C4 — CQs are
+    // preserved by homomorphisms, not by guarded bisimulation.
+    use gomq_core::query::CqBuilder;
+    let mut v = Vocab::new();
+    let c3 = cycle(&mut v, 3, "a");
+    let c4 = cycle(&mut v, 4, "b");
+    let r = v.rel("R", 2);
+    let mut b = CqBuilder::new();
+    let x = b.var("x");
+    let y = b.var("y");
+    let z = b.var("z");
+    b.atom(r, &[x, y]).atom(r, &[y, z]).atom(r, &[z, x]);
+    let q = b.build(vec![]);
+    assert!(q.holds_boolean(&c3));
+    assert!(!q.holds_boolean(&c4));
+}

@@ -1,0 +1,265 @@
+//! Bouquet enumeration (§8).
+//!
+//! A *bouquet* with root `a` is a tree instance of depth 1: the root, at
+//! most `max_outdegree` neighbours, unary facts on all elements, and at
+//! least one binary fact between the root and each neighbour. Lemma 5
+//! shows that for ALCHIQ ontologies of depth 1, materializability is
+//! equivalent to materializability for the class of (irreflexive)
+//! bouquets of outdegree ≤ |O| over `sig(O)` — making bouquets the finite
+//! search space of the Theorem-13 decision procedure.
+
+use gomq_core::{Fact, Instance, RelId, Term, Vocab};
+
+/// A bouquet: the instance and its root.
+#[derive(Clone, Debug)]
+pub struct Bouquet {
+    /// The depth-1 tree instance.
+    pub instance: Instance,
+    /// The root element.
+    pub root: Term,
+}
+
+/// Enumeration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct BouquetConfig {
+    /// Maximum number of neighbours.
+    pub max_outdegree: usize,
+    /// Hard cap on the number of bouquets produced.
+    pub max_bouquets: usize,
+    /// Also enumerate *reflexive* bouquets (self-loops on the root).
+    ///
+    /// ALCHIQ materializability only needs irreflexive bouquets (Lemma 5),
+    /// but for uGC⁻₂(1,=) the paper's Example 7 shows that reflexive
+    /// loops are essential — its mosaic procedure has a dedicated piece
+    /// kind for them. With loops enabled, the bouquet probe catches
+    /// Example 7.
+    pub include_loops: bool,
+}
+
+impl Default for BouquetConfig {
+    fn default() -> Self {
+        BouquetConfig {
+            max_outdegree: 2,
+            max_bouquets: 5_000,
+            include_loops: false,
+        }
+    }
+}
+
+/// The result of an enumeration.
+pub struct BouquetEnumeration {
+    /// The bouquets.
+    pub bouquets: Vec<Bouquet>,
+    /// Whether the enumeration completed within the cap.
+    pub exhausted: bool,
+}
+
+/// A neighbour configuration: unary label set + edge set.
+#[derive(Clone, Debug)]
+struct NeighbourConfig {
+    unary: Vec<RelId>,
+    /// (relation, root-to-neighbour?) — at least one entry.
+    edges: Vec<(RelId, bool)>,
+}
+
+/// Enumerates all irreflexive bouquets over the given signature, up to
+/// the configured outdegree. Neighbour multisets are enumerated in
+/// non-decreasing configuration order, so isomorphic duplicates from
+/// neighbour permutations are avoided.
+pub fn enumerate_bouquets(
+    unary: &[RelId],
+    binary: &[RelId],
+    config: BouquetConfig,
+    vocab: &mut Vocab,
+) -> BouquetEnumeration {
+    let root_const = vocab.constant("_bq_root");
+    let neighbour_consts: Vec<_> = (0..config.max_outdegree)
+        .map(|i| vocab.constant(&format!("_bq_n{i}")))
+        .collect();
+    // All unary label subsets.
+    let unary_subsets: Vec<Vec<RelId>> = subsets(unary);
+    // All non-empty edge sets.
+    let edge_options: Vec<(RelId, bool)> = binary
+        .iter()
+        .flat_map(|&r| [(r, true), (r, false)])
+        .collect();
+    let edge_subsets: Vec<Vec<(RelId, bool)>> = subsets(&edge_options)
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut neighbour_configs: Vec<NeighbourConfig> = Vec::new();
+    for u in &unary_subsets {
+        for e in &edge_subsets {
+            neighbour_configs.push(NeighbourConfig {
+                unary: u.clone(),
+                edges: e.clone(),
+            });
+        }
+    }
+    // Root self-loop options (the "reflexive mosaic pieces").
+    let loop_subsets: Vec<Vec<RelId>> = if config.include_loops {
+        subsets(binary)
+    } else {
+        vec![Vec::new()]
+    };
+    let mut bouquets = Vec::new();
+    let mut exhausted = true;
+    // Breadth-first by neighbour count, so small witnesses (in particular
+    // loop-only bouquets) are produced before larger ones.
+    'outer: for size in 0..=config.max_outdegree {
+        // All non-decreasing index multisets of exactly `size` configs.
+        let mut multisets: Vec<Vec<usize>> = vec![Vec::new()];
+        for _ in 0..size {
+            let mut next = Vec::new();
+            for m in &multisets {
+                let start = m.last().copied().unwrap_or(0);
+                for ci in start..neighbour_configs.len() {
+                    let mut m2 = m.clone();
+                    m2.push(ci);
+                    next.push(m2);
+                }
+            }
+            multisets = next;
+        }
+        for root_labels in &unary_subsets {
+            for root_loops in &loop_subsets {
+                for chosen in &multisets {
+                    let mut inst = Instance::new();
+                    let root = Term::Const(root_const);
+                    for &u in root_labels {
+                        inst.insert(Fact::consts(u, &[root_const]));
+                    }
+                    for &r in root_loops {
+                        inst.insert(Fact::consts(r, &[root_const, root_const]));
+                    }
+                    for (ni, &ci) in chosen.iter().enumerate() {
+                        let nc = &neighbour_configs[ci];
+                        let n = neighbour_consts[ni];
+                        for &u in &nc.unary {
+                            inst.insert(Fact::consts(u, &[n]));
+                        }
+                        for &(r, fwd) in &nc.edges {
+                            if fwd {
+                                inst.insert(Fact::consts(r, &[root_const, n]));
+                            } else {
+                                inst.insert(Fact::consts(r, &[n, root_const]));
+                            }
+                        }
+                    }
+                    if inst.is_empty() {
+                        continue;
+                    }
+                    bouquets.push(Bouquet {
+                        instance: inst,
+                        root,
+                    });
+                    if bouquets.len() >= config.max_bouquets {
+                        exhausted = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    BouquetEnumeration {
+        bouquets,
+        exhausted,
+    }
+}
+
+fn subsets<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::new()];
+    for item in items {
+        let mut extended: Vec<Vec<T>> = out
+            .iter()
+            .map(|s| {
+                let mut s2 = s.clone();
+                s2.push(item.clone());
+                s2
+            })
+            .collect();
+        out.append(&mut extended);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_for_tiny_signature() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let r = v.rel("R", 2);
+        let cfg = BouquetConfig {
+            max_outdegree: 1,
+            max_bouquets: 10_000,
+                include_loops: false,
+            };
+        let e = enumerate_bouquets(&[a], &[r], cfg, &mut v);
+        assert!(e.exhausted);
+        // Root labels: 2 options ({},{A}). Neighbour configs: 2 unary
+        // subsets × 3 non-empty edge subsets = 6. Multisets of size ≤ 1:
+        // 1 + 6 = 7 per root labelling = 14, minus the empty bouquet
+        // (no labels, no neighbours) = 13.
+        assert_eq!(e.bouquets.len(), 13);
+        // All are depth-1 trees rooted at the root.
+        for b in &e.bouquets {
+            assert!(b.instance.dom().contains(&b.root) || !b.instance.is_empty());
+        }
+    }
+
+    #[test]
+    fn outdegree_respected() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let cfg = BouquetConfig {
+            max_outdegree: 2,
+            max_bouquets: 10_000,
+                include_loops: false,
+            };
+        let e = enumerate_bouquets(&[], &[r], cfg, &mut v);
+        assert!(e.exhausted);
+        for b in &e.bouquets {
+            // Root + at most 2 neighbours.
+            assert!(b.instance.dom().len() <= 3);
+        }
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let cfg = BouquetConfig {
+            max_outdegree: 2,
+            max_bouquets: 50,
+                include_loops: false,
+            };
+        let e = enumerate_bouquets(&[a, b], &[r, s], cfg, &mut v);
+        assert!(!e.exhausted);
+        assert_eq!(e.bouquets.len(), 50);
+    }
+
+    #[test]
+    fn bouquets_are_irreflexive() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let cfg = BouquetConfig {
+            max_outdegree: 1,
+            max_bouquets: 1000,
+                include_loops: false,
+            };
+        let e = enumerate_bouquets(&[], &[r], cfg, &mut v);
+        for b in &e.bouquets {
+            for f in b.instance.iter() {
+                if f.args.len() == 2 {
+                    assert_ne!(f.args[0], f.args[1], "no loops in bouquets");
+                }
+            }
+        }
+    }
+}

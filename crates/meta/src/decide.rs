@@ -1,0 +1,173 @@
+//! The Theorem-13 decision procedure for PTIME query evaluation.
+//!
+//! For ALCHIQ ontologies of depth 1 (and, via translation, the
+//! corresponding uGC⁻₂(1,=) fragment), the paper proves that PTIME query
+//! evaluation — equivalently materializability, equivalently
+//! Datalog≠-rewritability (Theorem 7) — is decidable by examining only
+//! the irreflexive bouquets of outdegree ≤ |O| over `sig(O)` (Lemma 5).
+//!
+//! This implementation probes each bouquet for the disjunction property
+//! (appendix Theorem 17): a bouquet on which some certain disjunction has
+//! no certain disjunct witnesses non-materializability and hence
+//! coNP-hardness (Theorem 3); if every bouquet passes, the ontology is
+//! reported PTIME. The exponential behaviour in `|O|` expected from the
+//! EXPTIME-completeness result is visible in the experiment suite.
+
+use crate::bouquet::{enumerate_bouquets, Bouquet, BouquetConfig};
+use gomq_core::Vocab;
+use gomq_logic::GfOntology;
+use gomq_reasoning::materialize::{find_disjunction_witness, standard_candidates};
+use gomq_reasoning::CertainEngine;
+
+/// The verdict of the decision procedure.
+#[derive(Debug)]
+pub struct MetaVerdict {
+    /// `true`: no disjunction-property violation found — PTIME /
+    /// Datalog≠-rewritable (exact when `exhausted`).
+    pub ptime: bool,
+    /// The offending bouquet and the number of open disjuncts, if any.
+    pub witness: Option<(Bouquet, usize)>,
+    /// Bouquets examined.
+    pub bouquets_checked: usize,
+    /// Whether the bouquet space was enumerated exhaustively within the
+    /// configured caps.
+    pub exhausted: bool,
+}
+
+/// Decides PTIME query evaluation for a (depth ≤ 1, binary-signature)
+/// ontology by bouquet probing.
+pub fn decide_ptime(
+    o: &GfOntology,
+    engine: &CertainEngine,
+    config: BouquetConfig,
+    vocab: &mut Vocab,
+) -> MetaVerdict {
+    let unary: Vec<_> = o
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 1)
+        .collect();
+    let binary: Vec<_> = o
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 2)
+        .collect();
+    let enumeration = enumerate_bouquets(&unary, &binary, config, vocab);
+    let mut checked = 0usize;
+    for b in enumeration.bouquets {
+        checked += 1;
+        let candidates = standard_candidates(o, &b.instance, vocab);
+        if let Some(w) = find_disjunction_witness(o, &b.instance, &candidates, engine, vocab) {
+            return MetaVerdict {
+                ptime: false,
+                witness: Some((b, w.queries.len())),
+                bouquets_checked: checked,
+                exhausted: enumeration.exhausted,
+            };
+        }
+    }
+    MetaVerdict {
+        ptime: true,
+        witness: None,
+        bouquets_checked: checked,
+        exhausted: enumeration.exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_dl::concept::{Concept, Role};
+    use gomq_dl::translate::to_gf;
+    use gomq_dl::DlOntology;
+
+    fn small_config() -> BouquetConfig {
+        BouquetConfig {
+            max_outdegree: 1,
+            max_bouquets: 2_000,
+                include_loops: false,
+            }
+    }
+
+    #[test]
+    fn horn_alchiq_is_ptime() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut dl = DlOntology::new();
+        dl.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b))));
+        let o = to_gf(&dl);
+        let engine = CertainEngine::new(1);
+        let verdict = decide_ptime(&o, &engine, small_config(), &mut v);
+        assert!(verdict.ptime, "Horn ontology is materializable");
+        assert!(verdict.exhausted);
+        assert!(verdict.bouquets_checked > 0);
+    }
+
+    #[test]
+    fn visible_disjunction_is_conp() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let c = v.rel("C", 1);
+        let mut dl = DlOntology::new();
+        dl.sub(
+            Concept::Name(a),
+            Concept::Or(vec![Concept::Name(b), Concept::Name(c)]),
+        );
+        let o = to_gf(&dl);
+        let engine = CertainEngine::new(1);
+        let verdict = decide_ptime(&o, &engine, small_config(), &mut v);
+        assert!(!verdict.ptime);
+        let (bouquet, n) = verdict.witness.expect("witness");
+        assert!(n >= 2);
+        // The witness bouquet contains an A-labelled element.
+        assert!(bouquet.instance.facts_of(a).next().is_some());
+    }
+
+    #[test]
+    fn hidden_disjunction_via_forall_is_detected() {
+        // A ⊑ ∀R.(B ⊔ C): the disjunction only fires on a bouquet with an
+        // R-edge — exercising the need to search beyond single points.
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let c = v.rel("C", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut dl = DlOntology::new();
+        dl.sub(
+            Concept::Name(a),
+            Concept::Forall(
+                r,
+                Box::new(Concept::Or(vec![Concept::Name(b), Concept::Name(c)])),
+            ),
+        );
+        let o = to_gf(&dl);
+        let engine = CertainEngine::new(1);
+        let verdict = decide_ptime(&o, &engine, small_config(), &mut v);
+        assert!(!verdict.ptime);
+        let (bouquet, _) = verdict.witness.expect("witness");
+        assert!(bouquet.instance.iter().any(|f| f.args.len() == 2));
+    }
+
+    #[test]
+    fn disjunction_resolved_by_subsumption_stays_ptime() {
+        // A ⊑ B ⊔ C together with B ⊑ C: C is always certain, so the
+        // disjunction property holds.
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let c = v.rel("C", 1);
+        let mut dl = DlOntology::new();
+        dl.sub(
+            Concept::Name(a),
+            Concept::Or(vec![Concept::Name(b), Concept::Name(c)]),
+        );
+        dl.sub(Concept::Name(b), Concept::Name(c));
+        let o = to_gf(&dl);
+        let engine = CertainEngine::new(1);
+        let verdict = decide_ptime(&o, &engine, small_config(), &mut v);
+        assert!(verdict.ptime, "B ⊑ C resolves the disjunction");
+    }
+}

@@ -1,0 +1,389 @@
+//! The paper's counterexample families.
+//!
+//! * **Example 7** — a uGF⁻₂(1,=) ontology with 1-materializations for
+//!   every bouquet that is nonetheless *not* materializable: on
+//!   `D = {S(a,a), R(a,a)}` the disjunction `∃xy R′(x,y) ∨ ∃xy S′(x,y)`
+//!   is certain while neither disjunct is. It shows that for
+//!   uGC⁻₂(1,=)-style languages, deciding PTIME evaluation must look past
+//!   1-materializations (the paper resorts to a mosaic procedure).
+//! * **Example 8** — a family `O_n` of ALC ontologies of depth 2 whose
+//!   non-materializability witnesses require an `R`-chain of length `2ⁿ`:
+//!   `O_n` is materializable for all trees of depth `< 2ⁿ`. The family
+//!   yields the NEXPTIME-hardness of the meta problem for depth 2
+//!   (Theorem 14). Hidden markers `H_P(x) = ∀y(S(x,y) → P(y))` paired
+//!   with `∀x∃y(S(x,y) ∧ P(y))` cannot be preset positively by instances.
+
+use gomq_core::{Fact, Instance, RelId, Term, Vocab};
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::translate::to_gf;
+use gomq_dl::DlOntology;
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+
+/// The relations of the Example 7 ontology.
+pub struct Example7 {
+    /// The ontology.
+    pub onto: GfOntology,
+    /// `R`, `S` and the derived `R′`, `S′`.
+    pub rels: [RelId; 4],
+}
+
+/// Builds the Example 7 ontology:
+///
+/// ```text
+/// ∀x(S(x,x) → (R(x,x) → (∃≠y R(x,y) ∨ ∃≠y S(x,y))))
+/// ∀x(∃≠y W(y,x) → ∃y W′(x,y))          for (W,W′) ∈ {(R,R′),(S,S′)}
+/// ```
+pub fn example7(vocab: &mut Vocab) -> Example7 {
+    let r = vocab.rel("Re7", 2);
+    let s = vocab.rel("Se7", 2);
+    let rp = vocab.rel("Rp7", 2);
+    let sp = vocab.rel("Sp7", 2);
+    let (x, y) = (LVar(0), LVar(1));
+    let names = vec!["x".to_owned(), "y".to_owned()];
+    let neq_succ = |w: RelId| Formula::Exists {
+        qvars: vec![y],
+        guard: Guard::Atom { rel: w, args: vec![x, y] },
+        body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
+    };
+    let neq_pred = |w: RelId| Formula::Exists {
+        qvars: vec![y],
+        guard: Guard::Atom { rel: w, args: vec![y, x] },
+        body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
+    };
+    let some_succ = |w: RelId| Formula::Exists {
+        qvars: vec![y],
+        guard: Guard::Atom { rel: w, args: vec![x, y] },
+        body: Box::new(Formula::True),
+    };
+    let mut onto = GfOntology::new();
+    // ∀x(S(x,x) → (R(x,x) → (∃≠y R(x,y) ∨ ∃≠y S(x,y)))).
+    onto.push(UgfSentence::new(
+        vec![x],
+        Guard::Atom { rel: s, args: vec![x, x] },
+        Formula::implies(
+            Formula::Atom { rel: r, args: vec![x, x] },
+            Formula::Or(vec![neq_succ(r), neq_succ(s)]),
+        ),
+        names.clone(),
+    ));
+    for (w, wp) in [(r, rp), (s, sp)] {
+        onto.push(UgfSentence::forall_one(
+            x,
+            Formula::implies(neq_pred(w), some_succ(wp)),
+            names.clone(),
+        ));
+    }
+    Example7 {
+        onto,
+        rels: [r, s, rp, sp],
+    }
+}
+
+/// The trigger instance of Example 7: `D = {S(a,a), R(a,a)}`.
+pub fn example7_instance(e: &Example7, vocab: &mut Vocab) -> Instance {
+    let a = vocab.constant("a_e7");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(e.rels[1], &[a, a]));
+    d.insert(Fact::consts(e.rels[0], &[a, a]));
+    d
+}
+
+/// The Example-8-style counter family.
+pub struct CounterFamily {
+    /// The ontology `O_n` (as a guarded ontology; depth 2).
+    pub onto: GfOntology,
+    /// The same ontology in DL form.
+    pub dl: DlOntology,
+    /// The counter-bit relations `X_1..X_n`.
+    pub bits: Vec<RelId>,
+    /// The complement bit relations `X̄_1..X̄_n` (instances assert zeros
+    /// positively; the open world cannot assert `¬X_i`).
+    pub cobits: Vec<RelId>,
+    /// The chain relation `R`.
+    pub r: RelId,
+    /// The marker-hiding relation `S` and the marker predicates.
+    pub s: RelId,
+    /// The head disjuncts `B₁`, `B₂`.
+    pub b: [RelId; 2],
+}
+
+/// Builds the `O_n` counter ontology: an element whose counter value is 0
+/// and that heads an `R`-chain counting up to `2ⁿ − 1` receives the hidden
+/// marker `H_V` and triggers `B₁ ⊔ B₂`. Axioms:
+///
+/// 1. `⊤ ⊑ ∃S.P` for every marker predicate `P` (hiding),
+/// 2. `X₁ ⊓ … ⊓ X_n ⊑ H_V` (the maximal value carries the marker),
+/// 3. per-bit increment certification into `H_{OK_i}` (successor bit `i`
+///    equals bit `i` XOR carry),
+/// 4. `H_{OK_1} ⊓ … ⊓ H_{OK_n} ⊓ ∃R.H_V ⊑ H_V` (propagate down the chain),
+/// 5. `∃R.X_i ⊓ ∃R.¬X_i ⊑ ⊥` (all `R`-successors agree on the counter),
+/// 6. `¬X₁ ⊓ … ⊓ ¬X_n ⊓ H_V ⊑ B₁ ⊔ B₂` (the head disjunction).
+pub fn counter_ontology(n: usize, vocab: &mut Vocab) -> CounterFamily {
+    assert!(n >= 1, "the counter needs at least one bit");
+    let bits: Vec<RelId> = (1..=n).map(|i| vocab.rel(&format!("Xc{i}"), 1)).collect();
+    let cobits: Vec<RelId> = (1..=n)
+        .map(|i| vocab.rel(&format!("XBc{i}"), 1))
+        .collect();
+    let r = vocab.rel("Rc", 2);
+    let s = vocab.rel("Sc", 2);
+    let v_marker = vocab.rel("Vc", 1);
+    let ok: Vec<RelId> = (1..=n)
+        .map(|i| vocab.rel(&format!("OKc{i}"), 1))
+        .collect();
+    let b1 = vocab.rel("B1c", 1);
+    let b2 = vocab.rel("B2c", 1);
+    let s_role = Role::new(s);
+    let r_role = Role::new(r);
+    let hide = |p: RelId| Concept::Forall(s_role, Box::new(Concept::Name(p)));
+    let mut dl = DlOntology::new();
+    // (1) Hiding: every element has an S-successor in P, so the marker
+    // H_P = ∀S.P distinguishes "exactly the forced successor" from
+    // "extra non-P successors" — invisible to CQs, not presettable.
+    for &p in std::iter::once(&v_marker).chain(ok.iter()) {
+        dl.sub(
+            Concept::Top,
+            Concept::Exists(s_role, Box::new(Concept::Name(p))),
+        );
+    }
+    // Bits and complements are disjoint.
+    for (&bi, &ci) in bits.iter().zip(cobits.iter()) {
+        dl.sub(
+            Concept::And(vec![Concept::Name(bi), Concept::Name(ci)]),
+            Concept::Bot,
+        );
+    }
+    // (2) Max value carries H_V.
+    dl.sub(
+        Concept::And(bits.iter().map(|&b| Concept::Name(b)).collect()),
+        hide(v_marker),
+    );
+    // (3) Increment certification per bit: successor bit i equals bit i
+    // XOR carry, where carry_i = X_1 ⊓ … ⊓ X_{i-1}.
+    for i in 0..n {
+        let carry: Concept = if i == 0 {
+            Concept::Top
+        } else {
+            Concept::And(bits[..i].iter().map(|&b| Concept::Name(b)).collect())
+        };
+        let nocarry: Option<Concept> = if i == 0 {
+            None // carry is always present at bit 1
+        } else {
+            Some(Concept::Or(
+                cobits[..i].iter().map(|&c| Concept::Name(c)).collect(),
+            ))
+        };
+        let one = Concept::Name(bits[i]);
+        let zero = Concept::Name(cobits[i]);
+        let mut cases: Vec<(Concept, Concept, Concept)> = vec![
+            // (bit here, carry condition, bit at the R-successor)
+            (one.clone(), carry.clone(), zero.clone()),
+            (zero.clone(), carry.clone(), one.clone()),
+        ];
+        if let Some(nc) = nocarry {
+            cases.push((one.clone(), nc.clone(), one.clone()));
+            cases.push((zero.clone(), nc, zero.clone()));
+        }
+        for (here, cond, succ) in cases {
+            dl.sub(
+                Concept::And(vec![
+                    here,
+                    cond,
+                    Concept::Exists(r_role, Box::new(succ)),
+                ]),
+                hide(ok[i]),
+            );
+        }
+    }
+    // (4) Propagation down the chain.
+    let mut lhs: Vec<Concept> = ok.iter().map(|&p| hide(p)).collect();
+    lhs.push(Concept::Exists(r_role, Box::new(hide(v_marker))));
+    dl.sub(Concept::And(lhs), hide(v_marker));
+    // (5) All R-successors agree on the counter.
+    for (&bi, &ci) in bits.iter().zip(cobits.iter()) {
+        dl.sub(
+            Concept::And(vec![
+                Concept::Exists(r_role, Box::new(Concept::Name(bi))),
+                Concept::Exists(r_role, Box::new(Concept::Name(ci))),
+            ]),
+            Concept::Bot,
+        );
+    }
+    // (6) Head disjunction at value 0.
+    let mut head: Vec<Concept> = cobits.iter().map(|&c| Concept::Name(c)).collect();
+    head.push(hide(v_marker));
+    dl.sub(
+        Concept::And(head),
+        Concept::Or(vec![Concept::Name(b1), Concept::Name(b2)]),
+    );
+    let onto = to_gf(&dl);
+    CounterFamily {
+        onto,
+        dl,
+        bits,
+        cobits,
+        r,
+        s,
+        b: [b1, b2],
+    }
+}
+
+/// The counting-chain instance for `O_n`: elements `0..len` linked by
+/// `R`, with the binary counter value `k` written on element `k`.
+pub fn counter_chain(family: &CounterFamily, len: usize, vocab: &mut Vocab) -> Instance {
+    let mut d = Instance::new();
+    let node = |vocab: &mut Vocab, k: usize| vocab.constant(&format!("cc{k}"));
+    for k in 0..len {
+        let nk = node(vocab, k);
+        for i in 0..family.bits.len() {
+            if k & (1 << i) != 0 {
+                d.insert(Fact::consts(family.bits[i], &[nk]));
+            } else {
+                d.insert(Fact::consts(family.cobits[i], &[nk]));
+            }
+        }
+        if k + 1 < len {
+            let nk1 = node(vocab, k + 1);
+            d.insert(Fact::consts(family.r, &[nk, nk1]));
+        }
+    }
+    d
+}
+
+/// The head element of a counter chain.
+pub fn chain_head(vocab: &mut Vocab) -> Term {
+    Term::Const(vocab.constant("cc0"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::query::CqBuilder;
+    use gomq_core::Ucq;
+    use gomq_dl::depth::ontology_depth;
+    use gomq_logic::fragment::{classify, Fragment};
+    use gomq_reasoning::materialize::{boolean_candidates, find_disjunction_witness};
+    use gomq_reasoning::CertainEngine;
+
+    #[test]
+    fn example7_is_ugf_minus_2_1_eq_shape() {
+        let mut v = Vocab::new();
+        let e = example7(&mut v);
+        let frags = classify(&e.onto, &v);
+        // Equality in bodies, two variables, depth 1 — but the first
+        // sentence's outer guard is the atom S(x,x), so the ontology sits
+        // in uGF₂(1,=) (not the ·⁻ fragment).
+        assert!(frags.contains(&Fragment::Ugf2_1Eq));
+    }
+
+    #[test]
+    fn example7_is_not_materializable_on_trigger() {
+        let mut v = Vocab::new();
+        let e = example7(&mut v);
+        let d = example7_instance(&e, &mut v);
+        let engine = CertainEngine::new(2);
+        // The Boolean disjunction R′ ∨ S′ is certain, neither disjunct is.
+        let candidates = boolean_candidates(&e.onto, &v);
+        let w = find_disjunction_witness(&e.onto, &d, &candidates, &engine, &mut v)
+            .expect("Example 7 violates the disjunction property");
+        assert!(w.queries.len() >= 2);
+    }
+
+    #[test]
+    fn example7_needs_reflexive_bouquets() {
+        // Without loops, the bouquet probe misses Example 7 (every
+        // irreflexive bouquet has a 1-materialization); with the
+        // reflexive pieces enabled it finds the witness — mirroring the
+        // mosaic procedure's dedicated loop pieces.
+        use crate::bouquet::BouquetConfig;
+        use crate::decide::decide_ptime;
+        let engine = CertainEngine::new(2);
+        let mut v1 = Vocab::new();
+        let e1 = example7(&mut v1);
+        let verdict_no_loops = decide_ptime(
+            &e1.onto,
+            &engine,
+            BouquetConfig {
+                max_outdegree: 1,
+                max_bouquets: 60,
+                include_loops: false,
+            },
+            &mut v1,
+        );
+        assert!(
+            verdict_no_loops.ptime,
+            "irreflexive bouquets miss the Example 7 witness"
+        );
+        let mut v2 = Vocab::new();
+        let e2 = example7(&mut v2);
+        let verdict_loops = decide_ptime(
+            &e2.onto,
+            &engine,
+            BouquetConfig {
+                max_outdegree: 1,
+                max_bouquets: 900,
+                include_loops: true,
+            },
+            &mut v2,
+        );
+        assert!(
+            !verdict_loops.ptime,
+            "reflexive bouquets catch the Example 7 witness"
+        );
+    }
+
+    #[test]
+    fn counter_ontology_is_alc_depth_2() {
+        let mut v = Vocab::new();
+        let f = counter_ontology(2, &mut v);
+        assert_eq!(ontology_depth(&f.dl), 2);
+        let features = gomq_dl::lang::DlFeatures::of(&f.dl);
+        assert!(!features.inverse && !features.qualified_number && !features.functionality);
+    }
+
+    #[test]
+    fn counter_n1_fires_on_full_chain_only() {
+        let mut v = Vocab::new();
+        let f = counter_ontology(1, &mut v);
+        let engine = CertainEngine::new(2);
+        // Chain of length 2¹ = 2 (values 0, 1): the head disjunction fires.
+        let d = counter_chain(&f, 2, &mut v);
+        let head = chain_head(&mut v);
+        let mk = |rel, v: &mut Vocab| {
+            let _ = v;
+            let mut b = CqBuilder::new();
+            let x = b.var("x");
+            b.atom(rel, &[x]);
+            Ucq::from_cq(b.build(vec![x]))
+        };
+        let q1 = mk(f.b[0], &mut v);
+        let q2 = mk(f.b[1], &mut v);
+        let queries = vec![
+            (q1.clone(), vec![head]),
+            (q2.clone(), vec![head]),
+        ];
+        assert!(
+            !engine.certain(&f.onto, &d, &q1, &[head], &mut v).is_certain(),
+            "B1 alone is not certain"
+        );
+        assert!(
+            !engine.certain(&f.onto, &d, &q2, &[head], &mut v).is_certain(),
+            "B2 alone is not certain"
+        );
+        assert!(
+            engine
+                .certain_disjunction(&f.onto, &d, &queries, &mut v)
+                .is_certain(),
+            "B1 ∨ B2 is certain at the head of the full chain"
+        );
+        // A bare single-element instance does not fire the disjunction.
+        let d_short = counter_chain(&f, 1, &mut v);
+        let b0 = gomq_core::Term::Const(v.constant("cc0"));
+        let queries_short = vec![(q1, vec![b0]), (q2, vec![b0])];
+        assert!(
+            !engine
+                .certain_disjunction(&f.onto, &d_short, &queries_short, &mut v)
+                .is_certain(),
+            "no disjunction on a chain shorter than 2^n"
+        );
+    }
+}

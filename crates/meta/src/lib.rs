@@ -1,0 +1,27 @@
+//! # gomq-meta
+//!
+//! The meta problems of §8: deciding whether a given ontology enjoys
+//! PTIME query evaluation (equivalently, by Theorem 7, whether it is
+//! materializable / Datalog≠-rewritable).
+//!
+//! * [`bouquet`] — enumeration of the (irreflexive) bouquets of bounded
+//!   outdegree over a signature: tree instances of depth 1 rooted at `a`,
+//!   which by Lemma 5 suffice to decide materializability for ALCHIQ
+//!   ontologies of depth 1,
+//! * [`decide`] — the decision procedure: every relevant bouquet is
+//!   probed for the disjunction property (Theorem 17); a violation is a
+//!   non-materializability witness (coNP-hardness by Theorem 3), and
+//!   exhausting all bouquets yields the PTIME verdict,
+//! * [`examples`] — the paper's counterexample families: Example 7 (a
+//!   uGF⁻₂(1,=) ontology with 1-materializations but no materializability)
+//!   and Example 8 (the ALC depth-2 counter ontologies `O_n` that are
+//!   materializable on trees of depth < 2ⁿ only).
+
+#![warn(missing_docs)]
+
+pub mod bouquet;
+pub mod decide;
+pub mod examples;
+
+pub use bouquet::{enumerate_bouquets, Bouquet, BouquetConfig};
+pub use decide::{decide_ptime, MetaVerdict};

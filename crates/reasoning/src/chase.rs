@@ -1,0 +1,667 @@
+//! The chase and the disjunctive chase for positive-existential uGF
+//! ontologies.
+//!
+//! Supported sentence bodies (after NNF): conjunction, disjunction,
+//! relational atoms, negated atoms (as consistency checks), guarded ∃ and
+//! guarded ∀ — no equality, counting or functionality. For such ontologies
+//! a violated sentence is *repaired* by adding facts, creating fresh
+//! labelled nulls for existential witnesses; disjunction branches the
+//! chase. When the chase terminates:
+//!
+//! * each leaf is a model of `D` and `O` (verified),
+//! * every model of `D` and `O` satisfies the same UCQs as some leaf
+//!   (universality, by homomorphism preservation of positive bodies), so
+//!   certain UCQ answers are the intersection of leaf answers,
+//! * with a single leaf the result is a materialization of `O` and `D`.
+
+use gomq_core::{Fact, Instance, Interpretation, Term, Ucq, Vocab};
+use gomq_logic::eval::{eval, satisfies_ontology, Assignment};
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Budgets for the chase search.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseConfig {
+    /// Maximum repair applications per branch.
+    pub max_steps: usize,
+    /// Maximum number of leaves to produce.
+    pub max_leaves: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            max_steps: 2_000,
+            max_leaves: 4_096,
+        }
+    }
+}
+
+/// Chase failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseError {
+    /// The ontology uses features outside the supported positive-
+    /// existential fragment.
+    Unsupported(String),
+    /// A budget was exhausted before saturation.
+    BoundExceeded,
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Unsupported(m) => write!(f, "unsupported ontology feature: {m}"),
+            ChaseError::BoundExceeded => write!(f, "chase budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// The saturated branches of a (disjunctive) chase.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The leaf models; empty when every branch is inconsistent.
+    pub leaves: Vec<Interpretation>,
+    /// Total repair steps performed.
+    pub steps: usize,
+}
+
+impl ChaseResult {
+    /// Whether the chase was deterministic (at most one leaf).
+    pub fn is_deterministic(&self) -> bool {
+        self.leaves.len() <= 1
+    }
+
+    /// The materialization, when the chase produced exactly one leaf.
+    pub fn materialization(&self) -> Option<&Interpretation> {
+        match self.leaves.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// Certain UCQ answers: tuples over `dom(D)` that are answers in every
+    /// leaf. For an inconsistent instance (no leaves) every tuple over
+    /// `dom(D)` is certain.
+    pub fn certain_answers(&self, q: &Ucq, d: &Instance) -> BTreeSet<Vec<Term>> {
+        let dom: Vec<Term> = d.dom().into_iter().collect();
+        let arity = q.arity();
+        let mut candidates: BTreeSet<Vec<Term>> = BTreeSet::new();
+        let mut idx = vec![0usize; arity];
+        if arity == 0 {
+            candidates.insert(Vec::new());
+        } else {
+            'outer: loop {
+                candidates.insert(idx.iter().map(|&i| dom[i]).collect());
+                let mut j = 0;
+                loop {
+                    idx[j] += 1;
+                    if idx[j] < dom.len() {
+                        break;
+                    }
+                    idx[j] = 0;
+                    j += 1;
+                    if j == arity {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        for leaf in &self.leaves {
+            candidates.retain(|t| q.holds(leaf, t));
+        }
+        candidates
+    }
+}
+
+/// Checks that the ontology is in the supported positive-existential
+/// fragment and returns the NNF bodies of its sentences.
+fn prepare(o: &GfOntology) -> Result<Vec<UgfSentence>, ChaseError> {
+    if !o.functional.is_empty() || !o.inverse_functional.is_empty() {
+        return Err(ChaseError::Unsupported(
+            "functionality declarations".to_owned(),
+        ));
+    }
+    if !o.transitive.is_empty() {
+        return Err(ChaseError::Unsupported(
+            "transitivity declarations".to_owned(),
+        ));
+    }
+    if !o.other_sentences.is_empty() {
+        return Err(ChaseError::Unsupported(
+            "non-uGF sentences".to_owned(),
+        ));
+    }
+    let mut out = Vec::new();
+    for s in &o.ugf_sentences {
+        let body = nnf(&s.body, false)
+            .ok_or_else(|| ChaseError::Unsupported("equality or counting in body".to_owned()))?;
+        out.push(UgfSentence::new(
+            s.qvars.clone(),
+            s.guard.clone(),
+            body,
+            s.var_names.clone(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Negation normal form; `neg` means the formula occurs under a negation.
+/// Returns `None` for equality or counting.
+fn nnf(f: &Formula, neg: bool) -> Option<Formula> {
+    Some(match f {
+        Formula::True => {
+            if neg {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if neg {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Atom { .. } => {
+            if neg {
+                Formula::Not(Box::new(f.clone()))
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Eq(_, _) | Formula::CountExists { .. } => return None,
+        Formula::Not(g) => nnf(g, !neg)?,
+        Formula::And(fs) => {
+            let parts: Option<Vec<_>> = fs.iter().map(|g| nnf(g, neg)).collect();
+            if neg {
+                Formula::Or(parts?)
+            } else {
+                Formula::And(parts?)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts: Option<Vec<_>> = fs.iter().map(|g| nnf(g, neg)).collect();
+            if neg {
+                Formula::And(parts?)
+            } else {
+                Formula::Or(parts?)
+            }
+        }
+        Formula::Forall { qvars, guard, body } => {
+            let b = nnf(body, neg)?;
+            if neg {
+                Formula::Exists {
+                    qvars: qvars.clone(),
+                    guard: guard.clone(),
+                    body: Box::new(b),
+                }
+            } else {
+                Formula::Forall {
+                    qvars: qvars.clone(),
+                    guard: guard.clone(),
+                    body: Box::new(b),
+                }
+            }
+        }
+        Formula::Exists { qvars, guard, body } => {
+            let b = nnf(body, neg)?;
+            if neg {
+                Formula::Forall {
+                    qvars: qvars.clone(),
+                    guard: guard.clone(),
+                    body: Box::new(b),
+                }
+            } else {
+                Formula::Exists {
+                    qvars: qvars.clone(),
+                    guard: guard.clone(),
+                    body: Box::new(b),
+                }
+            }
+        }
+    })
+}
+
+/// A repair option: a set of facts to add (possibly over fresh nulls).
+type Repair = Vec<Fact>;
+
+/// Enumerates minimal repair options making `f` (in NNF) true at `asg`.
+/// Returns an empty vector when the formula cannot be made true by adding
+/// facts (dead branch).
+fn repairs(f: &Formula, a: &Interpretation, asg: &Assignment, vocab: &mut Vocab) -> Vec<Repair> {
+    if eval(f, a, asg) {
+        return vec![Vec::new()];
+    }
+    match f {
+        Formula::True => vec![Vec::new()],
+        Formula::False => Vec::new(),
+        Formula::Atom { rel, args } => {
+            vec![vec![Fact::new(*rel, args.iter().map(|v| asg[v]).collect())]]
+        }
+        Formula::Not(_) | Formula::Eq(_, _) => Vec::new(), // cannot repair by adding
+        Formula::And(fs) => {
+            // Cross product of repairs of unsatisfied conjuncts.
+            let mut acc: Vec<Repair> = vec![Vec::new()];
+            for g in fs {
+                let opts = repairs(g, a, asg, vocab);
+                if opts.is_empty() {
+                    return Vec::new();
+                }
+                let mut next = Vec::new();
+                for base in &acc {
+                    for opt in &opts {
+                        let mut combined = base.clone();
+                        combined.extend(opt.iter().cloned());
+                        next.push(combined);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                out.extend(repairs(g, a, asg, vocab));
+            }
+            out
+        }
+        Formula::Exists { qvars, guard, body } => {
+            // Restricted-chase style: create fresh witnesses and repair the
+            // guard and body under them. (Reusing existing elements is not
+            // needed for universality: a homomorphism may collapse nulls.)
+            let mut ext = asg.clone();
+            for q in qvars {
+                ext.insert(*q, Term::Null(vocab.fresh_null()));
+            }
+            let guard_fact = match guard {
+                Guard::Atom { rel, args } => {
+                    Fact::new(*rel, args.iter().map(|v| ext[v]).collect())
+                }
+                Guard::Eq(_, _) => return Vec::new(), // not openGF anyway
+            };
+            // The body is evaluated over A extended by the guard fact.
+            let mut a2 = a.clone();
+            a2.insert(guard_fact.clone());
+            let body_opts = repairs(body, &a2, &ext, vocab);
+            body_opts
+                .into_iter()
+                .map(|mut opt| {
+                    opt.push(guard_fact.clone());
+                    opt
+                })
+                .collect()
+        }
+        Formula::Forall { qvars, guard, body } => {
+            // Repair the body at every currently-matching guard tuple.
+            let mut matches: Vec<Assignment> = Vec::new();
+            collect_guard_matches(guard, qvars, a, asg, &mut matches);
+            let mut acc: Vec<Repair> = vec![Vec::new()];
+            for m in &matches {
+                if eval(body, a, m) {
+                    continue;
+                }
+                let opts = repairs(body, a, m, vocab);
+                if opts.is_empty() {
+                    return Vec::new();
+                }
+                let mut next = Vec::new();
+                for base in &acc {
+                    for opt in &opts {
+                        let mut combined = base.clone();
+                        combined.extend(opt.iter().cloned());
+                        next.push(combined);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Formula::CountExists { .. } => Vec::new(),
+    }
+}
+
+fn collect_guard_matches(
+    guard: &Guard,
+    qvars: &[LVar],
+    a: &Interpretation,
+    asg: &Assignment,
+    out: &mut Vec<Assignment>,
+) {
+    match guard {
+        Guard::Atom { rel, args } => {
+            for fact in a.facts_of(*rel) {
+                if fact.args.len() != args.len() {
+                    continue;
+                }
+                let mut ext = asg.clone();
+                for q in qvars {
+                    ext.remove(q);
+                }
+                let mut ok = true;
+                for (&v, &t) in args.iter().zip(fact.args.iter()) {
+                    match ext.get(&v) {
+                        Some(&prev) if prev != t => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            ext.insert(v, t);
+                        }
+                    }
+                }
+                if ok {
+                    out.push(ext);
+                }
+            }
+        }
+        Guard::Eq(x, y) => {
+            if x == y {
+                for t in a.dom() {
+                    let mut ext = asg.clone();
+                    ext.insert(*x, t);
+                    out.push(ext);
+                }
+            } else {
+                for t in a.dom() {
+                    let mut ext = asg.clone();
+                    ext.insert(*x, t);
+                    ext.insert(*y, t);
+                    out.push(ext);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the (disjunctive) chase of `D` with `O`.
+pub fn chase(
+    o: &GfOntology,
+    d: &Instance,
+    vocab: &mut Vocab,
+    config: ChaseConfig,
+) -> Result<ChaseResult, ChaseError> {
+    let sentences = prepare(o)?;
+    let mut leaves: Vec<Interpretation> = Vec::new();
+    let mut steps = 0usize;
+    let mut stack: Vec<Interpretation> = vec![d.clone()];
+    while let Some(current) = stack.pop() {
+        // Find a violated sentence instance.
+        let mut violation: Option<(usize, Assignment)> = None;
+        'scan: for (si, s) in sentences.iter().enumerate() {
+            let mut matches = Vec::new();
+            collect_guard_matches(&s.guard, &s.qvars, &current, &Assignment::new(), &mut matches);
+            for m in matches {
+                if !eval(&s.body, &current, &m) {
+                    violation = Some((si, m));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((si, m)) = violation else {
+            debug_assert!(satisfies_ontology(&current, o));
+            if !leaves.contains(&current) {
+                leaves.push(current);
+                if leaves.len() > config.max_leaves {
+                    return Err(ChaseError::BoundExceeded);
+                }
+            }
+            continue;
+        };
+        steps += 1;
+        if steps > config.max_steps {
+            return Err(ChaseError::BoundExceeded);
+        }
+        let options = repairs(&sentences[si].body, &current, &m, vocab);
+        for opt in options {
+            let mut next = current.clone();
+            for f in opt {
+                next.insert(f);
+            }
+            stack.push(next);
+        }
+        // No options: the branch is inconsistent and simply dies.
+    }
+    Ok(ChaseResult { leaves, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::query::CqBuilder;
+
+    fn vocab_with(
+        v: &mut Vocab,
+    ) -> (gomq_core::RelId, gomq_core::RelId, gomq_core::RelId) {
+        (v.rel("A", 1), v.rel("B", 1), v.rel("R", 2))
+    }
+
+    /// Horn ontology: A ⊑ ∃R.B, plus propagation ∀xy(R(x,y) → (B(y) → A(y))).
+    fn horn(v: &mut Vocab) -> GfOntology {
+        let (a, b, r) = vocab_with(v);
+        let (x, y) = (LVar(0), LVar(1));
+        let s1 = UgfSentence::forall_one(
+            x,
+            Formula::implies(
+                Formula::unary(a, x),
+                Formula::Exists {
+                    qvars: vec![y],
+                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    body: Box::new(Formula::unary(b, y)),
+                },
+            ),
+            vec!["x".into(), "y".into()],
+        );
+        let s2 = UgfSentence::new(
+            vec![x, y],
+            Guard::Atom { rel: r, args: vec![x, y] },
+            Formula::implies(Formula::unary(b, y), Formula::unary(a, y)),
+            vec!["x".into(), "y".into()],
+        );
+        GfOntology::from_ugf(vec![s1, s2])
+    }
+
+    #[test]
+    fn horn_chase_is_deterministic_but_infinite_without_bound() {
+        // A ⊑ ∃R.B and B ⊑ A generates an infinite chase: the budget stops it.
+        let mut v = Vocab::new();
+        let o = horn(&mut v);
+        let (a, _, _) = vocab_with(&mut v);
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c]));
+        let err = chase(
+            &o,
+            &d,
+            &mut v,
+            ChaseConfig {
+                max_steps: 50,
+                max_leaves: 10,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ChaseError::BoundExceeded);
+    }
+
+    /// Terminating Horn ontology: A ⊑ ∃R.B only.
+    fn terminating_horn(v: &mut Vocab) -> GfOntology {
+        let (a, b, r) = vocab_with(v);
+        let (x, y) = (LVar(0), LVar(1));
+        GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::implies(
+                Formula::unary(a, x),
+                Formula::Exists {
+                    qvars: vec![y],
+                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    body: Box::new(Formula::unary(b, y)),
+                },
+            ),
+            vec!["x".into(), "y".into()],
+        )])
+    }
+
+    #[test]
+    fn terminating_horn_chase_materializes() {
+        let mut v = Vocab::new();
+        let o = terminating_horn(&mut v);
+        let (a, b, r) = vocab_with(&mut v);
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c]));
+        let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+        let m = result.materialization().expect("single leaf");
+        assert!(satisfies_ontology(m, &o));
+        assert!(m.models_instance(&d));
+        // Certain answers: ∃y R(c,y) ∧ B(y) holds, B(x) has no named answer.
+        let mut bq = CqBuilder::new();
+        let qx = bq.var("x");
+        let qy = bq.var("y");
+        bq.atom(r, &[qx, qy]).atom(b, &[qy]);
+        let q = Ucq::from_cq(bq.build(vec![qx]));
+        let ans = result.certain_answers(&q, &d);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Term::Const(c)]));
+    }
+
+    #[test]
+    fn disjunctive_chase_branches_and_intersects() {
+        // ∀x(A(x) → B(x) ∨ C(x)): neither B(c) nor C(c) is certain, but
+        // the UCQ B(x) ∨ C(x) is.
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let c_rel = v.rel("C", 1);
+        let x = LVar(0);
+        let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::implies(
+                Formula::unary(a, x),
+                Formula::Or(vec![Formula::unary(b, x), Formula::unary(c_rel, x)]),
+            ),
+            vec!["x".into()],
+        )]);
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c]));
+        let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+        assert_eq!(result.leaves.len(), 2);
+        let mk = |rel| {
+            let mut bq = CqBuilder::new();
+            let qx = bq.var("x");
+            bq.atom(rel, &[qx]);
+            Ucq::from_cq(bq.build(vec![qx]))
+        };
+        assert!(result.certain_answers(&mk(b), &d).is_empty());
+        assert!(result.certain_answers(&mk(c_rel), &d).is_empty());
+        let union = Ucq::new(vec![
+            mk(b).disjuncts[0].clone(),
+            mk(c_rel).disjuncts[0].clone(),
+        ]);
+        assert_eq!(result.certain_answers(&union, &d).len(), 1);
+    }
+
+    #[test]
+    fn dead_branches_from_negated_atoms() {
+        // ∀x(A(x) → B(x) ∨ C(x)) and ∀x ¬B(x): only the C branch survives.
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let c_rel = v.rel("C", 1);
+        let x = LVar(0);
+        let o = GfOntology::from_ugf(vec![
+            UgfSentence::forall_one(
+                x,
+                Formula::implies(
+                    Formula::unary(a, x),
+                    Formula::Or(vec![Formula::unary(b, x), Formula::unary(c_rel, x)]),
+                ),
+                vec!["x".into()],
+            ),
+            UgfSentence::forall_one(
+                x,
+                Formula::Not(Box::new(Formula::unary(b, x))),
+                vec!["x".into()],
+            ),
+        ]);
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c]));
+        let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+        assert_eq!(result.leaves.len(), 1);
+        let mut bq = CqBuilder::new();
+        let qx = bq.var("x");
+        bq.atom(c_rel, &[qx]);
+        let q = Ucq::from_cq(bq.build(vec![qx]));
+        assert_eq!(result.certain_answers(&q, &d).len(), 1);
+    }
+
+    #[test]
+    fn inconsistent_instance_has_no_leaves() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let x = LVar(0);
+        let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::Not(Box::new(Formula::unary(a, x))),
+            vec!["x".into()],
+        )]);
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c]));
+        let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+        assert!(result.leaves.is_empty());
+        // Everything is certain on an inconsistent instance.
+        let n = v.rel("N", 1);
+        let mut bq = CqBuilder::new();
+        let qx = bq.var("x");
+        bq.atom(n, &[qx]);
+        let q = Ucq::from_cq(bq.build(vec![qx]));
+        assert_eq!(result.certain_answers(&q, &d).len(), 1);
+    }
+
+    #[test]
+    fn unsupported_features_are_rejected() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let mut o = GfOntology::new();
+        o.declare_functional(r);
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        let a = v.rel("A", 1);
+        d.insert(Fact::consts(a, &[c]));
+        assert!(matches!(
+            chase(&o, &d, &mut v, ChaseConfig::default()),
+            Err(ChaseError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn forall_propagation_chases_along_edges() {
+        // ∀xy(R(x,y) → (A(x) → A(y))) on a path propagates A to the end.
+        let mut v = Vocab::new();
+        let (a, _, r) = vocab_with(&mut v);
+        let (x, y) = (LVar(0), LVar(1));
+        let o = GfOntology::from_ugf(vec![UgfSentence::new(
+            vec![x, y],
+            Guard::Atom { rel: r, args: vec![x, y] },
+            Formula::implies(Formula::unary(a, x), Formula::unary(a, y)),
+            vec!["x".into(), "y".into()],
+        )]);
+        let c0 = v.constant("c0");
+        let c1 = v.constant("c1");
+        let c2 = v.constant("c2");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c0]));
+        d.insert(Fact::consts(r, &[c0, c1]));
+        d.insert(Fact::consts(r, &[c1, c2]));
+        let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+        let m = result.materialization().expect("deterministic");
+        assert!(m.contains(&Fact::consts(a, &[c2])));
+    }
+}

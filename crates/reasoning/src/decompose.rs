@@ -1,0 +1,210 @@
+//! Decomposing conjunctive queries into connected components.
+//!
+//! The proof of Theorem 4 rewrites UCQs into disjunctions of queries
+//! `q ∧ ⋀ᵢ qᵢ` with a core evaluated over the instance and rAQ side
+//! components. The simplest useful piece of that machinery — implemented
+//! here — splits a CQ into its connected components: for ontologies that
+//! are invariant under disjoint unions *and materializable*, a Boolean CQ
+//! is certain iff each connected component is (evaluate them in the same
+//! materialization), which lets the engine work component-by-component.
+
+use gomq_core::query::{CqAtom, Var};
+use gomq_core::{Cq, VarOrConst};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The connected components of a CQ's body (variables connected through
+/// shared atoms; constants do not connect components). Answer variables
+/// stay attached to their components; a component without answer
+/// variables becomes a Boolean CQ.
+pub fn connected_components(q: &Cq) -> Vec<Cq> {
+    if q.atoms.is_empty() {
+        return vec![q.clone()];
+    }
+    // Union-find over atoms through shared variables.
+    let n = q.atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let mut by_var: BTreeMap<Var, Vec<usize>> = BTreeMap::new();
+    for (i, atom) in q.atoms.iter().enumerate() {
+        for arg in &atom.args {
+            if let VarOrConst::Var(v) = arg {
+                by_var.entry(*v).or_default().push(i);
+            }
+        }
+    }
+    for idxs in by_var.values() {
+        for w in idxs.windows(2) {
+            let a = find(&mut parent, w[0]);
+            let b = find(&mut parent, w[1]);
+            parent[a] = b;
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    // Build one CQ per group, remapping variables densely.
+    let mut out = Vec::new();
+    for (_, atom_idxs) in groups {
+        let mut var_map: BTreeMap<Var, Var> = BTreeMap::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut atoms: Vec<CqAtom> = Vec::new();
+        for &i in &atom_idxs {
+            let atom = &q.atoms[i];
+            let args = atom
+                .args
+                .iter()
+                .map(|arg| match arg {
+                    VarOrConst::Const(c) => VarOrConst::Const(*c),
+                    VarOrConst::Var(v) => {
+                        let mapped = *var_map.entry(*v).or_insert_with(|| {
+                            names.push(q.var_names[v.0 as usize].clone());
+                            Var(names.len() as u32 - 1)
+                        });
+                        VarOrConst::Var(mapped)
+                    }
+                })
+                .collect();
+            atoms.push(CqAtom {
+                rel: atom.rel,
+                args,
+            });
+        }
+        let answer_vars: Vec<Var> = q
+            .answer_vars
+            .iter()
+            .filter_map(|v| var_map.get(v).copied())
+            .collect();
+        out.push(Cq::new(answer_vars, atoms, names));
+    }
+    out
+}
+
+/// Whether the CQ is connected (a single component).
+pub fn is_connected_query(q: &Cq) -> bool {
+    connected_components(q).len() <= 1
+}
+
+/// The set of variables shared between at least two atoms — useful when
+/// deciding which components a squid-style decomposition must keep
+/// together.
+pub fn shared_vars(q: &Cq) -> BTreeSet<Var> {
+    let mut counts: BTreeMap<Var, usize> = BTreeMap::new();
+    for atom in &q.atoms {
+        let mut seen: BTreeSet<Var> = BTreeSet::new();
+        for arg in &atom.args {
+            if let VarOrConst::Var(v) = arg {
+                if seen.insert(*v) {
+                    *counts.entry(*v).or_default() += 1;
+                }
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|(_, c)| *c >= 2)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certain::CertainEngine;
+    use gomq_core::query::CqBuilder;
+    use gomq_core::{Fact, Instance, Ucq, Vocab};
+    use gomq_dl::concept::{Concept, Role};
+    use gomq_dl::translate::to_gf;
+    use gomq_dl::DlOntology;
+
+    #[test]
+    fn disconnected_query_splits() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a = v.rel("A", 1);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom(r, &[x, y]).atom(a, &[z]);
+        let q = b.build(vec![x]);
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 2);
+        assert!(!is_connected_query(&q));
+        // The answer variable stays with its component.
+        let with_answer = comps.iter().filter(|c| !c.is_boolean()).count();
+        assert_eq!(with_answer, 1);
+    }
+
+    #[test]
+    fn connected_query_stays_whole() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom(r, &[x, y]).atom(r, &[y, z]);
+        let q = b.build(vec![x]);
+        assert!(is_connected_query(&q));
+        assert_eq!(shared_vars(&q).len(), 1); // y joins the two atoms
+    }
+
+    #[test]
+    fn component_certainty_composes_for_materializable_ontologies() {
+        // Horn O: Boolean q = (A-component) ∧ (B-component): certain iff
+        // both components certain.
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b_rel = v.rel("B", 1);
+        let c_rel = v.rel("C", 1);
+        let r = Role::new(v.rel("R", 2));
+        let mut dl = DlOntology::new();
+        dl.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b_rel))));
+        let o = to_gf(&dl);
+        let ca = v.constant("u");
+        let cb = v.constant("w");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[ca]));
+        d.insert(Fact::consts(c_rel, &[cb]));
+        // q ← A(x) ∧ C(y): two components, both certain.
+        let mut bq = CqBuilder::new();
+        let x = bq.var("x");
+        let y = bq.var("y");
+        bq.atom(a, &[x]).atom(c_rel, &[y]);
+        let q = bq.build(vec![]);
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 2);
+        let engine = CertainEngine::new(2);
+        let whole = engine
+            .certain(&o, &d, &Ucq::from_cq(q.clone()), &[], &mut v)
+            .is_certain();
+        let per_component = comps.iter().all(|c| {
+            engine
+                .certain(&o, &d, &Ucq::from_cq(c.clone()), &[], &mut v)
+                .is_certain()
+        });
+        assert!(whole && per_component);
+        // Make one component non-certain: drop C(w).
+        let mut d2 = Instance::new();
+        d2.insert(Fact::consts(a, &[ca]));
+        let whole2 = engine
+            .certain(&o, &d2, &Ucq::from_cq(q), &[], &mut v)
+            .is_certain();
+        assert!(!whole2);
+    }
+
+    #[test]
+    fn atomless_query_is_single_component() {
+        let b = CqBuilder::new();
+        let q = b.build(vec![]);
+        assert_eq!(connected_components(&q).len(), 1);
+    }
+}

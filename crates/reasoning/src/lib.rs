@@ -1,0 +1,41 @@
+//! # gomq-reasoning
+//!
+//! The reasoning engines behind the reproduction of *Dichotomies in
+//! Ontology-Mediated Querying with the Guarded Fragment* (PODS 2017):
+//!
+//! * [`sat`] — a self-contained DPLL SAT solver (the propositional
+//!   substrate for bounded countermodel search),
+//! * [`ground`] — grounding GF(=)/GC₂ ontologies and (U)CQs over a finite
+//!   domain into CNF,
+//! * [`certain`] — certain answers and consistency by bounded countermodel
+//!   search: `O,D ⊨ q(ā)` iff no model of `D` and `O` refutes `q(ā)`; the
+//!   engine searches models extending `D` by at most `k` fresh elements,
+//!   which is sound for "not certain" verdicts (it exhibits a countermodel)
+//!   and complete up to the bound (GF has the finite-model property, and
+//!   the paper's constructions need only small neighbourhoods),
+//! * [`chase`] — the deterministic and the disjunctive chase for
+//!   positive-existential uGF ontologies; terminates with materializations
+//!   (universal models) when the ontology is materializable and the chase
+//!   is bounded,
+//! * [`materialize`] — materializability testing via the disjunction
+//!   property (Theorem 17 of the appendix),
+//! * [`unravel`] — the uGF- and uGC₂-unravellings of §4 to a given radius,
+//!   with the `e↑` projection homomorphism,
+//! * [`rollup`] — compiling tree-shaped queries (ELIQs/rAQs) into openGF
+//!   formulas, reducing rAQ certainty to formula certainty,
+//! * [`decompose`] — connected-component decomposition of CQs (the simple
+//!   core of Theorem 4's squid machinery).
+
+#![warn(missing_docs)]
+
+pub mod certain;
+pub mod chase;
+pub mod decompose;
+pub mod ground;
+pub mod materialize;
+pub mod rollup;
+pub mod sat;
+pub mod unravel;
+
+pub use certain::{CertainEngine, CertainOutcome};
+pub use chase::{ChaseConfig, ChaseError, ChaseResult};

@@ -1,0 +1,324 @@
+//! Materializability testing via the disjunction property.
+//!
+//! By appendix Theorem 17, an ontology `O` is (U)CQ-materializable iff it
+//! has the *disjunction property*: whenever `O,D ⊨ q₁(d̄₁) ∨ … ∨ qₙ(d̄ₙ)`,
+//! some disjunct is already certain. Non-materializability is therefore
+//! *witnessed* by an instance `D` and queries whose disjunction is certain
+//! while no disjunct is — and by Theorem 3, such a witness implies that
+//! query evaluation w.r.t. `O` is coNP-hard (for uGF(=)/uGC₂(=)
+//! ontologies, which are invariant under disjoint unions).
+//!
+//! Deciding materializability outright is a meta problem (undecidable in
+//! general, §7); this module provides witness *search* over caller-supplied
+//! or generated candidate instances and queries.
+
+use crate::certain::{CertainEngine, CertainOutcome};
+use gomq_core::query::CqBuilder;
+use gomq_core::{Instance, Term, Ucq, Vocab};
+use gomq_logic::GfOntology;
+
+/// A witness that the disjunction property fails on an instance.
+#[derive(Clone, Debug)]
+pub struct DisjunctionWitness {
+    /// The instance.
+    pub instance: Instance,
+    /// The disjuncts (query, answer tuple), none of which is certain…
+    pub queries: Vec<(Ucq, Vec<Term>)>,
+}
+
+/// Searches for a disjunction-property violation of `O` on the single
+/// instance `D` over the given candidate queries: is some subset of
+/// non-certain disjuncts jointly certain?
+///
+/// Testing the full set of non-certain disjuncts suffices: if the
+/// disjunction over all candidates is refutable in one model, so is every
+/// subset; conversely a certain disjunction over any subset makes the full
+/// disjunction certain.
+pub fn find_disjunction_witness(
+    o: &GfOntology,
+    d: &Instance,
+    candidates: &[(Ucq, Vec<Term>)],
+    engine: &CertainEngine,
+    vocab: &mut Vocab,
+) -> Option<DisjunctionWitness> {
+    // Keep only candidates that are not individually certain.
+    let open: Vec<(Ucq, Vec<Term>)> = candidates
+        .iter()
+        .filter(|(q, t)| !engine.certain(o, d, q, t, vocab).is_certain())
+        .cloned()
+        .collect();
+    if open.len() < 2 {
+        return None;
+    }
+    match engine.certain_disjunction(o, d, &open, vocab) {
+        CertainOutcome::Certain { .. } => Some(DisjunctionWitness {
+            instance: d.clone(),
+            queries: open,
+        }),
+        CertainOutcome::NotCertain(_) => None,
+    }
+}
+
+/// Whether `O` is materializable *on the given instance* w.r.t. the given
+/// candidate query family: no disjunction-property violation is found.
+pub fn materializable_on(
+    o: &GfOntology,
+    d: &Instance,
+    candidates: &[(Ucq, Vec<Term>)],
+    engine: &CertainEngine,
+    vocab: &mut Vocab,
+) -> bool {
+    find_disjunction_witness(o, d, candidates, engine, vocab).is_none()
+}
+
+/// Generates the atomic candidate queries `A(x̄)` for every relation of
+/// the signature, instantiated at every tuple over `dom(D)` (arity ≤ 2 to
+/// keep the candidate family small; this covers the paper's examples,
+/// whose witnesses are atomic).
+pub fn atomic_candidates(
+    o: &GfOntology,
+    d: &Instance,
+    vocab: &Vocab,
+) -> Vec<(Ucq, Vec<Term>)> {
+    let dom: Vec<Term> = d.dom().into_iter().collect();
+    let mut out = Vec::new();
+    for rel in o.sig() {
+        let arity = vocab.arity(rel);
+        if arity == 0 || arity > 2 {
+            continue;
+        }
+        let mut b = CqBuilder::new();
+        let vars: Vec<_> = (0..arity)
+            .map(|i| b.var(&format!("x{i}")))
+            .collect();
+        b.atom(rel, &vars);
+        let q = Ucq::from_cq(b.build(vars.clone()));
+        // All tuples over dom(D).
+        let mut idx = vec![0usize; arity];
+        loop {
+            let tuple: Vec<Term> = idx.iter().map(|&i| dom[i]).collect();
+            out.push((q.clone(), tuple));
+            let mut j = 0;
+            loop {
+                idx[j] += 1;
+                if idx[j] < dom.len() {
+                    break;
+                }
+                idx[j] = 0;
+                j += 1;
+                if j == arity {
+                    break;
+                }
+            }
+            if j == arity {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Checks whether `b` is a Q-materialization of `O` and `D` w.r.t. the
+/// given query family (Definition 2): `b` must be a model of `D` and `O`,
+/// and for every `(q, ā)` in the family, `b ⊨ q(ā)` iff `ā` is a certain
+/// answer.
+pub fn is_materialization(
+    b: &gomq_core::Interpretation,
+    o: &GfOntology,
+    d: &Instance,
+    queries: &[(Ucq, Vec<Term>)],
+    engine: &CertainEngine,
+    vocab: &mut Vocab,
+) -> bool {
+    if !b.models_instance(d) || !gomq_logic::eval::satisfies_ontology(b, o) {
+        return false;
+    }
+    queries.iter().all(|(q, tuple)| {
+        let in_b = q.holds(b, tuple);
+        let certain = engine.certain(o, d, q, tuple, vocab).is_certain();
+        in_b == certain
+    })
+}
+
+/// Boolean candidate queries `∃x̄ R(x̄)` for every relation of the
+/// signature — these catch disjunction-property failures at anonymous
+/// elements (e.g. the paper's Example 7, where the entailed disjunction
+/// `R′(x,y) ∨ S′(x,y)` lives entirely in the anonymous part).
+pub fn boolean_candidates(o: &GfOntology, vocab: &Vocab) -> Vec<(Ucq, Vec<Term>)> {
+    let mut out = Vec::new();
+    for rel in o.sig() {
+        let arity = vocab.arity(rel);
+        if arity == 0 || arity > 3 {
+            continue;
+        }
+        let mut b = CqBuilder::new();
+        let vars: Vec<_> = (0..arity).map(|i| b.var(&format!("x{i}"))).collect();
+        b.atom(rel, &vars);
+        out.push((Ucq::from_cq(b.build(vec![])), Vec::new()));
+    }
+    out
+}
+
+/// Depth-1 ELIQ candidates `q(x) ← R(x,y) [∧ A(y)]` and the inverse
+/// direction, instantiated at every element of `dom(D)`.
+pub fn eliq_candidates(o: &GfOntology, d: &Instance, vocab: &Vocab) -> Vec<(Ucq, Vec<Term>)> {
+    let dom: Vec<Term> = d.dom().into_iter().collect();
+    let unary: Vec<_> = o.sig().into_iter().filter(|&r| vocab.arity(r) == 1).collect();
+    let binary: Vec<_> = o.sig().into_iter().filter(|&r| vocab.arity(r) == 2).collect();
+    let mut queries: Vec<Ucq> = Vec::new();
+    for &r in &binary {
+        for fwd in [true, false] {
+            // q(x) ← R(x,y) / R(y,x)
+            let mut b = CqBuilder::new();
+            let x = b.var("x");
+            let y = b.var("y");
+            if fwd {
+                b.atom(r, &[x, y]);
+            } else {
+                b.atom(r, &[y, x]);
+            }
+            queries.push(Ucq::from_cq(b.build(vec![x])));
+            for &a in &unary {
+                let mut b = CqBuilder::new();
+                let x = b.var("x");
+                let y = b.var("y");
+                if fwd {
+                    b.atom(r, &[x, y]);
+                } else {
+                    b.atom(r, &[y, x]);
+                }
+                b.atom(a, &[y]);
+                queries.push(Ucq::from_cq(b.build(vec![x])));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for q in queries {
+        for &t in &dom {
+            out.push((q.clone(), vec![t]));
+        }
+    }
+    out
+}
+
+/// The combined candidate family used by the meta decision procedures:
+/// atomic + ELIQ + Boolean candidates.
+pub fn standard_candidates(
+    o: &GfOntology,
+    d: &Instance,
+    vocab: &Vocab,
+) -> Vec<(Ucq, Vec<Term>)> {
+    let mut out = atomic_candidates(o, d, vocab);
+    out.extend(eliq_candidates(o, d, vocab));
+    out.extend(boolean_candidates(o, vocab));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::Fact;
+    use gomq_dl::concept::{Concept, Role};
+    use gomq_dl::translate::to_gf;
+    use gomq_dl::DlOntology;
+
+    fn hand_setup(
+        v: &mut Vocab,
+        n_fingers: usize,
+    ) -> (GfOntology, GfOntology, Instance) {
+        let hand = v.rel("Hand", 1);
+        let thumb = v.rel("Thumb", 1);
+        let hf_rel = v.rel("hasFinger", 2);
+        let hf = Role::new(hf_rel);
+        let mut dl1 = DlOntology::new();
+        dl1.sub(
+            Concept::Name(hand),
+            Concept::exactly(n_fingers as u32, hf, Concept::Top),
+        );
+        let mut dl2 = DlOntology::new();
+        dl2.sub(
+            Concept::Name(hand),
+            Concept::Exists(hf, Box::new(Concept::Name(thumb))),
+        );
+        let h = v.constant("h");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(hand, &[h]));
+        for i in 0..n_fingers {
+            let f = v.constant(&format!("f{i}"));
+            d.insert(Fact::consts(hf_rel, &[h, f]));
+        }
+        (to_gf(&dl1), to_gf(&dl2), d)
+    }
+
+    #[test]
+    fn o1_and_o2_separately_pass_o1_union_o2_fails() {
+        let mut v = Vocab::new();
+        // Three fingers keep the search space small; the phenomenon is the
+        // same as with five.
+        let (o1, o2, d) = hand_setup(&mut v, 3);
+        let engine = CertainEngine::new(1);
+        let candidates = atomic_candidates(&o1.union(&o2), &d, &v);
+        assert!(materializable_on(&o1, &d, &candidates, &engine, &mut v));
+        assert!(materializable_on(&o2, &d, &candidates, &engine, &mut v));
+        let union = o1.union(&o2);
+        let w = find_disjunction_witness(&union, &d, &candidates, &engine, &mut v)
+            .expect("O1 ∪ O2 violates the disjunction property");
+        assert!(w.queries.len() >= 3);
+    }
+
+    #[test]
+    fn horn_ontology_is_materializable_on_instances() {
+        use gomq_logic::{Formula, Guard, LVar, UgfSentence};
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = v.rel("R", 2);
+        let (x, y) = (LVar(0), LVar(1));
+        let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::implies(
+                Formula::unary(a, x),
+                Formula::Exists {
+                    qvars: vec![y],
+                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    body: Box::new(Formula::unary(b, y)),
+                },
+            ),
+            vec!["x".into(), "y".into()],
+        )]);
+        let c = v.constant("c");
+        let cc = v.constant("d");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c]));
+        d.insert(Fact::consts(r, &[c, cc]));
+        let engine = CertainEngine::new(2);
+        let candidates = atomic_candidates(&o, &d, &v);
+        assert!(materializable_on(&o, &d, &candidates, &engine, &mut v));
+    }
+
+    #[test]
+    fn disjunctive_ontology_fails_on_trigger_instance() {
+        use gomq_logic::{Formula, LVar, UgfSentence};
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let c_rel = v.rel("C", 1);
+        let x = LVar(0);
+        let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+            x,
+            Formula::implies(
+                Formula::unary(a, x),
+                Formula::Or(vec![Formula::unary(b, x), Formula::unary(c_rel, x)]),
+            ),
+            vec!["x".into()],
+        )]);
+        let c = v.constant("c");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[c]));
+        let engine = CertainEngine::new(1);
+        let candidates = atomic_candidates(&o, &d, &v);
+        let w = find_disjunction_witness(&o, &d, &candidates, &engine, &mut v)
+            .expect("A ⊑ B ⊔ C is not materializable");
+        assert_eq!(w.queries.len(), 2);
+    }
+}

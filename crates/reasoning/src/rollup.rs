@@ -1,0 +1,304 @@
+//! Rolling up tree-shaped queries into openGF formulas.
+//!
+//! A tree-shaped CQ with one answer variable (an ELIQ, the binary-
+//! signature special case of the paper's rAQs) is equivalent to an
+//! openGF formula with one free variable: each child subtree becomes a
+//! guarded existential. Combined with
+//! [`crate::CertainEngine::certain_formula`], this reduces rAQ certain
+//! answers to "concept-style" certainty — the paper's standard rolling-up
+//! technique.
+
+use gomq_core::{Cq, VarOrConst};
+use gomq_logic::{Formula, Guard, LVar};
+use std::collections::BTreeSet;
+
+/// Rolling-up failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RollupError {
+    /// The query has no single answer variable.
+    NotUnary,
+    /// An atom has arity > 2 or mentions constants.
+    UnsupportedAtom,
+    /// The query graph is not a tree rooted at the answer variable.
+    NotTree,
+}
+
+impl std::fmt::Display for RollupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RollupError::NotUnary => write!(f, "query must have exactly one answer variable"),
+            RollupError::UnsupportedAtom => {
+                write!(f, "atoms must be unary or binary over variables")
+            }
+            RollupError::NotTree => write!(f, "query graph must be a tree"),
+        }
+    }
+}
+
+impl std::error::Error for RollupError {}
+
+/// Rolls a tree-shaped unary CQ up into an openGF formula `φ(x)` with
+/// free variable `LVar(0)`, such that for all interpretations `A` and
+/// elements `a`: `A ⊨ q(a)` iff `A ⊨ φ(a)`.
+///
+/// The formula re-uses variables along a two-variable alternation only
+/// when the tree is a path; in general each level introduces the next
+/// `LVar`, bounded by the tree depth + 1.
+pub fn rollup(q: &Cq) -> Result<Formula, RollupError> {
+    let [root] = q.answer_vars.as_slice() else {
+        return Err(RollupError::NotUnary);
+    };
+    // Collect edges and unary labels.
+    struct EdgeInfo {
+        rel: gomq_core::RelId,
+        from: gomq_core::query::Var,
+        to: gomq_core::query::Var,
+    }
+    let mut edges: Vec<EdgeInfo> = Vec::new();
+    let mut unary: Vec<(gomq_core::RelId, gomq_core::query::Var)> = Vec::new();
+    for atom in &q.atoms {
+        let vars: Result<Vec<gomq_core::query::Var>, RollupError> = atom
+            .args
+            .iter()
+            .map(|a| match a {
+                VarOrConst::Var(v) => Ok(*v),
+                VarOrConst::Const(_) => Err(RollupError::UnsupportedAtom),
+            })
+            .collect();
+        let vars = vars?;
+        match vars.as_slice() {
+            [v] => unary.push((atom.rel, *v)),
+            [v, w] => {
+                if v == w {
+                    return Err(RollupError::NotTree); // self-loop
+                }
+                edges.push(EdgeInfo {
+                    rel: atom.rel,
+                    from: *v,
+                    to: *w,
+                });
+            }
+            _ => return Err(RollupError::UnsupportedAtom),
+        }
+    }
+    // Check the collapsed graph is a tree rooted at the answer variable.
+    let all_vars: BTreeSet<_> = q.all_vars();
+    let mut visited: BTreeSet<gomq_core::query::Var> = BTreeSet::new();
+    // Recursive build.
+    fn build(
+        v: gomq_core::query::Var,
+        parent: Option<gomq_core::query::Var>,
+        depth: u32,
+        edges: &[EdgeInfo],
+        unary: &[(gomq_core::RelId, gomq_core::query::Var)],
+        visited: &mut BTreeSet<gomq_core::query::Var>,
+    ) -> Result<Formula, RollupError> {
+        visited.insert(v);
+        let me = LVar(depth);
+        let mut conjuncts: Vec<Formula> = unary
+            .iter()
+            .filter(|(_, w)| *w == v)
+            .map(|(rel, _)| Formula::unary(*rel, me))
+            .collect();
+        // Group child edges by neighbour variable.
+        let mut neighbours: Vec<gomq_core::query::Var> = Vec::new();
+        for e in edges {
+            if e.from == v && Some(e.to) != parent && !neighbours.contains(&e.to) {
+                neighbours.push(e.to);
+            }
+            if e.to == v && Some(e.from) != parent && !neighbours.contains(&e.from) {
+                neighbours.push(e.from);
+            }
+        }
+        for w in neighbours {
+            if visited.contains(&w) {
+                return Err(RollupError::NotTree); // cycle
+            }
+            let child_var = LVar(depth + 1);
+            // All atoms between v and w; the first becomes the guard.
+            let mut between: Vec<Formula> = Vec::new();
+            let mut guard: Option<Guard> = None;
+            for e in edges {
+                let (is_between, args) = if e.from == v && e.to == w {
+                    (true, vec![me, child_var])
+                } else if e.from == w && e.to == v {
+                    (true, vec![child_var, me])
+                } else {
+                    (false, Vec::new())
+                };
+                if is_between {
+                    if guard.is_none() {
+                        guard = Some(Guard::Atom { rel: e.rel, args });
+                    } else {
+                        between.push(Formula::Atom { rel: e.rel, args });
+                    }
+                }
+            }
+            let sub = build(w, Some(v), depth + 1, edges, unary, visited)?;
+            between.push(sub);
+            conjuncts.push(Formula::Exists {
+                qvars: vec![child_var],
+                guard: guard.expect("at least one edge to the child"),
+                body: Box::new(if between.len() == 1 {
+                    between.pop().expect("non-empty")
+                } else {
+                    Formula::And(between)
+                }),
+            });
+        }
+        Ok(match conjuncts.len() {
+            0 => Formula::True,
+            1 => conjuncts.pop().expect("non-empty"),
+            _ => Formula::And(conjuncts),
+        })
+    }
+    let formula = build(*root, None, 0, &edges, &unary, &mut visited)?;
+    if visited.len() != all_vars.len() {
+        return Err(RollupError::NotTree); // disconnected
+    }
+    Ok(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certain::CertainEngine;
+    use gomq_core::query::CqBuilder;
+    use gomq_core::{Fact, Instance, Ucq, Vocab};
+    use gomq_dl::concept::{Concept, Role};
+    use gomq_dl::translate::to_gf;
+    use gomq_dl::DlOntology;
+    use gomq_logic::eval::{eval, Assignment};
+
+    #[test]
+    fn path_query_rolls_up() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let a_rel = v.rel("A", 1);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom(r, &[x, y]).atom(r, &[y, z]).atom(a_rel, &[z]);
+        let q = b.build(vec![x]);
+        let phi = rollup(&q).expect("tree query");
+        assert!(phi.is_open_gf());
+        assert!(phi.is_well_guarded());
+        // Evaluate on a concrete instance and compare with the CQ.
+        let c0 = v.constant("c0");
+        let c1 = v.constant("c1");
+        let c2 = v.constant("c2");
+        let d = Instance::from_facts(vec![
+            Fact::consts(r, &[c0, c1]),
+            Fact::consts(r, &[c1, c2]),
+            Fact::consts(a_rel, &[c2]),
+        ]);
+        for elem in d.dom() {
+            let mut asg = Assignment::new();
+            asg.insert(LVar(0), elem);
+            assert_eq!(
+                eval(&phi, &d, &asg),
+                q.holds(&d, &[elem]),
+                "agreement at {elem:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn branching_and_inverse_edges() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let a_rel = v.rel("A", 1);
+        // q(x) ← R(x,y) ∧ S(z,x) ∧ A(z): one child via R, one parent via S.
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom(r, &[x, y]).atom(s, &[z, x]).atom(a_rel, &[z]);
+        let q = b.build(vec![x]);
+        let phi = rollup(&q).expect("tree query");
+        let c0 = v.constant("d0");
+        let c1 = v.constant("d1");
+        let c2 = v.constant("d2");
+        let d = Instance::from_facts(vec![
+            Fact::consts(r, &[c0, c1]),
+            Fact::consts(s, &[c2, c0]),
+            Fact::consts(a_rel, &[c2]),
+        ]);
+        for elem in d.dom() {
+            let mut asg = Assignment::new();
+            asg.insert(LVar(0), elem);
+            assert_eq!(eval(&phi, &d, &asg), q.holds(&d, &[elem]));
+        }
+    }
+
+    #[test]
+    fn cyclic_query_is_rejected() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom(r, &[x, y]).atom(r, &[y, z]).atom(r, &[z, x]);
+        let q = b.build(vec![x]);
+        assert_eq!(rollup(&q), Err(RollupError::NotTree));
+    }
+
+    #[test]
+    fn multi_edge_between_same_pair() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 2);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom(r, &[x, y]).atom(s, &[x, y]);
+        let q = b.build(vec![x]);
+        let phi = rollup(&q).expect("multi-edges are fine");
+        let c0 = v.constant("m0");
+        let c1 = v.constant("m1");
+        let both = Instance::from_facts(vec![
+            Fact::consts(r, &[c0, c1]),
+            Fact::consts(s, &[c0, c1]),
+        ]);
+        let only_r = Instance::from_facts(vec![Fact::consts(r, &[c0, c1])]);
+        let mut asg = Assignment::new();
+        asg.insert(LVar(0), gomq_core::Term::Const(c0));
+        assert!(eval(&phi, &both, &asg));
+        assert!(!eval(&phi, &only_r, &asg));
+    }
+
+    #[test]
+    fn rolled_up_certainty_matches_query_certainty() {
+        // O₂ = Hand ⊑ ∃hasFinger.Thumb; q(x) ← hasFinger(x,y) ∧ Thumb(y).
+        let mut v = Vocab::new();
+        let hand = v.rel("Hand", 1);
+        let thumb = v.rel("Thumb", 1);
+        let hf = v.rel("hasFinger", 2);
+        let mut dl = DlOntology::new();
+        dl.sub(
+            Concept::Name(hand),
+            Concept::Exists(Role::new(hf), Box::new(Concept::Name(thumb))),
+        );
+        let o = to_gf(&dl);
+        let h = v.constant("hq");
+        let d = Instance::from_facts(vec![Fact::consts(hand, &[h])]);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom(hf, &[x, y]).atom(thumb, &[y]);
+        let q = b.build(vec![x]);
+        let phi = rollup(&q).expect("tree");
+        let engine = CertainEngine::new(2);
+        let t = gomq_core::Term::Const(h);
+        let via_query = engine
+            .certain(&o, &d, &Ucq::from_cq(q), &[t], &mut v)
+            .is_certain();
+        let via_formula = engine
+            .certain_formula(&o, &d, &phi, LVar(0), t, &mut v)
+            .is_certain();
+        assert!(via_query && via_formula, "both routes certain");
+    }
+}

@@ -1,0 +1,407 @@
+//! A small DPLL SAT solver.
+//!
+//! Used as the propositional substrate for bounded countermodel search:
+//! the grounding of a GF ontology over a finite domain is a propositional
+//! formula whose models are exactly the interpretations over that domain
+//! satisfying the ontology. The solver implements DPLL with unit
+//! propagation, pure-literal elimination at the root, and a
+//! most-occurrences branching heuristic — ample for the clause counts
+//! produced by the paper's constructions.
+
+use std::fmt;
+
+/// A propositional literal: variable index with sign. `Lit::pos(v)` is `v`,
+/// `Lit::neg(v)` is `¬v`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of variable `v`.
+    pub fn pos(v: u32) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of variable `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// The variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negative.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "-{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// A CNF formula under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// The clauses (disjunctions of literals).
+    pub clauses: Vec<Vec<Lit>>,
+    num_vars: u32,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> u32 {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Adds a clause. An empty clause makes the formula unsatisfiable.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        lits.sort();
+        lits.dedup();
+        // Drop tautological clauses (contain v and ¬v).
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() && w[0] != w[1] {
+                return;
+            }
+        }
+        self.clauses.push(lits);
+    }
+
+    /// Adds the unit clause `l`.
+    pub fn add_unit(&mut self, l: Lit) {
+        self.clauses.push(vec![l]);
+    }
+
+    /// Solves the formula; returns a satisfying assignment (indexed by
+    /// variable, `true` = positive) or `None` if unsatisfiable.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let mut solver = Solver::new(self);
+        solver.solve()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Unset,
+    True,
+    False,
+}
+
+struct Solver<'a> {
+    cnf: &'a Cnf,
+    assign: Vec<Val>,
+    /// For each variable, the indices of clauses containing it.
+    occurs: Vec<Vec<u32>>,
+    trail: Vec<u32>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(cnf: &'a Cnf) -> Self {
+        let n = cnf.num_vars as usize;
+        let mut occurs = vec![Vec::new(); n];
+        for (ci, c) in cnf.clauses.iter().enumerate() {
+            for &l in c {
+                occurs[l.var() as usize].push(ci as u32);
+            }
+        }
+        Solver {
+            cnf,
+            assign: vec![Val::Unset; n],
+            occurs,
+            trail: Vec::new(),
+        }
+    }
+
+    fn lit_val(&self, l: Lit) -> Val {
+        match self.assign[l.var() as usize] {
+            Val::Unset => Val::Unset,
+            Val::True => {
+                if l.is_neg() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+            Val::False => {
+                if l.is_neg() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+        }
+    }
+
+    fn set(&mut self, l: Lit) {
+        self.assign[l.var() as usize] = if l.is_neg() { Val::False } else { Val::True };
+        self.trail.push(l.var());
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("non-empty trail");
+            self.assign[v as usize] = Val::Unset;
+        }
+    }
+
+    /// Unit propagation over clauses touched by the trail suffix; returns
+    /// `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        let mut head = self.trail.len().saturating_sub(1);
+        // Also run once over all clauses initially (head == 0 case handled
+        // by caller passing after first set; simplest: scan all clauses in
+        // a loop until fixpoint).
+        loop {
+            let mut changed = false;
+            // Scan clauses adjacent to recently assigned vars, falling back
+            // to a full scan the first time.
+            let clause_range: Vec<u32> = if head == 0 && self.trail.is_empty() {
+                (0..self.cnf.clauses.len() as u32).collect()
+            } else {
+                let mut v: Vec<u32> = Vec::new();
+                for &var in &self.trail[head.min(self.trail.len())..] {
+                    v.extend(self.occurs[var as usize].iter().copied());
+                }
+                if v.is_empty() {
+                    (0..self.cnf.clauses.len() as u32).collect()
+                } else {
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                }
+            };
+            head = self.trail.len();
+            for ci in clause_range {
+                let clause = &self.cnf.clauses[ci as usize];
+                let mut unassigned: Option<Lit> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &l in clause {
+                    match self.lit_val(l) {
+                        Val::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Val::Unset => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        Val::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false, // conflict
+                    1 => {
+                        self.set(unassigned.expect("one unassigned literal"));
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn pick_branch_var(&self) -> Option<u32> {
+        // Most occurrences in not-yet-satisfied clauses (approximated by
+        // total occurrences among unset variables).
+        let mut best: Option<(usize, u32)> = None;
+        for v in 0..self.assign.len() {
+            if self.assign[v] == Val::Unset {
+                let score = self.occurs[v].len();
+                if best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, v as u32));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    fn solve(&mut self) -> Option<Vec<bool>> {
+        if !self.propagate() {
+            return None;
+        }
+        self.dpll().then(|| {
+            self.assign
+                .iter()
+                .map(|&v| v == Val::True)
+                .collect()
+        })
+    }
+
+    fn dpll(&mut self) -> bool {
+        let Some(v) = self.pick_branch_var() else {
+            return true; // all assigned, all clauses satisfied by propagation
+        };
+        for &first in &[Lit::pos(v), Lit::neg(v)] {
+            let mark = self.trail.len();
+            self.set(first);
+            if self.propagate() && self.dpll() {
+                return true;
+            }
+            self.undo_to(mark);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        if i > 0 {
+            Lit::pos((i - 1) as u32)
+        } else {
+            Lit::neg((-i - 1) as u32)
+        }
+    }
+
+    fn cnf(num_vars: u32, clauses: &[&[i32]]) -> Cnf {
+        let mut c = Cnf::new();
+        for _ in 0..num_vars {
+            c.fresh_var();
+        }
+        for cl in clauses {
+            c.add_clause(cl.iter().map(|&i| lit(i)).collect());
+        }
+        c
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        assert!(cnf(1, &[&[1]]).solve().is_some());
+        assert!(cnf(1, &[&[1], &[-1]]).solve().is_none());
+        assert!(cnf(0, &[]).solve().is_some());
+        assert!(cnf(1, &[&[]]).solve().is_none());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let f = cnf(4, &[&[1, 2], &[-1, 3], &[-2, -3], &[2, 3, 4], &[-4, 1]]);
+        let m = f.solve().expect("satisfiable");
+        for cl in &f.clauses {
+            assert!(cl
+                .iter()
+                .any(|l| m[l.var() as usize] != l.is_neg()));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. Vars 1..=6 (3 pigeons × 2 holes).
+        let var = |i: usize, j: usize| (i * 2 + j + 1) as i32;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![var(i, 0), var(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert!(cnf(6, &refs).solve().is_none());
+    }
+
+    #[test]
+    fn tautological_clauses_are_dropped() {
+        let mut c = Cnf::new();
+        let v = c.fresh_var();
+        c.add_clause(vec![Lit::pos(v), Lit::neg(v)]);
+        assert!(c.clauses.is_empty());
+        assert!(c.solve().is_some());
+    }
+
+    #[test]
+    fn chained_implications_propagate() {
+        // x1 ∧ (x1→x2) ∧ … ∧ (x9→x10) ∧ ¬x10 is unsat.
+        let mut clauses: Vec<Vec<i32>> = vec![vec![1]];
+        for i in 1..10 {
+            clauses.push(vec![-i, i + 1]);
+        }
+        clauses.push(vec![-10]);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert!(cnf(10, &refs).solve().is_none());
+        // Dropping the last clause makes it satisfiable with all-true.
+        let refs2: Vec<&[i32]> = clauses[..10].iter().map(|c| c.as_slice()).collect();
+        let m = cnf(10, &refs2).solve().expect("satisfiable");
+        assert!(m.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn random_3sat_agreement_with_brute_force() {
+        // Deterministic pseudo-random small 3-SAT instances, cross-checked
+        // against exhaustive enumeration.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..50 {
+            let n = 6;
+            let m = 18;
+            let mut clauses: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..m {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % n) as i32 + 1;
+                    let s = if next() % 2 == 0 { 1 } else { -1 };
+                    cl.push(v * s);
+                }
+                clauses.push(cl);
+            }
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let f = cnf(n, &refs);
+            let dpll_sat = f.solve().is_some();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for bits in 0u32..(1 << n) {
+                for cl in &clauses {
+                    let ok = cl.iter().any(|&l| {
+                        let v = l.unsigned_abs() - 1;
+                        let val = bits & (1 << v) != 0;
+                        (l > 0) == val
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            assert_eq!(dpll_sat, brute_sat);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Guarded unravellings (§4 of the paper).
+//!
+//! The uGF-unravelling `Dᵘ` of an instance `D` is built from the tree
+//! `T(D)` of sequences `t = G₀G₁⋯Gₙ` of *maximal guarded sets* of `D`
+//! satisfying
+//!
+//! * (a) `Gᵢ ≠ Gᵢ₊₁`,
+//! * (b) `Gᵢ ∩ Gᵢ₊₁ ≠ ∅`,
+//! * (c) `Gᵢ₋₁ ≠ Gᵢ₊₁` — for the uGF-unravelling, or
+//! * (c′) `Gᵢ ∩ Gᵢ₋₁ ≠ Gᵢ ∩ Gᵢ₊₁` — for the uGC₂-unravelling (which
+//!   preserves successor counts and is the right notion for counting and
+//!   functions).
+//!
+//! Each node `t` carries a bag isomorphic to `D|_{tail(t)}`, sharing the
+//! copies of elements in `tail(t) ∩ tail(t′)` with its parent. The
+//! projection `e ↦ e↑` is a homomorphism `Dᵘ → D` that restricts to an
+//! isomorphism on every bag. The paper's unravellings are infinite; here
+//! they are cut at a radius (maximum sequence length), which suffices to
+//! exhibit (non-)unravelling-tolerance on concrete queries.
+
+use gomq_core::guarded::maximal_guarded_sets;
+use gomq_core::{Fact, Instance, Interpretation, Term, Vocab};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which unravelling to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnravelKind {
+    /// Conditions (a), (b), (c).
+    Ugf,
+    /// Conditions (a), (b), (c′).
+    Ugc2,
+}
+
+/// A node of the unravelling tree.
+#[derive(Clone, Debug)]
+pub struct UnravelNode {
+    /// The sequence of maximal-guarded-set indices `G₀⋯Gₙ`.
+    pub seq: Vec<usize>,
+    /// The copy of each original element of `tail(seq)` in this bag.
+    pub copies: BTreeMap<Term, Term>,
+    /// Parent node index (`None` for roots).
+    pub parent: Option<usize>,
+}
+
+/// The (radius-bounded) unravelling of an instance.
+#[derive(Clone, Debug)]
+pub struct Unravelling {
+    /// The unravelled instance `Dᵘ` (over fresh nulls).
+    pub interp: Interpretation,
+    /// The projection `e ↦ e↑` onto the original instance.
+    pub up: BTreeMap<Term, Term>,
+    /// The maximal guarded sets of the original instance.
+    pub guarded_sets: Vec<BTreeSet<Term>>,
+    /// The tree nodes; roots are the single-set sequences in order.
+    pub nodes: Vec<UnravelNode>,
+}
+
+impl Unravelling {
+    /// The copy of an original element in the root bag of the tree rooted
+    /// at guarded set `g_idx`.
+    pub fn root_copy(&self, g_idx: usize, original: Term) -> Option<Term> {
+        self.nodes
+            .iter()
+            .find(|n| n.seq.len() == 1 && n.seq[0] == g_idx)
+            .and_then(|n| n.copies.get(&original).copied())
+    }
+
+    /// The index of a maximal guarded set containing all elements of the
+    /// tuple, if any.
+    pub fn guarded_set_of(&self, tuple: &[Term]) -> Option<usize> {
+        self.guarded_sets
+            .iter()
+            .position(|g| tuple.iter().all(|t| g.contains(t)))
+    }
+}
+
+/// Builds the unravelling of `D` with sequences of length ≤ `radius + 1`.
+pub fn unravel(d: &Instance, kind: UnravelKind, radius: usize, vocab: &mut Vocab) -> Unravelling {
+    let gsets = maximal_guarded_sets(d);
+    let mut nodes: Vec<UnravelNode> = Vec::new();
+    let mut interp = Interpretation::new();
+    let mut up: BTreeMap<Term, Term> = BTreeMap::new();
+
+    // Create the bag of a node: copies for fresh elements, shared copies
+    // from the parent for the overlap.
+    let make_bag = |seq: &[usize],
+                        parent: Option<usize>,
+                        nodes: &Vec<UnravelNode>,
+                        interp: &mut Interpretation,
+                        up: &mut BTreeMap<Term, Term>,
+                        vocab: &mut Vocab| {
+        let g = &gsets[*seq.last().expect("non-empty sequence")];
+        let mut copies: BTreeMap<Term, Term> = BTreeMap::new();
+        for &orig in g.iter() {
+            let copy = match parent {
+                Some(p) if nodes[p].copies.contains_key(&orig) => nodes[p].copies[&orig],
+                _ => {
+                    let n = Term::Null(vocab.fresh_null());
+                    up.insert(n, orig);
+                    n
+                }
+            };
+            copies.insert(orig, copy);
+        }
+        // The bag is isomorphic to D|G.
+        for fact in d.iter() {
+            if fact.args.iter().all(|t| g.contains(t)) {
+                interp.insert(Fact::new(
+                    fact.rel,
+                    fact.args.iter().map(|t| copies[t]).collect(),
+                ));
+            }
+        }
+        copies
+    };
+
+    // BFS over sequences.
+    let mut frontier: Vec<usize> = Vec::new();
+    for (gi, _) in gsets.iter().enumerate() {
+        let copies = make_bag(&[gi], None, &nodes, &mut interp, &mut up, vocab);
+        nodes.push(UnravelNode {
+            seq: vec![gi],
+            copies,
+            parent: None,
+        });
+        frontier.push(nodes.len() - 1);
+    }
+    for _ in 0..radius {
+        let mut next_frontier = Vec::new();
+        for &ni in &frontier {
+            let seq = nodes[ni].seq.clone();
+            let tail = *seq.last().expect("non-empty");
+            let prev = seq.len().checked_sub(2).map(|i| seq[i]);
+            for (gi, g) in gsets.iter().enumerate() {
+                // (a) Gᵢ ≠ Gᵢ₊₁
+                if gi == tail {
+                    continue;
+                }
+                // (b) overlap
+                if g.is_disjoint(&gsets[tail]) {
+                    continue;
+                }
+                // (c) / (c′)
+                if let Some(p) = prev {
+                    match kind {
+                        UnravelKind::Ugf => {
+                            if gi == p {
+                                continue;
+                            }
+                        }
+                        UnravelKind::Ugc2 => {
+                            let with_prev: BTreeSet<Term> =
+                                gsets[tail].intersection(&gsets[p]).copied().collect();
+                            let with_next: BTreeSet<Term> =
+                                gsets[tail].intersection(g).copied().collect();
+                            if with_prev == with_next {
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let mut new_seq = seq.clone();
+                new_seq.push(gi);
+                let copies =
+                    make_bag(&new_seq, Some(ni), &nodes, &mut interp, &mut up, vocab);
+                nodes.push(UnravelNode {
+                    seq: new_seq,
+                    copies,
+                    parent: Some(ni),
+                });
+                next_frontier.push(nodes.len() - 1);
+            }
+        }
+        frontier = next_frontier;
+    }
+    Unravelling {
+        interp,
+        up,
+        guarded_sets: gsets,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::guarded::is_connected;
+
+    /// The triangle instance of Example 5 (1).
+    fn triangle(v: &mut Vocab) -> Instance {
+        let r = v.rel("R", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        Instance::from_facts(vec![
+            Fact::consts(r, &[a, b]),
+            Fact::consts(r, &[b, c]),
+            Fact::consts(r, &[c, a]),
+        ])
+    }
+
+    /// The depth-1 tree (star) of Example 5 (2): a with children b₁,b₂,b₃.
+    fn star(v: &mut Vocab) -> Instance {
+        let r = v.rel("R", 2);
+        let a = v.constant("a");
+        let mut d = Instance::new();
+        for i in 0..3 {
+            let b = v.constant(&format!("b{i}"));
+            d.insert(Fact::consts(r, &[a, b]));
+        }
+        d
+    }
+
+    #[test]
+    fn up_is_a_homomorphism() {
+        let mut v = Vocab::new();
+        let d = triangle(&mut v);
+        let u = unravel(&d, UnravelKind::Ugf, 4, &mut v);
+        for fact in u.interp.iter() {
+            let image = fact.map_terms(|t| u.up[&t]);
+            assert!(d.contains(&image), "e↑ must be a homomorphism onto D");
+        }
+    }
+
+    #[test]
+    fn triangle_unravels_into_chains() {
+        // Example 5 (1): the unravelling consists of three chains (one per
+        // root), so it is acyclic: no triangle maps back into it.
+        let mut v = Vocab::new();
+        let d = triangle(&mut v);
+        let u = unravel(&d, UnravelKind::Ugf, 6, &mut v);
+        // Three roots.
+        let roots = u.nodes.iter().filter(|n| n.seq.len() == 1).count();
+        assert_eq!(roots, 3);
+        // The unravelling contains no directed R-cycle of length 3 over
+        // distinct elements: check via a homomorphism test from the
+        // triangle pattern *with constants preserved impossible*, i.e. no
+        // cycle fact chain e0→e1→e2→e0.
+        let r = v.rel("R", 2);
+        let mut has_cycle = false;
+        for f1 in u.interp.facts_of(r) {
+            for f2 in u.interp.facts_of(r) {
+                if f1.args[1] != f2.args[0] {
+                    continue;
+                }
+                for f3 in u.interp.facts_of(r) {
+                    if f2.args[1] == f3.args[0] && f3.args[1] == f1.args[0] {
+                        has_cycle = true;
+                    }
+                }
+            }
+        }
+        assert!(!has_cycle, "the uGF-unravelling of a triangle is acyclic");
+    }
+
+    #[test]
+    fn star_ugf_unravelling_multiplies_children() {
+        // Example 5 (2): under (c), paths may revisit G₁G₂G₃G₁…, so the
+        // root copy of `a` collects more children than in D.
+        let mut v = Vocab::new();
+        let d = star(&mut v);
+        let r = v.rel("R", 2);
+        let u = unravel(&d, UnravelKind::Ugf, 4, &mut v);
+        let a = Term::Const(v.constant("a"));
+        // Find a copy of a and count its R-successors.
+        let mut max_succ = 0usize;
+        let copies_of_a: Vec<Term> = u
+            .up
+            .iter()
+            .filter(|(_, &orig)| orig == a)
+            .map(|(&c, _)| c)
+            .collect();
+        for ca in copies_of_a {
+            let succ = u
+                .interp
+                .facts_of(r)
+                .filter(|f| f.args[0] == ca)
+                .count();
+            max_succ = max_succ.max(succ);
+        }
+        assert!(
+            max_succ > 3,
+            "uGF-unravelling inflates successor counts (got {max_succ})"
+        );
+    }
+
+    #[test]
+    fn star_ugc2_unravelling_preserves_successor_counts() {
+        // Under (c′), the star keeps exactly 3 successors per copy of a.
+        let mut v = Vocab::new();
+        let d = star(&mut v);
+        let r = v.rel("R", 2);
+        let u = unravel(&d, UnravelKind::Ugc2, 4, &mut v);
+        let a = Term::Const(v.constant("a"));
+        for (&copy, &orig) in &u.up {
+            if orig != a {
+                continue;
+            }
+            let succ = u
+                .interp
+                .facts_of(r)
+                .filter(|f| f.args[0] == copy)
+                .count();
+            assert!(
+                succ <= 3,
+                "uGC₂-unravelling must not inflate successor counts (got {succ})"
+            );
+        }
+    }
+
+    #[test]
+    fn bags_are_isomorphic_to_guarded_restrictions() {
+        let mut v = Vocab::new();
+        let d = triangle(&mut v);
+        let u = unravel(&d, UnravelKind::Ugf, 3, &mut v);
+        for node in &u.nodes {
+            let g = &u.guarded_sets[*node.seq.last().expect("non-empty")];
+            // Every original fact inside G has its copy in the bag.
+            for fact in d.iter() {
+                if fact.args.iter().all(|t| g.contains(t)) {
+                    let copied = fact.map_terms(|t| node.copies[&t]);
+                    assert!(u.interp.contains(&copied));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unravelling_of_connected_instance_roots_are_trees() {
+        let mut v = Vocab::new();
+        let d = star(&mut v);
+        let u = unravel(&d, UnravelKind::Ugc2, 3, &mut v);
+        assert!(is_connected(&d));
+        // Every node except roots has a parent; sequences grow by one.
+        for n in &u.nodes {
+            match n.parent {
+                None => assert_eq!(n.seq.len(), 1),
+                Some(p) => assert_eq!(n.seq.len(), u.nodes[p].seq.len() + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn radius_zero_is_disjoint_copies_of_guarded_restrictions() {
+        let mut v = Vocab::new();
+        let d = triangle(&mut v);
+        let u = unravel(&d, UnravelKind::Ugf, 0, &mut v);
+        assert_eq!(u.nodes.len(), 3);
+        assert_eq!(u.interp.len(), 3); // one copied edge per root
+        assert_eq!(u.interp.dom().len(), 6); // all copies distinct
+    }
+}

@@ -1,0 +1,25 @@
+//! # gomq-rewriting
+//!
+//! The PTIME side of the dichotomy: Datalog(≠)-rewritability machinery.
+//!
+//! * [`types`] — the element-type system for ∀x-guarded uGF₂(1) ontologies
+//!   (the translations of ALCI depth-1 TBoxes): globally realizable types
+//!   by type elimination, per-instance type assignment, and certain
+//!   answers to atomic queries. This implements the computation performed
+//!   by the paper's Theorem-5 Datalog≠ program: the program marks each
+//!   guarded tuple with the set of types that survive compatibility
+//!   propagation, answers the query when every surviving type entails it,
+//!   and fires on inconsistency.
+//! * [`emit`] — materializes that computation as an actual
+//!   [`gomq_datalog::Program`], one `elim_θ` predicate per type.
+//! * [`classify`] — per-ontology reports combining the Figure-1 fragment
+//!   label and zone with materializability probes.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod emit;
+pub mod types;
+
+pub use classify::{classify_ontology, OntologyReport};
+pub use types::{ElementTypeSystem, RewriteError};

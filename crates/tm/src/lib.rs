@@ -1,0 +1,31 @@
+//! # gomq-tm
+//!
+//! The hardness-side substrates of the paper:
+//!
+//! * [`machine`] — nondeterministic Turing machines with a one-sided tape,
+//!   configurations and runs (§7),
+//! * [`runfit`] — the *run fitting problem* (Definition 8): does a partial
+//!   run (with wildcards) match an accepting run? A complete backtracking
+//!   solver, the NP membership witness, and the Ladner-style padded
+//!   language `{1^(n^H(n))}` scaffolding,
+//! * [`twotwo`] — 2+2-SAT (the reduction source of Theorem 3) with a
+//!   brute-force solver and the gadget construction turning a
+//!   non-materializability witness into coNP-hardness instances,
+//! * [`tiling`] — finite rectangle tiling systems and a bounded solver,
+//! * [`tiling_onto`] — the marker ontologies of Theorem 10: `O_cell`
+//!   (closing grid cells with `(= 1 P)` markers) and `O_P` (verifying
+//!   tiled grids), in ALCIF` of depth 2.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod runfit;
+pub mod runfit_onto;
+pub mod tiling;
+pub mod tiling_onto;
+pub mod twotwo;
+
+pub use machine::{Config, Dir, Machine, Sym};
+pub use runfit::{run_fitting, PartialConfig, PartialRun};
+pub use tiling::TilingSystem;
+pub use twotwo::{Clause, TwoTwoSat};

@@ -1,0 +1,322 @@
+//! Nondeterministic Turing machines with a single one-sided tape.
+//!
+//! A configuration is represented as the string `v q w` (§7): the tape
+//! content with the state symbol inserted at the head position. Runs are
+//! sequences of configurations of equal length, so the tape length is
+//! fixed per run (the paper pads configurations to a common length).
+
+use std::collections::BTreeSet;
+
+/// A tape symbol (0 is the blank).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(pub u8);
+
+/// The blank symbol.
+pub const BLANK: Sym = Sym(0);
+
+/// A machine state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct State(pub u8);
+
+/// Head movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Left.
+    L,
+    /// Right.
+    R,
+}
+
+/// A transition `(q, a) → (q', a', d)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// Current state.
+    pub from: State,
+    /// Symbol under the head.
+    pub read: Sym,
+    /// Next state.
+    pub to: State,
+    /// Symbol written.
+    pub write: Sym,
+    /// Head movement.
+    pub dir: Dir,
+}
+
+/// A nondeterministic Turing machine.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Number of states (states are `0..num_states`).
+    pub num_states: u8,
+    /// Number of tape symbols including the blank (`0..num_syms`).
+    pub num_syms: u8,
+    /// The transition relation.
+    pub delta: Vec<Transition>,
+    /// The start state.
+    pub start: State,
+    /// The accepting state (no outgoing transitions).
+    pub accept: State,
+}
+
+/// A configuration: tape cells with the state inserted at the head
+/// position (so `cells.len()` = tape length + 1).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Config {
+    /// The `v q w` string: each entry is either a symbol or the state.
+    pub cells: Vec<Cell>,
+}
+
+/// A cell of the `v q w` representation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Cell {
+    /// A tape symbol.
+    S(Sym),
+    /// The machine state (exactly one per configuration).
+    Q(State),
+}
+
+impl Config {
+    /// The initial configuration `q₀ w` padded to tape length `len`.
+    pub fn initial(m: &Machine, input: &[Sym], len: usize) -> Config {
+        assert!(input.len() <= len, "input longer than the tape");
+        let mut cells = vec![Cell::Q(m.start)];
+        cells.extend(input.iter().map(|&s| Cell::S(s)));
+        cells.extend(std::iter::repeat_n(Cell::S(BLANK), len - input.len()));
+        Config { cells }
+    }
+
+    /// The head position (index of the state cell).
+    pub fn head(&self) -> usize {
+        self.cells
+            .iter()
+            .position(|c| matches!(c, Cell::Q(_)))
+            .expect("a configuration has a state cell")
+    }
+
+    /// The machine state.
+    pub fn state(&self) -> State {
+        match self.cells[self.head()] {
+            Cell::Q(q) => q,
+            Cell::S(_) => unreachable!(),
+        }
+    }
+
+    /// Whether this is an accepting configuration of `m`.
+    pub fn is_accepting(&self, m: &Machine) -> bool {
+        self.state() == m.accept
+    }
+
+    /// Whether the configuration is well-formed: exactly one state cell.
+    pub fn is_valid(&self) -> bool {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Q(_)))
+            .count()
+            == 1
+    }
+
+    /// All successor configurations under the machine's transitions. The
+    /// tape length stays fixed; a move off either end is dropped.
+    pub fn successors(&self, m: &Machine) -> Vec<Config> {
+        let h = self.head();
+        let q = self.state();
+        // The symbol under the head is the cell right of the state marker;
+        // at the right end the head reads blank only if a cell exists.
+        let Some(&Cell::S(read)) = self.cells.get(h + 1) else {
+            return Vec::new(); // head at the right edge of the fixed tape
+        };
+        let mut out = Vec::new();
+        for t in &m.delta {
+            if t.from != q || t.read != read {
+                continue;
+            }
+            match t.dir {
+                Dir::R => {
+                    // v q a w → v a' q w
+                    let mut cells = self.cells.clone();
+                    cells[h] = Cell::S(t.write);
+                    cells[h + 1] = Cell::Q(t.to);
+                    out.push(Config { cells });
+                }
+                Dir::L => {
+                    if h == 0 {
+                        continue; // cannot move left of the first cell
+                    }
+                    // v b q a w → v q' b a' w
+                    let mut cells = self.cells.clone();
+                    let b = cells[h - 1];
+                    cells[h - 1] = Cell::Q(t.to);
+                    cells[h] = b;
+                    cells[h + 1] = Cell::S(t.write);
+                    out.push(Config { cells });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Machine {
+    /// Whether the machine accepts `input` within `max_steps` steps on a
+    /// tape of length `tape_len` (bounded-run acceptance).
+    pub fn accepts_bounded(&self, input: &[Sym], tape_len: usize, max_steps: usize) -> bool {
+        let start = Config::initial(self, input, tape_len);
+        let mut frontier: BTreeSet<Config> = [start].into_iter().collect();
+        for _ in 0..=max_steps {
+            if frontier.iter().any(|c| c.is_accepting(self)) {
+                return true;
+            }
+            let mut next = BTreeSet::new();
+            for c in &frontier {
+                next.extend(c.successors(self));
+            }
+            if next.is_subset(&frontier) && next.len() == frontier.len() {
+                break;
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier.iter().any(|c| c.is_accepting(self))
+    }
+
+    /// A tiny machine that scans right over `1`s and accepts iff the
+    /// number of 1s is even (deterministic; useful in tests).
+    pub fn even_ones() -> Machine {
+        // States: 0 = even (start), 1 = odd, 2 = accept.
+        // On 1: flip parity, move right. On blank: accept if even.
+        Machine {
+            num_states: 3,
+            num_syms: 2,
+            delta: vec![
+                Transition {
+                    from: State(0),
+                    read: Sym(1),
+                    to: State(1),
+                    write: Sym(1),
+                    dir: Dir::R,
+                },
+                Transition {
+                    from: State(1),
+                    read: Sym(1),
+                    to: State(0),
+                    write: Sym(1),
+                    dir: Dir::R,
+                },
+                Transition {
+                    from: State(0),
+                    read: BLANK,
+                    to: State(2),
+                    write: BLANK,
+                    dir: Dir::R,
+                },
+            ],
+            start: State(0),
+            accept: State(2),
+        }
+    }
+
+    /// A nondeterministic machine that guesses a bit, writes it, and
+    /// accepts iff the guessed bit matches the (single) input symbol —
+    /// exercising nondeterminism in tests.
+    pub fn guess_bit() -> Machine {
+        // States: 0 start, 1 saw-1-guess, 2 accept.
+        Machine {
+            num_states: 3,
+            num_syms: 3, // blank, 1, 2
+            delta: vec![
+                // Guess: on reading the input symbol s ∈ {1,2},
+                // nondeterministically accept or loop forever.
+                Transition {
+                    from: State(0),
+                    read: Sym(1),
+                    to: State(2),
+                    write: Sym(1),
+                    dir: Dir::R,
+                },
+                Transition {
+                    from: State(0),
+                    read: Sym(1),
+                    to: State(1),
+                    write: Sym(1),
+                    dir: Dir::R,
+                },
+                Transition {
+                    from: State(1),
+                    read: BLANK,
+                    to: State(1),
+                    write: BLANK,
+                    dir: Dir::R,
+                },
+            ],
+            start: State(0),
+            accept: State(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ones_machine() {
+        let m = Machine::even_ones();
+        assert!(m.accepts_bounded(&[], 3, 10));
+        assert!(!m.accepts_bounded(&[Sym(1)], 3, 10));
+        assert!(m.accepts_bounded(&[Sym(1), Sym(1)], 4, 10));
+        assert!(!m.accepts_bounded(&[Sym(1), Sym(1), Sym(1)], 5, 10));
+    }
+
+    #[test]
+    fn configurations_track_head_and_state() {
+        let m = Machine::even_ones();
+        let c = Config::initial(&m, &[Sym(1), Sym(1)], 3);
+        assert_eq!(c.head(), 0);
+        assert_eq!(c.state(), State(0));
+        assert!(c.is_valid());
+        assert_eq!(c.cells.len(), 4);
+        let succ = c.successors(&m);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].head(), 1);
+        assert_eq!(succ[0].state(), State(1));
+    }
+
+    #[test]
+    fn left_moves_and_edges() {
+        // A machine that moves left immediately cannot move at position 0.
+        let m = Machine {
+            num_states: 2,
+            num_syms: 2,
+            delta: vec![Transition {
+                from: State(0),
+                read: BLANK,
+                to: State(1),
+                write: BLANK,
+                dir: Dir::L,
+            }],
+            start: State(0),
+            accept: State(1),
+        };
+        let c = Config::initial(&m, &[], 2);
+        assert!(c.successors(&m).is_empty());
+    }
+
+    #[test]
+    fn nondeterministic_branching() {
+        let m = Machine::guess_bit();
+        let c = Config::initial(&m, &[Sym(1)], 2);
+        let succ = c.successors(&m);
+        assert_eq!(succ.len(), 2);
+        assert!(m.accepts_bounded(&[Sym(1)], 2, 5));
+        assert!(!m.accepts_bounded(&[Sym(2)], 2, 5));
+    }
+
+    #[test]
+    fn right_edge_blocks() {
+        let m = Machine::even_ones();
+        // Tape length equal to input length: after scanning, the head sits
+        // at the right edge and cannot read the final blank — rejected.
+        assert!(!m.accepts_bounded(&[Sym(1), Sym(1)], 2, 10));
+    }
+}

@@ -1,0 +1,344 @@
+//! The run fitting problem (Definition 8) and the Ladner-style padding.
+//!
+//! A *partial configuration* replaces some cells of a configuration by a
+//! wildcard `?`; a *partial run* is a sequence of equal-length partial
+//! configurations. The run fitting problem for a machine `M` asks whether
+//! a given partial run matches an accepting run of `M`. It is in NP
+//! (guess the completion); Theorem 12 constructs a machine whose run
+//! fitting problem is NP-intermediate, via a padded diagonalization — the
+//! [`PaddedLanguage`] scaffolding reproduces the padding arithmetic
+//! (`1^(n^H(n))` inputs).
+
+use crate::machine::{Cell, Config, Machine, State, Sym};
+
+/// A partial configuration cell: fixed or wildcard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PCell {
+    /// A fixed cell.
+    Fixed(Cell),
+    /// The wildcard `?`.
+    Wild,
+}
+
+/// A partial configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PartialConfig {
+    /// The cells.
+    pub cells: Vec<PCell>,
+}
+
+impl PartialConfig {
+    /// A fully-wild partial configuration of the given length.
+    pub fn all_wild(len: usize) -> Self {
+        PartialConfig {
+            cells: vec![PCell::Wild; len],
+        }
+    }
+
+    /// A fully-fixed partial configuration from a configuration.
+    pub fn from_config(c: &Config) -> Self {
+        PartialConfig {
+            cells: c.cells.iter().map(|&x| PCell::Fixed(x)).collect(),
+        }
+    }
+
+    /// Whether `c` matches this partial configuration.
+    pub fn matches(&self, c: &Config) -> bool {
+        self.cells.len() == c.cells.len()
+            && self
+                .cells
+                .iter()
+                .zip(c.cells.iter())
+                .all(|(p, &x)| match p {
+                    PCell::Wild => true,
+                    PCell::Fixed(f) => *f == x,
+                })
+    }
+
+    /// All valid configurations (exactly one state cell) matching this
+    /// partial configuration, over the machine's states and symbols.
+    pub fn completions(&self, m: &Machine) -> Vec<Config> {
+        let mut out = Vec::new();
+        // Choose the head position first: either a fixed Q cell, or any
+        // wildcard position.
+        let fixed_q: Vec<usize> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, PCell::Fixed(Cell::Q(_))))
+            .map(|(i, _)| i)
+            .collect();
+        if fixed_q.len() > 1 {
+            return out;
+        }
+        let head_positions: Vec<usize> = if let Some(&h) = fixed_q.first() {
+            vec![h]
+        } else {
+            self.cells
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| matches!(p, PCell::Wild))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for h in head_positions {
+            let states: Vec<State> = match self.cells[h] {
+                PCell::Fixed(Cell::Q(q)) => vec![q],
+                PCell::Wild => (0..m.num_states).map(State).collect(),
+                PCell::Fixed(Cell::S(_)) => unreachable!(),
+            };
+            for q in states {
+                // Enumerate symbols for remaining wildcards.
+                let wild_positions: Vec<usize> = self
+                    .cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| *i != h && matches!(p, PCell::Wild))
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut choice = vec![0u8; wild_positions.len()];
+                loop {
+                    let mut cells: Vec<Cell> = Vec::with_capacity(self.cells.len());
+                    for (i, p) in self.cells.iter().enumerate() {
+                        cells.push(if i == h {
+                            Cell::Q(q)
+                        } else {
+                            match p {
+                                PCell::Fixed(c) => *c,
+                                PCell::Wild => {
+                                    let wi = wild_positions
+                                        .iter()
+                                        .position(|&w| w == i)
+                                        .expect("wild position");
+                                    Cell::S(Sym(choice[wi]))
+                                }
+                            }
+                        });
+                    }
+                    out.push(Config { cells });
+                    // Increment the choice counter.
+                    let mut j = 0;
+                    loop {
+                        if j == choice.len() {
+                            break;
+                        }
+                        choice[j] += 1;
+                        if choice[j] < m.num_syms {
+                            break;
+                        }
+                        choice[j] = 0;
+                        j += 1;
+                    }
+                    if j == choice.len() {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A partial run: a sequence of equal-length partial configurations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PartialRun {
+    /// The partial configurations.
+    pub rows: Vec<PartialConfig>,
+}
+
+impl PartialRun {
+    /// Creates a partial run, validating equal lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have different lengths or the run is empty.
+    pub fn new(rows: Vec<PartialConfig>) -> Self {
+        assert!(!rows.is_empty(), "a partial run has at least one row");
+        let len = rows[0].cells.len();
+        assert!(
+            rows.iter().all(|r| r.cells.len() == len),
+            "all rows of a partial run must have the same length"
+        );
+        PartialRun { rows }
+    }
+}
+
+/// Decides the run fitting problem: is there an accepting run of `m`
+/// matching the partial run? Returns the matching run if so.
+pub fn run_fitting(m: &Machine, partial: &PartialRun) -> Option<Vec<Config>> {
+    // DFS over rows: complete row 0, then repeatedly pick successors
+    // matching the next row.
+    let first = partial.rows[0].completions(m);
+    for start in first {
+        if let Some(run) = extend(m, partial, vec![start]) {
+            return Some(run);
+        }
+    }
+    None
+}
+
+fn extend(m: &Machine, partial: &PartialRun, run: Vec<Config>) -> Option<Vec<Config>> {
+    if run.len() == partial.rows.len() {
+        return run
+            .last()
+            .expect("non-empty run")
+            .is_accepting(m)
+            .then_some(run);
+    }
+    let current = run.last().expect("non-empty run");
+    for succ in current.successors(m) {
+        if partial.rows[run.len()].matches(&succ) {
+            let mut next = run.clone();
+            next.push(succ);
+            if let Some(found) = extend(m, partial, next) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+/// The padded-language arithmetic of Theorem 12: inputs of the
+/// diagonalizing machine `M_H` are unary strings `1^(n^H(n))`. The real
+/// construction ties `H` to a machine enumeration; this scaffolding keeps
+/// `H` abstract (a monotone function) and exposes the padding arithmetic
+/// used in the proof.
+pub struct PaddedLanguage<F: Fn(usize) -> u32> {
+    /// The (monotone, slowly growing) exponent function `H`.
+    pub h: F,
+}
+
+impl<F: Fn(usize) -> u32> PaddedLanguage<F> {
+    /// Whether `len` is a valid padded input length, i.e. `len = n^H(n)`
+    /// for some `n`; returns the witness `n`.
+    pub fn valid_padding(&self, len: usize) -> Option<usize> {
+        for n in 0..=len.max(1) {
+            let h = (self.h)(n).max(1);
+            // n^h computed with overflow care.
+            let mut p: usize = 1;
+            let mut overflow = false;
+            for _ in 0..h {
+                match p.checked_mul(n) {
+                    Some(v) => p = v,
+                    None => {
+                        overflow = true;
+                        break;
+                    }
+                }
+            }
+            if !overflow && p == len && n > 0 {
+                return Some(n);
+            }
+            if !overflow && p > len && n > 1 {
+                // Monotone in n beyond this point.
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::BLANK;
+
+    #[test]
+    fn fully_specified_accepting_run_fits() {
+        let m = Machine::even_ones();
+        // Run of even_ones on "11": q0 1 1 _ → 1 q1 1 _ → 1 1 q0 _ → 1 1 _ q2
+        let c0 = Config::initial(&m, &[Sym(1), Sym(1)], 3);
+        let c1 = c0.successors(&m)[0].clone();
+        let c2 = c1.successors(&m)[0].clone();
+        let c3 = c2.successors(&m)[0].clone();
+        assert!(c3.is_accepting(&m));
+        let partial = PartialRun::new(vec![
+            PartialConfig::from_config(&c0),
+            PartialConfig::from_config(&c1),
+            PartialConfig::from_config(&c2),
+            PartialConfig::from_config(&c3),
+        ]);
+        assert!(run_fitting(&m, &partial).is_some());
+    }
+
+    #[test]
+    fn wildcards_are_filled() {
+        let m = Machine::even_ones();
+        // Only the first row is pinned: q0 ? ? ?; 4 steps must reach accept.
+        let mut row0 = PartialConfig::all_wild(4);
+        row0.cells[0] = PCell::Fixed(Cell::Q(State(0)));
+        let partial = PartialRun::new(vec![
+            row0,
+            PartialConfig::all_wild(4),
+            PartialConfig::all_wild(4),
+            PartialConfig::all_wild(4),
+        ]);
+        let run = run_fitting(&m, &partial).expect("some accepting completion");
+        assert_eq!(run.len(), 4);
+        assert!(run[3].is_accepting(&m));
+        // Every consecutive pair is a legal step.
+        for w in run.windows(2) {
+            assert!(w[0].successors(&m).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn contradictory_pinning_fails() {
+        let m = Machine::even_ones();
+        // Pin an odd number of ones and require acceptance in 4 rows.
+        let c0 = Config::initial(&m, &[Sym(1)], 2);
+        let mut rows = vec![PartialConfig::from_config(&c0)];
+        rows.push(PartialConfig::all_wild(3));
+        rows.push(PartialConfig::all_wild(3));
+        let partial = PartialRun::new(rows);
+        assert!(run_fitting(&m, &partial).is_none());
+    }
+
+    #[test]
+    fn fitting_respects_mid_run_constraints() {
+        let m = Machine::guess_bit();
+        // Two-row runs from q0 1: accept iff second row is the accepting
+        // branch; pinning the state of row 1 to the looping state fails
+        // (because the machine cannot then accept within the run length).
+        let c0 = Config::initial(&m, &[Sym(1)], 2);
+        let mut pinned = PartialConfig::all_wild(3);
+        pinned.cells[1] = PCell::Fixed(Cell::Q(State(1)));
+        let partial = PartialRun::new(vec![PartialConfig::from_config(&c0), pinned]);
+        assert!(run_fitting(&m, &partial).is_none());
+        // Unpinned: fits via the accepting branch.
+        let partial2 = PartialRun::new(vec![
+            PartialConfig::from_config(&c0),
+            PartialConfig::all_wild(3),
+        ]);
+        assert!(run_fitting(&m, &partial2).is_some());
+    }
+
+    #[test]
+    fn padded_language_arithmetic() {
+        // H(n) = 2: valid lengths are perfect squares.
+        let lang = PaddedLanguage { h: |_n| 2 };
+        assert_eq!(lang.valid_padding(9), Some(3));
+        assert_eq!(lang.valid_padding(16), Some(4));
+        assert_eq!(lang.valid_padding(10), None);
+        // H(n) = 1: every positive length is valid.
+        let id = PaddedLanguage { h: |_n| 1 };
+        assert_eq!(id.valid_padding(7), Some(7));
+    }
+
+    #[test]
+    fn completions_enumerate_all_heads_and_symbols() {
+        let m = Machine::even_ones();
+        let pc = PartialConfig::all_wild(2);
+        let cs = pc.completions(&m);
+        // Head in either of 2 positions × 3 states × 2 symbols for the
+        // other cell = 12.
+        assert_eq!(cs.len(), 12);
+        assert!(cs.iter().all(|c| c.is_valid()));
+        // A fixed symbol cell limits choices.
+        let pc2 = PartialConfig {
+            cells: vec![PCell::Wild, PCell::Fixed(Cell::S(BLANK))],
+        };
+        let cs2 = pc2.completions(&m);
+        assert_eq!(cs2.len(), 3);
+    }
+}

@@ -1,0 +1,334 @@
+//! The Lemma-4 ontologies: simulating a Turing machine on the marker grid.
+//!
+//! For a machine `M`, the ontology `O_M` extends the grid machinery of
+//! Theorem 10: rows of the `X`/`Y`-grid hold configurations, states `q`
+//! and tape symbols `G` are represented by the markers `(≥ 2 q)` /
+//! `(≥ 2 G)` over auxiliary binary relations — presettable *positively*
+//! in an input instance (add two distinct successors), matching the run
+//! fitting problem where cells of a partial run may be pinned. The
+//! successor-row axioms enforce `M`'s transition relation cell-by-cell
+//! using marker words `(≥ 2 S^X)`, `(≥ 2 S^{XY})`, … chained by
+//! `≡`-definitions, and the accepting state at the top row drives the
+//! verification that yields the `(= 1 A)` head marker and, in the
+//! non-dichotomy ontology, the disjunction `B₁ ⊔ B₂`.
+
+use crate::machine::{Machine, State, Sym};
+use crate::tiling_onto::{build_cell_ontology, CellOntology};
+use gomq_core::{Fact, Instance, RelId, Vocab};
+use gomq_dl::concept::{Concept, Role};
+use std::collections::BTreeMap;
+
+/// The run-fitting ontology for a machine.
+pub struct RunFitOntology {
+    /// The grid + marker machinery, extended with the simulation axioms.
+    pub cell: CellOntology,
+    /// One binary relation per state (marker `(≥ 2 q)`).
+    pub state_rels: Vec<RelId>,
+    /// One binary relation per tape symbol (marker `(≥ 2 G)`).
+    pub sym_rels: Vec<RelId>,
+    /// The accepting head relation (marker `(= 1 N)`-style trigger).
+    pub accept_head: RelId,
+    /// Word-shifted marker relations, keyed by `(base relation, word)`.
+    shifted: BTreeMap<(RelId, &'static str), RelId>,
+}
+
+/// The marker `(≥ 2 Q)` for a binary relation.
+fn ge2(rel: RelId) -> Concept {
+    Concept::at_least_two(Role::new(rel))
+}
+
+impl RunFitOntology {
+    /// The marker relation for `base` shifted along `word` (a sequence of
+    /// grid steps, e.g. `"x"`, `"xx"`, `"xy"`), with the `≡`-definitions
+    /// `(≥2 S^{Zw}) ≡ ∃Z.(≥2 S^w)` emitted on first use.
+    fn shift(&mut self, base: RelId, word: &'static str, vocab: &mut Vocab) -> RelId {
+        if word.is_empty() {
+            return base;
+        }
+        if let Some(&r) = self.shifted.get(&(base, word)) {
+            return r;
+        }
+        let suffix = &word[1..];
+        let suffix_static: &'static str = match suffix {
+            "" => "",
+            "x" => "x",
+            "y" => "y",
+            "xx" => "xx",
+            "xy" => "xy",
+            "xxy" => "xxy",
+            other => panic!("unsupported marker word suffix {other}"),
+        };
+        let suffix_rel = self.shift(base, suffix_static, vocab);
+        let name = format!("{}_{}", vocab.rel_name(base).to_owned(), word);
+        let rel = vocab.rel(&name, 2);
+        self.cell.aux.push(rel);
+        self.cell
+            .onto
+            .sub(Concept::Top, Concept::some(Role::new(rel)));
+        let step = match word.as_bytes()[0] {
+            b'x' => Role::new(self.cell.x),
+            b'y' => Role::new(self.cell.y),
+            other => panic!("unsupported step {other}"),
+        };
+        self.cell
+            .onto
+            .equiv(ge2(rel), Concept::Exists(step, Box::new(ge2(suffix_rel))));
+        self.shifted.insert((base, word), rel);
+        rel
+    }
+}
+
+/// Builds `O_M`: the grid machinery plus the machine-simulation axioms.
+pub fn run_fitting_ontology(m: &Machine, vocab: &mut Vocab) -> RunFitOntology {
+    let cell = build_cell_ontology(vocab);
+    let state_rels: Vec<RelId> = (0..m.num_states)
+        .map(|q| vocab.rel(&format!("stq{q}"), 2))
+        .collect();
+    let sym_rels: Vec<RelId> = (0..m.num_syms)
+        .map(|g| vocab.rel(&format!("sy{g}"), 2))
+        .collect();
+    let accept_head = vocab.rel("accHead", 2);
+    let mut rf = RunFitOntology {
+        cell,
+        state_rels: state_rels.clone(),
+        sym_rels: sym_rels.clone(),
+        accept_head,
+        shifted: BTreeMap::new(),
+    };
+    for &r in state_rels.iter().chain(sym_rels.iter()).chain([&accept_head]) {
+        rf.cell.aux.push(r);
+        rf.cell
+            .onto
+            .sub(Concept::Top, Concept::some(Role::new(r)));
+    }
+    // Every grid cell carries exactly one content marker (state or
+    // symbol) — mutual exclusion plus coverage.
+    let all_contents: Vec<RelId> = state_rels
+        .iter()
+        .chain(sym_rels.iter())
+        .copied()
+        .collect();
+    rf.cell.onto.sub(
+        Concept::Top,
+        Concept::Or(all_contents.iter().map(|&r| ge2(r)).collect()),
+    );
+    for (i, &a) in all_contents.iter().enumerate() {
+        for &b in &all_contents[i + 1..] {
+            rf.cell
+                .onto
+                .sub(Concept::And(vec![ge2(a), ge2(b)]), Concept::Bot);
+        }
+    }
+    // Transition axioms: a cell x holding symbol G₀ whose right
+    // neighbour holds state q and next-right holds G₁ constrains the row
+    // above (the triple starting at the cell above x) to a successor
+    // triple of G₀ q G₁ under Δ.
+    for q in 0..m.num_states {
+        for g0 in 0..m.num_syms {
+            for g1 in 0..m.num_syms {
+                let succ = successor_triples(m, State(q), Sym(g0), Sym(g1));
+                let q_x = rf.shift(state_rels[q as usize], "x", vocab);
+                let g1_xx = rf.shift(sym_rels[g1 as usize], "xx", vocab);
+                let lhs = Concept::And(vec![
+                    ge2(sym_rels[g0 as usize]),
+                    ge2(q_x),
+                    ge2(g1_xx),
+                ]);
+                let mut disjuncts: Vec<Concept> = Vec::new();
+                for (s1, s2, s3) in succ {
+                    let r1 = rf.shift(content_rel(&rf, s1), "y", vocab);
+                    let r2 = rf.shift(content_rel(&rf, s2), "xy", vocab);
+                    let r3 = rf.shift(content_rel(&rf, s3), "xxy", vocab);
+                    disjuncts.push(Concept::And(vec![ge2(r1), ge2(r2), ge2(r3)]));
+                }
+                let rhs = if disjuncts.is_empty() {
+                    // No applicable transition: the configuration may not
+                    // continue upward — forbid a row above.
+                    Concept::Forall(Role::new(rf.cell.y), Box::new(Concept::Bot))
+                } else {
+                    Concept::Or(disjuncts)
+                };
+                rf.cell.onto.sub(lhs, rhs);
+            }
+        }
+    }
+    // The accepting state marks the head cell.
+    rf.cell.onto.sub(
+        ge2(state_rels[m.accept.0 as usize]),
+        Concept::exactly_one(Role::new(accept_head)),
+    );
+    rf
+}
+
+/// A content cell of the simulation: a state or a symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Content {
+    Q(State),
+    S(Sym),
+}
+
+fn content_rel(rf: &RunFitOntology, c: Content) -> RelId {
+    match c {
+        Content::Q(q) => rf.state_rels[q.0 as usize],
+        Content::S(s) => rf.sym_rels[s.0 as usize],
+    }
+}
+
+/// The possible successor triples of the window `G₀ q G₁` (the cell left
+/// of the head, the head, and the cell right of the head) under one step
+/// of `M`.
+fn successor_triples(
+    m: &Machine,
+    q: State,
+    g0: Sym,
+    g1: Sym,
+) -> Vec<(Content, Content, Content)> {
+    let mut out = Vec::new();
+    for t in &m.delta {
+        if t.from != q || t.read != g1 {
+            continue;
+        }
+        match t.dir {
+            crate::machine::Dir::R => {
+                // G₀ q G₁ → G₀ G₁' q'  (head moves right over the window).
+                out.push((
+                    Content::S(g0),
+                    Content::S(t.write),
+                    Content::Q(t.to),
+                ));
+            }
+            crate::machine::Dir::L => {
+                // G₀ q G₁ → q' G₀ G₁'.
+                out.push((
+                    Content::Q(t.to),
+                    Content::S(g0),
+                    Content::S(t.write),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Translates a partial run into a grid instance: a `rows × cols` grid of
+/// `X`/`Y` edges where pinned cells carry their content marker preset
+/// positively (two distinct successor nulls).
+pub fn partial_run_instance(
+    rf: &RunFitOntology,
+    partial: &crate::runfit::PartialRun,
+    vocab: &mut Vocab,
+) -> Instance {
+    use crate::machine::Cell;
+    use crate::runfit::PCell;
+    let rows = partial.rows.len();
+    let cols = partial.rows[0].cells.len();
+    let mut d = Instance::new();
+    let node = |vocab: &mut Vocab, ri: usize, ci: usize| {
+        vocab.constant(&format!("rf_{ri}_{ci}"))
+    };
+    for ri in 0..rows {
+        for ci in 0..cols {
+            let n = node(vocab, ri, ci);
+            if ci + 1 < cols {
+                let nr = node(vocab, ri, ci + 1);
+                d.insert(Fact::consts(rf.cell.x, &[n, nr]));
+            }
+            if ri + 1 < rows {
+                let nu = node(vocab, ri + 1, ci);
+                d.insert(Fact::consts(rf.cell.y, &[n, nu]));
+            }
+            if let PCell::Fixed(content) = partial.rows[ri].cells[ci] {
+                let rel = match content {
+                    Cell::Q(q) => rf.state_rels[q.0 as usize],
+                    Cell::S(s) => rf.sym_rels[s.0 as usize],
+                };
+                // Preset the (≥2 rel) marker positively: two successors.
+                let w1 = gomq_core::Term::Null(vocab.fresh_null());
+                let w2 = gomq_core::Term::Null(vocab.fresh_null());
+                d.insert(Fact::new(rel, vec![gomq_core::Term::Const(n), w1]));
+                d.insert(Fact::new(rel, vec![gomq_core::Term::Const(n), w2]));
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runfit::{PartialConfig, PartialRun};
+    use gomq_dl::depth::ontology_depth;
+    use gomq_dl::lang::DlFeatures;
+
+    #[test]
+    fn ontology_is_alcifl_depth_2() {
+        let mut v = Vocab::new();
+        let m = Machine::even_ones();
+        let rf = run_fitting_ontology(&m, &mut v);
+        assert!(ontology_depth(&rf.cell.onto) <= 2);
+        let f = DlFeatures::of(&rf.cell.onto);
+        assert!(f.inverse && !f.functionality && !f.hierarchy);
+        // Simulation relations cover all states and symbols.
+        assert_eq!(rf.state_rels.len(), 3);
+        assert_eq!(rf.sym_rels.len(), 2);
+    }
+
+    #[test]
+    fn transition_axioms_follow_delta() {
+        // even_ones: 3 transitions, each generating one successor triple
+        // per matching (q, g1) window; windows without transitions get the
+        // ∀Y.⊥ cap.
+        let mut v = Vocab::new();
+        let m = Machine::even_ones();
+        let rf = run_fitting_ontology(&m, &mut v);
+        // At least num_states × num_syms² transition axioms were emitted.
+        assert!(rf.cell.onto.axioms.len() > 3 * 2 * 2);
+    }
+
+    #[test]
+    fn successor_triples_match_machine_semantics() {
+        let m = Machine::even_ones();
+        // Window _ q0 1 : reading 1 in the even state flips to odd, moving
+        // right: successor _ 1 q1.
+        let triples = successor_triples(&m, State(0), Sym(0), Sym(1));
+        assert_eq!(triples.len(), 1);
+        assert_eq!(
+            triples[0],
+            (Content::S(Sym(0)), Content::S(Sym(1)), Content::Q(State(1)))
+        );
+        // Window _ q1 _ : odd state on blank has no transition.
+        assert!(successor_triples(&m, State(1), Sym(0), Sym(0)).is_empty());
+    }
+
+    #[test]
+    fn partial_run_instance_shape() {
+        let mut v = Vocab::new();
+        let m = Machine::even_ones();
+        let rf = run_fitting_ontology(&m, &mut v);
+        let c0 = crate::machine::Config::initial(&m, &[Sym(1)], 2);
+        let partial = PartialRun::new(vec![
+            PartialConfig::from_config(&c0),
+            PartialConfig::all_wild(3),
+        ]);
+        let d = partial_run_instance(&rf, &partial, &mut v);
+        // Grid: 2 rows × 3 cols: X edges 2×2=4, Y edges 3; pinned row 0
+        // has 3 cells × 2 marker facts.
+        assert_eq!(d.len(), 4 + 3 + 6);
+        // Preset markers are genuinely ≥ 2 (distinct nulls).
+        let q0 = rf.state_rels[0];
+        let succ: Vec<_> = d.facts_of(q0).collect();
+        assert_eq!(succ.len(), 2);
+        assert_ne!(succ[0].args[1], succ[1].args[1]);
+    }
+
+    #[test]
+    fn marker_words_are_memoized() {
+        let mut v = Vocab::new();
+        let m = Machine::even_ones();
+        let mut rf = run_fitting_ontology(&m, &mut v);
+        let base = rf.sym_rels[0];
+        let a = rf.shift(base, "xy", &mut v);
+        let b = rf.shift(base, "xy", &mut v);
+        assert_eq!(a, b);
+    }
+}

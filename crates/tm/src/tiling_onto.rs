@@ -1,0 +1,432 @@
+//! The marker ontologies of Theorem 10: `O_cell` and `O_P` in ALCIF`
+//! of depth 2.
+//!
+//! The grid is represented by binary relations `X` and `Y`, declared
+//! locally functional in all four directions. A *marker* is the concept
+//! `(= 1 Q)` for an auxiliary binary relation `Q` with the global axiom
+//! `⊤ ⊑ ∃Q.⊤`: every element chooses between exactly one and more than
+//! one `Q`-successor — a difference invisible to conjunctive queries (in
+//! which equality and counting are unavailable). `O_cell` propagates
+//! markers to detect closed grid cells (`(= 1 P)`); `O_P` verifies a
+//! properly tiled rectangle from the top-right corner down to the
+//! bottom-left, where it raises the marker `(= 1 A)` — and the
+//! undecidability/non-dichotomy ontologies attach a disjunction
+//! `(= 1 A) ⊑ B₁ ⊔ B₂` to it.
+
+use crate::tiling::TilingSystem;
+use gomq_core::{Fact, Instance, RelId, Vocab};
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::DlOntology;
+use std::collections::BTreeMap;
+
+/// A single letter of a marker word.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Letter {
+    /// Follow `X` forward.
+    X,
+    /// Follow `Y` forward.
+    Y,
+    /// Follow `X` backward.
+    Xi,
+    /// Follow `Y` backward.
+    Yi,
+}
+
+/// The grid-and-marker ontology builder.
+pub struct CellOntology {
+    /// The assembled axioms.
+    pub onto: DlOntology,
+    /// The grid relations.
+    pub x: RelId,
+    /// The vertical grid relation.
+    pub y: RelId,
+    /// The cell marker relation `P`.
+    pub p: RelId,
+    /// The choice relations `R₁`, `R₂`.
+    pub r: [RelId; 2],
+    /// All auxiliary relations (for the `⊤ ⊑ ∃Q.⊤` axioms).
+    pub aux: Vec<RelId>,
+    word_rels: BTreeMap<(usize, Vec<Letter>), RelId>,
+}
+
+impl CellOntology {
+    /// The marker concept `(= 1 Q)`.
+    fn marker(rel: RelId) -> Concept {
+        Concept::exactly_one(Role::new(rel))
+    }
+
+    /// The relation `R^W_i`, with its chain of `≡`-definitions
+    /// `(= 1 R^{ZW}_i) ≡ ∃Z.(= 1 R^W_i)` emitted on first use.
+    fn word_rel(&mut self, i: usize, word: &[Letter], vocab: &mut Vocab) -> RelId {
+        if word.is_empty() {
+            return self.r[i];
+        }
+        if let Some(&r) = self.word_rels.get(&(i, word.to_vec())) {
+            return r;
+        }
+        let suffix_rel = self.word_rel(i, &word[1..], vocab);
+        let name = format!(
+            "Rw{}_{}",
+            i + 1,
+            word.iter()
+                .map(|l| match l {
+                    Letter::X => "x",
+                    Letter::Y => "y",
+                    Letter::Xi => "u",
+                    Letter::Yi => "v",
+                })
+                .collect::<String>()
+        );
+        let rel = vocab.rel(&name, 2);
+        self.aux.push(rel);
+        let step_role = match word[0] {
+            Letter::X => Role::new(self.x),
+            Letter::Y => Role::new(self.y),
+            Letter::Xi => Role::inv(self.x),
+            Letter::Yi => Role::inv(self.y),
+        };
+        self.onto.equiv(
+            Self::marker(rel),
+            Concept::Exists(step_role, Box::new(Self::marker(suffix_rel))),
+        );
+        self.word_rels.insert((i, word.to_vec()), rel);
+        rel
+    }
+
+    /// The marker concept `(= 1 R^W_i)`.
+    fn word_marker(&mut self, i: usize, word: &[Letter], vocab: &mut Vocab) -> Concept {
+        let rel = self.word_rel(i, word, vocab);
+        Self::marker(rel)
+    }
+}
+
+/// Builds `O_cell` (the cell-closing ontology of Theorem 10).
+pub fn build_cell_ontology(vocab: &mut Vocab) -> CellOntology {
+    let x = vocab.rel("Xg", 2);
+    let y = vocab.rel("Yg", 2);
+    let p = vocab.rel("Pm", 2);
+    let r1 = vocab.rel("R1m", 2);
+    let r2 = vocab.rel("R2m", 2);
+    let mut cell = CellOntology {
+        onto: DlOntology::new(),
+        x,
+        y,
+        p,
+        r: [r1, r2],
+        aux: vec![p, r1, r2],
+        word_rels: BTreeMap::new(),
+    };
+    use Letter::{X, Xi, Y, Yi};
+    // (1) Local functionality of X, Y and their inverses.
+    for role in [
+        Role::new(x),
+        Role::new(y),
+        Role::inv(x),
+        Role::inv(y),
+    ] {
+        cell.onto.sub(Concept::Top, Concept::at_most_one(role));
+    }
+    // (2) Every node carries exactly one R₁- or exactly one R₂-successor.
+    cell.onto.sub(
+        Concept::Top,
+        Concept::Or(vec![
+            CellOntology::marker(r1),
+            CellOntology::marker(r2),
+        ]),
+    );
+    // (3) Both diagonal markers for both i set the cell marker.
+    let m_xy_1 = cell.word_marker(0, &[X, Y], vocab);
+    let m_yx_1 = cell.word_marker(0, &[Y, X], vocab);
+    let m_xy_2 = cell.word_marker(1, &[X, Y], vocab);
+    let m_yx_2 = cell.word_marker(1, &[Y, X], vocab);
+    cell.onto.sub(
+        Concept::And(vec![m_xy_1, m_yx_1, m_xy_2, m_yx_2]),
+        CellOntology::marker(p),
+    );
+    // (4) On the C-cycles (C = X⁻Y⁻XY), (=1Rᵢ) recurs at least every third
+    // node: (=1 R^CC_j) ⊑ (=1Rᵢ) ⊔ (=1 R^C_i) ⊔ (=1 R^CC_i), {i,j}={1,2}.
+    let c_word = [Xi, Yi, X, Y];
+    let cc_word: Vec<Letter> = c_word.iter().chain(c_word.iter()).copied().collect();
+    for (i, j) in [(0usize, 1usize), (1, 0)] {
+        let lhs = cell.word_marker(j, &cc_word, vocab);
+        let ri = CellOntology::marker(cell.r[i]);
+        let rc = cell.word_marker(i, &c_word, vocab);
+        let rcc = cell.word_marker(i, &cc_word, vocab);
+        cell.onto.sub(lhs, Concept::Or(vec![ri, rc, rcc]));
+    }
+    // (5) Joint markers propagate to neighbours: if both (=1R₁) and
+    // (=1R₂) hold C-away (in either diagonal direction), they hold here.
+    let r12 = Concept::And(vec![
+        CellOntology::marker(r1),
+        CellOntology::marker(r2),
+    ]);
+    let c1 = cell.word_marker(0, &c_word, vocab);
+    let c2 = cell.word_marker(1, &c_word, vocab);
+    cell.onto.sub(Concept::And(vec![c1, c2]), r12.clone());
+    let d_word = [Yi, Xi, Y, X];
+    let d1 = cell.word_marker(0, &d_word, vocab);
+    let d2 = cell.word_marker(1, &d_word, vocab);
+    cell.onto.sub(Concept::And(vec![d1, d2]), r12);
+    // (6) ⊤ ⊑ ∃Q.⊤ for all auxiliary relations.
+    for q in cell.aux.clone() {
+        cell.onto.sub(Concept::Top, Concept::some(Role::new(q)));
+    }
+    cell
+}
+
+/// The grid-verification ontology `O_P` for a tiling system, together
+/// with the tile relations and the corner marker `A`.
+pub struct GridOntology {
+    /// The cell machinery (extended with the grid axioms).
+    pub cell: CellOntology,
+    /// Tile relations, one unary relation per tile type.
+    pub tiles: Vec<RelId>,
+    /// The corner marker relation `A`.
+    pub a: RelId,
+    /// The disjunction heads `B₁`, `B₂` of the undecidability ontology.
+    pub b: [RelId; 2],
+}
+
+/// Builds `O_P ∪ {(=1A) ⊑ B₁ ⊔ B₂}` for a tiling system.
+pub fn build_grid_ontology(p: &TilingSystem, vocab: &mut Vocab) -> GridOntology {
+    let mut cell = build_cell_ontology(vocab);
+    let tiles: Vec<RelId> = (0..p.num_tiles)
+        .map(|t| vocab.rel(&format!("Tile{t}"), 1))
+        .collect();
+    let f = vocab.rel("Fm", 2);
+    let fx = vocab.rel("FXm", 2);
+    let fy = vocab.rel("FYm", 2);
+    let u = vocab.rel("Um", 2);
+    let r_m = vocab.rel("Rm", 2);
+    let l = vocab.rel("Lm", 2);
+    let d = vocab.rel("Dm", 2);
+    let a = vocab.rel("Am", 2);
+    for q in [f, fx, fy, u, r_m, l, d, a] {
+        cell.aux.push(q);
+        cell.onto.sub(Concept::Top, Concept::some(Role::new(q)));
+    }
+    let m = CellOntology::marker;
+    let x_role = Role::new(cell.x);
+    let y_role = Role::new(cell.y);
+    let t_init = Concept::Name(tiles[p.init]);
+    let t_final = Concept::Name(tiles[p.fin]);
+    // Tfinal ⊑ (=1F) ⊓ (=1U) ⊓ (=1R).
+    cell.onto.sub(
+        t_final.clone(),
+        Concept::And(vec![m(f), m(u), m(r_m)]),
+    );
+    // Upper border propagation along H; right border along V.
+    for &(ti, tj) in &p.h {
+        cell.onto.sub(
+            Concept::And(vec![
+                Concept::Exists(
+                    x_role,
+                    Box::new(Concept::And(vec![
+                        m(u),
+                        m(f),
+                        Concept::Name(tiles[tj]),
+                    ])),
+                ),
+                Concept::Name(tiles[ti]),
+            ]),
+            Concept::And(vec![m(u), m(f)]),
+        );
+    }
+    for &(ti, tl) in &p.v {
+        cell.onto.sub(
+            Concept::And(vec![
+                Concept::Exists(
+                    y_role,
+                    Box::new(Concept::And(vec![
+                        m(r_m),
+                        m(f),
+                        Concept::Name(tiles[tl]),
+                    ])),
+                ),
+                Concept::Name(tiles[ti]),
+            ]),
+            Concept::And(vec![m(r_m), m(f)]),
+        );
+    }
+    // ∃Y.(=1F) ⊑ (=1FY); ∃X.(=1F) ⊑ (=1FX).
+    cell.onto
+        .sub(Concept::Exists(y_role, Box::new(m(f))), m(fy));
+    cell.onto
+        .sub(Concept::Exists(x_role, Box::new(m(f))), m(fx));
+    // Interior propagation through closed, properly tiled cells.
+    for &(ti, tj) in &p.h {
+        for &(ti2, tl) in &p.v {
+            if ti != ti2 {
+                continue;
+            }
+            cell.onto.sub(
+                Concept::And(vec![
+                    Concept::Exists(
+                        x_role,
+                        Box::new(Concept::And(vec![
+                            Concept::Name(tiles[tj]),
+                            m(f),
+                            m(fy),
+                        ])),
+                    ),
+                    Concept::Exists(
+                        y_role,
+                        Box::new(Concept::And(vec![
+                            Concept::Name(tiles[tl]),
+                            m(f),
+                            m(fx),
+                        ])),
+                    ),
+                    m(cell.p),
+                    Concept::Name(tiles[ti]),
+                ]),
+                m(f),
+            );
+        }
+    }
+    // (=1F) ⊓ Tinit ⊑ (=1A) ⊓ (=1D) ⊓ (=1L).
+    cell.onto.sub(
+        Concept::And(vec![m(f), t_init]),
+        Concept::And(vec![m(a), m(d), m(l)]),
+    );
+    // Tiles are mutually exclusive.
+    for s in 0..p.num_tiles {
+        for t in (s + 1)..p.num_tiles {
+            cell.onto.sub(
+                Concept::And(vec![
+                    Concept::Name(tiles[s]),
+                    Concept::Name(tiles[t]),
+                ]),
+                Concept::Bot,
+            );
+        }
+    }
+    // Border axioms.
+    cell.onto.sub(m(u), Concept::Forall(y_role, Box::new(Concept::Bot)));
+    cell.onto
+        .sub(m(r_m), Concept::Forall(x_role, Box::new(Concept::Bot)));
+    cell.onto
+        .sub(m(u), Concept::Forall(x_role, Box::new(m(u))));
+    cell.onto
+        .sub(m(r_m), Concept::Forall(y_role, Box::new(m(r_m))));
+    cell.onto.sub(
+        m(d),
+        Concept::Forall(Role::inv(cell.y), Box::new(Concept::Bot)),
+    );
+    cell.onto.sub(
+        m(l),
+        Concept::Forall(Role::inv(cell.x), Box::new(Concept::Bot)),
+    );
+    cell.onto
+        .sub(m(d), Concept::Forall(x_role, Box::new(m(d))));
+    cell.onto
+        .sub(m(l), Concept::Forall(y_role, Box::new(m(l))));
+    // The non-materializability head: (=1A) ⊑ B₁ ⊔ B₂.
+    let b1 = vocab.rel("B1h", 1);
+    let b2 = vocab.rel("B2h", 1);
+    cell.onto.sub(
+        m(a),
+        Concept::Or(vec![Concept::Name(b1), Concept::Name(b2)]),
+    );
+    GridOntology {
+        cell,
+        tiles,
+        a,
+        b: [b1, b2],
+    }
+}
+
+/// Builds the grid instance of a tiling (Lemma 13): the `X`/`Y` grid with
+/// the tiles written on it. `grid[row][col]`, row 0 at the bottom.
+#[allow(clippy::needless_range_loop)]
+pub fn grid_instance(
+    g: &GridOntology,
+    grid: &[Vec<usize>],
+    vocab: &mut Vocab,
+) -> Instance {
+    let rows = grid.len();
+    let cols = grid[0].len();
+    let mut d = Instance::new();
+    let node = |vocab: &mut Vocab, ri: usize, ci: usize| vocab.constant(&format!("g_{ri}_{ci}"));
+    for ri in 0..rows {
+        for ci in 0..cols {
+            let n = node(vocab, ri, ci);
+            d.insert(Fact::consts(g.tiles[grid[ri][ci]], &[n]));
+            if ci + 1 < cols {
+                let nr = node(vocab, ri, ci + 1);
+                d.insert(Fact::consts(g.cell.x, &[n, nr]));
+            }
+            if ri + 1 < rows {
+                let nu = node(vocab, ri + 1, ci);
+                d.insert(Fact::consts(g.cell.y, &[n, nu]));
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_dl::depth::ontology_depth;
+    use gomq_dl::lang::DlFeatures;
+
+    #[test]
+    fn cell_ontology_is_alcifl_depth_2() {
+        let mut v = Vocab::new();
+        let cell = build_cell_ontology(&mut v);
+        assert!(ontology_depth(&cell.onto) <= 2);
+        let f = DlFeatures::of(&cell.onto);
+        assert!(f.inverse, "uses inverse roles");
+        assert!(f.local_functionality, "uses (≤1 R)");
+        assert!(!f.functionality && !f.hierarchy);
+    }
+
+    #[test]
+    fn grid_ontology_extends_cell_machinery() {
+        let mut v = Vocab::new();
+        let p = TilingSystem::solvable_example();
+        let g = build_grid_ontology(&p, &mut v);
+        assert!(ontology_depth(&g.cell.onto) <= 2);
+        assert_eq!(g.tiles.len(), 3);
+        assert!(g.cell.onto.axioms.len() > 30);
+    }
+
+    #[test]
+    fn grid_instance_shape() {
+        let mut v = Vocab::new();
+        let p = TilingSystem::solvable_example();
+        let g = build_grid_ontology(&p, &mut v);
+        let grid = vec![vec![0, 1], vec![1, 2]];
+        assert!(p.is_tiling(&grid));
+        let d = grid_instance(&g, &grid, &mut v);
+        // 2×2 grid: 4 tile facts + 2 X edges + 2 Y edges.
+        assert_eq!(d.len(), 8);
+        assert!(gomq_core::guarded::is_connected(&d));
+    }
+
+    #[test]
+    fn marker_words_are_shared() {
+        let mut v = Vocab::new();
+        let cell = build_cell_ontology(&mut v);
+        // The CC word relations exist for both i.
+        let names: Vec<&str> = cell
+            .aux
+            .iter()
+            .map(|&r| v.rel_name(r))
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("Rw1_")));
+        assert!(names.iter().any(|n| n.starts_with("Rw2_")));
+        // Each auxiliary relation has the ∃Q.⊤ axiom.
+        let exists_axioms = cell
+            .onto
+            .axioms
+            .iter()
+            .filter(|a| {
+                matches!(a, gomq_dl::Axiom::ConceptInclusion(c, d)
+                    if *c == Concept::Top && matches!(d, Concept::Exists(_, inner) if **inner == Concept::Top))
+            })
+            .count();
+        assert_eq!(exists_axioms, cell.aux.len());
+    }
+}

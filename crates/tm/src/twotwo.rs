@@ -1,0 +1,317 @@
+//! 2+2-SAT and the Theorem-3 reduction.
+//!
+//! A 2+2 clause has exactly two positive and two negative literals over
+//! propositional variables and the truth constants. 2+2-SAT is
+//! NP-complete [Schaerf 1993] and is the paper's reduction source: if an
+//! ontology `O` (invariant under disjoint unions) is not materializable —
+//! witnessed by an instance `D` and queries `q₁, q₂` whose disjunction is
+//! certain while neither disjunct is — then evaluating a fixed rAQ
+//! w.r.t. `O` is coNP-hard. The gadget: one fresh copy of `D` per
+//! variable (truth of `v` = which disjunct holds in the copy), one fresh
+//! clause element per clause, linked to the four literal gadgets by fresh
+//! relations, and a query matching exactly the falsified clauses.
+
+use gomq_core::query::CqBuilder;
+use gomq_core::{Fact, Instance, RelId, Term, Ucq, Vocab};
+use std::collections::BTreeMap;
+
+/// A literal: variable index or a truth constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Atom2 {
+    /// A propositional variable.
+    Var(usize),
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+}
+
+/// A 2+2 clause `(p₁ ∨ p₂ ∨ ¬n₁ ∨ ¬n₂)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Clause {
+    /// The two positive atoms.
+    pub pos: [Atom2; 2],
+    /// The two negated atoms.
+    pub neg: [Atom2; 2],
+}
+
+/// A 2+2-SAT formula.
+#[derive(Clone, Debug, Default)]
+pub struct TwoTwoSat {
+    /// Number of propositional variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl TwoTwoSat {
+    /// Evaluates a clause under an assignment.
+    fn clause_satisfied(c: &Clause, asg: &[bool]) -> bool {
+        let val = |a: Atom2| match a {
+            Atom2::Var(v) => asg[v],
+            Atom2::True => true,
+            Atom2::False => false,
+        };
+        val(c.pos[0]) || val(c.pos[1]) || !val(c.neg[0]) || !val(c.neg[1])
+    }
+
+    /// Brute-force satisfiability (reference; formulas in tests are small).
+    pub fn satisfiable(&self) -> Option<Vec<bool>> {
+        let n = self.num_vars;
+        assert!(n <= 20, "brute-force solver limited to 20 variables");
+        for bits in 0u32..(1u32 << n) {
+            let asg: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            if self
+                .clauses
+                .iter()
+                .all(|c| Self::clause_satisfied(c, &asg))
+            {
+                return Some(asg);
+            }
+        }
+        None
+    }
+}
+
+/// The Theorem-3 gadget built from a non-materializability witness.
+pub struct TwoTwoGadget {
+    /// The constructed instance `D_φ`.
+    pub instance: Instance,
+    /// The Boolean query whose certainty equals unsatisfiability.
+    pub query: Ucq,
+}
+
+/// Builds the coNP-hardness gadget for a formula `φ`, given a witness
+/// consisting of a base instance `D`, an anchor element `d ∈ dom(D)`, and
+/// two unary relations `b_rel`/`c_rel` such that `O,D ⊨ B(d) ∨ C(d)` while
+/// neither disjunct is certain (e.g. `O = {A ⊑ B ⊔ C}`, `D = {A(a)}`).
+///
+/// Truth constants use dedicated gadgets with `B`/`C` asserted outright.
+pub fn build_gadget(
+    phi: &TwoTwoSat,
+    base: &Instance,
+    anchor: Term,
+    b_rel: RelId,
+    c_rel: RelId,
+    vocab: &mut Vocab,
+) -> TwoTwoGadget {
+    let mut instance = Instance::new();
+    // Fresh relations for the clause gadget.
+    let cl_rel = vocab.rel("_ttCl", 1);
+    let link: [RelId; 4] = [
+        vocab.rel("_ttP1", 2),
+        vocab.rel("_ttP2", 2),
+        vocab.rel("_ttN1", 2),
+        vocab.rel("_ttN2", 2),
+    ];
+    // One copy of the base instance per variable; remember the anchors.
+    let mut anchors: BTreeMap<usize, Term> = BTreeMap::new();
+    for v in 0..phi.num_vars {
+        let mut renaming: BTreeMap<Term, Term> = BTreeMap::new();
+        for t in base.dom() {
+            renaming.insert(t, Term::Null(vocab.fresh_null()));
+        }
+        for f in base.iter() {
+            instance.insert(f.map_terms(|t| renaming[&t]));
+        }
+        anchors.insert(v, renaming[&anchor]);
+    }
+    // Truth-constant gadgets: a `true` element satisfies B, a `false`
+    // element satisfies C (truth of v ↔ B at the anchor).
+    let true_elem = Term::Null(vocab.fresh_null());
+    let false_elem = Term::Null(vocab.fresh_null());
+    instance.insert(Fact::new(b_rel, vec![true_elem]));
+    instance.insert(Fact::new(c_rel, vec![false_elem]));
+    let atom_elem = |a: Atom2, anchors: &BTreeMap<usize, Term>| match a {
+        Atom2::Var(v) => anchors[&v],
+        Atom2::True => true_elem,
+        Atom2::False => false_elem,
+    };
+    // Clause gadgets.
+    for clause in &phi.clauses {
+        let e = Term::Null(vocab.fresh_null());
+        instance.insert(Fact::new(cl_rel, vec![e]));
+        instance.insert(Fact::new(
+            link[0],
+            vec![e, atom_elem(clause.pos[0], &anchors)],
+        ));
+        instance.insert(Fact::new(
+            link[1],
+            vec![e, atom_elem(clause.pos[1], &anchors)],
+        ));
+        instance.insert(Fact::new(
+            link[2],
+            vec![e, atom_elem(clause.neg[0], &anchors)],
+        ));
+        instance.insert(Fact::new(
+            link[3],
+            vec![e, atom_elem(clause.neg[1], &anchors)],
+        ));
+    }
+    // The query: a clause whose positive atoms are false (C) and negative
+    // atoms true (B).
+    let mut b = CqBuilder::new();
+    let z = b.var("z");
+    let x1 = b.var("x1");
+    let x2 = b.var("x2");
+    let x3 = b.var("x3");
+    let x4 = b.var("x4");
+    b.atom(cl_rel, &[z])
+        .atom(link[0], &[z, x1])
+        .atom(c_rel, &[x1])
+        .atom(link[1], &[z, x2])
+        .atom(c_rel, &[x2])
+        .atom(link[2], &[z, x3])
+        .atom(b_rel, &[x3])
+        .atom(link[3], &[z, x4])
+        .atom(b_rel, &[x4]);
+    let query = Ucq::from_cq(b.build(vec![]));
+    TwoTwoGadget { instance, query }
+}
+
+/// A deterministic pseudo-random 2+2-SAT generator (for experiments).
+pub fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> TwoTwoSat {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut pick = || Atom2::Var((next() % num_vars as u64) as usize);
+        clauses.push(Clause {
+            pos: [pick(), pick()],
+            neg: [pick(), pick()],
+        });
+    }
+    TwoTwoSat { num_vars, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_dl::concept::Concept;
+    use gomq_dl::translate::to_gf;
+    use gomq_dl::DlOntology;
+    use gomq_reasoning::CertainEngine;
+
+    fn witness_setup(vocab: &mut Vocab) -> (gomq_logic::GfOntology, Instance, Term, RelId, RelId) {
+        let a = vocab.rel("A", 1);
+        let b = vocab.rel("B", 1);
+        let c = vocab.rel("C", 1);
+        let mut dl = DlOntology::new();
+        dl.sub(
+            Concept::Name(a),
+            Concept::Or(vec![Concept::Name(b), Concept::Name(c)]),
+        );
+        let o = to_gf(&dl);
+        let ca = vocab.constant("a0");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(a, &[ca]));
+        (o, d, Term::Const(ca), b, c)
+    }
+
+    #[test]
+    fn brute_force_solver() {
+        // (v0 ∨ v0 ∨ ¬v1 ∨ ¬v1) ∧ (v1 ∨ v1 ∨ ¬v0 ∨ ¬v0): v0 ↔ v1.
+        let phi = TwoTwoSat {
+            num_vars: 2,
+            clauses: vec![
+                Clause {
+                    pos: [Atom2::Var(0), Atom2::Var(0)],
+                    neg: [Atom2::Var(1), Atom2::Var(1)],
+                },
+                Clause {
+                    pos: [Atom2::Var(1), Atom2::Var(1)],
+                    neg: [Atom2::Var(0), Atom2::Var(0)],
+                },
+            ],
+        };
+        let asg = phi.satisfiable().expect("satisfiable");
+        assert_eq!(asg[0], asg[1]);
+        // (F ∨ F ∨ ¬T ∨ ¬T) alone is unsatisfiable.
+        let unsat = TwoTwoSat {
+            num_vars: 0,
+            clauses: vec![Clause {
+                pos: [Atom2::False, Atom2::False],
+                neg: [Atom2::True, Atom2::True],
+            }],
+        };
+        assert!(unsat.satisfiable().is_none());
+    }
+
+    #[test]
+    fn reduction_on_satisfiable_formula() {
+        let mut vocab = Vocab::new();
+        let (o, d, anchor, b, c) = witness_setup(&mut vocab);
+        // Single clause (v0 ∨ v0 ∨ ¬v0 ∨ ¬v0): trivially satisfiable.
+        let phi = TwoTwoSat {
+            num_vars: 1,
+            clauses: vec![Clause {
+                pos: [Atom2::Var(0), Atom2::Var(0)],
+                neg: [Atom2::Var(0), Atom2::Var(0)],
+            }],
+        };
+        assert!(phi.satisfiable().is_some());
+        let gadget = build_gadget(&phi, &d, anchor, b, c, &mut vocab);
+        let engine = CertainEngine::new(1);
+        let outcome = engine.certain(&o, &gadget.instance, &gadget.query, &[], &mut vocab);
+        assert!(!outcome.is_certain(), "satisfiable ⇒ query not certain");
+    }
+
+    #[test]
+    fn reduction_on_unsatisfiable_formula() {
+        let mut vocab = Vocab::new();
+        let (o, d, anchor, b, c) = witness_setup(&mut vocab);
+        // (F ∨ F ∨ ¬v0 ∨ ¬v0) ∧ (v0 ∨ v0 ∨ ¬T ∨ ¬T): v0 false and true.
+        let phi = TwoTwoSat {
+            num_vars: 1,
+            clauses: vec![
+                Clause {
+                    pos: [Atom2::False, Atom2::False],
+                    neg: [Atom2::Var(0), Atom2::Var(0)],
+                },
+                Clause {
+                    pos: [Atom2::Var(0), Atom2::Var(0)],
+                    neg: [Atom2::True, Atom2::True],
+                },
+            ],
+        };
+        assert!(phi.satisfiable().is_none());
+        let gadget = build_gadget(&phi, &d, anchor, b, c, &mut vocab);
+        let engine = CertainEngine::new(1);
+        let outcome = engine.certain(&o, &gadget.instance, &gadget.query, &[], &mut vocab);
+        assert!(outcome.is_certain(), "unsatisfiable ⇒ query certain");
+    }
+
+    #[test]
+    fn reduction_agrees_with_sat_on_random_formulas() {
+        let mut ok = 0;
+        for seed in 0..6u64 {
+            let mut vocab = Vocab::new();
+            let (o, d, anchor, b, c) = witness_setup(&mut vocab);
+            let phi = random_formula(2, 2, seed);
+            let sat = phi.satisfiable().is_some();
+            let gadget = build_gadget(&phi, &d, anchor, b, c, &mut vocab);
+            let engine = CertainEngine::new(1);
+            let certain = engine
+                .certain(&o, &gadget.instance, &gadget.query, &[], &mut vocab)
+                .is_certain();
+            assert_eq!(sat, !certain, "seed {seed}");
+            ok += 1;
+        }
+        assert_eq!(ok, 6);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_formula(5, 8, 42);
+        let b = random_formula(5, 8, 42);
+        assert_eq!(a.clauses.len(), b.clauses.len());
+        for (x, y) in a.clauses.iter().zip(b.clauses.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Classify an ontology against Figure 1 of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p gomq-examples --bin classify              # built-in demo suite
+//! cargo run -p gomq-examples --bin classify -- FILE.dl   # classify a file
+//! ```
+//!
+//! The file format is the compact DL syntax of `gomq_dl::parser`.
+
+use gomq_core::Vocab;
+use gomq_dl::parser::parse_ontology;
+use gomq_dl::translate::to_gf;
+use gomq_reasoning::CertainEngine;
+use gomq_rewriting::classify_ontology;
+
+fn classify_text(name: &str, text: &str) {
+    let mut vocab = Vocab::new();
+    let dl = match parse_ontology(text, &mut vocab) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{name}: parse error: {e}");
+            return;
+        }
+    };
+    let onto = to_gf(&dl);
+    let engine = CertainEngine::new(1);
+    let report = classify_ontology(&onto, &[], &engine, &mut vocab);
+    println!("{name}:");
+    println!(
+        "  DL language: {} | depth {}",
+        gomq_dl::lang::DlFeatures::of(&dl).language(),
+        gomq_dl::depth::ontology_depth(&dl)
+    );
+    println!("  {report}\n");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args.get(1) {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        classify_text(path, &text);
+        return;
+    }
+    println!("Classifying the built-in demo suite against Figure 1:\n");
+    classify_text(
+        "horn-employees (ALC depth 1, Horn)",
+        "Employee sub ex worksOn.Project\nManager sub Employee\n",
+    );
+    classify_text(
+        "disjunctive (ALC depth 1, with union)",
+        "Person sub Young or Old\n",
+    );
+    classify_text(
+        "counting (ALCQ depth 1)",
+        "Hand sub >=5 hasFinger.Top and <=5 hasFinger.Top\n",
+    );
+    classify_text(
+        "inverse+hierarchy (ALCHI depth 2)",
+        "A sub ex r.(all s-.B)\nrole r sub t\n",
+    );
+    classify_text(
+        "functional (ALCIF depth 2)",
+        "func(succ)\nfunc(succ-)\nA sub ex succ.(ex succ.B)\n",
+    );
+}

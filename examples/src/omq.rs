@@ -1,0 +1,126 @@
+//! `omq` — a small command-line front end for ontology-mediated querying.
+//!
+//! ```text
+//! omq ONTOLOGY.dl DATA.facts [QUERY.cq] [--fresh K] [--classify]
+//! ```
+//!
+//! * `ONTOLOGY.dl` — a DL ontology in the `gomq_dl::parser` syntax,
+//! * `DATA.facts`  — one fact per line (`hasFinger(h, f1)`),
+//! * `QUERY.cq`    — one CQ per line (`q(?x) :- Thumb(?x)`), together a UCQ.
+//!
+//! Without a query, checks consistency. `--classify` prints the Figure-1
+//! report. `--fresh K` sets the countermodel search bound (default 2).
+//!
+//! Try it on the bundled example:
+//!
+//! ```text
+//! cargo run -p gomq-examples --bin omq -- \
+//!     examples/data/company.dl examples/data/company.facts examples/data/company.cq --classify
+//! ```
+
+use gomq_core::parse::{parse_instance, parse_ucq};
+use gomq_core::Vocab;
+use gomq_dl::parser::parse_ontology;
+use gomq_dl::translate::to_gf;
+use gomq_reasoning::CertainEngine;
+use gomq_rewriting::classify_ontology;
+use std::process::exit;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut classify = false;
+    let mut fresh = 2usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--classify" => classify = true,
+            "--fresh" => {
+                fresh = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--fresh needs a number");
+                        exit(2);
+                    })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: omq ONTOLOGY.dl DATA.facts [QUERY.cq] [--fresh K] [--classify]");
+                exit(0);
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.len() < 2 || paths.len() > 3 {
+        eprintln!("usage: omq ONTOLOGY.dl DATA.facts [QUERY.cq] [--fresh K] [--classify]");
+        exit(2);
+    }
+
+    let mut vocab = Vocab::new();
+    let dl = match parse_ontology(&read(paths[0]), &mut vocab) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{}: {e}", paths[0]);
+            exit(1);
+        }
+    };
+    let onto = to_gf(&dl);
+    let data = match parse_instance(&read(paths[1]), &mut vocab) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{}: {e}", paths[1]);
+            exit(1);
+        }
+    };
+    println!(
+        "loaded: {} axioms ({}), {} facts over {} elements",
+        dl.axioms.len(),
+        gomq_dl::lang::DlFeatures::of(&dl).language(),
+        data.len(),
+        data.dom().len()
+    );
+    let engine = CertainEngine::new(fresh);
+
+    if classify {
+        let report = classify_ontology(&onto, std::slice::from_ref(&data), &engine, &mut vocab);
+        println!("classification: {report}");
+    }
+
+    match engine.consistency(&onto, &data, &mut vocab) {
+        c if c.is_consistent() => println!("consistency: the data is consistent with the ontology"),
+        _ => println!(
+            "consistency: INCONSISTENT (no model with ≤ {fresh} fresh elements)"
+        ),
+    }
+
+    if let Some(qpath) = paths.get(2) {
+        let q = match parse_ucq(&read(qpath), &mut vocab) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("{qpath}: {e}");
+                exit(1);
+            }
+        };
+        if q.arity() == 0 {
+            let certain = engine.certain(&onto, &data, &q, &[], &mut vocab).is_certain();
+            println!("boolean query: certain = {certain}");
+        } else {
+            let answers = engine.certain_answers(&onto, &data, &q, &mut vocab);
+            println!("certain answers ({}):", answers.len());
+            for t in answers {
+                let row: Vec<String> = t
+                    .iter()
+                    .map(|term| format!("{}", term.display(&vocab)))
+                    .collect();
+                println!("  ({})", row.join(", "));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared fixtures for the cross-crate integration tests.
+//!
+//! The constructors here build the paper's named ontologies and instances
+//! once, so the `tests/` files stay focused on the claims they verify.
+
+use gomq_core::{Fact, Instance, Vocab};
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+
+/// The Example 6 ontology: `E` is entailed at every element R-connected
+/// to an odd R-cycle, via the parity trick
+///
+/// ```text
+/// ∀x((A(x) ∧ ∃y(R(x,y) ∧ A(y))) → E(x))
+/// ∀x((¬A(x) ∧ ∃y(R(x,y) ∧ ¬A(y))) → E(x))
+/// ∀xy(R(x,y) → ((E(x) → E(y)) ∧ (E(y) → E(x))))
+/// ```
+///
+/// It is *not* unravelling tolerant: on a triangle `E` is certain
+/// everywhere, on the (acyclic) unravelling it is not.
+pub struct OddCycleOntology {
+    /// The ontology.
+    pub onto: GfOntology,
+    /// The relations `(R, A, E)`.
+    pub rels: (gomq_core::RelId, gomq_core::RelId, gomq_core::RelId),
+}
+
+/// Builds the Example 6 ontology.
+pub fn odd_cycle_ontology(vocab: &mut Vocab) -> OddCycleOntology {
+    let r = vocab.rel("R6", 2);
+    let a = vocab.rel("A6", 1);
+    let e = vocab.rel("E6", 1);
+    let (x, y) = (LVar(0), LVar(1));
+    let names = vec!["x".to_owned(), "y".to_owned()];
+    let succ_with = |positive: bool| Formula::Exists {
+        qvars: vec![y],
+        guard: Guard::Atom { rel: r, args: vec![x, y] },
+        body: Box::new(if positive {
+            Formula::unary(a, y)
+        } else {
+            Formula::Not(Box::new(Formula::unary(a, y)))
+        }),
+    };
+    let mut onto = GfOntology::new();
+    onto.push(UgfSentence::forall_one(
+        x,
+        Formula::implies(
+            Formula::And(vec![Formula::unary(a, x), succ_with(true)]),
+            Formula::unary(e, x),
+        ),
+        names.clone(),
+    ));
+    onto.push(UgfSentence::forall_one(
+        x,
+        Formula::implies(
+            Formula::And(vec![
+                Formula::Not(Box::new(Formula::unary(a, x))),
+                succ_with(false),
+            ]),
+            Formula::unary(e, x),
+        ),
+        names.clone(),
+    ));
+    onto.push(UgfSentence::new(
+        vec![x, y],
+        Guard::Atom { rel: r, args: vec![x, y] },
+        Formula::And(vec![
+            Formula::implies(Formula::unary(e, x), Formula::unary(e, y)),
+            Formula::implies(Formula::unary(e, y), Formula::unary(e, x)),
+        ]),
+        names,
+    ));
+    OddCycleOntology {
+        onto,
+        rels: (r, a, e),
+    }
+}
+
+/// An `R`-cycle instance of length `n` over fresh constants `tag0..`.
+pub fn r_cycle(rel: gomq_core::RelId, n: usize, tag: &str, vocab: &mut Vocab) -> Instance {
+    let mut d = Instance::new();
+    for i in 0..n {
+        let a = vocab.constant(&format!("{tag}{i}"));
+        let b = vocab.constant(&format!("{tag}{}", (i + 1) % n));
+        d.insert(Fact::consts(rel, &[a, b]));
+    }
+    d
+}
+
+/// The Example 1 ontologies, as general GF sentences:
+///
+/// * `O_UCQ/CQ = { ∀x(A(x) ∨ B(x)) ∨ ∃x E(x) }` — does not *reflect*
+///   disjoint unions,
+/// * `O_Mat/PTime = { ∀x A(x) ∨ ∀x B(x) }` — not *preserved* under
+///   disjoint unions.
+pub struct Example1 {
+    /// `O_UCQ/CQ`.
+    pub o_ucq_cq: GfOntology,
+    /// `O_Mat/PTime`.
+    pub o_mat_ptime: GfOntology,
+    /// The relations `(A, B, E)`.
+    pub rels: (gomq_core::RelId, gomq_core::RelId, gomq_core::RelId),
+}
+
+/// Builds the Example 1 ontologies.
+pub fn example1(vocab: &mut Vocab) -> Example1 {
+    use gomq_logic::GfSentence;
+    let a = vocab.rel("A1x", 1);
+    let b = vocab.rel("B1x", 1);
+    let e = vocab.rel("E1x", 1);
+    let x = LVar(0);
+    let forall = |body: Formula| Formula::Forall {
+        qvars: vec![x],
+        guard: Guard::Eq(x, x),
+        body: Box::new(body),
+    };
+    let exists_e = Formula::Exists {
+        qvars: vec![x],
+        guard: Guard::Eq(x, x),
+        body: Box::new(Formula::unary(e, x)),
+    };
+    let mut o_ucq_cq = GfOntology::new();
+    o_ucq_cq.push_gf(GfSentence::new(
+        Formula::Or(vec![
+            forall(Formula::Or(vec![
+                Formula::unary(a, x),
+                Formula::unary(b, x),
+            ])),
+            exists_e,
+        ]),
+        vec!["x".to_owned()],
+    ));
+    let mut o_mat_ptime = GfOntology::new();
+    o_mat_ptime.push_gf(GfSentence::new(
+        Formula::Or(vec![
+            forall(Formula::unary(a, x)),
+            forall(Formula::unary(b, x)),
+        ]),
+        vec!["x".to_owned()],
+    ));
+    Example1 {
+        o_ucq_cq,
+        o_mat_ptime,
+        rels: (a, b, e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let mut v = Vocab::new();
+        let odd = odd_cycle_ontology(&mut v);
+        assert_eq!(odd.onto.ugf_sentences.len(), 3);
+        let e1 = example1(&mut v);
+        assert!(!e1.o_ucq_cq.is_ugf());
+        assert!(!e1.o_mat_ptime.is_ugf());
+        let d = r_cycle(odd.rels.0, 3, "t", &mut v);
+        assert_eq!(d.len(), 3);
+    }
+}

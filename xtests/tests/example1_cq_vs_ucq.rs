@@ -1,0 +1,119 @@
+//! Example 1 and Lemma 3: outside uGF, query-language robustness fails.
+//!
+//! * `O_Mat/PTime = {∀x A(x) ∨ ∀x B(x)}` is not preserved under disjoint
+//!   unions and not CQ-materializable, yet CQ evaluation w.r.t. it is in
+//!   PTIME — Theorem 3 genuinely needs invariance under disjoint unions.
+//! * `O_UCQ/CQ = {∀x(A(x) ∨ B(x)) ∨ ∃x E(x)}`: the Boolean *UCQ*
+//!   `∃x A(x) ∨ ∃x B(x) — formally A(x)∨B(x) as a UCQ — behaves
+//!   differently from its CQ disjuncts (Lemma 3's divergence).
+
+use gomq_core::query::CqBuilder;
+use gomq_core::{Fact, Instance, Ucq, Vocab};
+use gomq_logic::eval::satisfies_ontology;
+use gomq_reasoning::CertainEngine;
+use gomq_xtests::example1;
+
+#[test]
+fn o_mat_ptime_is_not_invariant_under_disjoint_unions() {
+    let mut v = Vocab::new();
+    let e1 = example1(&mut v);
+    let (a, b, _) = e1.rels;
+    let ca = v.constant("u");
+    let cb = v.constant("w");
+    let d1 = Instance::from_facts(vec![Fact::consts(a, &[ca])]);
+    let d2 = Instance::from_facts(vec![Fact::consts(b, &[cb])]);
+    assert!(satisfies_ontology(&d1, &e1.o_mat_ptime));
+    assert!(satisfies_ontology(&d2, &e1.o_mat_ptime));
+    assert!(
+        !satisfies_ontology(&d1.union(&d2), &e1.o_mat_ptime),
+        "the disjoint union violates ∀xA ∨ ∀xB"
+    );
+}
+
+#[test]
+fn o_mat_ptime_is_not_materializable_but_disjuncts_are_boolean_certain() {
+    // On D = {C(c)} (no A/B facts): every model satisfies ∀xA or ∀xB, so
+    // the UCQ A(c) ∨ B(c) is certain, while neither disjunct is — the
+    // disjunction property fails, i.e. O is not CQ-materializable. (And
+    // yet CQ evaluation is in PTIME: Theorem 3 fails without invariance
+    // under disjoint unions.)
+    let mut v = Vocab::new();
+    let e1 = example1(&mut v);
+    let (a, b, _) = e1.rels;
+    let c_rel = v.rel("C1x", 1);
+    let c = v.constant("c");
+    let d = Instance::from_facts(vec![Fact::consts(c_rel, &[c])]);
+    let engine = CertainEngine::new(1);
+    let mk = |rel| {
+        let mut bld = CqBuilder::new();
+        let x = bld.var("x");
+        bld.atom(rel, &[x]);
+        Ucq::from_cq(bld.build(vec![x]))
+    };
+    let qa = mk(a);
+    let qb = mk(b);
+    let t = gomq_core::Term::Const(c);
+    assert!(!engine
+        .certain(&e1.o_mat_ptime, &d, &qa, &[t], &mut v)
+        .is_certain());
+    assert!(!engine
+        .certain(&e1.o_mat_ptime, &d, &qb, &[t], &mut v)
+        .is_certain());
+    let both = vec![(qa, vec![t]), (qb, vec![t])];
+    assert!(engine
+        .certain_disjunction(&e1.o_mat_ptime, &d, &both, &mut v)
+        .is_certain());
+}
+
+#[test]
+fn o_ucq_cq_diverges_between_cq_and_ucq() {
+    // Lemma 3's shape on a concrete instance D = {F(c)} (F fresh): every
+    // model satisfies ∀x(A ∨ B) or contains an E-element. The UCQ
+    // q_A(c) ∨ q_B(c) ∨ ∃x E(x) is certain; each CQ alone is not.
+    let mut v = Vocab::new();
+    let e1 = example1(&mut v);
+    let (a, b, e) = e1.rels;
+    let f_rel = v.rel("F1x", 1);
+    let c = v.constant("c");
+    let d = Instance::from_facts(vec![Fact::consts(f_rel, &[c])]);
+    let engine = CertainEngine::new(1);
+    let t = gomq_core::Term::Const(c);
+    let mk_unary = |rel| {
+        let mut bld = CqBuilder::new();
+        let x = bld.var("x");
+        bld.atom(rel, &[x]);
+        Ucq::from_cq(bld.build(vec![x]))
+    };
+    let mut bool_e = CqBuilder::new();
+    let xe = bool_e.var("x");
+    bool_e.atom(e, &[xe]);
+    let qe = Ucq::from_cq(bool_e.build(vec![]));
+    let qa = mk_unary(a);
+    let qb = mk_unary(b);
+    // No single CQ is certain.
+    assert!(!engine.certain(&e1.o_ucq_cq, &d, &qa, &[t], &mut v).is_certain());
+    assert!(!engine.certain(&e1.o_ucq_cq, &d, &qb, &[t], &mut v).is_certain());
+    assert!(!engine.certain(&e1.o_ucq_cq, &d, &qe, &[], &mut v).is_certain());
+    // The disjunction is certain: the UCQ sees what no CQ sees.
+    let disj = vec![(qa, vec![t]), (qb, vec![t]), (qe, vec![])];
+    assert!(engine
+        .certain_disjunction(&e1.o_ucq_cq, &d, &disj, &mut v)
+        .is_certain());
+}
+
+#[test]
+fn o_ucq_cq_reflects_disjoint_union_failure() {
+    // D′₁ = {E(a)} and D′₂ = {F(b)}: the union models O_UCQ/CQ, yet D′₂
+    // alone refutes it (reflection fails).
+    let mut v = Vocab::new();
+    let e1 = example1(&mut v);
+    let (_, _, e) = e1.rels;
+    let f_rel = v.rel("F1y", 1);
+    let ca = v.constant("da");
+    let cb = v.constant("db");
+    let d1 = Instance::from_facts(vec![Fact::consts(e, &[ca])]);
+    let d2 = Instance::from_facts(vec![Fact::consts(f_rel, &[cb])]);
+    let union = d1.union(&d2);
+    assert!(satisfies_ontology(&union, &e1.o_ucq_cq));
+    assert!(!satisfies_ontology(&d2, &e1.o_ucq_cq));
+}

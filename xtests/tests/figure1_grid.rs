@@ -1,0 +1,231 @@
+//! Figure 1 as a test: representative ontologies for every fragment in
+//! the figure, with the classifier assigning the paper's zone.
+
+use gomq_core::Vocab;
+use gomq_logic::fragment::{best_zone, classify, Fragment, Zone};
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+
+const X: LVar = LVar(0);
+const Y: LVar = LVar(1);
+
+fn names() -> Vec<String> {
+    vec!["x".into(), "y".into()]
+}
+
+/// uGF(1): depth 1, equality only as the outer guard.
+fn ugf1(v: &mut Vocab) -> GfOntology {
+    let a = v.rel("A", 1);
+    let r = v.rel("R", 2);
+    GfOntology::from_ugf(vec![UgfSentence::forall_one(
+        X,
+        Formula::implies(
+            Formula::unary(a, X),
+            Formula::Exists {
+                qvars: vec![Y],
+                guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                body: Box::new(Formula::True),
+            },
+        ),
+        names(),
+    )])
+}
+
+/// uGF⁻(1,=): adds non-guard equality, keeps outer equality guards.
+fn ugf_minus_1_eq(v: &mut Vocab) -> GfOntology {
+    let r = v.rel("R", 2);
+    GfOntology::from_ugf(vec![UgfSentence::forall_one(
+        X,
+        Formula::Exists {
+            qvars: vec![Y],
+            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+            body: Box::new(Formula::Not(Box::new(Formula::Eq(X, Y)))),
+        },
+        names(),
+    )])
+}
+
+/// uGF⁻₂(2): depth 2, two variables, outer equality guard, no equality.
+fn ugf_minus_2_2(v: &mut Vocab) -> GfOntology {
+    let a = v.rel("A", 1);
+    let r = v.rel("R", 2);
+    let inner = Formula::Exists {
+        qvars: vec![X],
+        guard: Guard::Atom { rel: r, args: vec![Y, X] },
+        body: Box::new(Formula::unary(a, X)),
+    };
+    GfOntology::from_ugf(vec![UgfSentence::forall_one(
+        X,
+        Formula::Exists {
+            qvars: vec![Y],
+            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+            body: Box::new(inner),
+        },
+        names(),
+    )])
+}
+
+/// uGC⁻₂(1,=): counting, depth 1, outer equality guard.
+fn ugc_minus_2_1_eq(v: &mut Vocab) -> GfOntology {
+    let a = v.rel("A", 1);
+    let r = v.rel("R", 2);
+    GfOntology::from_ugf(vec![UgfSentence::forall_one(
+        X,
+        Formula::implies(
+            Formula::unary(a, X),
+            Formula::CountExists {
+                n: 5,
+                qvar: Y,
+                guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                body: Box::new(Formula::True),
+            },
+        ),
+        names(),
+    )])
+}
+
+/// uGF₂(1,=): equality with a *relational* outer guard.
+fn ugf2_1_eq(v: &mut Vocab) -> GfOntology {
+    let r = v.rel("R", 2);
+    let s = v.rel("S", 2);
+    GfOntology::from_ugf(vec![UgfSentence::new(
+        vec![X, Y],
+        Guard::Atom { rel: r, args: vec![X, Y] },
+        Formula::Or(vec![
+            Formula::Eq(X, Y),
+            Formula::Exists {
+                qvars: vec![Y],
+                guard: Guard::Atom { rel: s, args: vec![X, Y] },
+                body: Box::new(Formula::True),
+            },
+        ]),
+        names(),
+    )])
+}
+
+/// uGF₂(2): depth 2 with a relational outer guard.
+fn ugf2_2(v: &mut Vocab) -> GfOntology {
+    let a = v.rel("A", 1);
+    let r = v.rel("R", 2);
+    let inner = Formula::Exists {
+        qvars: vec![X],
+        guard: Guard::Atom { rel: r, args: vec![Y, X] },
+        body: Box::new(Formula::unary(a, X)),
+    };
+    GfOntology::from_ugf(vec![UgfSentence::new(
+        vec![X, Y],
+        Guard::Atom { rel: r, args: vec![X, Y] },
+        Formula::Exists {
+            qvars: vec![X],
+            guard: Guard::Atom { rel: r, args: vec![Y, X] },
+            body: Box::new(inner),
+        },
+        names(),
+    )])
+}
+
+/// uGF₂(1,f): functions, depth 1, relational outer guard.
+fn ugf2_1_f(v: &mut Vocab) -> GfOntology {
+    let a = v.rel("A", 1);
+    let r = v.rel("R", 2);
+    let f = v.rel("F", 2);
+    let mut o = GfOntology::from_ugf(vec![UgfSentence::new(
+        vec![X, Y],
+        Guard::Atom { rel: r, args: vec![X, Y] },
+        Formula::unary(a, X),
+        names(),
+    )]);
+    o.declare_functional(f);
+    o
+}
+
+/// uGF⁻₂(2,f): the no-dichotomy corner.
+fn ugf_minus_2_2_f(v: &mut Vocab) -> GfOntology {
+    let mut o = ugf_minus_2_2(v);
+    let f = v.rel("F", 2);
+    o.declare_functional(f);
+    o
+}
+
+#[test]
+fn figure1_zones_are_reproduced() {
+    type Case = (&'static str, fn(&mut Vocab) -> GfOntology, Fragment, Zone);
+    let cases: Vec<Case> = vec![
+        ("uGF(1)", ugf1, Fragment::Ugf1, Zone::Dichotomy),
+        (
+            "uGF-(1,=)",
+            ugf_minus_1_eq,
+            Fragment::UgfMinus1Eq,
+            Zone::Dichotomy,
+        ),
+        (
+            "uGF-2(2)",
+            ugf_minus_2_2,
+            Fragment::UgfMinus2_2,
+            Zone::Dichotomy,
+        ),
+        (
+            "uGC-2(1,=)",
+            ugc_minus_2_1_eq,
+            Fragment::UgcMinus2_1Eq,
+            Zone::Dichotomy,
+        ),
+        ("uGF2(1,=)", ugf2_1_eq, Fragment::Ugf2_1Eq, Zone::CspHard),
+        ("uGF2(2)", ugf2_2, Fragment::Ugf2_2, Zone::CspHard),
+        ("uGF2(1,f)", ugf2_1_f, Fragment::Ugf2_1F, Zone::CspHard),
+        (
+            "uGF-2(2,f)",
+            ugf_minus_2_2_f,
+            Fragment::UgfMinus2_2F,
+            Zone::NoDichotomy,
+        ),
+    ];
+    for (name, build, expected_fragment, expected_zone) in cases {
+        let mut v = Vocab::new();
+        let o = build(&mut v);
+        let frags = classify(&o, &v);
+        assert_eq!(
+            frags.first().copied(),
+            Some(expected_fragment),
+            "{name}: tightest fragment (got {frags:?})"
+        );
+        assert_eq!(best_zone(&o, &v), expected_zone, "{name}: zone");
+    }
+}
+
+#[test]
+fn dl_fragments_map_into_figure1_via_translation() {
+    use gomq_dl::lang::dl_figure1_zone;
+    use gomq_dl::parser::parse_ontology;
+    use gomq_dl::translate::to_gf;
+    // GF-level zones after translation (Lemma 7 directions).
+    let gf_cases: &[(&str, &str, Zone)] = &[
+        // ALCHIQ depth 1 → uGC⁻₂(1,=) → dichotomy + decidable meta.
+        ("ALCHIQ d1", "A sub >=2 R.B\nrole R sub S\n", Zone::Dichotomy),
+        // ALCHI depth 2 → uGF⁻₂(2) → dichotomy.
+        ("ALCHI d2", "A sub ex R.(all S.B)\n", Zone::Dichotomy),
+    ];
+    for (name, text, zone) in gf_cases {
+        let mut v = Vocab::new();
+        let dl = parse_ontology(text, &mut v).expect("parses");
+        let gf = to_gf(&dl);
+        assert_eq!(best_zone(&gf, &v), *zone, "{name} (GF level)");
+    }
+    // DL-level zones (the figure's grey entries).
+    let dl_cases: &[(&str, &str, Zone)] = &[
+        ("ALCHIQ d1", "A sub >=2 R.B\nrole R sub S\n", Zone::Dichotomy),
+        ("ALCHIF d2", "A sub ex R.(all S.B)\nfunc(R)\n", Zone::Dichotomy),
+        ("ALCF` d2", "A sub ex R.(<=1 S.Top)\n", Zone::CspHard),
+        ("ALCIF` d2", "A sub ex R-.(<=1 S.Top)\n", Zone::NoDichotomy),
+        ("ALC d3", "A sub ex R.(ex R.(ex R.B))\n", Zone::CspHard),
+        (
+            "ALCF d3",
+            "A sub ex R.(ex R.(ex R.B))\nfunc(R)\n",
+            Zone::NoDichotomy,
+        ),
+    ];
+    for (name, text, zone) in dl_cases {
+        let mut v = Vocab::new();
+        let dl = parse_ontology(text, &mut v).expect("parses");
+        assert_eq!(dl_figure1_zone(&dl), *zone, "{name} (DL level)");
+    }
+}

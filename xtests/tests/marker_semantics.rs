@@ -1,0 +1,106 @@
+//! The Theorem-10 marker discipline, on its own: a marker is the concept
+//! `(= 1 P)` for an auxiliary relation `P` with `⊤ ⊑ ∃P.⊤`. Then
+//!
+//! * a marker can never be *preset positively* by an instance (a model may
+//!   always add a second `P`-successor),
+//! * it can be preset *negatively* (two explicit successors force ≥ 2),
+//! * and an ontology axiom `C ⊑ (= 1 P)` genuinely forces it — while
+//!   remaining invisible to conjunctive queries.
+
+use gomq_core::query::CqBuilder;
+use gomq_core::{Fact, Instance, Term, Ucq, Vocab};
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::translate::{concept_to_formula, to_gf};
+use gomq_dl::DlOntology;
+use gomq_logic::LVar;
+use gomq_reasoning::CertainEngine;
+
+/// The base ontology: `⊤ ⊑ ∃P.⊤` (and a trigger concept `C ⊑ (= 1 P)`).
+fn marker_setup(v: &mut Vocab) -> (gomq_logic::GfOntology, gomq_core::RelId, gomq_core::RelId) {
+    let p = v.rel("Pmk", 2);
+    let c = v.rel("Cmk", 1);
+    let mut dl = DlOntology::new();
+    dl.sub(Concept::Top, Concept::some(Role::new(p)));
+    dl.sub(Concept::Name(c), Concept::exactly_one(Role::new(p)));
+    (to_gf(&dl), p, c)
+}
+
+#[test]
+fn markers_cannot_be_preset_positively() {
+    let mut v = Vocab::new();
+    let (o, p, _) = marker_setup(&mut v);
+    let marker = concept_to_formula(&Concept::exactly_one(Role::new(p)), LVar(0));
+    // D = {P(a,b)}: one successor in the data, but a model may add more —
+    // the marker is NOT certain.
+    let a = v.constant("mk_a");
+    let b = v.constant("mk_b");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(p, &[a, b]));
+    let engine = CertainEngine::new(2);
+    let outcome = engine.certain_formula(&o, &d, &marker, LVar(0), Term::Const(a), &mut v);
+    assert!(!outcome.is_certain(), "(=1P) is never instance-forced");
+}
+
+#[test]
+fn markers_can_be_preset_negatively() {
+    let mut v = Vocab::new();
+    let (o, p, _) = marker_setup(&mut v);
+    let marker = concept_to_formula(&Concept::exactly_one(Role::new(p)), LVar(0));
+    // D = {P(a,b), P(a,b')}: two explicit successors refute the marker —
+    // its *negation* is certain.
+    let a = v.constant("mk2_a");
+    let b1 = v.constant("mk2_b1");
+    let b2 = v.constant("mk2_b2");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(p, &[a, b1]));
+    d.insert(Fact::consts(p, &[a, b2]));
+    let engine = CertainEngine::new(2);
+    let negated = gomq_logic::Formula::Not(Box::new(marker));
+    let outcome = engine.certain_formula(&o, &d, &negated, LVar(0), Term::Const(a), &mut v);
+    assert!(
+        outcome.is_certain(),
+        "two explicit P-successors make ¬(=1P) certain"
+    );
+}
+
+#[test]
+fn axioms_do_force_markers() {
+    let mut v = Vocab::new();
+    let (o, p, c) = marker_setup(&mut v);
+    let marker = concept_to_formula(&Concept::exactly_one(Role::new(p)), LVar(0));
+    // C ⊑ (= 1 P): on D = {C(a)} the marker IS certain.
+    let a = v.constant("mk3_a");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(c, &[a]));
+    let engine = CertainEngine::new(2);
+    let outcome = engine.certain_formula(&o, &d, &marker, LVar(0), Term::Const(a), &mut v);
+    assert!(outcome.is_certain(), "the axiom forces the marker");
+}
+
+#[test]
+fn markers_are_invisible_to_conjunctive_queries() {
+    // The CQ `∃y P(x,y)` cannot distinguish marked from unmarked elements:
+    // it is certain at *every* element (⊤ ⊑ ∃P.⊤), marked or not.
+    let mut v = Vocab::new();
+    let (o, p, c) = marker_setup(&mut v);
+    let a = v.constant("mk4_a");
+    let b = v.constant("mk4_b");
+    let pfree = v.rel("Dmk", 1);
+    let mut d = Instance::new();
+    d.insert(Fact::consts(c, &[a])); // marked
+    d.insert(Fact::consts(pfree, &[b])); // unmarked
+    let engine = CertainEngine::new(2);
+    let mut bq = CqBuilder::new();
+    let x = bq.var("x");
+    let y = bq.var("y");
+    bq.atom(p, &[x, y]);
+    let q = Ucq::from_cq(bq.build(vec![x]));
+    for elem in [a, b] {
+        assert!(
+            engine
+                .certain(&o, &d, &q, &[Term::Const(elem)], &mut v)
+                .is_certain(),
+            "∃y P(x,y) holds everywhere — the marker choice is invisible"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Definition 2 made executable: checking concrete interpretations for
+//! being materializations, and the chase producing one on Horn inputs.
+
+use gomq_core::{Fact, Instance, Vocab};
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::translate::to_gf;
+use gomq_dl::DlOntology;
+use gomq_reasoning::chase::{chase, ChaseConfig};
+use gomq_reasoning::materialize::{is_materialization, standard_candidates};
+use gomq_reasoning::CertainEngine;
+
+fn horn_setup(
+    v: &mut Vocab,
+) -> (
+    gomq_logic::GfOntology,
+    Instance,
+    gomq_core::RelId,
+    gomq_core::RelId,
+    gomq_core::RelId,
+) {
+    let a = v.rel("A", 1);
+    let b = v.rel("B", 1);
+    let r = v.rel("R", 2);
+    let mut dl = DlOntology::new();
+    dl.sub(
+        Concept::Name(a),
+        Concept::Exists(Role::new(r), Box::new(Concept::Name(b))),
+    );
+    let ca = v.constant("m0");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(a, &[ca]));
+    (to_gf(&dl), d, a, b, r)
+}
+
+#[test]
+fn chase_result_is_a_materialization() {
+    let mut v = Vocab::new();
+    let (o, d, ..) = horn_setup(&mut v);
+    let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+    let m = result.materialization().expect("deterministic").clone();
+    let engine = CertainEngine::new(2);
+    let queries = standard_candidates(&o, &d, &v);
+    assert!(is_materialization(&m, &o, &d, &queries, &engine, &mut v));
+}
+
+#[test]
+fn overcommitted_models_are_not_materializations() {
+    // Adding a non-certain fact (B at the named constant) makes the model
+    // answer queries that are not certain.
+    let mut v = Vocab::new();
+    let (o, d, _, b, _) = horn_setup(&mut v);
+    let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+    let mut m = result.materialization().expect("deterministic").clone();
+    let ca = v.constant("m0");
+    m.insert(Fact::consts(b, &[ca]));
+    let engine = CertainEngine::new(2);
+    let queries = standard_candidates(&o, &d, &v);
+    assert!(
+        !is_materialization(&m, &o, &d, &queries, &engine, &mut v),
+        "B(m0) is not certain, so the extended model over-answers"
+    );
+}
+
+#[test]
+fn non_models_are_not_materializations() {
+    // The instance itself is not a model of O (the ∃R.B witness is
+    // missing), so it cannot be a materialization.
+    let mut v = Vocab::new();
+    let (o, d, ..) = horn_setup(&mut v);
+    let engine = CertainEngine::new(2);
+    let queries = standard_candidates(&o, &d, &v);
+    assert!(!is_materialization(&d, &o, &d, &queries, &engine, &mut v));
+}
+
+#[test]
+fn no_interpretation_materializes_a_disjunctive_ontology() {
+    // A ⊑ B ⊔ C on D = {A(a)}: any model satisfies B(a) or C(a), but
+    // neither is certain — so no model can agree with the certain answers
+    // (Theorem 17 in miniature).
+    let mut v = Vocab::new();
+    let a = v.rel("A", 1);
+    let b = v.rel("B", 1);
+    let c = v.rel("C", 1);
+    let mut dl = DlOntology::new();
+    dl.sub(
+        Concept::Name(a),
+        Concept::Or(vec![Concept::Name(b), Concept::Name(c)]),
+    );
+    let o = to_gf(&dl);
+    let ca = v.constant("w");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(a, &[ca]));
+    let engine = CertainEngine::new(1);
+    let queries = standard_candidates(&o, &d, &v);
+    // Try both chase leaves: neither is a materialization.
+    let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+    assert_eq!(result.leaves.len(), 2);
+    for leaf in &result.leaves {
+        assert!(
+            !is_materialization(leaf, &o, &d, &queries, &engine, &mut v),
+            "each leaf decides the disjunction one way — not certain"
+        );
+    }
+}

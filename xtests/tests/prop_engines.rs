@@ -1,0 +1,173 @@
+//! Cross-engine property tests: the chase, the type-elimination
+//! rewriting and the SAT-based countermodel search must agree wherever
+//! their soundness domains overlap.
+
+use gomq_core::query::CqBuilder;
+use gomq_core::{Fact, Instance, Term, Ucq, Vocab};
+use gomq_dl::concept::{Concept, Role};
+use gomq_dl::translate::to_gf;
+use gomq_dl::DlOntology;
+use gomq_logic::eval::satisfies_ontology;
+use gomq_reasoning::chase::{chase, ChaseConfig};
+use gomq_reasoning::CertainEngine;
+use gomq_rewriting::types::ElementTypeSystem;
+use proptest::prelude::*;
+
+/// Random Horn-ALC ontologies over a tiny signature: conjunctions of
+/// axioms `A ⊑ B`, `A ⊑ ∃R.B`, `A ⊑ ∀R.B` (no disjunction, no negation —
+/// always materializable; acyclic name usage keeps the chase finite).
+#[derive(Clone, Debug)]
+enum HornAxiom {
+    Sub(u8, u8),
+    Exists(u8, u8),
+    Forall(u8, u8),
+}
+
+type HornCase = (Vec<HornAxiom>, Vec<(usize, usize)>, Vec<(usize, u8)>);
+
+fn horn_strategy() -> impl Strategy<Value = HornCase> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                (0u8..4, 0u8..4).prop_map(|(a, b)| HornAxiom::Sub(a, b)),
+                (0u8..4, 0u8..4).prop_map(|(a, b)| HornAxiom::Exists(a, b)),
+                (0u8..4, 0u8..4).prop_map(|(a, b)| HornAxiom::Forall(a, b)),
+            ],
+            1..4,
+        ),
+        prop::collection::vec((0usize..3, 0usize..3), 0..4),
+        prop::collection::vec((0usize..3, 0u8..4), 1..4),
+    )
+}
+
+fn realize(
+    axioms: &[HornAxiom],
+    edges: &[(usize, usize)],
+    labels: &[(usize, u8)],
+    v: &mut Vocab,
+) -> (gomq_logic::GfOntology, Instance, Vec<gomq_core::RelId>) {
+    let names: Vec<_> = (0..4).map(|i| v.rel(&format!("N{i}"), 1)).collect();
+    let r = v.rel("Rx", 2);
+    let mut dl = DlOntology::new();
+    for ax in axioms {
+        match ax {
+            // Only "forward" subsumptions a < b keep the chase acyclic.
+            HornAxiom::Sub(a, b) => {
+                let (a, b) = (*a.min(b) as usize, *a.max(b) as usize);
+                if a != b {
+                    dl.sub(Concept::Name(names[a]), Concept::Name(names[b]));
+                }
+            }
+            HornAxiom::Exists(a, b) => {
+                let (a, b) = (*a.min(b) as usize, *a.max(b) as usize);
+                if a != b {
+                    dl.sub(
+                        Concept::Name(names[a]),
+                        Concept::Exists(Role::new(r), Box::new(Concept::Name(names[b]))),
+                    );
+                }
+            }
+            HornAxiom::Forall(a, b) => {
+                let (a, b) = (*a.min(b) as usize, *a.max(b) as usize);
+                if a != b {
+                    dl.sub(
+                        Concept::Name(names[a]),
+                        Concept::Forall(Role::new(r), Box::new(Concept::Name(names[b]))),
+                    );
+                }
+            }
+        }
+    }
+    let consts: Vec<_> = (0..3).map(|i| v.constant(&format!("e{i}"))).collect();
+    let mut d = Instance::new();
+    for &(a, b) in edges {
+        if a != b {
+            d.insert(Fact::consts(r, &[consts[a], consts[b]]));
+        }
+    }
+    for &(a, n) in labels {
+        d.insert(Fact::consts(names[n as usize], &[consts[a]]));
+    }
+    (to_gf(&dl), d, names)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chase_and_engine_agree_on_horn((axioms, edges, labels) in horn_strategy()) {
+        let mut v = Vocab::new();
+        let (o, d, names) = realize(&axioms, &edges, &labels, &mut v);
+        let Ok(result) = chase(&o, &d, &mut v, ChaseConfig::default()) else {
+            // Chase did not terminate within budget: skip this case.
+            return Ok(());
+        };
+        let engine = CertainEngine::new(2);
+        // Compare certain answers to every atomic query.
+        for &rel in &names {
+            let mut b = CqBuilder::new();
+            let x = b.var("x");
+            b.atom(rel, &[x]);
+            let q = Ucq::from_cq(b.build(vec![x]));
+            let from_chase = result.certain_answers(&q, &d);
+            let from_engine = engine.certain_answers(&o, &d, &q, &mut v);
+            prop_assert_eq!(&from_chase, &from_engine, "relation {:?}", rel);
+        }
+    }
+
+    #[test]
+    fn types_and_engine_agree_on_horn((axioms, edges, labels) in horn_strategy()) {
+        let mut v = Vocab::new();
+        let (o, d, names) = realize(&axioms, &edges, &labels, &mut v);
+        let Ok(sys) = ElementTypeSystem::build(&o, &v) else {
+            return Ok(());
+        };
+        let engine = CertainEngine::new(2);
+        for &rel in &names {
+            let from_types = sys.certain_unary(&d, rel);
+            let mut b = CqBuilder::new();
+            let x = b.var("x");
+            b.atom(rel, &[x]);
+            let q = Ucq::from_cq(b.build(vec![x]));
+            let from_engine: std::collections::BTreeSet<Term> = engine
+                .certain_answers(&o, &d, &q, &mut v)
+                .into_iter()
+                .map(|t| t[0])
+                .collect();
+            prop_assert_eq!(&from_types, &from_engine, "relation {:?}", rel);
+        }
+    }
+
+    #[test]
+    fn chase_leaves_model_the_ontology((axioms, edges, labels) in horn_strategy()) {
+        let mut v = Vocab::new();
+        let (o, d, _) = realize(&axioms, &edges, &labels, &mut v);
+        if let Ok(result) = chase(&o, &d, &mut v, ChaseConfig::default()) {
+            for leaf in &result.leaves {
+                prop_assert!(satisfies_ontology(leaf, &o));
+                prop_assert!(leaf.models_instance(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn countermodels_are_genuine((axioms, edges, labels) in horn_strategy()) {
+        let mut v = Vocab::new();
+        let (o, d, names) = realize(&axioms, &edges, &labels, &mut v);
+        let engine = CertainEngine::new(1);
+        let rel = names[0];
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom(rel, &[x]);
+        let q = Ucq::from_cq(b.build(vec![x]));
+        for elem in d.dom() {
+            if let gomq_reasoning::CertainOutcome::NotCertain(m) =
+                engine.certain(&o, &d, &q, &[elem], &mut v)
+            {
+                prop_assert!(satisfies_ontology(&m, &o), "countermodel models O");
+                prop_assert!(m.models_instance(&d), "countermodel contains D");
+                prop_assert!(!q.holds(&m, &[elem]), "countermodel refutes the query");
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Two robustness checks across the stack:
+//!
+//! * the guarded fragment is not binary — ternary guards flow through the
+//!   chase and the countermodel engine (uGF(1) with three variables, the
+//!   dichotomy fragment the paper contrasts with uGF⁻(2));
+//! * the Scott-style depth reduction of §2.1 is a *conservative
+//!   extension*: certain answers over the original signature are
+//!   preserved (checked empirically with the engine).
+
+use gomq_core::query::CqBuilder;
+use gomq_core::{Fact, Instance, Term, Ucq, Vocab};
+use gomq_logic::scott::reduce_to_depth1;
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+use gomq_reasoning::chase::{chase, ChaseConfig};
+use gomq_reasoning::CertainEngine;
+
+#[test]
+fn ternary_rotation_ontology() {
+    // O = { ∀xyz(W(x,y,z) → W(y,z,x)) }: Horn with a ternary guard; the
+    // rotation closure is certain.
+    let mut v = Vocab::new();
+    let w = v.rel("W", 3);
+    let (x, y, z) = (LVar(0), LVar(1), LVar(2));
+    let o = GfOntology::from_ugf(vec![UgfSentence::new(
+        vec![x, y, z],
+        Guard::Atom { rel: w, args: vec![x, y, z] },
+        Formula::Atom { rel: w, args: vec![y, z, x] },
+        vec!["x".into(), "y".into(), "z".into()],
+    )]);
+    let a = v.constant("t_a");
+    let b = v.constant("t_b");
+    let c = v.constant("t_c");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(w, &[a, b, c]));
+    // Chase: terminates with the 3 rotations.
+    let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+    let m = result.materialization().expect("deterministic");
+    assert_eq!(m.len(), 3);
+    assert!(m.contains(&Fact::consts(w, &[b, c, a])));
+    assert!(m.contains(&Fact::consts(w, &[c, a, b])));
+    // Engine: the rotated atom is a certain answer; the transposition is not.
+    let engine = CertainEngine::new(1);
+    let mut bq = CqBuilder::new();
+    let (qx, qy, qz) = (bq.var("x"), bq.var("y"), bq.var("z"));
+    bq.atom(w, &[qx, qy, qz]);
+    let q = Ucq::from_cq(bq.build(vec![qx, qy, qz]));
+    let rot = [Term::Const(b), Term::Const(c), Term::Const(a)];
+    let swap = [Term::Const(b), Term::Const(a), Term::Const(c)];
+    assert!(engine.certain(&o, &d, &q, &rot, &mut v).is_certain());
+    assert!(!engine.certain(&o, &d, &q, &swap, &mut v).is_certain());
+}
+
+#[test]
+fn ternary_existential_witnesses() {
+    // O = { ∀xy(R(x,y) → ∃z(W(x,y,z) ∧ A(z))) }: a ternary witness atom.
+    let mut v = Vocab::new();
+    let r = v.rel("R", 2);
+    let w = v.rel("W", 3);
+    let a_rel = v.rel("A", 1);
+    let (x, y, z) = (LVar(0), LVar(1), LVar(2));
+    let o = GfOntology::from_ugf(vec![UgfSentence::new(
+        vec![x, y],
+        Guard::Atom { rel: r, args: vec![x, y] },
+        Formula::Exists {
+            qvars: vec![z],
+            guard: Guard::Atom { rel: w, args: vec![x, y, z] },
+            body: Box::new(Formula::unary(a_rel, z)),
+        },
+        vec!["x".into(), "y".into(), "z".into()],
+    )]);
+    let ca = v.constant("w_a");
+    let cb = v.constant("w_b");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(r, &[ca, cb]));
+    let engine = CertainEngine::new(2);
+    // Boolean: ∃z W(a,b,z) ∧ A(z) is certain.
+    let mut bq = CqBuilder::new();
+    let (qx, qy, qz) = (bq.var("x"), bq.var("y"), bq.var("z"));
+    bq.atom(w, &[qx, qy, qz]).atom(a_rel, &[qz]);
+    let q = Ucq::from_cq(bq.build(vec![qx, qy]));
+    assert!(engine
+        .certain(&o, &d, &q, &[Term::Const(ca), Term::Const(cb)], &mut v)
+        .is_certain());
+    // Chase agrees.
+    let result = chase(&o, &d, &mut v, ChaseConfig::default()).expect("terminates");
+    let ans = result.certain_answers(&q, &d);
+    assert!(ans.contains(&vec![Term::Const(ca), Term::Const(cb)]));
+}
+
+#[test]
+fn scott_reduction_preserves_certain_answers() {
+    // Depth-3 chain requirement: A(x) → ∃∃∃ (R-path of length 3 ending in
+    // B). The depth-1 conservative extension must give the same certain
+    // answers over the original signature.
+    let mut v = Vocab::new();
+    let a_rel = v.rel("A", 1);
+    let b_rel = v.rel("B", 1);
+    let r = v.rel("R", 2);
+    let (x, y, z, u) = (LVar(0), LVar(1), LVar(2), LVar(3));
+    let chain3 = Formula::Exists {
+        qvars: vec![y],
+        guard: Guard::Atom { rel: r, args: vec![x, y] },
+        body: Box::new(Formula::Exists {
+            qvars: vec![z],
+            guard: Guard::Atom { rel: r, args: vec![y, z] },
+            body: Box::new(Formula::Exists {
+                qvars: vec![u],
+                guard: Guard::Atom { rel: r, args: vec![z, u] },
+                body: Box::new(Formula::unary(b_rel, u)),
+            }),
+        }),
+    };
+    let o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
+        x,
+        Formula::implies(Formula::unary(a_rel, x), chain3),
+        vec!["x".into(), "y".into(), "z".into(), "u".into()],
+    )]);
+    let o1 = reduce_to_depth1(&o, &mut v);
+    assert!(gomq_logic::depth::ontology_depth(&o1) <= 1);
+    // Instance: one A element, plus a partial path.
+    let c0 = v.constant("s0");
+    let c1 = v.constant("s1");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(a_rel, &[c0]));
+    d.insert(Fact::consts(r, &[c0, c1]));
+    let engine = CertainEngine::new(3);
+    // Queries over the ORIGINAL signature only.
+    let queries: Vec<Ucq> = {
+        let mut out = Vec::new();
+        for rel in [a_rel, b_rel] {
+            let mut bq = CqBuilder::new();
+            let qx = bq.var("x");
+            bq.atom(rel, &[qx]);
+            out.push(Ucq::from_cq(bq.build(vec![qx])));
+        }
+        // Boolean: an R-path of length 3 into B exists.
+        let mut bq = CqBuilder::new();
+        let (p0, p1, p2, p3) = (bq.var("p0"), bq.var("p1"), bq.var("p2"), bq.var("p3"));
+        bq.atom(r, &[p0, p1])
+            .atom(r, &[p1, p2])
+            .atom(r, &[p2, p3])
+            .atom(b_rel, &[p3]);
+        out.push(Ucq::from_cq(bq.build(vec![])));
+        out
+    };
+    for (i, q) in queries.iter().enumerate() {
+        if q.arity() == 0 {
+            assert_eq!(
+                engine.certain(&o, &d, q, &[], &mut v).is_certain(),
+                engine.certain(&o1, &d, q, &[], &mut v).is_certain(),
+                "boolean query {i}"
+            );
+        } else {
+            assert_eq!(
+                engine.certain_answers(&o, &d, q, &mut v),
+                engine.certain_answers(&o1, &d, q, &mut v),
+                "query {i}"
+            );
+        }
+    }
+    // And the depth-3 consequence really is certain in both.
+    assert!(engine
+        .certain(&o, &d, &queries[2], &[], &mut v)
+        .is_certain());
+}

@@ -1,0 +1,114 @@
+//! Transitive roles — the extension named in the paper's conclusion as
+//! future work ("add the ability to declare in an ontology that a binary
+//! relation is transitive"). Transitivity is outside GF and outside every
+//! Figure-1 fragment, but the model checker and the countermodel engine
+//! support it, so certain answers can be computed and the classifier
+//! correctly refuses to place such ontologies in the figure.
+
+use gomq_core::query::CqBuilder;
+use gomq_core::{Fact, Instance, Term, Ucq, Vocab};
+use gomq_logic::eval::{is_transitive_in, satisfies_ontology};
+use gomq_logic::fragment::{best_zone, classify, Zone};
+use gomq_logic::{Formula, GfOntology, Guard, LVar, UgfSentence};
+use gomq_reasoning::CertainEngine;
+
+#[test]
+fn transitive_closure_is_certain() {
+    // O = { trans(partOf) }, D = a partOf-chain: the composed edges are
+    // certain answers, the reversed ones are not.
+    let mut v = Vocab::new();
+    let part_of = v.rel("partOf", 2);
+    let mut o = GfOntology::new();
+    o.declare_transitive(part_of);
+    let a = v.constant("finger");
+    let b = v.constant("hand");
+    let c = v.constant("arm");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(part_of, &[a, b]));
+    d.insert(Fact::consts(part_of, &[b, c]));
+    let engine = CertainEngine::new(1);
+    let mut bq = CqBuilder::new();
+    let x = bq.var("x");
+    let y = bq.var("y");
+    bq.atom(part_of, &[x, y]);
+    let q = Ucq::from_cq(bq.build(vec![x, y]));
+    assert!(engine
+        .certain(&o, &d, &q, &[Term::Const(a), Term::Const(c)], &mut v)
+        .is_certain());
+    assert!(!engine
+        .certain(&o, &d, &q, &[Term::Const(c), Term::Const(a)], &mut v)
+        .is_certain());
+}
+
+#[test]
+fn transitivity_interacts_with_value_restrictions() {
+    // trans(R) + ∀xy(R(x,y) → (A(x) → A(y))) over a chain: with the
+    // transitive closure forced, A still propagates to the end — and
+    // R(start, end) itself becomes certain.
+    let mut v = Vocab::new();
+    let r = v.rel("Rt", 2);
+    let a_rel = v.rel("At", 1);
+    let (x, y) = (LVar(0), LVar(1));
+    let mut o = GfOntology::from_ugf(vec![UgfSentence::new(
+        vec![x, y],
+        Guard::Atom { rel: r, args: vec![x, y] },
+        Formula::implies(Formula::unary(a_rel, x), Formula::unary(a_rel, y)),
+        vec!["x".into(), "y".into()],
+    )]);
+    o.declare_transitive(r);
+    let c0 = v.constant("t0");
+    let c1 = v.constant("t1");
+    let c2 = v.constant("t2");
+    let mut d = Instance::new();
+    d.insert(Fact::consts(a_rel, &[c0]));
+    d.insert(Fact::consts(r, &[c0, c1]));
+    d.insert(Fact::consts(r, &[c1, c2]));
+    let engine = CertainEngine::new(1);
+    let mut bq = CqBuilder::new();
+    let qx = bq.var("x");
+    bq.atom(a_rel, &[qx]);
+    let q = Ucq::from_cq(bq.build(vec![qx]));
+    let answers = engine.certain_answers(&o, &d, &q, &mut v);
+    assert_eq!(answers.len(), 3, "A propagates along the whole chain");
+}
+
+#[test]
+fn model_checker_validates_transitivity() {
+    let mut v = Vocab::new();
+    let r = v.rel("Rm", 2);
+    let mut o = GfOntology::new();
+    o.declare_transitive(r);
+    let a = v.constant("m0");
+    let b = v.constant("m1");
+    let c = v.constant("m2");
+    let mut chain = Instance::new();
+    chain.insert(Fact::consts(r, &[a, b]));
+    chain.insert(Fact::consts(r, &[b, c]));
+    assert!(!is_transitive_in(&chain, r));
+    assert!(!satisfies_ontology(&chain, &o));
+    let mut closed = chain.clone();
+    closed.insert(Fact::consts(r, &[a, c]));
+    assert!(is_transitive_in(&closed, r));
+    assert!(satisfies_ontology(&closed, &o));
+}
+
+#[test]
+fn transitivity_is_outside_figure_1() {
+    let mut v = Vocab::new();
+    let r = v.rel("Rf", 2);
+    let mut o = GfOntology::new();
+    o.declare_transitive(r);
+    assert!(classify(&o, &v).is_empty());
+    assert_eq!(best_zone(&o, &v), Zone::Unknown);
+    // And the PTIME machineries refuse it rather than answering wrongly.
+    assert!(gomq_rewriting::types::ElementTypeSystem::build(&o, &v).is_err());
+    let d = {
+        let a = v.constant("f0");
+        let b = v.constant("f1");
+        Instance::from_facts(vec![Fact::consts(r, &[a, b])])
+    };
+    assert!(matches!(
+        gomq_reasoning::chase::chase(&o, &d, &mut v, Default::default()),
+        Err(gomq_reasoning::ChaseError::Unsupported(_))
+    ));
+}
