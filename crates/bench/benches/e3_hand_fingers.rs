@@ -23,11 +23,8 @@ fn bench(c: &mut Criterion) {
                 let x = bld.var("x");
                 bld.atom(thumb, &[x]);
                 let q = Ucq::from_cq(bld.build(vec![x]));
-                let queries: Vec<(Ucq, Vec<Term>)> = d
-                    .dom()
-                    .into_iter()
-                    .map(|t| (q.clone(), vec![t]))
-                    .collect();
+                let queries: Vec<(Ucq, Vec<Term>)> =
+                    d.dom().into_iter().map(|t| (q.clone(), vec![t])).collect();
                 let certain = engine
                     .certain_disjunction(&union, &d, &queries, &mut v)
                     .is_certain();

@@ -13,17 +13,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for k in [2usize, 3] {
         for n in [11usize, 31] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{k}col_solve"), n),
-                &n,
-                |b, &n| {
-                    let mut v = Vocab::new();
-                    let t = Template::k_coloring(k, &mut v).with_precoloring(&mut v);
-                    let edge = v.find_rel("edge").expect("edge");
-                    let d = cycle_instance(edge, n, "cy", &mut v);
-                    b.iter(|| std::hint::black_box(solve_csp(&d, &t).is_some()))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{k}col_solve"), n), &n, |b, &n| {
+                let mut v = Vocab::new();
+                let t = Template::k_coloring(k, &mut v).with_precoloring(&mut v);
+                let edge = v.find_rel("edge").expect("edge");
+                let d = cycle_instance(edge, n, "cy", &mut v);
+                b.iter(|| std::hint::black_box(solve_csp(&d, &t).is_some()))
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("{k}col_via_omq"), n),
                 &n,

@@ -36,8 +36,8 @@ fn bench(c: &mut Criterion) {
                     BouquetConfig {
                         max_outdegree: 1,
                         max_bouquets: 5_000,
-                include_loops: false,
-            },
+                        include_loops: false,
+                    },
                     &mut v,
                 );
                 assert!(verdict.ptime);

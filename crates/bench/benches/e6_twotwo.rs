@@ -31,8 +31,7 @@ fn bench(c: &mut Criterion) {
                     let mut d0 = Instance::new();
                     d0.insert(Fact::consts(a, &[ca]));
                     let phi = random_formula(vars, clauses, 7);
-                    let gadget =
-                        build_gadget(&phi, &d0, Term::Const(ca), b_rel, c_rel, &mut v);
+                    let gadget = build_gadget(&phi, &d0, Term::Const(ca), b_rel, c_rel, &mut v);
                     let engine = CertainEngine::new(1);
                     let certain = engine
                         .certain(&o, &gadget.instance, &gadget.query, &[], &mut v)

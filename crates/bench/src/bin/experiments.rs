@@ -3,7 +3,9 @@
 //!
 //! Run with `cargo run -p gomq-bench --bin experiments --release`.
 
-use gomq_bench::{cycle_instance, hand_instance, hand_ontologies, horn_chain_ontology, propagation_instance};
+use gomq_bench::{
+    cycle_instance, hand_instance, hand_ontologies, horn_chain_ontology, propagation_instance,
+};
 use gomq_core::query::CqBuilder;
 use gomq_core::{Term, Ucq, Vocab};
 use gomq_corpus::{generate_corpus, survey, CorpusSpec};
@@ -14,14 +16,16 @@ use gomq_csp::Template;
 use gomq_meta::bouquet::BouquetConfig;
 use gomq_meta::decide::decide_ptime;
 use gomq_meta::examples::{counter_chain, counter_ontology, example7, example7_instance};
-use gomq_reasoning::materialize::{atomic_candidates, boolean_candidates, find_disjunction_witness};
+use gomq_reasoning::materialize::{
+    atomic_candidates, boolean_candidates, find_disjunction_witness,
+};
 use gomq_reasoning::unravel::{unravel, UnravelKind};
 use gomq_reasoning::CertainEngine;
 use gomq_rewriting::emit::emit_datalog;
 use gomq_rewriting::types::ElementTypeSystem;
 use gomq_tm::runfit::{run_fitting, PartialConfig, PartialRun};
-use gomq_tm::twotwo::{build_gadget, random_formula};
 use gomq_tm::tiling_onto::build_grid_ontology;
+use gomq_tm::twotwo::{build_gadget, random_formula};
 use gomq_tm::{Machine, TilingSystem};
 use std::time::Instant;
 
@@ -95,11 +99,8 @@ fn e3_hand_fingers() {
         let x = b.var("x");
         b.atom(thumb, &[x]);
         let q = Ucq::from_cq(b.build(vec![x]));
-        let fingers: Vec<(Ucq, Vec<Term>)> = d
-            .dom()
-            .into_iter()
-            .map(|t| (q.clone(), vec![t]))
-            .collect();
+        let fingers: Vec<(Ucq, Vec<Term>)> =
+            d.dom().into_iter().map(|t| (q.clone(), vec![t])).collect();
         let wu = engine
             .certain_disjunction(&union, &d, &fingers, &mut v)
             .is_certain();
@@ -124,7 +125,12 @@ fn e4_csp() {
         let mut total = 0;
         let t0 = Instant::now();
         for n in 3..=8 {
-            let d = cycle_instance(v.find_rel("edge").expect("edge"), n, &format!("c{k}_{n}_"), &mut v);
+            let d = cycle_instance(
+                v.find_rel("edge").expect("edge"),
+                n,
+                &format!("c{k}_{n}_"),
+                &mut v,
+            );
             let (hom, _) = solve_csp_with_stats(&d, &t);
             let direct = hom.is_some();
             let via_omq = !omq_certain_via_csp(&d, &t, &enc);
@@ -158,7 +164,10 @@ fn e5_meta() {
         let mut dl = DlOntology::new();
         if name == "horn" {
             let r = Role::new(v.rel("R", 2));
-            dl.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b))));
+            dl.sub(
+                Concept::Name(a),
+                Concept::Exists(r, Box::new(Concept::Name(b))),
+            );
         } else {
             dl.sub(
                 Concept::Name(a),
@@ -346,7 +355,11 @@ fn e10_example7() {
     let w = find_disjunction_witness(&e.onto, &d, &cands, &engine, &mut v);
     println!(
         "   witness on D = {{S(a,a), R(a,a)}}: {} ({:?})",
-        if w.is_some() { "found (not materializable)" } else { "NOT found" },
+        if w.is_some() {
+            "found (not materializable)"
+        } else {
+            "NOT found"
+        },
         t0.elapsed()
     );
 }
@@ -372,15 +385,15 @@ fn e11_counter() {
                 b.atom(rel, &[x]);
                 Ucq::from_cq(b.build(vec![x]))
             };
-            let queries = vec![
-                (mk(f.b[0]), vec![head]),
-                (mk(f.b[1]), vec![head]),
-            ];
+            let queries = vec![(mk(f.b[0]), vec![head]), (mk(f.b[1]), vec![head])];
             let t0 = Instant::now();
             let certain = engine
                 .certain_disjunction(&f.onto, &d, &queries, &mut v)
                 .is_certain();
-            results.push(format!("len {len}: disjunction={certain} ({:?})", t0.elapsed()));
+            results.push(format!(
+                "len {len}: disjunction={certain} ({:?})",
+                t0.elapsed()
+            ));
         }
         println!("   n={n} (2ⁿ = {full}): {}", results.join("; "));
     }

@@ -33,7 +33,10 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                         Formula::unary(a, X),
                         Formula::Exists {
                             qvars: vec![Y],
-                            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                            guard: Guard::Atom {
+                                rel: r,
+                                args: vec![X, Y],
+                            },
                             body: Box::new(Formula::True),
                         },
                     ),
@@ -49,7 +52,10 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                     X,
                     Formula::Exists {
                         qvars: vec![Y],
-                        guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                        guard: Guard::Atom {
+                            rel: r,
+                            args: vec![X, Y],
+                        },
                         body: Box::new(Formula::Not(Box::new(Formula::Eq(X, Y)))),
                     },
                     nm(),
@@ -63,14 +69,20 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                 let r = v.rel("R", 2);
                 let inner = Formula::Exists {
                     qvars: vec![X],
-                    guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![Y, X],
+                    },
                     body: Box::new(Formula::unary(a, X)),
                 };
                 GfOntology::from_ugf(vec![UgfSentence::forall_one(
                     X,
                     Formula::Exists {
                         qvars: vec![Y],
-                        guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                        guard: Guard::Atom {
+                            rel: r,
+                            args: vec![X, Y],
+                        },
                         body: Box::new(inner),
                     },
                     nm(),
@@ -89,7 +101,10 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                         Formula::CountExists {
                             n: 5,
                             qvar: Y,
-                            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                            guard: Guard::Atom {
+                                rel: r,
+                                args: vec![X, Y],
+                            },
                             body: Box::new(Formula::True),
                         },
                     ),
@@ -104,12 +119,18 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                 let s = v.rel("S", 2);
                 GfOntology::from_ugf(vec![UgfSentence::new(
                     vec![X, Y],
-                    Guard::Atom { rel: r, args: vec![X, Y] },
+                    Guard::Atom {
+                        rel: r,
+                        args: vec![X, Y],
+                    },
                     Formula::Or(vec![
                         Formula::Eq(X, Y),
                         Formula::Exists {
                             qvars: vec![Y],
-                            guard: Guard::Atom { rel: s, args: vec![X, Y] },
+                            guard: Guard::Atom {
+                                rel: s,
+                                args: vec![X, Y],
+                            },
                             body: Box::new(Formula::True),
                         },
                     ]),
@@ -124,15 +145,24 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                 let r = v.rel("R", 2);
                 let inner = Formula::Exists {
                     qvars: vec![X],
-                    guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![Y, X],
+                    },
                     body: Box::new(Formula::unary(a, X)),
                 };
                 GfOntology::from_ugf(vec![UgfSentence::new(
                     vec![X, Y],
-                    Guard::Atom { rel: r, args: vec![X, Y] },
+                    Guard::Atom {
+                        rel: r,
+                        args: vec![X, Y],
+                    },
                     Formula::Exists {
                         qvars: vec![X],
-                        guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                        guard: Guard::Atom {
+                            rel: r,
+                            args: vec![Y, X],
+                        },
                         body: Box::new(inner),
                     },
                     nm(),
@@ -147,7 +177,10 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                 let f = v.rel("F", 2);
                 let mut o = GfOntology::from_ugf(vec![UgfSentence::new(
                     vec![X, Y],
-                    Guard::Atom { rel: r, args: vec![X, Y] },
+                    Guard::Atom {
+                        rel: r,
+                        args: vec![X, Y],
+                    },
                     Formula::unary(a, X),
                     nm(),
                 )]);
@@ -163,14 +196,20 @@ fn representatives() -> Vec<(&'static str, Builder)> {
                 let f = v.rel("F", 2);
                 let inner = Formula::Exists {
                     qvars: vec![X],
-                    guard: Guard::Atom { rel: r, args: vec![Y, X] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![Y, X],
+                    },
                     body: Box::new(Formula::unary(a, X)),
                 };
                 let mut o = GfOntology::from_ugf(vec![UgfSentence::forall_one(
                     X,
                     Formula::Exists {
                         qvars: vec![Y],
-                        guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                        guard: Guard::Atom {
+                            rel: r,
+                            args: vec![X, Y],
+                        },
                         body: Box::new(inner),
                     },
                     nm(),

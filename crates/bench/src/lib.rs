@@ -52,20 +52,12 @@ pub fn horn_chain_ontology(k: usize, vocab: &mut Vocab) -> (GfOntology, Vec<RelI
     for w in names.windows(2) {
         dl.sub(Concept::Name(w[0]), Concept::Name(w[1]));
     }
-    dl.sub(
-        Concept::Name(names[k]),
-        Concept::some(Role::new(r)),
-    );
+    dl.sub(Concept::Name(names[k]), Concept::some(Role::new(r)));
     (to_gf(&dl), names, r)
 }
 
 /// An `R`-path instance with `C₀` at the start and propagation edges.
-pub fn propagation_instance(
-    len: usize,
-    start: RelId,
-    r: RelId,
-    vocab: &mut Vocab,
-) -> Instance {
+pub fn propagation_instance(len: usize, start: RelId, r: RelId, vocab: &mut Vocab) -> Instance {
     let mut d = Instance::new();
     let c0 = vocab.constant("bp0");
     d.insert(Fact::consts(start, &[c0]));

@@ -51,9 +51,8 @@ pub fn guarded_bisimulation(a: &Interpretation, b: &Interpretation) -> Vec<PartI
     loop {
         let before = candidates.len();
         let snapshot = candidates.clone();
-        candidates.retain(|p| {
-            forth_ok(a, b, p, &ga, &snapshot) && back_ok(a, b, p, &gb, &snapshot)
-        });
+        candidates
+            .retain(|p| forth_ok(a, b, p, &ga, &snapshot) && back_ok(a, b, p, &gb, &snapshot));
         if candidates.len() == before {
             return candidates;
         }
@@ -255,10 +254,8 @@ mod tests {
         let plain = Interpretation::from_facts(vec![Fact::consts(r, &[a, b])]);
         let c = v.constant("c");
         let d = v.constant("d");
-        let labelled = Interpretation::from_facts(vec![
-            Fact::consts(r, &[c, d]),
-            Fact::consts(p, &[d]),
-        ]);
+        let labelled =
+            Interpretation::from_facts(vec![Fact::consts(r, &[c, d]), Fact::consts(p, &[d])]);
         assert!(!guarded_bisimilar(
             &plain,
             &[Term::Const(a), Term::Const(b)],
@@ -286,10 +283,8 @@ mod tests {
         let a = v.constant("pa");
         let b = v.constant("pb");
         let c = v.constant("pc");
-        let path = Interpretation::from_facts(vec![
-            Fact::consts(r, &[a, b]),
-            Fact::consts(r, &[b, c]),
-        ]);
+        let path =
+            Interpretation::from_facts(vec![Fact::consts(r, &[a, b]), Fact::consts(r, &[b, c])]);
         let (ta, tb, tc) = (Term::Const(a), Term::Const(b), Term::Const(c));
         assert!(!guarded_bisimilar(&path, &[ta, tb], &path, &[tb, tc]));
     }

@@ -26,10 +26,7 @@ pub fn guarded_sets(a: &Interpretation) -> BTreeSet<BTreeSet<Term>> {
 pub fn maximal_guarded_sets(a: &Interpretation) -> Vec<BTreeSet<Term>> {
     let all: Vec<BTreeSet<Term>> = guarded_sets(a).into_iter().collect();
     all.iter()
-        .filter(|g| {
-            !all.iter()
-                .any(|h| h.len() > g.len() && g.is_subset(h))
-        })
+        .filter(|g| !all.iter().any(|h| h.len() > g.len() && g.is_subset(h)))
         .cloned()
         .collect()
 }
@@ -40,8 +37,7 @@ pub fn is_guarded_tuple(a: &Interpretation, tuple: &[Term]) -> bool {
     if set.len() <= 1 {
         return tuple.iter().all(|t| a.dom().contains(t));
     }
-    a.iter()
-        .any(|f| set.iter().all(|t| f.args.contains(t)))
+    a.iter().any(|f| set.iter().all(|t| f.args.contains(t)))
 }
 
 /// The Gaifman graph of an interpretation: vertices are domain elements,
@@ -66,10 +62,7 @@ pub fn gaifman_graph(a: &Interpretation) -> BTreeMap<Term, BTreeSet<Term>> {
 
 /// BFS distances in the Gaifman graph from a set of sources. Unreachable
 /// elements are absent from the returned map (distance ∞).
-pub fn distances_from(
-    a: &Interpretation,
-    sources: &BTreeSet<Term>,
-) -> BTreeMap<Term, usize> {
+pub fn distances_from(a: &Interpretation, sources: &BTreeSet<Term>) -> BTreeMap<Term, usize> {
     let g = gaifman_graph(a);
     let mut dist: BTreeMap<Term, usize> = BTreeMap::new();
     let mut queue: VecDeque<Term> = VecDeque::new();
@@ -184,10 +177,8 @@ mod tests {
         let a = v.constant("a");
         let b = v.constant("b");
         let c = v.constant("c");
-        let i = Interpretation::from_facts(vec![
-            Fact::consts(e, &[a, b]),
-            Fact::consts(e, &[b, c]),
-        ]);
+        let i =
+            Interpretation::from_facts(vec![Fact::consts(e, &[a, b]), Fact::consts(e, &[b, c])]);
         let d = distances_from(&i, &[Term::Const(a)].into_iter().collect());
         assert_eq!(d[&Term::Const(a)], 0);
         assert_eq!(d[&Term::Const(b)], 1);
@@ -203,10 +194,8 @@ mod tests {
         let b = v.constant("b");
         let c = v.constant("c");
         let d = v.constant("d");
-        let i = Interpretation::from_facts(vec![
-            Fact::consts(e, &[a, b]),
-            Fact::consts(e, &[c, d]),
-        ]);
+        let i =
+            Interpretation::from_facts(vec![Fact::consts(e, &[a, b]), Fact::consts(e, &[c, d])]);
         assert!(!is_connected(&i));
     }
 

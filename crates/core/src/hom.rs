@@ -133,11 +133,7 @@ fn backtrack(
         if used[i] {
             continue;
         }
-        let bound = f
-            .args
-            .iter()
-            .filter(|t| assignment.contains_key(t))
-            .count();
+        let bound = f.args.iter().filter(|t| assignment.contains_key(t)).count();
         match best {
             Some((_, b)) if b >= bound => {}
             _ => best = Some((i, bound)),

@@ -1,0 +1,240 @@
+//! Indexed fact storage for repeated query evaluation.
+//!
+//! [`IndexedInstance`] stores a set of facts together with a per-relation
+//! index *and* a per-`(relation, first argument)` hash index, so a join
+//! that has already bound the first argument of an atom probes a bucket
+//! instead of scanning the whole relation. The [`FactLookup`] trait
+//! abstracts over plain [`Interpretation`]s (which fall back to the
+//! per-relation index) and [`IndexedInstance`]s, letting evaluation code
+//! be written once and run over either representation.
+
+use crate::fact::{Fact, Term};
+use crate::interpretation::Interpretation;
+use crate::symbols::RelId;
+use std::collections::{HashMap, HashSet};
+
+/// Read access to a fact store for join evaluation.
+///
+/// The contract of [`FactLookup::candidate_ids`] is deliberately loose:
+/// the returned ids must cover every fact of `rel` whose first argument
+/// is `first` (when `Some`), but may include more — callers re-check the
+/// arguments of every candidate. This lets unindexed stores return the
+/// whole relation while indexed stores return an exact bucket.
+pub trait FactLookup {
+    /// Ids of a superset of the facts of `rel` (exactly the facts whose
+    /// first argument equals `first` where an index is available).
+    fn candidate_ids(&self, rel: RelId, first: Option<Term>) -> &[u32];
+
+    /// Resolves a fact id returned by [`FactLookup::candidate_ids`].
+    fn fact(&self, id: u32) -> &Fact;
+
+    /// Whether the store contains exactly this fact.
+    fn contains_fact(&self, fact: &Fact) -> bool;
+
+    /// Number of candidates a [`FactLookup::candidate_ids`] call would
+    /// return; used by join planners to order atoms cheapest-first.
+    fn candidate_count(&self, rel: RelId, first: Option<Term>) -> usize {
+        self.candidate_ids(rel, first).len()
+    }
+}
+
+impl FactLookup for Interpretation {
+    fn candidate_ids(&self, rel: RelId, _first: Option<Term>) -> &[u32] {
+        // No first-argument index on plain interpretations: return the
+        // whole relation (a superset, as the contract allows).
+        self.rel_fact_ids(rel)
+    }
+
+    fn fact(&self, id: u32) -> &Fact {
+        self.fact_by_id(id)
+    }
+
+    fn contains_fact(&self, fact: &Fact) -> bool {
+        self.contains(fact)
+    }
+}
+
+/// A fact store with per-relation and per-`(relation, first argument)`
+/// hash indexes, built once and maintained incrementally on insert.
+///
+/// Compared to [`Interpretation`] it drops the per-term index (which
+/// join evaluation never uses) and adds the first-argument index that
+/// turns bound-first joins from scans into hash probes.
+#[derive(Clone, Default)]
+pub struct IndexedInstance {
+    facts: Vec<Fact>,
+    fact_set: HashSet<Fact>,
+    by_rel: HashMap<RelId, Vec<u32>>,
+    by_rel_first: HashMap<(RelId, Term), Vec<u32>>,
+}
+
+impl IndexedInstance {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the indexed form of an interpretation.
+    pub fn from_interpretation(d: &Interpretation) -> Self {
+        let mut out = Self::new();
+        for f in d.iter() {
+            out.insert(f.clone());
+        }
+        out
+    }
+
+    /// Inserts a fact; returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        if self.fact_set.contains(&fact) {
+            return false;
+        }
+        let id = self.facts.len() as u32;
+        self.by_rel.entry(fact.rel).or_default().push(id);
+        if let Some(&first) = fact.args.first() {
+            self.by_rel_first
+                .entry((fact.rel, first))
+                .or_default()
+                .push(id);
+        }
+        self.fact_set.insert(fact.clone());
+        self.facts.push(fact);
+        true
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether there are no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterates over all facts in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// Copies the facts back into a plain [`Interpretation`].
+    pub fn to_interpretation(&self) -> Interpretation {
+        Interpretation::from_facts(self.iter().cloned())
+    }
+
+    /// Number of facts of one relation.
+    pub fn rel_len(&self, rel: RelId) -> usize {
+        self.by_rel.get(&rel).map_or(0, Vec::len)
+    }
+
+    /// Iterates over the facts of one relation.
+    pub fn facts_of(&self, rel: RelId) -> impl Iterator<Item = &Fact> {
+        self.by_rel
+            .get(&rel)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.facts[i as usize])
+    }
+}
+
+impl FactLookup for IndexedInstance {
+    fn candidate_ids(&self, rel: RelId, first: Option<Term>) -> &[u32] {
+        match first {
+            Some(t) => self.by_rel_first.get(&(rel, t)).map_or(&[], Vec::as_slice),
+            None => self.by_rel.get(&rel).map_or(&[], Vec::as_slice),
+        }
+    }
+
+    fn fact(&self, id: u32) -> &Fact {
+        &self.facts[id as usize]
+    }
+
+    fn contains_fact(&self, fact: &Fact) -> bool {
+        self.fact_set.contains(fact)
+    }
+}
+
+impl std::fmt::Debug for IndexedInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sorted: Vec<&Fact> = self.facts.iter().collect();
+        sorted.sort();
+        f.debug_set().entries(sorted).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocab;
+
+    fn setup() -> (Vocab, IndexedInstance) {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 1);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let c = v.constant("c");
+        let mut d = IndexedInstance::new();
+        d.insert(Fact::consts(r, &[a, b]));
+        d.insert(Fact::consts(r, &[a, c]));
+        d.insert(Fact::consts(r, &[b, c]));
+        d.insert(Fact::consts(s, &[a]));
+        (v, d)
+    }
+
+    #[test]
+    fn first_arg_index_is_exact() {
+        let (mut v, d) = setup();
+        let r = v.rel("R", 2);
+        let a = Term::Const(v.constant("a"));
+        let b = Term::Const(v.constant("b"));
+        let zz = Term::Const(v.constant("zz"));
+        assert_eq!(d.candidate_ids(r, Some(a)).len(), 2);
+        assert_eq!(d.candidate_ids(r, Some(b)).len(), 1);
+        assert_eq!(d.candidate_ids(r, Some(zz)).len(), 0);
+        assert_eq!(d.candidate_ids(r, None).len(), 3);
+        for &id in d.candidate_ids(r, Some(a)) {
+            assert_eq!(d.fact(id).args[0], a);
+        }
+    }
+
+    #[test]
+    fn insert_dedupes_and_counts() {
+        let (mut v, mut d) = setup();
+        let r = v.rel("R", 2);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        assert!(!d.insert(Fact::consts(r, &[a, b])));
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.rel_len(r), 3);
+    }
+
+    #[test]
+    fn roundtrip_through_interpretation() {
+        let (_, d) = setup();
+        let plain = d.to_interpretation();
+        assert_eq!(plain.len(), d.len());
+        let back = IndexedInstance::from_interpretation(&plain);
+        assert_eq!(back.len(), d.len());
+        for f in d.iter() {
+            assert!(back.contains_fact(f));
+            assert!(plain.contains(f));
+        }
+    }
+
+    #[test]
+    fn interpretation_lookup_returns_superset() {
+        let (mut v, d) = setup();
+        let plain = d.to_interpretation();
+        let r = v.rel("R", 2);
+        let a = Term::Const(v.constant("a"));
+        // The plain store ignores the bound first argument but must
+        // still cover all matching facts.
+        let ids = FactLookup::candidate_ids(&plain, r, Some(a));
+        assert_eq!(ids.len(), 3);
+        let matching = ids
+            .iter()
+            .filter(|&&i| FactLookup::fact(&plain, i).args[0] == a)
+            .count();
+        assert_eq!(matching, 2);
+    }
+}

@@ -99,6 +99,19 @@ impl Interpretation {
         v
     }
 
+    /// Ids (positions in insertion order) of the facts of one relation;
+    /// resolve them with [`Interpretation::fact_by_id`]. This is the raw
+    /// form of [`Interpretation::facts_of`] used by the
+    /// [`crate::index::FactLookup`] implementation.
+    pub fn rel_fact_ids(&self, rel: RelId) -> &[u32] {
+        self.by_rel.get(&rel).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves a fact id from [`Interpretation::rel_fact_ids`].
+    pub fn fact_by_id(&self, id: u32) -> &Fact {
+        &self.facts[id as usize]
+    }
+
     /// Iterates over the facts of one relation symbol.
     pub fn facts_of(&self, rel: RelId) -> impl Iterator<Item = &Fact> {
         self.by_rel
@@ -207,7 +220,10 @@ impl Interpretation {
 
     /// Renders the interpretation as a sorted, comma-separated fact list.
     pub fn display<'a>(&'a self, vocab: &'a Vocab) -> InterpretationDisplay<'a> {
-        InterpretationDisplay { interp: self, vocab }
+        InterpretationDisplay {
+            interp: self,
+            vocab,
+        }
     }
 }
 

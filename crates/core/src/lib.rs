@@ -12,6 +12,7 @@
 //!   (the paper's interpretations; a database *instance* is an
 //!   interpretation whose terms are all constants),
 //! * homomorphisms between interpretations ([`hom`]),
+//! * indexed fact stores and the join-lookup abstraction ([`index`]),
 //! * guarded sets, Gaifman graphs and guarded tree decompositions
 //!   ([`guarded`], [`treedec`]),
 //! * conjunctive queries, unions thereof, and rooted acyclic queries
@@ -28,6 +29,7 @@ pub mod bisim;
 pub mod fact;
 pub mod guarded;
 pub mod hom;
+pub mod index;
 pub mod interpretation;
 pub mod parse;
 pub mod query;
@@ -36,6 +38,7 @@ pub mod treedec;
 
 pub use fact::{Fact, Term};
 pub use hom::{find_homomorphism, Homomorphism};
+pub use index::{FactLookup, IndexedInstance};
 pub use interpretation::{Instance, Interpretation};
 pub use query::{Cq, CqAtom, Ucq, VarOrConst};
 pub use symbols::{ConstId, NullId, RelId, Vocab};

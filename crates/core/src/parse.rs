@@ -159,10 +159,7 @@ pub fn parse_ucq(text: &str, vocab: &mut Vocab) -> Result<Ucq, ParseError> {
             let (name, args) = split_atom(at, lineno)?;
             if let Some(existing) = vocab.find_rel(name) {
                 if vocab.arity(existing) != args.len() {
-                    return Err(err(
-                        lineno,
-                        format!("arity mismatch for `{name}`"),
-                    ));
+                    return Err(err(lineno, format!("arity mismatch for `{name}`")));
                 }
             }
             let rel = vocab.rel(name, args.len());
@@ -186,10 +183,7 @@ pub fn parse_ucq(text: &str, vocab: &mut Vocab) -> Result<Ucq, ParseError> {
                 .iter()
                 .any(|a| a.args.contains(&VarOrConst::Var(*v_ans)));
             if !occurs {
-                return Err(err(
-                    lineno,
-                    "every answer variable must occur in the body",
-                ));
+                return Err(err(lineno, "every answer variable must occur in the body"));
             }
         }
         for ab in atoms {

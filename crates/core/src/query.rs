@@ -441,10 +441,8 @@ mod tests {
         let a = v.constant("a");
         let b = v.constant("b");
         let c = v.constant("c");
-        let i = Interpretation::from_facts(vec![
-            Fact::consts(e, &[a, b]),
-            Fact::consts(e, &[b, c]),
-        ]);
+        let i =
+            Interpretation::from_facts(vec![Fact::consts(e, &[a, b]), Fact::consts(e, &[b, c])]);
         let ans = q.answers(&i);
         assert_eq!(ans.len(), 2);
         assert!(ans.contains(&vec![Term::Const(a)]));
@@ -489,11 +487,7 @@ mod tests {
         let mut atoms2 = atoms;
         atoms2.push(CqAtom {
             rel: q3,
-            args: vec![
-                VarOrConst::Var(x),
-                VarOrConst::Var(y),
-                VarOrConst::Var(z),
-            ],
+            args: vec![VarOrConst::Var(x), VarOrConst::Var(y), VarOrConst::Var(z)],
         });
         let guarded = Cq::new(vec![x], atoms2, names);
         assert!(guarded.is_raq());

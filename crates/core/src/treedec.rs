@@ -62,10 +62,9 @@ impl CgTreeDecomposition {
             return false;
         }
         // 2. Each bag domain is guarded in A.
-        let guarded = self
-            .bags
-            .iter()
-            .all(|bag| crate::guarded::is_guarded_tuple(a, &bag.iter().copied().collect::<Vec<_>>()));
+        let guarded = self.bags.iter().all(|bag| {
+            crate::guarded::is_guarded_tuple(a, &bag.iter().copied().collect::<Vec<_>>())
+        });
         if !guarded {
             return false;
         }
@@ -272,10 +271,8 @@ mod tests {
         let a = v.constant("a");
         let b = v.constant("b");
         let c = v.constant("c");
-        let p = Interpretation::from_facts(vec![
-            Fact::consts(e, &[a, b]),
-            Fact::consts(e, &[b, c]),
-        ]);
+        let p =
+            Interpretation::from_facts(vec![Fact::consts(e, &[a, b]), Fact::consts(e, &[b, c])]);
         let root: BTreeSet<Term> = [Term::Const(a)].into_iter().collect();
         let dec = cg_tree_decomposition(&p, Some(&root)).expect("decomposable");
         assert_eq!(dec.bags[dec.root], root);
@@ -289,10 +286,8 @@ mod tests {
         let a = v.constant("a");
         let b = v.constant("b");
         let c = v.constant("c");
-        let p = Interpretation::from_facts(vec![
-            Fact::consts(e, &[a, b]),
-            Fact::consts(e, &[b, c]),
-        ]);
+        let p =
+            Interpretation::from_facts(vec![Fact::consts(e, &[a, b]), Fact::consts(e, &[b, c])]);
         // {a, c} is not guarded.
         let root: BTreeSet<Term> = [Term::Const(a), Term::Const(c)].into_iter().collect();
         assert!(cg_tree_decomposition(&p, Some(&root)).is_none());
@@ -306,10 +301,8 @@ mod tests {
         let b = v.constant("b");
         let c = v.constant("c");
         let d = v.constant("d");
-        let p = Interpretation::from_facts(vec![
-            Fact::consts(e, &[a, b]),
-            Fact::consts(e, &[c, d]),
-        ]);
+        let p =
+            Interpretation::from_facts(vec![Fact::consts(e, &[a, b]), Fact::consts(e, &[c, d])]);
         // Guarded-tree-decomposable (forest) but not cg (not connected).
         assert!(is_guarded_tree_decomposable(&p));
         assert!(cg_tree_decomposition(&p, None).is_none());
@@ -322,10 +315,8 @@ mod tests {
         let a = v.constant("a");
         let b = v.constant("b");
         let c = v.constant("c");
-        let p = Interpretation::from_facts(vec![
-            Fact::consts(e, &[a, b]),
-            Fact::consts(e, &[b, c]),
-        ]);
+        let p =
+            Interpretation::from_facts(vec![Fact::consts(e, &[a, b]), Fact::consts(e, &[b, c])]);
         let dec = cg_tree_decomposition(&p, None).expect("decomposable");
         let children = dec.children();
         let total: usize = children.iter().map(|c| c.len()).sum();

@@ -147,7 +147,7 @@ mod tests {
     }
 
     #[test]
-    fn rows_carry_language_names(){
+    fn rows_carry_language_names() {
         let mut v = Vocab::new();
         let spec = CorpusSpec {
             count: 10,

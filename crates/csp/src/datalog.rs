@@ -24,7 +24,11 @@ use gomq_datalog::{DAtom, Literal, Program, Rule};
 pub fn two_coloring_cocsp(template: &Template, vocab: &mut Vocab) -> Program {
     let elems: Vec<ConstId> = template.elements();
     assert_eq!(elems.len(), 2, "expected the K2 template");
-    assert_eq!(template.precolor.len(), 2, "expected a precoloured template");
+    assert_eq!(
+        template.precolor.len(),
+        2,
+        "expected a precoloured template"
+    );
     let edge = vocab.find_rel("edge").expect("template edge relation");
     let p0 = template.precolor[&elems[0]];
     let p1 = template.precolor[&elems[1]];

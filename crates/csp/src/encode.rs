@@ -97,9 +97,7 @@ pub fn encode_gf(template: &Template, vocab: &mut Vocab) -> CspOntology {
         .collect();
     for &u in &unary_rels {
         for &a in &elems {
-            let holds = template
-                .interp
-                .contains(&gomq_core::Fact::consts(u, &[a]));
+            let holds = template.interp.contains(&gomq_core::Fact::consts(u, &[a]));
             if !holds {
                 onto.push(UgfSentence::forall_one(
                     X,
@@ -219,7 +217,10 @@ fn swap_guard(g: &Guard) -> Guard {
 /// Encodes a template as an `ALCF\`` ontology of depth 2 (the variant in
 /// the proof of Theorem 8): `ϕ≠_a` becomes `(≥ 2 R_a)`, `ϕ=_a` becomes
 /// `∃R_a.⊤`, and the binary constraint moves under a `∀R` restriction.
-pub fn encode_alcfl(template: &Template, vocab: &mut Vocab) -> (DlOntology, BTreeMap<ConstId, RelId>) {
+pub fn encode_alcfl(
+    template: &Template,
+    vocab: &mut Vocab,
+) -> (DlOntology, BTreeMap<ConstId, RelId>) {
     let elems = template.elements();
     let mut witness_rels: BTreeMap<ConstId, RelId> = BTreeMap::new();
     for &a in &elems {

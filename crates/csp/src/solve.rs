@@ -30,11 +30,7 @@ pub fn solve_csp_with_stats(
 ) -> (Option<BTreeMap<Term, ConstId>>, SolveStats) {
     let mut stats = SolveStats::default();
     let vars: Vec<Term> = d.dom().into_iter().collect();
-    let var_index: BTreeMap<Term, usize> = vars
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| (t, i))
-        .collect();
+    let var_index: BTreeMap<Term, usize> = vars.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let template_elems: Vec<ConstId> = template.elements();
     // Initial domains from unary facts.
     let mut domains: Vec<Vec<ConstId>> = vec![template_elems.clone(); vars.len()];
@@ -52,11 +48,7 @@ pub fn solve_csp_with_stats(
     let mut constraints: Vec<(usize, usize, gomq_core::RelId)> = Vec::new();
     for fact in d.iter() {
         if fact.args.len() == 2 {
-            constraints.push((
-                var_index[&fact.args[0]],
-                var_index[&fact.args[1]],
-                fact.rel,
-            ));
+            constraints.push((var_index[&fact.args[0]], var_index[&fact.args[1]], fact.rel));
         }
     }
     let allowed = |rel, a: ConstId, b: ConstId| {
@@ -167,8 +159,8 @@ fn backtrack(
 mod tests {
     use super::*;
     use crate::template::Template;
-    use gomq_core::{Fact, Vocab};
     use gomq_core::hom::{has_homomorphism, Homomorphism};
+    use gomq_core::{Fact, Vocab};
 
     fn cycle(v: &mut Vocab, n: usize) -> Instance {
         let edge = v.rel("edge", 2);

@@ -41,7 +41,10 @@ impl Template {
             return self;
         }
         for a in self.elements() {
-            let p = vocab.rel(&format!("P_{}_{}", self.name, vocab.const_name(a).to_owned()), 1);
+            let p = vocab.rel(
+                &format!("P_{}_{}", self.name, vocab.const_name(a).to_owned()),
+                1,
+            );
             self.interp.insert(Fact::consts(p, &[a]));
             self.precolor.insert(a, p);
         }
@@ -67,9 +70,7 @@ impl Template {
     pub fn k_coloring(k: usize, vocab: &mut Vocab) -> Self {
         let edge = vocab.rel("edge", 2);
         let mut interp = Instance::new();
-        let colors: Vec<ConstId> = (0..k)
-            .map(|i| vocab.constant(&format!("col{i}")))
-            .collect();
+        let colors: Vec<ConstId> = (0..k).map(|i| vocab.constant(&format!("col{i}"))).collect();
         for &c1 in &colors {
             for &c2 in &colors {
                 if c1 != c2 {
@@ -103,9 +104,7 @@ impl Template {
     pub fn reflexive_clique(n: usize, vocab: &mut Vocab) -> Self {
         let edge = vocab.rel("edge", 2);
         let mut interp = Instance::new();
-        let elems: Vec<ConstId> = (0..n)
-            .map(|i| vocab.constant(&format!("k{i}")))
-            .collect();
+        let elems: Vec<ConstId> = (0..n).map(|i| vocab.constant(&format!("k{i}"))).collect();
         for &a in &elems {
             for &b in &elems {
                 interp.insert(Fact::consts(edge, &[a, b]));

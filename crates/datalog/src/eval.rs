@@ -1,7 +1,14 @@
 //! Bottom-up evaluation: naive (reference) and semi-naive (production).
+//!
+//! The join loop is generic over [`FactLookup`], so the same matcher
+//! runs against plain [`Interpretation`]s (per-relation scan) and
+//! against [`gomq_core::IndexedInstance`]s (first-argument hash probes,
+//! used by `gomq-engine`). Within a rule body the next atom to match is
+//! chosen greedily by candidate count — smallest relation (or, once the
+//! first argument is bound, smallest index bucket) first.
 
 use crate::program::{DAtom, DTerm, Literal, Program, Rule};
-use gomq_core::{Fact, Instance, Interpretation, Term};
+use gomq_core::{Fact, FactLookup, Instance, Interpretation, Term};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -30,9 +37,7 @@ impl Program {
         loop {
             stats.rounds += 1;
             let mut new_facts: Vec<Fact> = Vec::new();
-            for rule in &self.rules {
-                derive(rule, &total, &delta, &mut new_facts);
-            }
+            derive_round(&self.rules, &total, &delta, &mut new_facts);
             let mut next_delta = Interpretation::new();
             for f in new_facts {
                 if !total.contains(&f) {
@@ -52,10 +57,7 @@ impl Program {
     /// Semi-naive evaluation returning goal tuples and statistics.
     pub fn eval_with_stats(&self, d: &Instance) -> (BTreeSet<Vec<Term>>, EvalStats) {
         let (total, stats) = self.fixpoint(d);
-        let answers = total
-            .facts_of(self.goal)
-            .map(|f| f.args.clone())
-            .collect();
+        let answers = total.facts_of(self.goal).map(|f| f.args.clone()).collect();
         (answers, stats)
     }
 
@@ -65,31 +67,64 @@ impl Program {
     }
 }
 
+/// One semi-naive round: derives into `out` every head fact of `rules`
+/// with at least one body atom matched in `delta` (`total` must include
+/// `delta`). This is the building block both of [`Program::fixpoint`]
+/// and of the stratified parallel evaluator in `gomq-engine`, which
+/// calls it concurrently on disjoint rule partitions.
+pub fn derive_round<L: FactLookup>(rules: &[Rule], total: &L, delta: &L, out: &mut Vec<Fact>) {
+    for rule in rules {
+        derive(rule, total, delta, out);
+    }
+}
+
 /// Derives all head facts of `rule` with at least one body atom matched in
 /// `delta` (semi-naive restriction). `total` includes `delta`.
-fn derive(rule: &Rule, total: &Interpretation, delta: &Interpretation, out: &mut Vec<Fact>) {
+fn derive<L: FactLookup>(rule: &Rule, total: &L, delta: &L, out: &mut Vec<Fact>) {
     let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
     if atoms.is_empty() {
         return;
     }
     for pivot in 0..atoms.len() {
         let mut binding: BTreeMap<u32, Term> = BTreeMap::new();
-        match_atoms(rule, &atoms, pivot, 0, total, delta, &mut binding, out);
+        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+        match_atoms(
+            rule,
+            &atoms,
+            Some(pivot),
+            &mut remaining,
+            total,
+            delta,
+            &mut binding,
+            out,
+        );
     }
 }
 
+/// The first argument of `atom` if it is already determined by `binding`
+/// (ground, or a bound variable) — the key for an indexed probe.
+fn bound_first(atom: &DAtom, binding: &BTreeMap<u32, Term>) -> Option<Term> {
+    match atom.args.first()? {
+        DTerm::Ground(g) => Some(*g),
+        DTerm::Var(v) => binding.get(v).copied(),
+    }
+}
+
+/// Matches the remaining body atoms recursively, choosing at every step
+/// the atom with the fewest candidate facts under the current binding
+/// (the pivot matches `delta`, everything else `total`).
 #[allow(clippy::too_many_arguments)]
-fn match_atoms(
+fn match_atoms<L: FactLookup>(
     rule: &Rule,
     atoms: &[&DAtom],
-    pivot: usize,
-    idx: usize,
-    total: &Interpretation,
-    delta: &Interpretation,
+    pivot: Option<usize>,
+    remaining: &mut Vec<usize>,
+    total: &L,
+    delta: &L,
     binding: &mut BTreeMap<u32, Term>,
     out: &mut Vec<Fact>,
 ) {
-    if idx == atoms.len() {
+    if remaining.is_empty() {
         // All positive atoms matched: check inequalities, then emit.
         for l in &rule.body {
             if let Literal::Neq(a, b) = l {
@@ -104,12 +139,35 @@ fn match_atoms(
         ));
         return;
     }
-    // The pivot atom matches against the delta; others against the total.
-    // (Matching earlier atoms against "old only" would avoid duplicate
-    // derivations; matching against the total is still sound and simpler.)
-    let source = if idx == pivot { delta } else { total };
-    let atom = atoms[idx];
-    for fact in source.facts_of(atom.rel) {
+    // Greedy join ordering: pick the cheapest remaining atom.
+    let mut best_k = 0usize;
+    let mut best_cost = usize::MAX;
+    for (k, &ai) in remaining.iter().enumerate() {
+        let first = bound_first(atoms[ai], binding);
+        let cost = if pivot == Some(ai) {
+            delta.candidate_count(atoms[ai].rel, first)
+        } else {
+            total.candidate_count(atoms[ai].rel, first)
+        };
+        if cost < best_cost {
+            best_cost = cost;
+            best_k = k;
+            if cost == 0 {
+                break;
+            }
+        }
+    }
+    let ai = remaining.swap_remove(best_k);
+    let atom = atoms[ai];
+    let first = bound_first(atom, binding);
+    let candidates = if pivot == Some(ai) {
+        delta.candidate_ids(atom.rel, first)
+    } else {
+        total.candidate_ids(atom.rel, first)
+    };
+    let source = if pivot == Some(ai) { delta } else { total };
+    for &id in candidates {
+        let fact = source.fact(id);
         if fact.args.len() != atom.args.len() {
             continue;
         }
@@ -137,12 +195,13 @@ fn match_atoms(
             }
         }
         if ok {
-            match_atoms(rule, atoms, pivot, idx + 1, total, delta, binding, out);
+            match_atoms(rule, atoms, pivot, remaining, total, delta, binding, out);
         }
         for v in newly {
             binding.remove(&v);
         }
     }
+    remaining.push(ai);
 }
 
 fn resolve(t: &DTerm, binding: &BTreeMap<u32, Term>) -> Term {
@@ -161,14 +220,24 @@ pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
     loop {
         let mut new_facts: Vec<Fact> = Vec::new();
         for rule in &p.rules {
-            // Using delta = total makes every atom a pivot candidate; pivot 0
-            // against the full database enumerates all matches.
+            // With no pivot every atom matches against the full
+            // database, enumerating all satisfying assignments.
             let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
             if atoms.is_empty() {
                 continue;
             }
             let mut binding: BTreeMap<u32, Term> = BTreeMap::new();
-            match_atoms(rule, &atoms, 0, 0, &total, &total, &mut binding, &mut new_facts);
+            let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+            match_atoms(
+                rule,
+                &atoms,
+                None,
+                &mut remaining,
+                &total,
+                &total,
+                &mut binding,
+                &mut new_facts,
+            );
         }
         let before = total.len();
         for f in new_facts {
@@ -185,7 +254,7 @@ pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
 mod tests {
     use super::*;
     use crate::program::{DAtom, Literal, Rule};
-    use gomq_core::Vocab;
+    use gomq_core::{IndexedInstance, Vocab};
 
     /// Transitive closure program with goal = pairs of distinct connected
     /// nodes.
@@ -314,5 +383,49 @@ mod tests {
         let p = Program::new(vec![], g);
         let d = path_instance(&mut v, 2);
         assert!(p.eval(&d).is_empty());
+    }
+
+    #[test]
+    fn derive_round_agrees_between_plain_and_indexed_stores() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let d = path_instance(&mut v, 6);
+        let indexed = IndexedInstance::from_interpretation(&d);
+        let mut plain_out: Vec<Fact> = Vec::new();
+        derive_round(&p.rules, &d, &d, &mut plain_out);
+        let mut indexed_out: Vec<Fact> = Vec::new();
+        derive_round(&p.rules, &indexed, &indexed, &mut indexed_out);
+        let plain: BTreeSet<Fact> = plain_out.into_iter().collect();
+        let indexed_set: BTreeSet<Fact> = indexed_out.into_iter().collect();
+        assert_eq!(plain, indexed_set);
+        assert!(!plain.is_empty());
+    }
+
+    #[test]
+    fn greedy_ordering_preserves_answers_with_ground_probe() {
+        // A join whose cheap side is the singleton unary relation; the
+        // greedy planner must start there and still find all answers.
+        let mut v = Vocab::new();
+        let e = v.rel("E", 2);
+        let u = v.rel("U", 1);
+        let g = v.rel("goal", 1);
+        let rule = Rule::new(
+            DAtom::vars(g, &[1]),
+            vec![
+                Literal::Pos(DAtom::vars(e, &[0, 1])),
+                Literal::Pos(DAtom::vars(u, &[0])),
+            ],
+        );
+        let p = Program::new(vec![rule], g);
+        let mut d = Instance::new();
+        let names: Vec<_> = (0..20).map(|i| v.constant(&format!("m{i}"))).collect();
+        for i in 0..19 {
+            d.insert(Fact::consts(e, &[names[i], names[i + 1]]));
+        }
+        d.insert(Fact::consts(u, &[names[4]]));
+        let ans = p.eval(&d);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Term::Const(names[5])]));
+        assert_eq!(p.eval(&d), eval_naive(&p, &d));
     }
 }

@@ -16,8 +16,8 @@
 
 #![warn(missing_docs)]
 
-pub mod program;
 pub mod eval;
+pub mod program;
 
+pub use eval::{derive_round, eval_naive, EvalStats};
 pub use program::{DAtom, DTerm, Literal, Program, Rule};
-pub use eval::{eval_naive, EvalStats};

@@ -48,10 +48,7 @@ mod tests {
         let r = Role::new(v.rel("R", 2));
         let s = Role::new(v.rel("S", 2));
         let lhs = Concept::Exists(s, Box::new(Concept::Name(a)));
-        let rhs = Concept::Forall(
-            r,
-            Box::new(Concept::Exists(s, Box::new(Concept::Name(b)))),
-        );
+        let rhs = Concept::Forall(r, Box::new(Concept::Exists(s, Box::new(Concept::Name(b)))));
         assert_eq!(concept_depth(&lhs), 1);
         assert_eq!(concept_depth(&rhs), 2);
         let mut o = DlOntology::new();

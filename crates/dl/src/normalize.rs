@@ -197,10 +197,7 @@ mod tests {
         let r = Role::new(v.rel("R", 2));
         let mut o = DlOntology::new();
         o.sub(
-            Concept::Exists(
-                r,
-                Box::new(Concept::Exists(r, Box::new(Concept::Name(a)))),
-            ),
+            Concept::Exists(r, Box::new(Concept::Exists(r, Box::new(Concept::Name(a))))),
             Concept::Name(b),
         );
         let n = normalize_depth1(&o, &mut v);

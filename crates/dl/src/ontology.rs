@@ -188,12 +188,9 @@ impl fmt::Display for DlOntologyDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for a in &self.onto.axioms {
             match a {
-                Axiom::ConceptInclusion(c, d) => writeln!(
-                    f,
-                    "{} sub {}",
-                    c.display(self.vocab),
-                    d.display(self.vocab)
-                )?,
+                Axiom::ConceptInclusion(c, d) => {
+                    writeln!(f, "{} sub {}", c.display(self.vocab), d.display(self.vocab))?
+                }
                 Axiom::RoleInclusion(r, s) => writeln!(
                     f,
                     "role {} sub {}",

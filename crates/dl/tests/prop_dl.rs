@@ -23,14 +23,22 @@ fn concept_strategy() -> impl Strategy<Value = ConceptTree> {
             inner.clone().prop_map(|c| ConceptTree::Not(Box::new(c))),
             prop::collection::vec(inner.clone(), 2..4).prop_map(ConceptTree::And),
             prop::collection::vec(inner.clone(), 2..4).prop_map(ConceptTree::Or),
-            (0u8..2, any::<bool>(), inner.clone())
-                .prop_map(|(r, i, c)| ConceptTree::Exists(r, i, Box::new(c))),
-            (0u8..2, any::<bool>(), inner.clone())
-                .prop_map(|(r, i, c)| ConceptTree::Forall(r, i, Box::new(c))),
-            (1u32..4, 0u8..2, inner.clone())
-                .prop_map(|(n, r, c)| ConceptTree::AtLeast(n, r, Box::new(c))),
-            (0u32..3, 0u8..2, inner)
-                .prop_map(|(n, r, c)| ConceptTree::AtMost(n, r, Box::new(c))),
+            (0u8..2, any::<bool>(), inner.clone()).prop_map(|(r, i, c)| ConceptTree::Exists(
+                r,
+                i,
+                Box::new(c)
+            )),
+            (0u8..2, any::<bool>(), inner.clone()).prop_map(|(r, i, c)| ConceptTree::Forall(
+                r,
+                i,
+                Box::new(c)
+            )),
+            (1u32..4, 0u8..2, inner.clone()).prop_map(|(n, r, c)| ConceptTree::AtLeast(
+                n,
+                r,
+                Box::new(c)
+            )),
+            (0u32..3, 0u8..2, inner).prop_map(|(n, r, c)| ConceptTree::AtMost(n, r, Box::new(c))),
         ]
     })
 }

@@ -1,0 +1,90 @@
+//! `gomq-serve`: JSONL OMQ answering over stdin/stdout.
+//!
+//! Reads one JSON request object per line from stdin and writes one
+//! JSON response per line to stdout (see `gomq_engine::serve` for the
+//! protocol). Plans are cached across lines, so a stream of requests
+//! posing the same OMQ compiles it once. A final statistics summary
+//! goes to stderr at EOF.
+//!
+//! ```text
+//! $ echo '{"ontology": "A sub B", "query": "B", "abox": "A(ada)"}' | gomq-serve
+//! {"status": "ok", "cached": false, ..., "answers": [["ada"]], ...}
+//! ```
+
+use gomq_engine::ServeSession;
+use std::io::{BufRead, Write};
+
+const USAGE: &str = "gomq-serve — JSONL OMQ answering over stdin/stdout
+
+Usage: gomq-serve [--threads N]
+
+Each stdin line is a JSON object:
+  {\"ontology\": \"<dl axioms>\", \"query\": \"<relation>\", \"abox\": \"<facts>\"}
+with optional \"id\" and, instead of \"abox\", a batched
+\"aboxes\": [\"<facts>\", ...]. One JSON response per line on stdout.
+";
+
+fn main() {
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                threads = Some(n);
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut session = match threads {
+        Some(n) => ServeSession::with_threads(n),
+        None => ServeSession::new(),
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = session.handle_line(&line);
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            break; // downstream closed the pipe
+        }
+    }
+    let stats = session.engine().stats();
+    eprintln!(
+        "gomq-serve: {} requests, {} cache hits / {} misses, {} rounds, \
+         {} facts derived, compile {:?}, eval {:?}",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.rounds,
+        stats.derived,
+        stats.compile_time,
+        stats.eval_time,
+    );
+}

@@ -1,0 +1,140 @@
+//! The plan cache: canonical-hash-keyed storage of compiled plans.
+
+use crate::plan::{EngineError, OmqPlan};
+use gomq_core::{RelId, Vocab};
+use gomq_logic::GfOntology;
+use gomq_rewriting::canonical_omq_hash;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe cache of compiled [`OmqPlan`]s keyed by
+/// [`canonical_omq_hash`].
+///
+/// Failed compilations are *negatively* cached too (keyed the same
+/// way), so a stream of requests posing a non-rewritable OMQ does not
+/// re-run type elimination every time.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<u64, Result<Arc<OmqPlan>, EngineError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks the OMQ up by canonical hash, compiling (and storing the
+    /// outcome) on a miss. The boolean is `true` on a cache hit.
+    ///
+    /// The same `vocab` must be used for every call on one cache: plans
+    /// hold interned relation ids.
+    pub fn get_or_compile(
+        &self,
+        o: &GfOntology,
+        query: RelId,
+        vocab: &mut Vocab,
+    ) -> (Result<Arc<OmqPlan>, EngineError>, bool) {
+        let key = canonical_omq_hash(o, query, vocab);
+        if let Some(cached) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (cached.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = OmqPlan::compile(o, query, vocab).map(Arc::new);
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, outcome.clone());
+        (outcome, false)
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (compilations attempted) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached entries (successful and negative).
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_dl::parser::parse_ontology;
+    use gomq_dl::translate::to_gf;
+
+    #[test]
+    fn second_lookup_is_a_hit_with_identical_plan() {
+        let mut v = Vocab::new();
+        let cache = PlanCache::new();
+        let dl = parse_ontology("A sub B\n", &mut v).unwrap();
+        let o = to_gf(&dl);
+        let b = v.find_rel("B").unwrap();
+        let (p1, hit1) = cache.get_or_compile(&o, b, &mut v);
+        let (p2, hit2) = cache.get_or_compile(&o, b, &mut v);
+        assert!(!hit1);
+        assert!(hit2);
+        let (p1, p2) = (p1.unwrap(), p2.unwrap());
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        // Re-parsing the same text into the same vocab hits as well.
+        let dl2 = parse_ontology("A sub B\n", &mut v).unwrap();
+        let o2 = to_gf(&dl2);
+        let (p3, hit3) = cache.get_or_compile(&o2, b, &mut v);
+        assert!(hit3);
+        assert!(Arc::ptr_eq(&p1, &p3.unwrap()));
+    }
+
+    #[test]
+    fn failures_are_negatively_cached() {
+        let mut v = Vocab::new();
+        let cache = PlanCache::new();
+        let dl = parse_ontology("A sub ex R.B\n", &mut v).unwrap();
+        let mut o = to_gf(&dl);
+        o.transitive.insert(v.find_rel("R").unwrap());
+        let b = v.find_rel("B").unwrap();
+        let (r1, hit1) = cache.get_or_compile(&o, b, &mut v);
+        let (r2, hit2) = cache.get_or_compile(&o, b, &mut v);
+        assert!(r1.is_err() && r2.is_err());
+        assert!(!hit1);
+        assert!(hit2, "the failure itself must be cached");
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_plans() {
+        let mut v = Vocab::new();
+        let cache = PlanCache::new();
+        let dl = parse_ontology("A sub B\nB sub C\n", &mut v).unwrap();
+        let o = to_gf(&dl);
+        let b = v.find_rel("B").unwrap();
+        let c = v.find_rel("C").unwrap();
+        cache.get_or_compile(&o, b, &mut v).0.unwrap();
+        let (_, hit) = cache.get_or_compile(&o, c, &mut v);
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+}

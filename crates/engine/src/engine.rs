@@ -1,0 +1,194 @@
+//! The engine facade: cache + executor + statistics.
+
+use crate::cache::PlanCache;
+use crate::exec::{eval_batch, eval_strata};
+use crate::plan::{EngineError, OmqPlan};
+use crate::stats::{EngineStats, RequestStats};
+use gomq_core::{IndexedInstance, Instance, RelId, Term, Vocab};
+use gomq_logic::GfOntology;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A caching, indexed, parallel OMQ serving engine.
+///
+/// One `Engine` owns a [`PlanCache`] and a thread budget; it is shared
+/// per serving process, together with a single [`Vocab`] (plans hold
+/// interned relation ids, so a plan compiled under one vocabulary must
+/// not be evaluated under another).
+pub struct Engine {
+    cache: PlanCache,
+    threads: usize,
+    stats: Mutex<EngineStats>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_threads(threads)
+    }
+
+    /// An engine with an explicit worker budget (1 = sequential).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine {
+            cache: PlanCache::new(),
+            threads: threads.max(1),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// The engine's plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Fetches or compiles the plan for `(o, query)`. The boolean is
+    /// `true` on a cache hit; compile wall time is accounted either way.
+    pub fn plan(
+        &self,
+        o: &GfOntology,
+        query: RelId,
+        vocab: &mut Vocab,
+    ) -> (Result<Arc<OmqPlan>, EngineError>, bool, std::time::Duration) {
+        let t0 = Instant::now();
+        let (outcome, hit) = self.cache.get_or_compile(o, query, vocab);
+        (outcome, hit, t0.elapsed())
+    }
+
+    /// Answers one plan against one plain ABox.
+    pub fn answer(&self, plan: &OmqPlan, abox: &Instance) -> (BTreeSet<Vec<Term>>, RequestStats) {
+        self.answer_indexed(plan, &IndexedInstance::from_interpretation(abox))
+    }
+
+    /// Answers one plan against one pre-indexed ABox.
+    pub fn answer_indexed(
+        &self,
+        plan: &OmqPlan,
+        abox: &IndexedInstance,
+    ) -> (BTreeSet<Vec<Term>>, RequestStats) {
+        let t0 = Instant::now();
+        let (answers, eval_stats) =
+            eval_strata(&plan.strata, plan.program.goal, abox, self.threads);
+        let stats = RequestStats {
+            cache_hit: false,
+            compile: std::time::Duration::ZERO,
+            eval: t0.elapsed(),
+            rounds: eval_stats.rounds,
+            derived: eval_stats.derived,
+            answers: answers.len(),
+        };
+        self.stats.lock().expect("stats poisoned").absorb(&stats);
+        (answers, stats)
+    }
+
+    /// Answers one plan against a batch of ABoxes concurrently (one
+    /// worker per ABox, work-stealing). Returns per-ABox answer sets in
+    /// input order plus one aggregate [`RequestStats`].
+    pub fn answer_batch(
+        &self,
+        plan: &OmqPlan,
+        aboxes: &[IndexedInstance],
+    ) -> (Vec<BTreeSet<Vec<Term>>>, RequestStats) {
+        let t0 = Instant::now();
+        let results = eval_batch(&plan.strata, plan.program.goal, aboxes, self.threads);
+        let mut stats = RequestStats {
+            eval: t0.elapsed(),
+            ..RequestStats::default()
+        };
+        let mut answers = Vec::with_capacity(results.len());
+        for (ans, es) in results {
+            stats.rounds += es.rounds;
+            stats.derived += es.derived;
+            stats.answers += ans.len();
+            answers.push(ans);
+        }
+        self.stats.lock().expect("stats poisoned").absorb(&stats);
+        (answers, stats)
+    }
+
+    /// A snapshot of the cumulative statistics (cache counters included).
+    pub fn stats(&self) -> EngineStats {
+        let mut snap = *self.stats.lock().expect("stats poisoned");
+        snap.cache_hits = self.cache.hits();
+        snap.cache_misses = self.cache.misses();
+        snap
+    }
+
+    /// Folds externally measured compile time into the totals (used by
+    /// the serving layer, which times [`Engine::plan`] per request).
+    pub fn record_compile(&self, elapsed: std::time::Duration) {
+        self.stats.lock().expect("stats poisoned").compile_time += elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::parse::parse_instance;
+    use gomq_dl::parser::parse_ontology;
+    use gomq_dl::translate::to_gf;
+
+    #[test]
+    fn end_to_end_answer_with_cache_reuse() {
+        let mut v = Vocab::new();
+        let engine = Engine::with_threads(2);
+        let dl = parse_ontology("Manager sub Employee\nEmployee sub Staff\n", &mut v).unwrap();
+        let o = to_gf(&dl);
+        let staff = v.find_rel("Staff").unwrap();
+        let (plan, hit, d1) = engine.plan(&o, staff, &mut v);
+        let plan = plan.unwrap();
+        engine.record_compile(d1);
+        assert!(!hit);
+        let abox = parse_instance("Manager(ada)\nEmployee(grace)\n", &mut v).unwrap();
+        let (answers, rs) = engine.answer(&plan, &abox);
+        let ada = Term::Const(v.constant("ada"));
+        let grace = Term::Const(v.constant("grace"));
+        assert_eq!(
+            answers,
+            [vec![ada], vec![grace]]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+        );
+        assert_eq!(rs.answers, 2);
+        assert!(rs.rounds > 0);
+        // Second request for the same OMQ: cache hit, same plan.
+        let (plan2, hit2, _) = engine.plan(&o, staff, &mut v);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&plan, &plan2.unwrap()));
+        let snap = engine.stats();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert!(snap.eval_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn batch_answers_match_singles() {
+        let mut v = Vocab::new();
+        let engine = Engine::with_threads(4);
+        let dl = parse_ontology("A sub B\n", &mut v).unwrap();
+        let o = to_gf(&dl);
+        let b = v.find_rel("B").unwrap();
+        let (plan, _, _) = engine.plan(&o, b, &mut v);
+        let plan = plan.unwrap();
+        let texts = ["A(x1)\n", "A(y1)\nA(y2)\n", "B(z1)\n", ""];
+        let aboxes: Vec<IndexedInstance> = texts
+            .iter()
+            .map(|t| IndexedInstance::from_interpretation(&parse_instance(t, &mut v).unwrap()))
+            .collect();
+        let (batch, rs) = engine.answer_batch(&plan, &aboxes);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(rs.answers, 1 + 2 + 1);
+        for (i, d) in aboxes.iter().enumerate() {
+            let (single, _) = engine.answer_indexed(&plan, d);
+            assert_eq!(batch[i], single, "abox {i}");
+        }
+    }
+}

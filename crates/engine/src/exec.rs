@@ -1,0 +1,486 @@
+//! Stratified, indexed, parallel Datalog≠ evaluation.
+//!
+//! The one-shot evaluator in `gomq-datalog` re-runs every rule of the
+//! program in every fixpoint round. This module:
+//!
+//! 1. partitions the program's rules into **SCC strata** of its
+//!    dependency graph (head relation depends on body relations) and
+//!    runs one semi-naive fixpoint per stratum in topological order, so
+//!    rules whose inputs are already saturated are never revisited;
+//! 2. evaluates against [`IndexedInstance`]s, so joins with a bound
+//!    first argument probe a hash bucket instead of scanning;
+//! 3. splits the rules of a stratum across a scoped worker pool within
+//!    each round ([`std::thread::scope`] — no external dependencies),
+//!    merging the per-worker derivations into the next delta.
+//!
+//! [`eval_program`] is answer-equivalent to [`Program::eval`]; the
+//! property tests in `tests/engine_props.rs` check exactly that.
+
+use gomq_core::{Fact, FactLookup, IndexedInstance, Instance, RelId, Term};
+use gomq_datalog::eval::EvalStats;
+use gomq_datalog::{derive_round, Program, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One SCC stratum: a rule partition plus whether it is recursive.
+///
+/// A non-recursive stratum (no rule's body mentions a head relation of
+/// the same stratum) saturates in a single derivation pass — no
+/// fixpoint iteration, no empty final round.
+#[derive(Clone, Debug)]
+pub struct Stratum {
+    /// The rules of this stratum.
+    pub rules: Vec<Rule>,
+    /// Whether any rule's body depends on a head relation of this
+    /// stratum (then a fixpoint loop is needed).
+    pub recursive: bool,
+}
+
+/// Rules grouped into SCC strata in topological (bodies-first) order.
+///
+/// Computed once per compiled plan and reused for every instance the
+/// plan is evaluated against.
+#[derive(Clone, Debug)]
+pub struct Strata {
+    /// One rule partition per stratum, dependency order.
+    pub strata: Vec<Stratum>,
+}
+
+impl Strata {
+    /// Stratifies a program by the SCCs of its head-dependency graph.
+    pub fn of(program: &Program) -> Strata {
+        let idb: BTreeSet<RelId> = program.idb();
+        // Dependency edges body-IDB-relation → head relation.
+        let nodes: Vec<RelId> = idb.iter().copied().collect();
+        let index_of: BTreeMap<RelId, usize> =
+            nodes.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        for rule in &program.rules {
+            let h = index_of[&rule.head.rel];
+            for atom in rule.positive_atoms() {
+                if let Some(&b) = index_of.get(&atom.rel) {
+                    succ[b].insert(h);
+                }
+            }
+        }
+        let comp = scc(&succ);
+        let n_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
+        // Condensation edges + Kahn topological order.
+        let mut cond_succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_comps];
+        let mut indegree = vec![0usize; n_comps];
+        for (b, hs) in succ.iter().enumerate() {
+            for &h in hs {
+                let (cb, ch) = (comp[b], comp[h]);
+                if cb != ch && cond_succ[cb].insert(ch) {
+                    indegree[ch] += 1;
+                }
+            }
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(n_comps);
+        let mut queue: Vec<usize> = (0..n_comps).filter(|&c| indegree[c] == 0).collect();
+        while let Some(c) = queue.pop() {
+            order.push(c);
+            for &d in &cond_succ[c] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n_comps, "condensation must be acyclic");
+        let rank_of_comp: BTreeMap<usize, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(rank, &c)| (c, rank))
+            .collect();
+        let mut buckets: Vec<Vec<Rule>> = vec![Vec::new(); n_comps];
+        for rule in &program.rules {
+            let c = comp[index_of[&rule.head.rel]];
+            buckets[rank_of_comp[&c]].push(rule.clone());
+        }
+        let strata = buckets
+            .into_iter()
+            .filter(|rules| !rules.is_empty())
+            .map(|rules| {
+                let heads: BTreeSet<RelId> = rules.iter().map(|r| r.head.rel).collect();
+                let recursive = rules
+                    .iter()
+                    .any(|r| r.positive_atoms().any(|a| heads.contains(&a.rel)));
+                Stratum { rules, recursive }
+            })
+            .collect();
+        Strata { strata }
+    }
+
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Whether there are no strata (empty program).
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+}
+
+/// Iterative Tarjan SCC; returns the component id of every node.
+fn scc(succ: &[BTreeSet<usize>]) -> Vec<usize> {
+    let n = succ.len();
+    let mut comp = vec![usize::MAX; n];
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    // Explicit DFS stack: (node, iterator position over successors).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let push = |v: usize,
+                    dfs: &mut Vec<(usize, Vec<usize>, usize)>,
+                    index: &mut Vec<usize>,
+                    low: &mut Vec<usize>,
+                    on_stack: &mut Vec<bool>,
+                    stack: &mut Vec<usize>,
+                    next_index: &mut usize| {
+            index[v] = *next_index;
+            low[v] = *next_index;
+            *next_index += 1;
+            stack.push(v);
+            on_stack[v] = true;
+            dfs.push((v, succ[v].iter().copied().collect(), 0));
+        };
+        push(
+            root,
+            &mut dfs,
+            &mut index,
+            &mut low,
+            &mut on_stack,
+            &mut stack,
+            &mut next_index,
+        );
+        while let Some((v, children, pos)) = dfs.last_mut() {
+            if *pos < children.len() {
+                let w = children[*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    push(
+                        w,
+                        &mut dfs,
+                        &mut index,
+                        &mut low,
+                        &mut on_stack,
+                        &mut stack,
+                        &mut next_index,
+                    );
+                } else if on_stack[w] {
+                    let v = *v;
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                let v = *v;
+                dfs.pop();
+                if let Some((parent, _, _)) = dfs.last() {
+                    low[*parent] = low[*parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Minimum number of delta facts per round before a round is worth
+/// splitting across threads; below this the spawn overhead dominates.
+const PARALLEL_DELTA_THRESHOLD: usize = 64;
+
+/// One semi-naive round over `rules`, split across `threads` workers.
+fn parallel_round(
+    rules: &[Rule],
+    total: &IndexedInstance,
+    delta: &IndexedInstance,
+    threads: usize,
+) -> Vec<Fact> {
+    let workers = threads.min(rules.len()).max(1);
+    if workers == 1 || delta.len() < PARALLEL_DELTA_THRESHOLD {
+        let mut out = Vec::new();
+        derive_round(rules, total, delta, &mut out);
+        return out;
+    }
+    let chunk_size = rules.len().div_ceil(workers);
+    let chunks: Vec<&[Rule]> = rules.chunks(chunk_size).collect();
+    let mut merged: Vec<Fact> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    derive_round(chunk, total, delta, &mut out);
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.extend(h.join().expect("worker panicked"));
+        }
+    });
+    merged
+}
+
+/// Absorbs freshly derived facts into `total`, collecting the actually
+/// new ones (cloned only when new) into the next delta.
+fn absorb(new_facts: Vec<Fact>, total: &mut IndexedInstance) -> IndexedInstance {
+    let mut delta = IndexedInstance::new();
+    for f in new_facts {
+        if total.contains_fact(&f) {
+            continue;
+        }
+        total.insert(f.clone());
+        delta.insert(f);
+    }
+    delta
+}
+
+/// Runs the semi-naive fixpoint of one stratum on top of `total`.
+fn fixpoint_stratum(
+    stratum: &Stratum,
+    total: &mut IndexedInstance,
+    threads: usize,
+    stats: &mut EvalStats,
+) {
+    // First pass: every fact so far is "new" for this stratum, so the
+    // saturated `total` doubles as the delta (no clone). The pass is
+    // complete for the stratum's inputs because earlier strata are
+    // already saturated.
+    stats.rounds += 1;
+    let new_facts = parallel_round(&stratum.rules, total, total, threads);
+    let mut delta = absorb(new_facts, total);
+    stats.derived += delta.len();
+    if !stratum.recursive {
+        // Heads never feed bodies within this stratum: one pass is the
+        // fixpoint, skip the would-be-empty confirmation round.
+        return;
+    }
+    while !delta.is_empty() {
+        stats.rounds += 1;
+        let new_facts = parallel_round(&stratum.rules, total, &delta, threads);
+        let next_delta = absorb(new_facts, total);
+        stats.derived += next_delta.len();
+        delta = next_delta;
+    }
+}
+
+/// An answer set paired with its evaluation statistics.
+pub type EvalOutcome = (BTreeSet<Vec<Term>>, EvalStats);
+
+/// Evaluates `strata` (from `program`) over an indexed instance with up
+/// to `threads` workers; returns the goal tuples and statistics.
+///
+/// Answer-equivalent to [`Program::eval`] on the corresponding plain
+/// instance.
+pub fn eval_strata(
+    strata: &Strata,
+    goal: RelId,
+    d: &IndexedInstance,
+    threads: usize,
+) -> EvalOutcome {
+    let mut total = d.clone();
+    let mut stats = EvalStats::default();
+    for stratum in &strata.strata {
+        fixpoint_stratum(stratum, &mut total, threads, &mut stats);
+    }
+    let answers = total.facts_of(goal).map(|f| f.args.clone()).collect();
+    (answers, stats)
+}
+
+/// Stratifies and evaluates `program` in one call (plan-less entry
+/// point; `gomq-engine` plans cache the [`Strata`] instead).
+pub fn eval_program(
+    program: &Program,
+    d: &IndexedInstance,
+    threads: usize,
+) -> (BTreeSet<Vec<Term>>, EvalStats) {
+    eval_strata(&Strata::of(program), program.goal, d, threads)
+}
+
+/// Evaluates one stratified plan against many instances concurrently
+/// (one instance per worker, work-stealing via an atomic cursor).
+pub fn eval_batch(
+    strata: &Strata,
+    goal: RelId,
+    aboxes: &[IndexedInstance],
+    threads: usize,
+) -> Vec<EvalOutcome> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let workers = threads.min(aboxes.len()).max(1);
+    if workers <= 1 {
+        return aboxes
+            .iter()
+            .map(|d| eval_strata(strata, goal, d, threads))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<EvalOutcome>>> =
+        aboxes.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= aboxes.len() {
+                    break;
+                }
+                // Each worker evaluates its instance single-threaded;
+                // parallelism comes from the batch dimension here.
+                let r = eval_strata(strata, goal, &aboxes[i], 1);
+                *results[i].lock().expect("poisoned result slot") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned result slot")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Convenience: index a plain instance and evaluate (used by tests and
+/// by callers that hold plain [`Instance`]s).
+pub fn eval_plain(
+    program: &Program,
+    d: &Instance,
+    threads: usize,
+) -> (BTreeSet<Vec<Term>>, EvalStats) {
+    eval_program(program, &IndexedInstance::from_interpretation(d), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::Vocab;
+    use gomq_datalog::{DAtom, DTerm, Literal};
+
+    fn tc_program(v: &mut Vocab) -> Program {
+        let e = v.rel("E", 2);
+        let t = v.rel("T", 2);
+        let s = v.rel("S", 2);
+        let g = v.rel("goal", 2);
+        Program::new(
+            vec![
+                Rule::new(
+                    DAtom::vars(t, &[0, 1]),
+                    vec![Literal::Pos(DAtom::vars(e, &[0, 1]))],
+                ),
+                Rule::new(
+                    DAtom::vars(t, &[0, 2]),
+                    vec![
+                        Literal::Pos(DAtom::vars(t, &[0, 1])),
+                        Literal::Pos(DAtom::vars(e, &[1, 2])),
+                    ],
+                ),
+                // A second layer on top of T, so there are ≥ 3 strata.
+                Rule::new(
+                    DAtom::vars(s, &[0, 1]),
+                    vec![
+                        Literal::Pos(DAtom::vars(t, &[0, 1])),
+                        Literal::Neq(DTerm::Var(0), DTerm::Var(1)),
+                    ],
+                ),
+                Rule::new(
+                    DAtom::vars(g, &[0, 1]),
+                    vec![Literal::Pos(DAtom::vars(s, &[0, 1]))],
+                ),
+            ],
+            g,
+        )
+    }
+
+    fn cycle(v: &mut Vocab, n: usize) -> Instance {
+        let e = v.rel("E", 2);
+        let mut d = Instance::new();
+        for i in 0..n {
+            let a = v.constant(&format!("c{i}"));
+            let b = v.constant(&format!("c{}", (i + 1) % n));
+            d.insert(Fact::consts(e, &[a, b]));
+        }
+        d
+    }
+
+    #[test]
+    fn strata_order_is_bodies_first() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let strata = Strata::of(&p);
+        assert_eq!(strata.len(), 3);
+        let t = v.rel("T", 2);
+        let s = v.rel("S", 2);
+        let g = v.rel("goal", 2);
+        let heads: Vec<BTreeSet<RelId>> = strata
+            .strata
+            .iter()
+            .map(|s| s.rules.iter().map(|r| r.head.rel).collect())
+            .collect();
+        assert_eq!(heads[0], [t].into_iter().collect());
+        assert_eq!(heads[1], [s].into_iter().collect());
+        assert_eq!(heads[2], [g].into_iter().collect());
+    }
+
+    #[test]
+    fn stratified_matches_one_shot() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let d = cycle(&mut v, 7);
+        let expected = p.eval(&d);
+        for threads in [1, 4] {
+            let (got, stats) = eval_plain(&p, &d, threads);
+            assert_eq!(got, expected, "threads = {threads}");
+            assert!(stats.rounds >= 3);
+        }
+        assert_eq!(expected.len(), 7 * 6);
+    }
+
+    #[test]
+    fn batch_matches_individual_evaluation() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let strata = Strata::of(&p);
+        let aboxes: Vec<IndexedInstance> = (3..9)
+            .map(|n| IndexedInstance::from_interpretation(&cycle(&mut v, n)))
+            .collect();
+        let batch = eval_batch(&strata, p.goal, &aboxes, 4);
+        assert_eq!(batch.len(), aboxes.len());
+        for (i, d) in aboxes.iter().enumerate() {
+            let (individual, _) = eval_strata(&strata, p.goal, d, 1);
+            assert_eq!(batch[i].0, individual, "abox {i}");
+        }
+    }
+
+    #[test]
+    fn empty_program_and_goal_edb_facts() {
+        let mut v = Vocab::new();
+        let g = v.rel("goal", 1);
+        let p = Program::new(vec![], g);
+        let a = v.constant("a");
+        let mut d = Instance::new();
+        d.insert(Fact::consts(g, &[a]));
+        // Goal facts already in the EDB are answers, as in Program::eval.
+        let (ans, _) = eval_plain(&p, &d, 2);
+        assert_eq!(ans, p.eval(&d));
+        assert_eq!(ans.len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # gomq-engine
+//!
+//! A caching, indexed, parallel OMQ serving engine on top of the
+//! dichotomy machinery.
+//!
+//! The research crates answer one OMQ against one instance from
+//! scratch: classify the ontology, run type elimination, emit the
+//! Datalog≠ rewriting (Theorem 5), evaluate. A serving workload poses
+//! the *same* few OMQs against a *stream* of ABoxes, which makes that
+//! pipeline mostly redundant work. This crate restructures it:
+//!
+//! * [`plan`] — an [`OmqPlan`] bundles the classification verdict, the
+//!   optimized rewriting, and its SCC stratification; compiled once.
+//! * [`cache`] — a [`PlanCache`] keyed by the canonical OMQ hash
+//!   (`gomq_rewriting::canonical_omq_hash`), with negative caching of
+//!   non-rewritable OMQs.
+//! * [`exec`] — stratified semi-naive evaluation over
+//!   [`gomq_core::IndexedInstance`] (first-argument hash probes), with
+//!   scoped-thread parallelism across rule partitions within a round
+//!   and across ABoxes within a batch.
+//! * [`engine`] — the [`Engine`] facade tying cache, executor and
+//!   [`EngineStats`] together.
+//! * [`serve`] + the `gomq-serve` binary — a JSONL stdin/stdout
+//!   protocol: one `{ontology, query, abox}` request per line, one
+//!   answer+stats response per line.
+//!
+//! The executor is answer-equivalent to the reference
+//! [`gomq_datalog::Program::eval`]; `tests/engine_props.rs` checks this
+//! property on random programs and instances, including across
+//! cache-hit re-evaluation.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod exec;
+pub mod json;
+pub mod plan;
+pub mod serve;
+pub mod stats;
+
+pub use cache::PlanCache;
+pub use engine::Engine;
+pub use exec::{eval_batch, eval_plain, eval_program, eval_strata, Strata};
+pub use plan::{EngineError, OmqPlan};
+pub use serve::ServeSession;
+pub use stats::{EngineStats, RequestStats};

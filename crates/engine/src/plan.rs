@@ -1,0 +1,144 @@
+//! Compiled OMQ plans.
+//!
+//! An [`OmqPlan`] packages everything the serving layer needs to answer
+//! an ontology-mediated query `(O, q)` against arbitrary ABoxes:
+//!
+//! * the **classification verdict** ([`OntologyReport`]) — the
+//!   executable Figure-1 zone/fragment report from `gomq-rewriting`,
+//! * the **compiled Datalog≠ rewriting** (Theorem 5: one `elim_θ`
+//!   predicate per surviving element type), already `optimize()`d,
+//! * the rewriting pre-**stratified** into SCC strata ([`Strata`]), so
+//!   evaluation never pays the stratification cost per request,
+//! * the **canonical cache key** ([`canonical_omq_hash`]) under which
+//!   the plan is stored.
+//!
+//! Compilation is the expensive part of serving (type elimination is
+//! exponential in the signature); the whole point of the engine is to
+//! pay it once per distinct OMQ.
+
+use crate::exec::Strata;
+use gomq_core::{RelId, Vocab};
+use gomq_datalog::Program;
+use gomq_logic::GfOntology;
+use gomq_reasoning::CertainEngine;
+use gomq_rewriting::emit::emit_datalog;
+use gomq_rewriting::{
+    canonical_omq_hash, canonical_omq_text, classify_ontology, ElementTypeSystem, OntologyReport,
+    RewriteError,
+};
+use std::fmt;
+
+/// Errors surfaced by the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The ontology is outside the element-type rewritable class — the
+    /// engine cannot compile a Datalog≠ plan for it (it may well be
+    /// coNP-hard by the dichotomy; the report's zone says more).
+    NotRewritable(RewriteError),
+    /// A malformed serving request (bad JSON, unknown relation, parse
+    /// failure in the ontology or ABox text).
+    BadRequest(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NotRewritable(e) => {
+                write!(f, "OMQ is not element-type rewritable: {e}")
+            }
+            EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RewriteError> for EngineError {
+    fn from(e: RewriteError) -> Self {
+        EngineError::NotRewritable(e)
+    }
+}
+
+/// A compiled, cacheable plan for one OMQ.
+#[derive(Clone, Debug)]
+pub struct OmqPlan {
+    /// The plan-cache key: [`canonical_omq_hash`] of `(O, q)`.
+    pub key: u64,
+    /// The canonical OMQ text the key hashes (kept for diagnostics and
+    /// collision checks).
+    pub canonical_text: String,
+    /// The queried relation.
+    pub query: RelId,
+    /// The classification verdict for the ontology.
+    pub report: OntologyReport,
+    /// The Datalog≠ rewriting (goal = the emitted `_goal` relation).
+    pub program: Program,
+    /// The rewriting's rules pre-partitioned into SCC strata.
+    pub strata: Strata,
+}
+
+impl OmqPlan {
+    /// Compiles a plan: classifies the ontology, builds the element-type
+    /// system, emits and optimizes the Datalog≠ rewriting, and
+    /// stratifies it.
+    ///
+    /// Interns fresh `_elim`/`_dom`/`_goal` relations in `vocab`; a
+    /// cached plan must only be reused with the same vocabulary.
+    pub fn compile(
+        o: &GfOntology,
+        query: RelId,
+        vocab: &mut Vocab,
+    ) -> Result<OmqPlan, EngineError> {
+        let key = canonical_omq_hash(o, query, vocab);
+        let canonical_text = canonical_omq_text(o, query, vocab);
+        // Classification without materializability probes: the serving
+        // layer only needs the syntactic verdict (zone, fragment,
+        // rewritability); probing is a research-tool concern.
+        let report = classify_ontology(o, &[], &CertainEngine::new(1), vocab);
+        let sys = ElementTypeSystem::build(o, vocab)?;
+        let program = emit_datalog(&sys, query, vocab).optimize();
+        let strata = Strata::of(&program);
+        Ok(OmqPlan {
+            key,
+            canonical_text,
+            query,
+            report,
+            program,
+            strata,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_dl::parser::parse_ontology;
+    use gomq_dl::translate::to_gf;
+
+    #[test]
+    fn compile_horn_ontology() {
+        let mut v = Vocab::new();
+        let dl = parse_ontology("A sub B\nB sub C\n", &mut v).unwrap();
+        let o = to_gf(&dl);
+        let c = v.find_rel("C").unwrap();
+        let plan = OmqPlan::compile(&o, c, &mut v).unwrap();
+        assert!(plan.report.type_rewritable);
+        assert!(!plan.program.is_empty());
+        assert!(!plan.strata.is_empty());
+        assert_eq!(plan.key, canonical_omq_hash(&o, c, &v));
+        assert!(plan.canonical_text.contains("query: C"));
+    }
+
+    #[test]
+    fn transitive_ontology_is_rejected_with_report_intact() {
+        let mut v = Vocab::new();
+        let dl = parse_ontology("A sub ex R.B\n", &mut v).unwrap();
+        let mut o = to_gf(&dl);
+        let r = v.find_rel("R").unwrap();
+        o.transitive.insert(r);
+        let b = v.find_rel("B").unwrap();
+        let err = OmqPlan::compile(&o, b, &mut v).unwrap_err();
+        assert!(matches!(err, EngineError::NotRewritable(_)));
+        assert!(format!("{err}").contains("not element-type rewritable"));
+    }
+}

@@ -1,0 +1,274 @@
+//! The JSONL serving protocol: one request object per line in, one
+//! response object per line out.
+//!
+//! Request shape (`abox` and `aboxes` are mutually exclusive):
+//!
+//! ```json
+//! {"id": "r1",
+//!  "ontology": "Manager sub Employee\nEmployee sub Staff",
+//!  "query": "Staff",
+//!  "abox": "Manager(ada)\nEmployee(grace)"}
+//! ```
+//!
+//! Successful response:
+//!
+//! ```json
+//! {"id": "r1", "status": "ok", "cached": false, "zone": "Dichotomy (Datalog!= = PTIME)",
+//!  "answers": [["ada"], ["grace"]],
+//!  "stats": {"compile_us": 412, "eval_us": 88, "rounds": 3, "derived": 6,
+//!            "cache_hits": 0, "cache_misses": 1}}
+//! ```
+//!
+//! With `"aboxes": ["...", "..."]` the response carries `"batches"` (one
+//! answer array per ABox, evaluated concurrently) instead of
+//! `"answers"`. Errors come back as
+//! `{"id": ..., "status": "error", "error": "..."}` — the session never
+//! dies on a bad line.
+
+use crate::engine::Engine;
+use crate::json::{self, Json};
+use crate::plan::EngineError;
+use gomq_core::{IndexedInstance, Term, Vocab};
+use gomq_dl::parser::parse_ontology;
+use gomq_dl::translate::to_gf;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A serving session: one engine, one vocabulary, shared by every
+/// request on the connection.
+pub struct ServeSession {
+    engine: Engine,
+    vocab: Vocab,
+}
+
+impl Default for ServeSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeSession {
+    /// A session sized to the machine.
+    pub fn new() -> Self {
+        ServeSession {
+            engine: Engine::new(),
+            vocab: Vocab::new(),
+        }
+    }
+
+    /// A session with an explicit worker budget.
+    pub fn with_threads(threads: usize) -> Self {
+        ServeSession {
+            engine: Engine::with_threads(threads),
+            vocab: Vocab::new(),
+        }
+    }
+
+    /// The underlying engine (for statistics inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Handles one request line, returning one response line (no
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let (id, outcome) = self.dispatch(line);
+        match outcome {
+            Ok(body) => body,
+            Err(e) => {
+                let mut out = String::from("{");
+                if let Some(id) = id {
+                    out.push_str("\"id\": ");
+                    json::write_str(&mut out, &id);
+                    out.push_str(", ");
+                }
+                out.push_str("\"status\": \"error\", \"error\": ");
+                json::write_str(&mut out, &format!("{e}"));
+                out.push('}');
+                out
+            }
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> (Option<String>, Result<String, EngineError>) {
+        let parsed =
+            json::parse(line).map_err(|e| EngineError::BadRequest(format!("invalid JSON: {e}")));
+        let obj = match parsed {
+            Ok(Json::Obj(o)) => o,
+            Ok(_) => {
+                return (
+                    None,
+                    Err(EngineError::BadRequest(
+                        "request must be a JSON object".into(),
+                    )),
+                )
+            }
+            Err(e) => return (None, Err(e)),
+        };
+        let id = obj.get("id").and_then(Json::as_str).map(str::to_owned);
+        (id.clone(), self.run(&obj, id.as_deref()))
+    }
+
+    fn run(
+        &mut self,
+        obj: &std::collections::BTreeMap<String, Json>,
+        id: Option<&str>,
+    ) -> Result<String, EngineError> {
+        let field = |name: &str| -> Result<&str, EngineError> {
+            obj.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| EngineError::BadRequest(format!("missing string field \"{name}\"")))
+        };
+        let ontology_text = field("ontology")?;
+        let query_name = field("query")?;
+        let dl = parse_ontology(ontology_text, &mut self.vocab)
+            .map_err(|e| EngineError::BadRequest(format!("ontology: {e}")))?;
+        let o = to_gf(&dl);
+        let query = self.vocab.find_rel(query_name).ok_or_else(|| {
+            EngineError::BadRequest(format!(
+                "query relation \"{query_name}\" does not occur in the ontology"
+            ))
+        })?;
+        let (plan, cached, compile_elapsed) = self.engine.plan(&o, query, &mut self.vocab);
+        self.engine.record_compile(compile_elapsed);
+        let plan = plan?;
+
+        // One ABox or a batch of ABoxes.
+        let mut parse_abox = |text: &str| -> Result<IndexedInstance, EngineError> {
+            let d = gomq_core::parse::parse_instance(text, &mut self.vocab)
+                .map_err(|e| EngineError::BadRequest(format!("abox: {e}")))?;
+            Ok(IndexedInstance::from_interpretation(&d))
+        };
+        let (payload, stats) = if let Some(texts) = obj.get("aboxes") {
+            let texts = texts.as_arr().ok_or_else(|| {
+                EngineError::BadRequest("\"aboxes\" must be an array of strings".into())
+            })?;
+            let mut aboxes = Vec::with_capacity(texts.len());
+            for t in texts {
+                aboxes.push(parse_abox(t.as_str().ok_or_else(|| {
+                    EngineError::BadRequest("\"aboxes\" must be an array of strings".into())
+                })?)?);
+            }
+            let (batches, stats) = self.engine.answer_batch(&plan, &aboxes);
+            let mut payload = String::from("\"batches\": [");
+            for (i, answers) in batches.iter().enumerate() {
+                if i > 0 {
+                    payload.push_str(", ");
+                }
+                self.write_answers(&mut payload, answers);
+            }
+            payload.push(']');
+            (payload, stats)
+        } else {
+            let abox = parse_abox(field("abox")?)?;
+            let (answers, stats) = self.engine.answer_indexed(&plan, &abox);
+            let mut payload = String::from("\"answers\": ");
+            self.write_answers(&mut payload, &answers);
+            (payload, stats)
+        };
+
+        let mut out = String::from("{");
+        if let Some(id) = id {
+            out.push_str("\"id\": ");
+            json::write_str(&mut out, id);
+            out.push_str(", ");
+        }
+        out.push_str("\"status\": \"ok\", ");
+        let _ = write!(out, "\"cached\": {cached}, ");
+        out.push_str("\"zone\": ");
+        json::write_str(&mut out, &format!("{}", plan.report.zone));
+        out.push_str(", ");
+        out.push_str(&payload);
+        let _ = write!(
+            out,
+            ", \"stats\": {{\"compile_us\": {}, \"eval_us\": {}, \"rounds\": {}, \
+             \"derived\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}}}",
+            compile_elapsed.as_micros(),
+            stats.eval.as_micros(),
+            stats.rounds,
+            stats.derived,
+            self.engine.cache().hits(),
+            self.engine.cache().misses(),
+        );
+        Ok(out)
+    }
+
+    fn write_answers(&self, out: &mut String, answers: &BTreeSet<Vec<Term>>) {
+        out.push('[');
+        for (i, tuple) in answers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            for (j, t) in tuple.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                json::write_str(out, &format!("{}", t.display(&self.vocab)));
+            }
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_field<'a>(response: &'a str, needle: &str) -> &'a str {
+        assert!(
+            response.contains(needle),
+            "expected {needle:?} in {response}"
+        );
+        response
+    }
+
+    #[test]
+    fn single_abox_roundtrip() {
+        let mut s = ServeSession::with_threads(2);
+        let resp = s.handle_line(
+            r#"{"id": "r1", "ontology": "Manager sub Employee\nEmployee sub Staff", "query": "Staff", "abox": "Manager(ada)\nEmployee(grace)"}"#,
+        );
+        ok_field(&resp, "\"status\": \"ok\"");
+        ok_field(&resp, "\"id\": \"r1\"");
+        ok_field(&resp, "\"cached\": false");
+        ok_field(&resp, r#"["ada"]"#);
+        ok_field(&resp, r#"["grace"]"#);
+        // Same OMQ again: served from the cache.
+        let resp2 = s.handle_line(
+            r#"{"ontology": "Employee sub Staff\nManager sub Employee", "query": "Staff", "abox": "Manager(bob)"}"#,
+        );
+        ok_field(&resp2, "\"cached\": true");
+        ok_field(&resp2, r#"["bob"]"#);
+        ok_field(&resp2, "\"cache_hits\": 1");
+        // Responses are valid JSON.
+        assert!(crate::json::parse(&resp).is_ok());
+        assert!(crate::json::parse(&resp2).is_ok());
+    }
+
+    #[test]
+    fn batched_aboxes() {
+        let mut s = ServeSession::with_threads(4);
+        let resp = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "aboxes": ["A(x)", "B(y)\nA(z)", ""]}"#,
+        );
+        ok_field(&resp, "\"batches\": ");
+        ok_field(&resp, r#"[["x"]], [["y"], ["z"]], []"#);
+        assert!(crate::json::parse(&resp).is_ok());
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = ServeSession::with_threads(1);
+        let bad_json = s.handle_line("{nope");
+        ok_field(&bad_json, "\"status\": \"error\"");
+        let bad_query = s.handle_line(r#"{"ontology": "A sub B", "query": "Zzz", "abox": ""}"#);
+        ok_field(&bad_query, "does not occur in the ontology");
+        let bad_abox = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x"}"#);
+        ok_field(&bad_abox, "\"status\": \"error\"");
+        // The session still works afterwards.
+        let good = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        ok_field(&good, "\"status\": \"ok\"");
+    }
+}

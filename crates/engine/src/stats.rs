@@ -1,0 +1,58 @@
+//! Engine and per-request statistics.
+
+use std::time::Duration;
+
+/// Statistics of one served request (one OMQ evaluated against one
+/// ABox, or one batch of ABoxes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestStats {
+    /// Whether the plan came out of the cache.
+    pub cache_hit: bool,
+    /// Wall time spent compiling the plan (zero on a cache hit).
+    pub compile: Duration,
+    /// Wall time spent evaluating the Datalog≠ program.
+    pub eval: Duration,
+    /// Fixpoint rounds across all strata (summed over a batch).
+    pub rounds: usize,
+    /// IDB facts derived beyond the ABox (summed over a batch).
+    pub derived: usize,
+    /// Number of answer tuples (summed over a batch).
+    pub answers: usize,
+}
+
+/// Cumulative statistics of an [`crate::Engine`] since construction.
+///
+/// All phase timings are wall-clock [`std::time::Instant`] spans
+/// accumulated across requests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Requests served (each [`crate::Engine::answer`] /
+    /// [`crate::Engine::answer_batch`] call counts once).
+    pub requests: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (= compilations attempted).
+    pub cache_misses: u64,
+    /// Fixpoint rounds across all evaluations.
+    pub rounds: u64,
+    /// IDB facts derived across all evaluations.
+    pub derived: u64,
+    /// Answer tuples produced across all evaluations.
+    pub answers: u64,
+    /// Total wall time in plan compilation.
+    pub compile_time: Duration,
+    /// Total wall time in evaluation.
+    pub eval_time: Duration,
+}
+
+impl EngineStats {
+    /// Folds one request's statistics into the cumulative totals.
+    pub(crate) fn absorb(&mut self, r: &RequestStats) {
+        self.requests += 1;
+        self.rounds += r.rounds as u64;
+        self.derived += r.derived as u64;
+        self.answers += r.answers as u64;
+        self.compile_time += r.compile;
+        self.eval_time += r.eval;
+    }
+}

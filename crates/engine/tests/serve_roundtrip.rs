@@ -1,0 +1,78 @@
+//! End-to-end test of the `gomq-serve` binary: feed JSONL requests on
+//! stdin, check the JSONL responses on stdout.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_serve(input: &str, extra_args: &[&str]) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gomq-serve"))
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gomq-serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("gomq-serve exits");
+    assert!(out.status.success(), "gomq-serve failed: {out:?}");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+#[test]
+fn jsonl_requests_roundtrip_with_plan_caching() {
+    let requests = concat!(
+        r#"{"id": "r1", "ontology": "Manager sub Employee\nEmployee sub Staff", "query": "Staff", "abox": "Manager(ada)\nStaff(alan)"}"#,
+        "\n",
+        "\n", // blank lines are skipped
+        r#"{"id": "r2", "ontology": "Employee sub Staff\nManager sub Employee", "query": "Staff", "abox": "Employee(grace)"}"#,
+        "\n",
+        r#"{"id": "r3", "ontology": "A sub B", "query": "B", "aboxes": ["A(x)", "", "A(y)\nB(z)"]}"#,
+        "\n",
+        r#"{"id": "r4", "ontology": "A sub B", "query": "Missing", "abox": ""}"#,
+        "\n",
+    );
+    let (stdout, stderr) = run_serve(requests, &["--threads", "2"]);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one response per request: {stdout}");
+
+    // r1: fresh compile, both the asserted and the derived Staff answer.
+    assert!(lines[0].contains(r#""id": "r1""#));
+    assert!(lines[0].contains(r#""status": "ok""#));
+    assert!(lines[0].contains(r#""cached": false"#));
+    assert!(lines[0].contains(r#"["ada"]"#) && lines[0].contains(r#"["alan"]"#));
+
+    // r2 poses the same OMQ with the axioms reordered: plan-cache hit.
+    assert!(lines[1].contains(r#""id": "r2""#));
+    assert!(lines[1].contains(r#""cached": true"#));
+    assert!(lines[1].contains(r#"["grace"]"#));
+    assert!(lines[1].contains(r#""cache_hits": 1"#));
+
+    // r3: a batch, one answer array per ABox in order.
+    assert!(lines[2].contains(r#""batches": [[["x"]], [], [["y"], ["z"]]]"#));
+
+    // r4: an error response, not a crash.
+    assert!(lines[3].contains(r#""id": "r4""#));
+    assert!(lines[3].contains(r#""status": "error""#));
+
+    // The EOF summary on stderr reports the three served evaluations.
+    assert!(stderr.contains("3 requests"), "stderr: {stderr}");
+    assert!(stderr.contains("1 cache hits"), "stderr: {stderr}");
+}
+
+#[test]
+fn help_flag_prints_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gomq-serve"))
+        .arg("--help")
+        .output()
+        .expect("run gomq-serve --help");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Usage: gomq-serve"));
+}

@@ -30,7 +30,12 @@ pub fn sentence_depth(s: &UgfSentence) -> usize {
 /// sentences count their full quantifier depth minus one if they are
 /// outermost-universal, otherwise their full depth.
 pub fn ontology_depth(o: &GfOntology) -> usize {
-    let ugf = o.ugf_sentences.iter().map(sentence_depth).max().unwrap_or(0);
+    let ugf = o
+        .ugf_sentences
+        .iter()
+        .map(sentence_depth)
+        .max()
+        .unwrap_or(0);
     let other = o
         .other_sentences
         .iter()
@@ -59,12 +64,18 @@ mod tests {
         let (x, y, z) = (LVar(0), LVar(1), LVar(2));
         let sent = UgfSentence::new(
             vec![x, y],
-            Guard::Atom { rel: r, args: vec![x, y] },
+            Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             Formula::Or(vec![
                 Formula::unary(a, x),
                 Formula::Exists {
                     qvars: vec![z],
-                    guard: Guard::Atom { rel: s, args: vec![y, z] },
+                    guard: Guard::Atom {
+                        rel: s,
+                        args: vec![y, z],
+                    },
                     body: Box::new(Formula::True),
                 },
             ]),
@@ -83,10 +94,16 @@ mod tests {
         // ∃y(R(x,y) ∧ ∃z(R(y,z) ∧ true)) has depth 2.
         let f = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::Exists {
                 qvars: vec![z],
-                guard: Guard::Atom { rel: r, args: vec![y, z] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![y, z],
+                },
                 body: Box::new(Formula::True),
             }),
         };
@@ -101,7 +118,10 @@ mod tests {
         let f = Formula::CountExists {
             n: 5,
             qvar: y,
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::True),
         };
         assert_eq!(formula_depth(&f), 1);

@@ -24,10 +24,7 @@ pub fn eval(f: &Formula, a: &Interpretation, asg: &Assignment) -> bool {
         Formula::True => true,
         Formula::False => false,
         Formula::Atom { rel, args } => {
-            let fact = gomq_core::Fact::new(
-                *rel,
-                args.iter().map(|v| lookup(asg, *v)).collect(),
-            );
+            let fact = gomq_core::Fact::new(*rel, args.iter().map(|v| lookup(asg, *v)).collect());
             a.contains(&fact)
         }
         Formula::Eq(x, y) => lookup(asg, *x) == lookup(asg, *y),
@@ -242,8 +239,7 @@ pub fn is_transitive_in(a: &Interpretation, rel: gomq_core::RelId) -> bool {
 pub fn satisfies_ontology(a: &Interpretation, o: &GfOntology) -> bool {
     o.transitive.iter().all(|&r| is_transitive_in(a, r))
         && o.functional.iter().all(|&r| is_functional_in(a, r))
-        && o
-            .inverse_functional
+        && o.inverse_functional
             .iter()
             .all(|&r| is_inverse_functional_in(a, r))
         && o.ugf_sentences.iter().all(|s| satisfies_ugf(a, s))
@@ -275,7 +271,10 @@ mod tests {
         // φ(x) = ∃y(R(x,y) ∧ true)
         let phi = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::True),
         };
         let e0 = Term::Const(v.constant("e0"));
@@ -296,7 +295,10 @@ mod tests {
         // ∀x ∃y(R(x,y) ∨ R(y,x)) — every node is incident to an edge.
         let body = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::True),
         };
         let sent = Formula::Forall {
@@ -306,7 +308,10 @@ mod tests {
                 body,
                 Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![y, x] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![y, x],
+                    },
                     body: Box::new(Formula::True),
                 },
             ])),
@@ -330,7 +335,10 @@ mod tests {
         let at_least = |n: u32| Formula::CountExists {
             n,
             qvar: y,
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::True),
         };
         assert!(eval(&at_least(5), &i, &asg));

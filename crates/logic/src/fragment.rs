@@ -224,11 +224,7 @@ impl Fragment {
                     && !f.uses_functions
             }
             Fragment::UgcMinus2_1Eq => {
-                f.is_ugf
-                    && two_var
-                    && f.depth <= 1
-                    && f.outer_guard_equality
-                    && !f.uses_functions
+                f.is_ugf && two_var && f.depth <= 1 && f.outer_guard_equality && !f.uses_functions
             }
             Fragment::Ugf2_1Eq => {
                 f.is_ugf && two_var && f.depth <= 1 && !f.uses_counting && !f.uses_functions
@@ -310,7 +306,10 @@ mod tests {
             x,
             Formula::Exists {
                 qvars: vec![y],
-                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![x, y],
+                },
                 body: Box::new(Formula::unary(a, y)),
             },
             vec!["x".into(), "y".into()],
@@ -351,7 +350,10 @@ mod tests {
         // ∀xy(R(x,y) → (A(x) ∨ x=y)) — depth 0 body with equality, guard R.
         let s = UgfSentence::new(
             vec![x, y],
-            Guard::Atom { rel: r, args: vec![x, y] },
+            Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             Formula::Or(vec![Formula::unary(a, x), Formula::Eq(x, y)]),
             vec!["x".into(), "y".into()],
         );
@@ -379,7 +381,10 @@ mod tests {
                 Formula::CountExists {
                     n: 5,
                     qvar: y,
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::True),
                 },
             ),
@@ -398,7 +403,10 @@ mod tests {
         let (x, y, z) = (LVar(0), LVar(1), LVar(2));
         let s = UgfSentence::new(
             vec![x, y, z],
-            Guard::Atom { rel: w, args: vec![x, y, z] },
+            Guard::Atom {
+                rel: w,
+                args: vec![x, y, z],
+            },
             Formula::True,
             vec!["x".into(), "y".into(), "z".into()],
         );
@@ -417,14 +425,20 @@ mod tests {
         // depth-2, two-variable, outer equality, with a function: uGF⁻₂(2,f).
         let inner = Formula::Exists {
             qvars: vec![x],
-            guard: Guard::Atom { rel: p, args: vec![y, x] },
+            guard: Guard::Atom {
+                rel: p,
+                args: vec![y, x],
+            },
             body: Box::new(Formula::True),
         };
         let s = UgfSentence::forall_one(
             x,
             Formula::Exists {
                 qvars: vec![y],
-                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![x, y],
+                },
                 body: Box::new(inner),
             },
             vec!["x".into(), "y".into()],

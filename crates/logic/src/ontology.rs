@@ -235,7 +235,8 @@ impl GfOntology {
     /// Union of two ontologies (the paper's `O₁ ∪ O₂`).
     pub fn union(&self, other: &GfOntology) -> GfOntology {
         let mut out = self.clone();
-        out.ugf_sentences.extend(other.ugf_sentences.iter().cloned());
+        out.ugf_sentences
+            .extend(other.ugf_sentences.iter().cloned());
         out.other_sentences
             .extend(other.other_sentences.iter().cloned());
         out.functional.extend(other.functional.iter().copied());
@@ -257,8 +258,7 @@ impl GfOntology {
                 Formula::And(fs) | Formula::Or(fs) => {
                     1 + fs.iter().map(formula_size).sum::<usize>()
                 }
-                Formula::Forall { qvars, guard, body }
-                | Formula::Exists { qvars, guard, body } => {
+                Formula::Forall { qvars, guard, body } | Formula::Exists { qvars, guard, body } => {
                     1 + qvars.len() + guard.vars().len() + 1 + formula_size(body)
                 }
                 Formula::CountExists { n, guard, body, .. } => {
@@ -293,12 +293,18 @@ mod tests {
         let (x, y, z) = (LVar(0), LVar(1), LVar(2));
         UgfSentence::new(
             vec![x, y],
-            Guard::Atom { rel: r, args: vec![x, y] },
+            Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             Formula::Or(vec![
                 Formula::unary(a, x),
                 Formula::Exists {
                     qvars: vec![z],
-                    guard: Guard::Atom { rel: s, args: vec![y, z] },
+                    guard: Guard::Atom {
+                        rel: s,
+                        args: vec![y, z],
+                    },
                     body: Box::new(Formula::True),
                 },
             ]),
@@ -327,7 +333,10 @@ mod tests {
         // Body ∀xy(R(x,y) → A(x)) is a sentence — not openGF.
         let body = Formula::Forall {
             qvars: vec![x, y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::unary(a, x)),
         };
         let z = LVar(2);

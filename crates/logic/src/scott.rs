@@ -179,10 +179,7 @@ impl Ctx<'_> {
             axiom_body,
             axiom_names,
         ));
-        let replacement = Formula::Atom {
-            rel,
-            args: free,
-        };
+        let replacement = Formula::Atom { rel, args: free };
         if positive {
             replacement
         } else {
@@ -205,13 +202,22 @@ mod tests {
         let (x, y, z, w) = (LVar(0), LVar(1), LVar(2), LVar(3));
         let chain = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::Exists {
                 qvars: vec![z],
-                guard: Guard::Atom { rel: r, args: vec![y, z] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![y, z],
+                },
                 body: Box::new(Formula::Exists {
                     qvars: vec![w],
-                    guard: Guard::Atom { rel: r, args: vec![z, w] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![z, w],
+                    },
                     body: Box::new(Formula::unary(a, w)),
                 }),
             }),
@@ -314,10 +320,16 @@ mod tests {
         let (x, y, z) = (LVar(0), LVar(1), LVar(2));
         let inner = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::Exists {
                 qvars: vec![z],
-                guard: Guard::Atom { rel: r, args: vec![y, z] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![y, z],
+                },
                 body: Box::new(Formula::True),
             }),
         };
@@ -348,10 +360,16 @@ mod tests {
             Formula::CountExists {
                 n: 3,
                 qvar: y,
-                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![x, y],
+                },
                 body: Box::new(Formula::Exists {
                     qvars: vec![z],
-                    guard: Guard::Atom { rel: s, args: vec![y, z] },
+                    guard: Guard::Atom {
+                        rel: s,
+                        args: vec![y, z],
+                    },
                     body: Box::new(Formula::True),
                 }),
             },
@@ -390,7 +408,10 @@ mod tests {
             x,
             Formula::Exists {
                 qvars: vec![y],
-                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![x, y],
+                },
                 body: Box::new(Formula::True),
             },
             vec!["x".into(), "y".into()],

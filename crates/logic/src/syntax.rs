@@ -154,9 +154,7 @@ impl Formula {
             Formula::Atom { args, .. } => args.iter().copied().collect(),
             Formula::Eq(a, b) => [*a, *b].into_iter().collect(),
             Formula::Not(f) => f.free_vars(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().flat_map(|f| f.free_vars()).collect()
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().flat_map(|f| f.free_vars()).collect(),
             Formula::Forall { qvars, guard, body } | Formula::Exists { qvars, guard, body } => {
                 let mut fv = guard.vars();
                 fv.extend(body.free_vars());
@@ -224,9 +222,7 @@ impl Formula {
             Formula::Forall { guard, body, .. } | Formula::Exists { guard, body, .. } => {
                 !guard.is_equality() && body.is_open_gf()
             }
-            Formula::CountExists { guard, body, .. } => {
-                !guard.is_equality() && body.is_open_gf()
-            }
+            Formula::CountExists { guard, body, .. } => !guard.is_equality() && body.is_open_gf(),
         }
     }
 
@@ -298,8 +294,7 @@ impl Formula {
                     out.extend(f.rels());
                 }
             }
-            Formula::Forall { guard, body, .. }
-            | Formula::Exists { guard, body, .. } => {
+            Formula::Forall { guard, body, .. } | Formula::Exists { guard, body, .. } => {
                 guard_rel(guard, &mut out);
                 out.extend(body.rels());
             }
@@ -481,14 +476,20 @@ mod tests {
         // ∃z(S(y,z) ∧ true) with free y
         let inner = Formula::Exists {
             qvars: vec![z],
-            guard: Guard::Atom { rel: s, args: vec![y, z] },
+            guard: Guard::Atom {
+                rel: s,
+                args: vec![y, z],
+            },
             body: Box::new(Formula::True),
         };
         assert_eq!(inner.free_vars(), [y].into_iter().collect());
         // ∀xy(R(x,y) → ∃z S(y,z)) is a sentence
         let sent = Formula::Forall {
             qvars: vec![x, y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(inner),
         };
         assert!(sent.is_sentence());
@@ -504,7 +505,10 @@ mod tests {
         // ∀y(A(y) → R(x,y)): guard A(y) does not contain the free x of the body.
         let bad = Formula::Forall {
             qvars: vec![y],
-            guard: Guard::Atom { rel: a, args: vec![y] },
+            guard: Guard::Atom {
+                rel: a,
+                args: vec![y],
+            },
             body: Box::new(Formula::binary(r, x, y)),
         };
         assert!(!bad.is_well_guarded());
@@ -528,7 +532,10 @@ mod tests {
         let r = v.rel("R", 2);
         let sent = Formula::Forall {
             qvars: vec![x, y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::unary(a, x)),
         };
         assert!(!sent.is_open_gf());
@@ -542,14 +549,20 @@ mod tests {
         let cnt = Formula::CountExists {
             n: 4,
             qvar: y,
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::True),
         };
         assert!(cnt.uses_counting());
         assert!(!cnt.uses_equality());
         let neq = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
         };
         assert!(neq.uses_equality());
@@ -564,7 +577,10 @@ mod tests {
         let (x, y, _) = vars();
         let f = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::binary(s, x, y)),
         };
         assert_eq!(f.rels().len(), 2);
@@ -578,7 +594,10 @@ mod tests {
         let names = vec!["x".to_owned(), "y".to_owned()];
         let f = Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(Formula::True),
         };
         let s = format!("{}", f.display(&names));

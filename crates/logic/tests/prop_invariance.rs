@@ -28,7 +28,7 @@ fn cycle(v: &mut Vocab, n: usize, tag: &str) -> Instance {
 #[derive(Clone, Debug)]
 enum Tree {
     True,
-    Loop,          // R(x,x)
+    Loop, // R(x,x)
     Not(Box<Tree>),
     And(Box<Tree>, Box<Tree>),
     Or(Box<Tree>, Box<Tree>),
@@ -42,10 +42,8 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
     leaf.prop_recursive(4, 16, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|t| Tree::Not(Box::new(t))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Tree::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Tree::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|t| Tree::ExistsFwd(Box::new(t))),
             inner.clone().prop_map(|t| Tree::ExistsBwd(Box::new(t))),
             inner.prop_map(|t| Tree::ForallFwd(Box::new(t))),
@@ -66,17 +64,26 @@ fn realize(t: &Tree, r: gomq_core::RelId, me: u32) -> Formula {
         Tree::Or(a, b) => Formula::Or(vec![realize(a, r, me), realize(b, r, me)]),
         Tree::ExistsFwd(a) => Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(realize(a, r, me + 1)),
         },
         Tree::ExistsBwd(a) => Formula::Exists {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![y, x] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![y, x],
+            },
             body: Box::new(realize(a, r, me + 1)),
         },
         Tree::ForallFwd(a) => Formula::Forall {
             qvars: vec![y],
-            guard: Guard::Atom { rel: r, args: vec![x, y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             body: Box::new(realize(a, r, me + 1)),
         },
     }

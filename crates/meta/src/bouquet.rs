@@ -195,8 +195,8 @@ mod tests {
         let cfg = BouquetConfig {
             max_outdegree: 1,
             max_bouquets: 10_000,
-                include_loops: false,
-            };
+            include_loops: false,
+        };
         let e = enumerate_bouquets(&[a], &[r], cfg, &mut v);
         assert!(e.exhausted);
         // Root labels: 2 options ({},{A}). Neighbour configs: 2 unary
@@ -217,8 +217,8 @@ mod tests {
         let cfg = BouquetConfig {
             max_outdegree: 2,
             max_bouquets: 10_000,
-                include_loops: false,
-            };
+            include_loops: false,
+        };
         let e = enumerate_bouquets(&[], &[r], cfg, &mut v);
         assert!(e.exhausted);
         for b in &e.bouquets {
@@ -237,8 +237,8 @@ mod tests {
         let cfg = BouquetConfig {
             max_outdegree: 2,
             max_bouquets: 50,
-                include_loops: false,
-            };
+            include_loops: false,
+        };
         let e = enumerate_bouquets(&[a, b], &[r, s], cfg, &mut v);
         assert!(!e.exhausted);
         assert_eq!(e.bouquets.len(), 50);
@@ -251,8 +251,8 @@ mod tests {
         let cfg = BouquetConfig {
             max_outdegree: 1,
             max_bouquets: 1000,
-                include_loops: false,
-            };
+            include_loops: false,
+        };
         let e = enumerate_bouquets(&[], &[r], cfg, &mut v);
         for b in &e.bouquets {
             for f in b.instance.iter() {

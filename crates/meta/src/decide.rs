@@ -85,8 +85,8 @@ mod tests {
         BouquetConfig {
             max_outdegree: 1,
             max_bouquets: 2_000,
-                include_loops: false,
-            }
+            include_loops: false,
+        }
     }
 
     #[test]
@@ -96,7 +96,10 @@ mod tests {
         let b = v.rel("B", 1);
         let r = Role::new(v.rel("R", 2));
         let mut dl = DlOntology::new();
-        dl.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b))));
+        dl.sub(
+            Concept::Name(a),
+            Concept::Exists(r, Box::new(Concept::Name(b))),
+        );
         let o = to_gf(&dl);
         let engine = CertainEngine::new(1);
         let verdict = decide_ptime(&o, &engine, small_config(), &mut v);

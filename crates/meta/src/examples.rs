@@ -42,26 +42,41 @@ pub fn example7(vocab: &mut Vocab) -> Example7 {
     let names = vec!["x".to_owned(), "y".to_owned()];
     let neq_succ = |w: RelId| Formula::Exists {
         qvars: vec![y],
-        guard: Guard::Atom { rel: w, args: vec![x, y] },
+        guard: Guard::Atom {
+            rel: w,
+            args: vec![x, y],
+        },
         body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
     };
     let neq_pred = |w: RelId| Formula::Exists {
         qvars: vec![y],
-        guard: Guard::Atom { rel: w, args: vec![y, x] },
+        guard: Guard::Atom {
+            rel: w,
+            args: vec![y, x],
+        },
         body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
     };
     let some_succ = |w: RelId| Formula::Exists {
         qvars: vec![y],
-        guard: Guard::Atom { rel: w, args: vec![x, y] },
+        guard: Guard::Atom {
+            rel: w,
+            args: vec![x, y],
+        },
         body: Box::new(Formula::True),
     };
     let mut onto = GfOntology::new();
     // ∀x(S(x,x) → (R(x,x) → (∃≠y R(x,y) ∨ ∃≠y S(x,y)))).
     onto.push(UgfSentence::new(
         vec![x],
-        Guard::Atom { rel: s, args: vec![x, x] },
+        Guard::Atom {
+            rel: s,
+            args: vec![x, x],
+        },
         Formula::implies(
-            Formula::Atom { rel: r, args: vec![x, x] },
+            Formula::Atom {
+                rel: r,
+                args: vec![x, x],
+            },
             Formula::Or(vec![neq_succ(r), neq_succ(s)]),
         ),
         names.clone(),
@@ -121,15 +136,11 @@ pub struct CounterFamily {
 pub fn counter_ontology(n: usize, vocab: &mut Vocab) -> CounterFamily {
     assert!(n >= 1, "the counter needs at least one bit");
     let bits: Vec<RelId> = (1..=n).map(|i| vocab.rel(&format!("Xc{i}"), 1)).collect();
-    let cobits: Vec<RelId> = (1..=n)
-        .map(|i| vocab.rel(&format!("XBc{i}"), 1))
-        .collect();
+    let cobits: Vec<RelId> = (1..=n).map(|i| vocab.rel(&format!("XBc{i}"), 1)).collect();
     let r = vocab.rel("Rc", 2);
     let s = vocab.rel("Sc", 2);
     let v_marker = vocab.rel("Vc", 1);
-    let ok: Vec<RelId> = (1..=n)
-        .map(|i| vocab.rel(&format!("OKc{i}"), 1))
-        .collect();
+    let ok: Vec<RelId> = (1..=n).map(|i| vocab.rel(&format!("OKc{i}"), 1)).collect();
     let b1 = vocab.rel("B1c", 1);
     let b2 = vocab.rel("B2c", 1);
     let s_role = Role::new(s);
@@ -185,11 +196,7 @@ pub fn counter_ontology(n: usize, vocab: &mut Vocab) -> CounterFamily {
         }
         for (here, cond, succ) in cases {
             dl.sub(
-                Concept::And(vec![
-                    here,
-                    cond,
-                    Concept::Exists(r_role, Box::new(succ)),
-                ]),
+                Concept::And(vec![here, cond, Concept::Exists(r_role, Box::new(succ))]),
                 hide(ok[i]),
             );
         }
@@ -357,16 +364,17 @@ mod tests {
         };
         let q1 = mk(f.b[0], &mut v);
         let q2 = mk(f.b[1], &mut v);
-        let queries = vec![
-            (q1.clone(), vec![head]),
-            (q2.clone(), vec![head]),
-        ];
+        let queries = vec![(q1.clone(), vec![head]), (q2.clone(), vec![head])];
         assert!(
-            !engine.certain(&f.onto, &d, &q1, &[head], &mut v).is_certain(),
+            !engine
+                .certain(&f.onto, &d, &q1, &[head], &mut v)
+                .is_certain(),
             "B1 alone is not certain"
         );
         assert!(
-            !engine.certain(&f.onto, &d, &q2, &[head], &mut v).is_certain(),
+            !engine
+                .certain(&f.onto, &d, &q2, &[head], &mut v)
+                .is_certain(),
             "B2 alone is not certain"
         );
         assert!(

@@ -198,10 +198,7 @@ impl CertainEngine {
         let mut out = BTreeSet::new();
         let mut idx = vec![0usize; arity];
         if arity == 0 {
-            if self
-                .certain(o, d, q, &[], vocab)
-                .is_certain()
-            {
+            if self.certain(o, d, q, &[], vocab).is_certain() {
                 out.insert(Vec::new());
             }
             return out;
@@ -260,7 +257,10 @@ mod tests {
         let (x, y) = (LVar(0), LVar(1));
         let o = GfOntology::from_ugf(vec![UgfSentence::new(
             vec![x, y],
-            Guard::Atom { rel: r, args: vec![x, y] },
+            Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             Formula::implies(Formula::unary(a, x), Formula::unary(a, y)),
             vec!["x".into(), "y".into()],
         )]);

@@ -130,9 +130,7 @@ fn prepare(o: &GfOntology) -> Result<Vec<UgfSentence>, ChaseError> {
         ));
     }
     if !o.other_sentences.is_empty() {
-        return Err(ChaseError::Unsupported(
-            "non-uGF sentences".to_owned(),
-        ));
+        return Err(ChaseError::Unsupported("non-uGF sentences".to_owned()));
     }
     let mut out = Vec::new();
     for s in &o.ugf_sentences {
@@ -279,9 +277,7 @@ fn repairs(f: &Formula, a: &Interpretation, asg: &Assignment, vocab: &mut Vocab)
                 ext.insert(*q, Term::Null(vocab.fresh_null()));
             }
             let guard_fact = match guard {
-                Guard::Atom { rel, args } => {
-                    Fact::new(*rel, args.iter().map(|v| ext[v]).collect())
-                }
+                Guard::Atom { rel, args } => Fact::new(*rel, args.iter().map(|v| ext[v]).collect()),
                 Guard::Eq(_, _) => return Vec::new(), // not openGF anyway
             };
             // The body is evaluated over A extended by the guard fact.
@@ -395,7 +391,13 @@ pub fn chase(
         let mut violation: Option<(usize, Assignment)> = None;
         'scan: for (si, s) in sentences.iter().enumerate() {
             let mut matches = Vec::new();
-            collect_guard_matches(&s.guard, &s.qvars, &current, &Assignment::new(), &mut matches);
+            collect_guard_matches(
+                &s.guard,
+                &s.qvars,
+                &current,
+                &Assignment::new(),
+                &mut matches,
+            );
             for m in matches {
                 if !eval(&s.body, &current, &m) {
                     violation = Some((si, m));
@@ -435,9 +437,7 @@ mod tests {
     use super::*;
     use gomq_core::query::CqBuilder;
 
-    fn vocab_with(
-        v: &mut Vocab,
-    ) -> (gomq_core::RelId, gomq_core::RelId, gomq_core::RelId) {
+    fn vocab_with(v: &mut Vocab) -> (gomq_core::RelId, gomq_core::RelId, gomq_core::RelId) {
         (v.rel("A", 1), v.rel("B", 1), v.rel("R", 2))
     }
 
@@ -451,7 +451,10 @@ mod tests {
                 Formula::unary(a, x),
                 Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::unary(b, y)),
                 },
             ),
@@ -459,7 +462,10 @@ mod tests {
         );
         let s2 = UgfSentence::new(
             vec![x, y],
-            Guard::Atom { rel: r, args: vec![x, y] },
+            Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             Formula::implies(Formula::unary(b, y), Formula::unary(a, y)),
             vec!["x".into(), "y".into()],
         );
@@ -498,7 +504,10 @@ mod tests {
                 Formula::unary(a, x),
                 Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::unary(b, y)),
                 },
             ),
@@ -649,7 +658,10 @@ mod tests {
         let (x, y) = (LVar(0), LVar(1));
         let o = GfOntology::from_ugf(vec![UgfSentence::new(
             vec![x, y],
-            Guard::Atom { rel: r, args: vec![x, y] },
+            Guard::Atom {
+                rel: r,
+                args: vec![x, y],
+            },
             Formula::implies(Formula::unary(a, x), Formula::unary(a, y)),
             vec!["x".into(), "y".into()],
         )]);

@@ -167,7 +167,10 @@ mod tests {
         let c_rel = v.rel("C", 1);
         let r = Role::new(v.rel("R", 2));
         let mut dl = DlOntology::new();
-        dl.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b_rel))));
+        dl.sub(
+            Concept::Name(a),
+            Concept::Exists(r, Box::new(Concept::Name(b_rel))),
+        );
         let o = to_gf(&dl);
         let ca = v.constant("u");
         let cb = v.constant("w");

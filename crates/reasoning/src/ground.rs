@@ -263,8 +263,7 @@ impl Grounder {
                         let l1 = self.fact_lit(Fact::new(r, vec![a, b]));
                         let l2 = self.fact_lit(Fact::new(r, vec![b, c]));
                         let l3 = self.fact_lit(Fact::new(r, vec![a, c]));
-                        self.cnf
-                            .add_clause(vec![l1.negate(), l2.negate(), l3]);
+                        self.cnf.add_clause(vec![l1.negate(), l2.negate(), l3]);
                     }
                 }
             }
@@ -396,7 +395,10 @@ mod tests {
                 Formula::unary(a, x),
                 Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::unary(b, y)),
                 },
             ),
@@ -479,7 +481,10 @@ mod tests {
                 Formula::CountExists {
                     n: 3,
                     qvar: y,
-                    guard: Guard::Atom { rel: hf, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: hf,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::True),
                 },
             ),

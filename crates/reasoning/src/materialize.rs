@@ -75,11 +75,7 @@ pub fn materializable_on(
 /// the signature, instantiated at every tuple over `dom(D)` (arity ≤ 2 to
 /// keep the candidate family small; this covers the paper's examples,
 /// whose witnesses are atomic).
-pub fn atomic_candidates(
-    o: &GfOntology,
-    d: &Instance,
-    vocab: &Vocab,
-) -> Vec<(Ucq, Vec<Term>)> {
+pub fn atomic_candidates(o: &GfOntology, d: &Instance, vocab: &Vocab) -> Vec<(Ucq, Vec<Term>)> {
     let dom: Vec<Term> = d.dom().into_iter().collect();
     let mut out = Vec::new();
     for rel in o.sig() {
@@ -88,9 +84,7 @@ pub fn atomic_candidates(
             continue;
         }
         let mut b = CqBuilder::new();
-        let vars: Vec<_> = (0..arity)
-            .map(|i| b.var(&format!("x{i}")))
-            .collect();
+        let vars: Vec<_> = (0..arity).map(|i| b.var(&format!("x{i}"))).collect();
         b.atom(rel, &vars);
         let q = Ucq::from_cq(b.build(vars.clone()));
         // All tuples over dom(D).
@@ -163,8 +157,16 @@ pub fn boolean_candidates(o: &GfOntology, vocab: &Vocab) -> Vec<(Ucq, Vec<Term>)
 /// direction, instantiated at every element of `dom(D)`.
 pub fn eliq_candidates(o: &GfOntology, d: &Instance, vocab: &Vocab) -> Vec<(Ucq, Vec<Term>)> {
     let dom: Vec<Term> = d.dom().into_iter().collect();
-    let unary: Vec<_> = o.sig().into_iter().filter(|&r| vocab.arity(r) == 1).collect();
-    let binary: Vec<_> = o.sig().into_iter().filter(|&r| vocab.arity(r) == 2).collect();
+    let unary: Vec<_> = o
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 1)
+        .collect();
+    let binary: Vec<_> = o
+        .sig()
+        .into_iter()
+        .filter(|&r| vocab.arity(r) == 2)
+        .collect();
     let mut queries: Vec<Ucq> = Vec::new();
     for &r in &binary {
         for fwd in [true, false] {
@@ -203,11 +205,7 @@ pub fn eliq_candidates(o: &GfOntology, d: &Instance, vocab: &Vocab) -> Vec<(Ucq,
 
 /// The combined candidate family used by the meta decision procedures:
 /// atomic + ELIQ + Boolean candidates.
-pub fn standard_candidates(
-    o: &GfOntology,
-    d: &Instance,
-    vocab: &Vocab,
-) -> Vec<(Ucq, Vec<Term>)> {
+pub fn standard_candidates(o: &GfOntology, d: &Instance, vocab: &Vocab) -> Vec<(Ucq, Vec<Term>)> {
     let mut out = atomic_candidates(o, d, vocab);
     out.extend(eliq_candidates(o, d, vocab));
     out.extend(boolean_candidates(o, vocab));
@@ -222,10 +220,7 @@ mod tests {
     use gomq_dl::translate::to_gf;
     use gomq_dl::DlOntology;
 
-    fn hand_setup(
-        v: &mut Vocab,
-        n_fingers: usize,
-    ) -> (GfOntology, GfOntology, Instance) {
+    fn hand_setup(v: &mut Vocab, n_fingers: usize) -> (GfOntology, GfOntology, Instance) {
         let hand = v.rel("Hand", 1);
         let thumb = v.rel("Thumb", 1);
         let hf_rel = v.rel("hasFinger", 2);
@@ -280,7 +275,10 @@ mod tests {
                 Formula::unary(a, x),
                 Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::unary(b, y)),
                 },
             ),

@@ -259,10 +259,8 @@ mod tests {
         let phi = rollup(&q).expect("multi-edges are fine");
         let c0 = v.constant("m0");
         let c1 = v.constant("m1");
-        let both = Instance::from_facts(vec![
-            Fact::consts(r, &[c0, c1]),
-            Fact::consts(s, &[c0, c1]),
-        ]);
+        let both =
+            Instance::from_facts(vec![Fact::consts(r, &[c0, c1]), Fact::consts(s, &[c0, c1])]);
         let only_r = Instance::from_facts(vec![Fact::consts(r, &[c0, c1])]);
         let mut asg = Assignment::new();
         asg.insert(LVar(0), gomq_core::Term::Const(c0));

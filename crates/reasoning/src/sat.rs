@@ -250,12 +250,8 @@ impl<'a> Solver<'a> {
         if !self.propagate() {
             return None;
         }
-        self.dpll().then(|| {
-            self.assign
-                .iter()
-                .map(|&v| v == Val::True)
-                .collect()
-        })
+        self.dpll()
+            .then(|| self.assign.iter().map(|&v| v == Val::True).collect())
     }
 
     fn dpll(&mut self) -> bool {
@@ -310,9 +306,7 @@ mod tests {
         let f = cnf(4, &[&[1, 2], &[-1, 3], &[-2, -3], &[2, 3, 4], &[-4, 1]]);
         let m = f.solve().expect("satisfiable");
         for cl in &f.clauses {
-            assert!(cl
-                .iter()
-                .any(|l| m[l.var() as usize] != l.is_neg()));
+            assert!(cl.iter().any(|l| m[l.var() as usize] != l.is_neg()));
         }
     }
 
@@ -366,7 +360,9 @@ mod tests {
         // against exhaustive enumeration.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _ in 0..50 {

@@ -84,11 +84,11 @@ pub fn unravel(d: &Instance, kind: UnravelKind, radius: usize, vocab: &mut Vocab
     // Create the bag of a node: copies for fresh elements, shared copies
     // from the parent for the overlap.
     let make_bag = |seq: &[usize],
-                        parent: Option<usize>,
-                        nodes: &Vec<UnravelNode>,
-                        interp: &mut Interpretation,
-                        up: &mut BTreeMap<Term, Term>,
-                        vocab: &mut Vocab| {
+                    parent: Option<usize>,
+                    nodes: &Vec<UnravelNode>,
+                    interp: &mut Interpretation,
+                    up: &mut BTreeMap<Term, Term>,
+                    vocab: &mut Vocab| {
         let g = &gsets[*seq.last().expect("non-empty sequence")];
         let mut copies: BTreeMap<Term, Term> = BTreeMap::new();
         for &orig in g.iter() {
@@ -161,8 +161,7 @@ pub fn unravel(d: &Instance, kind: UnravelKind, radius: usize, vocab: &mut Vocab
                 }
                 let mut new_seq = seq.clone();
                 new_seq.push(gi);
-                let copies =
-                    make_bag(&new_seq, Some(ni), &nodes, &mut interp, &mut up, vocab);
+                let copies = make_bag(&new_seq, Some(ni), &nodes, &mut interp, &mut up, vocab);
                 nodes.push(UnravelNode {
                     seq: new_seq,
                     copies,
@@ -264,18 +263,13 @@ mod tests {
         let a = Term::Const(v.constant("a"));
         // Find a copy of a and count its R-successors.
         let mut max_succ = 0usize;
-        let copies_of_a: Vec<Term> = u
-            .up
-            .iter()
-            .filter(|(_, &orig)| orig == a)
-            .map(|(&c, _)| c)
-            .collect();
+        let copies_of_a: Vec<Term> =
+            u.up.iter()
+                .filter(|(_, &orig)| orig == a)
+                .map(|(&c, _)| c)
+                .collect();
         for ca in copies_of_a {
-            let succ = u
-                .interp
-                .facts_of(r)
-                .filter(|f| f.args[0] == ca)
-                .count();
+            let succ = u.interp.facts_of(r).filter(|f| f.args[0] == ca).count();
             max_succ = max_succ.max(succ);
         }
         assert!(
@@ -296,11 +290,7 @@ mod tests {
             if orig != a {
                 continue;
             }
-            let succ = u
-                .interp
-                .facts_of(r)
-                .filter(|f| f.args[0] == copy)
-                .count();
+            let succ = u.interp.facts_of(r).filter(|f| f.args[0] == copy).count();
             assert!(
                 succ <= 3,
                 "uGC₂-unravelling must not inflate successor counts (got {succ})"

@@ -1,0 +1,149 @@
+//! Canonical OMQ keys: a stable textual form and 64-bit hash for an
+//! ontology-mediated query `(O, q)`.
+//!
+//! A serving layer wants to compile an OMQ *once* and reuse the plan for
+//! every later request that poses the same OMQ — even when the requests
+//! arrive as separately parsed texts whose sentences are ordered
+//! differently or whose vocabularies interned symbols in a different
+//! order. The canonical form therefore renders every sentence with
+//! *names* (not interned ids), sorts the renderings, and appends the
+//! sorted functionality/transitivity declarations and the query
+//! relation's name. Two OMQs with equal canonical text are guaranteed to
+//! be the same query up to sentence order; the 64-bit FNV-1a hash of
+//! that text is the plan-cache key used by `gomq-engine`.
+
+use gomq_core::{RelId, Vocab};
+use gomq_logic::GfOntology;
+
+/// The canonical textual form of the OMQ `(o, query)`.
+///
+/// Sentence renderings are sorted, so logically identical ontologies
+/// built in different orders canonicalize identically. Symbol *names*
+/// are used throughout, so the form is independent of interning order.
+pub fn canonical_omq_text(o: &GfOntology, query: RelId, vocab: &Vocab) -> String {
+    let mut sentences: Vec<String> = o
+        .ugf_sentences
+        .iter()
+        .map(|s| format!("{}", s.to_formula().display_named(&s.var_names, vocab)))
+        .chain(
+            o.other_sentences
+                .iter()
+                .map(|s| format!("{}", s.formula.display_named(&s.var_names, vocab))),
+        )
+        .collect();
+    sentences.sort();
+    let named_rels = |rels: &std::collections::BTreeSet<RelId>| -> Vec<String> {
+        let mut names: Vec<String> = rels.iter().map(|&r| vocab.rel_name(r).to_owned()).collect();
+        names.sort();
+        names
+    };
+    let mut out = String::new();
+    for s in &sentences {
+        out.push_str(s);
+        out.push('\n');
+    }
+    out.push_str(&format!("func: {}\n", named_rels(&o.functional).join(",")));
+    out.push_str(&format!(
+        "ifunc: {}\n",
+        named_rels(&o.inverse_functional).join(",")
+    ));
+    out.push_str(&format!("trans: {}\n", named_rels(&o.transitive).join(",")));
+    out.push_str(&format!("query: {}\n", vocab.rel_name(query)));
+    out
+}
+
+/// 64-bit FNV-1a hash of [`canonical_omq_text`] — the plan-cache key.
+///
+/// FNV-1a is implemented inline (rather than using
+/// `std::hash::DefaultHasher`) so the key is stable across Rust
+/// releases and can be logged, persisted or compared between processes.
+pub fn canonical_omq_hash(o: &GfOntology, query: RelId, vocab: &Vocab) -> u64 {
+    fnv1a(canonical_omq_text(o, query, vocab).as_bytes())
+}
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::Vocab;
+    use gomq_logic::{Formula, LVar, UgfSentence};
+
+    /// `∀x(A(x) → B(x))` and `∀x(B(x) → C(x))` style sentences.
+    fn sub_sentence(a: RelId, b: RelId) -> UgfSentence {
+        let x = LVar(0);
+        UgfSentence::forall_one(
+            x,
+            Formula::implies(Formula::unary(a, x), Formula::unary(b, x)),
+            vec!["x".to_owned()],
+        )
+    }
+
+    #[test]
+    fn sentence_order_does_not_change_the_key() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let c = v.rel("C", 1);
+        let mut o1 = GfOntology::new();
+        o1.push(sub_sentence(a, b));
+        o1.push(sub_sentence(b, c));
+        let mut o2 = GfOntology::new();
+        o2.push(sub_sentence(b, c));
+        o2.push(sub_sentence(a, b));
+        assert_eq!(
+            canonical_omq_hash(&o1, c, &v),
+            canonical_omq_hash(&o2, c, &v)
+        );
+        assert_eq!(
+            canonical_omq_text(&o1, c, &v),
+            canonical_omq_text(&o2, c, &v)
+        );
+    }
+
+    #[test]
+    fn interning_order_does_not_change_the_key() {
+        // Same ontology, symbols interned in opposite orders.
+        let mut v1 = Vocab::new();
+        let a1 = v1.rel("A", 1);
+        let b1 = v1.rel("B", 1);
+        let mut o1 = GfOntology::new();
+        o1.push(sub_sentence(a1, b1));
+
+        let mut v2 = Vocab::new();
+        let b2 = v2.rel("B", 1);
+        let a2 = v2.rel("A", 1);
+        let mut o2 = GfOntology::new();
+        o2.push(sub_sentence(a2, b2));
+
+        assert_eq!(
+            canonical_omq_hash(&o1, b1, &v1),
+            canonical_omq_hash(&o2, b2, &v2)
+        );
+    }
+
+    #[test]
+    fn query_and_declarations_distinguish_omqs() {
+        let mut v = Vocab::new();
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        let r = v.rel("R", 2);
+        let mut o = GfOntology::new();
+        o.push(sub_sentence(a, b));
+        let base = canonical_omq_hash(&o, b, &v);
+        // Different query relation → different key.
+        assert_ne!(base, canonical_omq_hash(&o, a, &v));
+        // Added functionality declaration → different key.
+        let mut o2 = o.clone();
+        o2.functional.insert(r);
+        assert_ne!(base, canonical_omq_hash(&o2, b, &v));
+    }
+}

@@ -100,7 +100,10 @@ mod tests {
         let b = v.rel("B", 1);
         let r = Role::new(v.rel("R", 2));
         let mut dl = DlOntology::new();
-        dl.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b))));
+        dl.sub(
+            Concept::Name(a),
+            Concept::Exists(r, Box::new(Concept::Name(b))),
+        );
         let o = to_gf(&dl);
         let ca = v.constant("a");
         let mut d = Instance::new();

@@ -130,10 +130,7 @@ pub fn emit_datalog(sys: &ElementTypeSystem, query: RelId, vocab: &mut Vocab) ->
     // its sub-roles' edges, materialized into an auxiliary `_sedgeN` IDB.
     let mut sedge_cache: std::collections::BTreeMap<RelId, RelId> =
         std::collections::BTreeMap::new();
-    let mut counting_rel = |rel: RelId,
-                            rules: &mut Vec<Rule>,
-                            vocab: &mut Vocab|
-     -> RelId {
+    let mut counting_rel = |rel: RelId, rules: &mut Vec<Rule>, vocab: &mut Vocab| -> RelId {
         let subs = sys.sub_rels(rel);
         if subs.as_slice() == [(rel, false)] {
             return rel;
@@ -165,8 +162,7 @@ pub fn emit_datalog(sys: &ElementTypeSystem, query: RelId, vocab: &mut Vocab) ->
         sedge_cache.insert(rel, aux);
         aux
     };
-    for (ti, base_rel, fwd, count, loop_witness, _distinct, avoiders) in
-        sys.counting_constraints()
+    for (ti, base_rel, fwd, count, loop_witness, _distinct, avoiders) in sys.counting_constraints()
     {
         let rel = counting_rel(base_rel, &mut rules, vocab);
         let n = count as usize;
@@ -247,7 +243,10 @@ mod tests {
         let c = v.rel("C", 1);
         let r = Role::new(v.rel("R", 2));
         let mut o = DlOntology::new();
-        o.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b))));
+        o.sub(
+            Concept::Name(a),
+            Concept::Exists(r, Box::new(Concept::Name(b))),
+        );
         o.sub(Concept::Name(b), Concept::Name(c));
         to_gf(&o)
     }
@@ -272,11 +271,8 @@ mod tests {
         d.insert(Fact::consts(b_rel, &[cb]));
         d.insert(Fact::consts(r, &[cb, cc]));
         let from_types = sys.certain_unary(&d, c_rel);
-        let from_datalog: std::collections::BTreeSet<Term> = program
-            .eval(&d)
-            .into_iter()
-            .map(|tuple| tuple[0])
-            .collect();
+        let from_datalog: std::collections::BTreeSet<Term> =
+            program.eval(&d).into_iter().map(|tuple| tuple[0]).collect();
         assert_eq!(from_types, from_datalog);
         assert!(from_datalog.contains(&Term::Const(cb)));
     }
@@ -319,7 +315,10 @@ mod tests {
                 Formula::unary(a_rel, x),
                 Formula::Not(Box::new(Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
                 })),
             ),

@@ -14,12 +14,16 @@
 //!   [`gomq_datalog::Program`], one `elim_θ` predicate per type.
 //! * [`classify`] — per-ontology reports combining the Figure-1 fragment
 //!   label and zone with materializability probes.
+//! * [`canon`] — canonical OMQ text and the stable 64-bit key under
+//!   which `gomq-engine` caches compiled plans.
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod classify;
 pub mod emit;
 pub mod types;
 
+pub use canon::{canonical_omq_hash, canonical_omq_text};
 pub use classify::{classify_ontology, OntologyReport};
 pub use types::{ElementTypeSystem, RewriteError};

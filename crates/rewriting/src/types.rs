@@ -302,9 +302,7 @@ impl ElementTypeSystem {
         }
         let n_bits = builder.unary_rels.len() + builder.quants.len();
         if n_bits > 20 {
-            return Err(RewriteError(format!(
-                "closure too large ({n_bits} bits)"
-            )));
+            return Err(RewriteError(format!("closure too large ({n_bits} bits)")));
         }
         // Enumerate boolean-consistent types.
         let nu = builder.unary_rels.len();
@@ -479,10 +477,8 @@ impl ElementTypeSystem {
         // total successor count at U ≤ k (e.g. functionality: ¬∃≥2 ⊤),
         // then *every* successor — in particular this edge's endpoint —
         // must satisfy ψ.
-        for (holder, target, orient) in [
-            (src, dst, Orientation::Fwd),
-            (dst, src, Orientation::Bwd),
-        ] {
+        for (holder, target, orient) in [(src, dst, Orientation::Fwd), (dst, src, Orientation::Bwd)]
+        {
             let cap = self.successor_cap(holder, rel, orient);
             if cap == u32::MAX {
                 continue;
@@ -631,9 +627,7 @@ impl ElementTypeSystem {
             let mut set = BTreeSet::new();
             'ty: for (ti, t) in self.types.iter().enumerate() {
                 for (ui, &u) in self.unary_rels.iter().enumerate() {
-                    let asserted = d
-                        .facts_of(u)
-                        .any(|f| f.args.len() == 1 && f.args[0] == a);
+                    let asserted = d.facts_of(u).any(|f| f.args.len() == 1 && f.args[0] == a);
                     if asserted && !t.unary[ui] {
                         continue 'ty;
                     }
@@ -673,7 +667,10 @@ impl ElementTypeSystem {
                 if f.args[0] == f.args[1] {
                     has_loop.insert((r, f.args[0]));
                 } else {
-                    out_nbrs.entry((r, f.args[0])).or_default().insert(f.args[1]);
+                    out_nbrs
+                        .entry((r, f.args[0]))
+                        .or_default()
+                        .insert(f.args[1]);
                     in_nbrs.entry((r, f.args[1])).or_default().insert(f.args[0]);
                 }
             }
@@ -799,9 +796,7 @@ impl ElementTypeSystem {
         };
         it.surviving
             .iter()
-            .filter(|(_, set)| {
-                !set.is_empty() && set.iter().all(|&ti| self.types[ti].unary[ui])
-            })
+            .filter(|(_, set)| !set.is_empty() && set.iter().all(|&ti| self.types[ti].unary[ui]))
             .map(|(&t, _)| t)
             .collect()
     }
@@ -810,9 +805,7 @@ impl ElementTypeSystem {
 /// Detects a role-inclusion sentence `∀xy(R°(x,y) → S°(x,y))`, in either
 /// the equality-guarded one-variable form produced by the DL translation
 /// or the plain two-variable guarded form. Returns `(sub, sup, flipped)`.
-fn detect_role_inclusion(
-    s: &gomq_logic::UgfSentence,
-) -> Option<(RelId, RelId, bool)> {
+fn detect_role_inclusion(s: &gomq_logic::UgfSentence) -> Option<(RelId, RelId, bool)> {
     fn orientation(args: &[LVar], x: LVar, y: LVar) -> Option<bool> {
         // true = (x, y), false = (y, x).
         if args == [x, y] {
@@ -835,7 +828,11 @@ fn detect_role_inclusion(
             let Guard::Atom { rel: sub, args } = guard else {
                 return None;
             };
-            let Formula::Atom { rel: sup, args: args2 } = &**body else {
+            let Formula::Atom {
+                rel: sup,
+                args: args2,
+            } = &**body
+            else {
                 return None;
             };
             let o1 = orientation(args, *x, *y)?;
@@ -846,7 +843,11 @@ fn detect_role_inclusion(
             let Guard::Atom { rel: sub, args } = &s.guard else {
                 return None;
             };
-            let Formula::Atom { rel: sup, args: args2 } = &s.body else {
+            let Formula::Atom {
+                rel: sup,
+                args: args2,
+            } = &s.body
+            else {
                 return None;
             };
             let o1 = orientation(args, *x, *y)?;
@@ -892,9 +893,7 @@ impl Builder {
                 if args.as_slice() == [x] {
                     Ok(LocalExpr::Unary(self.unary_index(*rel)))
                 } else {
-                    Err(RewriteError(
-                        "non-unary atom at outer level".into(),
-                    ))
+                    Err(RewriteError("non-unary atom at outer level".into()))
                 }
             }
             Formula::Eq(_, _) => Err(RewriteError("equality in body".into())),
@@ -949,28 +948,22 @@ impl Builder {
         } else if args.as_slice() == [*y, x] {
             Orientation::Bwd
         } else {
-            return Err(RewriteError(
-                "inner guard must be R(x,y) or R(y,x)".into(),
-            ));
+            return Err(RewriteError("inner guard must be R(x,y) or R(y,x)".into()));
         };
         // Distinctness extraction: ∃y(α ∧ x≠y ∧ ψ) and ∀y(α → x=y ∨ ψ).
         let is_neq = |f: &Formula| {
             matches!(f, Formula::Not(e)
                 if matches!(**e, Formula::Eq(a, b) if (a == x && b == *y) || (a == *y && b == x)))
         };
-        let is_eq = |f: &Formula| {
-            matches!(f, Formula::Eq(a, b) if (*a == x && b == y) || (a == y && *b == x))
-        };
+        let is_eq = |f: &Formula| matches!(f, Formula::Eq(a, b) if (*a == x && b == y) || (a == y && *b == x));
         let (distinct, residual): (bool, Formula) = match (kind, body) {
             (QuantKind::Exists, Formula::And(parts)) if parts.iter().any(is_neq) => {
-                let rest: Vec<Formula> =
-                    parts.iter().filter(|p| !is_neq(p)).cloned().collect();
+                let rest: Vec<Formula> = parts.iter().filter(|p| !is_neq(p)).cloned().collect();
                 (true, Formula::And(rest))
             }
             (QuantKind::Exists, f) if is_neq(f) => (true, Formula::True),
             (QuantKind::Forall, Formula::Or(parts)) if parts.iter().any(is_eq) => {
-                let rest: Vec<Formula> =
-                    parts.iter().filter(|p| !is_eq(p)).cloned().collect();
+                let rest: Vec<Formula> = parts.iter().filter(|p| !is_eq(p)).cloned().collect();
                 (true, Formula::Or(rest))
             }
             (QuantKind::Forall, Formula::Eq(a, b))
@@ -1049,7 +1042,10 @@ mod tests {
         let c = v.rel("C", 1);
         let r = Role::new(v.rel("R", 2));
         let mut o = DlOntology::new();
-        o.sub(Concept::Name(a), Concept::Exists(r, Box::new(Concept::Name(b))));
+        o.sub(
+            Concept::Name(a),
+            Concept::Exists(r, Box::new(Concept::Name(b))),
+        );
         o.sub(Concept::Name(b), Concept::Name(c));
         to_gf(&o)
     }
@@ -1094,7 +1090,10 @@ mod tests {
         let b_rel = v.rel("B", 1);
         let r = Role::new(v.rel("R", 2));
         let mut dl = DlOntology::new();
-        dl.sub(Concept::Top, Concept::Forall(r, Box::new(Concept::Name(b_rel))));
+        dl.sub(
+            Concept::Top,
+            Concept::Forall(r, Box::new(Concept::Name(b_rel))),
+        );
         let o = to_gf(&dl);
         let sys = ElementTypeSystem::build(&o, &v).expect("supported");
         let rr = v.rel("R", 2);
@@ -1266,7 +1265,10 @@ mod tests {
         let mut d = Instance::new();
         d.insert(Fact::consts(child_of, &[a, b]));
         let certain = sys.certain_unary(&d, person);
-        assert!(certain.contains(&Term::Const(a)), "childOf(a,b) ⇒ parentOf(b,a) ⇒ Person(a)");
+        assert!(
+            certain.contains(&Term::Const(a)),
+            "childOf(a,b) ⇒ parentOf(b,a) ⇒ Person(a)"
+        );
         assert!(!certain.contains(&Term::Const(b)));
     }
 
@@ -1355,13 +1357,15 @@ mod tests {
         let b_rel = v.rel("B", 1);
         let r = Role::new(v.rel("R", 2));
         let mut dl = DlOntology::new();
-        dl.sub(Concept::Name(a_rel), Concept::Exists(r, Box::new(Concept::Name(b_rel))));
+        dl.sub(
+            Concept::Name(a_rel),
+            Concept::Exists(r, Box::new(Concept::Name(b_rel))),
+        );
         dl.sub(Concept::Top, Concept::Name(b_rel).neg());
         let o = to_gf(&dl);
         let sys = ElementTypeSystem::build(&o, &v).expect("supported");
         // No surviving type makes A true.
-        let any_a = (0..sys.num_types())
-            .any(|ti| sys.type_has_unary(ti, a_rel) == Some(true));
+        let any_a = (0..sys.num_types()).any(|ti| sys.type_has_unary(ti, a_rel) == Some(true));
         assert!(!any_a);
         // Hence D = {A(a)} is inconsistent.
         let ca = v.constant("a");
@@ -1448,7 +1452,10 @@ mod tests {
                 Formula::unary(a_rel, x),
                 Formula::Not(Box::new(Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::Not(Box::new(Formula::Eq(x, y)))),
                 })),
             ),
@@ -1496,7 +1503,10 @@ mod tests {
                 Formula::unary(a_rel, x),
                 Formula::Exists {
                     qvars: vec![y],
-                    guard: Guard::Atom { rel: r, args: vec![x, y] },
+                    guard: Guard::Atom {
+                        rel: r,
+                        args: vec![x, y],
+                    },
                     body: Box::new(Formula::unary(a_rel, y)),
                 },
             ),

@@ -1,0 +1,140 @@
+//! Offline shim for the subset of the [`rand`] 0.8 API this workspace
+//! uses (`SeedableRng::seed_from_u64`, `Rng::gen_range`, `Rng::gen_bool`,
+//! and the `SmallRng`/`StdRng` types).
+//!
+//! The build environment has no access to a crate registry, so the real
+//! `rand` crate cannot be fetched. This crate provides a deterministic
+//! splitmix64/xoshiro256** generator behind the same trait names. It is
+//! **not** cryptographically secure and is only meant for seeded test and
+//! corpus generation.
+//!
+//! [`rand`]: https://docs.rs/rand/0.8
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly; implemented for half-open and
+/// inclusive integer ranges.
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range using `draw` as an
+    /// entropy source.
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (draw() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (draw() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Returns the next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        // 53 uniform mantissa bits, same construction as rand's `gen`.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// A small, fast, non-cryptographic generator (xoshiro-class in the real
+/// crate; splitmix64 here, which passes the same casual-use bar).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        SmallRng {
+            state: state ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (public domain, Sebastiano Vigna).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The default generator; same implementation as [`SmallRng`] in this
+/// shim.
+pub type StdRng = SmallRng;
+
+/// Generator type aliases, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::{SmallRng, StdRng};
+}
+
+/// The `rand::prelude` convenience re-exports.
+pub mod prelude {
+    pub use crate::{Rng, SampleRange, SeedableRng, SmallRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

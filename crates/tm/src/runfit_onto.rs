@@ -95,19 +95,17 @@ pub fn run_fitting_ontology(m: &Machine, vocab: &mut Vocab) -> RunFitOntology {
         accept_head,
         shifted: BTreeMap::new(),
     };
-    for &r in state_rels.iter().chain(sym_rels.iter()).chain([&accept_head]) {
+    for &r in state_rels
+        .iter()
+        .chain(sym_rels.iter())
+        .chain([&accept_head])
+    {
         rf.cell.aux.push(r);
-        rf.cell
-            .onto
-            .sub(Concept::Top, Concept::some(Role::new(r)));
+        rf.cell.onto.sub(Concept::Top, Concept::some(Role::new(r)));
     }
     // Every grid cell carries exactly one content marker (state or
     // symbol) — mutual exclusion plus coverage.
-    let all_contents: Vec<RelId> = state_rels
-        .iter()
-        .chain(sym_rels.iter())
-        .copied()
-        .collect();
+    let all_contents: Vec<RelId> = state_rels.iter().chain(sym_rels.iter()).copied().collect();
     rf.cell.onto.sub(
         Concept::Top,
         Concept::Or(all_contents.iter().map(|&r| ge2(r)).collect()),
@@ -129,11 +127,7 @@ pub fn run_fitting_ontology(m: &Machine, vocab: &mut Vocab) -> RunFitOntology {
                 let succ = successor_triples(m, State(q), Sym(g0), Sym(g1));
                 let q_x = rf.shift(state_rels[q as usize], "x", vocab);
                 let g1_xx = rf.shift(sym_rels[g1 as usize], "xx", vocab);
-                let lhs = Concept::And(vec![
-                    ge2(sym_rels[g0 as usize]),
-                    ge2(q_x),
-                    ge2(g1_xx),
-                ]);
+                let lhs = Concept::And(vec![ge2(sym_rels[g0 as usize]), ge2(q_x), ge2(g1_xx)]);
                 let mut disjuncts: Vec<Concept> = Vec::new();
                 for (s1, s2, s3) in succ {
                     let r1 = rf.shift(content_rel(&rf, s1), "y", vocab);
@@ -177,12 +171,7 @@ fn content_rel(rf: &RunFitOntology, c: Content) -> RelId {
 /// The possible successor triples of the window `G₀ q G₁` (the cell left
 /// of the head, the head, and the cell right of the head) under one step
 /// of `M`.
-fn successor_triples(
-    m: &Machine,
-    q: State,
-    g0: Sym,
-    g1: Sym,
-) -> Vec<(Content, Content, Content)> {
+fn successor_triples(m: &Machine, q: State, g0: Sym, g1: Sym) -> Vec<(Content, Content, Content)> {
     let mut out = Vec::new();
     for t in &m.delta {
         if t.from != q || t.read != g1 {
@@ -191,19 +180,11 @@ fn successor_triples(
         match t.dir {
             crate::machine::Dir::R => {
                 // G₀ q G₁ → G₀ G₁' q'  (head moves right over the window).
-                out.push((
-                    Content::S(g0),
-                    Content::S(t.write),
-                    Content::Q(t.to),
-                ));
+                out.push((Content::S(g0), Content::S(t.write), Content::Q(t.to)));
             }
             crate::machine::Dir::L => {
                 // G₀ q G₁ → q' G₀ G₁'.
-                out.push((
-                    Content::Q(t.to),
-                    Content::S(g0),
-                    Content::S(t.write),
-                ));
+                out.push((Content::Q(t.to), Content::S(g0), Content::S(t.write)));
             }
         }
     }
@@ -223,9 +204,7 @@ pub fn partial_run_instance(
     let rows = partial.rows.len();
     let cols = partial.rows[0].cells.len();
     let mut d = Instance::new();
-    let node = |vocab: &mut Vocab, ri: usize, ci: usize| {
-        vocab.constant(&format!("rf_{ri}_{ci}"))
-    };
+    let node = |vocab: &mut Vocab, ri: usize, ci: usize| vocab.constant(&format!("rf_{ri}_{ci}"));
     for ri in 0..rows {
         for ci in 0..cols {
             let n = node(vocab, ri, ci);

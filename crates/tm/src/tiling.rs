@@ -77,8 +77,7 @@ impl TilingSystem {
 
     fn fill(&self, cols: usize, rows: usize) -> Option<Vec<Vec<usize>>> {
         let mut grid = vec![vec![usize::MAX; cols]; rows];
-        self.fill_cell(&mut grid, 0, 0, cols, rows)
-            .then_some(grid)
+        self.fill_cell(&mut grid, 0, 0, cols, rows).then_some(grid)
     }
 
     fn fill_cell(

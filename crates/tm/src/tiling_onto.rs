@@ -116,23 +116,15 @@ pub fn build_cell_ontology(vocab: &mut Vocab) -> CellOntology {
         aux: vec![p, r1, r2],
         word_rels: BTreeMap::new(),
     };
-    use Letter::{X, Xi, Y, Yi};
+    use Letter::{Xi, Yi, X, Y};
     // (1) Local functionality of X, Y and their inverses.
-    for role in [
-        Role::new(x),
-        Role::new(y),
-        Role::inv(x),
-        Role::inv(y),
-    ] {
+    for role in [Role::new(x), Role::new(y), Role::inv(x), Role::inv(y)] {
         cell.onto.sub(Concept::Top, Concept::at_most_one(role));
     }
     // (2) Every node carries exactly one R₁- or exactly one R₂-successor.
     cell.onto.sub(
         Concept::Top,
-        Concept::Or(vec![
-            CellOntology::marker(r1),
-            CellOntology::marker(r2),
-        ]),
+        Concept::Or(vec![CellOntology::marker(r1), CellOntology::marker(r2)]),
     );
     // (3) Both diagonal markers for both i set the cell marker.
     let m_xy_1 = cell.word_marker(0, &[X, Y], vocab);
@@ -156,10 +148,7 @@ pub fn build_cell_ontology(vocab: &mut Vocab) -> CellOntology {
     }
     // (5) Joint markers propagate to neighbours: if both (=1R₁) and
     // (=1R₂) hold C-away (in either diagonal direction), they hold here.
-    let r12 = Concept::And(vec![
-        CellOntology::marker(r1),
-        CellOntology::marker(r2),
-    ]);
+    let r12 = Concept::And(vec![CellOntology::marker(r1), CellOntology::marker(r2)]);
     let c1 = cell.word_marker(0, &c_word, vocab);
     let c2 = cell.word_marker(1, &c_word, vocab);
     cell.onto.sub(Concept::And(vec![c1, c2]), r12.clone());
@@ -211,21 +200,15 @@ pub fn build_grid_ontology(p: &TilingSystem, vocab: &mut Vocab) -> GridOntology 
     let t_init = Concept::Name(tiles[p.init]);
     let t_final = Concept::Name(tiles[p.fin]);
     // Tfinal ⊑ (=1F) ⊓ (=1U) ⊓ (=1R).
-    cell.onto.sub(
-        t_final.clone(),
-        Concept::And(vec![m(f), m(u), m(r_m)]),
-    );
+    cell.onto
+        .sub(t_final.clone(), Concept::And(vec![m(f), m(u), m(r_m)]));
     // Upper border propagation along H; right border along V.
     for &(ti, tj) in &p.h {
         cell.onto.sub(
             Concept::And(vec![
                 Concept::Exists(
                     x_role,
-                    Box::new(Concept::And(vec![
-                        m(u),
-                        m(f),
-                        Concept::Name(tiles[tj]),
-                    ])),
+                    Box::new(Concept::And(vec![m(u), m(f), Concept::Name(tiles[tj])])),
                 ),
                 Concept::Name(tiles[ti]),
             ]),
@@ -237,11 +220,7 @@ pub fn build_grid_ontology(p: &TilingSystem, vocab: &mut Vocab) -> GridOntology 
             Concept::And(vec![
                 Concept::Exists(
                     y_role,
-                    Box::new(Concept::And(vec![
-                        m(r_m),
-                        m(f),
-                        Concept::Name(tiles[tl]),
-                    ])),
+                    Box::new(Concept::And(vec![m(r_m), m(f), Concept::Name(tiles[tl])])),
                 ),
                 Concept::Name(tiles[ti]),
             ]),
@@ -263,19 +242,11 @@ pub fn build_grid_ontology(p: &TilingSystem, vocab: &mut Vocab) -> GridOntology 
                 Concept::And(vec![
                     Concept::Exists(
                         x_role,
-                        Box::new(Concept::And(vec![
-                            Concept::Name(tiles[tj]),
-                            m(f),
-                            m(fy),
-                        ])),
+                        Box::new(Concept::And(vec![Concept::Name(tiles[tj]), m(f), m(fy)])),
                     ),
                     Concept::Exists(
                         y_role,
-                        Box::new(Concept::And(vec![
-                            Concept::Name(tiles[tl]),
-                            m(f),
-                            m(fx),
-                        ])),
+                        Box::new(Concept::And(vec![Concept::Name(tiles[tl]), m(f), m(fx)])),
                     ),
                     m(cell.p),
                     Concept::Name(tiles[ti]),
@@ -293,20 +264,17 @@ pub fn build_grid_ontology(p: &TilingSystem, vocab: &mut Vocab) -> GridOntology 
     for s in 0..p.num_tiles {
         for t in (s + 1)..p.num_tiles {
             cell.onto.sub(
-                Concept::And(vec![
-                    Concept::Name(tiles[s]),
-                    Concept::Name(tiles[t]),
-                ]),
+                Concept::And(vec![Concept::Name(tiles[s]), Concept::Name(tiles[t])]),
                 Concept::Bot,
             );
         }
     }
     // Border axioms.
-    cell.onto.sub(m(u), Concept::Forall(y_role, Box::new(Concept::Bot)));
+    cell.onto
+        .sub(m(u), Concept::Forall(y_role, Box::new(Concept::Bot)));
     cell.onto
         .sub(m(r_m), Concept::Forall(x_role, Box::new(Concept::Bot)));
-    cell.onto
-        .sub(m(u), Concept::Forall(x_role, Box::new(m(u))));
+    cell.onto.sub(m(u), Concept::Forall(x_role, Box::new(m(u))));
     cell.onto
         .sub(m(r_m), Concept::Forall(y_role, Box::new(m(r_m))));
     cell.onto.sub(
@@ -317,10 +285,8 @@ pub fn build_grid_ontology(p: &TilingSystem, vocab: &mut Vocab) -> GridOntology 
         m(l),
         Concept::Forall(Role::inv(cell.x), Box::new(Concept::Bot)),
     );
-    cell.onto
-        .sub(m(d), Concept::Forall(x_role, Box::new(m(d))));
-    cell.onto
-        .sub(m(l), Concept::Forall(y_role, Box::new(m(l))));
+    cell.onto.sub(m(d), Concept::Forall(x_role, Box::new(m(d))));
+    cell.onto.sub(m(l), Concept::Forall(y_role, Box::new(m(l))));
     // The non-materializability head: (=1A) ⊑ B₁ ⊔ B₂.
     let b1 = vocab.rel("B1h", 1);
     let b2 = vocab.rel("B2h", 1);
@@ -339,11 +305,7 @@ pub fn build_grid_ontology(p: &TilingSystem, vocab: &mut Vocab) -> GridOntology 
 /// Builds the grid instance of a tiling (Lemma 13): the `X`/`Y` grid with
 /// the tiles written on it. `grid[row][col]`, row 0 at the bottom.
 #[allow(clippy::needless_range_loop)]
-pub fn grid_instance(
-    g: &GridOntology,
-    grid: &[Vec<usize>],
-    vocab: &mut Vocab,
-) -> Instance {
+pub fn grid_instance(g: &GridOntology, grid: &[Vec<usize>], vocab: &mut Vocab) -> Instance {
     let rows = grid.len();
     let cols = grid[0].len();
     let mut d = Instance::new();
@@ -410,11 +372,7 @@ mod tests {
         let mut v = Vocab::new();
         let cell = build_cell_ontology(&mut v);
         // The CC word relations exist for both i.
-        let names: Vec<&str> = cell
-            .aux
-            .iter()
-            .map(|&r| v.rel_name(r))
-            .collect();
+        let names: Vec<&str> = cell.aux.iter().map(|&r| v.rel_name(r)).collect();
         assert!(names.iter().any(|n| n.starts_with("Rw1_")));
         assert!(names.iter().any(|n| n.starts_with("Rw2_")));
         // Each auxiliary relation has the ∃Q.⊤ axiom.

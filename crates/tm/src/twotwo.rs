@@ -61,11 +61,7 @@ impl TwoTwoSat {
         assert!(n <= 20, "brute-force solver limited to 20 variables");
         for bits in 0u32..(1u32 << n) {
             let asg: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
-            if self
-                .clauses
-                .iter()
-                .all(|c| Self::clause_satisfied(c, &asg))
-            {
+            if self.clauses.iter().all(|c| Self::clause_satisfied(c, &asg)) {
                 return Some(asg);
             }
         }

@@ -45,9 +45,15 @@ fn main() {
     let union = o1.union(&o2);
 
     println!("O1: every hand has exactly {FINGERS} fingers");
-    println!("    fragment: {:?}", best_fragment(&o1, &vocab).map(|f| f.name()));
+    println!(
+        "    fragment: {:?}",
+        best_fragment(&o1, &vocab).map(|f| f.name())
+    );
     println!("O2: every hand has a thumb finger");
-    println!("    fragment: {:?}", best_fragment(&o2, &vocab).map(|f| f.name()));
+    println!(
+        "    fragment: {:?}",
+        best_fragment(&o2, &vocab).map(|f| f.name())
+    );
 
     // The instance: a hand that already has all its fingers.
     let h = vocab.constant("hand");
@@ -69,7 +75,11 @@ fn main() {
         let w = find_disjunction_witness(o, &d, &candidates, &engine, &mut vocab);
         println!(
             "{name}: disjunction property on D: {}",
-            if w.is_none() { "holds (materializable here)" } else { "FAILS" }
+            if w.is_none() {
+                "holds (materializable here)"
+            } else {
+                "FAILS"
+            }
         );
         assert!(w.is_none());
     }
@@ -84,10 +94,7 @@ fn main() {
         let certain = engine
             .certain(&union, &d, &q, &[Term::Const(f)], &mut vocab)
             .is_certain();
-        println!(
-            "  Thumb({}) certain? {certain}",
-            vocab.const_name(f)
-        );
+        println!("  Thumb({}) certain? {certain}", vocab.const_name(f));
         assert!(!certain);
     }
     // …but the disjunction over the fingers is certain.
@@ -98,7 +105,10 @@ fn main() {
     let certain = engine
         .certain_disjunction(&union, &d, &disjunction, &mut vocab)
         .is_certain();
-    println!("  Thumb(f0) ∨ … ∨ Thumb(f{}) certain? {certain}", FINGERS - 1);
+    println!(
+        "  Thumb(f0) ∨ … ∨ Thumb(f{}) certain? {certain}",
+        FINGERS - 1
+    );
     assert!(certain);
     println!(
         "\n=> O1 ∪ O2 violates the disjunction property: it is not\n\

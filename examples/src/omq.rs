@@ -43,13 +43,10 @@ fn main() {
         match a.as_str() {
             "--classify" => classify = true,
             "--fresh" => {
-                fresh = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--fresh needs a number");
-                        exit(2);
-                    })
+                fresh = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fresh needs a number");
+                    exit(2);
+                })
             }
             "--help" | "-h" => {
                 eprintln!("usage: omq ONTOLOGY.dl DATA.facts [QUERY.cq] [--fresh K] [--classify]");
@@ -95,9 +92,7 @@ fn main() {
 
     match engine.consistency(&onto, &data, &mut vocab) {
         c if c.is_consistent() => println!("consistency: the data is consistent with the ontology"),
-        _ => println!(
-            "consistency: INCONSISTENT (no model with ≤ {fresh} fresh elements)"
-        ),
+        _ => println!("consistency: INCONSISTENT (no model with ≤ {fresh} fresh elements)"),
     }
 
     if let Some(qpath) = paths.get(2) {
@@ -109,7 +104,9 @@ fn main() {
             }
         };
         if q.arity() == 0 {
-            let certain = engine.certain(&onto, &data, &q, &[], &mut vocab).is_certain();
+            let certain = engine
+                .certain(&onto, &data, &q, &[], &mut vocab)
+                .is_certain();
             println!("boolean query: certain = {certain}");
         } else {
             let answers = engine.certain_answers(&onto, &data, &q, &mut vocab);

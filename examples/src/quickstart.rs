@@ -65,7 +65,10 @@ Project sub all worksOn-.Employee
         .expect("chase terminates on this ontology");
     let chase_answers = chase_result.certain_answers(&q, &d);
     assert_eq!(answers, chase_answers);
-    println!("  (chase agrees, {} leaf model(s))", chase_result.leaves.len());
+    println!(
+        "  (chase agrees, {} leaf model(s))",
+        chase_result.leaves.len()
+    );
 
     // 4c. And from the emitted Datalog rewriting (Theorem 5 style).
     let sys = ElementTypeSystem::build(&onto, &vocab).expect("rewritable fragment");

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Offline CI gate: everything runs from the local toolchain and the
+# in-tree dependency shims (crates/shims/*) — no network, no registry.
+#
+# Usage: xtests/ci.sh          (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI gate passed."

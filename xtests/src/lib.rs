@@ -33,7 +33,10 @@ pub fn odd_cycle_ontology(vocab: &mut Vocab) -> OddCycleOntology {
     let names = vec!["x".to_owned(), "y".to_owned()];
     let succ_with = |positive: bool| Formula::Exists {
         qvars: vec![y],
-        guard: Guard::Atom { rel: r, args: vec![x, y] },
+        guard: Guard::Atom {
+            rel: r,
+            args: vec![x, y],
+        },
         body: Box::new(if positive {
             Formula::unary(a, y)
         } else {
@@ -62,7 +65,10 @@ pub fn odd_cycle_ontology(vocab: &mut Vocab) -> OddCycleOntology {
     ));
     onto.push(UgfSentence::new(
         vec![x, y],
-        Guard::Atom { rel: r, args: vec![x, y] },
+        Guard::Atom {
+            rel: r,
+            args: vec![x, y],
+        },
         Formula::And(vec![
             Formula::implies(Formula::unary(e, x), Formula::unary(e, y)),
             Formula::implies(Formula::unary(e, y), Formula::unary(e, x)),

@@ -83,13 +83,9 @@ fn counting_certainty_at_the_boundary() {
     let fingers: Vec<Term> = d
         .dom()
         .into_iter()
-        .filter(|t| {
-            d.facts_of(hf)
-                .any(|f| f.args.len() == 2 && f.args[1] == *t)
-        })
+        .filter(|t| d.facts_of(hf).any(|f| f.args.len() == 2 && f.args[1] == *t))
         .collect();
-    let queries: Vec<(Ucq, Vec<Term>)> =
-        fingers.iter().map(|&f| (q.clone(), vec![f])).collect();
+    let queries: Vec<(Ucq, Vec<Term>)> = fingers.iter().map(|&f| (q.clone(), vec![f])).collect();
     assert!(engine
         .certain_disjunction(&union, &d, &queries, &mut v)
         .is_certain());

@@ -91,9 +91,15 @@ fn o_ucq_cq_diverges_between_cq_and_ucq() {
     let qa = mk_unary(a);
     let qb = mk_unary(b);
     // No single CQ is certain.
-    assert!(!engine.certain(&e1.o_ucq_cq, &d, &qa, &[t], &mut v).is_certain());
-    assert!(!engine.certain(&e1.o_ucq_cq, &d, &qb, &[t], &mut v).is_certain());
-    assert!(!engine.certain(&e1.o_ucq_cq, &d, &qe, &[], &mut v).is_certain());
+    assert!(!engine
+        .certain(&e1.o_ucq_cq, &d, &qa, &[t], &mut v)
+        .is_certain());
+    assert!(!engine
+        .certain(&e1.o_ucq_cq, &d, &qb, &[t], &mut v)
+        .is_certain());
+    assert!(!engine
+        .certain(&e1.o_ucq_cq, &d, &qe, &[], &mut v)
+        .is_certain());
     // The disjunction is certain: the UCQ sees what no CQ sees.
     let disj = vec![(qa, vec![t]), (qb, vec![t]), (qe, vec![])];
     assert!(engine

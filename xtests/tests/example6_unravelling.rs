@@ -28,7 +28,9 @@ fn odd_cycle_entails_e_on_triangle() {
     let q = Ucq::from_cq(b.build(vec![x]));
     for elem in d.dom() {
         assert!(
-            engine.certain(&odd.onto, &d, &q, &[elem], &mut v).is_certain(),
+            engine
+                .certain(&odd.onto, &d, &q, &[elem], &mut v)
+                .is_certain(),
             "E is certain at every element of an odd cycle"
         );
     }
@@ -47,7 +49,9 @@ fn even_cycle_does_not_entail_e() {
     let q = Ucq::from_cq(b.build(vec![x]));
     let elem = *d.dom().iter().next().expect("non-empty");
     assert!(
-        !engine.certain(&odd.onto, &d, &q, &[elem], &mut v).is_certain(),
+        !engine
+            .certain(&odd.onto, &d, &q, &[elem], &mut v)
+            .is_certain(),
         "an even cycle is 2-colourable, so E is refutable"
     );
 }
@@ -98,7 +102,10 @@ fn counting_entailment_differs_between_unravellings() {
             Formula::CountExists {
                 n: 4,
                 qvar: y,
-                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![x, y],
+                },
                 body: Box::new(Formula::True),
             },
             Formula::unary(a_rel, x),
@@ -145,7 +152,10 @@ fn counting_needs_the_ugc2_unravelling() {
             Formula::CountExists {
                 n: 4,
                 qvar: y,
-                guard: Guard::Atom { rel: r, args: vec![x, y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![x, y],
+                },
                 body: Box::new(Formula::True),
             },
             Formula::unary(a_rel, x),

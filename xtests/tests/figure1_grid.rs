@@ -22,7 +22,10 @@ fn ugf1(v: &mut Vocab) -> GfOntology {
             Formula::unary(a, X),
             Formula::Exists {
                 qvars: vec![Y],
-                guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![X, Y],
+                },
                 body: Box::new(Formula::True),
             },
         ),
@@ -37,7 +40,10 @@ fn ugf_minus_1_eq(v: &mut Vocab) -> GfOntology {
         X,
         Formula::Exists {
             qvars: vec![Y],
-            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![X, Y],
+            },
             body: Box::new(Formula::Not(Box::new(Formula::Eq(X, Y)))),
         },
         names(),
@@ -50,14 +56,20 @@ fn ugf_minus_2_2(v: &mut Vocab) -> GfOntology {
     let r = v.rel("R", 2);
     let inner = Formula::Exists {
         qvars: vec![X],
-        guard: Guard::Atom { rel: r, args: vec![Y, X] },
+        guard: Guard::Atom {
+            rel: r,
+            args: vec![Y, X],
+        },
         body: Box::new(Formula::unary(a, X)),
     };
     GfOntology::from_ugf(vec![UgfSentence::forall_one(
         X,
         Formula::Exists {
             qvars: vec![Y],
-            guard: Guard::Atom { rel: r, args: vec![X, Y] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![X, Y],
+            },
             body: Box::new(inner),
         },
         names(),
@@ -75,7 +87,10 @@ fn ugc_minus_2_1_eq(v: &mut Vocab) -> GfOntology {
             Formula::CountExists {
                 n: 5,
                 qvar: Y,
-                guard: Guard::Atom { rel: r, args: vec![X, Y] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![X, Y],
+                },
                 body: Box::new(Formula::True),
             },
         ),
@@ -89,12 +104,18 @@ fn ugf2_1_eq(v: &mut Vocab) -> GfOntology {
     let s = v.rel("S", 2);
     GfOntology::from_ugf(vec![UgfSentence::new(
         vec![X, Y],
-        Guard::Atom { rel: r, args: vec![X, Y] },
+        Guard::Atom {
+            rel: r,
+            args: vec![X, Y],
+        },
         Formula::Or(vec![
             Formula::Eq(X, Y),
             Formula::Exists {
                 qvars: vec![Y],
-                guard: Guard::Atom { rel: s, args: vec![X, Y] },
+                guard: Guard::Atom {
+                    rel: s,
+                    args: vec![X, Y],
+                },
                 body: Box::new(Formula::True),
             },
         ]),
@@ -108,15 +129,24 @@ fn ugf2_2(v: &mut Vocab) -> GfOntology {
     let r = v.rel("R", 2);
     let inner = Formula::Exists {
         qvars: vec![X],
-        guard: Guard::Atom { rel: r, args: vec![Y, X] },
+        guard: Guard::Atom {
+            rel: r,
+            args: vec![Y, X],
+        },
         body: Box::new(Formula::unary(a, X)),
     };
     GfOntology::from_ugf(vec![UgfSentence::new(
         vec![X, Y],
-        Guard::Atom { rel: r, args: vec![X, Y] },
+        Guard::Atom {
+            rel: r,
+            args: vec![X, Y],
+        },
         Formula::Exists {
             qvars: vec![X],
-            guard: Guard::Atom { rel: r, args: vec![Y, X] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![Y, X],
+            },
             body: Box::new(inner),
         },
         names(),
@@ -130,7 +160,10 @@ fn ugf2_1_f(v: &mut Vocab) -> GfOntology {
     let f = v.rel("F", 2);
     let mut o = GfOntology::from_ugf(vec![UgfSentence::new(
         vec![X, Y],
-        Guard::Atom { rel: r, args: vec![X, Y] },
+        Guard::Atom {
+            rel: r,
+            args: vec![X, Y],
+        },
         Formula::unary(a, X),
         names(),
     )]);
@@ -200,7 +233,11 @@ fn dl_fragments_map_into_figure1_via_translation() {
     // GF-level zones after translation (Lemma 7 directions).
     let gf_cases: &[(&str, &str, Zone)] = &[
         // ALCHIQ depth 1 → uGC⁻₂(1,=) → dichotomy + decidable meta.
-        ("ALCHIQ d1", "A sub >=2 R.B\nrole R sub S\n", Zone::Dichotomy),
+        (
+            "ALCHIQ d1",
+            "A sub >=2 R.B\nrole R sub S\n",
+            Zone::Dichotomy,
+        ),
         // ALCHI depth 2 → uGF⁻₂(2) → dichotomy.
         ("ALCHI d2", "A sub ex R.(all S.B)\n", Zone::Dichotomy),
     ];
@@ -212,8 +249,16 @@ fn dl_fragments_map_into_figure1_via_translation() {
     }
     // DL-level zones (the figure's grey entries).
     let dl_cases: &[(&str, &str, Zone)] = &[
-        ("ALCHIQ d1", "A sub >=2 R.B\nrole R sub S\n", Zone::Dichotomy),
-        ("ALCHIF d2", "A sub ex R.(all S.B)\nfunc(R)\n", Zone::Dichotomy),
+        (
+            "ALCHIQ d1",
+            "A sub >=2 R.B\nrole R sub S\n",
+            Zone::Dichotomy,
+        ),
+        (
+            "ALCHIF d2",
+            "A sub ex R.(all S.B)\nfunc(R)\n",
+            Zone::Dichotomy,
+        ),
         ("ALCF` d2", "A sub ex R.(<=1 S.Top)\n", Zone::CspHard),
         ("ALCIF` d2", "A sub ex R-.(<=1 S.Top)\n", Zone::NoDichotomy),
         ("ALC d3", "A sub ex R.(ex R.(ex R.B))\n", Zone::CspHard),

@@ -23,8 +23,14 @@ fn ternary_rotation_ontology() {
     let (x, y, z) = (LVar(0), LVar(1), LVar(2));
     let o = GfOntology::from_ugf(vec![UgfSentence::new(
         vec![x, y, z],
-        Guard::Atom { rel: w, args: vec![x, y, z] },
-        Formula::Atom { rel: w, args: vec![y, z, x] },
+        Guard::Atom {
+            rel: w,
+            args: vec![x, y, z],
+        },
+        Formula::Atom {
+            rel: w,
+            args: vec![y, z, x],
+        },
         vec!["x".into(), "y".into(), "z".into()],
     )]);
     let a = v.constant("t_a");
@@ -60,10 +66,16 @@ fn ternary_existential_witnesses() {
     let (x, y, z) = (LVar(0), LVar(1), LVar(2));
     let o = GfOntology::from_ugf(vec![UgfSentence::new(
         vec![x, y],
-        Guard::Atom { rel: r, args: vec![x, y] },
+        Guard::Atom {
+            rel: r,
+            args: vec![x, y],
+        },
         Formula::Exists {
             qvars: vec![z],
-            guard: Guard::Atom { rel: w, args: vec![x, y, z] },
+            guard: Guard::Atom {
+                rel: w,
+                args: vec![x, y, z],
+            },
             body: Box::new(Formula::unary(a_rel, z)),
         },
         vec!["x".into(), "y".into(), "z".into()],
@@ -99,13 +111,22 @@ fn scott_reduction_preserves_certain_answers() {
     let (x, y, z, u) = (LVar(0), LVar(1), LVar(2), LVar(3));
     let chain3 = Formula::Exists {
         qvars: vec![y],
-        guard: Guard::Atom { rel: r, args: vec![x, y] },
+        guard: Guard::Atom {
+            rel: r,
+            args: vec![x, y],
+        },
         body: Box::new(Formula::Exists {
             qvars: vec![z],
-            guard: Guard::Atom { rel: r, args: vec![y, z] },
+            guard: Guard::Atom {
+                rel: r,
+                args: vec![y, z],
+            },
             body: Box::new(Formula::Exists {
                 qvars: vec![u],
-                guard: Guard::Atom { rel: r, args: vec![z, u] },
+                guard: Guard::Atom {
+                    rel: r,
+                    args: vec![z, u],
+                },
                 body: Box::new(Formula::unary(b_rel, u)),
             }),
         }),

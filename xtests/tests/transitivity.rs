@@ -51,7 +51,10 @@ fn transitivity_interacts_with_value_restrictions() {
     let (x, y) = (LVar(0), LVar(1));
     let mut o = GfOntology::from_ugf(vec![UgfSentence::new(
         vec![x, y],
-        Guard::Atom { rel: r, args: vec![x, y] },
+        Guard::Atom {
+            rel: r,
+            args: vec![x, y],
+        },
         Formula::implies(Formula::unary(a_rel, x), Formula::unary(a_rel, y)),
         vec!["x".into(), "y".into()],
     )]);
