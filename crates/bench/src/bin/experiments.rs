@@ -1,10 +1,13 @@
-//! Runs the full experiment suite E1–E11 of DESIGN.md and prints a
-//! paper-claim vs. measured-result table for EXPERIMENTS.md.
+//! Runs the full experiment suite E1–E11 of DESIGN.md plus the E13
+//! type-kernel comparison, prints a paper-claim vs. measured-result
+//! table for EXPERIMENTS.md, and writes the E13 measurements to
+//! `BENCH_types.json`.
 //!
 //! Run with `cargo run -p gomq-bench --bin experiments --release`.
 
 use gomq_bench::{
     cycle_instance, hand_instance, hand_ontologies, horn_chain_ontology, propagation_instance,
+    type_bench_instance, type_closure_ontology,
 };
 use gomq_core::query::CqBuilder;
 use gomq_core::{Term, Ucq, Vocab};
@@ -399,6 +402,65 @@ fn e11_counter() {
     }
 }
 
+fn e13_types() {
+    header(
+        "E13",
+        "bitset AC-3 type-propagation kernel",
+        "engineering claim: Theorem-5 per-instance elimination as bit-parallel arc consistency beats the sweep-based reference",
+    );
+    let mut rows = Vec::new();
+    for (width, free) in [("narrow", 0usize), ("wide", 4)] {
+        let mut v = Vocab::new();
+        let (o, labels, r) = type_closure_ontology(free, &mut v);
+        let sys = ElementTypeSystem::build(&o, &v).expect("fixture supported");
+        sys.kernel(); // amortised by the engine's plan cache
+        for n in [50usize, 150, 300] {
+            let d = type_bench_instance(n, &labels, r, &mut v);
+            let t0 = Instant::now();
+            let slow = sys.instance_types_reference(&d);
+            let ref_ns = t0.elapsed().as_nanos() as u64;
+            let t1 = Instant::now();
+            let fast = sys.instance_types(&d);
+            let bit_ns = t1.elapsed().as_nanos() as u64;
+            assert_eq!(
+                slow.surviving, fast.surviving,
+                "kernel disagrees with reference"
+            );
+            let s = fast.stats;
+            let speedup = ref_ns as f64 / bit_ns.max(1) as f64;
+            println!(
+                "   {width} ({} types), n={n}: reference {:.2} ms, bitset {:.3} ms ({speedup:.0}×); edges={}, arcs_revised={}, compat_bits={}",
+                sys.num_types(),
+                ref_ns as f64 / 1e6,
+                bit_ns as f64 / 1e6,
+                s.edges,
+                s.arcs_revised,
+                s.compat_bits,
+            );
+            rows.push(format!(
+                "    {{\"width\": \"{width}\", \"types\": {}, \"n\": {n}, \
+                 \"reference_ns\": {ref_ns}, \"bitset_ns\": {bit_ns}, \
+                 \"speedup\": {speedup:.2}, \"elements\": {}, \"edges\": {}, \
+                 \"arcs_revised\": {}, \"compat_bits\": {}, \
+                 \"kernel_build_ns\": {}, \"propagate_ns\": {}}}",
+                sys.num_types(),
+                s.elements,
+                s.edges,
+                s.arcs_revised,
+                s.compat_bits,
+                s.build_ns,
+                s.propagate_ns,
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_types\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_types.json", &json).expect("write BENCH_types.json");
+    println!("   wrote BENCH_types.json");
+}
+
 fn main() {
     println!("guarded-omq experiment suite (paper: Hernich–Lutz–Papacchini–Wolter, PODS'17)");
     e1_figure1();
@@ -412,5 +474,6 @@ fn main() {
     e9_unravel();
     e10_example7();
     e11_counter();
+    e13_types();
     println!("\nall experiments completed");
 }

@@ -69,6 +69,56 @@ pub fn propagation_instance(len: usize, start: RelId, r: RelId, vocab: &mut Voca
     d
 }
 
+/// An ontology with a controllably wide type closure: a three-label
+/// propagation cycle `TL0 ⊑ ∀R.TL1`, `TL1 ⊑ ∃R.TL2`, `TL2 ⊑ ∀R⁻.TL0`
+/// plus `free` tautologically-axiomatised labels that enter the closure
+/// without constraining it — each roughly doubles the number of
+/// globally realizable types. Returns `(ontology, labels, role)` where
+/// `labels` lists the three cycle labels followed by the free ones.
+pub fn type_closure_ontology(free: usize, vocab: &mut Vocab) -> (GfOntology, Vec<RelId>, RelId) {
+    let mut labels: Vec<RelId> = (0..3).map(|i| vocab.rel(&format!("TL{i}"), 1)).collect();
+    let r = vocab.rel("TR", 2);
+    let mut dl = DlOntology::new();
+    dl.sub(
+        Concept::Name(labels[0]),
+        Concept::Forall(Role::new(r), Box::new(Concept::Name(labels[1]))),
+    );
+    dl.sub(
+        Concept::Name(labels[1]),
+        Concept::Exists(Role::new(r), Box::new(Concept::Name(labels[2]))),
+    );
+    dl.sub(
+        Concept::Name(labels[2]),
+        Concept::Forall(Role::inv(r), Box::new(Concept::Name(labels[0]))),
+    );
+    for i in 0..free {
+        let f = vocab.rel(&format!("TF{i}"), 1);
+        // Tautology: puts the label into the signature (hence the type
+        // closure) without eliminating any type.
+        dl.sub(Concept::Name(f), Concept::Name(f));
+        labels.push(f);
+    }
+    (to_gf(&dl), labels, r)
+}
+
+/// A deterministic dense instance for type-propagation benchmarks: a
+/// cycle `i → i+1` plus long-range chords `i → 7i+3 (mod n)`, with
+/// label `j` asserted at every element divisible by `j + 2`.
+pub fn type_bench_instance(n: usize, labels: &[RelId], r: RelId, vocab: &mut Vocab) -> Instance {
+    let consts: Vec<_> = (0..n).map(|i| vocab.constant(&format!("tb{i}"))).collect();
+    let mut d = Instance::new();
+    for i in 0..n {
+        d.insert(Fact::consts(r, &[consts[i], consts[(i + 1) % n]]));
+        d.insert(Fact::consts(r, &[consts[i], consts[(i * 7 + 3) % n]]));
+        for (j, &l) in labels.iter().enumerate() {
+            if i % (j + 2) == 0 {
+                d.insert(Fact::consts(l, &[consts[i]]));
+            }
+        }
+    }
+    d
+}
+
 /// A directed cycle over a binary relation.
 pub fn cycle_instance(rel: RelId, n: usize, tag: &str, vocab: &mut Vocab) -> Instance {
     let mut d = Instance::new();
@@ -95,5 +145,19 @@ mod tests {
         assert_eq!(hc.ugf_sentences.len(), 5);
         let p = propagation_instance(10, names[0], r, &mut v);
         assert_eq!(p.len(), 11);
+    }
+
+    #[test]
+    fn type_closure_fixture_is_wide() {
+        let mut v = Vocab::new();
+        let (o, labels, r) = type_closure_ontology(4, &mut v);
+        assert_eq!(labels.len(), 7);
+        let sys = gomq_rewriting::ElementTypeSystem::build(&o, &v).unwrap();
+        // The acceptance bar for E13: at least 64 globally realizable types.
+        assert!(sys.num_types() >= 64, "only {} types", sys.num_types());
+        let d = type_bench_instance(20, &labels, r, &mut v);
+        assert!(d.len() >= 40);
+        let it = sys.instance_types(&d);
+        assert!(!it.inconsistent);
     }
 }

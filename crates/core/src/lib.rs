@@ -13,6 +13,9 @@
 //!   interpretation whose terms are all constants),
 //! * homomorphisms between interpretations ([`hom`]),
 //! * indexed fact stores and the join-lookup abstraction ([`index`]),
+//! * fixed-width bitset rows/matrices and dense term interning
+//!   ([`bitset`], [`intern`]) — the substrate of the bit-parallel
+//!   propagation kernels,
 //! * guarded sets, Gaifman graphs and guarded tree decompositions
 //!   ([`guarded`], [`treedec`]),
 //! * conjunctive queries, unions thereof, and rooted acyclic queries
@@ -26,10 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod bisim;
+pub mod bitset;
 pub mod fact;
 pub mod guarded;
 pub mod hom;
 pub mod index;
+pub mod intern;
 pub mod interpretation;
 pub mod parse;
 pub mod query;
@@ -39,6 +44,7 @@ pub mod treedec;
 pub use fact::{Fact, Term};
 pub use hom::{find_homomorphism, Homomorphism};
 pub use index::{FactLookup, IndexedInstance};
+pub use intern::TermInterner;
 pub use interpretation::{Instance, Interpretation};
 pub use query::{Cq, CqAtom, Ucq, VarOrConst};
 pub use symbols::{ConstId, NullId, RelId, Vocab};

@@ -9,7 +9,6 @@
 
 use crate::program::{DAtom, DTerm, Literal, Program, Rule};
 use gomq_core::{Fact, FactLookup, Instance, Interpretation, Term};
-use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 /// Statistics of an evaluation run.
@@ -32,12 +31,15 @@ impl Program {
     /// (EDB ∪ IDB) together with statistics.
     pub fn fixpoint(&self, d: &Instance) -> (Interpretation, EvalStats) {
         let mut total = d.clone();
-        let mut delta = d.clone();
+        let mut delta = Interpretation::new();
         let mut stats = EvalStats::default();
         loop {
             stats.rounds += 1;
             let mut new_facts: Vec<Fact> = Vec::new();
-            derive_round(&self.rules, &total, &delta, &mut new_facts);
+            // In the first round every EDB fact is new, so the delta is
+            // `total` itself — no second clone of the input.
+            let dl = if stats.rounds == 1 { &total } else { &delta };
+            derive_round(&self.rules, &total, dl, &mut new_facts);
             let mut next_delta = Interpretation::new();
             for f in new_facts {
                 if !total.contains(&f) {
@@ -85,8 +87,10 @@ fn derive<L: FactLookup>(rule: &Rule, total: &L, delta: &L, out: &mut Vec<Fact>)
     if atoms.is_empty() {
         return;
     }
+    // Flat binding frame indexed by variable slot; the matcher restores
+    // every slot it fills on backtrack, so one allocation serves all pivots.
+    let mut frame: Vec<Option<Term>> = vec![None; rule.num_slots()];
     for pivot in 0..atoms.len() {
-        let mut binding: BTreeMap<u32, Term> = BTreeMap::new();
         let mut remaining: Vec<usize> = (0..atoms.len()).collect();
         match_atoms(
             rule,
@@ -95,18 +99,18 @@ fn derive<L: FactLookup>(rule: &Rule, total: &L, delta: &L, out: &mut Vec<Fact>)
             &mut remaining,
             total,
             delta,
-            &mut binding,
+            &mut frame,
             out,
         );
     }
 }
 
-/// The first argument of `atom` if it is already determined by `binding`
+/// The first argument of `atom` if it is already determined by `frame`
 /// (ground, or a bound variable) — the key for an indexed probe.
-fn bound_first(atom: &DAtom, binding: &BTreeMap<u32, Term>) -> Option<Term> {
+fn bound_first(atom: &DAtom, frame: &[Option<Term>]) -> Option<Term> {
     match atom.args.first()? {
         DTerm::Ground(g) => Some(*g),
-        DTerm::Var(v) => binding.get(v).copied(),
+        DTerm::Var(v) => frame[*v as usize],
     }
 }
 
@@ -121,21 +125,21 @@ fn match_atoms<L: FactLookup>(
     remaining: &mut Vec<usize>,
     total: &L,
     delta: &L,
-    binding: &mut BTreeMap<u32, Term>,
+    frame: &mut Vec<Option<Term>>,
     out: &mut Vec<Fact>,
 ) {
     if remaining.is_empty() {
         // All positive atoms matched: check inequalities, then emit.
         for l in &rule.body {
             if let Literal::Neq(a, b) = l {
-                if resolve(a, binding) == resolve(b, binding) {
+                if resolve(a, frame) == resolve(b, frame) {
                     return;
                 }
             }
         }
         out.push(Fact::new(
             rule.head.rel,
-            rule.head.args.iter().map(|t| resolve(t, binding)).collect(),
+            rule.head.args.iter().map(|t| resolve(t, frame)).collect(),
         ));
         return;
     }
@@ -143,7 +147,7 @@ fn match_atoms<L: FactLookup>(
     let mut best_k = 0usize;
     let mut best_cost = usize::MAX;
     for (k, &ai) in remaining.iter().enumerate() {
-        let first = bound_first(atoms[ai], binding);
+        let first = bound_first(atoms[ai], frame);
         let cost = if pivot == Some(ai) {
             delta.candidate_count(atoms[ai].rel, first)
         } else {
@@ -159,7 +163,7 @@ fn match_atoms<L: FactLookup>(
     }
     let ai = remaining.swap_remove(best_k);
     let atom = atoms[ai];
-    let first = bound_first(atom, binding);
+    let first = bound_first(atom, frame);
     let candidates = if pivot == Some(ai) {
         delta.candidate_ids(atom.rel, first)
     } else {
@@ -181,35 +185,33 @@ fn match_atoms<L: FactLookup>(
                         break;
                     }
                 }
-                DTerm::Var(v) => match binding.get(v) {
-                    Some(&prev) if prev != t => {
+                DTerm::Var(v) => match frame[*v as usize] {
+                    Some(prev) if prev != t => {
                         ok = false;
                         break;
                     }
                     Some(_) => {}
                     None => {
-                        binding.insert(*v, t);
+                        frame[*v as usize] = Some(t);
                         newly.push(*v);
                     }
                 },
             }
         }
         if ok {
-            match_atoms(rule, atoms, pivot, remaining, total, delta, binding, out);
+            match_atoms(rule, atoms, pivot, remaining, total, delta, frame, out);
         }
         for v in newly {
-            binding.remove(&v);
+            frame[v as usize] = None;
         }
     }
     remaining.push(ai);
 }
 
-fn resolve(t: &DTerm, binding: &BTreeMap<u32, Term>) -> Term {
+fn resolve(t: &DTerm, frame: &[Option<Term>]) -> Term {
     match t {
         DTerm::Ground(g) => *g,
-        DTerm::Var(v) => *binding
-            .get(v)
-            .unwrap_or_else(|| panic!("unbound rule variable ?{v}")),
+        DTerm::Var(v) => frame[*v as usize].unwrap_or_else(|| panic!("unbound rule variable ?{v}")),
     }
 }
 
@@ -226,7 +228,7 @@ pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
             if atoms.is_empty() {
                 continue;
             }
-            let mut binding: BTreeMap<u32, Term> = BTreeMap::new();
+            let mut frame: Vec<Option<Term>> = vec![None; rule.num_slots()];
             let mut remaining: Vec<usize> = (0..atoms.len()).collect();
             match_atoms(
                 rule,
@@ -235,7 +237,7 @@ pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
                 &mut remaining,
                 &total,
                 &total,
-                &mut binding,
+                &mut frame,
                 &mut new_facts,
             );
         }

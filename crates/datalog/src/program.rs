@@ -48,6 +48,9 @@ pub struct Rule {
     pub head: DAtom,
     /// The body literals.
     pub body: Vec<Literal>,
+    /// Cached variable-slot count (1 + the largest variable index), so the
+    /// matcher can allocate a flat binding frame without rescanning the rule.
+    slots: u32,
 }
 
 impl Rule {
@@ -85,7 +88,16 @@ impl Rule {
                 check(b);
             }
         }
-        Rule { head, body }
+        // Range restriction holds, so positive body atoms mention every
+        // variable of the rule.
+        let slots = positive_vars.last().map_or(0, |&v| v + 1);
+        Rule { head, body, slots }
+    }
+
+    /// Number of variable slots a binding frame for this rule needs
+    /// (1 + the largest variable index; 0 for a variable-free rule).
+    pub fn num_slots(&self) -> usize {
+        self.slots as usize
     }
 
     /// Whether the rule uses inequality.
@@ -170,10 +182,9 @@ impl Program {
                     kept.push(l);
                 }
             }
-            let rule = Rule {
-                head: r.head.clone(),
-                body: kept,
-            };
+            // Dropping duplicate literals keeps every variable bound, so
+            // re-running the `Rule::new` checks is safe.
+            let rule = Rule::new(r.head.clone(), kept);
             let key = format!("{rule:?}");
             if seen.insert(key) {
                 rules.push(rule);

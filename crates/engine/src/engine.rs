@@ -77,12 +77,36 @@ impl Engine {
         let (answers, eval_stats) =
             eval_strata(&plan.strata, plan.program.goal, abox, self.threads);
         let stats = RequestStats {
-            cache_hit: false,
-            compile: std::time::Duration::ZERO,
             eval: t0.elapsed(),
             rounds: eval_stats.rounds,
             derived: eval_stats.derived,
             answers: answers.len(),
+            ..RequestStats::default()
+        };
+        self.stats.lock().expect("stats poisoned").absorb(&stats);
+        (answers, stats)
+    }
+
+    /// Answers one plan against one plain ABox through the plan's bitset
+    /// type kernel instead of Datalog evaluation: one AC-3 propagation
+    /// over the ABox, then certain-answer extraction. Agrees with
+    /// [`Engine::answer`] (both realize the Theorem-5 computation) while
+    /// skipping fact materialization entirely; requires a unary query
+    /// relation.
+    pub fn answer_typed(
+        &self,
+        plan: &OmqPlan,
+        abox: &Instance,
+    ) -> (BTreeSet<Vec<Term>>, RequestStats) {
+        let t0 = Instant::now();
+        let (elems, type_stats) = plan.types.certain_unary_with_stats(abox, plan.query);
+        let answers: BTreeSet<Vec<Term>> = elems.into_iter().map(|t| vec![t]).collect();
+        let stats = RequestStats {
+            eval: t0.elapsed(),
+            answers: answers.len(),
+            typed: true,
+            type_stats,
+            ..RequestStats::default()
         };
         self.stats.lock().expect("stats poisoned").absorb(&stats);
         (answers, stats)
@@ -167,6 +191,35 @@ mod tests {
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 1);
         assert!(snap.eval_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn typed_answers_match_datalog_path() {
+        let mut v = Vocab::new();
+        let engine = Engine::with_threads(2);
+        let dl = parse_ontology(
+            "Manager sub Employee\nEmployee sub Staff\nManager sub ex ReportsTo.Employee\n",
+            &mut v,
+        )
+        .unwrap();
+        let o = to_gf(&dl);
+        let staff = v.find_rel("Staff").unwrap();
+        let (plan, _, _) = engine.plan(&o, staff, &mut v);
+        let plan = plan.unwrap();
+        let abox = parse_instance(
+            "Manager(ada)\nEmployee(grace)\nReportsTo(grace,ada)\n",
+            &mut v,
+        )
+        .unwrap();
+        let (datalog_answers, _) = engine.answer(&plan, &abox);
+        let (typed_answers, rs) = engine.answer_typed(&plan, &abox);
+        assert_eq!(typed_answers, datalog_answers);
+        assert!(rs.typed);
+        assert_eq!(rs.type_stats.elements, 2);
+        assert!(rs.type_stats.edges >= 1);
+        let snap = engine.stats();
+        assert_eq!(snap.typed_requests, 1);
+        assert_eq!(snap.type_stats.elements, 2);
     }
 
     #[test]

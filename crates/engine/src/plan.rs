@@ -27,6 +27,7 @@ use gomq_rewriting::{
     RewriteError,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced by the engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,6 +76,10 @@ pub struct OmqPlan {
     pub program: Program,
     /// The rewriting's rules pre-partitioned into SCC strata.
     pub strata: Strata,
+    /// The element-type system the rewriting was emitted from, with its
+    /// bitset propagation kernel pre-built — the fast path
+    /// [`crate::Engine::answer_typed`] evaluates directly against it.
+    pub types: Arc<ElementTypeSystem>,
 }
 
 impl OmqPlan {
@@ -98,6 +103,11 @@ impl OmqPlan {
         let sys = ElementTypeSystem::build(o, vocab)?;
         let program = emit_datalog(&sys, query, vocab).optimize();
         let strata = Strata::of(&program);
+        let types = Arc::new(sys);
+        // Build the bitset kernel now, while we are paying compilation
+        // cost anyway, so cached plans serve typed requests without a
+        // first-request construction stall.
+        types.kernel();
         Ok(OmqPlan {
             key,
             canonical_text,
@@ -105,6 +115,7 @@ impl OmqPlan {
             report,
             program,
             strata,
+            types,
         })
     }
 }

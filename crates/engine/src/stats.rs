@@ -1,5 +1,6 @@
 //! Engine and per-request statistics.
 
+use gomq_rewriting::TypeStats;
 use std::time::Duration;
 
 /// Statistics of one served request (one OMQ evaluated against one
@@ -18,6 +19,11 @@ pub struct RequestStats {
     pub derived: usize,
     /// Number of answer tuples (summed over a batch).
     pub answers: usize,
+    /// Whether the request was served by the bitset type kernel
+    /// ([`crate::Engine::answer_typed`]) rather than Datalog evaluation.
+    pub typed: bool,
+    /// Propagation-kernel counters (zero unless `typed`).
+    pub type_stats: TypeStats,
 }
 
 /// Cumulative statistics of an [`crate::Engine`] since construction.
@@ -43,6 +49,12 @@ pub struct EngineStats {
     pub compile_time: Duration,
     /// Total wall time in evaluation.
     pub eval_time: Duration,
+    /// Requests served by the bitset type kernel
+    /// ([`crate::Engine::answer_typed`]).
+    pub typed_requests: u64,
+    /// Aggregated propagation-kernel counters across typed requests
+    /// (instance counters summed; kernel-build counters maxed).
+    pub type_stats: TypeStats,
 }
 
 impl EngineStats {
@@ -54,5 +66,9 @@ impl EngineStats {
         self.answers += r.answers as u64;
         self.compile_time += r.compile;
         self.eval_time += r.eval;
+        if r.typed {
+            self.typed_requests += 1;
+            self.type_stats.absorb(&r.type_stats);
+        }
     }
 }

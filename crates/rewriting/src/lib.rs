@@ -26,4 +26,4 @@ pub mod types;
 
 pub use canon::{canonical_omq_hash, canonical_omq_text};
 pub use classify::{classify_ontology, OntologyReport};
-pub use types::{ElementTypeSystem, RewriteError};
+pub use types::{ElementTypeSystem, RewriteError, TypeKernel, TypeStats};

@@ -35,10 +35,13 @@
 //! may differ — which is precisely the paper's point, and is demonstrated
 //! in the experiment suite.
 
-use gomq_core::{Instance, RelId, Term, Vocab};
+use gomq_core::bitset::{self, BitMatrix};
+use gomq_core::{Instance, RelId, Term, TermInterner, Vocab};
 use gomq_logic::{Formula, GfOntology, Guard, LVar};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Rewriting failure: the ontology is outside the supported fragment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -140,6 +143,54 @@ pub struct ElementTypeSystem {
     supers: BTreeMap<RelId, BTreeSet<(RelId, bool)>>,
     /// Globally realizable types `T*`.
     types: Vec<TypeBits>,
+    /// The bit-parallel propagation kernel, built lazily on first use.
+    /// Its compat matrices quantify over `types`, which is only final
+    /// after `global_elimination` — hence the lazy cell rather than an
+    /// eager field of `build`.
+    kernel: OnceLock<TypeKernel>,
+}
+
+impl fmt::Debug for ElementTypeSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElementTypeSystem")
+            .field("types", &self.types.len())
+            .field("closure_bits", &self.closure_bits())
+            .field("binary_rels", &self.binary_rels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Counters and timings of one bitset-kernel [`ElementTypeSystem::instance_types`] run.
+///
+/// `build_ns`/`compat_bits` describe the (cached, per-ontology) kernel;
+/// the remaining fields describe the per-instance propagation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TypeStats {
+    /// Active-domain size of the instance.
+    pub elements: usize,
+    /// Binary facts visited (proper edges + self-loops).
+    pub edges: usize,
+    /// AC-3 arc revisions performed until fixpoint.
+    pub arcs_revised: usize,
+    /// Total set bits across the kernel's compatibility matrices.
+    pub compat_bits: usize,
+    /// Wall time to build the kernel (paid once per ontology).
+    pub build_ns: u64,
+    /// Wall time of this instance's propagation.
+    pub propagate_ns: u64,
+}
+
+impl TypeStats {
+    /// Folds another run's instance counters into these (kernel-level
+    /// fields keep the maximum — they describe the same cached kernel).
+    pub fn absorb(&mut self, other: &TypeStats) {
+        self.elements += other.elements;
+        self.edges += other.edges;
+        self.arcs_revised += other.arcs_revised;
+        self.compat_bits = self.compat_bits.max(other.compat_bits);
+        self.build_ns = self.build_ns.max(other.build_ns);
+        self.propagate_ns += other.propagate_ns;
+    }
 }
 
 /// Per-instance elimination result.
@@ -151,6 +202,8 @@ pub struct InstanceTypes {
     pub inconsistent: bool,
     /// Propagation rounds until fixpoint.
     pub rounds: usize,
+    /// Kernel counters (zeroed by the reference implementation).
+    pub stats: TypeStats,
 }
 
 /// Shape statistics of an ontology's closure, from the compile phase
@@ -349,6 +402,7 @@ impl ElementTypeSystem {
             quants: builder.quants,
             supers,
             types,
+            kernel: OnceLock::new(),
         };
         // Arithmetic consistency: a true `∃≥k` cannot exceed the type's
         // own successor cap (e.g. ∃≥2 together with functionality).
@@ -619,8 +673,352 @@ impl ElementTypeSystem {
         &self.types
     }
 
-    /// Per-instance type assignment by arc-consistency propagation.
+    /// The compiled bit-parallel propagation kernel, built on first use
+    /// and cached for the lifetime of the system. Building costs one
+    /// `compat_edge` sweep per relation over `|T*|²` type pairs — the
+    /// price of a *single* edge visit of the reference propagation —
+    /// after which every instance-time revision is pure word arithmetic.
+    pub fn kernel(&self) -> &TypeKernel {
+        self.kernel.get_or_init(|| self.build_kernel())
+    }
+
+    fn build_kernel(&self) -> TypeKernel {
+        let t0 = Instant::now();
+        let n = self.types.len();
+        let words = bitset::words_for(n);
+        let mut fwd = Vec::with_capacity(self.binary_rels.len());
+        let mut bwd = Vec::with_capacity(self.binary_rels.len());
+        let mut loop_ok = Vec::with_capacity(self.binary_rels.len());
+        for &r in &self.binary_rels {
+            let mut f = BitMatrix::new(n, n);
+            let mut b = BitMatrix::new(n, n);
+            for (ti, t) in self.types.iter().enumerate() {
+                for (tj, w) in self.types.iter().enumerate() {
+                    if self.compat_edge(t, w, r) {
+                        f.set(ti, tj);
+                        b.set(tj, ti);
+                    }
+                }
+            }
+            let mut lo = vec![0u64; words];
+            for (ti, t) in self.types.iter().enumerate() {
+                if self.compat_self_loop(t, r) {
+                    bitset::set_bit(&mut lo, ti);
+                }
+            }
+            fwd.push(f);
+            bwd.push(b);
+            loop_ok.push(lo);
+        }
+        let mut unary_ok = Vec::with_capacity(self.unary_rels.len());
+        for ui in 0..self.unary_rels.len() {
+            let mut row = vec![0u64; words];
+            for (ti, t) in self.types.iter().enumerate() {
+                if t.unary[ui] {
+                    bitset::set_bit(&mut row, ti);
+                }
+            }
+            unary_ok.push(row);
+        }
+        let rel_index: BTreeMap<RelId, usize> = self
+            .binary_rels
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i))
+            .collect();
+        let mut counting = Vec::new();
+        for (qi, q) in self.quants.iter().enumerate() {
+            if q.kind != QuantKind::Exists || q.count < 2 {
+                continue;
+            }
+            let ri = rel_index[&q.rel];
+            let subs: Vec<(usize, bool)> = self
+                .sub_rels(q.rel)
+                .iter()
+                .map(|&(r2, flipped)| (rel_index[&r2], (q.orient == Orientation::Fwd) != flipped))
+                .collect();
+            let mut inner_false = vec![0u64; words];
+            for (tj, w) in self.types.iter().enumerate() {
+                if !q.inner.eval(w) {
+                    bitset::set_bit(&mut inner_false, tj);
+                }
+            }
+            let mut binds = vec![false; n];
+            let mut avoid = BitMatrix::new(n, n);
+            let mut loop_witness = vec![false; n];
+            for (ti, t) in self.types.iter().enumerate() {
+                loop_witness[ti] = !q.distinct && q.inner.eval(t);
+                if t.quant[qi] {
+                    continue; // only a FALSE ∃≥n constrains neighbours
+                }
+                binds[ti] = true;
+                // Partner types that avoid being a forced witness: pair-
+                // compatible with ti yet refuting ψ.
+                let row = avoid.row_mut(ti);
+                row.copy_from_slice(match q.orient {
+                    Orientation::Fwd => fwd[ri].row(ti),
+                    Orientation::Bwd => bwd[ri].row(ti),
+                });
+                bitset::and_assign(row, &inner_false);
+            }
+            counting.push(CountingKernel {
+                count: q.count as usize,
+                subs,
+                binds,
+                avoid,
+                loop_witness,
+            });
+        }
+        let compat_bits = fwd.iter().map(BitMatrix::count_ones).sum::<usize>()
+            + loop_ok.iter().map(|r| bitset::count_ones(r)).sum::<usize>();
+        TypeKernel {
+            words,
+            full: bitset::full_row(n),
+            fwd,
+            bwd,
+            loop_ok,
+            unary_ok,
+            counting,
+            compat_bits,
+            build_ns: t0.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Per-instance type assignment by bit-parallel AC-3 propagation.
+    ///
+    /// The computation is the paper's Theorem-5 one — identical in its
+    /// result to [`ElementTypeSystem::instance_types_reference`] (the
+    /// property tests assert exactly that) — but runs on the cached
+    /// [`TypeKernel`]: elements are interned to dense ids, surviving
+    /// sets are fixed-width bitset rows, an edge revision ORs the
+    /// compat-matrix rows of the partner's surviving types and ANDs the
+    /// union into the revisee's row, and a worklist of dirty arcs
+    /// replaces full-sweep rounds. Counting/functionality caps are
+    /// re-checked only for elements whose neighbourhood shrank.
     pub fn instance_types(&self, d: &Instance) -> InstanceTypes {
+        let k = self.kernel();
+        let t0 = Instant::now();
+        let words = k.words;
+        // Dense element index over the active domain (`dom()` is sorted,
+        // so ids are deterministic).
+        let mut terms = TermInterner::new();
+        for t in d.dom() {
+            terms.intern(t);
+        }
+        let n_elem = terms.len();
+        // Surviving rows: all of T*, minus the types contradicting an
+        // asserted unary fact, minus the types incompatible with a
+        // self-loop.
+        let mut surv: Vec<u64> = Vec::with_capacity(n_elem * words);
+        for _ in 0..n_elem {
+            surv.extend_from_slice(&k.full);
+        }
+        for (ui, &u) in self.unary_rels.iter().enumerate() {
+            for f in d.facts_of(u) {
+                if f.args.len() == 1 {
+                    let e = terms.get(f.args[0]).expect("domain term") as usize;
+                    bitset::and_assign(&mut surv[e * words..(e + 1) * words], &k.unary_ok[ui]);
+                }
+            }
+        }
+        // Edges (proper) and self-loops, per dense relation index.
+        let nrels = self.binary_rels.len();
+        let has_counting = !k.counting.is_empty();
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        let mut loops = 0usize;
+        let mut has_loop: Vec<Vec<bool>> = vec![Vec::new(); nrels];
+        for (ri, &r) in self.binary_rels.iter().enumerate() {
+            if has_counting {
+                has_loop[ri] = vec![false; n_elem];
+            }
+            for f in d.facts_of(r) {
+                if f.args.len() != 2 {
+                    continue;
+                }
+                let u = terms.get(f.args[0]).expect("domain term") as usize;
+                let w = terms.get(f.args[1]).expect("domain term") as usize;
+                if u == w {
+                    loops += 1;
+                    if has_counting {
+                        has_loop[ri][u] = true;
+                    }
+                    bitset::and_assign(&mut surv[u * words..(u + 1) * words], &k.loop_ok[ri]);
+                } else {
+                    edges.push((ri as u32, u as u32, w as u32));
+                }
+            }
+        }
+        // Distinct-neighbour CSR adjacency for the counting pass (facts
+        // are deduplicated, so so are the lists).
+        let (out_adj, in_adj) = if has_counting {
+            let mut out = Vec::with_capacity(nrels);
+            let mut inn = Vec::with_capacity(nrels);
+            for ri in 0..nrels {
+                let ri = ri as u32;
+                out.push(Csr::from_pairs(
+                    n_elem,
+                    edges.iter().filter(|e| e.0 == ri).map(|&(_, u, w)| (u, w)),
+                ));
+                inn.push(Csr::from_pairs(
+                    n_elem,
+                    edges.iter().filter(|e| e.0 == ri).map(|&(_, u, w)| (w, u)),
+                ));
+            }
+            (out, inn)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        // Arcs: each proper edge yields one revision of its source
+        // (partner = target, supports via the transpose matrix) and one
+        // of its target (partner = source, supports via the forward
+        // matrix). `arcs_of_partner` maps an element to the arcs that
+        // must be re-revised when its surviving set shrinks.
+        let mut arcs: Vec<(u32, u32, u32, bool)> = Vec::with_capacity(edges.len() * 2);
+        for &(ri, u, w) in &edges {
+            arcs.push((u, w, ri, true));
+            arcs.push((w, u, ri, false));
+        }
+        let arcs_of_partner = Csr::from_pairs(
+            n_elem,
+            arcs.iter()
+                .enumerate()
+                .map(|(ai, &(_, p, _, _))| (p, ai as u32)),
+        );
+        let mut queue: VecDeque<u32> = (0..arcs.len() as u32).collect();
+        let mut in_queue = vec![true; arcs.len()];
+        // Worklist invariant: every arc whose revision might still
+        // remove a bit is in the queue. Seeded with all arcs; an arc is
+        // re-enqueued exactly when its partner's row shrinks.
+        let mut shrunk = vec![true; n_elem]; // everyone dirty for the first counting pass
+        let mut allowed = vec![0u64; words];
+        let mut snapshot = vec![0u64; words];
+        let mut nbrs: Vec<u32> = Vec::new();
+        let mut arcs_revised = 0usize;
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            while let Some(ai) = queue.pop_front() {
+                in_queue[ai as usize] = false;
+                arcs_revised += 1;
+                let (rv, p, ri, rv_is_src) = arcs[ai as usize];
+                let (rv, p, ri) = (rv as usize, p as usize, ri as usize);
+                allowed.fill(0);
+                {
+                    let prow = &surv[p * words..(p + 1) * words];
+                    // Union of supports: a type survives at the revisee
+                    // iff some surviving partner type is edge-compatible.
+                    let m = if rv_is_src { &k.bwd[ri] } else { &k.fwd[ri] };
+                    for tj in bitset::ones(prow) {
+                        bitset::or_assign(&mut allowed, m.row(tj));
+                    }
+                }
+                if bitset::and_assign(&mut surv[rv * words..(rv + 1) * words], &allowed) {
+                    shrunk[rv] = true;
+                    for &a2 in arcs_of_partner.row(rv) {
+                        if !in_queue[a2 as usize] {
+                            in_queue[a2 as usize] = true;
+                            queue.push_back(a2);
+                        }
+                    }
+                }
+            }
+            if !has_counting {
+                break;
+            }
+            // Counting pass, restricted to dirty elements: those whose
+            // own row shrank or with a shrunk proper neighbour (arcs
+            // enumerate exactly the proper-edge neighbour pairs).
+            let mut dirty = shrunk.clone();
+            for &(rv, p, _, _) in &arcs {
+                if shrunk[p as usize] {
+                    dirty[rv as usize] = true;
+                }
+            }
+            shrunk.iter_mut().for_each(|s| *s = false);
+            let mut progressed = false;
+            for a in 0..n_elem {
+                if !dirty[a] {
+                    continue;
+                }
+                for ck in &k.counting {
+                    nbrs.clear();
+                    let mut loop_here = false;
+                    for &(ri, use_out) in &ck.subs {
+                        let csr = if use_out { &out_adj[ri] } else { &in_adj[ri] };
+                        nbrs.extend_from_slice(csr.row(a));
+                        loop_here |= has_loop[ri][a];
+                    }
+                    nbrs.sort_unstable();
+                    nbrs.dedup();
+                    if nbrs.len() + usize::from(loop_here) < ck.count {
+                        continue; // not enough potential witnesses
+                    }
+                    snapshot.copy_from_slice(&surv[a * words..(a + 1) * words]);
+                    let mut killed = false;
+                    for ti in bitset::ones(&snapshot) {
+                        if !ck.binds[ti] {
+                            continue;
+                        }
+                        let avoid = ck.avoid.row(ti);
+                        let mut forced = 0usize;
+                        for &b in &nbrs {
+                            let b = b as usize;
+                            if !bitset::intersects(&surv[b * words..(b + 1) * words], avoid) {
+                                forced += 1;
+                            }
+                        }
+                        if loop_here && ck.loop_witness[ti] {
+                            forced += 1;
+                        }
+                        if forced >= ck.count {
+                            bitset::clear_bit(&mut surv[a * words..(a + 1) * words], ti);
+                            killed = true;
+                        }
+                    }
+                    if killed {
+                        progressed = true;
+                        shrunk[a] = true;
+                        for &a2 in arcs_of_partner.row(a) {
+                            if !in_queue[a2 as usize] {
+                                in_queue[a2 as usize] = true;
+                                queue.push_back(a2);
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let mut surviving: BTreeMap<Term, BTreeSet<usize>> = BTreeMap::new();
+        let mut inconsistent = false;
+        for e in 0..n_elem {
+            let row = &surv[e * words..(e + 1) * words];
+            inconsistent |= bitset::is_zero(row);
+            surviving.insert(terms.term(e as u32), bitset::ones(row).collect());
+        }
+        InstanceTypes {
+            surviving,
+            inconsistent,
+            rounds,
+            stats: TypeStats {
+                elements: n_elem,
+                edges: edges.len() + loops,
+                arcs_revised,
+                compat_bits: k.compat_bits,
+                build_ns: k.build_ns,
+                propagate_ns: t0.elapsed().as_nanos() as u64,
+            },
+        }
+    }
+
+    /// Per-instance type assignment by arc-consistency propagation —
+    /// the retained reference implementation (full Gauss–Seidel sweeps
+    /// over `BTreeSet` surviving sets, one `compat_edge` call per type
+    /// pair per edge per round). The bitset kernel is checked against it
+    /// property-test-wise and benchmarked against it in `e13_types`.
+    pub fn instance_types_reference(&self, d: &Instance) -> InstanceTypes {
         let mut surviving: BTreeMap<Term, BTreeSet<usize>> = BTreeMap::new();
         for a in d.dom() {
             // Initial: types consistent with the unary facts at a.
@@ -774,6 +1172,7 @@ impl ElementTypeSystem {
             surviving,
             inconsistent,
             rounds,
+            stats: TypeStats::default(),
         }
     }
 
@@ -781,9 +1180,31 @@ impl ElementTypeSystem {
     /// whose surviving types make `A` true — or every element when the
     /// instance is inconsistent. A relation outside the ontology's
     /// closure is unconstrained, so its certain answers are exactly the
-    /// facts asserted in `D`.
+    /// facts asserted in `D`. Runs the bitset kernel.
     pub fn certain_unary(&self, d: &Instance, rel: RelId) -> BTreeSet<Term> {
+        self.certain_unary_with_stats(d, rel).0
+    }
+
+    /// [`ElementTypeSystem::certain_unary`] plus the kernel counters of
+    /// the underlying propagation run (for `EngineStats` accounting).
+    pub fn certain_unary_with_stats(
+        &self,
+        d: &Instance,
+        rel: RelId,
+    ) -> (BTreeSet<Term>, TypeStats) {
         let it = self.instance_types(d);
+        let stats = it.stats;
+        (self.certain_from(&it, d, rel), stats)
+    }
+
+    /// [`ElementTypeSystem::certain_unary`] through the reference
+    /// propagation — retained for equivalence testing.
+    pub fn certain_unary_reference(&self, d: &Instance, rel: RelId) -> BTreeSet<Term> {
+        let it = self.instance_types_reference(d);
+        self.certain_from(&it, d, rel)
+    }
+
+    fn certain_from(&self, it: &InstanceTypes, d: &Instance, rel: RelId) -> BTreeSet<Term> {
         if it.inconsistent {
             return d.dom();
         }
@@ -799,6 +1220,102 @@ impl ElementTypeSystem {
             .filter(|(_, set)| !set.is_empty() && set.iter().all(|&ti| self.types[ti].unary[ui]))
             .map(|(&t, _)| t)
             .collect()
+    }
+}
+
+/// The compiled bit-parallel AC-3 kernel of an [`ElementTypeSystem`].
+///
+/// Everything instance-independent about Theorem-5 propagation lives
+/// here, computed once per ontology *after* global elimination (the
+/// matrices quantify over the final `T*`; see DESIGN.md §7 for why that
+/// ordering is load-bearing):
+///
+/// * per binary relation, a forward compatibility matrix (row `ti` =
+///   the types compatible as `R`-successors of `ti`) and its transpose,
+/// * per relation, the self-loop-compatible types as one row,
+/// * per unary closure bit, the types asserting it,
+/// * per counting constraint (`∃≥n`, n ≥ 2, incl. compiled
+///   functionality), the "avoider" rows and loop-witness flags.
+#[derive(Clone, Debug)]
+pub struct TypeKernel {
+    /// Word width of a type-set row.
+    words: usize,
+    /// All of `T*` as a row (trailing bits clear).
+    full: Vec<u64>,
+    /// Forward compat: `fwd[r].row(ti) = {tj : compat_edge(ti, tj, r)}`.
+    fwd: Vec<BitMatrix>,
+    /// Transpose: `bwd[r].row(tj) = {ti : compat_edge(ti, tj, r)}`.
+    bwd: Vec<BitMatrix>,
+    /// Self-loop survivors per relation.
+    loop_ok: Vec<Vec<u64>>,
+    /// Types asserting each unary closure bit.
+    unary_ok: Vec<Vec<u64>>,
+    /// Compiled counting constraints.
+    counting: Vec<CountingKernel>,
+    /// Total set bits across `fwd` and `loop_ok`.
+    compat_bits: usize,
+    /// Construction wall time.
+    build_ns: u64,
+}
+
+impl TypeKernel {
+    /// Total set bits across the compatibility matrices and loop masks.
+    pub fn compat_bits(&self) -> usize {
+        self.compat_bits
+    }
+
+    /// Wall time spent building the kernel, in nanoseconds.
+    pub fn build_ns(&self) -> u64 {
+        self.build_ns
+    }
+}
+
+/// One compiled `∃≥n` (n ≥ 2) constraint of the counting pass.
+#[derive(Clone, Debug)]
+struct CountingKernel {
+    /// The threshold `n`.
+    count: usize,
+    /// Sub-roles of the counted relation as `(dense relation index,
+    /// count out-neighbours?)` — orientation and hierarchy flips are
+    /// resolved at compile time.
+    subs: Vec<(usize, bool)>,
+    /// Which types the constraint binds (the `∃≥n` is FALSE there).
+    binds: Vec<bool>,
+    /// Row `ti` = partner types that avoid being a forced witness of
+    /// `ti`: pair-compatible yet refuting the filler ψ.
+    avoid: BitMatrix,
+    /// Whether a self-loop contributes a forced witness for type `ti`.
+    loop_witness: Vec<bool>,
+}
+
+/// Compressed-sparse-row adjacency: `row(i)` of element `i` in O(1).
+struct Csr {
+    offsets: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds from `(source, value)` pairs by counting sort; `n` is the
+    /// number of sources.
+    fn from_pairs(n: usize, pairs: impl Iterator<Item = (u32, u32)> + Clone) -> Csr {
+        let mut offsets = vec![0u32; n + 1];
+        for (s, _) in pairs.clone() {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut data = vec![0u32; offsets[n] as usize];
+        for (s, v) in pairs {
+            data[cursor[s as usize] as usize] = v;
+            cursor[s as usize] += 1;
+        }
+        Csr { offsets, data }
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 }
 

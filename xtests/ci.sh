@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
