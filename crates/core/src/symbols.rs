@@ -131,6 +131,24 @@ impl Vocab {
         self.const_names.len()
     }
 
+    /// A checkpoint of the constant table, for scoped interning: pass it
+    /// to [`Vocab::truncate_consts`] to drop every constant interned
+    /// after this point. Long-lived serving sessions use this to keep
+    /// per-request ABox constants from accumulating forever.
+    pub fn const_mark(&self) -> usize {
+        self.const_names.len()
+    }
+
+    /// Drops every constant interned after `mark` (a value previously
+    /// returned by [`Vocab::const_mark`]). Ids handed out after the mark
+    /// become dangling — callers must not retain [`ConstId`]s across the
+    /// truncation. Relation symbols and nulls are unaffected.
+    pub fn truncate_consts(&mut self, mark: usize) {
+        for name in self.const_names.drain(mark.min(self.const_names.len())..) {
+            self.const_by_name.remove(&name);
+        }
+    }
+
     /// Creates a fresh labelled null.
     pub fn fresh_null(&mut self) -> NullId {
         let id = NullId(self.next_null);
@@ -179,6 +197,27 @@ mod tests {
         let n1 = v.fresh_null();
         assert_ne!(n0, n1);
         assert_eq!(v.null_count(), 2);
+    }
+
+    #[test]
+    fn const_scoping_rolls_back_interning() {
+        let mut v = Vocab::new();
+        let kept = v.constant("kept");
+        let mark = v.const_mark();
+        v.constant("scoped_a");
+        v.constant("scoped_b");
+        assert_eq!(v.const_count(), 3);
+        v.truncate_consts(mark);
+        assert_eq!(v.const_count(), 1);
+        assert_eq!(v.find_constant("kept"), Some(kept));
+        assert!(v.find_constant("scoped_a").is_none());
+        assert!(v.find_constant("scoped_b").is_none());
+        // Re-interning after a rollback reuses the freed id range.
+        let again = v.constant("scoped_a");
+        assert_eq!(again.0, 1);
+        // Truncating with a stale (too large) mark is a no-op.
+        v.truncate_consts(99);
+        assert_eq!(v.const_count(), 2);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use crate::program::{DAtom, DTerm, Literal, Program, Rule};
 use gomq_core::{Fact, FactLookup, Instance, Interpretation, Term};
 use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Instant;
 
 /// Statistics of an evaluation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -19,6 +21,103 @@ pub struct EvalStats {
     /// Number of facts derived (beyond the EDB).
     pub derived: usize,
 }
+
+/// A cooperative resource budget for fixpoint evaluation.
+///
+/// Fields set to `None` are unlimited. The evaluator checks the budget
+/// between rounds (cooperatively — a single round always completes), so
+/// an evaluation may overshoot a limit by at most one round's worth of
+/// work before returning [`BudgetExceeded`]. This is what lets a
+/// serving layer survive a pathological OMQ/ABox pair — e.g. the
+/// paper's Example-6 odd-cycle ontology on a large cyclic ABox —
+/// instead of monopolizing the session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Maximum fixpoint rounds across all strata.
+    pub max_rounds: Option<usize>,
+    /// Maximum IDB facts derived beyond the EDB.
+    pub max_derived: Option<usize>,
+    /// Wall-clock deadline for the whole evaluation.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// The unlimited budget: every check passes.
+    pub const UNLIMITED: Budget = Budget {
+        max_rounds: None,
+        max_derived: None,
+        deadline: None,
+    };
+
+    /// Checks the accumulated statistics against the limits.
+    pub fn check(&self, stats: &EvalStats) -> Result<(), BudgetExceeded> {
+        let exceeded = |limit| {
+            Err(BudgetExceeded {
+                limit,
+                rounds: stats.rounds,
+                derived: stats.derived,
+            })
+        };
+        if self.max_rounds.is_some_and(|max| stats.rounds > max) {
+            return exceeded(LimitKind::Rounds);
+        }
+        if self.max_derived.is_some_and(|max| stats.derived > max) {
+            return exceeded(LimitKind::Derived);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return exceeded(LimitKind::Deadline);
+        }
+        Ok(())
+    }
+}
+
+/// Which budget limit an evaluation ran into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimitKind {
+    /// [`Budget::max_rounds`].
+    Rounds,
+    /// [`Budget::max_derived`].
+    Derived,
+    /// [`Budget::deadline`].
+    Deadline,
+}
+
+impl LimitKind {
+    /// The protocol name of the limit (`"rounds"`, `"derived"`,
+    /// `"deadline"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LimitKind::Rounds => "rounds",
+            LimitKind::Derived => "derived",
+            LimitKind::Deadline => "deadline",
+        }
+    }
+}
+
+/// An evaluation gave up because its [`Budget`] ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The limit that was hit.
+    pub limit: LimitKind,
+    /// Rounds completed when evaluation stopped.
+    pub rounds: usize,
+    /// Facts derived when evaluation stopped.
+    pub derived: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "evaluation exceeded its {} budget after {} rounds / {} derived facts",
+            self.limit.name(),
+            self.rounds,
+            self.derived
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
 
 impl Program {
     /// Semi-naive evaluation: computes the least fixpoint of the program
@@ -30,9 +129,23 @@ impl Program {
     /// Semi-naive evaluation returning the full derived interpretation
     /// (EDB ∪ IDB) together with statistics.
     pub fn fixpoint(&self, d: &Instance) -> (Interpretation, EvalStats) {
+        self.fixpoint_budgeted(d, &Budget::UNLIMITED)
+            .expect("the unlimited budget cannot be exceeded")
+    }
+
+    /// [`Program::fixpoint`] under a cooperative resource [`Budget`]:
+    /// rounds, derived-fact fuel and wall-clock deadline are checked
+    /// between rounds, and evaluation returns [`BudgetExceeded`] instead
+    /// of running to completion when a limit is hit.
+    pub fn fixpoint_budgeted(
+        &self,
+        d: &Instance,
+        budget: &Budget,
+    ) -> Result<(Interpretation, EvalStats), BudgetExceeded> {
         let mut total = d.clone();
         let mut delta = Interpretation::new();
         let mut stats = EvalStats::default();
+        budget.check(&stats)?;
         loop {
             stats.rounds += 1;
             let mut new_facts: Vec<Fact> = Vec::new();
@@ -52,8 +165,9 @@ impl Program {
             stats.derived += next_delta.len();
             total.extend_from(&next_delta);
             delta = next_delta;
+            budget.check(&stats)?;
         }
-        (total, stats)
+        Ok((total, stats))
     }
 
     /// Semi-naive evaluation returning goal tuples and statistics.
@@ -348,6 +462,55 @@ mod tests {
         let (_, stats) = p.eval_with_stats(&d);
         assert!(stats.rounds >= 3);
         assert!(stats.derived > 0);
+    }
+
+    #[test]
+    fn budget_limits_abort_evaluation() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let d = path_instance(&mut v, 12);
+        // Unlimited budget: identical to the plain fixpoint.
+        let (full, full_stats) = p.fixpoint(&d);
+        let (budgeted, budgeted_stats) = p
+            .fixpoint_budgeted(&d, &Budget::UNLIMITED)
+            .expect("unlimited");
+        assert_eq!(full.len(), budgeted.len());
+        assert_eq!(full_stats, budgeted_stats);
+        // Round fuel: the transitive closure needs many rounds.
+        let err = p
+            .fixpoint_budgeted(
+                &d,
+                &Budget {
+                    max_rounds: Some(2),
+                    ..Budget::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.limit, LimitKind::Rounds);
+        assert!(err.rounds > 2);
+        // Derived-fact fuel.
+        let err = p
+            .fixpoint_budgeted(
+                &d,
+                &Budget {
+                    max_derived: Some(3),
+                    ..Budget::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.limit, LimitKind::Derived);
+        // An already-expired deadline trips before the first round.
+        let err = p
+            .fixpoint_budgeted(
+                &d,
+                &Budget {
+                    deadline: Some(Instant::now()),
+                    ..Budget::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.limit, LimitKind::Deadline);
+        assert_eq!(err.rounds, 0);
     }
 
     #[test]

@@ -19,5 +19,5 @@
 pub mod eval;
 pub mod program;
 
-pub use eval::{derive_round, eval_naive, EvalStats};
+pub use eval::{derive_round, eval_naive, Budget, BudgetExceeded, EvalStats, LimitKind};
 pub use program::{DAtom, DTerm, Literal, Program, Rule};

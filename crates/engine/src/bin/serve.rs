@@ -11,21 +11,40 @@
 //! {"status": "ok", "cached": false, ..., "answers": [["ada"]], ...}
 //! ```
 
-use gomq_engine::ServeSession;
+use gomq_engine::{ServeConfig, ServeSession};
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 const USAGE: &str = "gomq-serve — JSONL OMQ answering over stdin/stdout
 
-Usage: gomq-serve [--threads N]
+Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
+                  [--max-derived N] [--timeout-ms N]
+
+  --threads N      worker threads for evaluation (default: all cores)
+  --cache N        plan-cache capacity; older plans are LRU-evicted
+  --max-rounds N   per-request fixpoint-round ceiling
+  --max-derived N  per-request derived-fact ceiling (per ABox in a batch)
+  --timeout-ms N   per-request wall-clock deadline in milliseconds
 
 Each stdin line is a JSON object:
   {\"ontology\": \"<dl axioms>\", \"query\": \"<relation>\", \"abox\": \"<facts>\"}
-with optional \"id\" and, instead of \"abox\", a batched
-\"aboxes\": [\"<facts>\", ...]. One JSON response per line on stdout.
+with optional \"id\", optional \"limits\" ({\"max_rounds\", \"max_derived\",
+\"timeout_ms\"}; clamped by the session limits above) and, instead of
+\"abox\", a batched \"aboxes\": [\"<facts>\", ...]. One JSON response per
+line on stdout; a blown limit answers {\"status\": \"overloaded\", ...}.
 ";
 
+fn numeric(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a non-negative integer");
+            std::process::exit(2);
+        })
+}
+
 fn main() {
-    let mut threads: Option<usize> = None;
+    let mut config = ServeConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,15 +52,17 @@ fn main() {
                 print!("{USAGE}");
                 return;
             }
-            "--threads" => {
-                let n = args
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads needs a positive integer");
-                        std::process::exit(2);
-                    });
-                threads = Some(n);
+            "--threads" => config.threads = numeric(&mut args, "--threads").max(1) as usize,
+            "--cache" => config.cache_capacity = numeric(&mut args, "--cache") as usize,
+            "--max-rounds" => {
+                config.limits.max_rounds = Some(numeric(&mut args, "--max-rounds") as usize)
+            }
+            "--max-derived" => {
+                config.limits.max_derived = Some(numeric(&mut args, "--max-derived") as usize)
+            }
+            "--timeout-ms" => {
+                config.limits.timeout =
+                    Some(Duration::from_millis(numeric(&mut args, "--timeout-ms")))
             }
             other => {
                 eprintln!("unknown argument: {other}\n\n{USAGE}");
@@ -49,10 +70,7 @@ fn main() {
             }
         }
     }
-    let mut session = match threads {
-        Some(n) => ServeSession::with_threads(n),
-        None => ServeSession::new(),
-    };
+    let mut session = ServeSession::with_config(config);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -78,7 +96,8 @@ fn main() {
     let stats = session.engine().stats();
     eprintln!(
         "gomq-serve: {} requests, {} cache hits / {} misses, {} rounds, \
-         {} facts derived, compile {:?}, eval {:?}",
+         {} facts derived, compile {:?}, eval {:?}, {} cached plans \
+         ({} evicted, {} in-flight waits), {} overloaded, {} panics isolated",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
@@ -86,5 +105,10 @@ fn main() {
         stats.derived,
         stats.compile_time,
         stats.eval_time,
+        stats.cache_size,
+        stats.cache_evictions,
+        stats.inflight_waits,
+        stats.overloaded,
+        stats.panics,
     );
 }

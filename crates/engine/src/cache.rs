@@ -1,55 +1,282 @@
-//! The plan cache: canonical-hash-keyed storage of compiled plans.
+//! The plan cache: verified, single-flight, bounded LRU storage of
+//! compiled plans.
+//!
+//! Three hardening guarantees on top of a plain hash map:
+//!
+//! 1. **Collision safety.** Entries are *keyed* by the 64-bit
+//!    [`canonical_omq_hash`] but *verified* against the full canonical
+//!    OMQ text on every lookup, so two OMQs whose hashes collide can
+//!    never be served each other's plan (which would mean silently
+//!    wrong certain answers). Colliding entries coexist in one bucket.
+//! 2. **Single flight.** A miss installs an in-flight marker before
+//!    compiling outside the lock; concurrent requests for the same OMQ
+//!    wait on a condvar for the leader's result instead of compiling
+//!    the same plan N times. Compilation panics are caught, reported as
+//!    [`EngineError::Internal`], and *not* cached — the marker is
+//!    removed so a later request retries.
+//! 3. **Bounded size.** The cache holds at most `capacity` entries;
+//!    overflow evicts the least-recently-used ready entry (in-flight
+//!    markers are never evicted) and counts the eviction.
+//!
+//! Failed compilations are *negatively* cached (keyed the same way), so
+//! a stream of requests posing a non-rewritable OMQ does not re-run
+//! type elimination every time. All internal locks recover from
+//! poisoning: one panicked request cannot permanently kill the serving
+//! loop.
 
 use crate::plan::{EngineError, OmqPlan};
 use gomq_core::{RelId, Vocab};
 use gomq_logic::GfOntology;
-use gomq_rewriting::canonical_omq_hash;
+use gomq_rewriting::{canonical_omq_text, fnv1a};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// A thread-safe cache of compiled [`OmqPlan`]s keyed by
-/// [`canonical_omq_hash`].
-///
-/// Failed compilations are *negatively* cached too (keyed the same
-/// way), so a stream of requests posing a non-rewritable OMQ does not
-/// re-run type elimination every time.
+/// The outcome of a plan lookup: the shared plan, or the (cached)
+/// compilation error.
+pub type PlanOutcome = Result<Arc<OmqPlan>, EngineError>;
+
+/// Default number of cached plans (positive and negative entries).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Locks a mutex, recovering the guard from a poisoned lock. A poisoned
+/// mutex means some request panicked mid-update; the cache's state is
+/// still structurally sound (every transition is a single insert/replace
+/// under the lock), so serving must continue rather than panic forever.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Renders a caught panic payload as a message string.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// One cached slot: being compiled right now, or done.
+enum Slot {
+    /// Some request is compiling this OMQ; wait for the condvar.
+    InFlight,
+    /// The compilation outcome (success or negatively cached failure).
+    Ready(PlanOutcome),
+}
+
+/// One cache entry: the full canonical text it was keyed under (the
+/// collision check), an LRU stamp, and the slot.
+struct Entry {
+    text: String,
+    last_used: u64,
+    slot: Slot,
+}
+
+/// Mutable cache state behind the one lock.
 #[derive(Default)]
+struct CacheState {
+    /// Hash → colliding entries (almost always a single-element bucket).
+    entries: HashMap<u64, Vec<Entry>>,
+    /// Monotone LRU clock.
+    tick: u64,
+    /// Total entries across all buckets.
+    len: usize,
+}
+
+/// A thread-safe, verified, single-flight, bounded LRU cache of
+/// compiled [`OmqPlan`]s keyed by [`canonical_omq_hash`]
+/// (`fnv1a(canonical_omq_text)`) and verified against the full text.
+///
+/// [`canonical_omq_hash`]: gomq_rewriting::canonical_omq_hash
 pub struct PlanCache {
-    plans: Mutex<HashMap<u64, Result<Arc<OmqPlan>, EngineError>>>,
+    state: Mutex<CacheState>,
+    ready: Condvar,
+    capacity: usize,
+    hasher: fn(&str) -> u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    inflight_waits: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn default_hasher(text: &str) -> u64 {
+    fnv1a(text.as_bytes())
 }
 
 impl PlanCache {
-    /// Creates an empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// Looks the OMQ up by canonical hash, compiling (and storing the
-    /// outcome) on a miss. The boolean is `true` on a cache hit.
+    /// An empty cache holding at most `capacity` plans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_hasher(capacity, default_hasher)
+    }
+
+    /// An empty cache with an explicit key-hash function. The production
+    /// hasher is FNV-1a over the canonical text; tests inject a constant
+    /// function to force every OMQ into one bucket and prove that the
+    /// full-text verification never serves a colliding OMQ the wrong
+    /// plan.
+    pub fn with_capacity_and_hasher(capacity: usize, hasher: fn(&str) -> u64) -> Self {
+        PlanCache {
+            state: Mutex::new(CacheState::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            hasher,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inflight_waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks the OMQ up by canonical hash + full canonical text,
+    /// compiling (and storing the outcome) on a miss. The boolean is
+    /// `true` on a cache hit.
     ///
-    /// The same `vocab` must be used for every call on one cache: plans
-    /// hold interned relation ids.
+    /// Concurrent callers requesting the same new OMQ compile it once:
+    /// the first becomes the leader, the rest block until the leader's
+    /// outcome is published. The same `vocab` must be used for every
+    /// call on one cache: plans hold interned relation ids.
     pub fn get_or_compile(
         &self,
         o: &GfOntology,
         query: RelId,
-        vocab: &mut Vocab,
-    ) -> (Result<Arc<OmqPlan>, EngineError>, bool) {
-        let key = canonical_omq_hash(o, query, vocab);
-        if let Some(cached) = self.plans.lock().expect("plan cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (cached.clone(), true);
+        vocab: &Mutex<Vocab>,
+    ) -> (PlanOutcome, bool) {
+        let text = {
+            let v = lock_recover(vocab);
+            canonical_omq_text(o, query, &v)
+        };
+        let key = (self.hasher)(&text);
+
+        let mut state = lock_recover(&self.state);
+        let mut waited = false;
+        loop {
+            let st = &mut *state;
+            st.tick += 1;
+            let tick = st.tick;
+            let bucket = st.entries.entry(key).or_default();
+            match bucket.iter_mut().find(|e| e.text == text) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    if let Slot::Ready(outcome) = &entry.slot {
+                        let outcome = outcome.clone();
+                        drop(state);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (outcome, true);
+                    }
+                    // Slot::InFlight: fall through and wait below.
+                }
+                None => {
+                    bucket.push(Entry {
+                        text: text.clone(),
+                        last_used: tick,
+                        slot: Slot::InFlight,
+                    });
+                    st.len += 1;
+                    break;
+                }
+            }
+            if !waited {
+                waited = true;
+                self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
         }
+        drop(state);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome = OmqPlan::compile(o, query, vocab).map(Arc::new);
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(key, outcome.clone());
+
+        // Leader path: compile outside the cache lock (the vocab lock is
+        // held only for the compilation itself), with panic isolation.
+        let compiled = catch_unwind(AssertUnwindSafe(|| {
+            let mut v = lock_recover(vocab);
+            OmqPlan::compile(o, query, &mut v)
+        }));
+
+        let mut state = lock_recover(&self.state);
+        let outcome = match compiled {
+            Ok(result) => {
+                let outcome = result.map(Arc::new);
+                if let Some(entry) = state
+                    .entries
+                    .get_mut(&key)
+                    .and_then(|b| b.iter_mut().find(|e| e.text == text))
+                {
+                    entry.slot = Slot::Ready(outcome.clone());
+                }
+                self.evict_over_capacity(&mut state, key, &text);
+                outcome
+            }
+            Err(payload) => {
+                // Panics are not cached: drop the in-flight marker so a
+                // later request retries, and surface a structured error.
+                let st = &mut *state;
+                if let Some(bucket) = st.entries.get_mut(&key) {
+                    if let Some(i) = bucket.iter().position(|e| e.text == text) {
+                        bucket.remove(i);
+                        st.len -= 1;
+                    }
+                    if bucket.is_empty() {
+                        st.entries.remove(&key);
+                    }
+                }
+                Err(EngineError::Internal(format!(
+                    "plan compilation panicked: {}",
+                    panic_message(payload)
+                )))
+            }
+        };
+        drop(state);
+        self.ready.notify_all();
         (outcome, false)
+    }
+
+    /// Evicts least-recently-used ready entries until the size respects
+    /// the capacity. The just-inserted `(keep_key, keep_text)` entry and
+    /// in-flight markers are never evicted.
+    fn evict_over_capacity(&self, state: &mut CacheState, keep_key: u64, keep_text: &str) {
+        while state.len > self.capacity {
+            let mut victim: Option<(u64, usize, u64)> = None; // (key, index, stamp)
+            for (&key, bucket) in state.entries.iter() {
+                for (i, entry) in bucket.iter().enumerate() {
+                    let protected = matches!(entry.slot, Slot::InFlight)
+                        || (key == keep_key && entry.text == keep_text);
+                    if protected {
+                        continue;
+                    }
+                    if victim.is_none_or(|(_, _, stamp)| entry.last_used < stamp) {
+                        victim = Some((key, i, entry.last_used));
+                    }
+                }
+            }
+            let Some((key, i, _)) = victim else {
+                break; // everything is in flight or protected
+            };
+            let bucket = state.entries.get_mut(&key).expect("victim bucket exists");
+            bucket.remove(i);
+            if bucket.is_empty() {
+                state.entries.remove(&key);
+            }
+            state.len -= 1;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Maximum number of cached entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of cache hits so far.
@@ -62,9 +289,20 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of entries evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that waited for another request's in-flight
+    /// compilation instead of compiling themselves.
+    pub fn inflight_waits(&self) -> u64 {
+        self.inflight_waits.load(Ordering::Relaxed)
+    }
+
     /// Number of cached entries (successful and negative).
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        lock_recover(&self.state).len
     }
 
     /// Whether the cache is empty.
@@ -74,7 +312,13 @@ impl PlanCache {
 
     /// Drops every cached plan (counters are kept).
     pub fn clear(&self) {
-        self.plans.lock().expect("plan cache poisoned").clear();
+        let mut state = lock_recover(&self.state);
+        // Keep in-flight markers: their leaders will still publish.
+        for bucket in state.entries.values_mut() {
+            bucket.retain(|e| matches!(e.slot, Slot::InFlight));
+        }
+        state.entries.retain(|_, b| !b.is_empty());
+        state.len = state.entries.values().map(Vec::len).sum();
     }
 }
 
@@ -84,15 +328,23 @@ mod tests {
     use gomq_dl::parser::parse_ontology;
     use gomq_dl::translate::to_gf;
 
+    fn parse_in(vocab: &Mutex<Vocab>, text: &str) -> GfOntology {
+        let mut v = lock_recover(vocab);
+        to_gf(&parse_ontology(text, &mut v).unwrap())
+    }
+
+    fn rel(vocab: &Mutex<Vocab>, name: &str) -> RelId {
+        lock_recover(vocab).find_rel(name).unwrap()
+    }
+
     #[test]
     fn second_lookup_is_a_hit_with_identical_plan() {
-        let mut v = Vocab::new();
+        let v = Mutex::new(Vocab::new());
         let cache = PlanCache::new();
-        let dl = parse_ontology("A sub B\n", &mut v).unwrap();
-        let o = to_gf(&dl);
-        let b = v.find_rel("B").unwrap();
-        let (p1, hit1) = cache.get_or_compile(&o, b, &mut v);
-        let (p2, hit2) = cache.get_or_compile(&o, b, &mut v);
+        let o = parse_in(&v, "A sub B\n");
+        let b = rel(&v, "B");
+        let (p1, hit1) = cache.get_or_compile(&o, b, &v);
+        let (p2, hit2) = cache.get_or_compile(&o, b, &v);
         assert!(!hit1);
         assert!(hit2);
         let (p1, p2) = (p1.unwrap(), p2.unwrap());
@@ -101,23 +353,21 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
         // Re-parsing the same text into the same vocab hits as well.
-        let dl2 = parse_ontology("A sub B\n", &mut v).unwrap();
-        let o2 = to_gf(&dl2);
-        let (p3, hit3) = cache.get_or_compile(&o2, b, &mut v);
+        let o2 = parse_in(&v, "A sub B\n");
+        let (p3, hit3) = cache.get_or_compile(&o2, b, &v);
         assert!(hit3);
         assert!(Arc::ptr_eq(&p1, &p3.unwrap()));
     }
 
     #[test]
     fn failures_are_negatively_cached() {
-        let mut v = Vocab::new();
+        let v = Mutex::new(Vocab::new());
         let cache = PlanCache::new();
-        let dl = parse_ontology("A sub ex R.B\n", &mut v).unwrap();
-        let mut o = to_gf(&dl);
-        o.transitive.insert(v.find_rel("R").unwrap());
-        let b = v.find_rel("B").unwrap();
-        let (r1, hit1) = cache.get_or_compile(&o, b, &mut v);
-        let (r2, hit2) = cache.get_or_compile(&o, b, &mut v);
+        let mut o = parse_in(&v, "A sub ex R.B\n");
+        o.transitive.insert(rel(&v, "R"));
+        let b = rel(&v, "B");
+        let (r1, hit1) = cache.get_or_compile(&o, b, &v);
+        let (r2, hit2) = cache.get_or_compile(&o, b, &v);
         assert!(r1.is_err() && r2.is_err());
         assert!(!hit1);
         assert!(hit2, "the failure itself must be cached");
@@ -126,15 +376,63 @@ mod tests {
 
     #[test]
     fn distinct_queries_get_distinct_plans() {
-        let mut v = Vocab::new();
+        let v = Mutex::new(Vocab::new());
         let cache = PlanCache::new();
-        let dl = parse_ontology("A sub B\nB sub C\n", &mut v).unwrap();
-        let o = to_gf(&dl);
-        let b = v.find_rel("B").unwrap();
-        let c = v.find_rel("C").unwrap();
-        cache.get_or_compile(&o, b, &mut v).0.unwrap();
-        let (_, hit) = cache.get_or_compile(&o, c, &mut v);
+        let o = parse_in(&v, "A sub B\nB sub C\n");
+        let b = rel(&v, "B");
+        let c = rel(&v, "C");
+        cache.get_or_compile(&o, b, &v).0.unwrap();
+        let (_, hit) = cache.get_or_compile(&o, c, &v);
         assert!(!hit);
         assert_eq!(cache.len(), 2);
+    }
+
+    /// The collision regression: with a constant hash function *every*
+    /// OMQ collides, and only the full-text verification keeps each OMQ
+    /// on its own plan.
+    #[test]
+    fn forced_hash_collision_never_serves_the_wrong_plan() {
+        let v = Mutex::new(Vocab::new());
+        let cache = PlanCache::with_capacity_and_hasher(8, |_| 0x42);
+        let o1 = parse_in(&v, "A sub B\n");
+        let o2 = parse_in(&v, "X sub Y\n");
+        let b = rel(&v, "B");
+        let y = rel(&v, "Y");
+        let (p1, hit1) = cache.get_or_compile(&o1, b, &v);
+        let (p2, hit2) = cache.get_or_compile(&o2, y, &v);
+        let (p1, p2) = (p1.unwrap(), p2.unwrap());
+        // Both colliding OMQs compiled (no false hit) and kept apart.
+        assert!(!hit1 && !hit2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(p1.canonical_text, p2.canonical_text);
+        assert_eq!(p1.query, b);
+        assert_eq!(p2.query, y);
+        // Re-lookups under the colliding key select by text, each
+        // returning exactly its own plan.
+        let (again1, h1) = cache.get_or_compile(&o1, b, &v);
+        let (again2, h2) = cache.get_or_compile(&o2, y, &v);
+        assert!(h1 && h2);
+        assert!(Arc::ptr_eq(&p1, &again1.unwrap()));
+        assert!(Arc::ptr_eq(&p2, &again2.unwrap()));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_cap_and_recency() {
+        let v = Mutex::new(Vocab::new());
+        let cache = PlanCache::with_capacity(2);
+        let o = parse_in(&v, "A sub B\nB sub C\nC sub D\n");
+        let (b, c, d) = (rel(&v, "B"), rel(&v, "C"), rel(&v, "D"));
+        cache.get_or_compile(&o, b, &v).0.unwrap();
+        cache.get_or_compile(&o, c, &v).0.unwrap();
+        assert_eq!(cache.len(), 2);
+        // Touch B so C becomes the LRU victim.
+        assert!(cache.get_or_compile(&o, b, &v).1);
+        cache.get_or_compile(&o, d, &v).0.unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // B survived (hit); C was evicted (miss, recompiled).
+        assert!(cache.get_or_compile(&o, b, &v).1);
+        assert!(!cache.get_or_compile(&o, c, &v).1);
     }
 }

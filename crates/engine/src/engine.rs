@@ -1,21 +1,28 @@
 //! The engine facade: cache + executor + statistics.
 
-use crate::cache::PlanCache;
-use crate::exec::{eval_batch, eval_strata};
+use crate::cache::{lock_recover, PlanCache, PlanOutcome};
+use crate::exec::{eval_batch_budgeted, eval_strata_budgeted};
 use crate::plan::{EngineError, OmqPlan};
 use crate::stats::{EngineStats, RequestStats};
 use gomq_core::{IndexedInstance, Instance, RelId, Term, Vocab};
+use gomq_datalog::Budget;
 use gomq_logic::GfOntology;
 use std::collections::BTreeSet;
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Per-ABox answer sets (input order) plus one aggregate
+/// [`RequestStats`] — the result of a batch evaluation.
+pub type BatchAnswers = (Vec<BTreeSet<Vec<Term>>>, RequestStats);
 
 /// A caching, indexed, parallel OMQ serving engine.
 ///
 /// One `Engine` owns a [`PlanCache`] and a thread budget; it is shared
 /// per serving process, together with a single [`Vocab`] (plans hold
 /// interned relation ids, so a plan compiled under one vocabulary must
-/// not be evaluated under another).
+/// not be evaluated under another). For concurrent use, share the vocab
+/// behind a [`Mutex`] and plan through [`Engine::plan_shared`] — the
+/// cache deduplicates concurrent compilations of the same OMQ.
 pub struct Engine {
     cache: PlanCache,
     threads: usize,
@@ -37,8 +44,15 @@ impl Engine {
 
     /// An engine with an explicit worker budget (1 = sequential).
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_cache(threads, PlanCache::new())
+    }
+
+    /// An engine with an explicit worker budget and plan cache (used to
+    /// configure the cache capacity, and by tests to inject a colliding
+    /// hash function).
+    pub fn with_cache(threads: usize, cache: PlanCache) -> Self {
         Engine {
-            cache: PlanCache::new(),
+            cache,
             threads: threads.max(1),
             stats: Mutex::new(EngineStats::default()),
         }
@@ -51,12 +65,31 @@ impl Engine {
 
     /// Fetches or compiles the plan for `(o, query)`. The boolean is
     /// `true` on a cache hit; compile wall time is accounted either way.
+    ///
+    /// Convenience wrapper over [`Engine::plan_shared`] for exclusive
+    /// (single-threaded) vocabulary access.
     pub fn plan(
         &self,
         o: &GfOntology,
         query: RelId,
         vocab: &mut Vocab,
-    ) -> (Result<Arc<OmqPlan>, EngineError>, bool, std::time::Duration) {
+    ) -> (PlanOutcome, bool, std::time::Duration) {
+        let shared = Mutex::new(std::mem::take(vocab));
+        let result = self.plan_shared(o, query, &shared);
+        *vocab = shared.into_inner().unwrap_or_else(|e| e.into_inner());
+        result
+    }
+
+    /// Fetches or compiles the plan for `(o, query)` against a shared
+    /// vocabulary. Concurrent requests for the same new OMQ compile it
+    /// exactly once (single flight); the vocab lock is held only while
+    /// hashing and compiling, never while waiting.
+    pub fn plan_shared(
+        &self,
+        o: &GfOntology,
+        query: RelId,
+        vocab: &Mutex<Vocab>,
+    ) -> (PlanOutcome, bool, std::time::Duration) {
         let t0 = Instant::now();
         let (outcome, hit) = self.cache.get_or_compile(o, query, vocab);
         (outcome, hit, t0.elapsed())
@@ -73,18 +106,38 @@ impl Engine {
         plan: &OmqPlan,
         abox: &IndexedInstance,
     ) -> (BTreeSet<Vec<Term>>, RequestStats) {
+        self.answer_indexed_budgeted(plan, abox, &Budget::UNLIMITED)
+            .expect("the unlimited budget cannot be exceeded")
+    }
+
+    /// Answers one plan against one pre-indexed ABox under a cooperative
+    /// resource [`Budget`]; a blown budget returns
+    /// [`EngineError::Overloaded`] and counts in
+    /// [`EngineStats::overloaded`], leaving the engine fully serviceable.
+    pub fn answer_indexed_budgeted(
+        &self,
+        plan: &OmqPlan,
+        abox: &IndexedInstance,
+        budget: &Budget,
+    ) -> Result<(BTreeSet<Vec<Term>>, RequestStats), EngineError> {
         let t0 = Instant::now();
-        let (answers, eval_stats) =
-            eval_strata(&plan.strata, plan.program.goal, abox, self.threads);
-        let stats = RequestStats {
-            eval: t0.elapsed(),
-            rounds: eval_stats.rounds,
-            derived: eval_stats.derived,
-            answers: answers.len(),
-            ..RequestStats::default()
-        };
-        self.stats.lock().expect("stats poisoned").absorb(&stats);
-        (answers, stats)
+        match eval_strata_budgeted(&plan.strata, plan.program.goal, abox, self.threads, budget) {
+            Ok((answers, eval_stats)) => {
+                let stats = RequestStats {
+                    eval: t0.elapsed(),
+                    rounds: eval_stats.rounds,
+                    derived: eval_stats.derived,
+                    answers: answers.len(),
+                    ..RequestStats::default()
+                };
+                lock_recover(&self.stats).absorb(&stats);
+                Ok((answers, stats))
+            }
+            Err(e) => {
+                lock_recover(&self.stats).overloaded += 1;
+                Err(EngineError::Overloaded(e))
+            }
+        }
     }
 
     /// Answers one plan against one plain ABox through the plan's bitset
@@ -108,47 +161,79 @@ impl Engine {
             type_stats,
             ..RequestStats::default()
         };
-        self.stats.lock().expect("stats poisoned").absorb(&stats);
+        lock_recover(&self.stats).absorb(&stats);
         (answers, stats)
     }
 
     /// Answers one plan against a batch of ABoxes concurrently (one
     /// worker per ABox, work-stealing). Returns per-ABox answer sets in
     /// input order plus one aggregate [`RequestStats`].
-    pub fn answer_batch(
+    pub fn answer_batch(&self, plan: &OmqPlan, aboxes: &[IndexedInstance]) -> BatchAnswers {
+        self.answer_batch_budgeted(plan, aboxes, &Budget::UNLIMITED)
+            .expect("the unlimited budget cannot be exceeded")
+    }
+
+    /// Answers one plan against a batch of ABoxes under a per-ABox
+    /// resource [`Budget`] (the deadline is shared across the batch); the
+    /// first blown budget fails the whole batch with
+    /// [`EngineError::Overloaded`].
+    pub fn answer_batch_budgeted(
         &self,
         plan: &OmqPlan,
         aboxes: &[IndexedInstance],
-    ) -> (Vec<BTreeSet<Vec<Term>>>, RequestStats) {
+        budget: &Budget,
+    ) -> Result<BatchAnswers, EngineError> {
         let t0 = Instant::now();
-        let results = eval_batch(&plan.strata, plan.program.goal, aboxes, self.threads);
-        let mut stats = RequestStats {
-            eval: t0.elapsed(),
-            ..RequestStats::default()
-        };
-        let mut answers = Vec::with_capacity(results.len());
-        for (ans, es) in results {
-            stats.rounds += es.rounds;
-            stats.derived += es.derived;
-            stats.answers += ans.len();
-            answers.push(ans);
+        match eval_batch_budgeted(
+            &plan.strata,
+            plan.program.goal,
+            aboxes,
+            self.threads,
+            budget,
+        ) {
+            Ok(results) => {
+                let mut stats = RequestStats {
+                    eval: t0.elapsed(),
+                    ..RequestStats::default()
+                };
+                let mut answers = Vec::with_capacity(results.len());
+                for (ans, es) in results {
+                    stats.rounds += es.rounds;
+                    stats.derived += es.derived;
+                    stats.answers += ans.len();
+                    answers.push(ans);
+                }
+                lock_recover(&self.stats).absorb(&stats);
+                Ok((answers, stats))
+            }
+            Err(e) => {
+                lock_recover(&self.stats).overloaded += 1;
+                Err(EngineError::Overloaded(e))
+            }
         }
-        self.stats.lock().expect("stats poisoned").absorb(&stats);
-        (answers, stats)
     }
 
     /// A snapshot of the cumulative statistics (cache counters included).
     pub fn stats(&self) -> EngineStats {
-        let mut snap = *self.stats.lock().expect("stats poisoned");
+        let mut snap = *lock_recover(&self.stats);
         snap.cache_hits = self.cache.hits();
         snap.cache_misses = self.cache.misses();
+        snap.cache_evictions = self.cache.evictions();
+        snap.inflight_waits = self.cache.inflight_waits();
+        snap.cache_size = self.cache.len() as u64;
         snap
     }
 
     /// Folds externally measured compile time into the totals (used by
     /// the serving layer, which times [`Engine::plan`] per request).
     pub fn record_compile(&self, elapsed: std::time::Duration) {
-        self.stats.lock().expect("stats poisoned").compile_time += elapsed;
+        lock_recover(&self.stats).compile_time += elapsed;
+    }
+
+    /// Records one isolated panic (caught by the serving layer's
+    /// `catch_unwind` fence).
+    pub fn record_panic(&self) {
+        lock_recover(&self.stats).panics += 1;
     }
 }
 
@@ -158,6 +243,7 @@ mod tests {
     use gomq_core::parse::parse_instance;
     use gomq_dl::parser::parse_ontology;
     use gomq_dl::translate::to_gf;
+    use std::sync::Arc;
 
     #[test]
     fn end_to_end_answer_with_cache_reuse() {

@@ -18,7 +18,7 @@
 
 use gomq_core::{Fact, FactLookup, IndexedInstance, Instance, RelId, Term};
 use gomq_datalog::eval::EvalStats;
-use gomq_datalog::{derive_round, Program, Rule};
+use gomq_datalog::{derive_round, Budget, BudgetExceeded, Program, Rule};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One SCC stratum: a rule partition plus whether it is recursive.
@@ -233,7 +233,9 @@ fn parallel_round(
             })
             .collect();
         for h in handles {
-            merged.extend(h.join().expect("worker panicked"));
+            // Re-raise worker panics on the calling thread so the serving
+            // layer's catch_unwind isolates them per request.
+            merged.extend(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
     });
     merged
@@ -253,13 +255,16 @@ fn absorb(new_facts: Vec<Fact>, total: &mut IndexedInstance) -> IndexedInstance 
     delta
 }
 
-/// Runs the semi-naive fixpoint of one stratum on top of `total`.
+/// Runs the semi-naive fixpoint of one stratum on top of `total`,
+/// checking the cooperative budget between rounds.
 fn fixpoint_stratum(
     stratum: &Stratum,
     total: &mut IndexedInstance,
     threads: usize,
     stats: &mut EvalStats,
-) {
+    budget: &Budget,
+) -> Result<(), BudgetExceeded> {
+    budget.check(stats)?;
     // First pass: every fact so far is "new" for this stratum, so the
     // saturated `total` doubles as the delta (no clone). The pass is
     // complete for the stratum's inputs because earlier strata are
@@ -271,15 +276,17 @@ fn fixpoint_stratum(
     if !stratum.recursive {
         // Heads never feed bodies within this stratum: one pass is the
         // fixpoint, skip the would-be-empty confirmation round.
-        return;
+        return Ok(());
     }
     while !delta.is_empty() {
+        budget.check(stats)?;
         stats.rounds += 1;
         let new_facts = parallel_round(&stratum.rules, total, &delta, threads);
         let next_delta = absorb(new_facts, total);
         stats.derived += next_delta.len();
         delta = next_delta;
     }
+    Ok(())
 }
 
 /// An answer set paired with its evaluation statistics.
@@ -296,13 +303,28 @@ pub fn eval_strata(
     d: &IndexedInstance,
     threads: usize,
 ) -> EvalOutcome {
+    eval_strata_budgeted(strata, goal, d, threads, &Budget::UNLIMITED)
+        .expect("the unlimited budget cannot be exceeded")
+}
+
+/// [`eval_strata`] under a cooperative resource [`Budget`]: rounds,
+/// derived-fact fuel and the wall-clock deadline are checked between
+/// rounds (a pathological request stops with [`BudgetExceeded`] instead
+/// of monopolizing the session; the work done so far is discarded).
+pub fn eval_strata_budgeted(
+    strata: &Strata,
+    goal: RelId,
+    d: &IndexedInstance,
+    threads: usize,
+    budget: &Budget,
+) -> Result<EvalOutcome, BudgetExceeded> {
     let mut total = d.clone();
     let mut stats = EvalStats::default();
     for stratum in &strata.strata {
-        fixpoint_stratum(stratum, &mut total, threads, &mut stats);
+        fixpoint_stratum(stratum, &mut total, threads, &mut stats, budget)?;
     }
     let answers = total.facts_of(goal).map(|f| f.args.clone()).collect();
-    (answers, stats)
+    Ok((answers, stats))
 }
 
 /// Stratifies and evaluates `program` in one call (plan-less entry
@@ -323,17 +345,32 @@ pub fn eval_batch(
     aboxes: &[IndexedInstance],
     threads: usize,
 ) -> Vec<EvalOutcome> {
+    eval_batch_budgeted(strata, goal, aboxes, threads, &Budget::UNLIMITED)
+        .expect("the unlimited budget cannot be exceeded")
+}
+
+/// [`eval_batch`] under a cooperative [`Budget`]. Round and
+/// derived-fact fuel apply *per ABox*; the deadline is shared wall
+/// clock. The first exhausted ABox fails the whole batch (remaining
+/// workers drain quickly: each checks the budget between rounds).
+pub fn eval_batch_budgeted(
+    strata: &Strata,
+    goal: RelId,
+    aboxes: &[IndexedInstance],
+    threads: usize,
+    budget: &Budget,
+) -> Result<Vec<EvalOutcome>, BudgetExceeded> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let workers = threads.min(aboxes.len()).max(1);
     if workers <= 1 {
         return aboxes
             .iter()
-            .map(|d| eval_strata(strata, goal, d, threads))
+            .map(|d| eval_strata_budgeted(strata, goal, d, threads, budget))
             .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<EvalOutcome>>> =
+    let results: Vec<Mutex<Option<Result<EvalOutcome, BudgetExceeded>>>> =
         aboxes.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -344,8 +381,8 @@ pub fn eval_batch(
                 }
                 // Each worker evaluates its instance single-threaded;
                 // parallelism comes from the batch dimension here.
-                let r = eval_strata(strata, goal, &aboxes[i], 1);
-                *results[i].lock().expect("poisoned result slot") = Some(r);
+                let r = eval_strata_budgeted(strata, goal, &aboxes[i], 1, budget);
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
             });
         }
     });
@@ -353,7 +390,7 @@ pub fn eval_batch(
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("poisoned result slot")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every slot filled")
         })
         .collect()

@@ -119,15 +119,29 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        // Surrogate pairs are not needed by the protocol;
-                        // map them to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let hi = read_hex4(b, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..0xDC00).contains(&hi) {
+                            // High surrogate: combine with the following
+                            // \uXXXX low surrogate into one astral-plane
+                            // scalar; a lone surrogate becomes U+FFFD.
+                            if b.get(*pos + 1..*pos + 3) == Some(b"\\u".as_slice()) {
+                                let lo = read_hex4(b, *pos + 3)?;
+                                if (0xDC00..0xE000).contains(&lo) {
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                    *pos += 6;
+                                } else {
+                                    out.push('\u{fffd}');
+                                }
+                            } else {
+                                out.push('\u{fffd}');
+                            }
+                        } else {
+                            // Lone low surrogates also land here and map
+                            // to the replacement character.
+                            out.push(char::from_u32(hi).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err("bad escape".into()),
                 }
@@ -142,6 +156,15 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Reads four hex digits starting at byte `at`.
+fn read_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let hex = b
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or("truncated \\u escape")?;
+    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".into())
 }
 
 fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
@@ -252,6 +275,41 @@ mod tests {
         write_str(&mut out, "a\"b\\c\nd\u{1}é");
         let back = parse(&out).unwrap();
         assert_eq!(back.as_str(), Some("a\"b\\c\nd\u{1}é"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_scalars() {
+        // U+1F600 encoded as the escaped surrogate pair D83D/DE00.
+        let escaped_emoji = "\"\\ud83d\\ude00\"";
+        assert_eq!(parse(escaped_emoji).unwrap().as_str(), Some("\u{1f600}"));
+        // Mixed with surrounding text; D800/DF48 is U+10348.
+        let escaped_hwair = "\"a\\ud800\\udf48b\"";
+        assert_eq!(parse(escaped_hwair).unwrap().as_str(), Some("a\u{10348}b"));
+        // Literal (unescaped) astral characters still pass through.
+        assert_eq!(parse("\"\u{1f600}\"").unwrap().as_str(), Some("\u{1f600}"));
+    }
+
+    #[test]
+    fn astral_chars_roundtrip_through_write_str() {
+        let original = "emoji \u{1f600} and gothic \u{10348}";
+        let mut out = String::new();
+        write_str(&mut out, original);
+        assert_eq!(parse(&out).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // Lone high surrogate at end of string.
+        assert_eq!(parse("\"\\ud83d\"").unwrap().as_str(), Some("\u{fffd}"));
+        // Lone high surrogate followed by an ordinary character.
+        assert_eq!(parse("\"\\ud83dx\"").unwrap().as_str(), Some("\u{fffd}x"));
+        // Lone low surrogate.
+        assert_eq!(parse("\"\\ude00\"").unwrap().as_str(), Some("\u{fffd}"));
+        // High surrogate followed by a non-surrogate escape: both kept.
+        assert_eq!(
+            parse("\"\\ud83d\\u0041\"").unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
     }
 
     #[test]

@@ -12,17 +12,26 @@
 //! * [`plan`] — an [`OmqPlan`] bundles the classification verdict, the
 //!   optimized rewriting, and its SCC stratification; compiled once.
 //! * [`cache`] — a [`PlanCache`] keyed by the canonical OMQ hash
-//!   (`gomq_rewriting::canonical_omq_hash`), with negative caching of
-//!   non-rewritable OMQs.
+//!   (`gomq_rewriting::canonical_omq_hash`) but *verified* against the
+//!   full canonical text (hash collisions can never serve the wrong
+//!   plan), with negative caching of non-rewritable OMQs, single-flight
+//!   deduplication of concurrent compilations, and a capacity bound
+//!   enforced by LRU eviction.
 //! * [`exec`] — stratified semi-naive evaluation over
 //!   [`gomq_core::IndexedInstance`] (first-argument hash probes), with
 //!   scoped-thread parallelism across rule partitions within a round
-//!   and across ABoxes within a batch.
+//!   and across ABoxes within a batch; evaluation is governed by a
+//!   cooperative [`gomq_datalog::Budget`] (rounds, derived facts,
+//!   wall-clock deadline).
 //! * [`engine`] — the [`Engine`] facade tying cache, executor and
 //!   [`EngineStats`] together.
 //! * [`serve`] + the `gomq-serve` binary — a JSONL stdin/stdout
-//!   protocol: one `{ontology, query, abox}` request per line, one
-//!   answer+stats response per line.
+//!   protocol: one `{ontology, query, abox}` request per line (optional
+//!   per-request `"limits"`), one answer+stats response per line.
+//!   Blown budgets answer `"status": "overloaded"`; panics in
+//!   compilation or evaluation are caught and isolated, and poisoned
+//!   locks are recovered, so a hostile line can never take the session
+//!   down or wedge its siblings.
 //!
 //! The executor is answer-equivalent to the reference
 //! [`gomq_datalog::Program::eval`]; `tests/engine_props.rs` checks this
@@ -39,9 +48,13 @@ pub mod plan;
 pub mod serve;
 pub mod stats;
 
-pub use cache::PlanCache;
+pub use cache::{PlanCache, PlanOutcome};
 pub use engine::Engine;
-pub use exec::{eval_batch, eval_plain, eval_program, eval_strata, Strata};
+pub use exec::{
+    eval_batch, eval_batch_budgeted, eval_plain, eval_program, eval_strata, eval_strata_budgeted,
+    Strata,
+};
+pub use gomq_datalog::{Budget, BudgetExceeded, LimitKind};
 pub use plan::{EngineError, OmqPlan};
-pub use serve::ServeSession;
+pub use serve::{Limits, ServeConfig, ServeSession, ServeShared};
 pub use stats::{EngineStats, RequestStats};

@@ -39,6 +39,13 @@ pub enum EngineError {
     /// A malformed serving request (bad JSON, unknown relation, parse
     /// failure in the ontology or ABox text).
     BadRequest(String),
+    /// Evaluation gave up because its resource budget (rounds, derived
+    /// facts or wall-clock deadline) ran out. The session stays healthy;
+    /// the serving layer reports `"status": "overloaded"`.
+    Overloaded(gomq_datalog::BudgetExceeded),
+    /// A panic was caught and isolated (compilation or evaluation); the
+    /// payload is the panic message. The session stays healthy.
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -48,6 +55,8 @@ impl fmt::Display for EngineError {
                 write!(f, "OMQ is not element-type rewritable: {e}")
             }
             EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            EngineError::Overloaded(e) => write!(f, "overloaded: {e}"),
+            EngineError::Internal(msg) => write!(f, "internal error (panic isolated): {msg}"),
         }
     }
 }

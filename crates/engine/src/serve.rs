@@ -1,44 +1,176 @@
 //! The JSONL serving protocol: one request object per line in, one
 //! response object per line out.
 //!
-//! Request shape (`abox` and `aboxes` are mutually exclusive):
+//! Request shape (`abox` and `aboxes` are mutually exclusive; `limits`
+//! is optional and clamped by the session's own limits):
 //!
 //! ```json
 //! {"id": "r1",
 //!  "ontology": "Manager sub Employee\nEmployee sub Staff",
 //!  "query": "Staff",
-//!  "abox": "Manager(ada)\nEmployee(grace)"}
+//!  "abox": "Manager(ada)\nEmployee(grace)",
+//!  "limits": {"max_rounds": 1000, "max_derived": 100000, "timeout_ms": 250}}
 //! ```
 //!
-//! Successful response:
+//! Successful response — `"stats"` is strictly request-scoped, the
+//! cumulative engine totals live under `"engine"`:
 //!
 //! ```json
 //! {"id": "r1", "status": "ok", "cached": false, "zone": "Dichotomy (Datalog!= = PTIME)",
 //!  "answers": [["ada"], ["grace"]],
 //!  "stats": {"compile_us": 412, "eval_us": 88, "rounds": 3, "derived": 6,
-//!            "cache_hits": 0, "cache_misses": 1}}
+//!            "cache_hit": false},
+//!  "engine": {"requests": 1, "cache_hits": 0, "cache_misses": 1, "cache_size": 1,
+//!             "evictions": 0, "inflight_waits": 0, "overloaded": 0, "panics": 0}}
 //! ```
 //!
 //! With `"aboxes": ["...", "..."]` the response carries `"batches"` (one
 //! answer array per ABox, evaluated concurrently) instead of
 //! `"answers"`. Errors come back as
-//! `{"id": ..., "status": "error", "error": "..."}` — the session never
-//! dies on a bad line.
+//! `{"id": ..., "status": "error", "error": "..."}`; a blown resource
+//! budget comes back as `{"id": ..., "status": "overloaded", "error":
+//! ..., "limit": "rounds" | "derived" | "deadline"}`. The session never
+//! dies on a bad line: panics inside compilation or evaluation are
+//! caught, reported as structured errors, and counted in the engine
+//! totals.
+//!
+//! ABox constants interned while serving a request are rolled back once
+//! no request is in flight, so a long-lived session's [`Vocab`] does not
+//! grow with the ABoxes it has seen (plans keep only relation ids, which
+//! are never rolled back).
 
+use crate::cache::{lock_recover, panic_message, PlanCache};
 use crate::engine::Engine;
 use crate::json::{self, Json};
 use crate::plan::EngineError;
 use gomq_core::{IndexedInstance, Term, Vocab};
+use gomq_datalog::Budget;
 use gomq_dl::parser::parse_ontology;
 use gomq_dl::translate::to_gf;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-/// A serving session: one engine, one vocabulary, shared by every
-/// request on the connection.
-pub struct ServeSession {
+/// Per-request resource limits. `None` means unlimited; a request's own
+/// `"limits"` object is clamped pointwise against the session's.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Limits {
+    /// Maximum fixpoint rounds per evaluation.
+    pub max_rounds: Option<usize>,
+    /// Maximum IDB facts derived per evaluation (per ABox in a batch).
+    pub max_derived: Option<usize>,
+    /// Wall-clock timeout per request (shared across a batch).
+    pub timeout: Option<Duration>,
+}
+
+impl Limits {
+    /// The pointwise minimum of two limit sets (`None` = unlimited).
+    pub fn clamp(&self, other: &Limits) -> Limits {
+        fn min_opt<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Limits {
+            max_rounds: min_opt(self.max_rounds, other.max_rounds),
+            max_derived: min_opt(self.max_derived, other.max_derived),
+            timeout: min_opt(self.timeout, other.timeout),
+        }
+    }
+
+    /// Converts the limits into a [`Budget`] whose deadline starts now.
+    pub fn budget_from_now(&self) -> Budget {
+        Budget {
+            max_rounds: self.max_rounds,
+            max_derived: self.max_derived,
+            deadline: self.timeout.map(|t| Instant::now() + t),
+        }
+    }
+}
+
+/// Configuration for a serving session.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads for evaluation (1 = sequential).
+    pub threads: usize,
+    /// Plan-cache capacity (plans beyond this are LRU-evicted).
+    pub cache_capacity: usize,
+    /// Session-wide default limits (requests can only tighten them).
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_capacity: crate::cache::DEFAULT_CAPACITY,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Bookkeeping for rolling back ABox-constant interning: constants are
+/// truncated to the burst's floor once no request is in flight.
+#[derive(Debug, Default)]
+struct ConstScope {
+    active: usize,
+    floor: usize,
+}
+
+/// State shared by every session on one serving process: the engine
+/// (plan cache included), the vocabulary, and the constant-scoping
+/// bookkeeping. Clone the [`Arc`] and build per-thread sessions with
+/// [`ServeSession::with_shared`] to serve concurrently.
+pub struct ServeShared {
     engine: Engine,
-    vocab: Vocab,
+    vocab: Mutex<Vocab>,
+    scope: Mutex<ConstScope>,
+    limits: Limits,
+}
+
+impl ServeShared {
+    /// Shared state per `config`.
+    pub fn with_config(config: ServeConfig) -> Self {
+        ServeShared {
+            engine: Engine::with_cache(
+                config.threads,
+                PlanCache::with_capacity(config.cache_capacity),
+            ),
+            vocab: Mutex::new(Vocab::new()),
+            scope: Mutex::new(ConstScope::default()),
+            limits: config.limits,
+        }
+    }
+
+    /// Shared state around an existing engine (used by tests to inject a
+    /// cache with a colliding hash function).
+    pub fn with_engine(engine: Engine, limits: Limits) -> Self {
+        ServeShared {
+            engine,
+            vocab: Mutex::new(Vocab::new()),
+            scope: Mutex::new(ConstScope::default()),
+            limits,
+        }
+    }
+
+    /// The underlying engine (for statistics inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+/// A serving session: a view onto [`ServeShared`] state plus the
+/// session's default limits. Single-threaded callers just construct one
+/// with [`ServeSession::new`] / [`ServeSession::with_threads`];
+/// concurrent servers build one session per thread over a shared
+/// [`Arc<ServeShared>`].
+pub struct ServeSession {
+    shared: Arc<ServeShared>,
+    limits: Limits,
 }
 
 impl Default for ServeSession {
@@ -50,43 +182,102 @@ impl Default for ServeSession {
 impl ServeSession {
     /// A session sized to the machine.
     pub fn new() -> Self {
-        ServeSession {
-            engine: Engine::new(),
-            vocab: Vocab::new(),
-        }
+        Self::with_config(ServeConfig::default())
     }
 
     /// A session with an explicit worker budget.
     pub fn with_threads(threads: usize) -> Self {
-        ServeSession {
-            engine: Engine::with_threads(threads),
-            vocab: Vocab::new(),
-        }
+        Self::with_config(ServeConfig {
+            threads,
+            ..ServeConfig::default()
+        })
+    }
+
+    /// A session per `config` (cache capacity and default limits).
+    pub fn with_config(config: ServeConfig) -> Self {
+        Self::with_shared(Arc::new(ServeShared::with_config(config)))
+    }
+
+    /// A session over existing shared state (one per serving thread).
+    pub fn with_shared(shared: Arc<ServeShared>) -> Self {
+        let limits = shared.limits;
+        ServeSession { shared, limits }
+    }
+
+    /// The shared state (clone it to build sibling sessions).
+    pub fn shared(&self) -> &Arc<ServeShared> {
+        &self.shared
     }
 
     /// The underlying engine (for statistics inspection).
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        &self.shared.engine
     }
 
     /// Handles one request line, returning one response line (no
-    /// trailing newline). Never panics on malformed input.
+    /// trailing newline). Never panics and never poisons shared state,
+    /// whatever the input: malformed requests, resource blowups and
+    /// panicking corner cases all come back as structured responses.
     pub fn handle_line(&mut self, line: &str) -> String {
-        let (id, outcome) = self.dispatch(line);
-        match outcome {
+        self.scope_enter();
+        let dispatched = catch_unwind(AssertUnwindSafe(|| self.dispatch(line)));
+        let (id, outcome) = match dispatched {
+            Ok(r) => r,
+            Err(payload) => {
+                self.shared.engine.record_panic();
+                // The id is re-parsed: the panicking dispatch cannot
+                // hand it back.
+                let id = match json::parse(line) {
+                    Ok(Json::Obj(o)) => o.get("id").and_then(Json::as_str).map(str::to_owned),
+                    _ => None,
+                };
+                (id, Err(EngineError::Internal(panic_message(payload))))
+            }
+        };
+        let out = match outcome {
             Ok(body) => body,
             Err(e) => {
                 let mut out = String::from("{");
-                if let Some(id) = id {
+                if let Some(id) = &id {
                     out.push_str("\"id\": ");
-                    json::write_str(&mut out, &id);
+                    json::write_str(&mut out, id);
                     out.push_str(", ");
                 }
-                out.push_str("\"status\": \"error\", \"error\": ");
-                json::write_str(&mut out, &format!("{e}"));
+                if let EngineError::Overloaded(be) = &e {
+                    out.push_str("\"status\": \"overloaded\", \"error\": ");
+                    json::write_str(&mut out, &format!("{e}"));
+                    let _ = write!(out, ", \"limit\": \"{}\"", be.limit.name());
+                } else {
+                    out.push_str("\"status\": \"error\", \"error\": ");
+                    json::write_str(&mut out, &format!("{e}"));
+                }
                 out.push('}');
                 out
             }
+        };
+        self.scope_exit();
+        out
+    }
+
+    /// Marks a request as in flight; the first request of a burst
+    /// records the constant floor to roll back to.
+    fn scope_enter(&self) {
+        let mut scope = lock_recover(&self.shared.scope);
+        if scope.active == 0 {
+            scope.floor = lock_recover(&self.shared.vocab).const_mark();
+        }
+        scope.active += 1;
+    }
+
+    /// Marks a request as done; the last request of a burst rolls back
+    /// every ABox constant the burst interned. (Rollback must wait for
+    /// quiescence: constants are shared across concurrent requests.)
+    fn scope_exit(&self) {
+        let mut scope = lock_recover(&self.shared.scope);
+        scope.active -= 1;
+        if scope.active == 0 {
+            let floor = scope.floor;
+            lock_recover(&self.shared.vocab).truncate_consts(floor);
         }
     }
 
@@ -109,6 +300,42 @@ impl ServeSession {
         (id.clone(), self.run(&obj, id.as_deref()))
     }
 
+    /// Parses the request's optional `"limits"` object.
+    fn request_limits(
+        &self,
+        obj: &std::collections::BTreeMap<String, Json>,
+    ) -> Result<Limits, EngineError> {
+        let Some(limits) = obj.get("limits") else {
+            return Ok(Limits::default());
+        };
+        let Json::Obj(l) = limits else {
+            return Err(EngineError::BadRequest(
+                "\"limits\" must be an object".into(),
+            ));
+        };
+        let num = |name: &str| -> Result<Option<u64>, EngineError> {
+            match l.get(name) {
+                None => Ok(None),
+                Some(Json::Num(n)) if *n >= 0.0 && n.is_finite() => Ok(Some(*n as u64)),
+                Some(_) => Err(EngineError::BadRequest(format!(
+                    "\"limits.{name}\" must be a non-negative number"
+                ))),
+            }
+        };
+        for key in l.keys() {
+            if !matches!(key.as_str(), "max_rounds" | "max_derived" | "timeout_ms") {
+                return Err(EngineError::BadRequest(format!(
+                    "unknown limit \"{key}\" (expected max_rounds, max_derived, timeout_ms)"
+                )));
+            }
+        }
+        Ok(Limits {
+            max_rounds: num("max_rounds")?.map(|n| n as usize),
+            max_derived: num("max_derived")?.map(|n| n as usize),
+            timeout: num("timeout_ms")?.map(Duration::from_millis),
+        })
+    }
+
     fn run(
         &mut self,
         obj: &std::collections::BTreeMap<String, Json>,
@@ -121,21 +348,35 @@ impl ServeSession {
         };
         let ontology_text = field("ontology")?;
         let query_name = field("query")?;
-        let dl = parse_ontology(ontology_text, &mut self.vocab)
-            .map_err(|e| EngineError::BadRequest(format!("ontology: {e}")))?;
-        let o = to_gf(&dl);
-        let query = self.vocab.find_rel(query_name).ok_or_else(|| {
-            EngineError::BadRequest(format!(
-                "query relation \"{query_name}\" does not occur in the ontology"
-            ))
-        })?;
-        let (plan, cached, compile_elapsed) = self.engine.plan(&o, query, &mut self.vocab);
-        self.engine.record_compile(compile_elapsed);
+        let budget = self
+            .limits
+            .clamp(&self.request_limits(obj)?)
+            .budget_from_now();
+        let (o, query) = {
+            let mut vocab = lock_recover(&self.shared.vocab);
+            let dl = parse_ontology(ontology_text, &mut vocab)
+                .map_err(|e| EngineError::BadRequest(format!("ontology: {e}")))?;
+            let o = to_gf(&dl);
+            let query = vocab.find_rel(query_name).ok_or_else(|| {
+                EngineError::BadRequest(format!(
+                    "query relation \"{query_name}\" does not occur in the ontology"
+                ))
+            })?;
+            (o, query)
+        };
+        // The vocab lock is released before planning: the cache takes it
+        // itself, and single-flight waiters must not hold it.
+        let (plan, cached, compile_elapsed) =
+            self.shared
+                .engine
+                .plan_shared(&o, query, &self.shared.vocab);
+        self.shared.engine.record_compile(compile_elapsed);
         let plan = plan?;
 
         // One ABox or a batch of ABoxes.
-        let mut parse_abox = |text: &str| -> Result<IndexedInstance, EngineError> {
-            let d = gomq_core::parse::parse_instance(text, &mut self.vocab)
+        let parse_abox = |text: &str| -> Result<IndexedInstance, EngineError> {
+            let mut vocab = lock_recover(&self.shared.vocab);
+            let d = gomq_core::parse::parse_instance(text, &mut vocab)
                 .map_err(|e| EngineError::BadRequest(format!("abox: {e}")))?;
             Ok(IndexedInstance::from_interpretation(&d))
         };
@@ -149,7 +390,10 @@ impl ServeSession {
                     EngineError::BadRequest("\"aboxes\" must be an array of strings".into())
                 })?)?);
             }
-            let (batches, stats) = self.engine.answer_batch(&plan, &aboxes);
+            let (batches, stats) = self
+                .shared
+                .engine
+                .answer_batch_budgeted(&plan, &aboxes, &budget)?;
             let mut payload = String::from("\"batches\": [");
             for (i, answers) in batches.iter().enumerate() {
                 if i > 0 {
@@ -161,7 +405,10 @@ impl ServeSession {
             (payload, stats)
         } else {
             let abox = parse_abox(field("abox")?)?;
-            let (answers, stats) = self.engine.answer_indexed(&plan, &abox);
+            let (answers, stats) = self
+                .shared
+                .engine
+                .answer_indexed_budgeted(&plan, &abox, &budget)?;
             let mut payload = String::from("\"answers\": ");
             self.write_answers(&mut payload, &answers);
             (payload, stats)
@@ -182,18 +429,33 @@ impl ServeSession {
         let _ = write!(
             out,
             ", \"stats\": {{\"compile_us\": {}, \"eval_us\": {}, \"rounds\": {}, \
-             \"derived\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}}}",
+             \"derived\": {}, \"cache_hit\": {}}}",
             compile_elapsed.as_micros(),
             stats.eval.as_micros(),
             stats.rounds,
             stats.derived,
-            self.engine.cache().hits(),
-            self.engine.cache().misses(),
+            cached,
+        );
+        let totals = self.shared.engine.stats();
+        let _ = write!(
+            out,
+            ", \"engine\": {{\"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_size\": {}, \"evictions\": {}, \"inflight_waits\": {}, \
+             \"overloaded\": {}, \"panics\": {}}}}}",
+            totals.requests,
+            totals.cache_hits,
+            totals.cache_misses,
+            totals.cache_size,
+            totals.cache_evictions,
+            totals.inflight_waits,
+            totals.overloaded,
+            totals.panics,
         );
         Ok(out)
     }
 
     fn write_answers(&self, out: &mut String, answers: &BTreeSet<Vec<Term>>) {
+        let vocab = lock_recover(&self.shared.vocab);
         out.push('[');
         for (i, tuple) in answers.iter().enumerate() {
             if i > 0 {
@@ -204,7 +466,7 @@ impl ServeSession {
                 if j > 0 {
                     out.push_str(", ");
                 }
-                json::write_str(out, &format!("{}", t.display(&self.vocab)));
+                json::write_str(out, &format!("{}", t.display(&vocab)));
             }
             out.push(']');
         }
@@ -235,13 +497,20 @@ mod tests {
         ok_field(&resp, "\"cached\": false");
         ok_field(&resp, r#"["ada"]"#);
         ok_field(&resp, r#"["grace"]"#);
+        // Request-scoped stats say "miss"; engine totals count it.
+        ok_field(&resp, "\"cache_hit\": false");
+        ok_field(
+            &resp,
+            "\"engine\": {\"requests\": 1, \"cache_hits\": 0, \"cache_misses\": 1",
+        );
         // Same OMQ again: served from the cache.
         let resp2 = s.handle_line(
             r#"{"ontology": "Employee sub Staff\nManager sub Employee", "query": "Staff", "abox": "Manager(bob)"}"#,
         );
         ok_field(&resp2, "\"cached\": true");
         ok_field(&resp2, r#"["bob"]"#);
-        ok_field(&resp2, "\"cache_hits\": 1");
+        ok_field(&resp2, "\"cache_hit\": true");
+        ok_field(&resp2, "\"cache_hits\": 1, \"cache_misses\": 1");
         // Responses are valid JSON.
         assert!(crate::json::parse(&resp).is_ok());
         assert!(crate::json::parse(&resp2).is_ok());
@@ -270,5 +539,102 @@ mod tests {
         // The session still works afterwards.
         let good = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
         ok_field(&good, "\"status\": \"ok\"");
+    }
+
+    #[test]
+    fn blown_budgets_report_overloaded_and_recover() {
+        let mut s = ServeSession::with_threads(2);
+        let chain = "C0 sub C1\nC1 sub C2\nC2 sub C3\nC3 sub C4\nC4 sub C5";
+        let abox = (0..50).map(|i| format!("C0(x{i})\n")).collect::<String>();
+        let req = format!(
+            r#"{{"id": "hot", "ontology": "{chain}", "query": "C5", "abox": "{}", "limits": {{"max_derived": 5}}}}"#,
+            abox.replace('\n', "\\n"),
+        );
+        let resp = s.handle_line(&req);
+        ok_field(&resp, "\"status\": \"overloaded\"");
+        ok_field(&resp, "\"limit\": \"derived\"");
+        ok_field(&resp, "\"id\": \"hot\"");
+        assert!(crate::json::parse(&resp).is_ok());
+        // An expired deadline reports the deadline limit.
+        let timed = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)", "limits": {"timeout_ms": 0}}"#,
+        );
+        ok_field(&timed, "\"status\": \"overloaded\"");
+        ok_field(&timed, "\"limit\": \"deadline\"");
+        // The session stays healthy and the same OMQ still answers.
+        let good = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        ok_field(&good, "\"status\": \"ok\"");
+        assert_eq!(s.engine().stats().overloaded, 2);
+    }
+
+    #[test]
+    fn session_limits_clamp_request_limits() {
+        let mut s = ServeSession::with_config(ServeConfig {
+            threads: 1,
+            limits: Limits {
+                max_derived: Some(3),
+                ..Limits::default()
+            },
+            ..ServeConfig::default()
+        });
+        // The request asks for a *looser* limit; the session's wins.
+        let resp = s.handle_line(
+            r#"{"ontology": "C0 sub C1\nC1 sub C2", "query": "C2", "abox": "C0(a)\nC0(b)\nC0(c)", "limits": {"max_derived": 1000000}}"#,
+        );
+        ok_field(&resp, "\"status\": \"overloaded\"");
+        ok_field(&resp, "\"limit\": \"derived\"");
+    }
+
+    #[test]
+    fn malformed_limits_are_bad_requests() {
+        let mut s = ServeSession::with_threads(1);
+        let bad_type =
+            s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "", "limits": 7}"#);
+        ok_field(&bad_type, "must be an object");
+        let bad_key = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "abox": "", "limits": {"fuel": 9}}"#,
+        );
+        ok_field(&bad_key, "unknown limit");
+        let bad_value = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "abox": "", "limits": {"max_rounds": -1}}"#,
+        );
+        ok_field(&bad_value, "must be a non-negative number");
+    }
+
+    #[test]
+    fn panics_are_isolated_and_counted() {
+        let mut s = ServeSession::with_threads(1);
+        // "R" is first interned as a role (arity 2) by "ex R.A sub B",
+        // then used as a concept (arity 1) by "R sub B": the DL parser
+        // trips the vocabulary's arity assertion. The fence must turn
+        // that panic into a structured error.
+        let resp = s.handle_line(
+            r#"{"id": "boom", "ontology": "A sub ex R.A\nR sub B", "query": "B", "abox": ""}"#,
+        );
+        ok_field(&resp, "\"status\": \"error\"");
+        ok_field(&resp, "\"id\": \"boom\"");
+        ok_field(&resp, "internal error (panic isolated)");
+        assert!(crate::json::parse(&resp).is_ok());
+        assert_eq!(s.engine().stats().panics, 1);
+        // The session still works afterwards.
+        let good = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        ok_field(&good, "\"status\": \"ok\"");
+    }
+
+    #[test]
+    fn abox_constants_are_rolled_back_between_requests() {
+        let mut s = ServeSession::with_threads(1);
+        let baseline = {
+            // Warm up the OMQ so only ABox constants vary below.
+            s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(seed)"}"#);
+            lock_recover(&s.shared.vocab).const_mark()
+        };
+        for i in 0..100 {
+            let resp = s.handle_line(&format!(
+                r#"{{"ontology": "A sub B", "query": "B", "abox": "A(fresh{i})"}}"#
+            ));
+            ok_field(&resp, &format!(r#"[["fresh{i}"]]"#));
+        }
+        assert_eq!(lock_recover(&s.shared.vocab).const_mark(), baseline);
     }
 }

@@ -49,6 +49,18 @@ pub struct EngineStats {
     pub compile_time: Duration,
     /// Total wall time in evaluation.
     pub eval_time: Duration,
+    /// Requests aborted because their resource budget (rounds, derived
+    /// facts or deadline) ran out.
+    pub overloaded: u64,
+    /// Panics caught and isolated by the serving layer.
+    pub panics: u64,
+    /// Plans evicted from the cache to honour its capacity bound.
+    pub cache_evictions: u64,
+    /// Lookups that blocked on another thread's in-flight compilation of
+    /// the same OMQ (single-flight deduplication).
+    pub inflight_waits: u64,
+    /// Plans currently resident in the cache (snapshot, not cumulative).
+    pub cache_size: u64,
     /// Requests served by the bitset type kernel
     /// ([`crate::Engine::answer_typed`]).
     pub typed_requests: u64,

@@ -50,10 +50,19 @@ fn jsonl_requests_roundtrip_with_plan_caching() {
     assert!(lines[0].contains(r#"["ada"]"#) && lines[0].contains(r#"["alan"]"#));
 
     // r2 poses the same OMQ with the axioms reordered: plan-cache hit.
+    // The request-scoped stats carry the per-request hit flag; the
+    // cumulative counters live in the separate "engine" block.
     assert!(lines[1].contains(r#""id": "r2""#));
     assert!(lines[1].contains(r#""cached": true"#));
     assert!(lines[1].contains(r#"["grace"]"#));
+    assert!(lines[1].contains(r#""stats": {"#));
+    assert!(lines[1].contains(r#""cache_hit": true"#));
+    assert!(lines[1].contains(r#""engine": {"#));
     assert!(lines[1].contains(r#""cache_hits": 1"#));
+    assert!(lines[1].contains(r#""cache_misses": 1"#));
+    // r1 was a miss, and its request-scoped stats must say so even
+    // though the engine totals later count hits.
+    assert!(lines[0].contains(r#""cache_hit": false"#));
 
     // r3: a batch, one answer array per ABox in order.
     assert!(lines[2].contains(r#""batches": [[["x"]], [], [["y"], ["z"]]]"#));
@@ -65,6 +74,35 @@ fn jsonl_requests_roundtrip_with_plan_caching() {
     // The EOF summary on stderr reports the three served evaluations.
     assert!(stderr.contains("3 requests"), "stderr: {stderr}");
     assert!(stderr.contains("1 cache hits"), "stderr: {stderr}");
+}
+
+#[test]
+fn limits_and_panics_are_survivable_end_to_end() {
+    let requests = concat!(
+        // Blows the session-wide --max-derived limit set below.
+        r#"{"id": "hot", "ontology": "C0 sub C1\nC1 sub C2\nC2 sub C3", "query": "C3", "abox": "C0(a)\nC0(b)\nC0(c)\nC0(d)"}"#,
+        "\n",
+        // Trips the vocabulary arity assertion inside the DL parser.
+        r#"{"id": "boom", "ontology": "A sub ex R.A\nR sub B", "query": "B", "abox": ""}"#,
+        "\n",
+        // A well-behaved request afterwards still answers.
+        r#"{"id": "ok", "ontology": "A sub B", "query": "B", "abox": "A(x)"}"#,
+        "\n",
+    );
+    let (stdout, stderr) = run_serve(requests, &["--threads", "2", "--max-derived", "4"]);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "one response per request: {stdout}");
+    assert!(lines[0].contains(r#""id": "hot""#));
+    assert!(lines[0].contains(r#""status": "overloaded""#));
+    assert!(lines[0].contains(r#""limit": "derived""#));
+    assert!(lines[1].contains(r#""id": "boom""#));
+    assert!(lines[1].contains(r#""status": "error""#));
+    assert!(lines[1].contains("panic isolated"));
+    assert!(lines[2].contains(r#""id": "ok""#));
+    assert!(lines[2].contains(r#""status": "ok""#));
+    assert!(lines[2].contains(r#"["x"]"#));
+    assert!(stderr.contains("1 overloaded"), "stderr: {stderr}");
+    assert!(stderr.contains("1 panics isolated"), "stderr: {stderr}");
 }
 
 #[test]

@@ -24,6 +24,6 @@ pub mod classify;
 pub mod emit;
 pub mod types;
 
-pub use canon::{canonical_omq_hash, canonical_omq_text};
+pub use canon::{canonical_omq_hash, canonical_omq_text, fnv1a};
 pub use classify::{classify_ontology, OntologyReport};
 pub use types::{ElementTypeSystem, RewriteError, TypeKernel, TypeStats};

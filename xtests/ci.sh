@@ -22,4 +22,7 @@ cargo bench --workspace --no-run
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q --release -p gomq-engine --test serve_stress"
+cargo test -q --release -p gomq-engine --test serve_stress
+
 echo "CI gate passed."
