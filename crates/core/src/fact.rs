@@ -63,8 +63,13 @@ impl fmt::Display for TermDisplay<'_> {
 /// A fact `R(t₁, …, t_k)`: a relation symbol applied to ground terms.
 ///
 /// The arity of `rel` (as recorded in the [`Vocab`]) must equal
-/// `args.len()`; [`crate::Interpretation::insert`] checks this in debug
-/// builds.
+/// `args.len()`; ingestion boundaries enforce this with
+/// [`crate::Interpretation::insert_checked`].
+///
+/// `Fact` is the *owned-escape* form of a fact, used at parse and display
+/// boundaries and in tests; the working currency inside evaluation is the
+/// borrowed [`crate::FactRef`], whose arguments live in a
+/// [`crate::FactStore`] arena.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Fact {
     /// The relation symbol.
@@ -100,16 +105,30 @@ impl Fact {
         }
     }
 
+    /// This fact as a borrowed [`FactRef`] view.
+    pub fn as_ref(&self) -> FactRef<'_> {
+        FactRef::new(self.rel, &self.args)
+    }
+
     /// Renders the fact using the vocabulary.
     pub fn display<'a>(&'a self, vocab: &'a Vocab) -> FactDisplay<'a> {
-        FactDisplay { fact: self, vocab }
+        FactDisplay::new(self.as_ref(), vocab)
     }
 }
 
-/// Helper for rendering a [`Fact`] with human-readable names.
+use crate::store::FactRef;
+
+/// Helper for rendering a [`Fact`] or [`FactRef`] with human-readable
+/// names.
 pub struct FactDisplay<'a> {
-    fact: &'a Fact,
+    fact: FactRef<'a>,
     vocab: &'a Vocab,
+}
+
+impl<'a> FactDisplay<'a> {
+    pub(crate) fn new(fact: FactRef<'a>, vocab: &'a Vocab) -> Self {
+        FactDisplay { fact, vocab }
+    }
 }
 
 impl fmt::Display for FactDisplay<'_> {

@@ -6,8 +6,9 @@
 //! existence, which this module decides by backtracking search with a
 //! most-constrained-atom-first ordering.
 
-use crate::fact::{Fact, Term};
+use crate::fact::Term;
 use crate::interpretation::Interpretation;
+use crate::store::FactRef;
 use std::collections::BTreeMap;
 
 /// A homomorphism, represented as a total map on the source's active domain.
@@ -115,13 +116,13 @@ fn search(
     let mut assignment: Homomorphism = fixed.clone();
     // Unconstrained isolated terms cannot exist: dom() only contains terms
     // occurring in facts. So completing all facts completes the assignment.
-    let facts: Vec<&Fact> = from.iter().collect();
+    let facts: Vec<FactRef<'_>> = from.iter().collect();
     let mut used = vec![false; facts.len()];
     backtrack(&facts, &mut used, to, &mut assignment, cb)
 }
 
 fn backtrack(
-    facts: &[&Fact],
+    facts: &[FactRef<'_>],
     used: &mut [bool],
     to: &Interpretation,
     assignment: &mut Homomorphism,
@@ -188,6 +189,7 @@ fn backtrack(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fact::Fact;
     use crate::symbols::Vocab;
 
     fn path(v: &mut Vocab, names: &[&str]) -> Interpretation {

@@ -1,17 +1,19 @@
 //! Indexed fact storage for repeated query evaluation.
 //!
-//! [`IndexedInstance`] stores a set of facts together with a per-relation
-//! index *and* a per-`(relation, first argument)` hash index, so a join
-//! that has already bound the first argument of an atom probes a bucket
-//! instead of scanning the whole relation. The [`FactLookup`] trait
-//! abstracts over plain [`Interpretation`]s (which fall back to the
-//! per-relation index) and [`IndexedInstance`]s, letting evaluation code
-//! be written once and run over either representation.
+//! [`IndexedInstance`] wraps a [`FactStore`] with an extra
+//! per-`(relation, first argument)` hash index, so a join that has
+//! already bound the first argument of an atom probes a bucket instead of
+//! scanning the whole relation. The [`FactLookup`] trait abstracts over
+//! plain [`Interpretation`]s (which fall back to the per-relation index),
+//! [`IndexedInstance`]s, and [`DeltaView`]s (the tail of a store past a
+//! frontier — a round's newly derived facts as an id range), letting
+//! evaluation code be written once and run over any of them.
 
 use crate::fact::{Fact, Term};
 use crate::interpretation::Interpretation;
+use crate::store::{FactId, FactRef, FactStore, StoreStats};
 use crate::symbols::RelId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Read access to a fact store for join evaluation.
 ///
@@ -22,14 +24,15 @@ use std::collections::{HashMap, HashSet};
 /// whole relation while indexed stores return an exact bucket.
 pub trait FactLookup {
     /// Ids of a superset of the facts of `rel` (exactly the facts whose
-    /// first argument equals `first` where an index is available).
+    /// first argument equals `first` where an index is available). The
+    /// returned slice is ascending in fact id.
     fn candidate_ids(&self, rel: RelId, first: Option<Term>) -> &[u32];
 
     /// Resolves a fact id returned by [`FactLookup::candidate_ids`].
-    fn fact(&self, id: u32) -> &Fact;
+    fn fact(&self, id: u32) -> FactRef<'_>;
 
-    /// Whether the store contains exactly this fact.
-    fn contains_fact(&self, fact: &Fact) -> bool;
+    /// Whether the store contains exactly the fact `rel(args…)`.
+    fn contains_slice(&self, rel: RelId, args: &[Term]) -> bool;
 
     /// Number of candidates a [`FactLookup::candidate_ids`] call would
     /// return; used by join planners to order atoms cheapest-first.
@@ -45,26 +48,26 @@ impl FactLookup for Interpretation {
         self.rel_fact_ids(rel)
     }
 
-    fn fact(&self, id: u32) -> &Fact {
+    fn fact(&self, id: u32) -> FactRef<'_> {
         self.fact_by_id(id)
     }
 
-    fn contains_fact(&self, fact: &Fact) -> bool {
-        self.contains(fact)
+    fn contains_slice(&self, rel: RelId, args: &[Term]) -> bool {
+        self.contains_ref(rel, args)
     }
 }
 
 /// A fact store with per-relation and per-`(relation, first argument)`
 /// hash indexes, built once and maintained incrementally on insert.
 ///
-/// Compared to [`Interpretation`] it drops the per-term index (which
-/// join evaluation never uses) and adds the first-argument index that
-/// turns bound-first joins from scans into hash probes.
+/// Since the columnar-fact-plane refactor this is a view over the same
+/// [`FactStore`] representation as [`Interpretation`]: adopting an
+/// interpretation via [`IndexedInstance::from_instance`] *moves* its
+/// store (arena, dedup, relation index) and only builds the
+/// first-argument index on top — no fact is copied.
 #[derive(Clone, Default)]
 pub struct IndexedInstance {
-    facts: Vec<Fact>,
-    fact_set: HashSet<Fact>,
-    by_rel: HashMap<RelId, Vec<u32>>,
+    store: FactStore,
     by_rel_first: HashMap<(RelId, Term), Vec<u32>>,
 }
 
@@ -74,65 +77,99 @@ impl IndexedInstance {
         Self::default()
     }
 
-    /// Builds the indexed form of an interpretation.
-    pub fn from_interpretation(d: &Interpretation) -> Self {
-        let mut out = Self::new();
-        for f in d.iter() {
-            out.insert(f.clone());
+    /// Adopts an interpretation's store zero-copy (the per-term index is
+    /// dropped, the first-argument index is built in one pass).
+    pub fn from_instance(d: Interpretation) -> Self {
+        Self::from_store(d.into_store())
+    }
+
+    /// Builds the first-argument index over an existing store.
+    pub fn from_store(store: FactStore) -> Self {
+        let mut by_rel_first: HashMap<(RelId, Term), Vec<u32>> = HashMap::new();
+        for (idx, f) in store.iter().enumerate() {
+            if let Some(&first) = f.args.first() {
+                by_rel_first
+                    .entry((f.rel, first))
+                    .or_default()
+                    .push(idx as u32);
+            }
         }
-        out
+        IndexedInstance {
+            store,
+            by_rel_first,
+        }
+    }
+
+    /// Builds the indexed form of a borrowed interpretation. The store is
+    /// cloned wholesale (four flat memcpy-style column clones), not fact
+    /// by fact; prefer [`IndexedInstance::from_instance`] when the
+    /// interpretation is owned.
+    pub fn from_interpretation(d: &Interpretation) -> Self {
+        Self::from_store(d.store().clone())
     }
 
     /// Inserts a fact; returns `true` if it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        if self.fact_set.contains(&fact) {
-            return false;
+        self.insert_ref(fact.rel, &fact.args)
+    }
+
+    /// Inserts a fact given as a relation and an argument slice; returns
+    /// `true` if it was new. No allocation on the duplicate path.
+    pub fn insert_ref(&mut self, rel: RelId, args: &[Term]) -> bool {
+        let (id, new) = self.store.intern(rel, args);
+        if new {
+            if let Some(&first) = args.first() {
+                self.by_rel_first
+                    .entry((rel, first))
+                    .or_default()
+                    .push(id.0);
+            }
         }
-        let id = self.facts.len() as u32;
-        self.by_rel.entry(fact.rel).or_default().push(id);
-        if let Some(&first) = fact.args.first() {
-            self.by_rel_first
-                .entry((fact.rel, first))
-                .or_default()
-                .push(id);
-        }
-        self.fact_set.insert(fact.clone());
-        self.facts.push(fact);
-        true
+        new
     }
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.store.len()
     }
 
     /// Whether there are no facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.store.is_empty()
     }
 
     /// Iterates over all facts in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+    pub fn iter(&self) -> impl Iterator<Item = FactRef<'_>> {
+        self.store.iter()
     }
 
-    /// Copies the facts back into a plain [`Interpretation`].
+    /// The backing columnar store.
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Storage-pressure counters of the backing store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Copies the facts back into a plain [`Interpretation`] (the store
+    /// is cloned wholesale; only the per-term index is recomputed).
     pub fn to_interpretation(&self) -> Interpretation {
-        Interpretation::from_facts(self.iter().cloned())
+        Interpretation::from_store(self.store.clone())
     }
 
     /// Number of facts of one relation.
     pub fn rel_len(&self, rel: RelId) -> usize {
-        self.by_rel.get(&rel).map_or(0, Vec::len)
+        self.store.rel_ids(rel).len()
     }
 
     /// Iterates over the facts of one relation.
-    pub fn facts_of(&self, rel: RelId) -> impl Iterator<Item = &Fact> {
-        self.by_rel
-            .get(&rel)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.facts[i as usize])
+    pub fn facts_of(&self, rel: RelId) -> impl Iterator<Item = FactRef<'_>> {
+        self.store
+            .rel_ids(rel)
+            .iter()
+            .map(move |&i| self.store.fact_ref(FactId(i)))
     }
 }
 
@@ -140,24 +177,68 @@ impl FactLookup for IndexedInstance {
     fn candidate_ids(&self, rel: RelId, first: Option<Term>) -> &[u32] {
         match first {
             Some(t) => self.by_rel_first.get(&(rel, t)).map_or(&[], Vec::as_slice),
-            None => self.by_rel.get(&rel).map_or(&[], Vec::as_slice),
+            None => self.store.rel_ids(rel),
         }
     }
 
-    fn fact(&self, id: u32) -> &Fact {
-        &self.facts[id as usize]
+    fn fact(&self, id: u32) -> FactRef<'_> {
+        self.store.fact_ref(FactId(id))
     }
 
-    fn contains_fact(&self, fact: &Fact) -> bool {
-        self.fact_set.contains(fact)
+    fn contains_slice(&self, rel: RelId, args: &[Term]) -> bool {
+        self.store.lookup(rel, args).is_some()
     }
 }
 
 impl std::fmt::Debug for IndexedInstance {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut sorted: Vec<&Fact> = self.facts.iter().collect();
-        sorted.sort();
-        f.debug_set().entries(sorted).finish()
+        self.store.fmt(f)
+    }
+}
+
+/// The tail of a base lookup past a fact-id frontier: the facts with id
+/// `>= from`, i.e. exactly the facts derived since the frontier was
+/// taken.
+///
+/// Because every index bucket is ascending in fact id, the view answers
+/// [`FactLookup::candidate_ids`] with a suffix of the base's bucket found
+/// by binary search — semi-naive evaluation passes rounds around as
+/// `(base, frontier)` pairs instead of cloning delta sets.
+///
+/// [`FactLookup::contains_slice`] delegates to the *whole* base store:
+/// the view narrows iteration, not membership (novelty checks must see
+/// everything).
+#[derive(Clone, Copy)]
+pub struct DeltaView<'a, L: FactLookup> {
+    base: &'a L,
+    from: u32,
+}
+
+impl<'a, L: FactLookup> DeltaView<'a, L> {
+    /// Views the facts of `base` with id at or above `from`.
+    pub fn new(base: &'a L, from: u32) -> Self {
+        DeltaView { base, from }
+    }
+
+    /// The frontier id the view starts at.
+    pub fn from_id(&self) -> u32 {
+        self.from
+    }
+}
+
+impl<L: FactLookup> FactLookup for DeltaView<'_, L> {
+    fn candidate_ids(&self, rel: RelId, first: Option<Term>) -> &[u32] {
+        let ids = self.base.candidate_ids(rel, first);
+        let cut = ids.partition_point(|&i| i < self.from);
+        &ids[cut..]
+    }
+
+    fn fact(&self, id: u32) -> FactRef<'_> {
+        self.base.fact(id)
+    }
+
+    fn contains_slice(&self, rel: RelId, args: &[Term]) -> bool {
+        self.base.contains_slice(rel, args)
     }
 }
 
@@ -216,9 +297,12 @@ mod tests {
         let back = IndexedInstance::from_interpretation(&plain);
         assert_eq!(back.len(), d.len());
         for f in d.iter() {
-            assert!(back.contains_fact(f));
-            assert!(plain.contains(f));
+            assert!(back.contains_slice(f.rel, f.args));
+            assert!(plain.contains_ref(f.rel, f.args));
         }
+        // Adopting the owned interpretation preserves the same facts.
+        let adopted = IndexedInstance::from_instance(plain);
+        assert_eq!(adopted.len(), d.len());
     }
 
     #[test]
@@ -236,5 +320,25 @@ mod tests {
             .filter(|&&i| FactLookup::fact(&plain, i).args[0] == a)
             .count();
         assert_eq!(matching, 2);
+    }
+
+    #[test]
+    fn delta_view_is_a_tail() {
+        let (mut v, mut d) = setup();
+        let r = v.rel("R", 2);
+        let c = v.constant("c");
+        let a = Term::Const(v.constant("a"));
+        let frontier = d.len() as u32;
+        d.insert(Fact::consts(r, &[c, v.constant("a")]));
+        d.insert(Fact::consts(r, &[v.constant("a"), v.constant("d")]));
+        let delta = DeltaView::new(&d, frontier);
+        assert_eq!(delta.candidate_ids(r, None).len(), 2);
+        assert_eq!(delta.candidate_ids(r, Some(a)).len(), 1);
+        // Membership still sees pre-frontier facts.
+        assert!(delta.contains_slice(r, &[a, Term::Const(v.constant("b"))]));
+        // A frontier of zero sees everything.
+        let all = DeltaView::new(&d, 0);
+        assert_eq!(all.candidate_ids(r, None).len(), d.rel_len(r));
+        assert_eq!(all.from_id(), 0);
     }
 }

@@ -5,11 +5,43 @@
 //! interpretation whose terms are all constants ([`Interpretation::is_instance`]).
 //! Following the paper we make the strong open world assumption: an
 //! interpretation `A` is a model of an instance `D` iff `D ⊆ A`.
+//!
+//! Since the columnar-fact-plane refactor an interpretation is a thin
+//! view over a [`FactStore`]: the store owns the facts (one flat term
+//! arena, dedup, per-relation index) and the interpretation adds only the
+//! per-term index that the guarded-fragment algorithms need. Iteration
+//! yields borrowed [`FactRef`]s; owned [`Fact`]s appear only at parse and
+//! test boundaries.
 
 use crate::fact::{Fact, Term};
+use crate::store::{FactRef, FactStore, StoreStats};
 use crate::symbols::{ConstId, RelId, Vocab};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+
+/// The arity recorded in the [`Vocab`] disagrees with a fact's argument
+/// count — the fact is ill-formed and was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArityError {
+    /// The relation symbol of the rejected fact.
+    pub rel: RelId,
+    /// The arity the vocabulary records for `rel`.
+    pub expected: usize,
+    /// The number of arguments the fact actually carried.
+    pub got: usize,
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arity mismatch: relation expects {} argument(s), fact has {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ArityError {}
 
 /// A finite set of facts over constants and labelled nulls, with indexes
 /// by relation symbol and by term.
@@ -19,9 +51,7 @@ use std::fmt;
 /// [`Interpretation::sorted_facts`] when canonical order is needed.
 #[derive(Clone, Default)]
 pub struct Interpretation {
-    facts: Vec<Fact>,
-    fact_set: HashSet<Fact>,
-    by_rel: HashMap<RelId, Vec<u32>>,
+    store: FactStore,
     by_term: HashMap<Term, Vec<u32>>,
 }
 
@@ -46,88 +76,161 @@ impl Interpretation {
         a
     }
 
-    /// Inserts a fact; returns `true` if it was new.
-    pub fn insert(&mut self, fact: Fact) -> bool {
-        if self.fact_set.contains(&fact) {
-            return false;
-        }
-        let idx = self.facts.len() as u32;
-        self.by_rel.entry(fact.rel).or_default().push(idx);
-        let mut seen_terms: Vec<Term> = Vec::with_capacity(fact.args.len());
-        for &t in &fact.args {
-            if !seen_terms.contains(&t) {
-                seen_terms.push(t);
-                self.by_term.entry(t).or_default().push(idx);
+    /// Rebuilds the per-term index over an existing store.
+    pub fn from_store(store: FactStore) -> Self {
+        let mut by_term: HashMap<Term, Vec<u32>> = HashMap::new();
+        for (idx, f) in store.iter().enumerate() {
+            for &t in f.args {
+                let bucket = by_term.entry(t).or_default();
+                if bucket.last() != Some(&(idx as u32)) {
+                    bucket.push(idx as u32);
+                }
             }
         }
-        self.fact_set.insert(fact.clone());
-        self.facts.push(fact);
-        true
+        Interpretation { store, by_term }
     }
 
-    /// Inserts every fact of `other`.
+    /// Inserts a fact; returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.insert_ref(fact.rel, &fact.args)
+    }
+
+    /// Inserts a fact given as a relation and an argument slice, without
+    /// requiring an owned [`Fact`]; returns `true` if it was new.
+    ///
+    /// This is the allocation-free fast path: a duplicate costs one hash
+    /// and one slice comparison, a new fact one arena append.
+    pub fn insert_ref(&mut self, rel: RelId, args: &[Term]) -> bool {
+        let (id, new) = self.store.intern(rel, args);
+        if new {
+            for &t in args {
+                // A term repeated within one fact hits the same (freshly
+                // pushed) bucket tail, so the dedup check is O(1) per
+                // argument rather than a scan of the preceding arguments.
+                let bucket = self.by_term.entry(t).or_default();
+                if bucket.last() != Some(&id.0) {
+                    bucket.push(id.0);
+                }
+            }
+        }
+        new
+    }
+
+    /// Inserts a fact after validating its argument count against the
+    /// vocabulary; malformed facts are rejected with a typed error
+    /// instead of (in release builds) silently corrupting the store.
+    ///
+    /// Ingestion boundaries — the textual parser and the JSONL serving
+    /// protocol — route every external fact through this check.
+    pub fn insert_checked(&mut self, fact: &Fact, vocab: &Vocab) -> Result<bool, ArityError> {
+        let expected = vocab.arity(fact.rel);
+        if expected != fact.args.len() {
+            return Err(ArityError {
+                rel: fact.rel,
+                expected,
+                got: fact.args.len(),
+            });
+        }
+        Ok(self.insert_ref(fact.rel, &fact.args))
+    }
+
+    /// Inserts every fact of `other`, borrowing its arena (no per-fact
+    /// allocation).
     pub fn extend_from(&mut self, other: &Interpretation) {
         for f in other.iter() {
-            self.insert(f.clone());
+            self.insert_ref(f.rel, f.args);
+        }
+    }
+
+    /// Consumes `other` and folds its facts into `self`. When `self` is
+    /// empty this moves the whole store (arena and indexes) instead of
+    /// re-interning fact by fact.
+    pub fn absorb(&mut self, other: Interpretation) {
+        if self.is_empty() {
+            *self = other;
+        } else {
+            self.extend_from(&other);
         }
     }
 
     /// Whether the fact is present.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.fact_set.contains(fact)
+        self.store.lookup(fact.rel, &fact.args).is_some()
+    }
+
+    /// Whether the fact given as relation and argument slice is present.
+    pub fn contains_ref(&self, rel: RelId, args: &[Term]) -> bool {
+        self.store.lookup(rel, args).is_some()
     }
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.store.len()
     }
 
     /// Whether there are no facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.store.is_empty()
     }
 
     /// Iterates over all facts in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+    pub fn iter(&self) -> impl Iterator<Item = FactRef<'_>> {
+        self.store.iter()
     }
 
     /// All facts in canonical (sorted) order.
-    pub fn sorted_facts(&self) -> Vec<&Fact> {
-        let mut v: Vec<&Fact> = self.facts.iter().collect();
+    pub fn sorted_facts(&self) -> Vec<FactRef<'_>> {
+        let mut v: Vec<FactRef<'_>> = self.store.iter().collect();
         v.sort();
         v
+    }
+
+    /// The backing columnar store.
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Consumes the interpretation, releasing its store (the per-term
+    /// index is dropped). This is how [`crate::IndexedInstance`] adopts
+    /// an interpretation's facts without copying them.
+    pub fn into_store(self) -> FactStore {
+        self.store
+    }
+
+    /// Storage-pressure counters of the backing store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// Ids (positions in insertion order) of the facts of one relation;
     /// resolve them with [`Interpretation::fact_by_id`]. This is the raw
     /// form of [`Interpretation::facts_of`] used by the
-    /// [`crate::index::FactLookup`] implementation.
+    /// [`crate::index::FactLookup`] implementation. Buckets are ascending
+    /// in fact id.
     pub fn rel_fact_ids(&self, rel: RelId) -> &[u32] {
-        self.by_rel.get(&rel).map_or(&[], Vec::as_slice)
+        self.store.rel_ids(rel)
     }
 
     /// Resolves a fact id from [`Interpretation::rel_fact_ids`].
-    pub fn fact_by_id(&self, id: u32) -> &Fact {
-        &self.facts[id as usize]
+    pub fn fact_by_id(&self, id: u32) -> FactRef<'_> {
+        self.store.fact_ref(crate::store::FactId(id))
     }
 
     /// Iterates over the facts of one relation symbol.
-    pub fn facts_of(&self, rel: RelId) -> impl Iterator<Item = &Fact> {
-        self.by_rel
-            .get(&rel)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.facts[i as usize])
+    pub fn facts_of(&self, rel: RelId) -> impl Iterator<Item = FactRef<'_>> {
+        self.store
+            .rel_ids(rel)
+            .iter()
+            .map(move |&i| self.fact_by_id(i))
     }
 
     /// Iterates over the facts mentioning a term.
-    pub fn facts_with_term(&self, t: Term) -> impl Iterator<Item = &Fact> {
+    pub fn facts_with_term(&self, t: Term) -> impl Iterator<Item = FactRef<'_>> {
         self.by_term
             .get(&t)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.facts[i as usize])
+            .map(move |&i| self.fact_by_id(i))
     }
 
     /// The active domain: every term occurring in some fact, in canonical
@@ -150,7 +253,7 @@ impl Interpretation {
     /// The relation symbols occurring in the interpretation (the paper's
     /// `sig(A)`).
     pub fn sig(&self) -> BTreeSet<RelId> {
-        self.by_rel.keys().copied().collect()
+        self.store.rels_present().collect()
     }
 
     /// Whether all terms are constants, i.e. this interpretation is a
@@ -161,27 +264,42 @@ impl Interpretation {
 
     /// Whether `self` is a model of the instance `d`, i.e. `d ⊆ self`.
     pub fn models_instance(&self, d: &Interpretation) -> bool {
-        d.iter().all(|f| self.contains(f))
+        d.iter().all(|f| self.contains_ref(f.rel, f.args))
     }
 
     /// The subinterpretation induced by a set of terms: all facts whose
     /// arguments all lie in `domain` (the paper's `B|_A`).
     pub fn induced(&self, domain: &BTreeSet<Term>) -> Interpretation {
-        Interpretation::from_facts(
-            self.iter()
-                .filter(|f| f.args.iter().all(|t| domain.contains(t)))
-                .cloned(),
-        )
+        let mut out = Interpretation::new();
+        for f in self.iter() {
+            if f.args.iter().all(|t| domain.contains(t)) {
+                out.insert_ref(f.rel, f.args);
+            }
+        }
+        out
     }
 
     /// The restriction of the interpretation to facts over a sub-signature.
     pub fn reduct(&self, sig: &BTreeSet<RelId>) -> Interpretation {
-        Interpretation::from_facts(self.iter().filter(|f| sig.contains(&f.rel)).cloned())
+        let mut out = Interpretation::new();
+        for f in self.iter() {
+            if sig.contains(&f.rel) {
+                out.insert_ref(f.rel, f.args);
+            }
+        }
+        out
     }
 
     /// Applies a term mapping to every fact.
     pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Interpretation {
-        Interpretation::from_facts(self.iter().map(|fact| fact.map_terms(&mut f)))
+        let mut out = Interpretation::new();
+        let mut scratch: Vec<Term> = Vec::new();
+        for fact in self.iter() {
+            scratch.clear();
+            scratch.extend(fact.args.iter().map(|&t| f(t)));
+            out.insert_ref(fact.rel, &scratch);
+        }
+        out
     }
 
     /// Renames the domain of `self` apart from `other`'s domain by replacing
@@ -207,7 +325,7 @@ impl Interpretation {
     pub fn disjoint_union(&self, other: &Interpretation, vocab: &mut Vocab) -> Interpretation {
         let (renamed, _) = other.rename_apart(self, vocab);
         let mut out = self.clone();
-        out.extend_from(&renamed);
+        out.absorb(renamed);
         out
     }
 
@@ -229,7 +347,7 @@ impl Interpretation {
 
 impl PartialEq for Interpretation {
     fn eq(&self, other: &Self) -> bool {
-        self.fact_set == other.fact_set
+        self.len() == other.len() && self.iter().all(|f| other.contains_ref(f.rel, f.args))
     }
 }
 
@@ -287,6 +405,28 @@ mod tests {
     }
 
     #[test]
+    fn insert_checked_rejects_bad_arity() {
+        let (mut v, mut i) = setup();
+        let r = v.rel("R", 2);
+        let a = v.constant("a");
+        let bad = Fact::consts(r, &[a]);
+        let err = i.insert_checked(&bad, &v).unwrap_err();
+        assert_eq!(
+            err,
+            ArityError {
+                rel: r,
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(i.len(), 2);
+        let b = v.constant("b");
+        assert_eq!(i.insert_checked(&Fact::consts(r, &[a, b]), &v), Ok(false));
+        let d = v.constant("d");
+        assert_eq!(i.insert_checked(&Fact::consts(r, &[a, d]), &v), Ok(true));
+    }
+
+    #[test]
     fn dom_and_sig() {
         let (mut v, i) = setup();
         assert_eq!(i.dom().len(), 3);
@@ -297,6 +437,36 @@ mod tests {
         let mut j = i.clone();
         j.insert(Fact::new(r, vec![Term::Null(n), Term::Null(n)]));
         assert!(!j.is_instance());
+    }
+
+    #[test]
+    fn repeated_terms_index_once() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 3);
+        let a = v.constant("a");
+        let b = v.constant("b");
+        let mut i = Interpretation::new();
+        i.insert(Fact::consts(r, &[a, a, b]));
+        assert_eq!(i.facts_with_term(Term::Const(a)).count(), 1);
+        assert_eq!(i.facts_with_term(Term::Const(b)).count(), 1);
+    }
+
+    #[test]
+    fn absorb_moves_into_empty() {
+        let (mut v, i) = setup();
+        let mut empty = Interpretation::new();
+        empty.absorb(i.clone());
+        assert_eq!(empty, i);
+        // Non-empty target: union semantics over a shared prefix.
+        let r = v.rel("R", 2);
+        let c = v.constant("c");
+        let d = v.constant("d");
+        let mut j = Interpretation::new();
+        j.insert(Fact::consts(r, &[c, d]));
+        j.insert(Fact::consts(r, &[v.constant("a"), v.constant("b")]));
+        let mut k = i.clone();
+        k.absorb(j);
+        assert_eq!(k.len(), 3);
     }
 
     #[test]
@@ -339,6 +509,16 @@ mod tests {
         assert_eq!(i.facts_with_term(b).count(), 2);
         let a = Term::Const(v.constant("a"));
         assert_eq!(i.facts_with_term(a).count(), 1);
+    }
+
+    #[test]
+    fn from_store_rebuilds_term_index() {
+        let (v, i) = setup();
+        let _ = &v;
+        let store = i.clone().into_store();
+        let back = Interpretation::from_store(store);
+        assert_eq!(back, i);
+        assert_eq!(back.dom(), i.dom());
     }
 
     #[test]

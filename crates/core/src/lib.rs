@@ -11,6 +11,9 @@
 //! * [`Interpretation`] — a finite set of atoms over constants and nulls
 //!   (the paper's interpretations; a database *instance* is an
 //!   interpretation whose terms are all constants),
+//! * [`FactStore`] — the columnar fact plane: a flat-arena, deduplicating
+//!   fact table that `Interpretation` and [`IndexedInstance`] are views
+//!   over ([`store`]),
 //! * homomorphisms between interpretations ([`hom`]),
 //! * indexed fact stores and the join-lookup abstraction ([`index`]),
 //! * fixed-width bitset rows/matrices and dense term interning
@@ -38,13 +41,15 @@ pub mod intern;
 pub mod interpretation;
 pub mod parse;
 pub mod query;
+pub mod store;
 pub mod symbols;
 pub mod treedec;
 
 pub use fact::{Fact, Term};
 pub use hom::{find_homomorphism, Homomorphism};
-pub use index::{FactLookup, IndexedInstance};
+pub use index::{DeltaView, FactLookup, IndexedInstance};
 pub use intern::TermInterner;
-pub use interpretation::{Instance, Interpretation};
+pub use interpretation::{ArityError, Instance, Interpretation};
 pub use query::{Cq, CqAtom, Ucq, VarOrConst};
+pub use store::{FactBuf, FactId, FactRef, FactStore, StoreStats};
 pub use symbols::{ConstId, NullId, RelId, Vocab};

@@ -99,7 +99,12 @@ pub fn parse_instance(text: &str, vocab: &mut Vocab) -> Result<Instance, ParseEr
         }
         let rel = vocab.rel(name, args.len());
         let consts: Vec<_> = args.iter().map(|a| vocab.constant(a)).collect();
-        d.insert(Fact::consts(rel, &consts));
+        // The vocabulary-level arity guard above makes this infallible for
+        // text reaching us through `split_atom`, but the typed check stays
+        // on in release builds: an ill-formed fact must never reach the
+        // store silently.
+        d.insert_checked(&Fact::consts(rel, &consts), vocab)
+            .map_err(|e| err(lineno, e.to_string()))?;
     }
     Ok(d)
 }

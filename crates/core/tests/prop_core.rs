@@ -101,11 +101,11 @@ proptest! {
     fn hom_existence_is_transitive_through_subsets((_v, d) in instance_strategy()) {
         // D maps into any superset of itself.
         let mut bigger = d.clone();
-        let extra: Vec<&Fact> = d.iter().collect();
+        let extra: Vec<gomq_core::FactRef<'_>> = d.iter().collect();
         if let Some(f) = extra.first() {
             let mut v2 = Vocab::new();
             let s = v2.rel("Sx", f.args.len());
-            bigger.insert(Fact::new(s, f.args.clone()));
+            bigger.insert(Fact::new(s, f.args.to_vec()));
         }
         prop_assert!(has_homomorphism(&d, &bigger, &Homomorphism::new()));
     }

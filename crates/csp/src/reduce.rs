@@ -44,7 +44,7 @@ pub fn omq_instance_to_csp(d: &Instance, template: &Template, enc: &CspOntology)
     let mut out = Instance::new();
     for f in d.iter() {
         if template_sig.contains(&f.rel) {
-            out.insert(f.clone());
+            out.insert_ref(f.rel, f.args);
         }
     }
     // Witness edges with a distinct endpoint precolor their source.

@@ -8,7 +8,7 @@
 //! first argument is bound, smallest index bucket) first.
 
 use crate::program::{DAtom, DTerm, Literal, Program, Rule};
-use gomq_core::{Fact, FactLookup, Instance, Interpretation, Term};
+use gomq_core::{DeltaView, FactBuf, FactLookup, Instance, Interpretation, StoreStats, Term};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::time::Instant;
@@ -20,6 +20,9 @@ pub struct EvalStats {
     pub rounds: usize,
     /// Number of facts derived (beyond the EDB).
     pub derived: usize,
+    /// Storage pressure of the evaluation's total store (EDB ∪ IDB):
+    /// facts interned, arena terms, dedup hits.
+    pub store: StoreStats,
 }
 
 /// A cooperative resource budget for fixpoint evaluation.
@@ -142,38 +145,44 @@ impl Program {
         d: &Instance,
         budget: &Budget,
     ) -> Result<(Interpretation, EvalStats), BudgetExceeded> {
+        // The total store is a clone of the EDB's columns (bulk copies,
+        // no per-fact allocation); a round's delta is just the id range
+        // past the previous round's frontier.
         let mut total = d.clone();
-        let mut delta = Interpretation::new();
         let mut stats = EvalStats::default();
         budget.check(&stats)?;
+        let mut staged = FactBuf::new();
+        let mut frontier = 0u32;
         loop {
             stats.rounds += 1;
-            let mut new_facts: Vec<Fact> = Vec::new();
-            // In the first round every EDB fact is new, so the delta is
+            staged.clear();
+            // In the first round the frontier is 0, so the delta view is
             // `total` itself — no second clone of the input.
-            let dl = if stats.rounds == 1 { &total } else { &delta };
-            derive_round(&self.rules, &total, dl, &mut new_facts);
-            let mut next_delta = Interpretation::new();
-            for f in new_facts {
-                if !total.contains(&f) {
-                    next_delta.insert(f);
-                }
+            derive_round(
+                &self.rules,
+                &total,
+                &DeltaView::new(&total, frontier),
+                &mut staged,
+            );
+            frontier = total.len() as u32;
+            for f in staged.iter() {
+                total.insert_ref(f.rel, f.args);
             }
-            if next_delta.is_empty() {
+            let derived_now = total.len() - frontier as usize;
+            if derived_now == 0 {
                 break;
             }
-            stats.derived += next_delta.len();
-            total.extend_from(&next_delta);
-            delta = next_delta;
+            stats.derived += derived_now;
             budget.check(&stats)?;
         }
+        stats.store = total.store_stats();
         Ok((total, stats))
     }
 
     /// Semi-naive evaluation returning goal tuples and statistics.
     pub fn eval_with_stats(&self, d: &Instance) -> (BTreeSet<Vec<Term>>, EvalStats) {
         let (total, stats) = self.fixpoint(d);
-        let answers = total.facts_of(self.goal).map(|f| f.args.clone()).collect();
+        let answers = total.facts_of(self.goal).map(|f| f.args.to_vec()).collect();
         (answers, stats)
     }
 
@@ -183,12 +192,18 @@ impl Program {
     }
 }
 
-/// One semi-naive round: derives into `out` every head fact of `rules`
+/// One semi-naive round: stages into `out` every head fact of `rules`
 /// with at least one body atom matched in `delta` (`total` must include
-/// `delta`). This is the building block both of [`Program::fixpoint`]
-/// and of the stratified parallel evaluator in `gomq-engine`, which
-/// calls it concurrently on disjoint rule partitions.
-pub fn derive_round<L: FactLookup>(rules: &[Rule], total: &L, delta: &L, out: &mut Vec<Fact>) {
+/// `delta`; the delta is typically a [`DeltaView`] over the total store
+/// past the previous round's frontier). This is the building block both
+/// of [`Program::fixpoint`] and of the stratified parallel evaluator in
+/// `gomq-engine`, which calls it concurrently on disjoint rule
+/// partitions, merging the per-worker [`FactBuf`]s afterwards.
+pub fn derive_round<T, D>(rules: &[Rule], total: &T, delta: &D, out: &mut FactBuf)
+where
+    T: FactLookup + ?Sized,
+    D: FactLookup + ?Sized,
+{
     for rule in rules {
         derive(rule, total, delta, out);
     }
@@ -196,7 +211,11 @@ pub fn derive_round<L: FactLookup>(rules: &[Rule], total: &L, delta: &L, out: &m
 
 /// Derives all head facts of `rule` with at least one body atom matched in
 /// `delta` (semi-naive restriction). `total` includes `delta`.
-fn derive<L: FactLookup>(rule: &Rule, total: &L, delta: &L, out: &mut Vec<Fact>) {
+fn derive<T, D>(rule: &Rule, total: &T, delta: &D, out: &mut FactBuf)
+where
+    T: FactLookup + ?Sized,
+    D: FactLookup + ?Sized,
+{
     let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
     if atoms.is_empty() {
         return;
@@ -232,18 +251,22 @@ fn bound_first(atom: &DAtom, frame: &[Option<Term>]) -> Option<Term> {
 /// the atom with the fewest candidate facts under the current binding
 /// (the pivot matches `delta`, everything else `total`).
 #[allow(clippy::too_many_arguments)]
-fn match_atoms<L: FactLookup>(
+fn match_atoms<T, D>(
     rule: &Rule,
     atoms: &[&DAtom],
     pivot: Option<usize>,
     remaining: &mut Vec<usize>,
-    total: &L,
-    delta: &L,
+    total: &T,
+    delta: &D,
     frame: &mut Vec<Option<Term>>,
-    out: &mut Vec<Fact>,
-) {
+    out: &mut FactBuf,
+) where
+    T: FactLookup + ?Sized,
+    D: FactLookup + ?Sized,
+{
     if remaining.is_empty() {
-        // All positive atoms matched: check inequalities, then emit.
+        // All positive atoms matched: check inequalities, then emit
+        // straight into the columnar buffer (no per-fact `Vec<Term>`).
         for l in &rule.body {
             if let Literal::Neq(a, b) = l {
                 if resolve(a, frame) == resolve(b, frame) {
@@ -251,10 +274,10 @@ fn match_atoms<L: FactLookup>(
                 }
             }
         }
-        out.push(Fact::new(
+        out.push_with(
             rule.head.rel,
-            rule.head.args.iter().map(|t| resolve(t, frame)).collect(),
-        ));
+            rule.head.args.iter().map(|t| resolve(t, frame)),
+        );
         return;
     }
     // Greedy join ordering: pick the cheapest remaining atom.
@@ -278,14 +301,18 @@ fn match_atoms<L: FactLookup>(
     let ai = remaining.swap_remove(best_k);
     let atom = atoms[ai];
     let first = bound_first(atom, frame);
-    let candidates = if pivot == Some(ai) {
+    let from_delta = pivot == Some(ai);
+    let candidates = if from_delta {
         delta.candidate_ids(atom.rel, first)
     } else {
         total.candidate_ids(atom.rel, first)
     };
-    let source = if pivot == Some(ai) { delta } else { total };
     for &id in candidates {
-        let fact = source.fact(id);
+        let fact = if from_delta {
+            delta.fact(id)
+        } else {
+            total.fact(id)
+        };
         if fact.args.len() != atom.args.len() {
             continue;
         }
@@ -334,7 +361,7 @@ fn resolve(t: &DTerm, frame: &[Option<Term>]) -> Term {
 pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
     let mut total = d.clone();
     loop {
-        let mut new_facts: Vec<Fact> = Vec::new();
+        let mut new_facts = FactBuf::new();
         for rule in &p.rules {
             // With no pivot every atom matches against the full
             // database, enumerating all satisfying assignments.
@@ -356,21 +383,21 @@ pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
             );
         }
         let before = total.len();
-        for f in new_facts {
-            total.insert(f);
+        for f in new_facts.iter() {
+            total.insert_ref(f.rel, f.args);
         }
         if total.len() == before {
             break;
         }
     }
-    total.facts_of(p.goal).map(|f| f.args.clone()).collect()
+    total.facts_of(p.goal).map(|f| f.args.to_vec()).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::program::{DAtom, Literal, Rule};
-    use gomq_core::{IndexedInstance, Vocab};
+    use gomq_core::{Fact, IndexedInstance, Vocab};
 
     /// Transitive closure program with goal = pairs of distinct connected
     /// nodes.
@@ -556,12 +583,12 @@ mod tests {
         let p = tc_program(&mut v);
         let d = path_instance(&mut v, 6);
         let indexed = IndexedInstance::from_interpretation(&d);
-        let mut plain_out: Vec<Fact> = Vec::new();
+        let mut plain_out = FactBuf::new();
         derive_round(&p.rules, &d, &d, &mut plain_out);
-        let mut indexed_out: Vec<Fact> = Vec::new();
+        let mut indexed_out = FactBuf::new();
         derive_round(&p.rules, &indexed, &indexed, &mut indexed_out);
-        let plain: BTreeSet<Fact> = plain_out.into_iter().collect();
-        let indexed_set: BTreeSet<Fact> = indexed_out.into_iter().collect();
+        let plain: BTreeSet<Fact> = plain_out.iter().map(|f| f.to_fact()).collect();
+        let indexed_set: BTreeSet<Fact> = indexed_out.iter().map(|f| f.to_fact()).collect();
         assert_eq!(plain, indexed_set);
         assert!(!plain.is_empty());
     }

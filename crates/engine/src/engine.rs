@@ -128,6 +128,7 @@ impl Engine {
                     rounds: eval_stats.rounds,
                     derived: eval_stats.derived,
                     answers: answers.len(),
+                    store: eval_stats.store,
                     ..RequestStats::default()
                 };
                 lock_recover(&self.stats).absorb(&stats);
@@ -201,6 +202,7 @@ impl Engine {
                     stats.rounds += es.rounds;
                     stats.derived += es.derived;
                     stats.answers += ans.len();
+                    stats.store.absorb(&es.store);
                     answers.push(ans);
                 }
                 lock_recover(&self.stats).absorb(&stats);

@@ -16,7 +16,7 @@
 //! [`eval_program`] is answer-equivalent to [`Program::eval`]; the
 //! property tests in `tests/engine_props.rs` check exactly that.
 
-use gomq_core::{Fact, FactLookup, IndexedInstance, Instance, RelId, Term};
+use gomq_core::{DeltaView, FactBuf, IndexedInstance, Instance, RelId, Term};
 use gomq_datalog::eval::EvalStats;
 use gomq_datalog::{derive_round, Budget, BudgetExceeded, Program, Rule};
 use std::collections::{BTreeMap, BTreeSet};
@@ -206,53 +206,56 @@ fn scc(succ: &[BTreeSet<usize>]) -> Vec<usize> {
 const PARALLEL_DELTA_THRESHOLD: usize = 64;
 
 /// One semi-naive round over `rules`, split across `threads` workers.
+///
+/// The round's delta is the id range of `total` past `frontier` (a
+/// [`DeltaView`] — no delta set is materialized, let alone cloned);
+/// staged head facts land in the columnar `out` buffer, per-worker
+/// buffers being merged with bulk [`FactBuf::append`]s.
 fn parallel_round(
     rules: &[Rule],
     total: &IndexedInstance,
-    delta: &IndexedInstance,
+    frontier: u32,
     threads: usize,
-) -> Vec<Fact> {
+    out: &mut FactBuf,
+) {
+    let delta_len = total.len() - frontier as usize;
     let workers = threads.min(rules.len()).max(1);
-    if workers == 1 || delta.len() < PARALLEL_DELTA_THRESHOLD {
-        let mut out = Vec::new();
-        derive_round(rules, total, delta, &mut out);
-        return out;
+    if workers == 1 || delta_len < PARALLEL_DELTA_THRESHOLD {
+        derive_round(rules, total, &DeltaView::new(total, frontier), out);
+        return;
     }
     let chunk_size = rules.len().div_ceil(workers);
     let chunks: Vec<&[Rule]> = rules.chunks(chunk_size).collect();
-    let mut merged: Vec<Fact> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
-                    let mut out = Vec::new();
-                    derive_round(chunk, total, delta, &mut out);
-                    out
+                    let mut buf = FactBuf::new();
+                    derive_round(chunk, total, &DeltaView::new(total, frontier), &mut buf);
+                    buf
                 })
             })
             .collect();
         for h in handles {
             // Re-raise worker panics on the calling thread so the serving
             // layer's catch_unwind isolates them per request.
-            merged.extend(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+            let mut buf = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            out.append(&mut buf);
         }
     });
-    merged
 }
 
-/// Absorbs freshly derived facts into `total`, collecting the actually
-/// new ones (cloned only when new) into the next delta.
-fn absorb(new_facts: Vec<Fact>, total: &mut IndexedInstance) -> IndexedInstance {
-    let mut delta = IndexedInstance::new();
-    for f in new_facts {
-        if total.contains_fact(&f) {
-            continue;
-        }
-        total.insert(f.clone());
-        delta.insert(f);
+/// Interns the staged facts into `total` (slice interning — the only
+/// copy is the new facts' arguments landing in the arena) and returns
+/// how many were new. The next round's delta is `total`'s id range past
+/// the pre-absorb frontier.
+fn absorb(staged: &FactBuf, total: &mut IndexedInstance) -> usize {
+    let before = total.len();
+    for f in staged.iter() {
+        total.insert_ref(f.rel, f.args);
     }
-    delta
+    total.len() - before
 }
 
 /// Runs the semi-naive fixpoint of one stratum on top of `total`,
@@ -266,25 +269,26 @@ fn fixpoint_stratum(
 ) -> Result<(), BudgetExceeded> {
     budget.check(stats)?;
     // First pass: every fact so far is "new" for this stratum, so the
-    // saturated `total` doubles as the delta (no clone). The pass is
+    // delta view starts at id 0 (the whole saturated total). The pass is
     // complete for the stratum's inputs because earlier strata are
     // already saturated.
     stats.rounds += 1;
-    let new_facts = parallel_round(&stratum.rules, total, total, threads);
-    let mut delta = absorb(new_facts, total);
-    stats.derived += delta.len();
+    let mut staged = FactBuf::new();
+    parallel_round(&stratum.rules, total, 0, threads, &mut staged);
+    let mut frontier = total.len() as u32;
+    stats.derived += absorb(&staged, total);
     if !stratum.recursive {
         // Heads never feed bodies within this stratum: one pass is the
         // fixpoint, skip the would-be-empty confirmation round.
         return Ok(());
     }
-    while !delta.is_empty() {
+    while (frontier as usize) < total.len() {
         budget.check(stats)?;
         stats.rounds += 1;
-        let new_facts = parallel_round(&stratum.rules, total, &delta, threads);
-        let next_delta = absorb(new_facts, total);
-        stats.derived += next_delta.len();
-        delta = next_delta;
+        staged.clear();
+        parallel_round(&stratum.rules, total, frontier, threads, &mut staged);
+        frontier = total.len() as u32;
+        stats.derived += absorb(&staged, total);
     }
     Ok(())
 }
@@ -318,12 +322,15 @@ pub fn eval_strata_budgeted(
     threads: usize,
     budget: &Budget,
 ) -> Result<EvalOutcome, BudgetExceeded> {
+    // Clones the EDB's store columns wholesale (no per-fact work); every
+    // round then appends into this one arena.
     let mut total = d.clone();
     let mut stats = EvalStats::default();
     for stratum in &strata.strata {
         fixpoint_stratum(stratum, &mut total, threads, &mut stats, budget)?;
     }
-    let answers = total.facts_of(goal).map(|f| f.args.clone()).collect();
+    let answers = total.facts_of(goal).map(|f| f.args.to_vec()).collect();
+    stats.store = total.store_stats();
     Ok((answers, stats))
 }
 
@@ -409,7 +416,7 @@ pub fn eval_plain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gomq_core::Vocab;
+    use gomq_core::{Fact, Vocab};
     use gomq_datalog::{DAtom, DTerm, Literal};
 
     fn tc_program(v: &mut Vocab) -> Program {

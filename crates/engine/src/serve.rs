@@ -21,7 +21,8 @@
 //!  "stats": {"compile_us": 412, "eval_us": 88, "rounds": 3, "derived": 6,
 //!            "cache_hit": false},
 //!  "engine": {"requests": 1, "cache_hits": 0, "cache_misses": 1, "cache_size": 1,
-//!             "evictions": 0, "inflight_waits": 0, "overloaded": 0, "panics": 0}}
+//!             "evictions": 0, "inflight_waits": 0, "overloaded": 0, "panics": 0,
+//!             "facts_interned": 9, "arena_bytes": 144, "dedup_hits": 2}}
 //! ```
 //!
 //! With `"aboxes": ["...", "..."]` the response carries `"batches"` (one
@@ -378,7 +379,9 @@ impl ServeSession {
             let mut vocab = lock_recover(&self.shared.vocab);
             let d = gomq_core::parse::parse_instance(text, &mut vocab)
                 .map_err(|e| EngineError::BadRequest(format!("abox: {e}")))?;
-            Ok(IndexedInstance::from_interpretation(&d))
+            // Move the parsed store into the index — the serve path never
+            // copies the fact columns.
+            Ok(IndexedInstance::from_instance(d))
         };
         let (payload, stats) = if let Some(texts) = obj.get("aboxes") {
             let texts = texts.as_arr().ok_or_else(|| {
@@ -441,7 +444,8 @@ impl ServeSession {
             out,
             ", \"engine\": {{\"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_size\": {}, \"evictions\": {}, \"inflight_waits\": {}, \
-             \"overloaded\": {}, \"panics\": {}}}}}",
+             \"overloaded\": {}, \"panics\": {}, \"facts_interned\": {}, \
+             \"arena_bytes\": {}, \"dedup_hits\": {}}}}}",
             totals.requests,
             totals.cache_hits,
             totals.cache_misses,
@@ -450,6 +454,9 @@ impl ServeSession {
             totals.inflight_waits,
             totals.overloaded,
             totals.panics,
+            totals.facts_interned,
+            totals.arena_bytes,
+            totals.dedup_hits,
         );
         Ok(out)
     }

@@ -1,5 +1,6 @@
 //! Engine and per-request statistics.
 
+use gomq_core::StoreStats;
 use gomq_rewriting::TypeStats;
 use std::time::Duration;
 
@@ -24,6 +25,10 @@ pub struct RequestStats {
     pub typed: bool,
     /// Propagation-kernel counters (zero unless `typed`).
     pub type_stats: TypeStats,
+    /// Storage pressure of the request's fact store(s): facts interned,
+    /// arena terms, dedup hits (summed over a batch; zero when `typed` —
+    /// the kernel path materializes no facts).
+    pub store: StoreStats,
 }
 
 /// Cumulative statistics of an [`crate::Engine`] since construction.
@@ -67,6 +72,13 @@ pub struct EngineStats {
     /// Aggregated propagation-kernel counters across typed requests
     /// (instance counters summed; kernel-build counters maxed).
     pub type_stats: TypeStats,
+    /// Facts interned across all evaluation stores.
+    pub facts_interned: u64,
+    /// Bytes of fact-argument arena across all evaluation stores.
+    pub arena_bytes: u64,
+    /// Candidate derivations answered by an existing fact (dedup hits)
+    /// across all evaluation stores.
+    pub dedup_hits: u64,
 }
 
 impl EngineStats {
@@ -82,5 +94,8 @@ impl EngineStats {
             self.typed_requests += 1;
             self.type_stats.absorb(&r.type_stats);
         }
+        self.facts_interned += r.store.facts;
+        self.arena_bytes += r.store.arena_bytes();
+        self.dedup_hits += r.store.dedup_hits;
     }
 }

@@ -282,7 +282,7 @@ fn repairs(f: &Formula, a: &Interpretation, asg: &Assignment, vocab: &mut Vocab)
             };
             // The body is evaluated over A extended by the guard fact.
             let mut a2 = a.clone();
-            a2.insert(guard_fact.clone());
+            a2.insert_ref(guard_fact.rel, &guard_fact.args);
             let body_opts = repairs(body, &a2, &ext, vocab);
             body_opts
                 .into_iter()

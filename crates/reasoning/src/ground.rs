@@ -285,7 +285,7 @@ impl Grounder {
     /// facts remain free).
     pub fn assert_instance(&mut self, d: &Instance) {
         for f in d.iter() {
-            let l = self.fact_lit(f.clone());
+            let l = self.fact_lit(f.to_fact());
             self.cnf.add_unit(l);
         }
     }

@@ -19,7 +19,7 @@
 //! exhibit (non-)unravelling-tolerance on concrete queries.
 
 use gomq_core::guarded::maximal_guarded_sets;
-use gomq_core::{Fact, Instance, Interpretation, Term, Vocab};
+use gomq_core::{Instance, Interpretation, Term, Vocab};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which unravelling to build.
@@ -102,13 +102,14 @@ pub fn unravel(d: &Instance, kind: UnravelKind, radius: usize, vocab: &mut Vocab
             };
             copies.insert(orig, copy);
         }
-        // The bag is isomorphic to D|G.
+        // The bag is isomorphic to D|G. Renamed tuples go through one
+        // reusable scratch buffer straight into the store's arena.
+        let mut scratch: Vec<Term> = Vec::new();
         for fact in d.iter() {
             if fact.args.iter().all(|t| g.contains(t)) {
-                interp.insert(Fact::new(
-                    fact.rel,
-                    fact.args.iter().map(|t| copies[t]).collect(),
-                ));
+                scratch.clear();
+                scratch.extend(fact.args.iter().map(|t| copies[t]));
+                interp.insert_ref(fact.rel, &scratch);
             }
         }
         copies
@@ -184,6 +185,7 @@ pub fn unravel(d: &Instance, kind: UnravelKind, radius: usize, vocab: &mut Vocab
 mod tests {
     use super::*;
     use gomq_core::guarded::is_connected;
+    use gomq_core::Fact;
 
     /// The triangle instance of Example 5 (1).
     fn triangle(v: &mut Vocab) -> Instance {

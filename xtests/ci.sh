@@ -25,4 +25,10 @@ cargo test -q --workspace
 echo "==> cargo test -q --release -p gomq-engine --test serve_stress"
 cargo test -q --release -p gomq-engine --test serve_stress
 
+echo "==> cargo test -q --release -p gomq-core --test store_props"
+cargo test -q --release -p gomq-core --test store_props
+
+echo "==> E14_TINY=1 cargo bench -p gomq-bench --bench e14_store (smoke)"
+E14_TINY=1 cargo bench -p gomq-bench --bench e14_store
+
 echo "CI gate passed."
