@@ -1,0 +1,368 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a seeded schedule of injectable faults. Call sites
+//! across the stack — fixpoint rounds, store interning, plan compilation,
+//! WAL writes and fsyncs — are instrumented with named *seams*
+//! ([`point`], [`alloc_point`], [`io_point`]). Each seam visit draws from
+//! a splitmix64 stream keyed on `(seed, site, visit counter)`, so the
+//! same seed always produces the same fault schedule, independent of
+//! thread interleaving at *other* sites.
+//!
+//! The whole machinery is compiled out unless the `chaos` cargo feature
+//! is enabled: without it every seam is an inline empty function and the
+//! plan types are inert, so production builds pay nothing.
+//!
+//! The plan is process-global (a serve process is configured once, via
+//! `--chaos-seed`); tests that install plans concurrently must serialize
+//! around [`install`]/[`uninstall`].
+
+/// Seam in a fixpoint round boundary (panic / delay faults).
+pub const EVAL_ROUND: &str = "eval.round";
+/// Seam in [`FactStore::intern`](crate::FactStore::intern) (alloc-cap
+/// faults, checked against the arena size).
+pub const STORE_INTERN: &str = "store.intern";
+/// Seam in the plan-cache leader's compilation path (panic faults).
+pub const CACHE_COMPILE: &str = "cache.compile";
+/// Seam around a WAL record body write (I/O faults: error, short write).
+pub const WAL_WRITE: &str = "wal.write";
+/// Seam around a WAL fsync (I/O error faults).
+pub const WAL_FSYNC: &str = "wal.fsync";
+/// Seam around a snapshot file write (I/O error faults).
+pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+
+/// One injectable fault kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the seam (exercises catch-unwind fences).
+    Panic,
+    /// Report an I/O error from the seam (I/O seams only).
+    IoError,
+    /// Write only a prefix of the buffer (WAL write seam only) —
+    /// produces a torn record.
+    ShortWrite,
+    /// Sleep for the given number of milliseconds (deadline jitter).
+    Delay(u64),
+    /// Panic when the seam's reported weight (e.g. arena terms) exceeds
+    /// this cap — a deterministic stand-in for allocation failure.
+    AllocCap(u64),
+}
+
+/// One scheduled fault: at visits `n` of `site` where the seeded draw
+/// lands on `0 (mod period)`, inject `kind`.
+#[derive(Clone, Debug)]
+pub struct FaultRule {
+    /// Seam name this rule applies to (one of the `*` constants above).
+    pub site: &'static str,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Average firing period; 1 fires on every draw hit, larger values
+    /// fire on roughly one visit in `period`.
+    pub period: u64,
+}
+
+/// A seeded, deterministic schedule of faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed of the per-site draw streams.
+    pub seed: u64,
+    /// The scheduled faults.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn rule(mut self, site: &'static str, kind: FaultKind, period: u64) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            kind,
+            period: period.max(1),
+        });
+        self
+    }
+
+    /// The standard chaos mix used by `gomq-serve --chaos-seed` and the
+    /// CI smoke: occasional eval panics and delays, short WAL writes,
+    /// fsync failures, compile panics and a generous arena alloc cap.
+    pub fn standard(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .rule(EVAL_ROUND, FaultKind::Panic, 17)
+            .rule(EVAL_ROUND, FaultKind::Delay(1), 5)
+            .rule(WAL_WRITE, FaultKind::ShortWrite, 7)
+            .rule(WAL_FSYNC, FaultKind::IoError, 11)
+            .rule(CACHE_COMPILE, FaultKind::Panic, 13)
+            .rule(STORE_INTERN, FaultKind::AllocCap(1 << 22), 1)
+    }
+}
+
+/// Outcome of an I/O seam ([`io_point`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// The write/fsync should fail with an injected error.
+    Error,
+    /// Only a prefix of the buffer should be written.
+    Short,
+}
+
+#[cfg(feature = "chaos")]
+mod active {
+    use super::{FaultKind, FaultPlan, IoFault};
+    use std::sync::Mutex;
+
+    struct Active {
+        plan: FaultPlan,
+        /// Per-rule visit counters (a rule only counts visits to its own
+        /// site, so schedules at one seam are independent of traffic at
+        /// the others).
+        counters: Vec<u64>,
+        injected: u64,
+    }
+
+    static STATE: Mutex<Option<Active>> = Mutex::new(None);
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Installs `plan` as the process-global fault schedule, resetting
+    /// all visit counters.
+    pub fn install(plan: FaultPlan) {
+        let counters = vec![0; plan.rules.len()];
+        *STATE.lock().unwrap_or_else(|e| e.into_inner()) = Some(Active {
+            plan,
+            counters,
+            injected: 0,
+        });
+    }
+
+    /// Removes the installed plan (all seams become no-ops again).
+    pub fn uninstall() {
+        *STATE.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Seed of the installed plan, if any.
+    pub fn installed_seed() -> Option<u64> {
+        STATE
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|a| a.plan.seed)
+    }
+
+    /// Total faults injected since the plan was installed.
+    pub fn injected() -> u64 {
+        STATE
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map_or(0, |a| a.injected)
+    }
+
+    /// Draws at `site`, returning the first firing rule's kind. `weight`
+    /// feeds [`FaultKind::AllocCap`] rules (which fire deterministically
+    /// on weight, not on the draw).
+    fn fire(site: &str, weight: Option<u64>) -> Option<FaultKind> {
+        let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+        let active = guard.as_mut()?;
+        let site_hash = fnv1a(site);
+        let seed = active.plan.seed;
+        let mut hit = None;
+        for (i, rule) in active.plan.rules.iter().enumerate() {
+            if rule.site != site {
+                continue;
+            }
+            let n = active.counters[i];
+            active.counters[i] += 1;
+            if hit.is_some() {
+                continue; // keep counting visits on later rules
+            }
+            let fires = match rule.kind {
+                FaultKind::AllocCap(cap) => weight.is_some_and(|w| w > cap),
+                _ => splitmix64(seed ^ site_hash ^ n).is_multiple_of(rule.period),
+            };
+            if fires {
+                hit = Some(rule.kind);
+            }
+        }
+        if hit.is_some() {
+            active.injected += 1;
+        }
+        hit
+    }
+
+    /// A plain seam: may panic or sleep.
+    pub fn point(site: &str) {
+        match fire(site, None) {
+            Some(FaultKind::Panic) => panic!("chaos[{site}]: injected panic"),
+            Some(FaultKind::Delay(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
+
+    /// An allocation seam: panics when an alloc-cap rule's cap is
+    /// exceeded by `weight` (and honours panic/delay rules too).
+    pub fn alloc_point(site: &str, weight: u64) {
+        match fire(site, Some(weight)) {
+            Some(FaultKind::AllocCap(cap)) => {
+                panic!("chaos[{site}]: alloc cap {cap} tripped (weight {weight})")
+            }
+            Some(FaultKind::Panic) => panic!("chaos[{site}]: injected panic"),
+            Some(FaultKind::Delay(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
+
+    /// An I/O seam: returns the fault the caller should emulate, if any
+    /// (panic/delay rules are honoured in place).
+    pub fn io_point(site: &str) -> Option<IoFault> {
+        match fire(site, None) {
+            Some(FaultKind::IoError) => Some(IoFault::Error),
+            Some(FaultKind::ShortWrite) => Some(IoFault::Short),
+            Some(FaultKind::Panic) => panic!("chaos[{site}]: injected panic"),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub use active::{alloc_point, injected, install, installed_seed, io_point, point, uninstall};
+
+#[cfg(not(feature = "chaos"))]
+mod inert {
+    use super::{FaultPlan, IoFault};
+
+    /// No-op without the `chaos` feature.
+    #[inline(always)]
+    pub fn install(_plan: FaultPlan) {}
+
+    /// No-op without the `chaos` feature.
+    #[inline(always)]
+    pub fn uninstall() {}
+
+    /// Always `None` without the `chaos` feature.
+    #[inline(always)]
+    pub fn installed_seed() -> Option<u64> {
+        None
+    }
+
+    /// Always zero without the `chaos` feature.
+    #[inline(always)]
+    pub fn injected() -> u64 {
+        0
+    }
+
+    /// No-op without the `chaos` feature.
+    #[inline(always)]
+    pub fn point(_site: &str) {}
+
+    /// No-op without the `chaos` feature.
+    #[inline(always)]
+    pub fn alloc_point(_site: &str, _weight: u64) {}
+
+    /// Always `None` without the `chaos` feature.
+    #[inline(always)]
+    pub fn io_point(_site: &str) -> Option<IoFault> {
+        None
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+pub use inert::{alloc_point, injected, install, installed_seed, io_point, point, uninstall};
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+
+    // The global plan is shared by every test in this binary; keep the
+    // installing tests serialized.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn schedule(seed: u64, visits: usize) -> Vec<bool> {
+        install(FaultPlan::new(seed).rule(WAL_FSYNC, FaultKind::IoError, 3));
+        let out = (0..visits).map(|_| io_point(WAL_FSYNC).is_some()).collect();
+        uninstall();
+        out
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = schedule(42, 64);
+        let b = schedule(42, 64);
+        let c = schedule(43, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(
+            a.iter().any(|&f| f),
+            "period-3 rule never fired in 64 visits"
+        );
+        assert!(!a.iter().all(|&f| f), "period-3 rule fired on every visit");
+        drop(guard);
+    }
+
+    #[test]
+    fn sites_are_independent_and_counted() {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        install(
+            FaultPlan::new(7)
+                .rule(WAL_FSYNC, FaultKind::IoError, 2)
+                .rule(WAL_WRITE, FaultKind::ShortWrite, 2),
+        );
+        let solo: Vec<bool> = (0..32).map(|_| io_point(WAL_FSYNC).is_some()).collect();
+        let n = injected();
+        assert!(n > 0);
+        install(
+            FaultPlan::new(7)
+                .rule(WAL_FSYNC, FaultKind::IoError, 2)
+                .rule(WAL_WRITE, FaultKind::ShortWrite, 2),
+        );
+        // Interleaving traffic at another site must not perturb the
+        // WAL_FSYNC stream.
+        let mixed: Vec<bool> = (0..32)
+            .map(|_| {
+                let _ = io_point(WAL_WRITE);
+                io_point(WAL_FSYNC).is_some()
+            })
+            .collect();
+        assert_eq!(solo, mixed);
+        uninstall();
+        assert_eq!(injected(), 0);
+        assert!(installed_seed().is_none());
+        drop(guard);
+    }
+
+    #[test]
+    fn alloc_cap_trips_on_weight() {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        install(FaultPlan::new(1).rule(STORE_INTERN, FaultKind::AllocCap(100), 1));
+        alloc_point(STORE_INTERN, 100); // at the cap: fine
+        let r = std::panic::catch_unwind(|| alloc_point(STORE_INTERN, 101));
+        uninstall();
+        assert!(r.is_err());
+        drop(guard);
+    }
+}

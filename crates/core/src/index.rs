@@ -159,6 +159,33 @@ impl IndexedInstance {
         Interpretation::from_store(self.store.clone())
     }
 
+    /// Rolls the instance back to its first `mark` facts, unhooking the
+    /// first-argument index tails and truncating the backing store.
+    /// The session layer pairs this with
+    /// [`FactStore::truncate`]-style marks to implement rollback points.
+    pub fn truncate(&mut self, mark: usize) {
+        if mark >= self.store.len() {
+            return;
+        }
+        for id in (mark as u32)..self.store.len() as u32 {
+            let f = self.store.fact_ref(FactId(id));
+            let (rel, first) = (f.rel, f.args.first().copied());
+            if let Some(first) = first {
+                if let Some(bucket) = self.by_rel_first.get_mut(&(rel, first)) {
+                    // Buckets are ascending in fact id, so the doomed ids
+                    // form the tail.
+                    while bucket.last().is_some_and(|&i| i >= mark as u32) {
+                        bucket.pop();
+                    }
+                    if bucket.is_empty() {
+                        self.by_rel_first.remove(&(rel, first));
+                    }
+                }
+            }
+        }
+        self.store.truncate(mark);
+    }
+
     /// Number of facts of one relation.
     pub fn rel_len(&self, rel: RelId) -> usize {
         self.store.rel_ids(rel).len()
@@ -320,6 +347,29 @@ mod tests {
             .filter(|&&i| FactLookup::fact(&plain, i).args[0] == a)
             .count();
         assert_eq!(matching, 2);
+    }
+
+    #[test]
+    fn truncate_rolls_back_first_arg_index() {
+        let (mut v, mut d) = setup();
+        let r = v.rel("R", 2);
+        let a = Term::Const(v.constant("a"));
+        let e = v.constant("e");
+        let mark = d.len();
+        d.insert(Fact::consts(r, &[v.constant("a"), e]));
+        d.insert(Fact::consts(r, &[e, e]));
+        assert_eq!(d.candidate_ids(r, Some(a)).len(), 3);
+        d.truncate(mark);
+        assert_eq!(d.len(), mark);
+        assert_eq!(d.candidate_ids(r, Some(a)).len(), 2);
+        assert_eq!(d.candidate_ids(r, Some(Term::Const(e))).len(), 0);
+        assert!(!d.contains_slice(r, &[Term::Const(e), Term::Const(e)]));
+        // Re-inserting after the rollback reindexes cleanly.
+        assert!(d.insert(Fact::consts(r, &[e, e])));
+        assert_eq!(d.candidate_ids(r, Some(Term::Const(e))).len(), 1);
+        // Truncating past the end is a no-op.
+        d.truncate(99);
+        assert_eq!(d.len(), mark + 1);
     }
 
     #[test]

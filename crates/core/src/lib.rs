@@ -34,6 +34,7 @@
 pub mod bisim;
 pub mod bitset;
 pub mod fact;
+pub mod faults;
 pub mod guarded;
 pub mod hom;
 pub mod index;

@@ -108,12 +108,14 @@ impl StoreStats {
         self.arena_terms * std::mem::size_of::<Term>() as u64
     }
 
-    /// Folds another snapshot into this one (summing every counter) —
-    /// used to aggregate storage pressure across the stores of a batch.
+    /// Folds another snapshot into this one (summing every counter,
+    /// saturating so long soak runs cannot overflow-panic in debug
+    /// builds) — used to aggregate storage pressure across the stores of
+    /// a batch.
     pub fn absorb(&mut self, other: &StoreStats) {
-        self.facts += other.facts;
-        self.arena_terms += other.arena_terms;
-        self.dedup_hits += other.dedup_hits;
+        self.facts = self.facts.saturating_add(other.facts);
+        self.arena_terms = self.arena_terms.saturating_add(other.arena_terms);
+        self.dedup_hits = self.dedup_hits.saturating_add(other.dedup_hits);
     }
 }
 
@@ -193,10 +195,14 @@ impl FactStore {
                 .iter()
                 .find(|&&id| self.rels[id as usize] == rel && self.args_of(id) == args)
             {
-                self.dedup_hits += 1;
+                self.dedup_hits = self.dedup_hits.saturating_add(1);
                 return (FactId(id), false);
             }
         }
+        crate::faults::alloc_point(
+            crate::faults::STORE_INTERN,
+            (self.arena.len() + args.len()) as u64,
+        );
         let id = self.rels.len() as u32;
         self.rels.push(rel);
         self.arena.extend_from_slice(args);
@@ -265,6 +271,60 @@ impl FactStore {
             arena_terms: self.arena.len() as u64,
             dedup_hits: self.dedup_hits,
         }
+    }
+
+    /// The raw columns `(rels, starts, arena)` of the store, for
+    /// serialization: `starts[i]..starts[i + 1]` is fact `i`'s argument
+    /// slice in `arena`. Hashes and indexes are derived data and are not
+    /// exposed; [`FactStore::from_columns`] rebuilds them.
+    pub fn columns(&self) -> (&[RelId], &[u32], &[Term]) {
+        (&self.rels, &self.starts, &self.arena)
+    }
+
+    /// Rebuilds a store from raw columns (the inverse of
+    /// [`FactStore::columns`]), recomputing hashes, the dedup map and the
+    /// per-relation index. Fact ids are preserved: fact `i` of the dump
+    /// is fact `i` of the rebuilt store.
+    ///
+    /// Returns an error when the columns are structurally inconsistent
+    /// (offset table malformed or not covering the arena) — the
+    /// deserialization boundary treats that as corruption, not a bug.
+    pub fn from_columns(
+        rels: Vec<RelId>,
+        starts: Vec<u32>,
+        arena: Vec<Term>,
+    ) -> Result<Self, String> {
+        if starts.len() != rels.len() + 1 {
+            return Err(format!(
+                "offset column has {} entries for {} facts",
+                starts.len(),
+                rels.len()
+            ));
+        }
+        if starts.first() != Some(&0) || *starts.last().unwrap() as usize != arena.len() {
+            return Err("offset column does not span the arena".to_owned());
+        }
+        if starts.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offset column is not monotone".to_owned());
+        }
+        let mut store = FactStore {
+            rels,
+            starts,
+            arena,
+            hashes: Vec::new(),
+            dedup: HashMap::new(),
+            by_rel: HashMap::new(),
+            dedup_hits: 0,
+        };
+        store.hashes.reserve(store.rels.len());
+        for id in 0..store.rels.len() as u32 {
+            let rel = store.rels[id as usize];
+            let h = Self::hash_fact(rel, store.args_of(id));
+            store.hashes.push(h);
+            store.dedup.entry(h).or_default().push(id);
+            store.by_rel.entry(rel).or_default().push(id);
+        }
+        Ok(store)
     }
 
     /// Rolls the store back to its first `mark` facts, releasing the
@@ -468,6 +528,40 @@ mod tests {
         // Truncating past the end is a no-op.
         s.truncate(10);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn columns_roundtrip_preserves_ids_and_indexes() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 2);
+        let s1 = v.rel("S", 1);
+        let ab = terms(&mut v, &["a", "b"]);
+        let c = terms(&mut v, &["c"]);
+        let mut s = FactStore::new();
+        let (i0, _) = s.intern(r, &ab);
+        let (i1, _) = s.intern(s1, &c);
+        let (rels, starts, arena) = s.columns();
+        let back = FactStore::from_columns(rels.to_vec(), starts.to_vec(), arena.to_vec()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup(r, &ab), Some(i0));
+        assert_eq!(back.lookup(s1, &c), Some(i1));
+        assert_eq!(back.rel_ids(r), &[0]);
+        assert_eq!(back.rel_ids(s1), &[1]);
+        // A rebuilt store dedupes against the restored facts.
+        let mut back = back;
+        let (id, new) = back.intern(r, &ab);
+        assert!(!new);
+        assert_eq!(id, i0);
+    }
+
+    #[test]
+    fn from_columns_rejects_malformed_offsets() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 1);
+        let a = terms(&mut v, &["a"]);
+        assert!(FactStore::from_columns(vec![r], vec![0], a.clone()).is_err());
+        assert!(FactStore::from_columns(vec![r], vec![0, 2], a.clone()).is_err());
+        assert!(FactStore::from_columns(vec![r, r], vec![0, 1, 0], a).is_err());
     }
 
     #[test]

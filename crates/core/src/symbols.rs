@@ -160,6 +160,14 @@ impl Vocab {
     pub fn null_count(&self) -> u32 {
         self.next_null
     }
+
+    /// Raises the null counter to at least `n` (no-op if already there).
+    /// Snapshot restore uses this to re-establish the pre-crash null
+    /// horizon, so post-recovery requests mint the same fresh nulls the
+    /// uninterrupted session would have.
+    pub fn ensure_nulls(&mut self, n: u32) {
+        self.next_null = self.next_null.max(n);
+    }
 }
 
 #[cfg(test)]

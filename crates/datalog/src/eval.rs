@@ -154,7 +154,8 @@ impl Program {
         let mut staged = FactBuf::new();
         let mut frontier = 0u32;
         loop {
-            stats.rounds += 1;
+            gomq_core::faults::point(gomq_core::faults::EVAL_ROUND);
+            stats.rounds = stats.rounds.saturating_add(1);
             staged.clear();
             // In the first round the frontier is 0, so the delta view is
             // `total` itself — no second clone of the input.
@@ -172,7 +173,7 @@ impl Program {
             if derived_now == 0 {
                 break;
             }
-            stats.derived += derived_now;
+            stats.derived = stats.derived.saturating_add(derived_now);
             budget.check(&stats)?;
         }
         stats.store = total.store_stats();

@@ -3,35 +3,56 @@
 //! Reads one JSON request object per line from stdin and writes one
 //! JSON response per line to stdout (see `gomq_engine::serve` for the
 //! protocol). Plans are cached across lines, so a stream of requests
-//! posing the same OMQ compiles it once. A final statistics summary
-//! goes to stderr at EOF.
+//! posing the same OMQ compiles it once. With `--data-dir` the session
+//! ABox (`"op": "assert"` / `"mark"` / `"rollback"`) is journaled to a
+//! write-ahead log and periodically snapshotted, so a crash — even a
+//! SIGKILL mid-write — loses at most the un-acknowledged mutation and a
+//! restart over the same directory resumes with the exact same store.
+//! A final statistics summary goes to stderr at EOF.
 //!
 //! ```text
 //! $ echo '{"ontology": "A sub B", "query": "B", "abox": "A(ada)"}' | gomq-serve
 //! {"status": "ok", "cached": false, ..., "answers": [["ada"]], ...}
 //! ```
 
-use gomq_engine::{ServeConfig, ServeSession};
-use std::io::{BufRead, Write};
+use gomq_engine::{read_line_capped, LineRead, ServeConfig, ServeSession, ServeShared};
+use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "gomq-serve — JSONL OMQ answering over stdin/stdout
 
 Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
-                  [--max-derived N] [--timeout-ms N]
+                  [--max-derived N] [--timeout-ms N] [--data-dir PATH]
+                  [--snapshot-every N] [--fsync] [--quarantine-after N]
+                  [--max-line-bytes N] [--chaos-seed N]
 
-  --threads N      worker threads for evaluation (default: all cores)
-  --cache N        plan-cache capacity; older plans are LRU-evicted
-  --max-rounds N   per-request fixpoint-round ceiling
-  --max-derived N  per-request derived-fact ceiling (per ABox in a batch)
-  --timeout-ms N   per-request wall-clock deadline in milliseconds
+  --threads N          worker threads for evaluation (default: all cores)
+  --cache N            plan-cache capacity; older plans are LRU-evicted
+  --max-rounds N       per-request fixpoint-round ceiling
+  --max-derived N      per-request derived-fact ceiling (per ABox in a batch)
+  --timeout-ms N       per-request wall-clock deadline in milliseconds
+  --data-dir PATH      persist the session ABox: WAL + snapshots in PATH,
+                       recovered on startup (exact pre-crash store)
+  --snapshot-every N   snapshot after N journaled mutations (default 64;
+                       0 disables periodic snapshots)
+  --fsync              fsync the WAL after every journaled record
+  --quarantine-after N open a plan's circuit breaker after N evaluation
+                       failures (default 3; 0 disables quarantine)
+  --max-line-bytes N   refuse request lines longer than N bytes as
+                       \"malformed\" (default 16777216)
+  --chaos-seed N       install the standard deterministic fault plan with
+                       seed N (needs a build with the `chaos` feature)
 
 Each stdin line is a JSON object:
   {\"ontology\": \"<dl axioms>\", \"query\": \"<relation>\", \"abox\": \"<facts>\"}
 with optional \"id\", optional \"limits\" ({\"max_rounds\", \"max_derived\",
 \"timeout_ms\"}; clamped by the session limits above) and, instead of
-\"abox\", a batched \"aboxes\": [\"<facts>\", ...]. One JSON response per
-line on stdout; a blown limit answers {\"status\": \"overloaded\", ...}.
+\"abox\", a batched \"aboxes\": [\"<facts>\", ...] or \"session\": true to
+query the session store. Session mutations: {\"op\": \"assert\", \"abox\":
+...}, {\"op\": \"mark\"}, {\"op\": \"rollback\", \"mark\": N}. One JSON
+response per line on stdout; a blown limit answers {\"status\":
+\"overloaded\", ...}, a quarantined plan {\"status\": \"quarantined\", ...}.
 ";
 
 fn numeric(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
@@ -45,6 +66,7 @@ fn numeric(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 
 fn main() {
     let mut config = ServeConfig::default();
+    let mut chaos_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,28 +86,78 @@ fn main() {
                 config.limits.timeout =
                     Some(Duration::from_millis(numeric(&mut args, "--timeout-ms")))
             }
+            "--data-dir" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--data-dir needs a path");
+                    std::process::exit(2);
+                });
+                config.data_dir = Some(path.into());
+            }
+            "--snapshot-every" => config.snapshot_every = numeric(&mut args, "--snapshot-every"),
+            "--fsync" => config.fsync = true,
+            "--quarantine-after" => {
+                config.quarantine_after = numeric(&mut args, "--quarantine-after") as u32
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = numeric(&mut args, "--max-line-bytes").max(1) as usize
+            }
+            "--chaos-seed" => chaos_seed = Some(numeric(&mut args, "--chaos-seed")),
             other => {
                 eprintln!("unknown argument: {other}\n\n{USAGE}");
                 std::process::exit(2);
             }
         }
     }
-    let mut session = ServeSession::with_config(config);
+    if let Some(seed) = chaos_seed {
+        if cfg!(feature = "chaos") {
+            gomq_engine::faults::install_standard(seed);
+            eprintln!("gomq-serve: chaos plan installed (seed {seed})");
+        } else {
+            eprintln!("gomq-serve: --chaos-seed ignored (built without the chaos feature)");
+        }
+    }
+    let (shared, recovery) = match ServeShared::try_with_config(config) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("gomq-serve: cannot open data dir: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(info) = recovery {
+        eprintln!(
+            "gomq-serve: recovered session: {} facts from snapshot, {} WAL records \
+             replayed ({} facts){}",
+            info.snapshot_facts,
+            info.replayed_records,
+            info.replayed_facts,
+            if info.truncated_tail {
+                ", torn WAL tail truncated"
+            } else {
+                ""
+            },
+        );
+    }
+    let max_line = shared.max_line_bytes();
+    let mut session = ServeSession::with_shared(Arc::new(shared));
     let stdin = std::io::stdin();
+    let mut input = stdin.lock();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
+    loop {
+        let response = match read_line_capped(&mut input, max_line) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                session.handle_line(&line)
+            }
+            Ok(LineRead::TooLong { limit }) => session.refuse_oversized_line(limit),
             Err(e) => {
                 eprintln!("stdin error: {e}");
                 break;
             }
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = session.handle_line(&line);
         if writeln!(out, "{response}")
             .and_then(|()| out.flush())
             .is_err()
@@ -97,7 +169,9 @@ fn main() {
     eprintln!(
         "gomq-serve: {} requests, {} cache hits / {} misses, {} rounds, \
          {} facts derived, compile {:?}, eval {:?}, {} cached plans \
-         ({} evicted, {} in-flight waits), {} overloaded, {} panics isolated",
+         ({} evicted, {} in-flight waits), {} overloaded, {} panics isolated, \
+         {} WAL records ({} bytes), {} snapshots, {} quarantined \
+         ({} breakers tripped), {} faults injected",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
@@ -110,5 +184,11 @@ fn main() {
         stats.inflight_waits,
         stats.overloaded,
         stats.panics,
+        stats.wal_records,
+        stats.wal_bytes,
+        stats.snapshots,
+        stats.quarantined,
+        stats.breaker_trips,
+        stats.faults_injected,
     );
 }

@@ -201,6 +201,7 @@ impl PlanCache {
         // Leader path: compile outside the cache lock (the vocab lock is
         // held only for the compilation itself), with panic isolation.
         let compiled = catch_unwind(AssertUnwindSafe(|| {
+            gomq_core::faults::point(gomq_core::faults::CACHE_COMPILE);
             let mut v = lock_recover(vocab);
             OmqPlan::compile(o, query, &mut v)
         }));

@@ -7,9 +7,18 @@ use crate::stats::{EngineStats, RequestStats};
 use gomq_core::{IndexedInstance, Instance, RelId, Term, Vocab};
 use gomq_datalog::Budget;
 use gomq_logic::GfOntology;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Per-plan circuit-breaker state: consecutive evaluation failures and
+/// whether the breaker has latched open.
+#[derive(Clone, Copy, Debug, Default)]
+struct Breaker {
+    failures: u32,
+    open: bool,
+}
 
 /// Per-ABox answer sets (input order) plus one aggregate
 /// [`RequestStats`] — the result of a batch evaluation.
@@ -27,6 +36,13 @@ pub struct Engine {
     cache: PlanCache,
     threads: usize,
     stats: Mutex<EngineStats>,
+    /// Plan key → breaker state. A plan whose evaluation fails
+    /// (panics or blows its budget) `quarantine_after` times is refused
+    /// further evaluation ([`EngineError::Quarantined`]); the breaker is
+    /// sticky for the engine's lifetime.
+    breakers: Mutex<HashMap<u64, Breaker>>,
+    /// Failures before a plan's breaker opens; 0 disables quarantine.
+    quarantine_after: AtomicU32,
 }
 
 impl Default for Engine {
@@ -55,6 +71,59 @@ impl Engine {
             cache,
             threads: threads.max(1),
             stats: Mutex::new(EngineStats::default()),
+            breakers: Mutex::new(HashMap::new()),
+            quarantine_after: AtomicU32::new(0),
+        }
+    }
+
+    /// Sets how many evaluation failures open a plan's circuit breaker
+    /// (0 disables quarantine — the default for directly constructed
+    /// engines; the serving layer enables it).
+    pub fn set_quarantine_after(&self, n: u32) {
+        self.quarantine_after.store(n, Ordering::Relaxed);
+    }
+
+    /// Checks the plan's circuit breaker before evaluation. Returns the
+    /// failure count if the breaker is open (the request must be refused
+    /// with [`EngineError::Quarantined`]); counts the refusal.
+    pub fn quarantine_reject(&self, key: u64) -> Option<u32> {
+        let b = *lock_recover(&self.breakers).get(&key)?;
+        if !b.open {
+            return None;
+        }
+        let mut stats = lock_recover(&self.stats);
+        stats.quarantined = stats.quarantined.saturating_add(1);
+        Some(b.failures)
+    }
+
+    /// Attributes one evaluation failure (panic or blown budget) to a
+    /// plan. Returns `true` if this failure tripped the breaker open.
+    pub fn record_eval_failure(&self, key: u64) -> bool {
+        let threshold = self.quarantine_after.load(Ordering::Relaxed);
+        if threshold == 0 {
+            return false;
+        }
+        let mut breakers = lock_recover(&self.breakers);
+        let b = breakers.entry(key).or_default();
+        b.failures = b.failures.saturating_add(1);
+        if !b.open && b.failures >= threshold {
+            b.open = true;
+            drop(breakers);
+            let mut stats = lock_recover(&self.stats);
+            stats.breaker_trips = stats.breaker_trips.saturating_add(1);
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful evaluation: resets the plan's failure count
+    /// unless its breaker already latched open (quarantine is sticky).
+    pub fn record_eval_success(&self, key: u64) {
+        let mut breakers = lock_recover(&self.breakers);
+        if let Some(b) = breakers.get_mut(&key) {
+            if !b.open {
+                b.failures = 0;
+            }
         }
     }
 
@@ -135,7 +204,7 @@ impl Engine {
                 Ok((answers, stats))
             }
             Err(e) => {
-                lock_recover(&self.stats).overloaded += 1;
+                self.record_overloaded();
                 Err(EngineError::Overloaded(e))
             }
         }
@@ -209,7 +278,7 @@ impl Engine {
                 Ok((answers, stats))
             }
             Err(e) => {
-                lock_recover(&self.stats).overloaded += 1;
+                self.record_overloaded();
                 Err(EngineError::Overloaded(e))
             }
         }
@@ -223,19 +292,53 @@ impl Engine {
         snap.cache_evictions = self.cache.evictions();
         snap.inflight_waits = self.cache.inflight_waits();
         snap.cache_size = self.cache.len() as u64;
+        snap.faults_injected = gomq_core::faults::injected();
         snap
     }
 
     /// Folds externally measured compile time into the totals (used by
     /// the serving layer, which times [`Engine::plan`] per request).
     pub fn record_compile(&self, elapsed: std::time::Duration) {
-        lock_recover(&self.stats).compile_time += elapsed;
+        let mut stats = lock_recover(&self.stats);
+        stats.compile_time = stats.compile_time.saturating_add(elapsed);
     }
 
     /// Records one isolated panic (caught by the serving layer's
     /// `catch_unwind` fence).
     pub fn record_panic(&self) {
-        lock_recover(&self.stats).panics += 1;
+        let mut stats = lock_recover(&self.stats);
+        stats.panics = stats.panics.saturating_add(1);
+    }
+
+    /// Records a request refused at admission or aborted mid-evaluation
+    /// because its budget was already (or became) exhausted.
+    pub fn record_overloaded(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.overloaded = stats.overloaded.saturating_add(1);
+    }
+
+    /// Records journaled WAL activity (records and frame bytes).
+    pub fn record_wal(&self, records: u64, bytes: u64) {
+        let mut stats = lock_recover(&self.stats);
+        stats.wal_records = stats.wal_records.saturating_add(records);
+        stats.wal_bytes = stats.wal_bytes.saturating_add(bytes);
+    }
+
+    /// Records one snapshot written.
+    pub fn record_snapshot(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.snapshots = stats.snapshots.saturating_add(1);
+    }
+
+    /// Records what startup recovery rebuilt from the data directory.
+    pub fn record_recovery(&self, info: &crate::session::RecoveryInfo) {
+        let mut stats = lock_recover(&self.stats);
+        stats.recovered_records = stats
+            .recovered_records
+            .saturating_add(info.replayed_records);
+        stats.recovered_facts = stats
+            .recovered_facts
+            .saturating_add(info.snapshot_facts.saturating_add(info.replayed_facts));
     }
 }
 
@@ -308,6 +411,39 @@ mod tests {
         let snap = engine.stats();
         assert_eq!(snap.typed_requests, 1);
         assert_eq!(snap.type_stats.elements, 2);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_is_sticky() {
+        let engine = Engine::with_threads(1);
+        engine.set_quarantine_after(3);
+        let key = 0xfeed;
+        assert_eq!(engine.quarantine_reject(key), None);
+        assert!(!engine.record_eval_failure(key));
+        assert!(!engine.record_eval_failure(key));
+        // A success between failures resets the count.
+        engine.record_eval_success(key);
+        assert!(!engine.record_eval_failure(key));
+        assert!(!engine.record_eval_failure(key));
+        assert!(engine.record_eval_failure(key));
+        assert_eq!(engine.quarantine_reject(key), Some(3));
+        // Sticky: success after the trip does not close the breaker.
+        engine.record_eval_success(key);
+        assert!(engine.quarantine_reject(key).is_some());
+        let snap = engine.stats();
+        assert_eq!(snap.breaker_trips, 1);
+        assert_eq!(snap.quarantined, 2);
+        // Other plans are unaffected.
+        assert_eq!(engine.quarantine_reject(0xbeef), None);
+    }
+
+    #[test]
+    fn quarantine_disabled_by_default() {
+        let engine = Engine::with_threads(1);
+        for _ in 0..100 {
+            assert!(!engine.record_eval_failure(7));
+        }
+        assert_eq!(engine.quarantine_reject(7), None);
     }
 
     #[test]

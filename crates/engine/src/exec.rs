@@ -272,11 +272,12 @@ fn fixpoint_stratum(
     // delta view starts at id 0 (the whole saturated total). The pass is
     // complete for the stratum's inputs because earlier strata are
     // already saturated.
-    stats.rounds += 1;
+    gomq_core::faults::point(gomq_core::faults::EVAL_ROUND);
+    stats.rounds = stats.rounds.saturating_add(1);
     let mut staged = FactBuf::new();
     parallel_round(&stratum.rules, total, 0, threads, &mut staged);
     let mut frontier = total.len() as u32;
-    stats.derived += absorb(&staged, total);
+    stats.derived = stats.derived.saturating_add(absorb(&staged, total));
     if !stratum.recursive {
         // Heads never feed bodies within this stratum: one pass is the
         // fixpoint, skip the would-be-empty confirmation round.
@@ -284,11 +285,12 @@ fn fixpoint_stratum(
     }
     while (frontier as usize) < total.len() {
         budget.check(stats)?;
-        stats.rounds += 1;
+        gomq_core::faults::point(gomq_core::faults::EVAL_ROUND);
+        stats.rounds = stats.rounds.saturating_add(1);
         staged.clear();
         parallel_round(&stratum.rules, total, frontier, threads, &mut staged);
         frontier = total.len() as u32;
-        stats.derived += absorb(&staged, total);
+        stats.derived = stats.derived.saturating_add(absorb(&staged, total));
     }
     Ok(())
 }

@@ -1,0 +1,15 @@
+//! Deterministic fault injection, re-exported from `gomq_core::faults`.
+//!
+//! The injection machinery lives in the core crate so every layer
+//! (store interning, Datalog rounds, WAL I/O) can place seams without a
+//! dependency cycle; the engine re-exports it here so the serve binary
+//! and the chaos harness have a single import path. All entry points
+//! compile to inlined no-ops unless the `chaos` cargo feature is on.
+
+pub use gomq_core::faults::*;
+
+/// Installs the standard chaos plan (see [`FaultPlan::standard`]) for
+/// the given seed. The serve binary calls this for `--chaos-seed`.
+pub fn install_standard(seed: u64) {
+    install(FaultPlan::standard(seed));
+}

@@ -43,10 +43,13 @@
 pub mod cache;
 pub mod engine;
 pub mod exec;
+pub mod faults;
 pub mod json;
 pub mod plan;
 pub mod serve;
+pub mod session;
 pub mod stats;
+pub mod wal;
 
 pub use cache::{PlanCache, PlanOutcome};
 pub use engine::Engine;
@@ -56,5 +59,7 @@ pub use exec::{
 };
 pub use gomq_datalog::{Budget, BudgetExceeded, LimitKind};
 pub use plan::{EngineError, OmqPlan};
-pub use serve::{Limits, ServeConfig, ServeSession, ServeShared};
+pub use serve::{read_line_capped, Limits, LineRead, ServeConfig, ServeSession, ServeShared};
+pub use session::{DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError};
 pub use stats::{EngineStats, RequestStats};
+pub use wal::{SymFact, SymTerm, Wal, WalRecord};

@@ -46,6 +46,19 @@ pub enum EngineError {
     /// A panic was caught and isolated (compilation or evaluation); the
     /// payload is the panic message. The session stays healthy.
     Internal(String),
+    /// The plan's circuit breaker is open: evaluation failed (panicked
+    /// or blew its budget) this many times, so the engine refuses to
+    /// evaluate it again. The serving layer reports
+    /// `"status": "quarantined"`.
+    Quarantined(u32),
+    /// The request violated the transport framing (e.g. a line past the
+    /// configured byte cap). The serving layer reports
+    /// `"status": "malformed"` — distinct from [`EngineError::BadRequest`]
+    /// so operators can tell protocol abuse from bad payloads.
+    Malformed(String),
+    /// Session persistence failed (WAL append, snapshot, recovery). The
+    /// mutation was not applied; queries keep working.
+    Persist(String),
 }
 
 impl fmt::Display for EngineError {
@@ -57,6 +70,11 @@ impl fmt::Display for EngineError {
             EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             EngineError::Overloaded(e) => write!(f, "overloaded: {e}"),
             EngineError::Internal(msg) => write!(f, "internal error (panic isolated): {msg}"),
+            EngineError::Quarantined(n) => {
+                write!(f, "plan quarantined after {n} evaluation failures")
+            }
+            EngineError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            EngineError::Persist(msg) => write!(f, "persistence error: {msg}"),
         }
     }
 }
@@ -66,6 +84,17 @@ impl std::error::Error for EngineError {}
 impl From<RewriteError> for EngineError {
     fn from(e: RewriteError) -> Self {
         EngineError::NotRewritable(e)
+    }
+}
+
+impl From<crate::session::SessionError> for EngineError {
+    fn from(e: crate::session::SessionError) -> Self {
+        match e {
+            crate::session::SessionError::UnknownMark(id) => {
+                EngineError::BadRequest(format!("unknown mark {id}"))
+            }
+            other => EngineError::Persist(other.to_string()),
+        }
     }
 }
 

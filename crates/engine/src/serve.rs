@@ -38,19 +38,48 @@
 //! ABox constants interned while serving a request are rolled back once
 //! no request is in flight, so a long-lived session's [`Vocab`] does not
 //! grow with the ABoxes it has seen (plans keep only relation ids, which
-//! are never rolled back).
+//! are never rolled back). Constants asserted into the durable session
+//! raise the rollback floor instead — session facts must keep their
+//! names.
+//!
+//! ## Session mutations
+//!
+//! Besides (the default) `"op": "query"`, a request can mutate the
+//! session-resident ABox: `{"op": "assert", "abox": "..."}` adds facts,
+//! `{"op": "mark"}` takes a rollback point, `{"op": "rollback", "mark":
+//! n}` truncates back to one. Queries evaluate against the session store
+//! with `"session": true` in place of `"abox"`. When the session was
+//! opened with a data directory ([`ServeConfig::data_dir`]), every
+//! mutation is journaled to a write-ahead log *before* it is applied
+//! ([`crate::session::DurableSession`]) and periodically folded into a
+//! snapshot, so a crash at any instant loses at most the un-acked
+//! record.
+//!
+//! ## Failure containment
+//!
+//! A plan whose *evaluation* keeps failing (panics or blown budgets,
+//! [`ServeConfig::quarantine_after`] times) has its circuit breaker
+//! latched open and answers `"status": "quarantined"` from then on. A
+//! request whose deadline is already expired at admission is refused as
+//! `"overloaded"` without entering the executor. Input lines beyond
+//! [`ServeConfig::max_line_bytes`] are refused as `"status":
+//! "malformed"` without being buffered in full ([`read_line_capped`]).
 
 use crate::cache::{lock_recover, panic_message, PlanCache};
 use crate::engine::Engine;
 use crate::json::{self, Json};
 use crate::plan::EngineError;
-use gomq_core::{IndexedInstance, Term, Vocab};
-use gomq_datalog::Budget;
+use crate::session::{DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError};
+use crate::wal::SymFact;
+use gomq_core::{Fact, IndexedInstance, Term, Vocab};
+use gomq_datalog::{Budget, BudgetExceeded, LimitKind};
 use gomq_dl::parser::parse_ontology;
 use gomq_dl::translate::to_gf;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::io::BufRead;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -94,7 +123,7 @@ impl Limits {
 }
 
 /// Configuration for a serving session.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads for evaluation (1 = sequential).
     pub threads: usize,
@@ -102,7 +131,23 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Session-wide default limits (requests can only tighten them).
     pub limits: Limits,
+    /// Data directory for crash-consistent session persistence (WAL +
+    /// snapshots). `None` keeps the session in memory.
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot after this many journaled mutations (0 = never).
+    pub snapshot_every: u64,
+    /// fsync the WAL after every journaled record.
+    pub fsync: bool,
+    /// Evaluation failures (panics or blown budgets) before a plan's
+    /// circuit breaker opens and it answers `"quarantined"`; 0 disables.
+    pub quarantine_after: u32,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// refused as `"malformed"` without being buffered in full.
+    pub max_line_bytes: usize,
 }
+
+/// Default request-line cap: 16 MiB.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 16 << 20;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -110,6 +155,11 @@ impl Default for ServeConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_capacity: crate::cache::DEFAULT_CAPACITY,
             limits: Limits::default(),
+            data_dir: None,
+            snapshot_every: 64,
+            fsync: false,
+            quarantine_after: 3,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         }
     }
 }
@@ -130,21 +180,56 @@ pub struct ServeShared {
     engine: Engine,
     vocab: Mutex<Vocab>,
     scope: Mutex<ConstScope>,
+    session: Mutex<DurableSession>,
     limits: Limits,
+    max_line_bytes: usize,
 }
 
 impl ServeShared {
-    /// Shared state per `config`.
+    /// Shared state per `config`. Panics if recovery from
+    /// [`ServeConfig::data_dir`] fails; use
+    /// [`ServeShared::try_with_config`] to handle corruption.
     pub fn with_config(config: ServeConfig) -> Self {
-        ServeShared {
-            engine: Engine::with_cache(
-                config.threads,
-                PlanCache::with_capacity(config.cache_capacity),
-            ),
-            vocab: Mutex::new(Vocab::new()),
-            scope: Mutex::new(ConstScope::default()),
-            limits: config.limits,
-        }
+        Self::try_with_config(config)
+            .expect("session recovery failed")
+            .0
+    }
+
+    /// Shared state per `config`, recovering the durable session from
+    /// the data directory when one is configured. Returns what recovery
+    /// rebuilt (`None` when the session is in-memory).
+    pub fn try_with_config(
+        config: ServeConfig,
+    ) -> Result<(Self, Option<RecoveryInfo>), SessionError> {
+        let engine = Engine::with_cache(
+            config.threads,
+            PlanCache::with_capacity(config.cache_capacity),
+        );
+        engine.set_quarantine_after(config.quarantine_after);
+        let mut vocab = Vocab::new();
+        let (session, recovery) = match &config.data_dir {
+            Some(dir) => {
+                let opts = PersistOptions {
+                    fsync: config.fsync,
+                    snapshot_every: config.snapshot_every,
+                };
+                let (s, info) = DurableSession::open(dir, opts, &mut vocab)?;
+                engine.record_recovery(&info);
+                (s, Some(info))
+            }
+            None => (DurableSession::in_memory(), None),
+        };
+        Ok((
+            ServeShared {
+                engine,
+                vocab: Mutex::new(vocab),
+                scope: Mutex::new(ConstScope::default()),
+                session: Mutex::new(session),
+                limits: config.limits,
+                max_line_bytes: config.max_line_bytes,
+            },
+            recovery,
+        ))
     }
 
     /// Shared state around an existing engine (used by tests to inject a
@@ -154,13 +239,20 @@ impl ServeShared {
             engine,
             vocab: Mutex::new(Vocab::new()),
             scope: Mutex::new(ConstScope::default()),
+            session: Mutex::new(DurableSession::in_memory()),
             limits,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         }
     }
 
     /// The underlying engine (for statistics inspection).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The configured request-line byte cap.
+    pub fn max_line_bytes(&self) -> usize {
+        self.max_line_bytes
     }
 }
 
@@ -244,13 +336,25 @@ impl ServeSession {
                     json::write_str(&mut out, id);
                     out.push_str(", ");
                 }
-                if let EngineError::Overloaded(be) = &e {
-                    out.push_str("\"status\": \"overloaded\", \"error\": ");
-                    json::write_str(&mut out, &format!("{e}"));
-                    let _ = write!(out, ", \"limit\": \"{}\"", be.limit.name());
-                } else {
-                    out.push_str("\"status\": \"error\", \"error\": ");
-                    json::write_str(&mut out, &format!("{e}"));
+                match &e {
+                    EngineError::Overloaded(be) => {
+                        out.push_str("\"status\": \"overloaded\", \"error\": ");
+                        json::write_str(&mut out, &format!("{e}"));
+                        let _ = write!(out, ", \"limit\": \"{}\"", be.limit.name());
+                    }
+                    EngineError::Quarantined(n) => {
+                        out.push_str("\"status\": \"quarantined\", \"error\": ");
+                        json::write_str(&mut out, &format!("{e}"));
+                        let _ = write!(out, ", \"failures\": {n}");
+                    }
+                    EngineError::Malformed(_) => {
+                        out.push_str("\"status\": \"malformed\", \"error\": ");
+                        json::write_str(&mut out, &format!("{e}"));
+                    }
+                    _ => {
+                        out.push_str("\"status\": \"error\", \"error\": ");
+                        json::write_str(&mut out, &format!("{e}"));
+                    }
                 }
                 out.push('}');
                 out
@@ -342,6 +446,26 @@ impl ServeSession {
         obj: &std::collections::BTreeMap<String, Json>,
         id: Option<&str>,
     ) -> Result<String, EngineError> {
+        match obj.get("op") {
+            None => self.run_query(obj, id),
+            Some(op) => match op.as_str() {
+                Some("query") => self.run_query(obj, id),
+                Some("assert") => self.run_assert(obj, id),
+                Some("mark") => self.run_mark(id),
+                Some("rollback") => self.run_rollback(obj, id),
+                Some(other) => Err(EngineError::BadRequest(format!(
+                    "unknown op \"{other}\" (expected query, assert, mark, rollback)"
+                ))),
+                None => Err(EngineError::BadRequest("\"op\" must be a string".into())),
+            },
+        }
+    }
+
+    fn run_query(
+        &mut self,
+        obj: &std::collections::BTreeMap<String, Json>,
+        id: Option<&str>,
+    ) -> Result<String, EngineError> {
         let field = |name: &str| -> Result<&str, EngineError> {
             obj.get(name)
                 .and_then(Json::as_str)
@@ -353,6 +477,17 @@ impl ServeSession {
             .limits
             .clamp(&self.request_limits(obj)?)
             .budget_from_now();
+        // Admission control: a request whose deadline has already passed
+        // must not enter the executor at all — it would only burn a
+        // worker to discover the same verdict.
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shared.engine.record_overloaded();
+            return Err(EngineError::Overloaded(BudgetExceeded {
+                limit: LimitKind::Deadline,
+                rounds: 0,
+                derived: 0,
+            }));
+        }
         let (o, query) = {
             let mut vocab = lock_recover(&self.shared.vocab);
             let dl = parse_ontology(ontology_text, &mut vocab)
@@ -374,7 +509,7 @@ impl ServeSession {
         self.shared.engine.record_compile(compile_elapsed);
         let plan = plan?;
 
-        // One ABox or a batch of ABoxes.
+        // One ABox, a batch of ABoxes, or the session-resident store.
         let parse_abox = |text: &str| -> Result<IndexedInstance, EngineError> {
             let mut vocab = lock_recover(&self.shared.vocab);
             let d = gomq_core::parse::parse_instance(text, &mut vocab)
@@ -383,7 +518,19 @@ impl ServeSession {
             // copies the fact columns.
             Ok(IndexedInstance::from_instance(d))
         };
-        let (payload, stats) = if let Some(texts) = obj.get("aboxes") {
+        enum Input {
+            One(Box<IndexedInstance>),
+            Batch(Vec<IndexedInstance>),
+        }
+        let session_query = matches!(obj.get("session"), Some(Json::Bool(true)));
+        let input = if session_query {
+            if obj.contains_key("abox") || obj.contains_key("aboxes") {
+                return Err(EngineError::BadRequest(
+                    "\"session\": true cannot be combined with \"abox\"/\"aboxes\"".into(),
+                ));
+            }
+            Input::One(Box::new(lock_recover(&self.shared.session).clone_store()))
+        } else if let Some(texts) = obj.get("aboxes") {
             let texts = texts.as_arr().ok_or_else(|| {
                 EngineError::BadRequest("\"aboxes\" must be an array of strings".into())
             })?;
@@ -393,28 +540,60 @@ impl ServeSession {
                     EngineError::BadRequest("\"aboxes\" must be an array of strings".into())
                 })?)?);
             }
-            let (batches, stats) = self
-                .shared
-                .engine
-                .answer_batch_budgeted(&plan, &aboxes, &budget)?;
-            let mut payload = String::from("\"batches\": [");
-            for (i, answers) in batches.iter().enumerate() {
-                if i > 0 {
-                    payload.push_str(", ");
-                }
-                self.write_answers(&mut payload, answers);
-            }
-            payload.push(']');
-            (payload, stats)
+            Input::Batch(aboxes)
         } else {
-            let abox = parse_abox(field("abox")?)?;
-            let (answers, stats) = self
-                .shared
-                .engine
-                .answer_indexed_budgeted(&plan, &abox, &budget)?;
-            let mut payload = String::from("\"answers\": ");
-            self.write_answers(&mut payload, &answers);
-            (payload, stats)
+            Input::One(Box::new(parse_abox(field("abox")?)?))
+        };
+
+        // Circuit breaker: a plan that keeps failing evaluation is
+        // refused before it can burn another budget.
+        if let Some(n) = self.shared.engine.quarantine_reject(plan.key) {
+            return Err(EngineError::Quarantined(n));
+        }
+        // Evaluate with failures (blown budgets and panics, not bad
+        // requests) attributed to this plan's breaker.
+        let engine = &self.shared.engine;
+        let evaluated = catch_unwind(AssertUnwindSafe(|| match &input {
+            Input::One(abox) => {
+                engine
+                    .answer_indexed_budgeted(&plan, abox, &budget)
+                    .map(|(answers, stats)| {
+                        let mut payload = String::from("\"answers\": ");
+                        self.write_answers(&mut payload, &answers);
+                        (payload, stats)
+                    })
+            }
+            Input::Batch(aboxes) => {
+                engine
+                    .answer_batch_budgeted(&plan, aboxes, &budget)
+                    .map(|(batches, stats)| {
+                        let mut payload = String::from("\"batches\": [");
+                        for (i, answers) in batches.iter().enumerate() {
+                            if i > 0 {
+                                payload.push_str(", ");
+                            }
+                            self.write_answers(&mut payload, answers);
+                        }
+                        payload.push(']');
+                        (payload, stats)
+                    })
+            }
+        }));
+        let (payload, stats) = match evaluated {
+            Ok(Ok(ok)) => {
+                engine.record_eval_success(plan.key);
+                ok
+            }
+            Ok(Err(e)) => {
+                if matches!(e, EngineError::Overloaded(_)) {
+                    engine.record_eval_failure(plan.key);
+                }
+                return Err(e);
+            }
+            Err(panic) => {
+                engine.record_eval_failure(plan.key);
+                std::panic::resume_unwind(panic)
+            }
         };
 
         let mut out = String::from("{");
@@ -439,13 +618,160 @@ impl ServeSession {
             stats.derived,
             cached,
         );
+        self.engine_block(&mut out);
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Handles `{"op": "assert", "abox": "..."}`: journal the batch to
+    /// the WAL (when durable), apply it to the session store, and
+    /// snapshot if the policy says so.
+    fn run_assert(
+        &mut self,
+        obj: &std::collections::BTreeMap<String, Json>,
+        id: Option<&str>,
+    ) -> Result<String, EngineError> {
+        let text = obj
+            .get("abox")
+            .and_then(Json::as_str)
+            .ok_or_else(|| EngineError::BadRequest("missing string field \"abox\"".into()))?;
+        // Parse and symbolize under the vocab lock; the symbolic copy is
+        // what the WAL journals (names survive constant-table shifts).
+        let (facts, syms, const_floor) = {
+            let mut vocab = lock_recover(&self.shared.vocab);
+            let d = gomq_core::parse::parse_instance(text, &mut vocab)
+                .map_err(|e| EngineError::BadRequest(format!("abox: {e}")))?;
+            let facts: Vec<Fact> = d.iter().map(|f| f.to_fact()).collect();
+            let syms: Vec<SymFact> = facts
+                .iter()
+                .map(|f| crate::session::sym_fact(&vocab, f.rel, &f.args))
+                .collect();
+            (facts, syms, vocab.const_mark())
+        };
+        // Session constants are durable: raise the burst's rollback
+        // floor so scope_exit never truncates names the session store
+        // still references.
+        {
+            let mut scope = lock_recover(&self.shared.scope);
+            scope.floor = scope.floor.max(const_floor);
+        }
+        let (info, snapshotted) = {
+            let mut session = lock_recover(&self.shared.session);
+            let info = session.assert(syms, &facts)?;
+            let snapshotted = self.finish_mutation(&mut session, &info);
+            (info, snapshotted)
+        };
+        let mut out = self.mutation_head(id, "assert");
+        let _ = write!(
+            out,
+            "\"added\": {}, \"facts\": {}, \"lsn\": {}, \"snapshotted\": {snapshotted}",
+            info.added, info.facts, info.lsn
+        );
+        self.engine_block(&mut out);
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Handles `{"op": "mark"}`.
+    fn run_mark(&mut self, id: Option<&str>) -> Result<String, EngineError> {
+        let (mark, info, snapshotted) = {
+            let mut session = lock_recover(&self.shared.session);
+            let (mark, info) = session.mark()?;
+            let snapshotted = self.finish_mutation(&mut session, &info);
+            (mark, info, snapshotted)
+        };
+        let mut out = self.mutation_head(id, "mark");
+        let _ = write!(
+            out,
+            "\"mark\": {mark}, \"facts\": {}, \"lsn\": {}, \"snapshotted\": {snapshotted}",
+            info.facts, info.lsn
+        );
+        self.engine_block(&mut out);
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Handles `{"op": "rollback", "mark": n}`.
+    fn run_rollback(
+        &mut self,
+        obj: &std::collections::BTreeMap<String, Json>,
+        id: Option<&str>,
+    ) -> Result<String, EngineError> {
+        let mark = match obj.get("mark") {
+            Some(Json::Num(n)) if *n >= 0.0 && n.is_finite() => *n as u64,
+            _ => {
+                return Err(EngineError::BadRequest(
+                    "\"mark\" must be a non-negative number".into(),
+                ))
+            }
+        };
+        let (info, snapshotted) = {
+            let mut session = lock_recover(&self.shared.session);
+            let info = session.rollback(mark)?;
+            let snapshotted = self.finish_mutation(&mut session, &info);
+            (info, snapshotted)
+        };
+        let mut out = self.mutation_head(id, "rollback");
+        let _ = write!(
+            out,
+            "\"mark\": {mark}, \"facts\": {}, \"lsn\": {}, \"snapshotted\": {snapshotted}",
+            info.facts, info.lsn
+        );
+        self.engine_block(&mut out);
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Accounts a journaled mutation and snapshots when due (called with
+    /// the session lock held; takes the vocab lock — session → vocab is
+    /// the one permitted nesting order). A failed snapshot is not an
+    /// error: the records are safe in the WAL and the policy retries on
+    /// the next mutation.
+    fn finish_mutation(&self, session: &mut DurableSession, info: &MutationInfo) -> bool {
+        if !session.is_durable() {
+            return false;
+        }
+        self.shared.engine.record_wal(1, info.wal_bytes);
+        if !session.snapshot_due() {
+            return false;
+        }
+        let snapshotted = {
+            let vocab = lock_recover(&self.shared.vocab);
+            session.snapshot_now(&vocab).is_ok()
+        };
+        if snapshotted {
+            self.shared.engine.record_snapshot();
+        }
+        snapshotted
+    }
+
+    /// The common `{"id": ..., "status": "ok", "op": ..., ` response
+    /// prefix of session mutations.
+    fn mutation_head(&self, id: Option<&str>, op: &str) -> String {
+        let mut out = String::from("{");
+        if let Some(id) = id {
+            out.push_str("\"id\": ");
+            json::write_str(&mut out, id);
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"status\": \"ok\", \"op\": \"{op}\", ");
+        out
+    }
+
+    /// Appends the cumulative `, "engine": {...}` totals block (field
+    /// order is part of the protocol; new counters only ever append).
+    fn engine_block(&self, out: &mut String) {
         let totals = self.shared.engine.stats();
+        let session_facts = lock_recover(&self.shared.session).len();
         let _ = write!(
             out,
             ", \"engine\": {{\"requests\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_size\": {}, \"evictions\": {}, \"inflight_waits\": {}, \
              \"overloaded\": {}, \"panics\": {}, \"facts_interned\": {}, \
-             \"arena_bytes\": {}, \"dedup_hits\": {}}}}}",
+             \"arena_bytes\": {}, \"dedup_hits\": {}, \"wal_records\": {}, \
+             \"wal_bytes\": {}, \"snapshots\": {}, \"recovered_records\": {}, \
+             \"recovered_facts\": {}, \"session_facts\": {}, \"quarantined\": {}, \
+             \"breaker_trips\": {}, \"faults_injected\": {}}}",
             totals.requests,
             totals.cache_hits,
             totals.cache_misses,
@@ -457,8 +783,28 @@ impl ServeSession {
             totals.facts_interned,
             totals.arena_bytes,
             totals.dedup_hits,
+            totals.wal_records,
+            totals.wal_bytes,
+            totals.snapshots,
+            totals.recovered_records,
+            totals.recovered_facts,
+            session_facts,
+            totals.quarantined,
+            totals.breaker_trips,
+            totals.faults_injected,
         );
-        Ok(out)
+    }
+
+    /// The structured refusal for an over-long input line (the caller
+    /// never got a parseable request, so there is no id to echo).
+    pub fn refuse_oversized_line(&self, limit: usize) -> String {
+        let mut out = String::from("{\"status\": \"malformed\", \"error\": ");
+        json::write_str(
+            &mut out,
+            &format!("request line exceeds the {limit}-byte cap"),
+        );
+        out.push('}');
+        out
     }
 
     fn write_answers(&self, out: &mut String, answers: &BTreeSet<Vec<Term>>) {
@@ -479,6 +825,75 @@ impl ServeSession {
         }
         out.push(']');
     }
+}
+
+/// One framed read from the request stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line within the byte cap (newline stripped).
+    Line(String),
+    /// The line exceeded the cap. Its bytes were *discarded as they
+    /// streamed* — an adversarial line can cost at most one buffer of
+    /// memory — and the reader is positioned after its newline, in sync
+    /// for the next request.
+    TooLong {
+        /// The configured cap the line exceeded.
+        limit: usize,
+    },
+    /// End of the stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line from `reader`, refusing (not
+/// buffering) lines longer than `max_bytes`. This is the serve binary's
+/// framing primitive: unlike [`BufRead::read_line`], a hostile
+/// gigabyte-long line cannot balloon resident memory — it is drained
+/// chunk by chunk and answered with [`LineRead::TooLong`].
+pub fn read_line_capped<R: BufRead>(reader: &mut R, max_bytes: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: deliver what we have (a final unterminated line).
+            return Ok(if overflow {
+                LineRead::TooLong { limit: max_bytes }
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                finish_line(buf)
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if !overflow {
+                buf.extend_from_slice(&chunk[..pos]);
+            }
+            reader.consume(pos + 1);
+            return Ok(if overflow || buf.len() > max_bytes {
+                LineRead::TooLong { limit: max_bytes }
+            } else {
+                finish_line(buf)
+            });
+        }
+        let n = chunk.len();
+        if !overflow {
+            buf.extend_from_slice(chunk);
+            if buf.len() > max_bytes {
+                overflow = true;
+                buf = Vec::new(); // drop, don't keep growing
+            }
+        }
+        reader.consume(n);
+    }
+}
+
+fn finish_line(mut buf: Vec<u8>) -> LineRead {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    // Invalid UTF-8 still yields a line; JSON parsing rejects it with a
+    // proper per-request error rather than killing the stream.
+    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
 }
 
 #[cfg(test)]
@@ -626,6 +1041,199 @@ mod tests {
         // The session still works afterwards.
         let good = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
         ok_field(&good, "\"status\": \"ok\"");
+    }
+
+    #[test]
+    fn session_ops_roundtrip() {
+        let mut s = ServeSession::with_threads(1);
+        let a1 = s.handle_line(r#"{"id": "a1", "op": "assert", "abox": "Manager(ada)"}"#);
+        ok_field(&a1, "\"status\": \"ok\"");
+        ok_field(&a1, "\"op\": \"assert\"");
+        ok_field(&a1, "\"added\": 1, \"facts\": 1");
+        let q1 = s.handle_line(
+            r#"{"ontology": "Manager sub Employee", "query": "Employee", "session": true}"#,
+        );
+        ok_field(&q1, r#"[["ada"]]"#);
+        let m = s.handle_line(r#"{"op": "mark"}"#);
+        ok_field(&m, "\"op\": \"mark\"");
+        ok_field(&m, "\"mark\": 0");
+        s.handle_line(r#"{"op": "assert", "abox": "Manager(bob)"}"#);
+        let q2 = s.handle_line(
+            r#"{"ontology": "Manager sub Employee", "query": "Employee", "session": true}"#,
+        );
+        ok_field(&q2, r#"[["ada"], ["bob"]]"#);
+        let rb = s.handle_line(r#"{"op": "rollback", "mark": 0}"#);
+        ok_field(&rb, "\"op\": \"rollback\"");
+        ok_field(&rb, "\"facts\": 1");
+        let q3 = s.handle_line(
+            r#"{"ontology": "Manager sub Employee", "query": "Employee", "session": true}"#,
+        );
+        ok_field(&q3, r#"[["ada"]]"#);
+        // Bad mutations are structured errors, not session killers.
+        let bad = s.handle_line(r#"{"op": "rollback", "mark": 99}"#);
+        ok_field(&bad, "unknown mark 99");
+        let unknown = s.handle_line(r#"{"op": "defragment"}"#);
+        ok_field(&unknown, "unknown op");
+        let mixed = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "session": true, "abox": "A(x)"}"#,
+        );
+        ok_field(&mixed, "cannot be combined");
+        for resp in [&a1, &q1, &m, &q2, &rb, &q3, &bad, &unknown, &mixed] {
+            assert!(crate::json::parse(resp).is_ok(), "not JSON: {resp}");
+        }
+    }
+
+    #[test]
+    fn session_constants_survive_scope_rollback() {
+        let mut s = ServeSession::with_threads(1);
+        s.handle_line(r#"{"op": "assert", "abox": "Manager(ada)"}"#);
+        // Plain per-request ABoxes still roll their constants back...
+        for i in 0..50 {
+            s.handle_line(&format!(
+                r#"{{"ontology": "A sub B", "query": "B", "abox": "A(tmp{i})"}}"#
+            ));
+        }
+        // ...but the session fact still renders its constant by name.
+        let q = s.handle_line(
+            r#"{"ontology": "Manager sub Employee", "query": "Employee", "session": true}"#,
+        );
+        ok_field(&q, r#"[["ada"]]"#);
+    }
+
+    #[test]
+    fn durable_session_recovers_across_restart() {
+        let dir = std::env::temp_dir().join(format!("gomq-serve-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServeConfig {
+            threads: 1,
+            data_dir: Some(dir.clone()),
+            snapshot_every: 2,
+            ..ServeConfig::default()
+        };
+        let q = r#"{"ontology": "Manager sub Employee", "query": "Employee", "session": true}"#;
+        let alive = {
+            let mut s = ServeSession::with_config(config());
+            s.handle_line(r#"{"op": "assert", "abox": "Manager(ada)"}"#);
+            s.handle_line(r#"{"op": "assert", "abox": "Manager(bob)\nEmployee(eve)"}"#);
+            s.handle_line(r#"{"op": "assert", "abox": "Manager(pat)"}"#);
+            s.handle_line(q)
+        };
+        ok_field(&alive, r#"[["ada"], ["bob"], ["eve"], ["pat"]]"#);
+        // "Restart": fresh shared state over the same data directory.
+        let (shared, recovery) = ServeShared::try_with_config(config()).unwrap();
+        let info = recovery.expect("a data dir was configured");
+        assert_eq!(
+            info.snapshot_facts + info.replayed_facts,
+            4,
+            "recovery must rebuild all four facts: {info:?}"
+        );
+        let mut s2 = ServeSession::with_shared(Arc::new(shared));
+        let revived = s2.handle_line(q);
+        ok_field(&revived, r#"[["ada"], ["bob"], ["eve"], ["pat"]]"#);
+        ok_field(&revived, "\"session_facts\": 4");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failing_plan_is_quarantined_but_others_serve() {
+        let mut s = ServeSession::with_config(ServeConfig {
+            threads: 1,
+            quarantine_after: 3,
+            ..ServeConfig::default()
+        });
+        let chain = "C0 sub C1\nC1 sub C2\nC2 sub C3";
+        let hot = format!(
+            r#"{{"ontology": "{chain}", "query": "C3", "abox": "C0(a)\nC0(b)\nC0(c)", "limits": {{"max_derived": 2}}}}"#
+        );
+        for _ in 0..3 {
+            let resp = s.handle_line(&hot);
+            ok_field(&resp, "\"status\": \"overloaded\"");
+        }
+        // The breaker is open now: even a request with no limits at all
+        // is refused before evaluation.
+        let blocked = s.handle_line(&format!(
+            r#"{{"id": "q", "ontology": "{chain}", "query": "C3", "abox": "C0(a)"}}"#
+        ));
+        ok_field(&blocked, "\"status\": \"quarantined\"");
+        ok_field(&blocked, "\"id\": \"q\"");
+        ok_field(&blocked, "quarantined after 3 evaluation failures");
+        assert!(crate::json::parse(&blocked).is_ok());
+        // A different OMQ is unaffected.
+        let other = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        ok_field(&other, "\"status\": \"ok\"");
+        let stats = s.engine().stats();
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.quarantined, 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_at_admission() {
+        let mut s = ServeSession::with_threads(1);
+        // Warm the plan so the rounds counter below isolates evaluation.
+        s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        let rounds_before = s.engine().stats().rounds;
+        // Far more expired requests than the quarantine threshold: none
+        // may enter the executor or count against the plan's breaker.
+        for _ in 0..10 {
+            let resp = s.handle_line(
+                r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)", "limits": {"timeout_ms": 0}}"#,
+            );
+            ok_field(&resp, "\"status\": \"overloaded\"");
+            ok_field(&resp, "\"limit\": \"deadline\"");
+        }
+        assert_eq!(s.engine().stats().rounds, rounds_before);
+        assert_eq!(s.engine().stats().overloaded, 10);
+        let fine = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        ok_field(&fine, "\"status\": \"ok\"");
+    }
+
+    #[test]
+    fn capped_reader_frames_and_refuses() {
+        use std::io::Cursor;
+        let mut r = Cursor::new(b"short\r\nanother line\n".to_vec());
+        assert_eq!(
+            read_line_capped(&mut r, 64).unwrap(),
+            LineRead::Line("short".into())
+        );
+        assert_eq!(
+            read_line_capped(&mut r, 64).unwrap(),
+            LineRead::Line("another line".into())
+        );
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineRead::Eof);
+        // An oversized line is refused and the stream resyncs at its
+        // newline; the following request is intact.
+        let huge = "x".repeat(1 << 16);
+        let mut r = Cursor::new(format!("{huge}\nnext\n").into_bytes());
+        assert_eq!(
+            read_line_capped(&mut r, 1024).unwrap(),
+            LineRead::TooLong { limit: 1024 }
+        );
+        assert_eq!(
+            read_line_capped(&mut r, 1024).unwrap(),
+            LineRead::Line("next".into())
+        );
+        // Exactly at the cap passes; one byte past it does not.
+        let mut r = Cursor::new(b"abcd\nabcde\n".to_vec());
+        assert_eq!(
+            read_line_capped(&mut r, 4).unwrap(),
+            LineRead::Line("abcd".into())
+        );
+        assert_eq!(
+            read_line_capped(&mut r, 4).unwrap(),
+            LineRead::TooLong { limit: 4 }
+        );
+        // Unterminated oversized tail at EOF is still refused.
+        let mut r = Cursor::new(huge.into_bytes());
+        assert_eq!(
+            read_line_capped(&mut r, 1024).unwrap(),
+            LineRead::TooLong { limit: 1024 }
+        );
+        assert_eq!(read_line_capped(&mut r, 1024).unwrap(), LineRead::Eof);
+        // The refusal the serve loop emits for such a line is valid JSON.
+        let s = ServeSession::with_threads(1);
+        let refusal = s.refuse_oversized_line(1024);
+        assert!(refusal.contains("\"status\": \"malformed\""));
+        assert!(crate::json::parse(&refusal).is_ok());
     }
 
     #[test]

@@ -1,0 +1,808 @@
+//! Crash-consistent session state: a fact store with rollback marks,
+//! optionally backed by a write-ahead log and periodic snapshots.
+//!
+//! A serving session accumulates ABox state across requests via three
+//! mutations — `assert` (a batch of facts), `mark` (a rollback point)
+//! and `rollback` (truncate back to a mark). [`DurableSession`] applies
+//! each mutation only *after* journaling it to the [`Wal`], so a crash
+//! at any instant loses at most the unacknowledged record; restart with
+//! the same data directory rebuilds the exact pre-crash store
+//! ([`DurableSession::open`]): same [`gomq_core::FactId`]s, same
+//! answers, torn final record tolerated.
+//!
+//! ## Snapshots
+//!
+//! Every `snapshot_every` journaled records the session dumps itself to
+//! `snapshot.bin` (columnar store dump plus the interned symbol tables,
+//! checksummed, written via temp-file + atomic rename) and truncates the
+//! WAL. Recovery restores the snapshot, then replays only WAL records
+//! with an lsn above the snapshot's — which also covers a crash between
+//! the snapshot rename and the WAL truncation.
+
+use crate::wal::{put_str, put_u32, put_u64, Cursor, SymFact, SymTerm, Wal, WalRecord};
+use gomq_core::{Fact, FactStore, IndexedInstance, NullId, RelId, Term, Vocab};
+use gomq_rewriting::fnv1a;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of `snapshot.bin`.
+const SNAP_MAGIC: &[u8; 8] = b"GOMQSNAP";
+/// Snapshot format version.
+const SNAP_VERSION: u32 = 1;
+/// Snapshot file name inside the data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// WAL file name inside the data directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// A session-persistence failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// An I/O failure (real or injected). The mutation was rolled back
+    /// and was *not* applied; the session stays serviceable.
+    Io(String),
+    /// The snapshot or log is damaged beyond the tolerated torn tail.
+    Corrupt(String),
+    /// A rollback named a mark that does not exist (or was invalidated
+    /// by an earlier rollback).
+    UnknownMark(u64),
+    /// An earlier failure left the log tail in an unknown state; every
+    /// further mutation is refused (queries still work).
+    Poisoned(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Io(e) => write!(f, "session I/O failure: {e}"),
+            SessionError::Corrupt(e) => write!(f, "session data corrupt: {e}"),
+            SessionError::UnknownMark(id) => write!(f, "unknown mark {id}"),
+            SessionError::Poisoned(e) => {
+                write!(f, "session persistence poisoned by an earlier failure: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What recovery found in the data directory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryInfo {
+    /// Facts restored from the snapshot.
+    pub snapshot_facts: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Facts asserted by the replayed records.
+    pub replayed_facts: u64,
+    /// Whether a torn/corrupt WAL tail was truncated.
+    pub truncated_tail: bool,
+}
+
+/// Outcome of one acknowledged mutation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MutationInfo {
+    /// Log sequence number of the journaled record (0 when in-memory).
+    pub lsn: u64,
+    /// Frame bytes appended to the WAL (0 when in-memory).
+    pub wal_bytes: u64,
+    /// New facts added by an assert (0 for mark/rollback).
+    pub added: u64,
+    /// Session store size after the mutation.
+    pub facts: u64,
+    /// Whether this mutation triggered a snapshot.
+    pub snapshotted: bool,
+}
+
+/// The in-memory half: the session's fact store plus rollback marks.
+#[derive(Default)]
+struct SessionStore {
+    facts: IndexedInstance,
+    /// Mark id → store length at mark time.
+    marks: HashMap<u64, usize>,
+    next_mark: u64,
+}
+
+impl SessionStore {
+    fn apply_assert<'a>(&mut self, facts: impl IntoIterator<Item = &'a Fact>) -> u64 {
+        let mut added = 0u64;
+        for f in facts {
+            if self.facts.insert_ref(f.rel, &f.args) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    fn apply_mark(&mut self, id: u64) {
+        self.marks.insert(id, self.facts.len());
+        self.next_mark = self.next_mark.max(id + 1);
+    }
+
+    fn apply_rollback(&mut self, id: u64) -> Result<(), SessionError> {
+        let Some(&target) = self.marks.get(&id) else {
+            return Err(SessionError::UnknownMark(id));
+        };
+        self.facts.truncate(target);
+        // Marks taken after the restored point now dangle past the end;
+        // the mark rolled back to stays valid (its length == target).
+        self.marks.retain(|_, len| *len <= target);
+        Ok(())
+    }
+}
+
+/// Persistence state: the WAL handle plus snapshot policy.
+struct Persistence {
+    wal: Wal,
+    dir: PathBuf,
+    fsync: bool,
+    /// Journaled records since the last snapshot; a snapshot fires when
+    /// this reaches `snapshot_every` (0 disables periodic snapshots).
+    snapshot_every: u64,
+    records_since_snapshot: u64,
+    poisoned: Option<String>,
+}
+
+/// Durability knobs for [`DurableSession::open`].
+#[derive(Clone, Copy, Debug)]
+pub struct PersistOptions {
+    /// fsync the WAL after every record (and snapshot files always).
+    pub fsync: bool,
+    /// Snapshot after this many journaled records (0 = never).
+    pub snapshot_every: u64,
+}
+
+impl Default for PersistOptions {
+    fn default() -> Self {
+        PersistOptions {
+            fsync: false,
+            snapshot_every: 64,
+        }
+    }
+}
+
+/// The session store, optionally journaled to disk. In-memory sessions
+/// ([`DurableSession::in_memory`]) share the same mutation API with all
+/// persistence calls skipped.
+pub struct DurableSession {
+    store: SessionStore,
+    persist: Option<Persistence>,
+}
+
+impl Default for DurableSession {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl DurableSession {
+    /// A purely in-memory session (no WAL, no snapshots).
+    pub fn in_memory() -> Self {
+        DurableSession {
+            store: SessionStore::default(),
+            persist: None,
+        }
+    }
+
+    /// Opens (and recovers) a session from `dir`: restores the snapshot
+    /// if one exists, replays WAL records past it (truncating a torn
+    /// tail), and leaves the log open for appending.
+    ///
+    /// `vocab` must be freshly created — snapshot restore re-interns the
+    /// dumped symbol tables and needs the id space to itself.
+    pub fn open(
+        dir: &Path,
+        opts: PersistOptions,
+        vocab: &mut Vocab,
+    ) -> Result<(Self, RecoveryInfo), SessionError> {
+        std::fs::create_dir_all(dir).map_err(|e| SessionError::Io(e.to_string()))?;
+        let mut info = RecoveryInfo::default();
+        let mut store = SessionStore::default();
+        let mut last_lsn = 0u64;
+        if let Some(snap) = read_snapshot(&dir.join(SNAPSHOT_FILE))? {
+            last_lsn = snap.last_lsn;
+            restore_snapshot(snap, vocab, &mut store)?;
+            info.snapshot_facts = store.facts.len() as u64;
+        }
+        let replayed =
+            Wal::replay(&dir.join(WAL_FILE)).map_err(|e| SessionError::Io(e.to_string()))?;
+        info.truncated_tail = replayed.truncated;
+        for (lsn, record) in &replayed.records {
+            if *lsn <= last_lsn {
+                continue; // already folded into the snapshot
+            }
+            info.replayed_records += 1;
+            match record {
+                WalRecord::Assert(syms) => {
+                    let facts: Vec<Fact> =
+                        syms.iter().map(|sf| resolve_sym_fact(vocab, sf)).collect();
+                    info.replayed_facts += store.apply_assert(facts.iter());
+                }
+                WalRecord::Mark(id) => store.apply_mark(*id),
+                WalRecord::Rollback(id) => store.apply_rollback(*id)?,
+            }
+            last_lsn = last_lsn.max(*lsn);
+        }
+        let wal = Wal::open(&dir.join(WAL_FILE), opts.fsync, last_lsn + 1)
+            .map_err(|e| SessionError::Io(e.to_string()))?;
+        Ok((
+            DurableSession {
+                store,
+                persist: Some(Persistence {
+                    wal,
+                    dir: dir.to_owned(),
+                    fsync: opts.fsync,
+                    snapshot_every: opts.snapshot_every,
+                    records_since_snapshot: replayed.records.len() as u64,
+                    poisoned: None,
+                }),
+            },
+            info,
+        ))
+    }
+
+    /// Number of facts in the session store.
+    pub fn len(&self) -> usize {
+        self.store.facts.len()
+    }
+
+    /// Whether the session store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.facts.len() == 0
+    }
+
+    /// Whether the session journals to disk.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// A full clone of the session's indexed store, for evaluation
+    /// outside the session lock.
+    pub fn clone_store(&self) -> IndexedInstance {
+        self.store.facts.clone()
+    }
+
+    /// Journals one record, rolling the mutation attempt back on
+    /// failure.
+    fn journal(&mut self, record: &WalRecord) -> Result<(u64, u64), SessionError> {
+        let Some(p) = self.persist.as_mut() else {
+            return Ok((0, 0));
+        };
+        if let Some(why) = &p.poisoned {
+            return Err(SessionError::Poisoned(why.clone()));
+        }
+        match p.wal.append(record) {
+            Ok(ok) => Ok(ok),
+            Err(e) => {
+                let msg = e.to_string();
+                if msg.contains("could not be rolled back") {
+                    p.poisoned = Some(msg.clone());
+                }
+                Err(SessionError::Io(msg))
+            }
+        }
+    }
+
+    /// Asserts a batch of facts: journal first, then apply. `syms` and
+    /// `facts` must describe the same batch (the serve layer builds both
+    /// while holding the vocabulary lock).
+    pub fn assert(
+        &mut self,
+        syms: Vec<SymFact>,
+        facts: &[Fact],
+    ) -> Result<MutationInfo, SessionError> {
+        let (lsn, wal_bytes) = self.journal(&WalRecord::Assert(syms))?;
+        let added = self.store.apply_assert(facts.iter());
+        self.bump_record_count();
+        Ok(MutationInfo {
+            lsn,
+            wal_bytes,
+            added,
+            facts: self.store.facts.len() as u64,
+            snapshotted: false,
+        })
+    }
+
+    /// Creates a rollback mark, returning `(mark id, mutation info)`.
+    pub fn mark(&mut self) -> Result<(u64, MutationInfo), SessionError> {
+        let id = self.store.next_mark;
+        let (lsn, wal_bytes) = self.journal(&WalRecord::Mark(id))?;
+        self.store.apply_mark(id);
+        self.bump_record_count();
+        Ok((
+            id,
+            MutationInfo {
+                lsn,
+                wal_bytes,
+                added: 0,
+                facts: self.store.facts.len() as u64,
+                snapshotted: false,
+            },
+        ))
+    }
+
+    /// Rolls the store back to a mark. The mark is validated *before*
+    /// journaling, so an invalid rollback never reaches the log.
+    pub fn rollback(&mut self, id: u64) -> Result<MutationInfo, SessionError> {
+        if !self.store.marks.contains_key(&id) {
+            return Err(SessionError::UnknownMark(id));
+        }
+        let (lsn, wal_bytes) = self.journal(&WalRecord::Rollback(id))?;
+        self.store
+            .apply_rollback(id)
+            .expect("mark existence was checked before journaling");
+        self.bump_record_count();
+        Ok(MutationInfo {
+            lsn,
+            wal_bytes,
+            added: 0,
+            facts: self.store.facts.len() as u64,
+            snapshotted: false,
+        })
+    }
+
+    fn bump_record_count(&mut self) {
+        if let Some(p) = self.persist.as_mut() {
+            p.records_since_snapshot += 1;
+        }
+    }
+
+    /// Whether the snapshot policy says it is time to snapshot.
+    pub fn snapshot_due(&self) -> bool {
+        self.persist.as_ref().is_some_and(|p| {
+            p.poisoned.is_none()
+                && p.snapshot_every > 0
+                && p.records_since_snapshot >= p.snapshot_every
+        })
+    }
+
+    /// Dumps the session to `snapshot.bin` (temp file + atomic rename)
+    /// and truncates the WAL. A failed snapshot leaves the WAL intact —
+    /// nothing is lost, the next mutation retries.
+    pub fn snapshot_now(&mut self, vocab: &Vocab) -> Result<(), SessionError> {
+        let Some(p) = self.persist.as_mut() else {
+            return Ok(());
+        };
+        if let Some(why) = &p.poisoned {
+            return Err(SessionError::Poisoned(why.clone()));
+        }
+        let last_lsn = p.wal.next_lsn() - 1;
+        let bytes = encode_snapshot(vocab, &self.store, last_lsn);
+        if let Some(gomq_core::faults::IoFault::Error | gomq_core::faults::IoFault::Short) =
+            gomq_core::faults::io_point(gomq_core::faults::SNAPSHOT_WRITE)
+        {
+            return Err(SessionError::Io("chaos: injected snapshot failure".into()));
+        }
+        let tmp = p.dir.join("snapshot.tmp");
+        let target = p.dir.join(SNAPSHOT_FILE);
+        let write = || -> std::io::Result<()> {
+            std::fs::write(&tmp, &bytes)?;
+            if p.fsync {
+                std::fs::File::open(&tmp)?.sync_data()?;
+            }
+            std::fs::rename(&tmp, &target)?;
+            if p.fsync {
+                // Durable rename needs the directory synced too; best
+                // effort on filesystems that refuse to fsync directories.
+                if let Ok(d) = std::fs::File::open(&p.dir) {
+                    let _ = d.sync_data();
+                }
+            }
+            Ok(())
+        };
+        write().map_err(|e| SessionError::Io(e.to_string()))?;
+        p.wal.reset().map_err(|e| SessionError::Io(e.to_string()))?;
+        p.records_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+/// Resolves a symbolic fact against the vocabulary, interning names as
+/// needed (replay re-creates exactly the names the live session used).
+pub fn resolve_sym_fact(vocab: &mut Vocab, sf: &SymFact) -> Fact {
+    let rel = vocab.rel(&sf.rel, sf.args.len());
+    let args = sf
+        .args
+        .iter()
+        .map(|t| match t {
+            SymTerm::Const(name) => Term::Const(vocab.constant(name)),
+            SymTerm::Null(n) => {
+                vocab.ensure_nulls(n + 1);
+                Term::Null(NullId(*n))
+            }
+        })
+        .collect();
+    Fact::new(rel, args)
+}
+
+/// Converts an interned fact to its symbolic form via the vocabulary.
+pub fn sym_fact(vocab: &Vocab, rel: RelId, args: &[Term]) -> SymFact {
+    SymFact {
+        rel: vocab.rel_name(rel).to_owned(),
+        args: args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => SymTerm::Const(vocab.const_name(*c).to_owned()),
+                Term::Null(n) => SymTerm::Null(n.0),
+            })
+            .collect(),
+    }
+}
+
+// ---- snapshot encode/decode ----
+
+struct Snapshot {
+    last_lsn: u64,
+    next_mark: u64,
+    null_horizon: u32,
+    consts: Vec<String>,
+    rels: Vec<(String, u32)>,
+    store_rels: Vec<RelId>,
+    store_starts: Vec<u32>,
+    store_arena: Vec<Term>,
+    marks: Vec<(u64, u64)>,
+}
+
+fn encode_snapshot(vocab: &Vocab, store: &SessionStore, last_lsn: u64) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4096);
+    b.extend_from_slice(SNAP_MAGIC);
+    put_u32(&mut b, SNAP_VERSION);
+    put_u64(&mut b, last_lsn);
+    put_u64(&mut b, store.next_mark);
+    put_u32(&mut b, vocab.null_count());
+    put_u32(&mut b, vocab.const_count() as u32);
+    for i in 0..vocab.const_count() as u32 {
+        put_str(&mut b, vocab.const_name(gomq_core::ConstId(i)));
+    }
+    put_u32(&mut b, vocab.rel_count() as u32);
+    for r in vocab.rels() {
+        put_str(&mut b, vocab.rel_name(r));
+        put_u32(&mut b, vocab.arity(r) as u32);
+    }
+    let (rels, starts, arena) = store.facts.store().columns();
+    put_u32(&mut b, rels.len() as u32);
+    for r in rels {
+        put_u32(&mut b, r.0);
+    }
+    for s in starts {
+        put_u32(&mut b, *s);
+    }
+    put_u32(&mut b, arena.len() as u32);
+    for t in arena {
+        match t {
+            Term::Const(c) => {
+                b.push(0);
+                put_u32(&mut b, c.0);
+            }
+            Term::Null(n) => {
+                b.push(1);
+                put_u32(&mut b, n.0);
+            }
+        }
+    }
+    put_u32(&mut b, store.marks.len() as u32);
+    let mut marks: Vec<(u64, u64)> = store
+        .marks
+        .iter()
+        .map(|(&id, &len)| (id, len as u64))
+        .collect();
+    marks.sort_unstable();
+    for (id, len) in marks {
+        put_u64(&mut b, id);
+        put_u64(&mut b, len);
+    }
+    let sum = fnv1a(&b);
+    put_u64(&mut b, sum);
+    b
+}
+
+fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, SessionError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SessionError::Io(e.to_string())),
+    };
+    let corrupt = |why: String| SessionError::Corrupt(format!("snapshot: {why}"));
+    if bytes.len() < SNAP_MAGIC.len() + 12 || &bytes[..8] != SNAP_MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let sum = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(body) != sum {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    let mut c = Cursor::new(&body[8..]);
+    let mut parse = || -> Result<Snapshot, String> {
+        let version = c.take_u32()?;
+        if version != SNAP_VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        let last_lsn = c.take_u64()?;
+        let next_mark = c.take_u64()?;
+        let null_horizon = c.take_u32()?;
+        let n_consts = c.take_u32()? as usize;
+        let mut consts = Vec::with_capacity(n_consts.min(1 << 20));
+        for _ in 0..n_consts {
+            consts.push(c.take_str()?);
+        }
+        let n_rels = c.take_u32()? as usize;
+        let mut rels = Vec::with_capacity(n_rels.min(1 << 20));
+        for _ in 0..n_rels {
+            let name = c.take_str()?;
+            let arity = c.take_u32()?;
+            rels.push((name, arity));
+        }
+        let n_facts = c.take_u32()? as usize;
+        let mut store_rels = Vec::with_capacity(n_facts.min(1 << 20));
+        for _ in 0..n_facts {
+            store_rels.push(RelId(c.take_u32()?));
+        }
+        let mut store_starts = Vec::with_capacity((n_facts + 1).min(1 << 20));
+        for _ in 0..n_facts + 1 {
+            store_starts.push(c.take_u32()?);
+        }
+        let n_terms = c.take_u32()? as usize;
+        let mut store_arena = Vec::with_capacity(n_terms.min(1 << 20));
+        for _ in 0..n_terms {
+            store_arena.push(match c.take_u8()? {
+                0 => Term::Const(gomq_core::ConstId(c.take_u32()?)),
+                1 => Term::Null(NullId(c.take_u32()?)),
+                t => return Err(format!("unknown term tag {t}")),
+            });
+        }
+        let n_marks = c.take_u32()? as usize;
+        let mut marks = Vec::with_capacity(n_marks.min(1 << 20));
+        for _ in 0..n_marks {
+            let id = c.take_u64()?;
+            let len = c.take_u64()?;
+            marks.push((id, len));
+        }
+        if !c.done() {
+            return Err("trailing bytes".into());
+        }
+        Ok(Snapshot {
+            last_lsn,
+            next_mark,
+            null_horizon,
+            consts,
+            rels,
+            store_rels,
+            store_starts,
+            store_arena,
+            marks,
+        })
+    };
+    parse().map(Some).map_err(corrupt)
+}
+
+fn restore_snapshot(
+    snap: Snapshot,
+    vocab: &mut Vocab,
+    store: &mut SessionStore,
+) -> Result<(), SessionError> {
+    let corrupt = |why: &str| SessionError::Corrupt(format!("snapshot: {why}"));
+    if vocab.rel_count() != 0 || vocab.const_count() != 0 {
+        return Err(corrupt("restore requires a fresh vocabulary"));
+    }
+    // Re-intern the dumped tables in id order, so the dense ids the
+    // dumped store columns refer to come back out identically.
+    for (i, name) in snap.consts.iter().enumerate() {
+        let id = vocab.constant(name);
+        if id.0 as usize != i {
+            return Err(corrupt("duplicate constant in dump"));
+        }
+    }
+    for (i, (name, arity)) in snap.rels.iter().enumerate() {
+        let id = vocab.rel(name, *arity as usize);
+        if id.0 as usize != i {
+            return Err(corrupt("duplicate relation in dump"));
+        }
+    }
+    vocab.ensure_nulls(snap.null_horizon);
+    let n_consts = vocab.const_count() as u32;
+    let n_rels = vocab.rel_count() as u32;
+    for t in &snap.store_arena {
+        match t {
+            Term::Const(c) if c.0 >= n_consts => return Err(corrupt("dangling constant id")),
+            Term::Null(n) if n.0 >= snap.null_horizon => return Err(corrupt("dangling null id")),
+            _ => {}
+        }
+    }
+    if snap.store_rels.iter().any(|r| r.0 >= n_rels) {
+        return Err(corrupt("dangling relation id"));
+    }
+    let fact_store = FactStore::from_columns(snap.store_rels, snap.store_starts, snap.store_arena)
+        .map_err(|e| corrupt(&e))?;
+    let len = fact_store.len();
+    store.facts = IndexedInstance::from_store(fact_store);
+    store.marks = snap.marks.iter().map(|&(id, l)| (id, l as usize)).collect();
+    if store.marks.values().any(|&l| l > len) {
+        return Err(corrupt("mark past the end of the store"));
+    }
+    store.next_mark = snap.next_mark;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gomq_core::parse::parse_instance;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gomq-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_text(session: &mut DurableSession, vocab: &mut Vocab, text: &str) -> MutationInfo {
+        let d = parse_instance(text, vocab).unwrap();
+        let facts: Vec<Fact> = d.iter().map(|f| f.to_fact()).collect();
+        let syms: Vec<SymFact> = facts
+            .iter()
+            .map(|f| sym_fact(vocab, f.rel, &f.args))
+            .collect();
+        session.assert(syms, &facts).unwrap()
+    }
+
+    fn store_shape(s: &DurableSession, vocab: &Vocab) -> Vec<String> {
+        s.clone_store()
+            .iter()
+            .map(|f| format!("{}", f.display(vocab)))
+            .collect()
+    }
+
+    #[test]
+    fn mutations_survive_reopen() {
+        let dir = tmpdir("reopen");
+        let shape_before;
+        {
+            let mut vocab = Vocab::new();
+            let (mut s, info) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            assert_eq!(info.replayed_records, 0);
+            let i1 = assert_text(&mut s, &mut vocab, "R(a,b)\nS(c)\n");
+            assert_eq!(i1.added, 2);
+            let (m, _) = s.mark().unwrap();
+            assert_text(&mut s, &mut vocab, "S(doomed)\n");
+            s.rollback(m).unwrap();
+            assert_text(&mut s, &mut vocab, "R(b,c)\n");
+            assert_eq!(s.len(), 3);
+            shape_before = store_shape(&s, &vocab);
+        }
+        let mut vocab = Vocab::new();
+        let (s, info) = DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+        assert_eq!(info.replayed_records, 5);
+        assert_eq!(info.replayed_facts, 3 + 1); // doomed counts, then rolls back
+        assert_eq!(s.len(), 3);
+        assert_eq!(store_shape(&s, &vocab), shape_before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_replay() {
+        let dir = tmpdir("snaptail");
+        let shape_before;
+        {
+            let mut vocab = Vocab::new();
+            let (mut s, _) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            assert_text(&mut s, &mut vocab, "R(a,b)\nR(b,c)\n");
+            s.snapshot_now(&vocab).unwrap();
+            // Mutations after the snapshot live only in the WAL.
+            assert_text(&mut s, &mut vocab, "S(d)\n");
+            shape_before = store_shape(&s, &vocab);
+        }
+        let mut vocab = Vocab::new();
+        let (s, info) = DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+        assert_eq!(info.snapshot_facts, 2);
+        assert_eq!(info.replayed_records, 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(store_shape(&s, &vocab), shape_before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_due_follows_policy() {
+        let dir = tmpdir("due");
+        let mut vocab = Vocab::new();
+        let opts = PersistOptions {
+            fsync: false,
+            snapshot_every: 2,
+        };
+        let (mut s, _) = DurableSession::open(&dir, opts, &mut vocab).unwrap();
+        assert!(!s.snapshot_due());
+        assert_text(&mut s, &mut vocab, "R(a,b)\n");
+        assert!(!s.snapshot_due());
+        assert_text(&mut s, &mut vocab, "R(b,c)\n");
+        assert!(s.snapshot_due());
+        s.snapshot_now(&vocab).unwrap();
+        assert!(!s.snapshot_due());
+        // The WAL was truncated; reopening relies on the snapshot alone.
+        let mut vocab2 = Vocab::new();
+        let (s2, info) = DurableSession::open(&dir, opts, &mut vocab2).unwrap();
+        assert_eq!(info.snapshot_facts, 2);
+        assert_eq!(info.replayed_records, 0);
+        assert_eq!(s2.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_mark_is_rejected_without_journaling() {
+        let dir = tmpdir("badmark");
+        let mut vocab = Vocab::new();
+        let (mut s, _) = DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+        assert!(matches!(s.rollback(42), Err(SessionError::UnknownMark(42))));
+        // Nothing was journaled: reopening replays zero records.
+        drop(s);
+        let mut vocab2 = Vocab::new();
+        let (_, info) = DurableSession::open(&dir, PersistOptions::default(), &mut vocab2).unwrap();
+        assert_eq!(info.replayed_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rollback_invalidates_later_marks() {
+        let mut s = DurableSession::in_memory();
+        let mut vocab = Vocab::new();
+        assert_text(&mut s, &mut vocab, "R(a,b)\n");
+        let (m1, _) = s.mark().unwrap();
+        assert_text(&mut s, &mut vocab, "R(b,c)\n");
+        let (m2, _) = s.mark().unwrap();
+        s.rollback(m1).unwrap();
+        assert_eq!(s.len(), 1);
+        // m2 pointed past the restored length and is gone; m1 survives.
+        let err = s.rollback(m2).unwrap_err();
+        assert_eq!(err, SessionError::UnknownMark(m2));
+        s.rollback(m1).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_reported() {
+        let dir = tmpdir("corruptsnap");
+        let mut vocab = Vocab::new();
+        {
+            let (mut s, _) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            assert_text(&mut s, &mut vocab, "R(a,b)\n");
+            s.snapshot_now(&vocab).unwrap();
+        }
+        let snap = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        let mut vocab2 = Vocab::new();
+        let Err(err) = DurableSession::open(&dir, PersistOptions::default(), &mut vocab2) else {
+            panic!("corrupt snapshot was accepted");
+        };
+        assert!(matches!(err, SessionError::Corrupt(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nulls_round_trip_through_log_and_snapshot() {
+        let dir = tmpdir("nulls");
+        {
+            let mut vocab = Vocab::new();
+            let (mut s, _) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            let r = vocab.rel("R", 2);
+            let a = Term::Const(vocab.constant("açai ☂"));
+            let n = Term::Null(vocab.fresh_null());
+            let f = Fact::new(r, vec![a, n]);
+            let syms = vec![sym_fact(&vocab, f.rel, &f.args)];
+            s.assert(syms, std::slice::from_ref(&f)).unwrap();
+            s.snapshot_now(&vocab).unwrap();
+        }
+        let mut vocab = Vocab::new();
+        let (s, _) = DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(vocab.null_count(), 1);
+        let store = s.clone_store();
+        let f = store.iter().next().unwrap();
+        assert!(matches!(f.args[1], Term::Null(NullId(0))));
+        assert_eq!(format!("{}", f.args[0].display(&vocab)), "açai ☂");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

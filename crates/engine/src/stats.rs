@@ -79,23 +79,79 @@ pub struct EngineStats {
     /// Candidate derivations answered by an existing fact (dedup hits)
     /// across all evaluation stores.
     pub dedup_hits: u64,
+    /// Session mutations journaled to the write-ahead log.
+    pub wal_records: u64,
+    /// Frame bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Snapshots written (each truncates the WAL).
+    pub snapshots: u64,
+    /// WAL records replayed during recovery at startup.
+    pub recovered_records: u64,
+    /// Facts rebuilt from the snapshot plus WAL replay at startup.
+    pub recovered_facts: u64,
+    /// Requests refused because their plan's circuit breaker was open.
+    pub quarantined: u64,
+    /// Circuit breakers tripped (plans newly quarantined).
+    pub breaker_trips: u64,
+    /// Faults injected by the chaos layer (0 unless the `chaos` feature
+    /// is on and a plan is installed).
+    pub faults_injected: u64,
 }
 
 impl EngineStats {
     /// Folds one request's statistics into the cumulative totals.
+    ///
+    /// All counter folds saturate: a pathological workload (or a fault
+    /// plan lying about sizes) must skew the telemetry, never panic a
+    /// debug build mid-request.
     pub(crate) fn absorb(&mut self, r: &RequestStats) {
-        self.requests += 1;
-        self.rounds += r.rounds as u64;
-        self.derived += r.derived as u64;
-        self.answers += r.answers as u64;
-        self.compile_time += r.compile;
-        self.eval_time += r.eval;
+        self.requests = self.requests.saturating_add(1);
+        self.rounds = self.rounds.saturating_add(r.rounds as u64);
+        self.derived = self.derived.saturating_add(r.derived as u64);
+        self.answers = self.answers.saturating_add(r.answers as u64);
+        self.compile_time = self.compile_time.saturating_add(r.compile);
+        self.eval_time = self.eval_time.saturating_add(r.eval);
         if r.typed {
-            self.typed_requests += 1;
+            self.typed_requests = self.typed_requests.saturating_add(1);
             self.type_stats.absorb(&r.type_stats);
         }
-        self.facts_interned += r.store.facts;
-        self.arena_bytes += r.store.arena_bytes();
-        self.dedup_hits += r.store.dedup_hits;
+        self.facts_interned = self.facts_interned.saturating_add(r.store.facts);
+        self.arena_bytes = self.arena_bytes.saturating_add(r.store.arena_bytes());
+        self.dedup_hits = self.dedup_hits.saturating_add(r.store.dedup_hits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_saturates_instead_of_overflowing() {
+        let mut s = EngineStats {
+            requests: u64::MAX,
+            rounds: u64::MAX - 1,
+            derived: u64::MAX,
+            answers: u64::MAX,
+            facts_interned: u64::MAX,
+            arena_bytes: u64::MAX,
+            dedup_hits: u64::MAX,
+            ..EngineStats::default()
+        };
+        let r = RequestStats {
+            rounds: 7,
+            derived: 7,
+            answers: 7,
+            store: StoreStats {
+                facts: 7,
+                arena_terms: 7,
+                dedup_hits: 7,
+            },
+            ..RequestStats::default()
+        };
+        s.absorb(&r); // must not panic in debug builds
+        assert_eq!(s.requests, u64::MAX);
+        assert_eq!(s.rounds, u64::MAX);
+        assert_eq!(s.derived, u64::MAX);
+        assert_eq!(s.dedup_hits, u64::MAX);
     }
 }

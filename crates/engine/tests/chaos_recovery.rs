@@ -1,0 +1,195 @@
+//! Kill-and-restart equivalence for the `gomq-serve` binary.
+//!
+//! A scripted session (asserts, marks, rollbacks, session queries) is
+//! driven request-by-request, waiting for each acknowledgement. The
+//! server is then SIGKILLed at several distinct points mid-stream — in
+//! one case with a torn half-frame appended to the WAL to model a crash
+//! mid-`write(2)` — restarted over the same `--data-dir`, and fed the
+//! remaining requests. Every query must answer byte-identically to an
+//! uninterrupted run of the same script.
+
+use gomq_engine::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gomq-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running `gomq-serve` driven one acknowledged request at a time.
+struct Serve {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Serve {
+    fn spawn(dir: &Path, extra: &[&str]) -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_gomq-serve"))
+            .arg("--data-dir")
+            .arg(dir)
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn gomq-serve");
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        Serve {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Sends one request line and blocks for its response — the request
+    /// is *acknowledged* once this returns, so a later kill must not
+    /// lose its effect.
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut response = String::new();
+        self.stdout.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "server died before responding");
+        response.trim_end().to_owned()
+    }
+
+    /// SIGKILL — no flush, no shutdown hook, the hard crash.
+    fn kill(mut self) {
+        self.child.kill().expect("kill gomq-serve");
+        let _ = self.child.wait();
+    }
+
+    /// Orderly EOF shutdown.
+    fn finish(self) {
+        drop(self.stdin);
+        let mut child = self.child;
+        let _ = child.wait();
+    }
+}
+
+/// The scripted session: interleaved mutations and session queries.
+/// Returns the request lines; queries carry ids `q<n>`.
+fn script() -> Vec<String> {
+    let ontology = r#"Manager sub Employee\nEmployee sub Staff"#;
+    let query = |id: usize| {
+        format!(r#"{{"id": "q{id}", "ontology": "{ontology}", "query": "Staff", "session": true}}"#)
+    };
+    let assert = |facts: &str| format!(r#"{{"op": "assert", "abox": "{facts}"}}"#);
+    let mut lines = Vec::new();
+    let mut q = 0;
+    for block in 0..6 {
+        lines.push(assert(&format!("Manager(m{block})")));
+        lines.push(assert(&format!("Employee(e{block})\\nStaff(s{block})")));
+        if block == 2 {
+            lines.push(r#"{"op": "mark"}"#.to_owned());
+        }
+        if block == 4 {
+            // Drop blocks 3–4, then keep building on the restored state.
+            lines.push(r#"{"op": "rollback", "mark": 0}"#.to_owned());
+        }
+        lines.push(query(q));
+        q += 1;
+    }
+    lines.push(assert("Manager(closing)"));
+    lines.push(query(q));
+    lines
+}
+
+/// Extracts `(id, answers)` from a query response; `None` for mutation
+/// acknowledgements. Engine counters and cache flags legitimately
+/// differ across restarts, so equivalence is judged on answers alone.
+fn answers_of(response: &str) -> Option<(String, Json)> {
+    let parsed = json::parse(response).unwrap_or_else(|e| panic!("bad JSON ({e}): {response}"));
+    let Json::Obj(obj) = parsed else {
+        panic!("response is not an object: {response}")
+    };
+    assert_eq!(
+        obj.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "unexpected failure response: {response}"
+    );
+    let id = obj.get("id").and_then(Json::as_str)?.to_owned();
+    Some((id, obj.get("answers").cloned().expect("query has answers")))
+}
+
+/// Runs the whole script uninterrupted and returns every query's
+/// answers by id.
+fn uninterrupted(extra: &[&str]) -> Vec<(String, Json)> {
+    let dir = tmpdir("base");
+    let mut serve = Serve::spawn(&dir, extra);
+    let mut answers = Vec::new();
+    for line in script() {
+        let response = serve.request(&line);
+        answers.extend(answers_of(&response));
+    }
+    serve.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
+    answers
+}
+
+/// Kills the server after `kill_after` acknowledged requests (optionally
+/// tearing the WAL tail), restarts it over the same directory, replays
+/// the rest of the script, and returns every query's answers by id.
+fn interrupted(kill_after: usize, tear_tail: bool, extra: &[&str]) -> Vec<(String, Json)> {
+    let dir = tmpdir(&format!("kill{kill_after}"));
+    let lines = script();
+    assert!(kill_after < lines.len(), "kill point inside the script");
+    let mut answers = Vec::new();
+
+    let mut serve = Serve::spawn(&dir, extra);
+    for line in &lines[..kill_after] {
+        let response = serve.request(line);
+        answers.extend(answers_of(&response));
+    }
+    serve.kill();
+    if tear_tail {
+        // A crash mid-write leaves a torn frame: half a header and
+        // garbage where the checksum should be. Recovery must truncate
+        // it, not refuse the log.
+        use std::io::Write as _;
+        let mut wal = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.log"))
+            .expect("wal exists at the kill point");
+        wal.write_all(&[0x2a, 0x00, 0x00, 0x00, 0xde, 0xad])
+            .unwrap();
+    }
+
+    let mut serve = Serve::spawn(&dir, extra);
+    for line in &lines[kill_after..] {
+        let response = serve.request(line);
+        answers.extend(answers_of(&response));
+    }
+    serve.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
+    answers
+}
+
+#[test]
+fn sigkill_and_restart_preserve_query_answers() {
+    let extra = ["--threads", "1", "--snapshot-every", "4"];
+    let base = uninterrupted(&extra);
+    assert_eq!(base.len(), 7, "the script poses seven queries");
+    // Three distinct injection points: before the mark, between mark and
+    // rollback (with a torn WAL tail), and after the rollback.
+    for (kill_after, tear) in [(3, false), (9, true), (16, false)] {
+        let got = interrupted(kill_after, tear, &extra);
+        assert_eq!(
+            got, base,
+            "answers diverged after SIGKILL at request {kill_after} (tear={tear})"
+        );
+    }
+}
+
+#[test]
+fn fsync_mode_recovers_identically() {
+    let extra = ["--threads", "1", "--snapshot-every", "3", "--fsync"];
+    let base = uninterrupted(&extra);
+    let got = interrupted(7, true, &extra);
+    assert_eq!(got, base, "fsync run diverged after SIGKILL");
+}

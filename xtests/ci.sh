@@ -28,6 +28,15 @@ cargo test -q --release -p gomq-engine --test serve_stress
 echo "==> cargo test -q --release -p gomq-core --test store_props"
 cargo test -q --release -p gomq-core --test store_props
 
+echo "==> cargo test -q --release -p gomq-engine --test wal_props"
+cargo test -q --release -p gomq-engine --test wal_props
+
+echo "==> cargo test -q --release -p gomq-engine --test chaos_recovery"
+cargo test -q --release -p gomq-engine --test chaos_recovery
+
+echo "==> cargo test -q -p gomq-xtests --test chaos (fixed-seed chaos smoke)"
+cargo test -q -p gomq-xtests --test chaos
+
 echo "==> E14_TINY=1 cargo bench -p gomq-bench --bench e14_store (smoke)"
 E14_TINY=1 cargo bench -p gomq-bench --bench e14_store
 
