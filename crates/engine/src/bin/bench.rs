@@ -1,0 +1,571 @@
+//! `gomq-bench`: an open-loop load generator for `gomq-serve --listen`.
+//!
+//! Drives a running listener with a seeded, mixed OMQ/session workload
+//! at a fixed arrival rate across N concurrent connections, and records
+//! latency percentiles (p50/p99/p999) and throughput per concurrency
+//! level into a JSON report (`BENCH_serve.json` by default).
+//!
+//! The generator is *open-loop*: every request has a scheduled send
+//! instant (`start + i/rate`) independent of how fast the server
+//! answers, and latency is measured from that **scheduled** instant to
+//! response receipt — so server-side queueing shows up in the tail
+//! percentiles instead of silently throttling the offered load
+//! (coordinated omission).
+//!
+//! Every response is validated: it must parse as JSON, carry a
+//! `"status"`, and echo the request's `"id"` in order. Lost or
+//! malformed responses fail the run (nonzero exit); `"overloaded"` and
+//! `"error"` statuses are tallied but tolerated, so the harness can
+//! also drive chaos-enabled servers.
+//!
+//! `gomq-bench --validate FILE` re-reads a report and checks its
+//! structure, giving CI a dependency-free "the artifact parses" gate.
+
+use gomq_engine::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "gomq-bench — open-loop JSONL load generator for gomq-serve --listen
+
+Usage: gomq-bench --addr ADDR [--rate N] [--duration-ms N] [--conns LIST]
+                  [--session-frac-pct N] [--seed N] [--out FILE]
+       gomq-bench --validate FILE
+
+  --addr ADDR          the gomq-serve listener, e.g. 127.0.0.1:7401
+  --rate N             offered load in requests/second, spread across the
+                       connections (default 200)
+  --duration-ms N      length of each scenario in milliseconds (default 2000)
+  --conns LIST         comma-separated concurrency levels; one scenario is
+                       run per level (default 1,4)
+  --session-frac-pct N percentage of requests that are session traffic
+                       (asserts + session queries) instead of one-shot OMQ
+                       evaluation (default 25)
+  --seed N             workload RNG seed — same seed, same request stream
+                       (default 42)
+  --out FILE           where to write the JSON report (default
+                       BENCH_serve.json)
+  --validate FILE      instead of benching, parse FILE and verify it is a
+                       well-formed report with zero lost/malformed
+                       responses; exit 0/1
+
+Exit status is nonzero if any response is lost, fails to parse, echoes
+the wrong id, or a connection errors. \"overloaded\"/\"error\" statuses
+are tallied in the report but do not fail the run.
+";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("gomq-bench: {message}");
+    eprintln!("run gomq-bench --help for usage");
+    std::process::exit(2);
+}
+
+fn numeric(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    let Some(value) = args.next() else {
+        usage_error(&format!("{flag} needs a non-negative integer"));
+    };
+    match value.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => usage_error(&format!(
+            "{flag} needs a non-negative integer, got {value:?}"
+        )),
+    }
+}
+
+/// splitmix64 — tiny, seedable, good enough to shuffle a workload.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// The OMQ pool: a few distinct (ontology, query) pairs so the plan
+/// cache sees hits *and* competition, with ABoxes varied per request.
+const OMQS: &[(&str, &str)] = &[
+    ("A sub B", "B"),
+    (r"Manager sub Employee\nEmployee sub Staff", "Staff"),
+    (r"A sub B\nB sub C", "C"),
+];
+
+/// One request line for sequence number `seq` on connection `conn`.
+fn gen_request(rng: &mut Rng, conn: usize, seq: usize, session_frac_pct: u64) -> String {
+    let id = format!("c{conn}-{seq}");
+    if rng.below(100) < session_frac_pct {
+        if rng.below(100) < 70 {
+            let k = rng.below(50);
+            format!(r#"{{"id": "{id}", "op": "assert", "abox": "Manager(m{k})\nStaff(s{k})"}}"#)
+        } else {
+            let (ontology, query) = OMQS[1];
+            format!(
+                r#"{{"id": "{id}", "ontology": "{ontology}", "query": "{query}", "session": true}}"#
+            )
+        }
+    } else {
+        let (ontology, query) = OMQS[rng.below(OMQS.len() as u64) as usize];
+        let k = rng.below(1000);
+        let abox = match query {
+            "B" => format!("A(c{k})"),
+            "Staff" => format!(r"Manager(m{k})\nEmployee(e{k})"),
+            _ => format!(r"A(d{k})\nB(e{k})"),
+        };
+        format!(
+            r#"{{"id": "{id}", "ontology": "{ontology}", "query": "{query}", "abox": "{abox}"}}"#
+        )
+    }
+}
+
+/// What one connection observed: per-request latencies and the tallied
+/// response statuses.
+#[derive(Default)]
+struct ConnResult {
+    latencies_us: Vec<u64>,
+    statuses: Vec<(String, u64)>,
+    sent: u64,
+    received: u64,
+    malformed: u64,
+    error: Option<String>,
+}
+
+impl ConnResult {
+    fn tally(&mut self, status: &str) {
+        if let Some((_, n)) = self.statuses.iter_mut().find(|(s, _)| s == status) {
+            *n += 1;
+        } else {
+            self.statuses.push((status.to_owned(), 1));
+        }
+    }
+
+    fn failed(message: String) -> ConnResult {
+        ConnResult {
+            error: Some(message),
+            ..ConnResult::default()
+        }
+    }
+}
+
+/// One connection's slice of the open-loop schedule: requests `conn`,
+/// `conn + conns`, `conn + 2*conns`, … of the global stream, each sent
+/// at `start + i * interval`.
+#[derive(Clone, Copy)]
+struct ConnPlan {
+    start: Instant,
+    interval: Duration,
+    conn: usize,
+    conns: usize,
+    total: usize,
+    seed: u64,
+    session_frac_pct: u64,
+}
+
+/// Runs one connection's slice of the open-loop schedule.
+fn run_connection(addr: &str, plan: ConnPlan) -> ConnResult {
+    let ConnPlan {
+        start,
+        interval,
+        conn,
+        conns,
+        total,
+        seed,
+        session_frac_pct,
+    } = plan;
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return ConnResult::failed(format!("connect {addr}: {e}")),
+    };
+    let _ = stream.set_nodelay(true);
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => return ConnResult::failed(format!("clone socket: {e}")),
+    };
+    // The reader runs concurrently so a slow response never delays the
+    // *sending* schedule (that would be closed-loop coordination).
+    let reader = std::thread::spawn(move || -> Vec<(Instant, String)> {
+        let mut responses = Vec::new();
+        let mut lines = BufReader::new(read_half);
+        loop {
+            let mut line = String::new();
+            match lines.read_line(&mut line) {
+                Ok(0) | Err(_) => return responses,
+                Ok(_) => responses.push((Instant::now(), line.trim_end().to_owned())),
+            }
+        }
+    });
+
+    // Each connection derives its own RNG stream from (seed, conn) so
+    // the workload is reproducible regardless of thread interleaving.
+    let mut rng = Rng(seed ^ (conn as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+    let mut result = ConnResult::default();
+    let mut writer = stream;
+    let mut scheduled = Vec::new();
+    let mut seq = 0usize;
+    let mut global = conn;
+    while global < total {
+        let at = start + interval * global as u32;
+        if let Some(wait) = at.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let line = gen_request(&mut rng, conn, seq, session_frac_pct);
+        if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| {
+            writer.write_all(b"\n")?;
+            writer.flush()
+        }) {
+            result.error = Some(format!("send: {e}"));
+            break;
+        }
+        scheduled.push((at, format!("c{conn}-{seq}")));
+        result.sent += 1;
+        seq += 1;
+        global += conns;
+    }
+    // Half-close: the server answers everything already received, then
+    // closes, which ends the reader at EOF.
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let responses = reader.join().unwrap_or_default();
+
+    result.received = responses.len() as u64;
+    for ((at, id), (received, line)) in scheduled.iter().zip(&responses) {
+        match json::parse(line) {
+            Ok(Json::Obj(obj)) => {
+                let status = obj.get("status").and_then(Json::as_str);
+                let echoed = obj.get("id").and_then(Json::as_str);
+                match (status, echoed) {
+                    (Some(status), Some(echoed)) if echoed == id => {
+                        result.tally(status);
+                        let latency = received.saturating_duration_since(*at);
+                        result.latencies_us.push(latency.as_micros() as u64);
+                    }
+                    _ => result.malformed += 1,
+                }
+            }
+            _ => result.malformed += 1,
+        }
+    }
+    result
+}
+
+/// One concurrency level's aggregated outcome.
+struct Scenario {
+    conns: usize,
+    offered: usize,
+    sent: u64,
+    received: u64,
+    lost: u64,
+    malformed: u64,
+    statuses: Vec<(String, u64)>,
+    latencies_us: Vec<u64>,
+    wall: Duration,
+    errors: Vec<String>,
+}
+
+fn run_scenario(
+    addr: &str,
+    conns: usize,
+    rate: u64,
+    duration_ms: u64,
+    seed: u64,
+    session_frac_pct: u64,
+) -> Scenario {
+    let total = ((rate * duration_ms) / 1000).max(conns as u64) as usize;
+    let interval = Duration::from_secs_f64(1.0 / rate as f64);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            let addr = addr.to_owned();
+            let plan = ConnPlan {
+                start,
+                interval,
+                conn: c,
+                conns,
+                total,
+                seed,
+                session_frac_pct,
+            };
+            std::thread::spawn(move || run_connection(&addr, plan))
+        })
+        .collect();
+    let mut scenario = Scenario {
+        conns,
+        offered: total,
+        sent: 0,
+        received: 0,
+        lost: 0,
+        malformed: 0,
+        statuses: Vec::new(),
+        latencies_us: Vec::new(),
+        wall: Duration::ZERO,
+        errors: Vec::new(),
+    };
+    for worker in workers {
+        let conn = worker
+            .join()
+            .unwrap_or_else(|_| ConnResult::failed("connection thread panicked".into()));
+        scenario.sent += conn.sent;
+        scenario.received += conn.received;
+        scenario.malformed += conn.malformed;
+        scenario.latencies_us.extend(conn.latencies_us);
+        for (status, n) in conn.statuses {
+            if let Some((_, total)) = scenario.statuses.iter_mut().find(|(s, _)| *s == status) {
+                *total += n;
+            } else {
+                scenario.statuses.push((status, n));
+            }
+        }
+        if let Some(e) = conn.error {
+            scenario.errors.push(e);
+        }
+    }
+    scenario.wall = start.elapsed();
+    scenario.lost = scenario.sent.saturating_sub(scenario.received);
+    scenario.latencies_us.sort_unstable();
+    scenario.statuses.sort();
+    scenario
+}
+
+/// `q` in [0, 1]; nearest-rank on the sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn scenario_json(s: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str("    {");
+    out.push_str(&format!(
+        "\"conns\": {}, \"offered\": {}, \"sent\": {}, \"received\": {}, \
+         \"lost\": {}, \"malformed\": {}, ",
+        s.conns, s.offered, s.sent, s.received, s.lost, s.malformed
+    ));
+    out.push_str("\"statuses\": {");
+    for (i, (status, n)) in s.statuses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json::write_str(&mut out, status);
+        out.push_str(&format!(": {n}"));
+    }
+    out.push_str("}, ");
+    let l = &s.latencies_us;
+    out.push_str(&format!(
+        "\"latency_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, ",
+        percentile(l, 0.50),
+        percentile(l, 0.99),
+        percentile(l, 0.999),
+        l.last().copied().unwrap_or(0),
+    ));
+    let secs = s.wall.as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "\"wall_ms\": {}, \"throughput_rps\": {:.1}",
+        s.wall.as_millis(),
+        s.received as f64 / secs
+    ));
+    out.push('}');
+    out
+}
+
+fn report_json(
+    addr: &str,
+    rate: u64,
+    duration_ms: u64,
+    seed: u64,
+    session_frac_pct: u64,
+    scenarios: &[Scenario],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"gomq-serve\",\n  \"addr\": ");
+    json::write_str(&mut out, addr);
+    out.push_str(&format!(
+        ",\n  \"rate_hz\": {rate},\n  \"duration_ms\": {duration_ms},\n  \
+         \"seed\": {seed},\n  \"session_frac_pct\": {session_frac_pct},\n  \"scenarios\": [\n"
+    ));
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str(&scenario_json(s));
+        if i + 1 < scenarios.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `--validate FILE` gate: the report parses, has ≥1 scenario, each
+/// with percentiles + throughput and zero lost/malformed responses.
+fn validate(path: &str) -> ! {
+    let fail = |message: String| -> ! {
+        eprintln!("gomq-bench: {path}: {message}");
+        std::process::exit(1);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(format!("cannot read: {e}")),
+    };
+    let parsed = match json::parse(&text) {
+        Ok(p) => p,
+        Err(e) => fail(format!("not valid JSON: {e}")),
+    };
+    let Json::Obj(report) = parsed else {
+        fail("report is not a JSON object".into())
+    };
+    let Some(scenarios) = report.get("scenarios").and_then(Json::as_arr) else {
+        fail("missing \"scenarios\" array".into())
+    };
+    if scenarios.is_empty() {
+        fail("empty \"scenarios\" array".into());
+    }
+    let num = |obj: &std::collections::BTreeMap<String, Json>, key: &str| -> f64 {
+        match obj.get(key) {
+            Some(Json::Num(n)) => *n,
+            _ => fail(format!("scenario missing numeric {key:?}")),
+        }
+    };
+    for scenario in scenarios {
+        let Json::Obj(s) = scenario else {
+            fail("scenario is not an object".into())
+        };
+        if num(s, "lost") != 0.0 {
+            fail("scenario reports lost responses".into());
+        }
+        if num(s, "malformed") != 0.0 {
+            fail("scenario reports malformed responses".into());
+        }
+        if num(s, "received") <= 0.0 {
+            fail("scenario received no responses".into());
+        }
+        let Some(Json::Obj(latency)) = s.get("latency_us") else {
+            fail("scenario missing \"latency_us\"".into())
+        };
+        for key in ["p50", "p99", "p999"] {
+            num(latency, key);
+        }
+        num(s, "throughput_rps");
+        num(s, "conns");
+    }
+    eprintln!(
+        "gomq-bench: {path}: valid report, {} scenario(s)",
+        scenarios.len()
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut rate = 200u64;
+    let mut duration_ms = 2000u64;
+    let mut conns_list = vec![1usize, 4];
+    let mut session_frac_pct = 25u64;
+    let mut seed = 42u64;
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--validate" => {
+                let Some(path) = args.next() else {
+                    usage_error("--validate needs a file path");
+                };
+                validate(&path);
+            }
+            "--addr" => {
+                let Some(a) = args.next() else {
+                    usage_error("--addr needs an address, e.g. 127.0.0.1:7401");
+                };
+                addr = Some(a);
+            }
+            "--rate" => match numeric(&mut args, "--rate") {
+                0 => usage_error("--rate must be at least 1"),
+                n => rate = n,
+            },
+            "--duration-ms" => match numeric(&mut args, "--duration-ms") {
+                0 => usage_error("--duration-ms must be at least 1"),
+                n => duration_ms = n,
+            },
+            "--conns" => {
+                let Some(list) = args.next() else {
+                    usage_error("--conns needs a comma-separated list, e.g. 1,4,16");
+                };
+                conns_list = list
+                    .split(',')
+                    .map(|part| match part.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => usage_error(&format!("bad --conns entry {part:?}")),
+                    })
+                    .collect();
+                if conns_list.is_empty() {
+                    usage_error("--conns needs at least one level");
+                }
+            }
+            "--session-frac-pct" => match numeric(&mut args, "--session-frac-pct") {
+                n if n > 100 => usage_error("--session-frac-pct must be ≤ 100"),
+                n => session_frac_pct = n,
+            },
+            "--seed" => seed = numeric(&mut args, "--seed"),
+            "--out" => {
+                let Some(path) = args.next() else {
+                    usage_error("--out needs a file path");
+                };
+                out_path = path;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        usage_error("--addr is required (the gomq-serve --listen address)");
+    };
+
+    let mut scenarios = Vec::new();
+    let mut failures = 0u64;
+    for &conns in &conns_list {
+        eprintln!(
+            "gomq-bench: {addr}: {conns} conn(s), {rate} req/s offered for {duration_ms} ms \
+             (seed {seed}, {session_frac_pct}% session traffic)"
+        );
+        let s = run_scenario(&addr, conns, rate, duration_ms, seed, session_frac_pct);
+        let l = &s.latencies_us;
+        eprintln!(
+            "gomq-bench:   sent {} received {} lost {} malformed {} | p50 {}us p99 {}us \
+             p999 {}us | {:.1} req/s",
+            s.sent,
+            s.received,
+            s.lost,
+            s.malformed,
+            percentile(l, 0.50),
+            percentile(l, 0.99),
+            percentile(l, 0.999),
+            s.received as f64 / s.wall.as_secs_f64().max(1e-9),
+        );
+        for e in &s.errors {
+            eprintln!("gomq-bench:   connection error: {e}");
+        }
+        failures += s.lost + s.malformed + s.errors.len() as u64;
+        scenarios.push(s);
+    }
+    let report = report_json(&addr, rate, duration_ms, seed, session_frac_pct, &scenarios);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("gomq-bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("gomq-bench: report written to {out_path}");
+    if failures > 0 {
+        eprintln!("gomq-bench: FAILED: {failures} lost/malformed/errored responses");
+        std::process::exit(1);
+    }
+}

@@ -1,33 +1,44 @@
-//! `gomq-serve`: JSONL OMQ answering over stdin/stdout.
+//! `gomq-serve`: JSONL OMQ answering over stdin/stdout or TCP.
 //!
-//! Reads one JSON request object per line from stdin and writes one
-//! JSON response per line to stdout (see `gomq_engine::serve` for the
-//! protocol). Plans are cached across lines, so a stream of requests
-//! posing the same OMQ compiles it once. With `--data-dir` the session
-//! ABox (`"op": "assert"` / `"mark"` / `"rollback"`) is journaled to a
-//! write-ahead log and periodically snapshotted, so a crash — even a
-//! SIGKILL mid-write — loses at most the un-acknowledged mutation and a
-//! restart over the same directory resumes with the exact same store.
-//! A final statistics summary goes to stderr at EOF.
+//! Reads one JSON request object per line and writes one JSON response
+//! per line (see `gomq_engine::serve` for the protocol). By default the
+//! transport is stdin/stdout; with `--listen ADDR` the same protocol is
+//! served over TCP to many concurrent connections, backed by a bounded
+//! worker pool (`gomq_engine::net`). Plans are cached across lines and
+//! connections, so a stream of requests posing the same OMQ compiles it
+//! once. With `--data-dir` the session ABox (`"op": "assert"` /
+//! `"mark"` / `"rollback"`) is journaled to a write-ahead log and
+//! periodically snapshotted, so a crash — even a SIGKILL mid-write —
+//! loses at most the un-acknowledged mutation and a restart over the
+//! same directory resumes with the exact same store. A TCP server
+//! drains gracefully on SIGTERM/SIGINT: in-flight requests finish, the
+//! WAL is fsynced, and a final snapshot is cut. A final statistics
+//! summary goes to stderr at exit.
 //!
 //! ```text
 //! $ echo '{"ontology": "A sub B", "query": "B", "abox": "A(ada)"}' | gomq-serve
 //! {"status": "ok", "cached": false, ..., "answers": [["ada"]], ...}
 //! ```
 
-use gomq_engine::{read_line_capped, LineRead, ServeConfig, ServeSession, ServeShared};
-use std::io::Write;
+use gomq_engine::{
+    handle_connection, ConnClose, ConnControl, DrainToken, NetConfig, NetServer, ServeConfig,
+    ServeSession, ServeShared,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "gomq-serve — JSONL OMQ answering over stdin/stdout
+const USAGE: &str = "gomq-serve — JSONL OMQ answering over stdin/stdout or TCP
 
 Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
                   [--max-derived N] [--timeout-ms N] [--data-dir PATH]
                   [--snapshot-every N] [--fsync] [--quarantine-after N]
                   [--max-line-bytes N] [--chaos-seed N]
+                  [--listen ADDR] [--workers N] [--queue-depth N]
+                  [--max-conns N] [--max-conns-per-ip N]
+                  [--idle-timeout-ms N] [--drain-timeout-ms N]
 
-  --threads N          worker threads for evaluation (default: all cores)
+  --threads N          worker threads for evaluation (default: all cores;
+                       0 also means all cores, with a warning)
   --cache N            plan-cache capacity; older plans are LRU-evicted
   --max-rounds N       per-request fixpoint-round ceiling
   --max-derived N      per-request derived-fact ceiling (per ABox in a batch)
@@ -44,29 +55,66 @@ Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
   --chaos-seed N       install the standard deterministic fault plan with
                        seed N (needs a build with the `chaos` feature)
 
-Each stdin line is a JSON object:
+TCP mode (the flags below require --listen):
+  --listen ADDR        serve the JSONL protocol over TCP on ADDR (e.g.
+                       127.0.0.1:7401; port 0 binds an ephemeral port,
+                       printed to stderr as \"listening on <addr>\").
+                       SIGTERM/SIGINT drain gracefully: in-flight
+                       requests finish, the WAL is fsynced, and a final
+                       snapshot is cut before exit
+  --workers N          request-executing worker threads (default: all
+                       cores)
+  --queue-depth N      backpressure bound: requests queued beyond N are
+                       refused with {\"status\": \"overloaded\",
+                       \"limit\": \"queue\"} (default: 16 x workers,
+                       at least 64)
+  --max-conns N        refuse connections beyond N open at once
+                       (default 1024)
+  --max-conns-per-ip N refuse connections beyond N open per peer IP
+                       (default 1024)
+  --idle-timeout-ms N  hang up on a connection idle for N ms (default:
+                       never)
+  --drain-timeout-ms N at shutdown, wait at most N ms for open
+                       connections to finish before abandoning them
+                       (default 5000)
+
+Each request line is a JSON object:
   {\"ontology\": \"<dl axioms>\", \"query\": \"<relation>\", \"abox\": \"<facts>\"}
 with optional \"id\", optional \"limits\" ({\"max_rounds\", \"max_derived\",
 \"timeout_ms\"}; clamped by the session limits above) and, instead of
 \"abox\", a batched \"aboxes\": [\"<facts>\", ...] or \"session\": true to
 query the session store. Session mutations: {\"op\": \"assert\", \"abox\":
 ...}, {\"op\": \"mark\"}, {\"op\": \"rollback\", \"mark\": N}. One JSON
-response per line on stdout; a blown limit answers {\"status\":
-\"overloaded\", ...}, a quarantined plan {\"status\": \"quarantined\", ...}.
+response per line; a blown limit answers {\"status\": \"overloaded\", ...},
+a quarantined plan {\"status\": \"quarantined\", ...}.
 ";
 
+fn usage_error(message: &str) -> ! {
+    eprintln!("gomq-serve: {message}");
+    eprintln!("run gomq-serve --help for usage");
+    std::process::exit(2);
+}
+
 fn numeric(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
-    args.next()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} needs a non-negative integer");
-            std::process::exit(2);
-        })
+    let Some(value) = args.next() else {
+        usage_error(&format!("{flag} needs a non-negative integer"));
+    };
+    match value.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => usage_error(&format!(
+            "{flag} needs a non-negative integer, got {value:?}"
+        )),
+    }
 }
 
 fn main() {
     let mut config = ServeConfig::default();
     let mut chaos_seed: Option<u64> = None;
+    let mut listen: Option<String> = None;
+    let mut net = NetConfig::default();
+    // Flags that only make sense with --listen, remembered for the
+    // "--workers requires --listen" usage error.
+    let mut net_flag: Option<&'static str> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -74,7 +122,17 @@ fn main() {
                 print!("{USAGE}");
                 return;
             }
-            "--threads" => config.threads = numeric(&mut args, "--threads").max(1) as usize,
+            "--threads" => {
+                let n = numeric(&mut args, "--threads");
+                if n == 0 {
+                    eprintln!(
+                        "gomq-serve: --threads 0 means \"all cores\" ({} here)",
+                        config.threads
+                    );
+                } else {
+                    config.threads = n as usize;
+                }
+            }
             "--cache" => config.cache_capacity = numeric(&mut args, "--cache") as usize,
             "--max-rounds" => {
                 config.limits.max_rounds = Some(numeric(&mut args, "--max-rounds") as usize)
@@ -87,10 +145,9 @@ fn main() {
                     Some(Duration::from_millis(numeric(&mut args, "--timeout-ms")))
             }
             "--data-dir" => {
-                let path = args.next().unwrap_or_else(|| {
-                    eprintln!("--data-dir needs a path");
-                    std::process::exit(2);
-                });
+                let Some(path) = args.next() else {
+                    usage_error("--data-dir needs a path");
+                };
                 config.data_dir = Some(path.into());
             }
             "--snapshot-every" => config.snapshot_every = numeric(&mut args, "--snapshot-every"),
@@ -102,10 +159,60 @@ fn main() {
                 config.max_line_bytes = numeric(&mut args, "--max-line-bytes").max(1) as usize
             }
             "--chaos-seed" => chaos_seed = Some(numeric(&mut args, "--chaos-seed")),
+            "--listen" => {
+                let Some(addr) = args.next() else {
+                    usage_error("--listen needs an address, e.g. 127.0.0.1:7401");
+                };
+                listen = Some(addr);
+            }
+            "--workers" => {
+                net_flag = Some("--workers");
+                match numeric(&mut args, "--workers") as usize {
+                    0 => usage_error("--workers must be at least 1"),
+                    n => net.workers = n,
+                }
+            }
+            "--queue-depth" => {
+                net_flag = Some("--queue-depth");
+                match numeric(&mut args, "--queue-depth") as usize {
+                    0 => usage_error("--queue-depth must be at least 1"),
+                    n => net.queue_depth = n,
+                }
+            }
+            "--max-conns" => {
+                net_flag = Some("--max-conns");
+                match numeric(&mut args, "--max-conns") as usize {
+                    0 => usage_error("--max-conns must be at least 1"),
+                    n => net.max_conns = n,
+                }
+            }
+            "--max-conns-per-ip" => {
+                net_flag = Some("--max-conns-per-ip");
+                match numeric(&mut args, "--max-conns-per-ip") as usize {
+                    0 => usage_error("--max-conns-per-ip must be at least 1"),
+                    n => net.max_conns_per_ip = n,
+                }
+            }
+            "--idle-timeout-ms" => {
+                net_flag = Some("--idle-timeout-ms");
+                net.idle_timeout = Some(Duration::from_millis(numeric(
+                    &mut args,
+                    "--idle-timeout-ms",
+                )));
+            }
+            "--drain-timeout-ms" => {
+                net_flag = Some("--drain-timeout-ms");
+                net.drain_timeout = Duration::from_millis(numeric(&mut args, "--drain-timeout-ms"));
+            }
             other => {
                 eprintln!("unknown argument: {other}\n\n{USAGE}");
                 std::process::exit(2);
             }
+        }
+    }
+    if listen.is_none() {
+        if let Some(flag) = net_flag {
+            usage_error(&format!("{flag} requires --listen"));
         }
     }
     if let Some(seed) = chaos_seed {
@@ -137,41 +244,91 @@ fn main() {
             },
         );
     }
-    let max_line = shared.max_line_bytes();
-    let mut session = ServeSession::with_shared(Arc::new(shared));
-    let stdin = std::io::stdin();
-    let mut input = stdin.lock();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    loop {
-        let response = match read_line_capped(&mut input, max_line) {
-            Ok(LineRead::Eof) => break,
-            Ok(LineRead::Line(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                session.handle_line(&line)
-            }
-            Ok(LineRead::TooLong { limit }) => session.refuse_oversized_line(limit),
-            Err(e) => {
-                eprintln!("stdin error: {e}");
-                break;
-            }
-        };
-        if writeln!(out, "{response}")
-            .and_then(|()| out.flush())
-            .is_err()
-        {
-            break; // downstream closed the pipe
+    let shared = Arc::new(shared);
+    match listen {
+        Some(addr) => serve_tcp(&addr, shared.clone(), net),
+        None => serve_stdin(shared.clone()),
+    }
+    print_summary(&shared);
+}
+
+/// TCP mode: accept loop + worker pool until SIGTERM/SIGINT, then a
+/// graceful drain (finish in-flight, fsync WAL, final snapshot).
+fn serve_tcp(addr: &str, shared: Arc<ServeShared>, net: NetConfig) {
+    let drain = match DrainToken::with_signals() {
+        Ok(token) => token,
+        Err(e) => {
+            eprintln!("gomq-serve: cannot install signal handlers: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match NetServer::bind(addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("gomq-serve: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("gomq-serve: listening on {}", server.local_addr());
+    match server.serve(shared, net, drain) {
+        Ok(report) => {
+            eprintln!(
+                "gomq-serve: drained: {} connections accepted, {} refused{}{}",
+                report.conns_accepted,
+                report.conns_refused,
+                if report.drain_timed_out {
+                    ", drain timed out (stragglers abandoned)"
+                } else {
+                    ""
+                },
+                if report.final_snapshot {
+                    ", final snapshot cut"
+                } else {
+                    ""
+                },
+            );
+        }
+        Err(e) => {
+            eprintln!("gomq-serve: listener failed: {e}");
+            std::process::exit(1);
         }
     }
-    let stats = session.engine().stats();
+}
+
+/// Stdin mode: one session over stdin/stdout, sharing the TCP code
+/// path via `handle_connection`. EOF finalizes durable sessions the
+/// same way a TCP drain does.
+fn serve_stdin(shared: Arc<ServeShared>) {
+    let mut session = ServeSession::with_shared(shared.clone());
+    let max_line = shared.max_line_bytes();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let control = ConnControl {
+        draining: None,
+        idle_timeout: None,
+    };
+    let outcome = handle_connection(stdin.lock(), stdout.lock(), max_line, &control, |line| {
+        session.handle_line(line)
+    });
+    match outcome.close {
+        ConnClose::Read(e) => eprintln!("stdin error: {e}"),
+        ConnClose::Write(_) => {} // downstream closed the pipe
+        ConnClose::Eof | ConnClose::Drained | ConnClose::Idle => {}
+    }
+    if let Err(e) = shared.drain_persist() {
+        eprintln!("gomq-serve: final session flush failed: {e}");
+    }
+}
+
+fn print_summary(shared: &ServeShared) {
+    let stats = shared.engine().stats();
     eprintln!(
         "gomq-serve: {} requests, {} cache hits / {} misses, {} rounds, \
          {} facts derived, compile {:?}, eval {:?}, {} cached plans \
          ({} evicted, {} in-flight waits), {} overloaded, {} panics isolated, \
          {} WAL records ({} bytes), {} snapshots, {} quarantined \
-         ({} breakers tripped), {} faults injected",
+         ({} breakers tripped), {} faults injected, {} conns accepted \
+         ({} refused), {} queue rejects, {} drains",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
@@ -190,5 +347,9 @@ fn main() {
         stats.quarantined,
         stats.breaker_trips,
         stats.faults_injected,
+        stats.conns_accepted,
+        stats.conns_refused,
+        stats.queue_rejects,
+        stats.drains,
     );
 }

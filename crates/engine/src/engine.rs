@@ -330,6 +330,43 @@ impl Engine {
         stats.snapshots = stats.snapshots.saturating_add(1);
     }
 
+    /// Records one accepted network connection (bumps the cumulative
+    /// accept count and the active-connection gauge).
+    pub fn record_conn_open(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.conns_accepted = stats.conns_accepted.saturating_add(1);
+        stats.conns_active = stats.conns_active.saturating_add(1);
+    }
+
+    /// Records one closed network connection (decrements the gauge).
+    pub fn record_conn_close(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.conns_active = stats.conns_active.saturating_sub(1);
+    }
+
+    /// Records one connection refused at accept time (connection caps).
+    pub fn record_conn_refused(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.conns_refused = stats.conns_refused.saturating_add(1);
+    }
+
+    /// Samples the worker pool's queue depth (jobs queued or executing).
+    pub fn record_queue_depth(&self, depth: u64) {
+        lock_recover(&self.stats).queue_depth = depth;
+    }
+
+    /// Records one request refused because the worker queue was full.
+    pub fn record_queue_reject(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.queue_rejects = stats.queue_rejects.saturating_add(1);
+    }
+
+    /// Records one graceful drain initiated.
+    pub fn record_drain(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.drains = stats.drains.saturating_add(1);
+    }
+
     /// Records what startup recovery rebuilt from the data directory.
     pub fn record_recovery(&self, info: &crate::session::RecoveryInfo) {
         let mut stats = lock_recover(&self.stats);

@@ -32,6 +32,12 @@
 //!   compilation or evaluation are caught and isolated, and poisoned
 //!   locks are recovered, so a hostile line can never take the session
 //!   down or wedge its siblings.
+//! * [`net`] + [`drain`] — the TCP front end (`gomq-serve --listen`):
+//!   a multi-connection accept loop speaking the same JSONL protocol,
+//!   a bounded worker pool with a backpressure queue (full ⇒ typed
+//!   `"overloaded"` refusals), connection caps, idle timeouts, and
+//!   graceful drain on SIGTERM ([`DrainToken`]): in-flight requests
+//!   finish, the WAL is fsynced and a final snapshot cut.
 //!
 //! The executor is answer-equivalent to the reference
 //! [`gomq_datalog::Program::eval`]; `tests/engine_props.rs` checks this
@@ -41,10 +47,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod drain;
 pub mod engine;
 pub mod exec;
 pub mod faults;
 pub mod json;
+pub mod net;
 pub mod plan;
 pub mod serve;
 pub mod session;
@@ -52,14 +60,19 @@ pub mod stats;
 pub mod wal;
 
 pub use cache::{PlanCache, PlanOutcome};
+pub use drain::DrainToken;
 pub use engine::Engine;
 pub use exec::{
     eval_batch, eval_batch_budgeted, eval_plain, eval_program, eval_strata, eval_strata_budgeted,
     Strata,
 };
 pub use gomq_datalog::{Budget, BudgetExceeded, LimitKind};
+pub use net::{NetConfig, NetReport, NetServer};
 pub use plan::{EngineError, OmqPlan};
-pub use serve::{read_line_capped, Limits, LineRead, ServeConfig, ServeSession, ServeShared};
+pub use serve::{
+    handle_connection, read_line_capped, CappedLineReader, ConnClose, ConnControl, ConnOutcome,
+    Limits, LineRead, ServeConfig, ServeSession, ServeShared,
+};
 pub use session::{DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError};
 pub use stats::{EngineStats, RequestStats};
 pub use wal::{SymFact, SymTerm, Wal, WalRecord};

@@ -254,6 +254,28 @@ impl ServeShared {
     pub fn max_line_bytes(&self) -> usize {
         self.max_line_bytes
     }
+
+    /// Flushes the durable session for an orderly shutdown: fsync the
+    /// WAL, then cut a final snapshot, so a deploy-time restart recovers
+    /// from the snapshot alone instead of replaying the whole log.
+    /// Returns `Ok(false)` for in-memory sessions. Counts the drain (and
+    /// the snapshot, when one was cut) in the engine totals.
+    pub fn drain_persist(&self) -> Result<bool, SessionError> {
+        self.engine.record_drain();
+        let result = {
+            let mut session = lock_recover(&self.session);
+            if !session.is_durable() {
+                return Ok(false);
+            }
+            // session → vocab is the one permitted lock nesting order.
+            let vocab = lock_recover(&self.vocab);
+            session.drain(&vocab)
+        };
+        if result.is_ok() {
+            self.engine.record_snapshot();
+        }
+        result.map(|()| true)
+    }
 }
 
 /// A serving session: a view onto [`ServeShared`] state plus the
@@ -771,7 +793,9 @@ impl ServeSession {
              \"arena_bytes\": {}, \"dedup_hits\": {}, \"wal_records\": {}, \
              \"wal_bytes\": {}, \"snapshots\": {}, \"recovered_records\": {}, \
              \"recovered_facts\": {}, \"session_facts\": {}, \"quarantined\": {}, \
-             \"breaker_trips\": {}, \"faults_injected\": {}}}",
+             \"breaker_trips\": {}, \"faults_injected\": {}, \"conns_accepted\": {}, \
+             \"conns_refused\": {}, \"conns_active\": {}, \"queue_depth\": {}, \
+             \"queue_rejects\": {}, \"drains\": {}}}",
             totals.requests,
             totals.cache_hits,
             totals.cache_misses,
@@ -792,19 +816,19 @@ impl ServeSession {
             totals.quarantined,
             totals.breaker_trips,
             totals.faults_injected,
+            totals.conns_accepted,
+            totals.conns_refused,
+            totals.conns_active,
+            totals.queue_depth,
+            totals.queue_rejects,
+            totals.drains,
         );
     }
 
     /// The structured refusal for an over-long input line (the caller
     /// never got a parseable request, so there is no id to echo).
     pub fn refuse_oversized_line(&self, limit: usize) -> String {
-        let mut out = String::from("{\"status\": \"malformed\", \"error\": ");
-        json::write_str(
-            &mut out,
-            &format!("request line exceeds the {limit}-byte cap"),
-        );
-        out.push('}');
-        out
+        refuse_oversized_line(limit)
     }
 
     fn write_answers(&self, out: &mut String, answers: &BTreeSet<Vec<Term>>) {
@@ -844,47 +868,235 @@ pub enum LineRead {
     Eof,
 }
 
+/// Stateful capped line framing over any [`BufRead`].
+///
+/// Unlike the one-shot [`read_line_capped`], the partial-line buffer
+/// lives *in the struct*, so a read timeout mid-line (a socket with
+/// `SO_RCVTIMEO`, used by the TCP front end to poll its drain flag)
+/// loses nothing: [`CappedLineReader::poll_line`] returns `Ok(None)` and
+/// the next poll resumes exactly where the stream paused.
+pub struct CappedLineReader<R> {
+    inner: R,
+    max_bytes: usize,
+    buf: Vec<u8>,
+    overflow: bool,
+}
+
+impl<R: BufRead> CappedLineReader<R> {
+    /// A framer over `inner` refusing lines longer than `max_bytes`.
+    pub fn new(inner: R, max_bytes: usize) -> Self {
+        CappedLineReader {
+            inner,
+            max_bytes,
+            buf: Vec::new(),
+            overflow: false,
+        }
+    }
+
+    /// Advances the framing by whatever bytes are available.
+    ///
+    /// Returns `Ok(Some(..))` for a framing event (a complete line, an
+    /// over-cap refusal, end of stream), `Ok(None)` when the underlying
+    /// read would block or timed out (`WouldBlock`, `TimedOut`,
+    /// `Interrupted`) — partial input is retained for the next poll —
+    /// and `Err` only for real I/O failures.
+    pub fn poll_line(&mut self) -> std::io::Result<Option<LineRead>> {
+        use std::io::ErrorKind;
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(c) => c,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF: deliver what we have (a final unterminated line).
+                return Ok(Some(if std::mem::take(&mut self.overflow) {
+                    LineRead::TooLong {
+                        limit: self.max_bytes,
+                    }
+                } else if self.buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    finish_line(std::mem::take(&mut self.buf))
+                }));
+            }
+            if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                if !self.overflow {
+                    self.buf.extend_from_slice(&chunk[..pos]);
+                }
+                self.inner.consume(pos + 1);
+                let overflowed = std::mem::take(&mut self.overflow);
+                let buf = std::mem::take(&mut self.buf);
+                return Ok(Some(if overflowed || buf.len() > self.max_bytes {
+                    LineRead::TooLong {
+                        limit: self.max_bytes,
+                    }
+                } else {
+                    finish_line(buf)
+                }));
+            }
+            let n = chunk.len();
+            if !self.overflow {
+                self.buf.extend_from_slice(chunk);
+                if self.buf.len() > self.max_bytes {
+                    self.overflow = true;
+                    self.buf = Vec::new(); // drop, don't keep growing
+                }
+            }
+            self.inner.consume(n);
+        }
+    }
+}
+
 /// Reads one `\n`-terminated line from `reader`, refusing (not
 /// buffering) lines longer than `max_bytes`. This is the serve binary's
 /// framing primitive: unlike [`BufRead::read_line`], a hostile
 /// gigabyte-long line cannot balloon resident memory — it is drained
 /// chunk by chunk and answered with [`LineRead::TooLong`].
+///
+/// One-shot wrapper over [`CappedLineReader`] for blocking streams
+/// (stdin, pipes): a would-block pause simply retries.
 pub fn read_line_capped<R: BufRead>(reader: &mut R, max_bytes: usize) -> std::io::Result<LineRead> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut overflow = false;
+    let mut framer = CappedLineReader::new(reader, max_bytes);
     loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            // EOF: deliver what we have (a final unterminated line).
-            return Ok(if overflow {
-                LineRead::TooLong { limit: max_bytes }
-            } else if buf.is_empty() {
-                LineRead::Eof
-            } else {
-                finish_line(buf)
-            });
+        if let Some(event) = framer.poll_line()? {
+            return Ok(event);
         }
-        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
-            if !overflow {
-                buf.extend_from_slice(&chunk[..pos]);
-            }
-            reader.consume(pos + 1);
-            return Ok(if overflow || buf.len() > max_bytes {
-                LineRead::TooLong { limit: max_bytes }
-            } else {
-                finish_line(buf)
-            });
-        }
-        let n = chunk.len();
-        if !overflow {
-            buf.extend_from_slice(chunk);
-            if buf.len() > max_bytes {
-                overflow = true;
-                buf = Vec::new(); // drop, don't keep growing
-            }
-        }
-        reader.consume(n);
     }
+}
+
+/// Per-connection knobs for [`handle_connection`]: how the request loop
+/// notices a server-wide drain and when it hangs up on an idle peer.
+#[derive(Clone, Debug, Default)]
+pub struct ConnControl {
+    /// Server-wide drain token. Once tripped, requests the peer already
+    /// sent are still answered, and the loop closes with
+    /// [`ConnClose::Drained`] at the first read tick that finds no
+    /// request pending. Only effective on streams whose reads time out;
+    /// the blocking stdin transport drains at EOF instead.
+    pub draining: Option<crate::drain::DrainToken>,
+    /// Hang up after this long without a complete request. Only
+    /// effective on streams whose reads time out (sockets with a read
+    /// timeout); a blocking stdin pipe never produces idle ticks.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl ConnControl {
+    fn is_draining(&self) -> bool {
+        self.draining.as_ref().is_some_and(|t| t.is_draining())
+    }
+}
+
+/// Why a connection's request loop ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConnClose {
+    /// The peer closed its write half (stdin EOF, socket shutdown).
+    Eof,
+    /// The server is draining: the loop stopped accepting new requests.
+    Drained,
+    /// The idle timeout elapsed without a complete request.
+    Idle,
+    /// Reading the request stream failed.
+    Read(String),
+    /// Writing a response failed (the peer hung up mid-response).
+    Write(String),
+}
+
+/// Outcome of one connection's request loop.
+#[derive(Clone, Debug)]
+pub struct ConnOutcome {
+    /// Requests answered (refusals for oversized lines included).
+    pub requests: u64,
+    /// Why the loop ended.
+    pub close: ConnClose,
+}
+
+/// The transport-agnostic request loop: reads capped JSONL requests from
+/// `reader`, obtains one response line per request from `exec`, and
+/// writes it (newline-terminated, flushed) to `writer`.
+///
+/// Both serving transports are instances of this one function: stdin
+/// mode passes `stdin.lock()` / `stdout.lock()` and an `exec` that calls
+/// [`ServeSession::handle_line`] inline; the TCP front end
+/// ([`crate::net`]) passes a socket with a short read timeout and an
+/// `exec` that submits to the bounded worker pool. Oversized lines are
+/// refused in-loop with [`refuse_oversized_line`] without consulting
+/// `exec`.
+pub fn handle_connection<R, W, F>(
+    reader: R,
+    mut writer: W,
+    max_line_bytes: usize,
+    control: &ConnControl,
+    mut exec: F,
+) -> ConnOutcome
+where
+    R: BufRead,
+    W: std::io::Write,
+    F: FnMut(&str) -> String,
+{
+    let mut framer = CappedLineReader::new(reader, max_line_bytes);
+    let mut requests = 0u64;
+    let mut last_activity = Instant::now();
+    let close = loop {
+        let response = match framer.poll_line() {
+            Ok(Some(LineRead::Eof)) => break ConnClose::Eof,
+            Ok(Some(LineRead::Line(line))) => {
+                last_activity = Instant::now();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                exec(&line)
+            }
+            Ok(Some(LineRead::TooLong { limit })) => {
+                last_activity = Instant::now();
+                refuse_oversized_line(limit)
+            }
+            Ok(None) => {
+                // Read timeout tick: no complete request pending. The
+                // drain check lives here, not before every read, so
+                // requests the peer already pipelined are still
+                // answered — a drain cuts the connection once it goes
+                // quiet for one tick (a peer streaming through a drain
+                // is bounded by the server's drain timeout instead).
+                if control.is_draining() {
+                    break ConnClose::Drained;
+                }
+                if control
+                    .idle_timeout
+                    .is_some_and(|t| last_activity.elapsed() >= t)
+                {
+                    break ConnClose::Idle;
+                }
+                continue;
+            }
+            Err(e) => break ConnClose::Read(e.to_string()),
+        };
+        requests += 1;
+        if let Err(e) = writeln!(writer, "{response}").and_then(|()| writer.flush()) {
+            break ConnClose::Write(e.to_string());
+        }
+    };
+    ConnOutcome { requests, close }
+}
+
+/// The structured refusal for an input line past the configured byte
+/// cap (the line was never buffered, let alone parsed, so there is no
+/// request id to echo).
+pub fn refuse_oversized_line(limit: usize) -> String {
+    let mut out = String::from("{\"status\": \"malformed\", \"error\": ");
+    json::write_str(
+        &mut out,
+        &format!("request line exceeds the {limit}-byte cap"),
+    );
+    out.push('}');
+    out
 }
 
 fn finish_line(mut buf: Vec<u8>) -> LineRead {

@@ -395,6 +395,22 @@ impl DurableSession {
         p.records_since_snapshot = 0;
         Ok(())
     }
+
+    /// Orderly-shutdown flush: fsync the WAL (so every acknowledged
+    /// mutation is stable even if the next step fails), then cut a final
+    /// snapshot. After a clean drain a restart recovers from the
+    /// snapshot alone — zero WAL replay — which is the deploy story the
+    /// serving front end advertises. No-op for in-memory sessions.
+    pub fn drain(&mut self, vocab: &Vocab) -> Result<(), SessionError> {
+        let Some(p) = self.persist.as_mut() else {
+            return Ok(());
+        };
+        if let Some(why) = &p.poisoned {
+            return Err(SessionError::Poisoned(why.clone()));
+        }
+        p.wal.sync().map_err(|e| SessionError::Io(e.to_string()))?;
+        self.snapshot_now(vocab)
+    }
 }
 
 /// Resolves a symbolic fact against the vocabulary, interning names as

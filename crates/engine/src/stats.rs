@@ -96,6 +96,22 @@ pub struct EngineStats {
     /// Faults injected by the chaos layer (0 unless the `chaos` feature
     /// is on and a plan is installed).
     pub faults_injected: u64,
+    /// TCP connections accepted by the network front end.
+    pub conns_accepted: u64,
+    /// TCP connections refused at accept time (global or per-IP
+    /// connection cap reached).
+    pub conns_refused: u64,
+    /// TCP connections currently open (gauge, not cumulative).
+    pub conns_active: u64,
+    /// Worker-pool jobs currently queued or executing (gauge, sampled at
+    /// the last enqueue/dequeue).
+    pub queue_depth: u64,
+    /// Requests refused with `"limit": "queue"` because the worker
+    /// pool's backpressure queue was full.
+    pub queue_rejects: u64,
+    /// Graceful drains initiated (SIGTERM, shutdown token, or stdin
+    /// EOF finalization).
+    pub drains: u64,
 }
 
 impl EngineStats {

@@ -339,6 +339,19 @@ impl Wal {
         }
     }
 
+    /// Forces every appended record to stable storage, regardless of the
+    /// per-record fsync policy. The drain path calls this before cutting
+    /// the shutdown snapshot: even if the snapshot then fails, every
+    /// acknowledged mutation is durable.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(faults::IoFault::Error | faults::IoFault::Short) =
+            faults::io_point(faults::WAL_FSYNC)
+        {
+            return Err(io::Error::other("chaos: injected fsync failure"));
+        }
+        self.file.sync_data()
+    }
+
     /// Truncates the log to empty (called right after a snapshot made
     /// its records redundant). Lsns keep counting — a crash between the
     /// snapshot rename and this truncation is covered by recovery

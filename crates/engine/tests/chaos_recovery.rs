@@ -8,69 +8,10 @@
 //! remaining requests. Every query must answer byte-identically to an
 //! uninterrupted run of the same script.
 
-use gomq_engine::json::{self, Json};
-use std::io::{BufRead, BufReader, Write};
-use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+mod common;
 
-fn tmpdir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("gomq-chaos-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-/// A running `gomq-serve` driven one acknowledged request at a time.
-struct Serve {
-    child: Child,
-    stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
-}
-
-impl Serve {
-    fn spawn(dir: &Path, extra: &[&str]) -> Serve {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_gomq-serve"))
-            .arg("--data-dir")
-            .arg(dir)
-            .args(extra)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn gomq-serve");
-        let stdin = child.stdin.take().expect("stdin piped");
-        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
-        Serve {
-            child,
-            stdin,
-            stdout,
-        }
-    }
-
-    /// Sends one request line and blocks for its response — the request
-    /// is *acknowledged* once this returns, so a later kill must not
-    /// lose its effect.
-    fn request(&mut self, line: &str) -> String {
-        writeln!(self.stdin, "{line}").expect("write request");
-        self.stdin.flush().expect("flush request");
-        let mut response = String::new();
-        self.stdout.read_line(&mut response).expect("read response");
-        assert!(!response.is_empty(), "server died before responding");
-        response.trim_end().to_owned()
-    }
-
-    /// SIGKILL — no flush, no shutdown hook, the hard crash.
-    fn kill(mut self) {
-        self.child.kill().expect("kill gomq-serve");
-        let _ = self.child.wait();
-    }
-
-    /// Orderly EOF shutdown.
-    fn finish(self) {
-        drop(self.stdin);
-        let mut child = self.child;
-        let _ = child.wait();
-    }
-}
+use common::{answers_of, tmpdir, Serve};
+use gomq_engine::json::Json;
 
 /// The scripted session: interleaved mutations and session queries.
 /// Returns the request lines; queries carry ids `q<n>`.
@@ -98,23 +39,6 @@ fn script() -> Vec<String> {
     lines.push(assert("Manager(closing)"));
     lines.push(query(q));
     lines
-}
-
-/// Extracts `(id, answers)` from a query response; `None` for mutation
-/// acknowledgements. Engine counters and cache flags legitimately
-/// differ across restarts, so equivalence is judged on answers alone.
-fn answers_of(response: &str) -> Option<(String, Json)> {
-    let parsed = json::parse(response).unwrap_or_else(|e| panic!("bad JSON ({e}): {response}"));
-    let Json::Obj(obj) = parsed else {
-        panic!("response is not an object: {response}")
-    };
-    assert_eq!(
-        obj.get("status").and_then(Json::as_str),
-        Some("ok"),
-        "unexpected failure response: {response}"
-    );
-    let id = obj.get("id").and_then(Json::as_str)?.to_owned();
-    Some((id, obj.get("answers").cloned().expect("query has answers")))
 }
 
 /// Runs the whole script uninterrupted and returns every query's

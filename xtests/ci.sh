@@ -40,4 +40,46 @@ cargo test -q -p gomq-xtests --test chaos
 echo "==> E14_TINY=1 cargo bench -p gomq-bench --bench e14_store (smoke)"
 E14_TINY=1 cargo bench -p gomq-bench --bench e14_store
 
+# Release-mode TCP smoke: an ephemeral-port listener driven by
+# gomq-bench for ~2s at low rate. The bench exits nonzero on any lost
+# or malformed response, and --validate re-checks the JSON report.
+tcp_smoke() {
+    tcp_extra=$1
+    tcp_tag=$2
+    tcp_dir="$(mktemp -d)"
+    # shellcheck disable=SC2086  # word-splitting of $tcp_extra is intended
+    target/release/gomq-serve --listen 127.0.0.1:0 \
+        --data-dir "$tcp_dir/data" $tcp_extra 2>"$tcp_dir/serve.err" &
+    tcp_srv=$!
+    tcp_addr=""
+    for _ in $(seq 1 50); do
+        tcp_addr="$(sed -n 's/^gomq-serve: listening on //p' "$tcp_dir/serve.err")"
+        [ -n "$tcp_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$tcp_addr" ]; then
+        echo "gomq-serve never announced its address:" >&2
+        cat "$tcp_dir/serve.err" >&2
+        exit 1
+    fi
+    target/release/gomq-bench --addr "$tcp_addr" --rate 100 --duration-ms 2000 \
+        --conns 1,4 --seed 42 --out "$tcp_dir/BENCH_serve_$tcp_tag.json"
+    kill -TERM "$tcp_srv"
+    wait "$tcp_srv"
+    if ! grep -q "gomq-serve: drained:" "$tcp_dir/serve.err"; then
+        echo "no graceful-drain summary after SIGTERM:" >&2
+        cat "$tcp_dir/serve.err" >&2
+        exit 1
+    fi
+    target/release/gomq-bench --validate "$tcp_dir/BENCH_serve_$tcp_tag.json"
+    rm -rf "$tcp_dir"
+}
+
+echo "==> TCP smoke: gomq-serve --listen + gomq-bench (release)"
+tcp_smoke "" smoke
+
+echo "==> TCP smoke under deterministic chaos (--chaos-seed, release chaos build)"
+cargo build --release -p gomq-engine --features chaos --bins
+tcp_smoke "--chaos-seed 20260808" chaos
+
 echo "CI gate passed."
