@@ -29,6 +29,9 @@ pub const WAL_WRITE: &str = "wal.write";
 pub const WAL_FSYNC: &str = "wal.fsync";
 /// Seam around a snapshot file write (I/O error faults).
 pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+/// Seam at the entry of an incremental-view maintenance apply (panic
+/// faults — exercises the registry's drop-view-on-panic fence).
+pub const IVM_APPLY: &str = "ivm.apply";
 
 /// One injectable fault kind.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,7 +93,8 @@ impl FaultPlan {
 
     /// The standard chaos mix used by `gomq-serve --chaos-seed` and the
     /// CI smoke: occasional eval panics and delays, short WAL writes,
-    /// fsync failures, compile panics and a generous arena alloc cap.
+    /// fsync failures, compile panics, a generous arena alloc cap and
+    /// occasional view-maintenance panics.
     pub fn standard(seed: u64) -> Self {
         FaultPlan::new(seed)
             .rule(EVAL_ROUND, FaultKind::Panic, 17)
@@ -99,6 +103,7 @@ impl FaultPlan {
             .rule(WAL_FSYNC, FaultKind::IoError, 11)
             .rule(CACHE_COMPILE, FaultKind::Panic, 13)
             .rule(STORE_INTERN, FaultKind::AllocCap(1 << 22), 1)
+            .rule(IVM_APPLY, FaultKind::Panic, 19)
     }
 }
 

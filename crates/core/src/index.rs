@@ -39,6 +39,14 @@ pub trait FactLookup {
     fn candidate_count(&self, rel: RelId, first: Option<Term>) -> usize {
         self.candidate_ids(rel, first).len()
     }
+
+    /// Whether the candidate `id` is live. Stores without retraction
+    /// support report everything live; maintained stores
+    /// ([`crate::FactStore::sub_support`]) report dead facts so join
+    /// loops skip them.
+    fn is_live(&self, _id: u32) -> bool {
+        true
+    }
 }
 
 impl FactLookup for Interpretation {
@@ -116,6 +124,13 @@ impl IndexedInstance {
     /// Inserts a fact given as a relation and an argument slice; returns
     /// `true` if it was new. No allocation on the duplicate path.
     pub fn insert_ref(&mut self, rel: RelId, args: &[Term]) -> bool {
+        self.intern_ref(rel, args).1
+    }
+
+    /// Inserts a fact and returns its id together with whether it was
+    /// new — the id-aware form incremental view maintenance needs to
+    /// track support per fact.
+    pub fn intern_ref(&mut self, rel: RelId, args: &[Term]) -> (FactId, bool) {
         let (id, new) = self.store.intern(rel, args);
         if new {
             if let Some(&first) = args.first() {
@@ -125,7 +140,25 @@ impl IndexedInstance {
                     .push(id.0);
             }
         }
-        new
+        (id, new)
+    }
+
+    /// Adds derivation support to a fact (see
+    /// [`FactStore::add_support`]).
+    pub fn add_support(&mut self, id: FactId, n: u32) {
+        self.store.add_support(id, n);
+    }
+
+    /// Removes derivation support from a fact (see
+    /// [`FactStore::sub_support`]).
+    pub fn sub_support(&mut self, id: FactId, n: u32) {
+        self.store.sub_support(id, n);
+    }
+
+    /// Overwrites a fact's support count (see
+    /// [`FactStore::set_support`]).
+    pub fn set_support(&mut self, id: FactId, n: u32) {
+        self.store.set_support(id, n);
     }
 
     /// Number of facts.
@@ -213,7 +246,15 @@ impl FactLookup for IndexedInstance {
     }
 
     fn contains_slice(&self, rel: RelId, args: &[Term]) -> bool {
-        self.store.lookup(rel, args).is_some()
+        // Membership is live membership: a retracted (dead) fact is not
+        // in the instance even though its id is still allocated.
+        self.store
+            .lookup(rel, args)
+            .is_some_and(|id| self.store.is_live(id.0))
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        self.store.is_live(id)
     }
 }
 
@@ -266,6 +307,88 @@ impl<L: FactLookup> FactLookup for DeltaView<'_, L> {
 
     fn contains_slice(&self, rel: RelId, args: &[Term]) -> bool {
         self.base.contains_slice(rel, args)
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        self.base.is_live(id)
+    }
+}
+
+/// An explicit id-set delta over a base lookup: the *retraction /
+/// revival* counterpart of [`DeltaView`].
+///
+/// A [`DeltaView`] can only express "everything past a frontier" — an
+/// id *range* — which covers insertions (new facts always get tail
+/// ids). Incremental view maintenance also needs deltas made of
+/// arbitrary interior ids: the facts doomed by a rollback, or dead
+/// facts revived by rederivation. `IdSetView` materializes its own
+/// per-relation and per-`(relation, first)` buckets over the given ids
+/// (O(|set|) to build), so [`FactLookup::candidate_ids`] can hand out
+/// slices just like the indexed base.
+///
+/// Like [`DeltaView`], membership ([`FactLookup::contains_slice`]) and
+/// liveness delegate to the whole base: the view narrows iteration, not
+/// membership.
+pub struct IdSetView<'a, L: FactLookup + ?Sized> {
+    base: &'a L,
+    by_rel: HashMap<RelId, Vec<u32>>,
+    by_rel_first: HashMap<(RelId, Term), Vec<u32>>,
+}
+
+impl<'a, L: FactLookup + ?Sized> IdSetView<'a, L> {
+    /// Builds the view over `ids` (ascending; duplicates are fine but
+    /// wasteful). Each id must resolve in `base`.
+    pub fn new(base: &'a L, ids: &[u32]) -> Self {
+        let mut by_rel: HashMap<RelId, Vec<u32>> = HashMap::new();
+        let mut by_rel_first: HashMap<(RelId, Term), Vec<u32>> = HashMap::new();
+        for &id in ids {
+            let f = base.fact(id);
+            by_rel.entry(f.rel).or_default().push(id);
+            if let Some(&first) = f.args.first() {
+                by_rel_first.entry((f.rel, first)).or_default().push(id);
+            }
+        }
+        // candidate_ids promises ascending ids; sort in case the caller's
+        // set was not (revival order can interleave relations).
+        for bucket in by_rel.values_mut().chain(by_rel_first.values_mut()) {
+            bucket.sort_unstable();
+        }
+        IdSetView {
+            base,
+            by_rel,
+            by_rel_first,
+        }
+    }
+
+    /// Number of ids in the view (summed over relations).
+    pub fn len(&self) -> usize {
+        self.by_rel.values().map(Vec::len).sum()
+    }
+
+    /// Whether the view holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.by_rel.is_empty()
+    }
+}
+
+impl<L: FactLookup + ?Sized> FactLookup for IdSetView<'_, L> {
+    fn candidate_ids(&self, rel: RelId, first: Option<Term>) -> &[u32] {
+        match first {
+            Some(t) => self.by_rel_first.get(&(rel, t)).map_or(&[], Vec::as_slice),
+            None => self.by_rel.get(&rel).map_or(&[], Vec::as_slice),
+        }
+    }
+
+    fn fact(&self, id: u32) -> FactRef<'_> {
+        self.base.fact(id)
+    }
+
+    fn contains_slice(&self, rel: RelId, args: &[Term]) -> bool {
+        self.base.contains_slice(rel, args)
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        self.base.is_live(id)
     }
 }
 
@@ -370,6 +493,34 @@ mod tests {
         // Truncating past the end is a no-op.
         d.truncate(99);
         assert_eq!(d.len(), mark + 1);
+    }
+
+    #[test]
+    fn id_set_view_buckets_interior_ids() {
+        let (mut v, mut d) = setup();
+        let r = v.rel("R", 2);
+        let s = v.rel("S", 1);
+        let a = Term::Const(v.constant("a"));
+        // Interior, non-contiguous ids: facts 1 (R(a,c)) and 3 (S(a)).
+        let view = IdSetView::new(&d, &[1, 3]);
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.candidate_ids(r, None), &[1]);
+        assert_eq!(view.candidate_ids(r, Some(a)), &[1]);
+        assert_eq!(view.candidate_ids(s, None), &[3]);
+        let b = Term::Const(v.constant("b"));
+        assert_eq!(view.candidate_ids(r, Some(b)), &[] as &[u32]);
+        // Membership still sees the whole base.
+        assert!(view.contains_slice(r, &[a, b]));
+        assert_eq!(view.fact(1).rel, r);
+        let empty = IdSetView::new(&d, &[]);
+        assert!(empty.is_empty());
+        // Liveness delegates to the base store's support column.
+        d.sub_support(FactId(1), 1);
+        let view = IdSetView::new(&d, &[1, 3]);
+        assert!(!view.is_live(1));
+        assert!(view.is_live(3));
+        assert!(!d.contains_slice(r, &[a, Term::Const(v.constant("c"))]));
     }
 
     #[test]

@@ -144,6 +144,16 @@ pub struct FactStore {
     by_rel: HashMap<RelId, Vec<u32>>,
     /// Interns answered from `dedup` rather than by appending.
     dedup_hits: u64,
+    /// Derivation-support count of fact `i` (incremental view
+    /// maintenance). A count of 0 marks the fact *dead*: retracted but
+    /// kept in place so ids stay stable; live-filtered readers skip it.
+    /// Plain stores never touch support, so every fact stays at its
+    /// intern-time count of 1 and nothing is ever dead.
+    support: Vec<u32>,
+    /// Number of facts whose support is currently 0 (dead facts); kept
+    /// so [`FactStore::is_live`] is a single comparison when no fact has
+    /// ever been retracted.
+    dead: usize,
 }
 
 impl Default for FactStore {
@@ -156,6 +166,8 @@ impl Default for FactStore {
             dedup: HashMap::new(),
             by_rel: HashMap::new(),
             dedup_hits: 0,
+            support: Vec::new(),
+            dead: 0,
         }
     }
 }
@@ -208,6 +220,7 @@ impl FactStore {
         self.arena.extend_from_slice(args);
         self.starts.push(self.arena.len() as u32);
         self.hashes.push(h);
+        self.support.push(1);
         self.dedup.entry(h).or_default().push(id);
         self.by_rel.entry(rel).or_default().push(id);
         (FactId(id), true)
@@ -259,6 +272,60 @@ impl FactStore {
         self.by_rel.get(&rel).map_or(&[], Vec::as_slice)
     }
 
+    /// Derivation-support count of a fact (0 = dead).
+    pub fn support(&self, id: FactId) -> u32 {
+        self.support[id.index()]
+    }
+
+    /// Whether a fact is live (support > 0). A single comparison when
+    /// nothing has ever been retracted, which is every non-maintained
+    /// store.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.dead == 0 || self.support[id as usize] > 0
+    }
+
+    /// Adds `n` derivations of support to a fact; a dead fact becomes
+    /// live again (a DRed *rederivation*).
+    pub fn add_support(&mut self, id: FactId, n: u32) {
+        let s = &mut self.support[id.index()];
+        if *s == 0 && n > 0 {
+            self.dead -= 1;
+        }
+        *s = s.saturating_add(n);
+    }
+
+    /// Removes up to `n` derivations of support from a fact; reaching 0
+    /// marks it dead (a DRed *overcount deletion*). The fact's id, arena
+    /// slice and index entries stay in place.
+    pub fn sub_support(&mut self, id: FactId, n: u32) {
+        let s = &mut self.support[id.index()];
+        if *s > 0 && *s <= n {
+            self.dead += 1;
+        }
+        *s = s.saturating_sub(n);
+    }
+
+    /// Overwrites a fact's support count, adjusting the dead counter.
+    pub fn set_support(&mut self, id: FactId, n: u32) {
+        let s = &mut self.support[id.index()];
+        match (*s, n) {
+            (0, m) if m > 0 => self.dead -= 1,
+            (k, 0) if k > 0 => self.dead += 1,
+            _ => {}
+        }
+        *s = n;
+    }
+
+    /// Number of dead (support-0) facts.
+    pub fn dead_count(&self) -> usize {
+        self.dead
+    }
+
+    /// Number of live facts ([`FactStore::len`] minus the dead ones).
+    pub fn live_len(&self) -> usize {
+        self.rels.len() - self.dead
+    }
+
     /// The relation symbols with at least one fact.
     pub fn rels_present(&self) -> impl Iterator<Item = RelId> + '_ {
         self.by_rel.keys().copied()
@@ -307,6 +374,7 @@ impl FactStore {
         if starts.windows(2).any(|w| w[0] > w[1]) {
             return Err("offset column is not monotone".to_owned());
         }
+        let support = vec![1; rels.len()];
         let mut store = FactStore {
             rels,
             starts,
@@ -315,6 +383,8 @@ impl FactStore {
             dedup: HashMap::new(),
             by_rel: HashMap::new(),
             dedup_hits: 0,
+            support,
+            dead: 0,
         };
         store.hashes.reserve(store.rels.len());
         for id in 0..store.rels.len() as u32 {
@@ -358,6 +428,8 @@ impl FactStore {
                 }
             }
         }
+        self.dead -= self.support[mark..].iter().filter(|&&s| s == 0).count();
+        self.support.truncate(mark);
         self.arena.truncate(self.starts[mark] as usize);
         self.starts.truncate(mark + 1);
         self.rels.truncate(mark);
@@ -562,6 +634,40 @@ mod tests {
         assert!(FactStore::from_columns(vec![r], vec![0], a.clone()).is_err());
         assert!(FactStore::from_columns(vec![r], vec![0, 2], a.clone()).is_err());
         assert!(FactStore::from_columns(vec![r, r], vec![0, 1, 0], a).is_err());
+    }
+
+    #[test]
+    fn support_counts_track_liveness() {
+        let mut v = Vocab::new();
+        let r = v.rel("R", 1);
+        let a = terms(&mut v, &["a"]);
+        let b = terms(&mut v, &["b"]);
+        let mut s = FactStore::new();
+        let (ia, _) = s.intern(r, &a);
+        let (ib, _) = s.intern(r, &b);
+        assert_eq!(s.support(ia), 1);
+        assert!(s.is_live(ia.0) && s.is_live(ib.0));
+        assert_eq!((s.live_len(), s.dead_count()), (2, 0));
+        // Kill a: retraction keeps the id and index entries in place.
+        s.sub_support(ia, 5);
+        assert!(!s.is_live(ia.0));
+        assert!(s.is_live(ib.0));
+        assert_eq!((s.live_len(), s.dead_count()), (1, 1));
+        assert_eq!(s.lookup(r, &a), Some(ia), "dead facts stay addressable");
+        // Rederive a: it comes back under the same id.
+        s.add_support(ia, 2);
+        assert_eq!(s.support(ia), 2);
+        assert_eq!((s.live_len(), s.dead_count()), (2, 0));
+        // set_support crosses the boundary in both directions.
+        s.set_support(ib, 0);
+        assert_eq!(s.dead_count(), 1);
+        s.set_support(ib, 3);
+        assert_eq!(s.dead_count(), 0);
+        // Truncating over a dead tail keeps the dead counter consistent.
+        s.sub_support(ib, 3);
+        s.truncate(1);
+        assert_eq!((s.len(), s.dead_count()), (1, 0));
+        assert!(s.is_live(ia.0));
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct EvalStats {
     pub rounds: usize,
     /// Number of facts derived (beyond the EDB).
     pub derived: usize,
+    /// Facts retracted by incremental view maintenance (the DRed
+    /// overcount-deletion phase). Always 0 outside [`crate::ivm`].
+    pub ivm_deleted: usize,
+    /// Facts reinstated by incremental view maintenance (the DRed
+    /// rederivation phase). Always 0 outside [`crate::ivm`].
+    pub ivm_rederived: usize,
     /// Storage pressure of the evaluation's total store (EDB ∪ IDB):
     /// facts interned, arena terms, dedup hits.
     pub store: StoreStats,
@@ -309,6 +315,18 @@ fn match_atoms<T, D>(
         total.candidate_ids(atom.rel, first)
     };
     for &id in candidates {
+        // Maintained stores keep retracted facts in place with support
+        // 0; they are not part of the instance, so the join skips them.
+        // For plain stores is_live is a constant `true` and the branch
+        // folds away.
+        let live = if from_delta {
+            delta.is_live(id)
+        } else {
+            total.is_live(id)
+        };
+        if !live {
+            continue;
+        }
         let fact = if from_delta {
             delta.fact(id)
         } else {
@@ -357,32 +375,43 @@ fn resolve(t: &DTerm, frame: &[Option<Term>]) -> Term {
     }
 }
 
+/// One *naive* derivation pass: stages every head fact of every
+/// satisfying instantiation of `rules` over `total` — the `pivot: None`
+/// mode of the matcher, with no delta restriction. [`eval_naive`] loops
+/// this to a fixpoint; incremental maintenance ([`crate::ivm`]) uses a
+/// single pass as the DRed rederivation probe, restricted to the rules
+/// whose head relations were overdeleted.
+pub fn derive_all<T>(rules: &[Rule], total: &T, out: &mut FactBuf)
+where
+    T: FactLookup + ?Sized,
+{
+    for rule in rules {
+        let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
+        if atoms.is_empty() {
+            continue;
+        }
+        let mut frame: Vec<Option<Term>> = vec![None; rule.num_slots()];
+        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+        match_atoms(
+            rule,
+            &atoms,
+            None,
+            &mut remaining,
+            total,
+            total,
+            &mut frame,
+            out,
+        );
+    }
+}
+
 /// Naive (reference) evaluation: applies every rule against the whole
 /// database each round. Used to cross-check the semi-naive engine.
 pub fn eval_naive(p: &Program, d: &Instance) -> BTreeSet<Vec<Term>> {
     let mut total = d.clone();
     loop {
         let mut new_facts = FactBuf::new();
-        for rule in &p.rules {
-            // With no pivot every atom matches against the full
-            // database, enumerating all satisfying assignments.
-            let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
-            if atoms.is_empty() {
-                continue;
-            }
-            let mut frame: Vec<Option<Term>> = vec![None; rule.num_slots()];
-            let mut remaining: Vec<usize> = (0..atoms.len()).collect();
-            match_atoms(
-                rule,
-                &atoms,
-                None,
-                &mut remaining,
-                &total,
-                &total,
-                &mut frame,
-                &mut new_facts,
-            );
-        }
+        derive_all(&p.rules, &total, &mut new_facts);
         let before = total.len();
         for f in new_facts.iter() {
             total.insert_ref(f.rel, f.args);

@@ -17,7 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod ivm;
 pub mod program;
 
-pub use eval::{derive_round, eval_naive, Budget, BudgetExceeded, EvalStats, LimitKind};
+pub use eval::{
+    derive_all, derive_round, eval_naive, Budget, BudgetExceeded, EvalStats, LimitKind,
+};
+pub use ivm::Materialization;
 pub use program::{DAtom, DTerm, Literal, Program, Rule};

@@ -29,7 +29,8 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "gomq-bench — open-loop JSONL load generator for gomq-serve --listen
 
 Usage: gomq-bench --addr ADDR [--rate N] [--duration-ms N] [--conns LIST]
-                  [--session-frac-pct N] [--seed N] [--out FILE]
+                  [--session-frac-pct N] [--assert-frac-pct N] [--seed N]
+                  [--out FILE]
        gomq-bench --validate FILE
 
   --addr ADDR          the gomq-serve listener, e.g. 127.0.0.1:7401
@@ -41,6 +42,11 @@ Usage: gomq-bench --addr ADDR [--rate N] [--duration-ms N] [--conns LIST]
   --session-frac-pct N percentage of requests that are session traffic
                        (asserts + session queries) instead of one-shot OMQ
                        evaluation (default 25)
+  --assert-frac-pct N  within session traffic, percentage that are asserts;
+                       the rest are \"session\": true queries (default 70).
+                       Low values make a query-heavy stream that shows off
+                       maintained views; high values stress maintenance
+                       itself
   --seed N             workload RNG seed — same seed, same request stream
                        (default 42)
   --out FILE           where to write the JSON report (default
@@ -98,10 +104,16 @@ const OMQS: &[(&str, &str)] = &[
 ];
 
 /// One request line for sequence number `seq` on connection `conn`.
-fn gen_request(rng: &mut Rng, conn: usize, seq: usize, session_frac_pct: u64) -> String {
+fn gen_request(
+    rng: &mut Rng,
+    conn: usize,
+    seq: usize,
+    session_frac_pct: u64,
+    assert_frac_pct: u64,
+) -> String {
     let id = format!("c{conn}-{seq}");
     if rng.below(100) < session_frac_pct {
-        if rng.below(100) < 70 {
+        if rng.below(100) < assert_frac_pct {
             let k = rng.below(50);
             format!(r#"{{"id": "{id}", "op": "assert", "abox": "Manager(m{k})\nStaff(s{k})"}}"#)
         } else {
@@ -165,6 +177,7 @@ struct ConnPlan {
     total: usize,
     seed: u64,
     session_frac_pct: u64,
+    assert_frac_pct: u64,
 }
 
 /// Runs one connection's slice of the open-loop schedule.
@@ -177,6 +190,7 @@ fn run_connection(addr: &str, plan: ConnPlan) -> ConnResult {
         total,
         seed,
         session_frac_pct,
+        assert_frac_pct,
     } = plan;
     let stream = match TcpStream::connect(addr) {
         Ok(s) => s,
@@ -214,7 +228,7 @@ fn run_connection(addr: &str, plan: ConnPlan) -> ConnResult {
         if let Some(wait) = at.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        let line = gen_request(&mut rng, conn, seq, session_frac_pct);
+        let line = gen_request(&mut rng, conn, seq, session_frac_pct, assert_frac_pct);
         if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| {
             writer.write_all(b"\n")?;
             writer.flush()
@@ -274,6 +288,7 @@ fn run_scenario(
     duration_ms: u64,
     seed: u64,
     session_frac_pct: u64,
+    assert_frac_pct: u64,
 ) -> Scenario {
     let total = ((rate * duration_ms) / 1000).max(conns as u64) as usize;
     let interval = Duration::from_secs_f64(1.0 / rate as f64);
@@ -289,6 +304,7 @@ fn run_scenario(
                 total,
                 seed,
                 session_frac_pct,
+                assert_frac_pct,
             };
             std::thread::spawn(move || run_connection(&addr, plan))
         })
@@ -381,6 +397,7 @@ fn report_json(
     duration_ms: u64,
     seed: u64,
     session_frac_pct: u64,
+    assert_frac_pct: u64,
     scenarios: &[Scenario],
 ) -> String {
     let mut out = String::new();
@@ -388,7 +405,8 @@ fn report_json(
     json::write_str(&mut out, addr);
     out.push_str(&format!(
         ",\n  \"rate_hz\": {rate},\n  \"duration_ms\": {duration_ms},\n  \
-         \"seed\": {seed},\n  \"session_frac_pct\": {session_frac_pct},\n  \"scenarios\": [\n"
+         \"seed\": {seed},\n  \"session_frac_pct\": {session_frac_pct},\n  \
+         \"assert_frac_pct\": {assert_frac_pct},\n  \"scenarios\": [\n"
     ));
     for (i, s) in scenarios.iter().enumerate() {
         out.push_str(&scenario_json(s));
@@ -466,6 +484,7 @@ fn main() {
     let mut duration_ms = 2000u64;
     let mut conns_list = vec![1usize, 4];
     let mut session_frac_pct = 25u64;
+    let mut assert_frac_pct = 70u64;
     let mut seed = 42u64;
     let mut out_path = "BENCH_serve.json".to_owned();
     let mut args = std::env::args().skip(1);
@@ -514,6 +533,10 @@ fn main() {
                 n if n > 100 => usage_error("--session-frac-pct must be ≤ 100"),
                 n => session_frac_pct = n,
             },
+            "--assert-frac-pct" => match numeric(&mut args, "--assert-frac-pct") {
+                n if n > 100 => usage_error("--assert-frac-pct must be ≤ 100"),
+                n => assert_frac_pct = n,
+            },
             "--seed" => seed = numeric(&mut args, "--seed"),
             "--out" => {
                 let Some(path) = args.next() else {
@@ -536,9 +559,17 @@ fn main() {
     for &conns in &conns_list {
         eprintln!(
             "gomq-bench: {addr}: {conns} conn(s), {rate} req/s offered for {duration_ms} ms \
-             (seed {seed}, {session_frac_pct}% session traffic)"
+             (seed {seed}, {session_frac_pct}% session traffic, {assert_frac_pct}% of it asserts)"
         );
-        let s = run_scenario(&addr, conns, rate, duration_ms, seed, session_frac_pct);
+        let s = run_scenario(
+            &addr,
+            conns,
+            rate,
+            duration_ms,
+            seed,
+            session_frac_pct,
+            assert_frac_pct,
+        );
         let l = &s.latencies_us;
         eprintln!(
             "gomq-bench:   sent {} received {} lost {} malformed {} | p50 {}us p99 {}us \
@@ -558,7 +589,15 @@ fn main() {
         failures += s.lost + s.malformed + s.errors.len() as u64;
         scenarios.push(s);
     }
-    let report = report_json(&addr, rate, duration_ms, seed, session_frac_pct, &scenarios);
+    let report = report_json(
+        &addr,
+        rate,
+        duration_ms,
+        seed,
+        session_frac_pct,
+        assert_frac_pct,
+        &scenarios,
+    );
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("gomq-bench: cannot write {out_path}: {e}");
         std::process::exit(1);

@@ -33,6 +33,7 @@ Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
                   [--max-derived N] [--timeout-ms N] [--data-dir PATH]
                   [--snapshot-every N] [--fsync] [--quarantine-after N]
                   [--max-line-bytes N] [--chaos-seed N]
+                  [--views on|off] [--max-views N]
                   [--listen ADDR] [--workers N] [--queue-depth N]
                   [--max-conns N] [--max-conns-per-ip N]
                   [--idle-timeout-ms N] [--drain-timeout-ms N]
@@ -54,6 +55,12 @@ Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
                        \"malformed\" (default 16777216)
   --chaos-seed N       install the standard deterministic fault plan with
                        seed N (needs a build with the `chaos` feature)
+  --views on|off       incremental view maintenance for session queries:
+                       repeat \"session\": true queries are answered from
+                       a maintained materialization in O(changed facts)
+                       instead of a from-scratch fixpoint (default: on)
+  --max-views N        maintained materializations kept per session,
+                       LRU-evicted beyond N (default 8; 0 = --views off)
 
 TCP mode (the flags below require --listen):
   --listen ADDR        serve the JSONL protocol over TCP on ADDR (e.g.
@@ -159,6 +166,16 @@ fn main() {
                 config.max_line_bytes = numeric(&mut args, "--max-line-bytes").max(1) as usize
             }
             "--chaos-seed" => chaos_seed = Some(numeric(&mut args, "--chaos-seed")),
+            "--views" => match args.next().as_deref() {
+                Some("on") => {
+                    if config.max_views == 0 {
+                        config.max_views = gomq_engine::DEFAULT_MAX_VIEWS;
+                    }
+                }
+                Some("off") => config.max_views = 0,
+                _ => usage_error("--views needs \"on\" or \"off\""),
+            },
+            "--max-views" => config.max_views = numeric(&mut args, "--max-views") as usize,
             "--listen" => {
                 let Some(addr) = args.next() else {
                     usage_error("--listen needs an address, e.g. 127.0.0.1:7401");
@@ -328,7 +345,8 @@ fn print_summary(shared: &ServeShared) {
          ({} evicted, {} in-flight waits), {} overloaded, {} panics isolated, \
          {} WAL records ({} bytes), {} snapshots, {} quarantined \
          ({} breakers tripped), {} faults injected, {} conns accepted \
-         ({} refused), {} queue rejects, {} drains",
+         ({} refused), {} queue rejects, {} drains, {} maintained hits, \
+         {} views active ({} evicted)",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
@@ -351,5 +369,8 @@ fn print_summary(shared: &ServeShared) {
         stats.conns_refused,
         stats.queue_rejects,
         stats.drains,
+        stats.ivm_maintained_hits,
+        stats.views_active,
+        stats.views_evicted,
     );
 }

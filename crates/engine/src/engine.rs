@@ -367,6 +367,31 @@ impl Engine {
         stats.drains = stats.drains.saturating_add(1);
     }
 
+    /// Folds one request's statistics into the totals — used by the
+    /// serving layer for requests answered outside the engine's own
+    /// evaluation entry points (session queries served from or building
+    /// a maintained materialization).
+    pub fn record_request(&self, stats: &RequestStats) {
+        lock_recover(&self.stats).absorb(stats);
+    }
+
+    /// Samples the maintained-view registry: active views (gauge) and
+    /// cumulative LRU evictions (the registry's counter is
+    /// authoritative, so the total is overwritten, not added).
+    pub fn record_views(&self, active: u64, evicted: u64) {
+        let mut stats = lock_recover(&self.stats);
+        stats.views_active = active;
+        stats.views_evicted = evicted;
+    }
+
+    /// Records view-maintenance work done outside a query (the eager
+    /// DRed pass a session rollback runs over every registered view).
+    pub fn record_ivm_maintenance(&self, deleted: u64, rederived: u64) {
+        let mut stats = lock_recover(&self.stats);
+        stats.ivm_deleted = stats.ivm_deleted.saturating_add(deleted);
+        stats.ivm_rederived = stats.ivm_rederived.saturating_add(rederived);
+    }
+
     /// Records what startup recovery rebuilt from the data directory.
     pub fn record_recovery(&self, info: &crate::session::RecoveryInfo) {
         let mut stats = lock_recover(&self.stats);

@@ -73,6 +73,9 @@ pub use serve::{
     handle_connection, read_line_capped, CappedLineReader, ConnClose, ConnControl, ConnOutcome,
     Limits, LineRead, ServeConfig, ServeSession, ServeShared,
 };
-pub use session::{DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError};
+pub use session::{
+    DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError, ViewMaintenance,
+    ViewRegistry, DEFAULT_MAX_VIEWS,
+};
 pub use stats::{EngineStats, RequestStats};
 pub use wal::{SymFact, SymTerm, Wal, WalRecord};

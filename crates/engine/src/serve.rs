@@ -68,11 +68,14 @@
 use crate::cache::{lock_recover, panic_message, PlanCache};
 use crate::engine::Engine;
 use crate::json::{self, Json};
-use crate::plan::EngineError;
-use crate::session::{DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError};
+use crate::plan::{EngineError, OmqPlan};
+use crate::session::{
+    DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError, DEFAULT_MAX_VIEWS,
+};
+use crate::stats::RequestStats;
 use crate::wal::SymFact;
 use gomq_core::{Fact, IndexedInstance, Term, Vocab};
-use gomq_datalog::{Budget, BudgetExceeded, LimitKind};
+use gomq_datalog::{Budget, BudgetExceeded, LimitKind, Materialization};
 use gomq_dl::parser::parse_ontology;
 use gomq_dl::translate::to_gf;
 use std::collections::BTreeSet;
@@ -144,6 +147,10 @@ pub struct ServeConfig {
     /// Maximum accepted request-line length in bytes; longer lines are
     /// refused as `"malformed"` without being buffered in full.
     pub max_line_bytes: usize,
+    /// Maintained session materializations kept per session (LRU-
+    /// evicted beyond this); 0 disables incremental view maintenance
+    /// and session queries fall back to from-scratch fixpoints.
+    pub max_views: usize,
 }
 
 /// Default request-line cap: 16 MiB.
@@ -160,6 +167,7 @@ impl Default for ServeConfig {
             fsync: false,
             quarantine_after: 3,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            max_views: DEFAULT_MAX_VIEWS,
         }
     }
 }
@@ -207,7 +215,7 @@ impl ServeShared {
         );
         engine.set_quarantine_after(config.quarantine_after);
         let mut vocab = Vocab::new();
-        let (session, recovery) = match &config.data_dir {
+        let (mut session, recovery) = match &config.data_dir {
             Some(dir) => {
                 let opts = PersistOptions {
                     fsync: config.fsync,
@@ -219,6 +227,7 @@ impl ServeShared {
             }
             None => (DurableSession::in_memory(), None),
         };
+        session.set_view_capacity(config.max_views);
         Ok((
             ServeShared {
                 engine,
@@ -531,7 +540,18 @@ impl ServeSession {
         self.shared.engine.record_compile(compile_elapsed);
         let plan = plan?;
 
-        // One ABox, a batch of ABoxes, or the session-resident store.
+        // The session-resident store is answered on its own path: a
+        // shared `Arc` snapshot (no column copy) plus, when enabled,
+        // the plan's maintained materialization.
+        if matches!(obj.get("session"), Some(Json::Bool(true))) {
+            if obj.contains_key("abox") || obj.contains_key("aboxes") {
+                return Err(EngineError::BadRequest(
+                    "\"session\": true cannot be combined with \"abox\"/\"aboxes\"".into(),
+                ));
+            }
+            return self.run_session_query(id, &plan, cached, compile_elapsed, &budget);
+        }
+        // One ABox or a batch of ABoxes.
         let parse_abox = |text: &str| -> Result<IndexedInstance, EngineError> {
             let mut vocab = lock_recover(&self.shared.vocab);
             let d = gomq_core::parse::parse_instance(text, &mut vocab)
@@ -544,15 +564,7 @@ impl ServeSession {
             One(Box<IndexedInstance>),
             Batch(Vec<IndexedInstance>),
         }
-        let session_query = matches!(obj.get("session"), Some(Json::Bool(true)));
-        let input = if session_query {
-            if obj.contains_key("abox") || obj.contains_key("aboxes") {
-                return Err(EngineError::BadRequest(
-                    "\"session\": true cannot be combined with \"abox\"/\"aboxes\"".into(),
-                ));
-            }
-            Input::One(Box::new(lock_recover(&self.shared.session).clone_store()))
-        } else if let Some(texts) = obj.get("aboxes") {
+        let input = if let Some(texts) = obj.get("aboxes") {
             let texts = texts.as_arr().ok_or_else(|| {
                 EngineError::BadRequest("\"aboxes\" must be an array of strings".into())
             })?;
@@ -618,6 +630,147 @@ impl ServeSession {
             }
         };
 
+        Ok(self.query_response(id, &plan, cached, compile_elapsed, &payload, &stats))
+    }
+
+    /// Answers a `"session": true` query over the session-resident
+    /// store. The store is snapshotted by an `Arc` refcount bump — the
+    /// read path never deep-copies the fact columns — and, when view
+    /// maintenance is enabled, the answer comes from the plan's
+    /// maintained materialization: a registry hit pays one incremental
+    /// sync over the facts asserted since the view last looked instead
+    /// of a from-scratch fixpoint; a miss pays the one full fixpoint a
+    /// view ever costs and registers it. With maintenance disabled
+    /// (`max_views` 0) the query runs a plain budgeted fixpoint over
+    /// the shared snapshot.
+    fn run_session_query(
+        &mut self,
+        id: Option<&str>,
+        plan: &Arc<OmqPlan>,
+        cached: bool,
+        compile_elapsed: Duration,
+        budget: &Budget,
+    ) -> Result<String, EngineError> {
+        let engine = &self.shared.engine;
+        if let Some(n) = engine.quarantine_reject(plan.key) {
+            return Err(EngineError::Quarantined(n));
+        }
+        // Check the view out (and snapshot the store) under one lock
+        // hold; evaluation runs lock-free on the snapshot. The epoch is
+        // remembered so a rollback racing this request invalidates the
+        // re-registration, never the other way round.
+        let (store, view, epoch, views_on) = {
+            let mut session = lock_recover(&self.shared.session);
+            let store = session.share_store();
+            let epoch = session.views().epoch();
+            let views_on = session.views().enabled();
+            let view = session.views_mut().take(plan.key);
+            (store, view, epoch, views_on)
+        };
+        let t0 = Instant::now();
+        let evaluated = catch_unwind(AssertUnwindSafe(
+            || -> Result<(String, RequestStats), EngineError> {
+                let overloaded = |e: BudgetExceeded| {
+                    engine.record_overloaded();
+                    EngineError::Overloaded(e)
+                };
+                let (answers, stats) = match view {
+                    Some(mut view) => {
+                        // Maintained hit. A failed sync consumes the
+                        // view — the registry never holds a half-
+                        // maintained materialization.
+                        let es = view.sync(&store, budget).map_err(overloaded)?;
+                        let answers = view.answers();
+                        let stats = RequestStats {
+                            eval: t0.elapsed(),
+                            rounds: es.rounds,
+                            derived: es.derived,
+                            answers: answers.len(),
+                            store: es.store,
+                            maintained: true,
+                            ivm_deleted: es.ivm_deleted,
+                            ivm_rederived: es.ivm_rederived,
+                            ..RequestStats::default()
+                        };
+                        engine.record_request(&stats);
+                        self.put_view(plan.key, view, epoch);
+                        (answers, stats)
+                    }
+                    None if views_on => {
+                        // Miss: the one full fixpoint this view ever
+                        // costs; register it for the next query.
+                        let (view, es) = Materialization::build(
+                            &plan.program.rules,
+                            plan.program.goal,
+                            &store,
+                            budget,
+                        )
+                        .map_err(overloaded)?;
+                        let answers = view.answers();
+                        let stats = RequestStats {
+                            eval: t0.elapsed(),
+                            rounds: es.rounds,
+                            derived: es.derived,
+                            answers: answers.len(),
+                            store: es.store,
+                            ..RequestStats::default()
+                        };
+                        engine.record_request(&stats);
+                        self.put_view(plan.key, view, epoch);
+                        (answers, stats)
+                    }
+                    // Maintenance disabled: plain budgeted fixpoint over
+                    // the shared snapshot (absorbs its own stats).
+                    None => engine.answer_indexed_budgeted(plan, &store, budget)?,
+                };
+                let mut payload = String::from("\"answers\": ");
+                self.write_answers(&mut payload, &answers);
+                Ok((payload, stats))
+            },
+        ));
+        let (payload, stats) = match evaluated {
+            Ok(Ok(ok)) => {
+                engine.record_eval_success(plan.key);
+                ok
+            }
+            Ok(Err(e)) => {
+                if matches!(e, EngineError::Overloaded(_)) {
+                    engine.record_eval_failure(plan.key);
+                }
+                return Err(e);
+            }
+            Err(panic) => {
+                engine.record_eval_failure(plan.key);
+                std::panic::resume_unwind(panic)
+            }
+        };
+        Ok(self.query_response(id, plan, cached, compile_elapsed, &payload, &stats))
+    }
+
+    /// Re-registers a checked-out (or freshly built) view and samples
+    /// the registry gauges into the engine totals. A stale epoch (a
+    /// rollback raced this request) drops the view instead — the next
+    /// query rebuilds from the rolled-back store.
+    fn put_view(&self, key: u64, view: Materialization, epoch: u64) {
+        let (active, evicted) = {
+            let mut session = lock_recover(&self.shared.session);
+            session.views_mut().put(key, view, epoch);
+            (session.views().len() as u64, session.views().evicted())
+        };
+        self.shared.engine.record_views(active, evicted);
+    }
+
+    /// The common `{"id": ..., "status": "ok", ..., "stats": ...,
+    /// "engine": ...}` response of both query paths.
+    fn query_response(
+        &self,
+        id: Option<&str>,
+        plan: &OmqPlan,
+        cached: bool,
+        compile_elapsed: Duration,
+        payload: &str,
+        stats: &RequestStats,
+    ) -> String {
         let mut out = String::from("{");
         if let Some(id) = id {
             out.push_str("\"id\": ");
@@ -629,20 +782,21 @@ impl ServeSession {
         out.push_str("\"zone\": ");
         json::write_str(&mut out, &format!("{}", plan.report.zone));
         out.push_str(", ");
-        out.push_str(&payload);
+        out.push_str(payload);
         let _ = write!(
             out,
             ", \"stats\": {{\"compile_us\": {}, \"eval_us\": {}, \"rounds\": {}, \
-             \"derived\": {}, \"cache_hit\": {}}}",
+             \"derived\": {}, \"cache_hit\": {}, \"maintained\": {}}}",
             compile_elapsed.as_micros(),
             stats.eval.as_micros(),
             stats.rounds,
             stats.derived,
             cached,
+            stats.maintained,
         );
         self.engine_block(&mut out);
         out.push('}');
-        Ok(out)
+        out
     }
 
     /// Handles `{"op": "assert", "abox": "..."}`: journal the batch to
@@ -727,12 +881,27 @@ impl ServeSession {
                 ))
             }
         };
-        let (info, snapshotted) = {
+        let (info, snapshotted, maint, active, evicted) = {
             let mut session = lock_recover(&self.shared.session);
             let info = session.rollback(mark)?;
+            // Maintain registered views eagerly, inside the lock: lazy
+            // maintenance would misread the store's positional base
+            // prefix once new asserts land on the truncated store. A
+            // view whose maintenance fails (budget or panic) is
+            // dropped; the next query rebuilds it.
+            let budget = self.limits.budget_from_now();
+            let maint = session.maintain_views_rollback(info.facts as usize, &budget);
+            let (active, evicted) = (session.views().len() as u64, session.views().evicted());
             let snapshotted = self.finish_mutation(&mut session, &info);
-            (info, snapshotted)
+            (info, snapshotted, maint, active, evicted)
         };
+        self.shared
+            .engine
+            .record_ivm_maintenance(maint.deleted, maint.rederived);
+        for _ in 0..maint.panicked {
+            self.shared.engine.record_panic();
+        }
+        self.shared.engine.record_views(active, evicted);
         let mut out = self.mutation_head(id, "rollback");
         let _ = write!(
             out,
@@ -795,7 +964,9 @@ impl ServeSession {
              \"recovered_facts\": {}, \"session_facts\": {}, \"quarantined\": {}, \
              \"breaker_trips\": {}, \"faults_injected\": {}, \"conns_accepted\": {}, \
              \"conns_refused\": {}, \"conns_active\": {}, \"queue_depth\": {}, \
-             \"queue_rejects\": {}, \"drains\": {}}}",
+             \"queue_rejects\": {}, \"drains\": {}, \"ivm_maintained_hits\": {}, \
+             \"ivm_deleted\": {}, \"ivm_rederived\": {}, \"views_active\": {}, \
+             \"views_evicted\": {}}}",
             totals.requests,
             totals.cache_hits,
             totals.cache_misses,
@@ -822,6 +993,11 @@ impl ServeSession {
             totals.queue_depth,
             totals.queue_rejects,
             totals.drains,
+            totals.ivm_maintained_hits,
+            totals.ivm_deleted,
+            totals.ivm_rederived,
+            totals.views_active,
+            totals.views_evicted,
         );
     }
 
@@ -1293,6 +1469,60 @@ mod tests {
         for resp in [&a1, &q1, &m, &q2, &rb, &q3, &bad, &unknown, &mixed] {
             assert!(crate::json::parse(resp).is_ok(), "not JSON: {resp}");
         }
+    }
+
+    #[test]
+    fn session_queries_hit_maintained_views() {
+        let mut s = ServeSession::with_threads(1);
+        s.handle_line(r#"{"op": "assert", "abox": "A(ada)"}"#);
+        let q = r#"{"ontology": "A sub B", "query": "B", "session": true}"#;
+        // First session query builds and registers the view.
+        let q1 = s.handle_line(q);
+        ok_field(&q1, r#"[["ada"]]"#);
+        ok_field(&q1, "\"maintained\": false");
+        ok_field(&q1, "\"views_active\": 1");
+        ok_field(&q1, "\"ivm_maintained_hits\": 0");
+        // Repeat: answered from the maintained view (incremental sync
+        // over the one new fact, not a from-scratch fixpoint).
+        s.handle_line(r#"{"op": "assert", "abox": "A(bob)"}"#);
+        let q2 = s.handle_line(q);
+        ok_field(&q2, r#"[["ada"], ["bob"]]"#);
+        ok_field(&q2, "\"maintained\": true");
+        ok_field(&q2, "\"ivm_maintained_hits\": 1");
+        assert_eq!(s.engine().stats().ivm_maintained_hits, 1);
+        // A rollback maintains the view (DRed), so the next query is
+        // still a hit and still agrees with the rolled-back store.
+        let m = s.handle_line(r#"{"op": "mark"}"#);
+        ok_field(&m, "\"mark\": 0");
+        s.handle_line(r#"{"op": "assert", "abox": "A(eve)\nA(pat)"}"#);
+        let q3 = s.handle_line(q);
+        ok_field(&q3, r#"[["ada"], ["bob"], ["eve"], ["pat"]]"#);
+        s.handle_line(r#"{"op": "rollback", "mark": 0}"#);
+        let q4 = s.handle_line(q);
+        ok_field(&q4, r#"[["ada"], ["bob"]]"#);
+        ok_field(&q4, "\"maintained\": true");
+        assert!(s.engine().stats().ivm_deleted > 0, "rollback must DRed");
+        for resp in [&q1, &q2, &q3, &q4] {
+            assert!(crate::json::parse(resp).is_ok(), "not JSON: {resp}");
+        }
+    }
+
+    #[test]
+    fn disabled_views_fall_back_to_recompute() {
+        let mut s = ServeSession::with_config(ServeConfig {
+            threads: 1,
+            max_views: 0,
+            ..ServeConfig::default()
+        });
+        s.handle_line(r#"{"op": "assert", "abox": "A(ada)"}"#);
+        let q = r#"{"ontology": "A sub B", "query": "B", "session": true}"#;
+        for _ in 0..2 {
+            let resp = s.handle_line(q);
+            ok_field(&resp, r#"[["ada"]]"#);
+            ok_field(&resp, "\"maintained\": false");
+            ok_field(&resp, "\"views_active\": 0");
+        }
+        assert_eq!(s.engine().stats().ivm_maintained_hits, 0);
     }
 
     #[test]

@@ -21,10 +21,13 @@
 
 use crate::wal::{put_str, put_u32, put_u64, Cursor, SymFact, SymTerm, Wal, WalRecord};
 use gomq_core::{Fact, FactStore, IndexedInstance, NullId, RelId, Term, Vocab};
+use gomq_datalog::{Budget, Materialization};
 use gomq_rewriting::fnv1a;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic prefix of `snapshot.bin`.
 const SNAP_MAGIC: &[u8; 8] = b"GOMQSNAP";
@@ -95,9 +98,14 @@ pub struct MutationInfo {
 }
 
 /// The in-memory half: the session's fact store plus rollback marks.
+///
+/// The store sits behind an [`Arc`] so a query can snapshot it with a
+/// reference-count bump instead of deep-copying the fact columns; only
+/// mutations pay for isolation, via [`Arc::make_mut`] copy-on-write
+/// (which copies nothing while no reader holds a snapshot).
 #[derive(Default)]
 struct SessionStore {
-    facts: IndexedInstance,
+    facts: Arc<IndexedInstance>,
     /// Mark id → store length at mark time.
     marks: HashMap<u64, usize>,
     next_mark: u64,
@@ -105,9 +113,10 @@ struct SessionStore {
 
 impl SessionStore {
     fn apply_assert<'a>(&mut self, facts: impl IntoIterator<Item = &'a Fact>) -> u64 {
+        let store = Arc::make_mut(&mut self.facts);
         let mut added = 0u64;
         for f in facts {
-            if self.facts.insert_ref(f.rel, &f.args) {
+            if store.insert_ref(f.rel, &f.args) {
                 added += 1;
             }
         }
@@ -123,11 +132,164 @@ impl SessionStore {
         let Some(&target) = self.marks.get(&id) else {
             return Err(SessionError::UnknownMark(id));
         };
-        self.facts.truncate(target);
+        Arc::make_mut(&mut self.facts).truncate(target);
         // Marks taken after the restored point now dangle past the end;
         // the mark rolled back to stays valid (its length == target).
         self.marks.retain(|_, len| *len <= target);
         Ok(())
+    }
+}
+
+/// Default number of maintained views kept per session.
+pub const DEFAULT_MAX_VIEWS: usize = 8;
+
+/// Aggregate outcome of maintaining every registered view through one
+/// session rollback ([`DurableSession::maintain_views_rollback`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ViewMaintenance {
+    /// Facts overcount-deleted across all views (DRed delete phase).
+    pub deleted: u64,
+    /// Facts rederived across all views (DRed rederive phase).
+    pub rederived: u64,
+    /// Views dropped because maintenance blew its budget.
+    pub over_budget: u64,
+    /// Views dropped because maintenance panicked (the panic is
+    /// contained here; the session store itself was never touched).
+    pub panicked: u64,
+}
+
+/// One registered materialized view plus its LRU recency stamp.
+struct ViewSlot {
+    view: Materialization,
+    last_used: u64,
+}
+
+/// Plan-keyed registry of maintained session materializations, LRU-
+/// capped like the plan cache.
+///
+/// Views are checked *out* for maintenance ([`ViewRegistry::take`]) and
+/// re-registered afterwards ([`ViewRegistry::put`]), so the session
+/// lock is never held across a sync. The registry's `epoch` is bumped
+/// by every session rollback; `put` refuses a view checked out under an
+/// older epoch — a view that raced a rollback is silently dropped
+/// rather than re-registered stale (the next query rebuilds it).
+///
+/// Views never outlive the process: recovery (snapshot restore + WAL
+/// replay) starts with an empty registry, and because replay re-interns
+/// symbolic facts deterministically — same [`gomq_core::FactId`]s, same
+/// iteration order — a view rebuilt after recovery produces answers
+/// byte-identical to the pre-crash ones.
+pub struct ViewRegistry {
+    views: HashMap<u64, ViewSlot>,
+    cap: usize,
+    tick: u64,
+    evicted: u64,
+    epoch: u64,
+}
+
+impl Default for ViewRegistry {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_VIEWS)
+    }
+}
+
+impl ViewRegistry {
+    /// An empty registry holding at most `cap` views (0 disables
+    /// maintenance: `take` always misses and `put` always discards).
+    pub fn new(cap: usize) -> Self {
+        ViewRegistry {
+            views: HashMap::new(),
+            cap,
+            tick: 0,
+            evicted: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Whether maintained views are enabled (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Changes the capacity, evicting LRU views if it shrank.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+        if cap == 0 {
+            self.views.clear();
+        } else {
+            self.shrink_to_cap();
+        }
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Views evicted by the LRU cap so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The current epoch (bumped by every session rollback).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Checks the view for `key` out of the registry (the caller owns
+    /// it until [`ViewRegistry::put`]). `None` on a miss or when
+    /// maintenance is disabled.
+    pub fn take(&mut self, key: u64) -> Option<Materialization> {
+        if !self.enabled() {
+            return None;
+        }
+        self.views.remove(&key).map(|s| s.view)
+    }
+
+    /// Re-registers a view checked out under `epoch`. Returns `false`
+    /// (dropping the view) when maintenance is disabled or a rollback
+    /// intervened since the checkout.
+    pub fn put(&mut self, key: u64, view: Materialization, epoch: u64) -> bool {
+        if !self.enabled() || epoch != self.epoch {
+            return false;
+        }
+        self.tick += 1;
+        self.views.insert(
+            key,
+            ViewSlot {
+                view,
+                last_used: self.tick,
+            },
+        );
+        self.shrink_to_cap();
+        true
+    }
+
+    /// Invalidates checked-out views (called on every store shrink).
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Evicts least-recently-used views down to the capacity. The view
+    /// inserted last holds the newest stamp, so it is never the victim.
+    fn shrink_to_cap(&mut self) {
+        while self.views.len() > self.cap {
+            let Some(victim) = self
+                .views
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&k, _)| k)
+            else {
+                break;
+            };
+            self.views.remove(&victim);
+            self.evicted += 1;
+        }
     }
 }
 
@@ -167,6 +329,7 @@ impl Default for PersistOptions {
 pub struct DurableSession {
     store: SessionStore,
     persist: Option<Persistence>,
+    views: ViewRegistry,
 }
 
 impl Default for DurableSession {
@@ -181,6 +344,7 @@ impl DurableSession {
         DurableSession {
             store: SessionStore::default(),
             persist: None,
+            views: ViewRegistry::default(),
         }
     }
 
@@ -228,6 +392,7 @@ impl DurableSession {
         Ok((
             DurableSession {
                 store,
+                views: ViewRegistry::default(),
                 persist: Some(Persistence {
                     wal,
                     dir: dir.to_owned(),
@@ -256,10 +421,65 @@ impl DurableSession {
         self.persist.is_some()
     }
 
-    /// A full clone of the session's indexed store, for evaluation
-    /// outside the session lock.
+    /// A shared snapshot of the session's indexed store: a reference-
+    /// count bump, not a copy. Read paths (queries, view syncs) hold
+    /// the `Arc` and evaluate outside the session lock; a concurrent
+    /// mutation copies the store on write instead, so the snapshot is
+    /// immutable for its whole lifetime.
+    pub fn share_store(&self) -> Arc<IndexedInstance> {
+        Arc::clone(&self.store.facts)
+    }
+
+    /// A full deep clone of the session's indexed store. Prefer
+    /// [`DurableSession::share_store`] — the serve read path never
+    /// copies the fact columns; this remains for callers that want a
+    /// mutable private copy.
     pub fn clone_store(&self) -> IndexedInstance {
-        self.store.facts.clone()
+        (*self.store.facts).clone()
+    }
+
+    /// The session's maintained-view registry.
+    pub fn views(&self) -> &ViewRegistry {
+        &self.views
+    }
+
+    /// Mutable access to the maintained-view registry.
+    pub fn views_mut(&mut self) -> &mut ViewRegistry {
+        &mut self.views
+    }
+
+    /// Sets how many maintained views the session keeps (0 disables).
+    pub fn set_view_capacity(&mut self, cap: usize) {
+        self.views.set_capacity(cap);
+    }
+
+    /// Runs the DRed delete-rederive pass over every registered view
+    /// after the session store shrank to `keep` facts. A view whose
+    /// maintenance fails (blown budget or panic) is dropped — the next
+    /// query rebuilds it from the store — so the session itself never
+    /// pays for a pathological view. Call after a successful
+    /// [`DurableSession::rollback`], with the same store length.
+    pub fn maintain_views_rollback(&mut self, keep: usize, budget: &Budget) -> ViewMaintenance {
+        let mut out = ViewMaintenance::default();
+        let keys: Vec<u64> = self.views.views.keys().copied().collect();
+        for key in keys {
+            let Some(mut slot) = self.views.views.remove(&key) else {
+                continue;
+            };
+            // A view that lagged behind on syncs never saw the doomed
+            // facts; rolling back to its own frontier is a no-op.
+            let target = keep.min(slot.view.base_len());
+            match catch_unwind(AssertUnwindSafe(|| slot.view.rollback(target, budget))) {
+                Ok(Ok(stats)) => {
+                    out.deleted = out.deleted.saturating_add(stats.ivm_deleted as u64);
+                    out.rederived = out.rederived.saturating_add(stats.ivm_rederived as u64);
+                    self.views.views.insert(key, slot);
+                }
+                Ok(Err(_)) => out.over_budget += 1,
+                Err(_) => out.panicked += 1,
+            }
+        }
+        out
     }
 
     /// Journals one record, rolling the mutation attempt back on
@@ -331,6 +551,9 @@ impl DurableSession {
         self.store
             .apply_rollback(id)
             .expect("mark existence was checked before journaling");
+        // The store shrank: views checked out across this rollback must
+        // not be re-registered (they may have synced doomed facts).
+        self.views.bump_epoch();
         self.bump_record_count();
         Ok(MutationInfo {
             lsn,
@@ -630,7 +853,7 @@ fn restore_snapshot(
     let fact_store = FactStore::from_columns(snap.store_rels, snap.store_starts, snap.store_arena)
         .map_err(|e| corrupt(&e))?;
     let len = fact_store.len();
-    store.facts = IndexedInstance::from_store(fact_store);
+    store.facts = Arc::new(IndexedInstance::from_store(fact_store));
     store.marks = snap.marks.iter().map(|&(id, l)| (id, l as usize)).collect();
     if store.marks.values().any(|&l| l > len) {
         return Err(corrupt("mark past the end of the store"));
@@ -820,5 +1043,86 @@ mod tests {
         assert!(matches!(f.args[1], Term::Null(NullId(0))));
         assert_eq!(format!("{}", f.args[0].display(&vocab)), "açai ☂");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    use gomq_datalog::{DAtom, Literal, Rule};
+
+    /// `B(x) ← A(x)` — the smallest program a view can maintain.
+    fn b_from_a(v: &mut Vocab) -> (Vec<Rule>, RelId) {
+        let a = v.rel("A", 1);
+        let b = v.rel("B", 1);
+        (
+            vec![Rule::new(
+                DAtom::vars(b, &[0]),
+                vec![Literal::Pos(DAtom::vars(a, &[0]))],
+            )],
+            b,
+        )
+    }
+
+    #[test]
+    fn shared_store_snapshot_is_isolated_from_mutations() {
+        let mut s = DurableSession::in_memory();
+        let mut vocab = Vocab::new();
+        assert_text(&mut s, &mut vocab, "R(a,b)\n");
+        let snap = s.share_store();
+        assert_text(&mut s, &mut vocab, "R(b,c)\n");
+        assert_eq!(snap.len(), 1, "the snapshot is immutable");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.share_store().len(), 2, "fresh snapshots see the write");
+    }
+
+    #[test]
+    fn view_registry_lru_caps_and_epoch_blocks_stale_reinsertion() {
+        let mut s = DurableSession::in_memory();
+        let mut vocab = Vocab::new();
+        let (rules, goal) = b_from_a(&mut vocab);
+        assert_text(&mut s, &mut vocab, "A(x)\n");
+        let (m, _) = s.mark().unwrap();
+        let (view, _) =
+            Materialization::build(&rules, goal, &s.share_store(), &Budget::UNLIMITED).unwrap();
+        // LRU: capacity 2, three inserts, the untouched one is evicted.
+        s.set_view_capacity(2);
+        let epoch = s.views().epoch();
+        assert!(s.views_mut().put(1, view.clone(), epoch));
+        assert!(s.views_mut().put(2, view.clone(), epoch));
+        let _ = s.views_mut().take(1); // touch 1 so 2 becomes LRU
+        assert!(s.views_mut().put(1, view.clone(), epoch));
+        assert!(s.views_mut().put(3, view.clone(), epoch));
+        assert_eq!(s.views().len(), 2);
+        assert_eq!(s.views().evicted(), 1);
+        assert!(s.views_mut().take(2).is_none(), "2 was the LRU victim");
+        // Epoch: a view checked out across a rollback is refused.
+        let out = s.views_mut().take(1).unwrap();
+        s.rollback(m).unwrap();
+        assert!(!s.views_mut().put(1, out, epoch));
+        assert!(s.views_mut().take(1).is_none());
+        // Capacity 0 disables the registry outright.
+        s.set_view_capacity(0);
+        let epoch = s.views().epoch();
+        assert!(!s.views_mut().put(9, view, epoch));
+        assert!(s.views().is_empty());
+    }
+
+    #[test]
+    fn session_rollback_maintains_registered_views() {
+        let mut s = DurableSession::in_memory();
+        let mut vocab = Vocab::new();
+        let (rules, goal) = b_from_a(&mut vocab);
+        assert_text(&mut s, &mut vocab, "A(keep)\n");
+        let (m, _) = s.mark().unwrap();
+        assert_text(&mut s, &mut vocab, "A(doomed)\n");
+        let (view, _) =
+            Materialization::build(&rules, goal, &s.share_store(), &Budget::UNLIMITED).unwrap();
+        assert_eq!(view.answers().len(), 2);
+        let epoch = s.views().epoch();
+        assert!(s.views_mut().put(1, view, epoch));
+        s.rollback(m).unwrap();
+        let maint = s.maintain_views_rollback(s.len(), &Budget::UNLIMITED);
+        assert!(maint.deleted > 0, "DRed must retract doomed consequences");
+        assert_eq!(maint.over_budget + maint.panicked, 0);
+        let view = s.views_mut().take(1).expect("the view survived");
+        let keep = Term::Const(vocab.constant("keep"));
+        assert_eq!(view.answers(), [vec![keep]].into_iter().collect());
     }
 }

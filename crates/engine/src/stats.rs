@@ -29,6 +29,14 @@ pub struct RequestStats {
     /// arena terms, dedup hits (summed over a batch; zero when `typed` —
     /// the kernel path materializes no facts).
     pub store: StoreStats,
+    /// Whether a session query was answered from a maintained
+    /// materialization that existed before the request (incremental
+    /// sync instead of a from-scratch fixpoint).
+    pub maintained: bool,
+    /// Facts overcount-deleted by incremental view maintenance.
+    pub ivm_deleted: usize,
+    /// Facts rederived (revived) by incremental view maintenance.
+    pub ivm_rederived: usize,
 }
 
 /// Cumulative statistics of an [`crate::Engine`] since construction.
@@ -112,6 +120,20 @@ pub struct EngineStats {
     /// Graceful drains initiated (SIGTERM, shutdown token, or stdin
     /// EOF finalization).
     pub drains: u64,
+    /// Session queries answered from a maintained materialization that
+    /// existed before the request (served in O(changed facts)).
+    pub ivm_maintained_hits: u64,
+    /// Facts overcount-deleted by view maintenance (DRed delete
+    /// phase), across query syncs and rollback maintenance.
+    pub ivm_deleted: u64,
+    /// Facts rederived by view maintenance (DRed rederive phase plus
+    /// re-asserted revivals).
+    pub ivm_rederived: u64,
+    /// Maintained views currently registered (gauge, sampled at the
+    /// last view operation).
+    pub views_active: u64,
+    /// Views evicted by the registry's LRU capacity bound.
+    pub views_evicted: u64,
 }
 
 impl EngineStats {
@@ -134,6 +156,11 @@ impl EngineStats {
         self.facts_interned = self.facts_interned.saturating_add(r.store.facts);
         self.arena_bytes = self.arena_bytes.saturating_add(r.store.arena_bytes());
         self.dedup_hits = self.dedup_hits.saturating_add(r.store.dedup_hits);
+        if r.maintained {
+            self.ivm_maintained_hits = self.ivm_maintained_hits.saturating_add(1);
+        }
+        self.ivm_deleted = self.ivm_deleted.saturating_add(r.ivm_deleted as u64);
+        self.ivm_rederived = self.ivm_rederived.saturating_add(r.ivm_rederived as u64);
     }
 }
 
@@ -151,6 +178,9 @@ mod tests {
             facts_interned: u64::MAX,
             arena_bytes: u64::MAX,
             dedup_hits: u64::MAX,
+            ivm_maintained_hits: u64::MAX,
+            ivm_deleted: u64::MAX,
+            ivm_rederived: u64::MAX,
             ..EngineStats::default()
         };
         let r = RequestStats {
@@ -162,6 +192,9 @@ mod tests {
                 arena_terms: 7,
                 dedup_hits: 7,
             },
+            maintained: true,
+            ivm_deleted: 7,
+            ivm_rederived: 7,
             ..RequestStats::default()
         };
         s.absorb(&r); // must not panic in debug builds
@@ -169,5 +202,8 @@ mod tests {
         assert_eq!(s.rounds, u64::MAX);
         assert_eq!(s.derived, u64::MAX);
         assert_eq!(s.dedup_hits, u64::MAX);
+        assert_eq!(s.ivm_maintained_hits, u64::MAX);
+        assert_eq!(s.ivm_deleted, u64::MAX);
+        assert_eq!(s.ivm_rederived, u64::MAX);
     }
 }

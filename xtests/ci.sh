@@ -34,11 +34,26 @@ cargo test -q --release -p gomq-engine --test wal_props
 echo "==> cargo test -q --release -p gomq-engine --test chaos_recovery"
 cargo test -q --release -p gomq-engine --test chaos_recovery
 
+echo "==> cargo test -q --release -p gomq-engine --test ivm_props"
+cargo test -q --release -p gomq-engine --test ivm_props
+
+echo "==> cargo test -q --release -p gomq-engine --features chaos --test ivm_props (chaos build, no plan)"
+cargo test -q --release -p gomq-engine --features chaos --test ivm_props
+
+echo "==> cargo test -q --release -p gomq-engine --features chaos --test ivm_chaos (ivm.apply faults)"
+cargo test -q --release -p gomq-engine --features chaos --test ivm_chaos
+
 echo "==> cargo test -q -p gomq-xtests --test chaos (fixed-seed chaos smoke)"
 cargo test -q -p gomq-xtests --test chaos
 
 echo "==> E14_TINY=1 cargo bench -p gomq-bench --bench e14_store (smoke)"
 E14_TINY=1 cargo bench -p gomq-bench --bench e14_store
+
+echo "==> E15_TINY=1 cargo bench -p gomq-bench --bench e15_ivm (smoke)"
+E15_TINY=1 cargo bench -p gomq-bench --bench e15_ivm
+
+echo "==> E15_TINY=1 cargo bench -p gomq-bench --features gomq-engine/chaos --bench e15_ivm (chaos build smoke)"
+E15_TINY=1 cargo bench -p gomq-bench --features gomq-engine/chaos --bench e15_ivm
 
 # Release-mode TCP smoke: an ephemeral-port listener driven by
 # gomq-bench for ~2s at low rate. The bench exits nonzero on any lost
