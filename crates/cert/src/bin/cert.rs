@@ -1,0 +1,116 @@
+//! `gomq-cert`: verify derivation certificates from the command line.
+//!
+//! Reads JSONL from the given files (or stdin), verifies every
+//! certificate it finds, and exits nonzero on the first failure. A line
+//! may be either a bare certificate object or a full `gomq-serve` query
+//! response carrying a `"certificate"` field, so server output can be
+//! piped straight in:
+//!
+//! ```text
+//! gomq-serve < requests.jsonl | gomq-cert
+//! ```
+//!
+//! Lines without a certificate (mutation acknowledgements, error
+//! responses) are skipped. By default at least one certificate must be
+//! present — an accidentally certificate-free stream should fail CI,
+//! not pass it silently; `--allow-empty` lifts that requirement.
+
+use gomq_cert::json::{self, Value};
+use std::io::{BufRead, BufReader, Read};
+use std::process::ExitCode;
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("gomq-cert: {msg}");
+    eprintln!("usage: gomq-cert [--allow-empty] [--quiet] [FILE...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut allow_empty = false;
+    let mut quiet = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--allow-empty" => allow_empty = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: gomq-cert [--allow-empty] [--quiet] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag {other}"));
+            }
+            file => files.push(file.to_owned()),
+        }
+    }
+
+    let mut verified = 0usize;
+    let mut answers = 0usize;
+    let mut check = |line: &str, origin: &str| -> Result<(), String> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        let doc = json::parse(trimmed).map_err(|e| format!("{origin}: bad JSON: {e}"))?;
+        // A bare certificate has "v"+"steps"; a serve response nests the
+        // certificate under "certificate" (and may legitimately lack
+        // one, e.g. mutation acknowledgements).
+        let cert: &Value = match doc.as_obj() {
+            Some(obj) if obj.contains_key("steps") => &doc,
+            Some(obj) => match obj.get("certificate") {
+                Some(c) if *c != Value::Null => c,
+                _ => return Ok(()),
+            },
+            None => return Err(format!("{origin}: not a JSON object")),
+        };
+        let summary =
+            gomq_cert::verify_value(cert).map_err(|e| format!("{origin}: INVALID: {e}"))?;
+        verified += 1;
+        answers += summary.answers.len();
+        if !quiet {
+            let binding = match summary.snapshot {
+                Some(s) => format!(" @ lsn {} / {} base facts", s.lsn, s.base),
+                None => String::new(),
+            };
+            eprintln!(
+                "gomq-cert: {origin}: ok — {} answers, {} steps, {} rules{binding}",
+                summary.answers.len(),
+                summary.steps,
+                summary.rules
+            );
+        }
+        Ok(())
+    };
+
+    let outcome: Result<(), String> = if files.is_empty() {
+        run_lines(BufReader::new(std::io::stdin().lock()), "stdin", &mut check)
+    } else {
+        files.iter().try_for_each(|path| {
+            let file =
+                std::fs::File::open(path).map_err(|e| format!("{path}: cannot open: {e}"))?;
+            run_lines(BufReader::new(file), path, &mut check)
+        })
+    };
+    if let Err(msg) = outcome {
+        eprintln!("gomq-cert: {msg}");
+        return ExitCode::FAILURE;
+    }
+    if verified == 0 && !allow_empty {
+        eprintln!("gomq-cert: no certificates found (use --allow-empty to accept)");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("gomq-cert: {verified} certificates verified ({answers} answers)");
+    ExitCode::SUCCESS
+}
+
+fn run_lines<R: Read>(
+    reader: BufReader<R>,
+    origin: &str,
+    check: &mut impl FnMut(&str, &str) -> Result<(), String>,
+) -> Result<(), String> {
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("{origin}: read error: {e}"))?;
+        check(&line, &format!("{origin}:{}", i + 1))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,703 @@
+//! # gomq-cert
+//!
+//! Standalone verifier for OMQ derivation certificates.
+//!
+//! The serving engine (`gomq-engine`) can attach a *certificate* to a
+//! query response: the Datalog≠ rules of the compiled rewriting, the
+//! base facts the derivation touched (symbolically, as relation and
+//! constant *names*), one derivation step per derived fact (which rule
+//! fired, which premise facts instantiated its body), and the answer
+//! tuples. This crate re-checks such a certificate **without any
+//! evaluation engine**: each step is verified by linear substitution
+//! matching — walk the rule's positive body atoms in order, unify each
+//! against its cited premise, check the inequalities, compare the
+//! instantiated head. No joins, no search, no fixpoint.
+//!
+//! The crate has **no dependencies**, in particular none on the engine
+//! whose output it audits: the trusted computing base for "this answer
+//! tuple really is derivable" is this crate plus the certificate. That
+//! is the certificate-first design — untrusted engines compute, a small
+//! trusted checker verifies — and what makes untrusted replicas safe to
+//! serve from.
+//!
+//! What verification establishes: every answer tuple is derivable from
+//! the certificate's base facts by the certificate's rules
+//! (*soundness* of the listed answers, relative to the base facts being
+//! the session's — which the `snapshot` binding ties to a WAL position).
+//! What it does not establish: *completeness* (that no answer is
+//! missing) — that is cross-checked engine-side by proptests comparing
+//! independent answer paths.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use json::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The certificate format version this verifier understands.
+pub const VERSION: u64 = 1;
+
+/// A term inside a rule: a variable slot or a ground constant name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RTerm {
+    Var(u32),
+    Const(String),
+}
+
+/// One positive atom of a rule (head or body).
+#[derive(Clone, Debug)]
+struct RAtom {
+    rel: String,
+    args: Vec<RTerm>,
+}
+
+/// One rule: head, positive body atoms, inequality constraints.
+#[derive(Clone, Debug)]
+struct CRule {
+    head: RAtom,
+    body: Vec<RAtom>,
+    neq: Vec<(RTerm, RTerm)>,
+}
+
+/// Why a certificate failed to verify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertError {
+    /// The document is not valid JSON.
+    BadJson(String),
+    /// The document parses but is not a structurally valid certificate.
+    Malformed(String),
+    /// The certificate declares a version this verifier does not speak.
+    UnsupportedVersion(u64),
+    /// Two facts (base or derived) claim the same id.
+    DuplicateFact(u64),
+    /// A step cites a rule index outside the rule table.
+    UnknownRule {
+        /// The derived fact id of the offending step.
+        step: u64,
+        /// The out-of-range rule index.
+        rule: u64,
+    },
+    /// A step cites a premise id not established before it.
+    MissingPremise {
+        /// The derived fact id of the offending step.
+        step: u64,
+        /// The missing premise id.
+        premise: u64,
+    },
+    /// A cited premise does not match its body atom under the
+    /// substitution built so far.
+    PremiseMismatch {
+        /// The derived fact id of the offending step.
+        step: u64,
+        /// Index of the body atom that failed to match.
+        atom: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An inequality constraint of the fired rule is violated.
+    InequalityViolated {
+        /// The derived fact id of the offending step.
+        step: u64,
+    },
+    /// The instantiated head differs from the fact the step claims.
+    HeadMismatch {
+        /// The derived fact id of the offending step.
+        step: u64,
+    },
+    /// An answer tuple is not backed by a proven goal fact.
+    AnswerUnproven {
+        /// The cited fact id.
+        fact: u64,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::BadJson(e) => write!(f, "bad JSON: {e}"),
+            CertError::Malformed(msg) => write!(f, "malformed certificate: {msg}"),
+            CertError::UnsupportedVersion(v) => write!(f, "unsupported certificate version {v}"),
+            CertError::DuplicateFact(id) => write!(f, "duplicate fact id {id}"),
+            CertError::UnknownRule { step, rule } => {
+                write!(f, "step {step} cites unknown rule {rule}")
+            }
+            CertError::MissingPremise { step, premise } => {
+                write!(
+                    f,
+                    "step {step} cites premise {premise} not established before it"
+                )
+            }
+            CertError::PremiseMismatch { step, atom, reason } => {
+                write!(f, "step {step}, body atom {atom}: {reason}")
+            }
+            CertError::InequalityViolated { step } => {
+                write!(f, "step {step} violates an inequality constraint")
+            }
+            CertError::HeadMismatch { step } => {
+                write!(
+                    f,
+                    "step {step}: instantiated head differs from the claimed fact"
+                )
+            }
+            CertError::AnswerUnproven { fact, reason } => {
+                write!(f, "answer cites fact {fact}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// The session position a certificate is bound to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Last WAL log sequence number applied when the answer was computed.
+    pub lsn: u64,
+    /// Number of base (session) facts at that position.
+    pub base: u64,
+}
+
+/// A successfully verified certificate, summarized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verified {
+    /// The goal relation name.
+    pub goal: String,
+    /// The verified answer tuples, in certificate order.
+    pub answers: Vec<Vec<String>>,
+    /// Number of base facts the certificate cites.
+    pub base_facts: usize,
+    /// Number of derivation steps checked.
+    pub steps: usize,
+    /// Number of rules in the certificate's rule table.
+    pub rules: usize,
+    /// The session position the certificate claims to be bound to, if
+    /// any. The verifier reports it; *comparing* it against the live
+    /// session is the caller's job.
+    pub snapshot: Option<Snapshot>,
+}
+
+/// Verifies a certificate given as a JSON string.
+pub fn verify(text: &str) -> Result<Verified, CertError> {
+    let doc = json::parse(text).map_err(|e| CertError::BadJson(e.to_string()))?;
+    verify_value(&doc)
+}
+
+/// Verifies an already-parsed certificate object.
+pub fn verify_value(doc: &Value) -> Result<Verified, CertError> {
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| malformed("certificate is not an object"))?;
+    let version = obj
+        .get("v")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| malformed("missing integer \"v\""))?;
+    if version != VERSION {
+        return Err(CertError::UnsupportedVersion(version));
+    }
+    let goal = obj
+        .get("goal")
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("missing string \"goal\""))?
+        .to_owned();
+    let snapshot = match obj.get("snapshot") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let s = v
+                .as_obj()
+                .ok_or_else(|| malformed("\"snapshot\" is not an object"))?;
+            let lsn = s
+                .get("lsn")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| malformed("snapshot missing integer \"lsn\""))?;
+            let base = s
+                .get("base")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| malformed("snapshot missing integer \"base\""))?;
+            Some(Snapshot { lsn, base })
+        }
+    };
+    let rules: Vec<CRule> = obj
+        .get("rules")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("missing array \"rules\""))?
+        .iter()
+        .map(parse_rule)
+        .collect::<Result<_, _>>()?;
+
+    // Fact table: id → (relation name, argument names).
+    let mut facts: HashMap<u64, (String, Vec<String>)> = HashMap::new();
+    let base = obj
+        .get("base")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("missing array \"base\""))?;
+    for entry in base {
+        let (id, rel, args) = parse_fact(entry, 1)?;
+        if facts.insert(id, (rel, args)).is_some() {
+            return Err(CertError::DuplicateFact(id));
+        }
+    }
+    let base_facts = facts.len();
+
+    // Derivation steps, checked in listed order: every premise must
+    // already be established, so the order itself witnesses
+    // well-foundedness (no cyclic justification can pass).
+    let steps = obj
+        .get("steps")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("missing array \"steps\""))?;
+    for entry in steps {
+        let items = entry
+            .as_arr()
+            .ok_or_else(|| malformed("step is not an array"))?;
+        if items.len() < 4 {
+            return Err(malformed("step needs [id, rule, premises, rel, args...]"));
+        }
+        let id = items[0]
+            .as_u64()
+            .ok_or_else(|| malformed("step id is not an integer"))?;
+        let rule_idx = items[1]
+            .as_u64()
+            .ok_or_else(|| malformed("step rule index is not an integer"))?;
+        let premises: Vec<u64> = items[2]
+            .as_arr()
+            .ok_or_else(|| malformed("step premises are not an array"))?
+            .iter()
+            .map(|p| {
+                p.as_u64()
+                    .ok_or_else(|| malformed("premise id is not an integer"))
+            })
+            .collect::<Result<_, _>>()?;
+        let (rel, args) = parse_named_tuple(&items[3..])?;
+        if facts.contains_key(&id) {
+            return Err(CertError::DuplicateFact(id));
+        }
+        let rule = rules.get(rule_idx as usize).ok_or(CertError::UnknownRule {
+            step: id,
+            rule: rule_idx,
+        })?;
+        check_step(id, rule, &premises, &rel, &args, &facts)?;
+        facts.insert(id, (rel, args));
+    }
+
+    // Answers: each must cite a proven goal fact with matching tuple.
+    let answers_in = obj
+        .get("answers")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("missing array \"answers\""))?;
+    let mut answers = Vec::with_capacity(answers_in.len());
+    for entry in answers_in {
+        let (id, args) = {
+            let items = entry
+                .as_arr()
+                .ok_or_else(|| malformed("answer is not an array"))?;
+            if items.is_empty() {
+                return Err(malformed("answer needs [id, args...]"));
+            }
+            let id = items[0]
+                .as_u64()
+                .ok_or_else(|| malformed("answer id is not an integer"))?;
+            let args: Vec<String> = items[1..]
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| malformed("answer argument is not a string"))
+                })
+                .collect::<Result<_, _>>()?;
+            (id, args)
+        };
+        let (rel, fact_args) = facts.get(&id).ok_or(CertError::AnswerUnproven {
+            fact: id,
+            reason: "no such fact".into(),
+        })?;
+        if *rel != goal {
+            return Err(CertError::AnswerUnproven {
+                fact: id,
+                reason: format!("fact is {rel}, not the goal {goal}"),
+            });
+        }
+        if *fact_args != args {
+            return Err(CertError::AnswerUnproven {
+                fact: id,
+                reason: "tuple differs from the proven fact".into(),
+            });
+        }
+        answers.push(args);
+    }
+
+    Ok(Verified {
+        goal,
+        answers,
+        base_facts,
+        steps: steps.len(),
+        rules: rules.len(),
+        snapshot,
+    })
+}
+
+/// Checks one derivation step by linear substitution matching.
+fn check_step(
+    id: u64,
+    rule: &CRule,
+    premises: &[u64],
+    rel: &str,
+    args: &[String],
+    facts: &HashMap<u64, (String, Vec<String>)>,
+) -> Result<(), CertError> {
+    if premises.len() != rule.body.len() {
+        return Err(CertError::PremiseMismatch {
+            step: id,
+            atom: premises.len().min(rule.body.len()),
+            reason: format!(
+                "{} premises cited for {} body atoms",
+                premises.len(),
+                rule.body.len()
+            ),
+        });
+    }
+    // The substitution: variable slot → constant name.
+    let mut frame: HashMap<u32, String> = HashMap::new();
+    for (k, (atom, &pid)) in rule.body.iter().zip(premises).enumerate() {
+        let mismatch = |reason: String| CertError::PremiseMismatch {
+            step: id,
+            atom: k,
+            reason,
+        };
+        let (prel, pargs) = facts.get(&pid).ok_or(CertError::MissingPremise {
+            step: id,
+            premise: pid,
+        })?;
+        if *prel != atom.rel {
+            return Err(mismatch(format!(
+                "premise {pid} is {prel}, atom wants {}",
+                atom.rel
+            )));
+        }
+        if pargs.len() != atom.args.len() {
+            return Err(mismatch(format!(
+                "premise {pid} has arity {}, atom wants {}",
+                pargs.len(),
+                atom.args.len()
+            )));
+        }
+        for (pat, got) in atom.args.iter().zip(pargs) {
+            match pat {
+                RTerm::Const(c) => {
+                    if c != got {
+                        return Err(mismatch(format!("constant {c} vs premise term {got}")));
+                    }
+                }
+                RTerm::Var(v) => match frame.get(v) {
+                    Some(bound) if bound != got => {
+                        return Err(mismatch(format!(
+                            "variable ?{v} bound to {bound}, premise has {got}"
+                        )));
+                    }
+                    Some(_) => {}
+                    None => {
+                        frame.insert(*v, got.clone());
+                    }
+                },
+            }
+        }
+    }
+    let resolve = |t: &RTerm| -> Result<String, CertError> {
+        match t {
+            RTerm::Const(c) => Ok(c.clone()),
+            RTerm::Var(v) => frame
+                .get(v)
+                .cloned()
+                .ok_or_else(|| malformed(&format!("step {id}: variable ?{v} left unbound"))),
+        }
+    };
+    for (a, b) in &rule.neq {
+        if resolve(a)? == resolve(b)? {
+            return Err(CertError::InequalityViolated { step: id });
+        }
+    }
+    if rule.head.rel != rel || rule.head.args.len() != args.len() {
+        return Err(CertError::HeadMismatch { step: id });
+    }
+    for (pat, got) in rule.head.args.iter().zip(args) {
+        if resolve(pat)? != *got {
+            return Err(CertError::HeadMismatch { step: id });
+        }
+    }
+    Ok(())
+}
+
+fn malformed(msg: &str) -> CertError {
+    CertError::Malformed(msg.to_owned())
+}
+
+/// Parses `["Rel", name...]` slices shared by base facts and steps.
+fn parse_named_tuple(items: &[Value]) -> Result<(String, Vec<String>), CertError> {
+    let rel = items
+        .first()
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("fact relation is not a string"))?
+        .to_owned();
+    let args: Vec<String> = items[1..]
+        .iter()
+        .map(|a| {
+            a.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| malformed("fact argument is not a string"))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((rel, args))
+}
+
+/// Parses a `[id, "Rel", name...]` fact entry; `skip` is the index of
+/// the relation name (1 for base facts).
+fn parse_fact(entry: &Value, skip: usize) -> Result<(u64, String, Vec<String>), CertError> {
+    let items = entry
+        .as_arr()
+        .ok_or_else(|| malformed("fact is not an array"))?;
+    if items.len() <= skip {
+        return Err(malformed("fact needs [id, rel, args...]"));
+    }
+    let id = items[0]
+        .as_u64()
+        .ok_or_else(|| malformed("fact id is not an integer"))?;
+    let (rel, args) = parse_named_tuple(&items[skip..])?;
+    Ok((id, rel, args))
+}
+
+/// Parses a rule object: `{"head": atom, "body": [atom...], "neq":
+/// [[t, t]...]}` where an atom is `["Rel", term...]` and a term is an
+/// integer (variable slot) or a string (ground constant name). The
+/// integer/string split is what makes the encoding unambiguous —
+/// constants never collide with variable spellings.
+fn parse_rule(entry: &Value) -> Result<CRule, CertError> {
+    let obj = entry
+        .as_obj()
+        .ok_or_else(|| malformed("rule is not an object"))?;
+    let head = parse_atom(
+        obj.get("head")
+            .ok_or_else(|| malformed("rule missing \"head\""))?,
+    )?;
+    let body: Vec<RAtom> = obj
+        .get("body")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("rule missing array \"body\""))?
+        .iter()
+        .map(parse_atom)
+        .collect::<Result<_, _>>()?;
+    let neq: Vec<(RTerm, RTerm)> = match obj.get("neq") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| malformed("rule \"neq\" is not an array"))?
+            .iter()
+            .map(|pair| {
+                let items = pair
+                    .as_arr()
+                    .ok_or_else(|| malformed("neq entry is not an array"))?;
+                if items.len() != 2 {
+                    return Err(malformed("neq entry needs exactly two terms"));
+                }
+                Ok((parse_rterm(&items[0])?, parse_rterm(&items[1])?))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(CRule { head, body, neq })
+}
+
+fn parse_atom(v: &Value) -> Result<RAtom, CertError> {
+    let items = v
+        .as_arr()
+        .ok_or_else(|| malformed("atom is not an array"))?;
+    let rel = items
+        .first()
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("atom relation is not a string"))?
+        .to_owned();
+    let args: Vec<RTerm> = items[1..]
+        .iter()
+        .map(parse_rterm)
+        .collect::<Result<_, _>>()?;
+    Ok(RAtom { rel, args })
+}
+
+fn parse_rterm(v: &Value) -> Result<RTerm, CertError> {
+    match v {
+        Value::Num(_) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| malformed("variable slot is not a non-negative integer"))?;
+            u32::try_from(n)
+                .map(RTerm::Var)
+                .map_err(|_| malformed("variable slot out of range"))
+        }
+        Value::Str(s) => Ok(RTerm::Const(s.clone())),
+        _ => Err(malformed(
+            "rule term must be an integer slot or a string constant",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transitive-closure certificate: E(a,b), E(b,c) ⊢ T(a,c) with a
+    /// goal that filters loops by inequality.
+    fn tc_cert() -> String {
+        r#"{
+          "v": 1,
+          "goal": "goal",
+          "snapshot": {"lsn": 3, "base": 2},
+          "rules": [
+            {"head": ["T", 0, 1], "body": [["E", 0, 1]], "neq": []},
+            {"head": ["T", 0, 2], "body": [["T", 0, 1], ["E", 1, 2]], "neq": []},
+            {"head": ["goal", 0, 1], "body": [["T", 0, 1]], "neq": [[0, 1]]}
+          ],
+          "base": [[0, "E", "a", "b"], [1, "E", "b", "c"]],
+          "steps": [
+            [2, 0, [0], "T", "a", "b"],
+            [3, 1, [2, 1], "T", "a", "c"],
+            [4, 2, [3], "goal", "a", "c"]
+          ],
+          "answers": [[4, "a", "c"]]
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn valid_certificate_verifies() {
+        let v = verify(&tc_cert()).expect("verifies");
+        assert_eq!(v.goal, "goal");
+        assert_eq!(v.answers, vec![vec!["a".to_owned(), "c".to_owned()]]);
+        assert_eq!(v.base_facts, 2);
+        assert_eq!(v.steps, 3);
+        assert_eq!(v.snapshot, Some(Snapshot { lsn: 3, base: 2 }));
+    }
+
+    #[test]
+    fn forward_premise_citation_is_rejected() {
+        // Step 2 cites fact 3, which is only established afterwards:
+        // the in-order check makes cyclic justification impossible.
+        let cert = tc_cert().replace(
+            r#"[2, 0, [0], "T", "a", "b"]"#,
+            r#"[2, 1, [3, 1], "T", "a", "b"]"#,
+        );
+        assert!(matches!(
+            verify(&cert),
+            Err(CertError::MissingPremise {
+                step: 2,
+                premise: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn wrong_instantiation_is_rejected() {
+        let cert = tc_cert().replace(
+            r#"[3, 1, [2, 1], "T", "a", "c"]"#,
+            r#"[3, 1, [2, 1], "T", "a", "b"]"#,
+        );
+        assert!(matches!(
+            verify(&cert),
+            Err(CertError::HeadMismatch { step: 3 })
+        ));
+    }
+
+    #[test]
+    fn binding_conflicts_are_rejected() {
+        // Premise T(a,b) forces ?1 = b, but E(b,c) is cited where the
+        // atom E(?1, ?2) would need ?1 = b — make it conflict by citing
+        // fact 0 (E(a,b)) instead: ?1 must be both b and a.
+        let cert = tc_cert().replace(
+            r#"[3, 1, [2, 1], "T", "a", "c"]"#,
+            r#"[3, 1, [2, 0], "T", "a", "c"]"#,
+        );
+        assert!(matches!(
+            verify(&cert),
+            Err(CertError::PremiseMismatch {
+                step: 3,
+                atom: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn inequality_violations_are_rejected() {
+        let cert = r#"{
+          "v": 1, "goal": "goal",
+          "rules": [
+            {"head": ["T", 0, 1], "body": [["E", 0, 1]], "neq": []},
+            {"head": ["goal", 0, 1], "body": [["T", 0, 1]], "neq": [[0, 1]]}
+          ],
+          "base": [[0, "E", "a", "a"]],
+          "steps": [[1, 0, [0], "T", "a", "a"], [2, 1, [1], "goal", "a", "a"]],
+          "answers": [[2, "a", "a"]]
+        }"#;
+        assert!(matches!(
+            verify(cert),
+            Err(CertError::InequalityViolated { step: 2 })
+        ));
+    }
+
+    #[test]
+    fn answers_must_cite_goal_facts() {
+        let cert = tc_cert().replace(
+            r#""answers": [[4, "a", "c"]]"#,
+            r#""answers": [[3, "a", "c"]]"#,
+        );
+        assert!(matches!(
+            verify(&cert),
+            Err(CertError::AnswerUnproven { fact: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let cert = tc_cert().replace(
+            r#"[2, 0, [0], "T", "a", "b"]"#,
+            r#"[1, 0, [0], "T", "a", "b"]"#,
+        );
+        let got = verify(&cert);
+        assert!(matches!(got, Err(CertError::DuplicateFact(1))), "{got:?}");
+    }
+
+    #[test]
+    fn versions_other_than_one_are_refused() {
+        let cert = tc_cert().replace(r#""v": 1"#, r#""v": 2"#);
+        assert!(matches!(
+            verify(&cert),
+            Err(CertError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn missing_snapshot_is_unbound_not_invalid() {
+        let cert = tc_cert().replace(r#""snapshot": {"lsn": 3, "base": 2},"#, "");
+        let v = verify(&cert).expect("verifies without a binding");
+        assert_eq!(v.snapshot, None);
+    }
+
+    #[test]
+    fn ground_rule_constants_must_match() {
+        let cert = r#"{
+          "v": 1, "goal": "g",
+          "rules": [{"head": ["g", 0], "body": [["E", "a", 0]], "neq": []}],
+          "base": [[0, "E", "b", "c"]],
+          "steps": [[1, 0, [0], "g", "c"]],
+          "answers": [[1, "c"]]
+        }"#;
+        assert!(matches!(
+            verify(cert),
+            Err(CertError::PremiseMismatch {
+                step: 1,
+                atom: 0,
+                ..
+            })
+        ));
+    }
+}

@@ -8,7 +8,10 @@
 //! first argument is bound, smallest index bucket) first.
 
 use crate::program::{DAtom, DTerm, Literal, Program, Rule};
-use gomq_core::{DeltaView, FactBuf, FactLookup, Instance, Interpretation, StoreStats, Term};
+use gomq_core::{
+    DeltaView, FactBuf, FactLookup, FactRef, IndexedInstance, Instance, Interpretation, RelId,
+    StoreStats, Term,
+};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::time::Instant;
@@ -128,6 +131,112 @@ impl fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
+/// A sink for facts staged by the join matcher.
+///
+/// The matcher is generic over its sink so the production hot path
+/// (plain [`FactBuf`], whose premise hooks are empty and fold away under
+/// monomorphization) and the certificate-recording path ([`TracedBuf`])
+/// share one join loop instead of two drifting copies.
+pub trait Emitter {
+    /// Called once per rule before its instantiations are enumerated;
+    /// `rule_idx` is the rule's position in the slice being evaluated.
+    fn begin_rule(&mut self, _rule_idx: usize) {}
+
+    /// A body atom was matched against fact `id`: `atom_idx` is the
+    /// atom's position among the rule's *positive* atoms (body order,
+    /// not join order). Paired with [`Emitter::unnote_premise`] on
+    /// backtrack.
+    fn note_premise(&mut self, _atom_idx: usize, _id: u32) {}
+
+    /// Backtrack over the most recent [`Emitter::note_premise`].
+    fn unnote_premise(&mut self) {}
+
+    /// All body literals are satisfied: stage the instantiated head.
+    fn emit(&mut self, rel: RelId, args: impl Iterator<Item = Term>);
+}
+
+impl Emitter for FactBuf {
+    fn emit(&mut self, rel: RelId, args: impl Iterator<Item = Term>) {
+        self.push_with(rel, args);
+    }
+}
+
+/// One recorded rule application: which rule fired and which facts
+/// instantiated its positive body atoms.
+///
+/// `premises[i]` is the store id of the fact matched against the rule's
+/// `i`-th positive body atom, so a checker can re-verify the step by
+/// *linear substitution matching* — walk the atoms in order, unify each
+/// against its cited premise, then compare the instantiated head. No
+/// join search is ever needed to check a derivation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// Index of the fired rule in the evaluated program's rule slice.
+    pub rule: u32,
+    /// Premise fact ids, aligned with the rule's positive body atoms.
+    pub premises: Vec<u32>,
+}
+
+/// A [`FactBuf`] that additionally records a [`Derivation`] per staged
+/// fact (aligned by position: `derivs[i]` justifies `buf.get(i)`).
+#[derive(Default)]
+pub struct TracedBuf {
+    /// The staged facts.
+    pub buf: FactBuf,
+    /// `derivs[i]` is the rule application that staged `buf.get(i)`.
+    pub derivs: Vec<Derivation>,
+    rule_idx: u32,
+    trail: Vec<(u32, u32)>,
+}
+
+impl TracedBuf {
+    /// Creates an empty traced buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears staged facts and derivations, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.derivs.clear();
+        self.trail.clear();
+    }
+
+    /// Iterates staged facts together with their derivations.
+    pub fn iter(&self) -> impl Iterator<Item = (FactRef<'_>, &Derivation)> {
+        (0..self.buf.len()).map(|i| (self.buf.get(i), &self.derivs[i]))
+    }
+}
+
+impl Emitter for TracedBuf {
+    fn begin_rule(&mut self, rule_idx: usize) {
+        self.rule_idx = rule_idx as u32;
+        // A panic between note/unnote pairs (fault injection) may leave
+        // a stale trail; rule entry is a safe reset point.
+        self.trail.clear();
+    }
+
+    fn note_premise(&mut self, atom_idx: usize, id: u32) {
+        self.trail.push((atom_idx as u32, id));
+    }
+
+    fn unnote_premise(&mut self) {
+        self.trail.pop();
+    }
+
+    fn emit(&mut self, rel: RelId, args: impl Iterator<Item = Term>) {
+        self.buf.push_with(rel, args);
+        // The trail is in greedy join order; certificates cite premises
+        // in body-atom order so the checker can match linearly.
+        let mut cited = self.trail.clone();
+        cited.sort_unstable_by_key(|&(atom_idx, _)| atom_idx);
+        self.derivs.push(Derivation {
+            rule: self.rule_idx,
+            premises: cited.into_iter().map(|(_, id)| id).collect(),
+        });
+    }
+}
+
 impl Program {
     /// Semi-naive evaluation: computes the least fixpoint of the program
     /// over the instance and returns the set of goal tuples.
@@ -211,17 +320,39 @@ where
     T: FactLookup + ?Sized,
     D: FactLookup + ?Sized,
 {
-    for rule in rules {
+    derive_round_into(rules, total, delta, out);
+}
+
+/// [`derive_round`] with derivation recording: `out.derivs[i]` records
+/// the rule application (rule index into `rules`, premise fact ids in
+/// body-atom order) that staged `out.buf.get(i)`.
+pub fn derive_round_traced<T, D>(rules: &[Rule], total: &T, delta: &D, out: &mut TracedBuf)
+where
+    T: FactLookup + ?Sized,
+    D: FactLookup + ?Sized,
+{
+    derive_round_into(rules, total, delta, out);
+}
+
+fn derive_round_into<T, D, E>(rules: &[Rule], total: &T, delta: &D, out: &mut E)
+where
+    T: FactLookup + ?Sized,
+    D: FactLookup + ?Sized,
+    E: Emitter,
+{
+    for (i, rule) in rules.iter().enumerate() {
+        out.begin_rule(i);
         derive(rule, total, delta, out);
     }
 }
 
 /// Derives all head facts of `rule` with at least one body atom matched in
 /// `delta` (semi-naive restriction). `total` includes `delta`.
-fn derive<T, D>(rule: &Rule, total: &T, delta: &D, out: &mut FactBuf)
+fn derive<T, D, E>(rule: &Rule, total: &T, delta: &D, out: &mut E)
 where
     T: FactLookup + ?Sized,
     D: FactLookup + ?Sized,
+    E: Emitter,
 {
     let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
     if atoms.is_empty() {
@@ -258,7 +389,7 @@ fn bound_first(atom: &DAtom, frame: &[Option<Term>]) -> Option<Term> {
 /// the atom with the fewest candidate facts under the current binding
 /// (the pivot matches `delta`, everything else `total`).
 #[allow(clippy::too_many_arguments)]
-fn match_atoms<T, D>(
+fn match_atoms<T, D, E>(
     rule: &Rule,
     atoms: &[&DAtom],
     pivot: Option<usize>,
@@ -266,10 +397,11 @@ fn match_atoms<T, D>(
     total: &T,
     delta: &D,
     frame: &mut Vec<Option<Term>>,
-    out: &mut FactBuf,
+    out: &mut E,
 ) where
     T: FactLookup + ?Sized,
     D: FactLookup + ?Sized,
+    E: Emitter,
 {
     if remaining.is_empty() {
         // All positive atoms matched: check inequalities, then emit
@@ -281,7 +413,7 @@ fn match_atoms<T, D>(
                 }
             }
         }
-        out.push_with(
+        out.emit(
             rule.head.rel,
             rule.head.args.iter().map(|t| resolve(t, frame)),
         );
@@ -359,7 +491,9 @@ fn match_atoms<T, D>(
             }
         }
         if ok {
+            out.note_premise(ai, id);
             match_atoms(rule, atoms, pivot, remaining, total, delta, frame, out);
+            out.unnote_premise();
         }
         for v in newly {
             frame[v as usize] = None;
@@ -385,7 +519,27 @@ pub fn derive_all<T>(rules: &[Rule], total: &T, out: &mut FactBuf)
 where
     T: FactLookup + ?Sized,
 {
-    for rule in rules {
+    derive_all_into(rules, total, out);
+}
+
+/// [`derive_all`] with derivation recording (see
+/// [`derive_round_traced`]). Rule indices in the recorded derivations
+/// refer to positions in `rules` — a caller probing with a rule *subset*
+/// must remap them to its full program afterwards.
+pub fn derive_all_traced<T>(rules: &[Rule], total: &T, out: &mut TracedBuf)
+where
+    T: FactLookup + ?Sized,
+{
+    derive_all_into(rules, total, out);
+}
+
+fn derive_all_into<T, E>(rules: &[Rule], total: &T, out: &mut E)
+where
+    T: FactLookup + ?Sized,
+    E: Emitter,
+{
+    for (i, rule) in rules.iter().enumerate() {
+        out.begin_rule(i);
         let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
         if atoms.is_empty() {
             continue;
@@ -403,6 +557,58 @@ where
             out,
         );
     }
+}
+
+/// A fixpoint together with one recorded [`Derivation`] per derived
+/// fact: `derivs[id]` is `None` for the base facts (ids below
+/// `base.len()`) and `Some` for every fact the fixpoint added. Each
+/// recorded derivation's premises carry ids strictly below the derived
+/// fact's own id, so replaying `derivs` in id order re-checks the whole
+/// fixpoint in one linear pass — the shape a certificate checker wants.
+///
+/// This is the *reference* traced evaluation: sequential semi-naive
+/// with no stratification. Program bodies contain only positive atoms
+/// and inequalities, so the flat fixpoint is answer-equivalent to the
+/// stratified parallel executor; the certificate path trades its speed
+/// for a derivation order that is trivially topological. `base` must be
+/// a plain (all-live) instance.
+pub fn fixpoint_traced(
+    rules: &[Rule],
+    base: &IndexedInstance,
+    budget: &Budget,
+) -> Result<(IndexedInstance, Vec<Option<Derivation>>, EvalStats), BudgetExceeded> {
+    let mut total = base.clone();
+    let mut derivs: Vec<Option<Derivation>> = vec![None; total.len()];
+    let mut stats = EvalStats::default();
+    budget.check(&stats)?;
+    let mut staged = TracedBuf::new();
+    let mut frontier = 0u32;
+    loop {
+        gomq_core::faults::point(gomq_core::faults::EVAL_ROUND);
+        stats.rounds = stats.rounds.saturating_add(1);
+        staged.clear();
+        derive_round_traced(
+            rules,
+            &total,
+            &DeltaView::new(&total, frontier),
+            &mut staged,
+        );
+        frontier = total.len() as u32;
+        for (f, d) in staged.iter() {
+            let (_, new) = total.intern_ref(f.rel, f.args);
+            if new {
+                derivs.push(Some(d.clone()));
+            }
+        }
+        let derived_now = total.len() - frontier as usize;
+        if derived_now == 0 {
+            break;
+        }
+        stats.derived = stats.derived.saturating_add(derived_now);
+        budget.check(&stats)?;
+    }
+    stats.store = total.store_stats();
+    Ok((total, derivs, stats))
 }
 
 /// Naive (reference) evaluation: applies every rule against the whole
@@ -605,6 +811,107 @@ mod tests {
         let p = Program::new(vec![], g);
         let d = path_instance(&mut v, 2);
         assert!(p.eval(&d).is_empty());
+    }
+
+    /// Replays a recorded derivation by linear substitution matching —
+    /// the same check `gomq-cert` performs — against the store the
+    /// fixpoint produced.
+    fn check_derivation(
+        rules: &[Rule],
+        total: &IndexedInstance,
+        id: usize,
+        d: &Derivation,
+    ) -> Result<(), String> {
+        let rule = &rules[d.rule as usize];
+        let atoms: Vec<&DAtom> = rule.positive_atoms().collect();
+        if atoms.len() != d.premises.len() {
+            return Err(format!("premise count {} != atoms", d.premises.len()));
+        }
+        let mut frame: Vec<Option<Term>> = vec![None; rule.num_slots()];
+        for (atom, &pid) in atoms.iter().zip(&d.premises) {
+            if pid as usize >= id {
+                return Err(format!("premise {pid} not before fact {id}"));
+            }
+            let f = total.fact(pid);
+            if f.rel != atom.rel || f.args.len() != atom.args.len() {
+                return Err("premise shape mismatch".into());
+            }
+            for (pat, &t) in atom.args.iter().zip(f.args.iter()) {
+                match pat {
+                    DTerm::Ground(g) if *g != t => return Err("ground mismatch".into()),
+                    DTerm::Ground(_) => {}
+                    DTerm::Var(v) => match frame[*v as usize] {
+                        Some(prev) if prev != t => return Err("binding conflict".into()),
+                        _ => frame[*v as usize] = Some(t),
+                    },
+                }
+            }
+        }
+        for l in &rule.body {
+            if let Literal::Neq(a, b) = l {
+                if resolve(a, &frame) == resolve(b, &frame) {
+                    return Err("inequality violated".into());
+                }
+            }
+        }
+        let head: Vec<Term> = rule.head.args.iter().map(|t| resolve(t, &frame)).collect();
+        let got = total.fact(id as u32);
+        if got.rel != rule.head.rel || got.args != head.as_slice() {
+            return Err("instantiated head differs from derived fact".into());
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn traced_fixpoint_records_checkable_derivations() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let d = path_instance(&mut v, 6);
+        let base = IndexedInstance::from_interpretation(&d);
+        let (total, derivs, stats) =
+            fixpoint_traced(&p.rules, &base, &Budget::UNLIMITED).expect("unlimited");
+        // Same answers as the untraced reference evaluation.
+        let traced_answers: BTreeSet<Vec<Term>> =
+            total.facts_of(p.goal).map(|f| f.args.to_vec()).collect();
+        assert_eq!(traced_answers, p.eval(&d));
+        assert_eq!(derivs.len(), total.len());
+        assert!(stats.derived > 0);
+        // Base facts carry no derivation; every derived fact's recorded
+        // rule application replays by substitution matching alone.
+        let mut derived = 0usize;
+        for (id, entry) in derivs.iter().enumerate() {
+            match entry {
+                None => assert!(id < base.len(), "underived non-base fact {id}"),
+                Some(deriv) => {
+                    derived += 1;
+                    check_derivation(&p.rules, &total, id, deriv)
+                        .unwrap_or_else(|e| panic!("fact {id}: {e}"));
+                }
+            }
+        }
+        assert_eq!(derived, stats.derived);
+    }
+
+    #[test]
+    fn traced_round_matches_untraced_round() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let d = path_instance(&mut v, 6);
+        let indexed = IndexedInstance::from_interpretation(&d);
+        let mut plain_out = FactBuf::new();
+        derive_round(&p.rules, &indexed, &indexed, &mut plain_out);
+        let mut traced_out = TracedBuf::new();
+        derive_round_traced(&p.rules, &indexed, &indexed, &mut traced_out);
+        assert_eq!(plain_out.len(), traced_out.buf.len());
+        for i in 0..plain_out.len() {
+            assert_eq!(plain_out.get(i), traced_out.buf.get(i));
+        }
+        // Each staged fact has a premise per positive body atom.
+        for (f, deriv) in traced_out.iter() {
+            let rule = &p.rules[deriv.rule as usize];
+            assert_eq!(rule.head.rel, f.rel);
+            assert_eq!(rule.positive_atoms().count(), deriv.premises.len());
+        }
     }
 
     #[test]

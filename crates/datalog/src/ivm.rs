@@ -29,7 +29,10 @@
 //! view whenever maintenance fails, which doubles as the compaction
 //! valve).
 
-use crate::eval::{derive_all, derive_round, Budget, BudgetExceeded, EvalStats};
+use crate::eval::{
+    derive_all, derive_all_traced, derive_round, derive_round_traced, Budget, BudgetExceeded,
+    Derivation, EvalStats, TracedBuf,
+};
 use crate::program::Rule;
 use gomq_core::{FactBuf, FactId, IdSetView, IndexedInstance, RelId, Term};
 use std::collections::{BTreeSet, HashSet};
@@ -51,6 +54,16 @@ pub struct Materialization {
     total: IndexedInstance,
     /// Base fact index → maintained fact id, in base insertion order.
     base_ids: Vec<u32>,
+    /// Whether maintenance records witness derivations.
+    record: bool,
+    /// `derivs[id]` is the recorded rule application justifying fact
+    /// `id`, kept current for every *live derived* fact while
+    /// `record` is on. Base facts need no justification (emission cites
+    /// them symbolically — which is also what keeps a kept EDB
+    /// duplicate's certificate honest after its derived support is
+    /// rolled back); entries of dead facts are stale until revival
+    /// re-records them.
+    derivs: Vec<Option<Derivation>>,
 }
 
 impl Materialization {
@@ -62,16 +75,86 @@ impl Materialization {
         base: &IndexedInstance,
         budget: &Budget,
     ) -> Result<(Materialization, EvalStats), BudgetExceeded> {
+        Self::build_inner(rules, goal, base, budget, false)
+    }
+
+    /// [`Materialization::build`] with witness recording: every derived
+    /// fact keeps the rule application that produced it, so answers can
+    /// be emitted with a derivation certificate without re-evaluating.
+    pub fn build_recording(
+        rules: &[Rule],
+        goal: RelId,
+        base: &IndexedInstance,
+        budget: &Budget,
+    ) -> Result<(Materialization, EvalStats), BudgetExceeded> {
+        Self::build_inner(rules, goal, base, budget, true)
+    }
+
+    fn build_inner(
+        rules: &[Rule],
+        goal: RelId,
+        base: &IndexedInstance,
+        budget: &Budget,
+        record: bool,
+    ) -> Result<(Materialization, EvalStats), BudgetExceeded> {
         let mut m = Materialization {
             rules: rules.to_vec(),
             goal,
             total: IndexedInstance::new(),
             base_ids: Vec::new(),
+            record,
+            derivs: Vec::new(),
         };
         let mut stats = EvalStats::default();
         m.sync_inner(base, budget, &mut stats)?;
         stats.store = m.total.store_stats();
         Ok((m, stats))
+    }
+
+    /// Whether this view records witness derivations.
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
+    /// The maintained store (base ∪ IDB, dead facts in place).
+    pub fn instance(&self) -> &IndexedInstance {
+        &self.total
+    }
+
+    /// The maintained fact ids of the current base, in base insertion
+    /// order (an id appears once per duplicate assert).
+    pub fn base_fact_ids(&self) -> &[u32] {
+        &self.base_ids
+    }
+
+    /// Ids of the live goal facts — the answers, with their store
+    /// identity (the id a certificate will cite).
+    pub fn answer_ids(&self) -> Vec<u32> {
+        let store = self.total.store();
+        store
+            .rel_ids(self.goal)
+            .iter()
+            .copied()
+            .filter(|&id| store.is_live(id))
+            .collect()
+    }
+
+    /// The recorded derivation of fact `id`, if recording is on and the
+    /// fact was derived (base facts and pre-recording facts have none).
+    pub fn derivation(&self, id: u32) -> Option<&Derivation> {
+        self.derivs.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// The maintained rule set (indices match recorded derivations).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    fn record_deriv(&mut self, id: u32, d: Derivation) {
+        if self.derivs.len() <= id as usize {
+            self.derivs.resize(id as usize + 1, None);
+        }
+        self.derivs[id as usize] = Some(d);
     }
 
     /// Number of base facts currently incorporated.
@@ -223,18 +306,42 @@ impl Materialization {
             .iter()
             .map(|&id| self.total.store().rel(FactId(id)))
             .collect();
+        let mut probe_idx: Vec<u32> = Vec::new();
         let probe: Vec<Rule> = self
             .rules
             .iter()
-            .filter(|r| dead_rels.contains(&r.head.rel))
-            .cloned()
+            .enumerate()
+            .filter(|(_, r)| dead_rels.contains(&r.head.rel))
+            .map(|(i, r)| {
+                probe_idx.push(i as u32);
+                r.clone()
+            })
             .collect();
         staged.clear();
-        derive_all(&probe, &self.total, &mut staged);
+        let mut traced = TracedBuf::new();
+        if self.record {
+            derive_all_traced(&probe, &self.total, &mut traced);
+            // The traced probe ran over the rule *subset*; recorded rule
+            // indices must refer to the full maintained program.
+            for d in &mut traced.derivs {
+                d.rule = probe_idx[d.rule as usize];
+            }
+        } else {
+            derive_all(&probe, &self.total, &mut staged);
+        }
         stats.rounds = stats.rounds.saturating_add(1);
         let mut revived: Vec<u32> = Vec::new();
-        for i in 0..staged.len() {
-            let f = staged.get(i);
+        let count = if self.record {
+            traced.buf.len()
+        } else {
+            staged.len()
+        };
+        for i in 0..count {
+            let f = if self.record {
+                traced.buf.get(i)
+            } else {
+                staged.get(i)
+            };
             let (id, new) = self.total.intern_ref(f.rel, f.args);
             if new {
                 // Unreachable for a correctly maintained view (the old
@@ -242,10 +349,20 @@ impl Materialization {
                 // sound: treat it as a fresh insertion.
                 stats.derived = stats.derived.saturating_add(1);
                 revived.push(id.0);
+                if self.record {
+                    self.record_deriv(id.0, traced.derivs[i].clone());
+                }
             } else if !self.total.store().is_live(id.0) {
                 self.total.set_support(id, 1);
                 stats.ivm_rederived = stats.ivm_rederived.saturating_add(1);
                 revived.push(id.0);
+                if self.record {
+                    // The pre-deletion witness went through a doomed
+                    // fact (that is why the fact was overcounted out);
+                    // re-record from the surviving premises the probe
+                    // actually matched.
+                    self.record_deriv(id.0, traced.derivs[i].clone());
+                }
             }
         }
         self.propagate(revived, budget, &mut stats)?;
@@ -263,29 +380,56 @@ impl Materialization {
         stats: &mut EvalStats,
     ) -> Result<(), BudgetExceeded> {
         let mut staged = FactBuf::new();
+        let mut traced = TracedBuf::new();
         while !frontier.is_empty() {
             budget.check(stats)?;
             gomq_core::faults::point(gomq_core::faults::EVAL_ROUND);
             stats.rounds = stats.rounds.saturating_add(1);
             staged.clear();
+            traced.clear();
             {
                 let delta = IdSetView::new(&self.total, &frontier);
-                derive_round(&self.rules, &self.total, &delta, &mut staged);
+                if self.record {
+                    derive_round_traced(&self.rules, &self.total, &delta, &mut traced);
+                } else {
+                    derive_round(&self.rules, &self.total, &delta, &mut staged);
+                }
             }
             frontier.clear();
-            for i in 0..staged.len() {
-                let f = staged.get(i);
+            let count = if self.record {
+                traced.buf.len()
+            } else {
+                staged.len()
+            };
+            for i in 0..count {
+                let f = if self.record {
+                    traced.buf.get(i)
+                } else {
+                    staged.get(i)
+                };
                 let (id, new) = self.total.intern_ref(f.rel, f.args);
                 if new {
                     stats.derived = stats.derived.saturating_add(1);
                     frontier.push(id.0);
+                    if self.record {
+                        self.record_deriv(id.0, traced.derivs[i].clone());
+                    }
                 } else if self.total.store().is_live(id.0) {
-                    // One more derivation of an already-live fact.
+                    // One more derivation of an already-live fact; the
+                    // first recorded witness stays — its premises are
+                    // older and themselves still justified.
                     self.total.add_support(id, 1);
                 } else {
                     self.total.set_support(id, 1);
                     stats.ivm_rederived = stats.ivm_rederived.saturating_add(1);
                     frontier.push(id.0);
+                    if self.record {
+                        // Revival: the pre-retraction witness may cite
+                        // facts that are now dead; replace it with the
+                        // instantiation that just fired, whose premises
+                        // were live this round.
+                        self.record_deriv(id.0, traced.derivs[i].clone());
+                    }
                 }
             }
             frontier.sort_unstable();
@@ -335,6 +479,70 @@ mod tests {
 
     fn recompute(p: &Program, base: &IndexedInstance) -> BTreeSet<Vec<Term>> {
         p.eval(&base.to_interpretation())
+    }
+
+    /// Asserts the recording invariant certificates rely on: every live
+    /// fact is either base (cited symbolically) or carries a recorded
+    /// derivation whose premises are live, match the rule's body by
+    /// substitution, instantiate its head to the fact — and whose
+    /// citation graph is acyclic (well-founded justification).
+    fn assert_witnesses_sound(m: &Materialization) {
+        use crate::program::DTerm;
+        let store = m.instance().store();
+        let base: HashSet<u32> = m.base_fact_ids().iter().copied().collect();
+        // 0 = unvisited, 1 = in progress (cycle if revisited), 2 = done.
+        let mut state = vec![0u8; m.len()];
+        fn visit(m: &Materialization, base: &HashSet<u32>, state: &mut Vec<u8>, id: u32) {
+            if state[id as usize] == 2 {
+                return;
+            }
+            assert_ne!(state[id as usize], 1, "cyclic justification at fact {id}");
+            state[id as usize] = 1;
+            if !base.contains(&id) {
+                let store = m.instance().store();
+                let d = m
+                    .derivation(id)
+                    .unwrap_or_else(|| panic!("live derived fact {id} has no witness"));
+                let rule = &m.rules()[d.rule as usize];
+                let atoms: Vec<_> = rule.positive_atoms().collect();
+                assert_eq!(atoms.len(), d.premises.len(), "fact {id}");
+                let mut frame: Vec<Option<Term>> = vec![None; rule.num_slots()];
+                for (atom, &pid) in atoms.iter().zip(&d.premises) {
+                    assert!(store.is_live(pid), "fact {id} cites dead premise {pid}");
+                    visit(m, base, state, pid);
+                    let f = store.fact_ref(FactId(pid));
+                    assert_eq!(f.rel, atom.rel, "fact {id}");
+                    for (pat, &t) in atom.args.iter().zip(f.args.iter()) {
+                        match pat {
+                            DTerm::Ground(g) => assert_eq!(*g, t, "fact {id}"),
+                            DTerm::Var(v) => match frame[*v as usize] {
+                                Some(prev) => assert_eq!(prev, t, "fact {id}"),
+                                None => frame[*v as usize] = Some(t),
+                            },
+                        }
+                    }
+                }
+                let resolve = |t: &DTerm| match t {
+                    DTerm::Ground(g) => *g,
+                    DTerm::Var(v) => frame[*v as usize].expect("bound"),
+                };
+                for l in &rule.body {
+                    if let crate::program::Literal::Neq(a, b) = l {
+                        assert_ne!(resolve(a), resolve(b), "fact {id}");
+                    }
+                }
+                let head: Vec<Term> = rule.head.args.iter().map(resolve).collect();
+                let got = store.fact_ref(FactId(id));
+                assert_eq!(got.rel, rule.head.rel, "fact {id}");
+                assert_eq!(got.args, head.as_slice(), "fact {id}");
+            }
+            state[id as usize] = 2;
+        }
+        for id in 0..m.len() as u32 {
+            if store.is_live(id) {
+                visit(m, &base, &mut state, id);
+            }
+        }
     }
 
     fn edge(v: &mut Vocab, base: &mut IndexedInstance, from: &str, to: &str) {
@@ -396,7 +604,7 @@ mod tests {
         // T(a,b) asserted directly as EDB…
         base.insert(Fact::consts(t, &[a, b]));
         let (mut m, _) =
-            Materialization::build(&p.rules, p.goal, &base, &Budget::UNLIMITED).unwrap();
+            Materialization::build_recording(&p.rules, p.goal, &base, &Budget::UNLIMITED).unwrap();
         let mark = base.len();
         // …then also derived via E(a,b), then the edge rolled back.
         edge(&mut v, &mut base, "a", "b");
@@ -407,19 +615,96 @@ mod tests {
         // duplicate's support.
         assert_eq!(m.answers(), recompute(&p, &base));
         assert!(m.answers().contains(&vec![Term::Const(a), Term::Const(b)]));
+        // Certificate path: the kept fact's justification must not go
+        // through the doomed edge. It is cited as a *base* fact (it is
+        // one), which sidesteps its stale derived witness entirely; the
+        // soundness sweep below would catch a citation of the dead
+        // E(a,b) or of any other doomed premise.
+        let t_id = m
+            .instance()
+            .store()
+            .lookup(t, &[Term::Const(a), Term::Const(b)])
+            .expect("T(a,b) maintained");
+        assert!(
+            m.base_fact_ids().contains(&t_id.0),
+            "kept EDB duplicate is certified as a base fact"
+        );
+        assert_witnesses_sound(&m);
 
         // The mirror case: derived fact loses its EDB duplicate but
-        // stays derivable — rederivation must reinstate it.
+        // stays derivable — rederivation must reinstate it, and its
+        // fresh witness must cite the surviving premises.
         let mut base = IndexedInstance::new();
         edge(&mut v, &mut base, "a", "b");
         let mark = base.len();
         base.insert(Fact::consts(t, &[a, b]));
         let (mut m, _) =
-            Materialization::build(&p.rules, p.goal, &base, &Budget::UNLIMITED).unwrap();
+            Materialization::build_recording(&p.rules, p.goal, &base, &Budget::UNLIMITED).unwrap();
         base.truncate(mark);
         let stats = m.rollback(mark, &Budget::UNLIMITED).unwrap();
         assert!(stats.ivm_rederived > 0, "T(a,b) must be rederived");
         assert_eq!(m.answers(), recompute(&p, &base));
+        let t_id = m
+            .instance()
+            .store()
+            .lookup(t, &[Term::Const(a), Term::Const(b)])
+            .expect("T(a,b) maintained");
+        assert!(
+            !m.base_fact_ids().contains(&t_id.0),
+            "rolled-back EDB duplicate is no longer base"
+        );
+        let witness = m.derivation(t_id.0).expect("rederived fact has a witness");
+        for &pid in &witness.premises {
+            assert!(
+                m.instance().store().is_live(pid),
+                "rederived T(a,b) cites doomed premise {pid}"
+            );
+        }
+        assert_witnesses_sound(&m);
+    }
+
+    #[test]
+    fn recorded_witnesses_stay_sound_across_maintenance() {
+        let mut v = Vocab::new();
+        let p = tc_program(&mut v);
+        let mut base = IndexedInstance::new();
+        let (mut m, _) =
+            Materialization::build_recording(&p.rules, p.goal, &base, &Budget::UNLIMITED).unwrap();
+        assert!(m.is_recording());
+
+        edge(&mut v, &mut base, "n0", "n1");
+        edge(&mut v, &mut base, "n1", "n2");
+        m.sync(&base, &Budget::UNLIMITED).unwrap();
+        assert_witnesses_sound(&m);
+        let mark = base.len();
+
+        edge(&mut v, &mut base, "n2", "n3");
+        edge(&mut v, &mut base, "n3", "n0"); // closes a cycle
+        m.sync(&base, &Budget::UNLIMITED).unwrap();
+        assert_witnesses_sound(&m);
+
+        // Rollback kills the cycle's consequences; survivors must keep
+        // well-founded witnesses and rederivations must re-record.
+        base.truncate(mark);
+        m.rollback(mark, &Budget::UNLIMITED).unwrap();
+        assert_witnesses_sound(&m);
+        assert_eq!(m.answers(), recompute(&p, &base));
+
+        // Revival via re-assert replaces the stale witness.
+        edge(&mut v, &mut base, "n2", "n3");
+        m.sync(&base, &Budget::UNLIMITED).unwrap();
+        assert_witnesses_sound(&m);
+        assert_eq!(m.answers(), recompute(&p, &base));
+
+        // Answer ids point at live goal facts.
+        for id in m.answer_ids() {
+            assert!(m.instance().store().is_live(id));
+        }
+
+        // A non-recording view records nothing.
+        let (m2, _) = Materialization::build(&p.rules, p.goal, &base, &Budget::UNLIMITED).unwrap();
+        assert!(!m2.is_recording());
+        assert!((0..m2.len() as u32).all(|id| m2.derivation(id).is_none()));
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub mod ivm;
 pub mod program;
 
 pub use eval::{
-    derive_all, derive_round, eval_naive, Budget, BudgetExceeded, EvalStats, LimitKind,
+    derive_all, derive_all_traced, derive_round, derive_round_traced, eval_naive, fixpoint_traced,
+    Budget, BudgetExceeded, Derivation, Emitter, EvalStats, LimitKind, TracedBuf,
 };
 pub use ivm::Materialization;
 pub use program::{DAtom, DTerm, Literal, Program, Rule};

@@ -21,8 +21,8 @@
 //! ```
 
 use gomq_engine::{
-    handle_connection, ConnClose, ConnControl, DrainToken, NetConfig, NetServer, ServeConfig,
-    ServeSession, ServeShared,
+    handle_connection, resolve_view_flags, ConnClose, ConnControl, DrainToken, NetConfig,
+    NetServer, ServeConfig, ServeSession, ServeShared,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -60,7 +60,10 @@ Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
                        a maintained materialization in O(changed facts)
                        instead of a from-scratch fixpoint (default: on)
   --max-views N        maintained materializations kept per session,
-                       LRU-evicted beyond N (default 8; 0 = --views off)
+                       LRU-evicted beyond N (default 8). N must be at
+                       least 1 — to disable maintenance say --views off,
+                       not --max-views 0; combining --views off with
+                       --max-views is a usage error
 
 TCP mode (the flags below require --listen):
   --listen ADDR        serve the JSONL protocol over TCP on ADDR (e.g.
@@ -116,6 +119,11 @@ fn numeric(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 
 fn main() {
     let mut config = ServeConfig::default();
+    // --views / --max-views are collected and resolved together after
+    // the loop (resolve_view_flags), so the outcome is order-independent
+    // and the ambiguous "--max-views 0" spelling is a typed usage error.
+    let mut views_flag: Option<bool> = None;
+    let mut max_views_flag: Option<u64> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut listen: Option<String> = None;
     let mut net = NetConfig::default();
@@ -167,15 +175,11 @@ fn main() {
             }
             "--chaos-seed" => chaos_seed = Some(numeric(&mut args, "--chaos-seed")),
             "--views" => match args.next().as_deref() {
-                Some("on") => {
-                    if config.max_views == 0 {
-                        config.max_views = gomq_engine::DEFAULT_MAX_VIEWS;
-                    }
-                }
-                Some("off") => config.max_views = 0,
+                Some("on") => views_flag = Some(true),
+                Some("off") => views_flag = Some(false),
                 _ => usage_error("--views needs \"on\" or \"off\""),
             },
-            "--max-views" => config.max_views = numeric(&mut args, "--max-views") as usize,
+            "--max-views" => max_views_flag = Some(numeric(&mut args, "--max-views")),
             "--listen" => {
                 let Some(addr) = args.next() else {
                     usage_error("--listen needs an address, e.g. 127.0.0.1:7401");
@@ -231,6 +235,10 @@ fn main() {
         if let Some(flag) = net_flag {
             usage_error(&format!("{flag} requires --listen"));
         }
+    }
+    match resolve_view_flags(views_flag, max_views_flag) {
+        Ok(n) => config.max_views = n,
+        Err(e) => usage_error(&e),
     }
     if let Some(seed) = chaos_seed {
         if cfg!(feature = "chaos") {
@@ -346,7 +354,7 @@ fn print_summary(shared: &ServeShared) {
          {} WAL records ({} bytes), {} snapshots, {} quarantined \
          ({} breakers tripped), {} faults injected, {} conns accepted \
          ({} refused), {} queue rejects, {} drains, {} maintained hits, \
-         {} views active ({} evicted)",
+         {} views active ({} evicted), {} certificates ({} bytes)",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
@@ -372,5 +380,7 @@ fn print_summary(shared: &ServeShared) {
         stats.ivm_maintained_hits,
         stats.views_active,
         stats.views_evicted,
+        stats.certs_emitted,
+        stats.cert_bytes,
     );
 }

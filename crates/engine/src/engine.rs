@@ -4,7 +4,7 @@ use crate::cache::{lock_recover, PlanCache, PlanOutcome};
 use crate::exec::{eval_batch_budgeted, eval_strata_budgeted};
 use crate::plan::{EngineError, OmqPlan};
 use crate::stats::{EngineStats, RequestStats};
-use gomq_core::{IndexedInstance, Instance, RelId, Term, Vocab};
+use gomq_core::{FactId, IndexedInstance, Instance, RelId, Term, Vocab};
 use gomq_datalog::Budget;
 use gomq_logic::GfOntology;
 use std::collections::{BTreeSet, HashMap};
@@ -210,6 +210,83 @@ impl Engine {
         }
     }
 
+    /// Answers one plan against one pre-indexed ABox with a derivation
+    /// certificate attached. Evaluation runs the *traced* flat fixpoint
+    /// (answer-equivalent to the stratified path — strata only order
+    /// work) recording one witness per derived fact; the certificate is
+    /// then assembled by walking the witnesses backwards from the goal
+    /// facts. `snapshot` is the session position to bind the
+    /// certificate to, or `None` when the ABox came with the request.
+    /// The vocabulary is locked only during certificate rendering,
+    /// never across evaluation.
+    pub fn answer_indexed_certified(
+        &self,
+        plan: &OmqPlan,
+        abox: &IndexedInstance,
+        budget: &Budget,
+        vocab: &Mutex<Vocab>,
+        snapshot: Option<(u64, u64)>,
+    ) -> Result<(BTreeSet<Vec<Term>>, String, RequestStats), EngineError> {
+        let (answers, cert, stats) = self.certified_eval(plan, abox, budget, vocab, snapshot)?;
+        lock_recover(&self.stats).absorb(&stats);
+        Ok((answers, cert, stats))
+    }
+
+    /// The traced evaluation + certificate assembly shared by the
+    /// certified entry points. Does *not* fold the request into the
+    /// cumulative totals — each public caller absorbs exactly once.
+    fn certified_eval(
+        &self,
+        plan: &OmqPlan,
+        abox: &IndexedInstance,
+        budget: &Budget,
+        vocab: &Mutex<Vocab>,
+        snapshot: Option<(u64, u64)>,
+    ) -> Result<(BTreeSet<Vec<Term>>, String, RequestStats), EngineError> {
+        let t0 = Instant::now();
+        let base_len = abox.len() as u32;
+        let (total, derivs, eval_stats) =
+            gomq_datalog::fixpoint_traced(&plan.program.rules, abox, budget).map_err(|e| {
+                self.record_overloaded();
+                EngineError::Overloaded(e)
+            })?;
+        let goal = plan.program.goal;
+        let answer_ids: Vec<u32> = (0..total.len() as u32)
+            .filter(|&i| total.store().rel(FactId(i)) == goal)
+            .collect();
+        let answers: BTreeSet<Vec<Term>> = answer_ids
+            .iter()
+            .map(|&i| total.store().args(FactId(i)).to_vec())
+            .collect();
+        let source = crate::certify::CertSource {
+            instance: &total,
+            rules: &plan.program.rules,
+            goal,
+            answer_ids: &answer_ids,
+            snapshot,
+        };
+        let cert = {
+            let vocab = lock_recover(vocab);
+            crate::certify::emit_certificate(
+                &vocab,
+                &source,
+                |id| id < base_len,
+                |id| derivs[id as usize].as_ref(),
+            )
+            .map_err(|e| EngineError::Internal(format!("certificate assembly: {e}")))?
+        };
+        let stats = RequestStats {
+            eval: t0.elapsed(),
+            rounds: eval_stats.rounds,
+            derived: eval_stats.derived,
+            answers: answers.len(),
+            store: eval_stats.store,
+            cert_bytes: cert.len(),
+            ..RequestStats::default()
+        };
+        Ok((answers, cert, stats))
+    }
+
     /// Answers one plan against one plain ABox through the plan's bitset
     /// type kernel instead of Datalog evaluation: one AC-3 propagation
     /// over the ABox, then certain-answer extraction. Agrees with
@@ -233,6 +310,44 @@ impl Engine {
         };
         lock_recover(&self.stats).absorb(&stats);
         (answers, stats)
+    }
+
+    /// Answers one plan through the bitset type kernel *with* a
+    /// derivation certificate. The kernel itself materializes no facts
+    /// and so cannot witness its answers; instead a traced reference
+    /// fixpoint runs alongside it, the two answer sets are
+    /// cross-checked (a divergence is an engine bug and comes back as
+    /// [`EngineError::Internal`] — never a silently wrong certificate),
+    /// and the certificate is emitted from the reference derivation.
+    pub fn answer_typed_certified(
+        &self,
+        plan: &OmqPlan,
+        abox: &Instance,
+        budget: &Budget,
+        vocab: &Mutex<Vocab>,
+    ) -> Result<(BTreeSet<Vec<Term>>, String, RequestStats), EngineError> {
+        let t0 = Instant::now();
+        let (elems, type_stats) = plan.types.certain_unary_with_stats(abox, plan.query);
+        let typed_answers: BTreeSet<Vec<Term>> = elems.into_iter().map(|t| vec![t]).collect();
+        let indexed = IndexedInstance::from_interpretation(abox);
+        let (answers, cert, _) = self.certified_eval(plan, &indexed, budget, vocab, None)?;
+        if typed_answers != answers {
+            return Err(EngineError::Internal(format!(
+                "typed kernel diverges from traced evaluation: {} vs {} answers",
+                typed_answers.len(),
+                answers.len()
+            )));
+        }
+        let stats = RequestStats {
+            eval: t0.elapsed(),
+            answers: answers.len(),
+            typed: true,
+            type_stats,
+            cert_bytes: cert.len(),
+            ..RequestStats::default()
+        };
+        lock_recover(&self.stats).absorb(&stats);
+        Ok((answers, cert, stats))
     }
 
     /// Answers one plan against a batch of ABoxes concurrently (one

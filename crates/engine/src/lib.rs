@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod certify;
 pub mod drain;
 pub mod engine;
 pub mod exec;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod wal;
 
 pub use cache::{PlanCache, PlanOutcome};
+pub use certify::{emit_certificate, CertSource, CertifyError};
 pub use drain::DrainToken;
 pub use engine::Engine;
 pub use exec::{
@@ -70,8 +72,8 @@ pub use gomq_datalog::{Budget, BudgetExceeded, LimitKind};
 pub use net::{NetConfig, NetReport, NetServer};
 pub use plan::{EngineError, OmqPlan};
 pub use serve::{
-    handle_connection, read_line_capped, CappedLineReader, ConnClose, ConnControl, ConnOutcome,
-    Limits, LineRead, ServeConfig, ServeSession, ServeShared,
+    handle_connection, read_line_capped, resolve_view_flags, CappedLineReader, ConnClose,
+    ConnControl, ConnOutcome, Limits, LineRead, ServeConfig, ServeSession, ServeShared,
 };
 pub use session::{
     DurableSession, MutationInfo, PersistOptions, RecoveryInfo, SessionError, ViewMaintenance,

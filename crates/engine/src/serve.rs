@@ -156,6 +156,38 @@ pub struct ServeConfig {
 /// Default request-line cap: 16 MiB.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 16 << 20;
 
+/// Resolves the `--views on|off` / `--max-views N` flag pair into a
+/// view capacity, independent of the order the flags appeared in.
+///
+/// The two flags overlap — a capacity of 0 *is* "off" — which
+/// historically made `--views on --max-views 0` and `--max-views 0
+/// --views on` mean different things depending on order. The resolution
+/// is now by type-checked combination, not by parse order:
+///
+/// - `--max-views 0` is a usage error (say `--views off`); 0 as a
+///   capacity is never accepted, so the ambiguity cannot arise.
+/// - `--views off` with `--max-views N` is a contradiction and also a
+///   usage error.
+/// - `--views off` alone disables maintenance (capacity 0).
+/// - `--max-views N` (with or without `--views on`) sets capacity N.
+/// - Neither flag, or `--views on` alone, means
+///   [`DEFAULT_MAX_VIEWS`].
+pub fn resolve_view_flags(views_on: Option<bool>, max_views: Option<u64>) -> Result<usize, String> {
+    if max_views == Some(0) {
+        return Err(
+            "--max-views 0 is ambiguous: use --views off to disable view maintenance".into(),
+        );
+    }
+    match (views_on, max_views) {
+        (Some(false), Some(_)) => {
+            Err("--views off contradicts --max-views (drop one of the two)".into())
+        }
+        (Some(false), None) => Ok(0),
+        (_, Some(n)) => Ok(n as usize),
+        (_, None) => Ok(DEFAULT_MAX_VIEWS),
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -504,6 +536,22 @@ impl ServeSession {
         };
         let ontology_text = field("ontology")?;
         let query_name = field("query")?;
+        let want_cert = match obj.get("certificate") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => {
+                return Err(EngineError::BadRequest(
+                    "\"certificate\" must be a boolean".into(),
+                ))
+            }
+        };
+        if want_cert && obj.contains_key("aboxes") {
+            return Err(EngineError::BadRequest(
+                "\"certificate\": true cannot be combined with \"aboxes\" \
+                 (certify one ABox per request)"
+                    .into(),
+            ));
+        }
         let budget = self
             .limits
             .clamp(&self.request_limits(obj)?)
@@ -549,7 +597,7 @@ impl ServeSession {
                     "\"session\": true cannot be combined with \"abox\"/\"aboxes\"".into(),
                 ));
             }
-            return self.run_session_query(id, &plan, cached, compile_elapsed, &budget);
+            return self.run_session_query(id, &plan, cached, compile_elapsed, &budget, want_cert);
         }
         // One ABox or a batch of ABoxes.
         let parse_abox = |text: &str| -> Result<IndexedInstance, EngineError> {
@@ -588,6 +636,22 @@ impl ServeSession {
         // requests) attributed to this plan's breaker.
         let engine = &self.shared.engine;
         let evaluated = catch_unwind(AssertUnwindSafe(|| match &input {
+            Input::One(abox) if want_cert => {
+                // Certified path: the traced fixpoint *is* the
+                // evaluation — answers and certificate come from one
+                // run, never a second evaluation. The ABox came with
+                // the request, so there is no session position to bind
+                // to (the certificate's base facts are self-contained).
+                engine
+                    .answer_indexed_certified(&plan, abox, &budget, &self.shared.vocab, None)
+                    .map(|(answers, cert, stats)| {
+                        let mut payload = String::from("\"answers\": ");
+                        self.write_answers(&mut payload, &answers);
+                        payload.push_str(", \"certificate\": ");
+                        payload.push_str(&cert);
+                        (payload, stats)
+                    })
+            }
             Input::One(abox) => {
                 engine
                     .answer_indexed_budgeted(&plan, abox, &budget)
@@ -650,6 +714,7 @@ impl ServeSession {
         cached: bool,
         compile_elapsed: Duration,
         budget: &Budget,
+        want_cert: bool,
     ) -> Result<String, EngineError> {
         let engine = &self.shared.engine;
         if let Some(n) = engine.quarantine_reject(plan.key) {
@@ -658,15 +723,34 @@ impl ServeSession {
         // Check the view out (and snapshot the store) under one lock
         // hold; evaluation runs lock-free on the snapshot. The epoch is
         // remembered so a rollback racing this request invalidates the
-        // re-registration, never the other way round.
-        let (store, view, epoch, views_on) = {
+        // re-registration, never the other way round. The session
+        // position is captured under the *same* hold, so the
+        // certificate's snapshot binding names exactly the store state
+        // the answer is computed over.
+        let (store, view, epoch, views_on, position, gauges) = {
             let mut session = lock_recover(&self.shared.session);
             let store = session.share_store();
             let epoch = session.views().epoch();
             let views_on = session.views().enabled();
-            let view = session.views_mut().take(plan.key);
-            (store, view, epoch, views_on)
+            let position = session.position();
+            let mut view = session.views_mut().take(plan.key);
+            // A certificate needs recorded witnesses. A view built
+            // before any certificate was requested has none — discard
+            // it (a counted drop) and rebuild with recording on; from
+            // then on the session pays the recording overhead only
+            // because it asked for certificates.
+            let mut gauges = None;
+            if want_cert && view.as_ref().is_some_and(|v| !v.is_recording()) {
+                view = None;
+                session.views_mut().note_dropped(1);
+                gauges = Some((session.views().len() as u64, session.views().evicted()));
+            }
+            (store, view, epoch, views_on, position, gauges)
         };
+        if let Some((active, evicted)) = gauges {
+            engine.record_views(active, evicted);
+        }
+        let had_view = view.is_some();
         let t0 = Instant::now();
         let evaluated = catch_unwind(AssertUnwindSafe(
             || -> Result<(String, RequestStats), EngineError> {
@@ -674,13 +758,16 @@ impl ServeSession {
                     engine.record_overloaded();
                     EngineError::Overloaded(e)
                 };
-                let (answers, stats) = match view {
+                let (answers, cert, stats) = match view {
                     Some(mut view) => {
                         // Maintained hit. A failed sync consumes the
                         // view — the registry never holds a half-
                         // maintained materialization.
                         let es = view.sync(&store, budget).map_err(overloaded)?;
                         let answers = view.answers();
+                        let cert = want_cert
+                            .then(|| self.view_certificate(&view, position))
+                            .transpose()?;
                         let stats = RequestStats {
                             eval: t0.elapsed(),
                             rounds: es.rounds,
@@ -690,41 +777,76 @@ impl ServeSession {
                             maintained: true,
                             ivm_deleted: es.ivm_deleted,
                             ivm_rederived: es.ivm_rederived,
+                            cert_bytes: cert.as_ref().map_or(0, String::len),
                             ..RequestStats::default()
                         };
                         engine.record_request(&stats);
                         self.put_view(plan.key, view, epoch);
-                        (answers, stats)
+                        (answers, cert, stats)
                     }
                     None if views_on => {
                         // Miss: the one full fixpoint this view ever
                         // costs; register it for the next query.
-                        let (view, es) = Materialization::build(
-                            &plan.program.rules,
-                            plan.program.goal,
-                            &store,
-                            budget,
-                        )
+                        // Certificate-requesting sessions build the
+                        // recording variant, whose sync/rollback
+                        // maintenance keeps witnesses alongside facts.
+                        let (view, es) = if want_cert {
+                            Materialization::build_recording(
+                                &plan.program.rules,
+                                plan.program.goal,
+                                &store,
+                                budget,
+                            )
+                        } else {
+                            Materialization::build(
+                                &plan.program.rules,
+                                plan.program.goal,
+                                &store,
+                                budget,
+                            )
+                        }
                         .map_err(overloaded)?;
                         let answers = view.answers();
+                        let cert = want_cert
+                            .then(|| self.view_certificate(&view, position))
+                            .transpose()?;
                         let stats = RequestStats {
                             eval: t0.elapsed(),
                             rounds: es.rounds,
                             derived: es.derived,
                             answers: answers.len(),
                             store: es.store,
+                            cert_bytes: cert.as_ref().map_or(0, String::len),
                             ..RequestStats::default()
                         };
                         engine.record_request(&stats);
                         self.put_view(plan.key, view, epoch);
-                        (answers, stats)
+                        (answers, cert, stats)
                     }
                     // Maintenance disabled: plain budgeted fixpoint over
                     // the shared snapshot (absorbs its own stats).
-                    None => engine.answer_indexed_budgeted(plan, &store, budget)?,
+                    None if want_cert => {
+                        let (answers, cert, stats) = engine.answer_indexed_certified(
+                            plan,
+                            &store,
+                            budget,
+                            &self.shared.vocab,
+                            Some(position),
+                        )?;
+                        (answers, Some(cert), stats)
+                    }
+                    None => {
+                        let (answers, stats) =
+                            engine.answer_indexed_budgeted(plan, &store, budget)?;
+                        (answers, None, stats)
+                    }
                 };
                 let mut payload = String::from("\"answers\": ");
                 self.write_answers(&mut payload, &answers);
+                if let Some(cert) = cert {
+                    payload.push_str(", \"certificate\": ");
+                    payload.push_str(&cert);
+                }
                 Ok((payload, stats))
             },
         ));
@@ -737,14 +859,63 @@ impl ServeSession {
                 if matches!(e, EngineError::Overloaded(_)) {
                     engine.record_eval_failure(plan.key);
                 }
+                if had_view {
+                    // The checked-out view died inside the failed
+                    // closure (its sync blew the budget, or certificate
+                    // assembly failed before re-registration): count
+                    // the drop and resample the gauges so the totals
+                    // never claim a view that no longer exists.
+                    self.note_view_dropped();
+                }
                 return Err(e);
             }
             Err(panic) => {
                 engine.record_eval_failure(plan.key);
+                if had_view {
+                    self.note_view_dropped();
+                }
                 std::panic::resume_unwind(panic)
             }
         };
         Ok(self.query_response(id, plan, cached, compile_elapsed, &payload, &stats))
+    }
+
+    /// Assembles the certificate for a synced recording view, bound to
+    /// the session position its store snapshot was taken at.
+    fn view_certificate(
+        &self,
+        view: &Materialization,
+        position: (u64, u64),
+    ) -> Result<String, EngineError> {
+        let answer_ids = view.answer_ids();
+        let base: std::collections::HashSet<u32> = view.base_fact_ids().iter().copied().collect();
+        let source = crate::certify::CertSource {
+            instance: view.instance(),
+            rules: view.rules(),
+            goal: view.goal(),
+            answer_ids: &answer_ids,
+            snapshot: Some(position),
+        };
+        let vocab = lock_recover(&self.shared.vocab);
+        crate::certify::emit_certificate(
+            &vocab,
+            &source,
+            |fact| base.contains(&fact),
+            |fact| view.derivation(fact),
+        )
+        .map_err(|e| EngineError::Internal(format!("certificate assembly: {e}")))
+    }
+
+    /// Accounts a view that died outside the registry (a failed sync or
+    /// certificate-assembly error consumed it): bumps the drop counter
+    /// and resamples the gauges into the engine totals.
+    fn note_view_dropped(&self) {
+        let (active, evicted) = {
+            let mut session = lock_recover(&self.shared.session);
+            session.views_mut().note_dropped(1);
+            (session.views().len() as u64, session.views().evicted())
+        };
+        self.shared.engine.record_views(active, evicted);
     }
 
     /// Re-registers a checked-out (or freshly built) view and samples
@@ -786,13 +957,14 @@ impl ServeSession {
         let _ = write!(
             out,
             ", \"stats\": {{\"compile_us\": {}, \"eval_us\": {}, \"rounds\": {}, \
-             \"derived\": {}, \"cache_hit\": {}, \"maintained\": {}}}",
+             \"derived\": {}, \"cache_hit\": {}, \"maintained\": {}, \"cert_bytes\": {}}}",
             compile_elapsed.as_micros(),
             stats.eval.as_micros(),
             stats.rounds,
             stats.derived,
             cached,
             stats.maintained,
+            stats.cert_bytes,
         );
         self.engine_block(&mut out);
         out.push('}');
@@ -966,7 +1138,7 @@ impl ServeSession {
              \"conns_refused\": {}, \"conns_active\": {}, \"queue_depth\": {}, \
              \"queue_rejects\": {}, \"drains\": {}, \"ivm_maintained_hits\": {}, \
              \"ivm_deleted\": {}, \"ivm_rederived\": {}, \"views_active\": {}, \
-             \"views_evicted\": {}}}",
+             \"views_evicted\": {}, \"certs_emitted\": {}, \"cert_bytes\": {}}}",
             totals.requests,
             totals.cache_hits,
             totals.cache_misses,
@@ -998,6 +1170,8 @@ impl ServeSession {
             totals.ivm_rederived,
             totals.views_active,
             totals.views_evicted,
+            totals.certs_emitted,
+            totals.cert_bytes,
         );
     }
 
@@ -1676,6 +1850,29 @@ mod tests {
         let refusal = s.refuse_oversized_line(1024);
         assert!(refusal.contains("\"status\": \"malformed\""));
         assert!(crate::json::parse(&refusal).is_ok());
+    }
+
+    #[test]
+    fn view_flags_resolve_order_independently() {
+        // Neither flag, or --views on alone: the default capacity.
+        assert_eq!(resolve_view_flags(None, None), Ok(DEFAULT_MAX_VIEWS));
+        assert_eq!(resolve_view_flags(Some(true), None), Ok(DEFAULT_MAX_VIEWS));
+        // --views off alone disables maintenance.
+        assert_eq!(resolve_view_flags(Some(false), None), Ok(0));
+        // --max-views N sets the capacity, with or without --views on —
+        // there is no order for the pure resolution to depend on.
+        assert_eq!(resolve_view_flags(None, Some(4)), Ok(4));
+        assert_eq!(resolve_view_flags(Some(true), Some(4)), Ok(4));
+        // --max-views 0 is the historically ambiguous spelling: a typed
+        // usage error pointing at --views off, in every combination.
+        for views in [None, Some(true), Some(false)] {
+            let err = resolve_view_flags(views, Some(0)).unwrap_err();
+            assert!(err.contains("--views off"), "unhelpful error: {err}");
+        }
+        // --views off with an explicit positive capacity contradicts
+        // itself and is refused rather than silently picking a winner.
+        let err = resolve_view_flags(Some(false), Some(8)).unwrap_err();
+        assert!(err.contains("contradicts"), "unhelpful error: {err}");
     }
 
     #[test]

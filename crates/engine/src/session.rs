@@ -211,10 +211,12 @@ impl ViewRegistry {
         self.cap > 0
     }
 
-    /// Changes the capacity, evicting LRU views if it shrank.
+    /// Changes the capacity, evicting LRU views if it shrank. Views
+    /// dropped by the change count in [`ViewRegistry::evicted`].
     pub fn set_capacity(&mut self, cap: usize) {
         self.cap = cap;
         if cap == 0 {
+            self.evicted += self.views.len() as u64;
             self.views.clear();
         } else {
             self.shrink_to_cap();
@@ -231,9 +233,22 @@ impl ViewRegistry {
         self.views.is_empty()
     }
 
-    /// Views evicted by the LRU cap so far.
+    /// Views dropped so far, for *any* reason: the LRU cap, a
+    /// stale-epoch re-registration refused after a rollback, failed
+    /// maintenance, a capacity change, or an externally noted drop
+    /// ([`ViewRegistry::note_dropped`]). The counter is authoritative
+    /// for the engine's `views_evicted` total — every path a checked-
+    /// out or registered view can die on must land here, or the
+    /// cumulative block drifts from what actually happened.
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Counts views that died outside the registry (a failed sync
+    /// consumed one, or a non-recording view was discarded to rebuild
+    /// with derivation recording).
+    pub fn note_dropped(&mut self, n: u64) {
+        self.evicted = self.evicted.saturating_add(n);
     }
 
     /// The current epoch (bumped by every session rollback).
@@ -252,10 +267,12 @@ impl ViewRegistry {
     }
 
     /// Re-registers a view checked out under `epoch`. Returns `false`
-    /// (dropping the view) when maintenance is disabled or a rollback
-    /// intervened since the checkout.
+    /// (dropping the view, counted in [`ViewRegistry::evicted`]) when
+    /// maintenance is disabled or a rollback intervened since the
+    /// checkout.
     pub fn put(&mut self, key: u64, view: Materialization, epoch: u64) -> bool {
         if !self.enabled() || epoch != self.epoch {
+            self.evicted += 1;
             return false;
         }
         self.tick += 1;
@@ -475,11 +492,30 @@ impl DurableSession {
                     out.rederived = out.rederived.saturating_add(stats.ivm_rederived as u64);
                     self.views.views.insert(key, slot);
                 }
-                Ok(Err(_)) => out.over_budget += 1,
-                Err(_) => out.panicked += 1,
+                Ok(Err(_)) => {
+                    out.over_budget += 1;
+                    self.views.note_dropped(1);
+                }
+                Err(_) => {
+                    out.panicked += 1;
+                    self.views.note_dropped(1);
+                }
             }
         }
         out
+    }
+
+    /// The session's durable position: `(last applied LSN, fact
+    /// count)`. This is what a certificate's `snapshot` binding
+    /// records — the pair identifies exactly which store state the
+    /// answer was computed over (the LSN is 0 for in-memory sessions,
+    /// where only the fact count binds).
+    pub fn position(&self) -> (u64, u64) {
+        let lsn = self
+            .persist
+            .as_ref()
+            .map_or(0, |p| p.wal.next_lsn().saturating_sub(1));
+        (lsn, self.store.facts.len() as u64)
     }
 
     /// Journals one record, rolling the mutation attempt back on
@@ -1092,16 +1128,27 @@ mod tests {
         assert_eq!(s.views().len(), 2);
         assert_eq!(s.views().evicted(), 1);
         assert!(s.views_mut().take(2).is_none(), "2 was the LRU victim");
-        // Epoch: a view checked out across a rollback is refused.
+        // Epoch: a view checked out across a rollback is refused — and
+        // the refusal counts as a drop, so the cumulative eviction
+        // total never understates how many views actually died.
         let out = s.views_mut().take(1).unwrap();
         s.rollback(m).unwrap();
         assert!(!s.views_mut().put(1, out, epoch));
         assert!(s.views_mut().take(1).is_none());
-        // Capacity 0 disables the registry outright.
+        assert_eq!(s.views().evicted(), 2, "stale-epoch drop is counted");
+        // Capacity 0 disables the registry outright; the view it still
+        // held is a counted drop, as is a put against the disabled
+        // registry.
         s.set_view_capacity(0);
         let epoch = s.views().epoch();
+        assert_eq!(s.views().evicted(), 3, "capacity-0 clear is counted");
         assert!(!s.views_mut().put(9, view, epoch));
         assert!(s.views().is_empty());
+        assert_eq!(s.views().evicted(), 4, "disabled-registry put is counted");
+        // External drops (failed syncs, recording rebuilds) are noted
+        // through the same counter.
+        s.views_mut().note_dropped(1);
+        assert_eq!(s.views().evicted(), 5);
     }
 
     #[test]
@@ -1124,5 +1171,32 @@ mod tests {
         let view = s.views_mut().take(1).expect("the view survived");
         let keep = Term::Const(vocab.constant("keep"));
         assert_eq!(view.answers(), [vec![keep]].into_iter().collect());
+    }
+
+    #[test]
+    fn failed_rollback_maintenance_counts_the_dropped_view() {
+        let mut s = DurableSession::in_memory();
+        let mut vocab = Vocab::new();
+        let (rules, goal) = b_from_a(&mut vocab);
+        assert_text(&mut s, &mut vocab, "A(keep)\n");
+        let (m, _) = s.mark().unwrap();
+        assert_text(&mut s, &mut vocab, "A(doomed)\n");
+        let (view, _) =
+            Materialization::build(&rules, goal, &s.share_store(), &Budget::UNLIMITED).unwrap();
+        let epoch = s.views().epoch();
+        assert!(s.views_mut().put(1, view, epoch));
+        s.rollback(m).unwrap();
+        // A zero-round budget makes the DRed pass fail: the view must
+        // be dropped *and* the drop must land in the eviction total.
+        let before = s.views().evicted();
+        let tight = Budget {
+            max_rounds: Some(0),
+            max_derived: None,
+            deadline: None,
+        };
+        let maint = s.maintain_views_rollback(s.len(), &tight);
+        assert_eq!(maint.over_budget, 1);
+        assert!(s.views().is_empty(), "the failed view was dropped");
+        assert_eq!(s.views().evicted(), before + 1, "the drop is counted");
     }
 }

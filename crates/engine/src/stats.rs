@@ -37,6 +37,9 @@ pub struct RequestStats {
     pub ivm_deleted: usize,
     /// Facts rederived (revived) by incremental view maintenance.
     pub ivm_rederived: usize,
+    /// Size in bytes of the derivation certificate attached to the
+    /// response (0 when the request did not ask for one).
+    pub cert_bytes: usize,
 }
 
 /// Cumulative statistics of an [`crate::Engine`] since construction.
@@ -132,8 +135,15 @@ pub struct EngineStats {
     /// Maintained views currently registered (gauge, sampled at the
     /// last view operation).
     pub views_active: u64,
-    /// Views evicted by the registry's LRU capacity bound.
+    /// Views dropped for any reason: the registry's LRU capacity
+    /// bound, a stale-epoch re-registration refused after a rollback,
+    /// failed maintenance (blown budget or panic), a capacity change,
+    /// or a rebuild with derivation recording.
     pub views_evicted: u64,
+    /// Responses that carried a derivation certificate.
+    pub certs_emitted: u64,
+    /// Total certificate bytes emitted.
+    pub cert_bytes: u64,
 }
 
 impl EngineStats {
@@ -161,6 +171,10 @@ impl EngineStats {
         }
         self.ivm_deleted = self.ivm_deleted.saturating_add(r.ivm_deleted as u64);
         self.ivm_rederived = self.ivm_rederived.saturating_add(r.ivm_rederived as u64);
+        if r.cert_bytes > 0 {
+            self.certs_emitted = self.certs_emitted.saturating_add(1);
+            self.cert_bytes = self.cert_bytes.saturating_add(r.cert_bytes as u64);
+        }
     }
 }
 
@@ -181,6 +195,8 @@ mod tests {
             ivm_maintained_hits: u64::MAX,
             ivm_deleted: u64::MAX,
             ivm_rederived: u64::MAX,
+            certs_emitted: u64::MAX,
+            cert_bytes: u64::MAX,
             ..EngineStats::default()
         };
         let r = RequestStats {
@@ -195,6 +211,7 @@ mod tests {
             maintained: true,
             ivm_deleted: 7,
             ivm_rederived: 7,
+            cert_bytes: 7,
             ..RequestStats::default()
         };
         s.absorb(&r); // must not panic in debug builds
@@ -205,5 +222,7 @@ mod tests {
         assert_eq!(s.ivm_maintained_hits, u64::MAX);
         assert_eq!(s.ivm_deleted, u64::MAX);
         assert_eq!(s.ivm_rederived, u64::MAX);
+        assert_eq!(s.certs_emitted, u64::MAX);
+        assert_eq!(s.cert_bytes, u64::MAX);
     }
 }

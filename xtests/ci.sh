@@ -43,6 +43,12 @@ cargo test -q --release -p gomq-engine --features chaos --test ivm_props
 echo "==> cargo test -q --release -p gomq-engine --features chaos --test ivm_chaos (ivm.apply faults)"
 cargo test -q --release -p gomq-engine --features chaos --test ivm_chaos
 
+echo "==> cargo test -q --release -p gomq-engine --test cert_props (verifier cross-check)"
+cargo test -q --release -p gomq-engine --test cert_props
+
+echo "==> cargo test -q --release -p gomq-engine --features chaos --test cert_props (chaos build)"
+cargo test -q --release -p gomq-engine --features chaos --test cert_props
+
 echo "==> cargo test -q -p gomq-xtests --test chaos (fixed-seed chaos smoke)"
 cargo test -q -p gomq-xtests --test chaos
 
@@ -54,6 +60,41 @@ E15_TINY=1 cargo bench -p gomq-bench --bench e15_ivm
 
 echo "==> E15_TINY=1 cargo bench -p gomq-bench --features gomq-engine/chaos --bench e15_ivm (chaos build smoke)"
 E15_TINY=1 cargo bench -p gomq-bench --features gomq-engine/chaos --bench e15_ivm
+
+echo "==> E16_TINY=1 cargo bench -p gomq-bench --bench e16_cert (smoke)"
+E16_TINY=1 cargo bench -p gomq-bench --bench e16_cert
+
+# gomq-cert round-trip smoke on the committed example families: the
+# company OMQ is answered with a certificate on the request-ABox path
+# and on the session path (snapshot-bound), and both responses must
+# verify with the standalone checker. The anatomy family sits outside
+# the rewritable fragment (transitive partOf) and must come back as a
+# typed refusal, never as an uncertified answer.
+json_escape_file() {
+    awk 'NF && !/^#/ { gsub(/"/, "\\\""); printf "%s%s", (n++ ? "\\n" : ""), $0 }' "$1"
+}
+echo "==> gomq-cert round-trip smoke (examples/data, release)"
+cert_dir="$(mktemp -d)"
+cert_onto="$(json_escape_file examples/data/company.dl)"
+cert_facts="$(json_escape_file examples/data/company.facts)"
+{
+    printf '{"id": "abox", "ontology": "%s", "query": "Employee", "abox": "%s", "certificate": true}\n' \
+        "$cert_onto" "$cert_facts"
+    printf '{"op": "assert", "abox": "%s"}\n' "$cert_facts"
+    printf '{"id": "session", "ontology": "%s", "query": "Employee", "session": true, "certificate": true}\n' \
+        "$cert_onto"
+} | target/release/gomq-serve --data-dir "$cert_dir/data" 2>/dev/null \
+    | target/release/gomq-cert
+cert_onto="$(json_escape_file examples/data/anatomy.dl)"
+cert_facts="$(json_escape_file examples/data/anatomy.facts)"
+printf '{"ontology": "%s", "query": "partOf", "abox": "%s", "certificate": true}\n' \
+    "$cert_onto" "$cert_facts" \
+    | target/release/gomq-serve 2>/dev/null \
+    | grep -q '"status": "error".*not.*rewritable' || {
+    echo "anatomy (transitive) should be refused as non-rewritable" >&2
+    exit 1
+}
+rm -rf "$cert_dir"
 
 # Release-mode TCP smoke: an ephemeral-port listener driven by
 # gomq-bench for ~2s at low rate. The bench exits nonzero on any lost
