@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod ir;
 pub mod ivm;
 pub mod program;
 
@@ -24,5 +25,6 @@ pub use eval::{
     derive_all, derive_all_traced, derive_round, derive_round_traced, eval_naive, fixpoint_traced,
     Budget, BudgetExceeded, Derivation, Emitter, EvalStats, LimitKind, TracedBuf,
 };
+pub use ir::{PlanIr, Rewritability, StratumIr};
 pub use ivm::Materialization;
 pub use program::{DAtom, DTerm, Literal, Program, Rule};

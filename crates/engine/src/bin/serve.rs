@@ -34,6 +34,7 @@ Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
                   [--snapshot-every N] [--fsync] [--quarantine-after N]
                   [--max-line-bytes N] [--chaos-seed N]
                   [--views on|off] [--max-views N]
+                  [--backend native|sql]
                   [--listen ADDR] [--workers N] [--queue-depth N]
                   [--max-conns N] [--max-conns-per-ip N]
                   [--idle-timeout-ms N] [--drain-timeout-ms N]
@@ -64,6 +65,11 @@ Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
                        least 1 — to disable maintenance say --views off,
                        not --max-views 0; combining --views off with
                        --max-views is a usage error
+  --backend native|sql default backend for queries without a per-request
+                       \"backend\" field (default: native). The sql
+                       backend executes each plan's emitted portable SQL
+                       in-process; recursive plans answer
+                       {\"status\": \"non-rewritable-to-sql\"}
 
 TCP mode (the flags below require --listen):
   --listen ADDR        serve the JSONL protocol over TCP on ADDR (e.g.
@@ -180,6 +186,15 @@ fn main() {
                 _ => usage_error("--views needs \"on\" or \"off\""),
             },
             "--max-views" => max_views_flag = Some(numeric(&mut args, "--max-views")),
+            "--backend" => {
+                let Some(name) = args.next() else {
+                    usage_error("--backend needs \"native\" or \"sql\"");
+                };
+                match gomq_engine::Backend::from_name(&name) {
+                    Ok(backend) => config.default_backend = backend,
+                    Err(e) => usage_error(&e),
+                }
+            }
             "--listen" => {
                 let Some(addr) = args.next() else {
                     usage_error("--listen needs an address, e.g. 127.0.0.1:7401");
@@ -354,7 +369,8 @@ fn print_summary(shared: &ServeShared) {
          {} WAL records ({} bytes), {} snapshots, {} quarantined \
          ({} breakers tripped), {} faults injected, {} conns accepted \
          ({} refused), {} queue rejects, {} drains, {} maintained hits, \
-         {} views active ({} evicted), {} certificates ({} bytes)",
+         {} views active ({} evicted), {} certificates ({} bytes), \
+         {} SQL answers, {} SQL refusals",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
@@ -382,5 +398,7 @@ fn print_summary(shared: &ServeShared) {
         stats.views_evicted,
         stats.certs_emitted,
         stats.cert_bytes,
+        stats.sql_compiles,
+        stats.sql_refusals,
     );
 }

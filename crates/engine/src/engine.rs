@@ -210,6 +210,56 @@ impl Engine {
         }
     }
 
+    /// Answers one plan against one pre-indexed ABox through the SQL
+    /// backend: the plan's eagerly emitted SQL text runs on the
+    /// in-process `gomq-sqlexec` executor. A recursive plan (no SQL
+    /// text) is refused with [`EngineError::NotSqlRewritable`] and
+    /// counted in [`EngineStats::sql_refusals`] — the native backend
+    /// remains available for the same plan. The vocabulary is locked
+    /// only while rendering the ABox to strings and mapping answer rows
+    /// back, never across a compile.
+    pub fn answer_indexed_sql(
+        &self,
+        plan: &OmqPlan,
+        abox: &IndexedInstance,
+        budget: &Budget,
+        vocab: &Mutex<Vocab>,
+    ) -> Result<(BTreeSet<Vec<Term>>, RequestStats), EngineError> {
+        let sql = match &plan.sql {
+            Ok(sql) => sql,
+            Err(e) => {
+                self.record_sql_refusal();
+                return Err(EngineError::NotSqlRewritable(e.clone()));
+            }
+        };
+        let t0 = Instant::now();
+        let answers = {
+            let vocab = lock_recover(vocab);
+            crate::backend::sql::eval_sql_budgeted(sql, abox, &vocab, budget)
+        };
+        match answers {
+            Ok(answers) => {
+                let stats = RequestStats {
+                    eval: t0.elapsed(),
+                    answers: answers.len(),
+                    ..RequestStats::default()
+                };
+                {
+                    let mut totals = lock_recover(&self.stats);
+                    totals.absorb(&stats);
+                    totals.sql_compiles = totals.sql_compiles.saturating_add(1);
+                }
+                Ok((answers, stats))
+            }
+            Err(e) => {
+                if matches!(e, EngineError::Overloaded(_)) {
+                    self.record_overloaded();
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Answers one plan against one pre-indexed ABox with a derivation
     /// certificate attached. Evaluation runs the *traced* flat fixpoint
     /// (answer-equivalent to the stratified path — strata only order
@@ -432,6 +482,13 @@ impl Engine {
         stats.overloaded = stats.overloaded.saturating_add(1);
     }
 
+    /// Records one SQL-backend request refused because the plan's
+    /// rewriting is recursive (`"status": "non-rewritable-to-sql"`).
+    pub fn record_sql_refusal(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.sql_refusals = stats.sql_refusals.saturating_add(1);
+    }
+
     /// Records journaled WAL activity (records and frame bytes).
     pub fn record_wal(&self, records: u64, bytes: u64) {
         let mut stats = lock_recover(&self.stats);
@@ -621,6 +678,55 @@ mod tests {
             assert!(!engine.record_eval_failure(7));
         }
         assert_eq!(engine.quarantine_reject(7), None);
+    }
+
+    #[test]
+    fn sql_backend_matches_native_and_counts_compiles() {
+        let mut v = Vocab::new();
+        let engine = Engine::with_threads(2);
+        let dl = parse_ontology("Manager sub Employee\nEmployee sub Staff\n", &mut v).unwrap();
+        let o = to_gf(&dl);
+        let staff = v.find_rel("Staff").unwrap();
+        let (plan, _, _) = engine.plan(&o, staff, &mut v);
+        let plan = plan.unwrap();
+        let abox = parse_instance("Manager(ada)\nEmployee(grace)\n", &mut v).unwrap();
+        let indexed = IndexedInstance::from_interpretation(&abox);
+        let (native, _) = engine.answer_indexed(&plan, &indexed);
+        let vocab = Mutex::new(v);
+        let (sql, rs) = engine
+            .answer_indexed_sql(&plan, &indexed, &Budget::UNLIMITED, &vocab)
+            .unwrap();
+        assert_eq!(sql, native);
+        assert_eq!(rs.answers, 2);
+        let snap = engine.stats();
+        assert_eq!(snap.sql_compiles, 1);
+        assert_eq!(snap.sql_refusals, 0);
+    }
+
+    #[test]
+    fn recursive_plan_gets_typed_sql_refusal() {
+        let mut v = Vocab::new();
+        let engine = Engine::with_threads(1);
+        // An existential role restriction makes emit_datalog's elim
+        // propagation recursive, so the plan compiles natively but
+        // carries no SQL text.
+        let dl = parse_ontology("A sub ex R.B\nB sub C\n", &mut v).unwrap();
+        let o = to_gf(&dl);
+        let c = v.find_rel("C").unwrap();
+        let (plan, _, _) = engine.plan(&o, c, &mut v);
+        let plan = plan.unwrap();
+        assert!(plan.sql.is_err(), "role-bearing plan should be recursive");
+        let abox = parse_instance("A(x)\n", &mut v).unwrap();
+        let indexed = IndexedInstance::from_interpretation(&abox);
+        let vocab = Mutex::new(v);
+        let err = engine
+            .answer_indexed_sql(&plan, &indexed, &Budget::UNLIMITED, &vocab)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NotSqlRewritable(_)));
+        assert!(format!("{err}").contains("not rewritable to SQL"));
+        let snap = engine.stats();
+        assert_eq!(snap.sql_refusals, 1);
+        assert_eq!(snap.sql_compiles, 0);
     }
 
     #[test]

@@ -1,532 +1,10 @@
-//! Stratified, indexed, parallel Datalog≠ evaluation.
+//! Compatibility shim: the native executor now lives in
+//! [`crate::backend::native`].
 //!
-//! The one-shot evaluator in `gomq-datalog` re-runs every rule of the
-//! program in every fixpoint round. This module:
-//!
-//! 1. partitions the program's rules into **SCC strata** of its
-//!    dependency graph (head relation depends on body relations) and
-//!    runs one semi-naive fixpoint per stratum in topological order, so
-//!    rules whose inputs are already saturated are never revisited;
-//! 2. evaluates against [`IndexedInstance`]s, so joins with a bound
-//!    first argument probe a hash bucket instead of scanning;
-//! 3. splits the rules of a stratum across a scoped worker pool within
-//!    each round ([`std::thread::scope`] — no external dependencies),
-//!    merging the per-worker derivations into the next delta.
-//!
-//! [`eval_program`] is answer-equivalent to [`Program::eval`]; the
-//! property tests in `tests/engine_props.rs` check exactly that.
+//! The PR that split compilation around the backend-agnostic
+//! [`gomq_datalog::ir::PlanIr`] re-homed this module's contents as the
+//! native backend. Everything is re-exported here so existing paths —
+//! `gomq_engine::exec::{eval_strata, Strata}` and friends — keep
+//! compiling unchanged.
 
-use gomq_core::{DeltaView, FactBuf, IndexedInstance, Instance, RelId, Term};
-use gomq_datalog::eval::EvalStats;
-use gomq_datalog::{derive_round, Budget, BudgetExceeded, Program, Rule};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// One SCC stratum: a rule partition plus whether it is recursive.
-///
-/// A non-recursive stratum (no rule's body mentions a head relation of
-/// the same stratum) saturates in a single derivation pass — no
-/// fixpoint iteration, no empty final round.
-#[derive(Clone, Debug)]
-pub struct Stratum {
-    /// The rules of this stratum.
-    pub rules: Vec<Rule>,
-    /// Whether any rule's body depends on a head relation of this
-    /// stratum (then a fixpoint loop is needed).
-    pub recursive: bool,
-}
-
-/// Rules grouped into SCC strata in topological (bodies-first) order.
-///
-/// Computed once per compiled plan and reused for every instance the
-/// plan is evaluated against.
-#[derive(Clone, Debug)]
-pub struct Strata {
-    /// One rule partition per stratum, dependency order.
-    pub strata: Vec<Stratum>,
-}
-
-impl Strata {
-    /// Stratifies a program by the SCCs of its head-dependency graph.
-    pub fn of(program: &Program) -> Strata {
-        let idb: BTreeSet<RelId> = program.idb();
-        // Dependency edges body-IDB-relation → head relation.
-        let nodes: Vec<RelId> = idb.iter().copied().collect();
-        let index_of: BTreeMap<RelId, usize> =
-            nodes.iter().enumerate().map(|(i, &r)| (r, i)).collect();
-        let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
-        for rule in &program.rules {
-            let h = index_of[&rule.head.rel];
-            for atom in rule.positive_atoms() {
-                if let Some(&b) = index_of.get(&atom.rel) {
-                    succ[b].insert(h);
-                }
-            }
-        }
-        let comp = scc(&succ);
-        let n_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
-        // Condensation edges + Kahn topological order.
-        let mut cond_succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_comps];
-        let mut indegree = vec![0usize; n_comps];
-        for (b, hs) in succ.iter().enumerate() {
-            for &h in hs {
-                let (cb, ch) = (comp[b], comp[h]);
-                if cb != ch && cond_succ[cb].insert(ch) {
-                    indegree[ch] += 1;
-                }
-            }
-        }
-        let mut order: Vec<usize> = Vec::with_capacity(n_comps);
-        let mut queue: Vec<usize> = (0..n_comps).filter(|&c| indegree[c] == 0).collect();
-        while let Some(c) = queue.pop() {
-            order.push(c);
-            for &d in &cond_succ[c] {
-                indegree[d] -= 1;
-                if indegree[d] == 0 {
-                    queue.push(d);
-                }
-            }
-        }
-        debug_assert_eq!(order.len(), n_comps, "condensation must be acyclic");
-        let rank_of_comp: BTreeMap<usize, usize> = order
-            .iter()
-            .enumerate()
-            .map(|(rank, &c)| (c, rank))
-            .collect();
-        let mut buckets: Vec<Vec<Rule>> = vec![Vec::new(); n_comps];
-        for rule in &program.rules {
-            let c = comp[index_of[&rule.head.rel]];
-            buckets[rank_of_comp[&c]].push(rule.clone());
-        }
-        let strata = buckets
-            .into_iter()
-            .filter(|rules| !rules.is_empty())
-            .map(|rules| {
-                let heads: BTreeSet<RelId> = rules.iter().map(|r| r.head.rel).collect();
-                let recursive = rules
-                    .iter()
-                    .any(|r| r.positive_atoms().any(|a| heads.contains(&a.rel)));
-                Stratum { rules, recursive }
-            })
-            .collect();
-        Strata { strata }
-    }
-
-    /// Number of strata.
-    pub fn len(&self) -> usize {
-        self.strata.len()
-    }
-
-    /// Whether there are no strata (empty program).
-    pub fn is_empty(&self) -> bool {
-        self.strata.is_empty()
-    }
-}
-
-/// Iterative Tarjan SCC; returns the component id of every node.
-fn scc(succ: &[BTreeSet<usize>]) -> Vec<usize> {
-    let n = succ.len();
-    let mut comp = vec![usize::MAX; n];
-    let mut index = vec![usize::MAX; n];
-    let mut low = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
-    let mut next_comp = 0usize;
-    // Explicit DFS stack: (node, iterator position over successors).
-    for root in 0..n {
-        if index[root] != usize::MAX {
-            continue;
-        }
-        let mut dfs: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-        let push = |v: usize,
-                    dfs: &mut Vec<(usize, Vec<usize>, usize)>,
-                    index: &mut Vec<usize>,
-                    low: &mut Vec<usize>,
-                    on_stack: &mut Vec<bool>,
-                    stack: &mut Vec<usize>,
-                    next_index: &mut usize| {
-            index[v] = *next_index;
-            low[v] = *next_index;
-            *next_index += 1;
-            stack.push(v);
-            on_stack[v] = true;
-            dfs.push((v, succ[v].iter().copied().collect(), 0));
-        };
-        push(
-            root,
-            &mut dfs,
-            &mut index,
-            &mut low,
-            &mut on_stack,
-            &mut stack,
-            &mut next_index,
-        );
-        while let Some((v, children, pos)) = dfs.last_mut() {
-            if *pos < children.len() {
-                let w = children[*pos];
-                *pos += 1;
-                if index[w] == usize::MAX {
-                    push(
-                        w,
-                        &mut dfs,
-                        &mut index,
-                        &mut low,
-                        &mut on_stack,
-                        &mut stack,
-                        &mut next_index,
-                    );
-                } else if on_stack[w] {
-                    let v = *v;
-                    low[v] = low[v].min(index[w]);
-                }
-            } else {
-                let v = *v;
-                dfs.pop();
-                if let Some((parent, _, _)) = dfs.last() {
-                    low[*parent] = low[*parent].min(low[v]);
-                }
-                if low[v] == index[v] {
-                    while let Some(w) = stack.pop() {
-                        on_stack[w] = false;
-                        comp[w] = next_comp;
-                        if w == v {
-                            break;
-                        }
-                    }
-                    next_comp += 1;
-                }
-            }
-        }
-    }
-    comp
-}
-
-/// Minimum number of delta facts per round before a round is worth
-/// splitting across threads; below this the spawn overhead dominates.
-const PARALLEL_DELTA_THRESHOLD: usize = 64;
-
-/// One semi-naive round over `rules`, split across `threads` workers.
-///
-/// The round's delta is the id range of `total` past `frontier` (a
-/// [`DeltaView`] — no delta set is materialized, let alone cloned);
-/// staged head facts land in the columnar `out` buffer, per-worker
-/// buffers being merged with bulk [`FactBuf::append`]s.
-fn parallel_round(
-    rules: &[Rule],
-    total: &IndexedInstance,
-    frontier: u32,
-    threads: usize,
-    out: &mut FactBuf,
-) {
-    let delta_len = total.len() - frontier as usize;
-    let workers = threads.min(rules.len()).max(1);
-    if workers == 1 || delta_len < PARALLEL_DELTA_THRESHOLD {
-        derive_round(rules, total, &DeltaView::new(total, frontier), out);
-        return;
-    }
-    let chunk_size = rules.len().div_ceil(workers);
-    let chunks: Vec<&[Rule]> = rules.chunks(chunk_size).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut buf = FactBuf::new();
-                    derive_round(chunk, total, &DeltaView::new(total, frontier), &mut buf);
-                    buf
-                })
-            })
-            .collect();
-        for h in handles {
-            // Re-raise worker panics on the calling thread so the serving
-            // layer's catch_unwind isolates them per request.
-            let mut buf = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
-            out.append(&mut buf);
-        }
-    });
-}
-
-/// Interns the staged facts into `total` (slice interning — the only
-/// copy is the new facts' arguments landing in the arena) and returns
-/// how many were new. The next round's delta is `total`'s id range past
-/// the pre-absorb frontier.
-fn absorb(staged: &FactBuf, total: &mut IndexedInstance) -> usize {
-    let before = total.len();
-    for f in staged.iter() {
-        total.insert_ref(f.rel, f.args);
-    }
-    total.len() - before
-}
-
-/// Runs the semi-naive fixpoint of one stratum on top of `total`,
-/// checking the cooperative budget between rounds.
-fn fixpoint_stratum(
-    stratum: &Stratum,
-    total: &mut IndexedInstance,
-    threads: usize,
-    stats: &mut EvalStats,
-    budget: &Budget,
-) -> Result<(), BudgetExceeded> {
-    budget.check(stats)?;
-    // First pass: every fact so far is "new" for this stratum, so the
-    // delta view starts at id 0 (the whole saturated total). The pass is
-    // complete for the stratum's inputs because earlier strata are
-    // already saturated.
-    gomq_core::faults::point(gomq_core::faults::EVAL_ROUND);
-    stats.rounds = stats.rounds.saturating_add(1);
-    let mut staged = FactBuf::new();
-    parallel_round(&stratum.rules, total, 0, threads, &mut staged);
-    let mut frontier = total.len() as u32;
-    stats.derived = stats.derived.saturating_add(absorb(&staged, total));
-    if !stratum.recursive {
-        // Heads never feed bodies within this stratum: one pass is the
-        // fixpoint, skip the would-be-empty confirmation round.
-        return Ok(());
-    }
-    while (frontier as usize) < total.len() {
-        budget.check(stats)?;
-        gomq_core::faults::point(gomq_core::faults::EVAL_ROUND);
-        stats.rounds = stats.rounds.saturating_add(1);
-        staged.clear();
-        parallel_round(&stratum.rules, total, frontier, threads, &mut staged);
-        frontier = total.len() as u32;
-        stats.derived = stats.derived.saturating_add(absorb(&staged, total));
-    }
-    Ok(())
-}
-
-/// An answer set paired with its evaluation statistics.
-pub type EvalOutcome = (BTreeSet<Vec<Term>>, EvalStats);
-
-/// Evaluates `strata` (from `program`) over an indexed instance with up
-/// to `threads` workers; returns the goal tuples and statistics.
-///
-/// Answer-equivalent to [`Program::eval`] on the corresponding plain
-/// instance.
-pub fn eval_strata(
-    strata: &Strata,
-    goal: RelId,
-    d: &IndexedInstance,
-    threads: usize,
-) -> EvalOutcome {
-    eval_strata_budgeted(strata, goal, d, threads, &Budget::UNLIMITED)
-        .expect("the unlimited budget cannot be exceeded")
-}
-
-/// [`eval_strata`] under a cooperative resource [`Budget`]: rounds,
-/// derived-fact fuel and the wall-clock deadline are checked between
-/// rounds (a pathological request stops with [`BudgetExceeded`] instead
-/// of monopolizing the session; the work done so far is discarded).
-pub fn eval_strata_budgeted(
-    strata: &Strata,
-    goal: RelId,
-    d: &IndexedInstance,
-    threads: usize,
-    budget: &Budget,
-) -> Result<EvalOutcome, BudgetExceeded> {
-    // Clones the EDB's store columns wholesale (no per-fact work); every
-    // round then appends into this one arena.
-    let mut total = d.clone();
-    let mut stats = EvalStats::default();
-    for stratum in &strata.strata {
-        fixpoint_stratum(stratum, &mut total, threads, &mut stats, budget)?;
-    }
-    let answers = total.facts_of(goal).map(|f| f.args.to_vec()).collect();
-    stats.store = total.store_stats();
-    Ok((answers, stats))
-}
-
-/// Stratifies and evaluates `program` in one call (plan-less entry
-/// point; `gomq-engine` plans cache the [`Strata`] instead).
-pub fn eval_program(
-    program: &Program,
-    d: &IndexedInstance,
-    threads: usize,
-) -> (BTreeSet<Vec<Term>>, EvalStats) {
-    eval_strata(&Strata::of(program), program.goal, d, threads)
-}
-
-/// Evaluates one stratified plan against many instances concurrently
-/// (one instance per worker, work-stealing via an atomic cursor).
-pub fn eval_batch(
-    strata: &Strata,
-    goal: RelId,
-    aboxes: &[IndexedInstance],
-    threads: usize,
-) -> Vec<EvalOutcome> {
-    eval_batch_budgeted(strata, goal, aboxes, threads, &Budget::UNLIMITED)
-        .expect("the unlimited budget cannot be exceeded")
-}
-
-/// [`eval_batch`] under a cooperative [`Budget`]. Round and
-/// derived-fact fuel apply *per ABox*; the deadline is shared wall
-/// clock. The first exhausted ABox fails the whole batch (remaining
-/// workers drain quickly: each checks the budget between rounds).
-pub fn eval_batch_budgeted(
-    strata: &Strata,
-    goal: RelId,
-    aboxes: &[IndexedInstance],
-    threads: usize,
-    budget: &Budget,
-) -> Result<Vec<EvalOutcome>, BudgetExceeded> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let workers = threads.min(aboxes.len()).max(1);
-    if workers <= 1 {
-        return aboxes
-            .iter()
-            .map(|d| eval_strata_budgeted(strata, goal, d, threads, budget))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<EvalOutcome, BudgetExceeded>>>> =
-        aboxes.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= aboxes.len() {
-                    break;
-                }
-                // Each worker evaluates its instance single-threaded;
-                // parallelism comes from the batch dimension here.
-                let r = eval_strata_budgeted(strata, goal, &aboxes[i], 1, budget);
-                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("every slot filled")
-        })
-        .collect()
-}
-
-/// Convenience: index a plain instance and evaluate (used by tests and
-/// by callers that hold plain [`Instance`]s).
-pub fn eval_plain(
-    program: &Program,
-    d: &Instance,
-    threads: usize,
-) -> (BTreeSet<Vec<Term>>, EvalStats) {
-    eval_program(program, &IndexedInstance::from_interpretation(d), threads)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gomq_core::{Fact, Vocab};
-    use gomq_datalog::{DAtom, DTerm, Literal};
-
-    fn tc_program(v: &mut Vocab) -> Program {
-        let e = v.rel("E", 2);
-        let t = v.rel("T", 2);
-        let s = v.rel("S", 2);
-        let g = v.rel("goal", 2);
-        Program::new(
-            vec![
-                Rule::new(
-                    DAtom::vars(t, &[0, 1]),
-                    vec![Literal::Pos(DAtom::vars(e, &[0, 1]))],
-                ),
-                Rule::new(
-                    DAtom::vars(t, &[0, 2]),
-                    vec![
-                        Literal::Pos(DAtom::vars(t, &[0, 1])),
-                        Literal::Pos(DAtom::vars(e, &[1, 2])),
-                    ],
-                ),
-                // A second layer on top of T, so there are ≥ 3 strata.
-                Rule::new(
-                    DAtom::vars(s, &[0, 1]),
-                    vec![
-                        Literal::Pos(DAtom::vars(t, &[0, 1])),
-                        Literal::Neq(DTerm::Var(0), DTerm::Var(1)),
-                    ],
-                ),
-                Rule::new(
-                    DAtom::vars(g, &[0, 1]),
-                    vec![Literal::Pos(DAtom::vars(s, &[0, 1]))],
-                ),
-            ],
-            g,
-        )
-    }
-
-    fn cycle(v: &mut Vocab, n: usize) -> Instance {
-        let e = v.rel("E", 2);
-        let mut d = Instance::new();
-        for i in 0..n {
-            let a = v.constant(&format!("c{i}"));
-            let b = v.constant(&format!("c{}", (i + 1) % n));
-            d.insert(Fact::consts(e, &[a, b]));
-        }
-        d
-    }
-
-    #[test]
-    fn strata_order_is_bodies_first() {
-        let mut v = Vocab::new();
-        let p = tc_program(&mut v);
-        let strata = Strata::of(&p);
-        assert_eq!(strata.len(), 3);
-        let t = v.rel("T", 2);
-        let s = v.rel("S", 2);
-        let g = v.rel("goal", 2);
-        let heads: Vec<BTreeSet<RelId>> = strata
-            .strata
-            .iter()
-            .map(|s| s.rules.iter().map(|r| r.head.rel).collect())
-            .collect();
-        assert_eq!(heads[0], [t].into_iter().collect());
-        assert_eq!(heads[1], [s].into_iter().collect());
-        assert_eq!(heads[2], [g].into_iter().collect());
-    }
-
-    #[test]
-    fn stratified_matches_one_shot() {
-        let mut v = Vocab::new();
-        let p = tc_program(&mut v);
-        let d = cycle(&mut v, 7);
-        let expected = p.eval(&d);
-        for threads in [1, 4] {
-            let (got, stats) = eval_plain(&p, &d, threads);
-            assert_eq!(got, expected, "threads = {threads}");
-            assert!(stats.rounds >= 3);
-        }
-        assert_eq!(expected.len(), 7 * 6);
-    }
-
-    #[test]
-    fn batch_matches_individual_evaluation() {
-        let mut v = Vocab::new();
-        let p = tc_program(&mut v);
-        let strata = Strata::of(&p);
-        let aboxes: Vec<IndexedInstance> = (3..9)
-            .map(|n| IndexedInstance::from_interpretation(&cycle(&mut v, n)))
-            .collect();
-        let batch = eval_batch(&strata, p.goal, &aboxes, 4);
-        assert_eq!(batch.len(), aboxes.len());
-        for (i, d) in aboxes.iter().enumerate() {
-            let (individual, _) = eval_strata(&strata, p.goal, d, 1);
-            assert_eq!(batch[i].0, individual, "abox {i}");
-        }
-    }
-
-    #[test]
-    fn empty_program_and_goal_edb_facts() {
-        let mut v = Vocab::new();
-        let g = v.rel("goal", 1);
-        let p = Program::new(vec![], g);
-        let a = v.constant("a");
-        let mut d = Instance::new();
-        d.insert(Fact::consts(g, &[a]));
-        // Goal facts already in the EDB are answers, as in Program::eval.
-        let (ans, _) = eval_plain(&p, &d, 2);
-        assert_eq!(ans, p.eval(&d));
-        assert_eq!(ans.len(), 1);
-    }
-}
+pub use crate::backend::native::*;

@@ -17,12 +17,16 @@
 //!   plan), with negative caching of non-rewritable OMQs, single-flight
 //!   deduplication of concurrent compilations, and a capacity bound
 //!   enforced by LRU eviction.
-//! * [`exec`] — stratified semi-naive evaluation over
-//!   [`gomq_core::IndexedInstance`] (first-argument hash probes), with
-//!   scoped-thread parallelism across rule partitions within a round
-//!   and across ABoxes within a batch; evaluation is governed by a
-//!   cooperative [`gomq_datalog::Budget`] (rounds, derived facts,
-//!   wall-clock deadline).
+//! * [`backend`] — the executors behind one backend-agnostic
+//!   [`gomq_datalog::ir::PlanIr`]: [`backend::native`], stratified
+//!   semi-naive evaluation over [`gomq_core::IndexedInstance`]
+//!   (first-argument hash probes, scoped-thread parallelism across
+//!   rule partitions within a round and across ABoxes within a batch,
+//!   governed by a cooperative [`gomq_datalog::Budget`]), and
+//!   [`backend::sql`], which runs the plan's emitted portable SQL via
+//!   the dependency-free `gomq-sqlexec` executor (recursive plans are
+//!   refused with a typed status). [`exec`] re-exports the native path
+//!   under its historical name.
 //! * [`engine`] — the [`Engine`] facade tying cache, executor and
 //!   [`EngineStats`] together.
 //! * [`serve`] + the `gomq-serve` binary — a JSONL stdin/stdout
@@ -46,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod certify;
 pub mod drain;
@@ -60,6 +65,7 @@ pub mod session;
 pub mod stats;
 pub mod wal;
 
+pub use backend::Backend;
 pub use cache::{PlanCache, PlanOutcome};
 pub use certify::{emit_certificate, CertSource, CertifyError};
 pub use drain::DrainToken;

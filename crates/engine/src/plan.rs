@@ -23,8 +23,8 @@ use gomq_logic::GfOntology;
 use gomq_reasoning::CertainEngine;
 use gomq_rewriting::emit::emit_datalog;
 use gomq_rewriting::{
-    canonical_omq_hash, canonical_omq_text, classify_ontology, ElementTypeSystem, OntologyReport,
-    RewriteError,
+    canonical_omq_hash, canonical_omq_text, classify_ontology, emit_sql, ElementTypeSystem,
+    OntologyReport, RewriteError, SqlEmitError, SqlPlan,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -36,6 +36,12 @@ pub enum EngineError {
     /// engine cannot compile a Datalog≠ plan for it (it may well be
     /// coNP-hard by the dichotomy; the report's zone says more).
     NotRewritable(RewriteError),
+    /// The plan compiled, but its Datalog≠ rewriting is recursive, so
+    /// the SQL backend cannot run it (SQL without recursive CTEs is
+    /// non-recursive). The serving layer reports
+    /// `"status": "non-rewritable-to-sql"`; the native backend remains
+    /// available for the same plan.
+    NotSqlRewritable(SqlEmitError),
     /// A malformed serving request (bad JSON, unknown relation, parse
     /// failure in the ontology or ABox text).
     BadRequest(String),
@@ -66,6 +72,9 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NotRewritable(e) => {
                 write!(f, "OMQ is not element-type rewritable: {e}")
+            }
+            EngineError::NotSqlRewritable(e) => {
+                write!(f, "plan is not rewritable to SQL: {e}")
             }
             EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             EngineError::Overloaded(e) => write!(f, "overloaded: {e}"),
@@ -112,8 +121,15 @@ pub struct OmqPlan {
     pub report: OntologyReport,
     /// The Datalog≠ rewriting (goal = the emitted `_goal` relation).
     pub program: Program,
-    /// The rewriting's rules pre-partitioned into SCC strata.
+    /// The rewriting's rules pre-partitioned into SCC strata — the
+    /// backend-agnostic [`gomq_datalog::ir::PlanIr`] every executor
+    /// consumes (`Strata` is its engine-historical name).
     pub strata: Strata,
+    /// The plan lowered to portable SQL, or the typed reason it cannot
+    /// be (recursive rewriting). Emitted eagerly at compile time: the
+    /// text is ABox-independent, so cached plans serve SQL-backend
+    /// requests with zero additional compilation work.
+    pub sql: Result<SqlPlan, SqlEmitError>,
     /// The element-type system the rewriting was emitted from, with its
     /// bitset propagation kernel pre-built — the fast path
     /// [`crate::Engine::answer_typed`] evaluates directly against it.
@@ -141,6 +157,7 @@ impl OmqPlan {
         let sys = ElementTypeSystem::build(o, vocab)?;
         let program = emit_datalog(&sys, query, vocab).optimize();
         let strata = Strata::of(&program);
+        let sql = emit_sql(&strata, vocab);
         let types = Arc::new(sys);
         // Build the bitset kernel now, while we are paying compilation
         // cost anyway, so cached plans serve typed requests without a
@@ -153,6 +170,7 @@ impl OmqPlan {
             report,
             program,
             strata,
+            sql,
             types,
         })
     }

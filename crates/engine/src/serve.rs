@@ -17,6 +17,7 @@
 //!
 //! ```json
 //! {"id": "r1", "status": "ok", "cached": false, "zone": "Dichotomy (Datalog!= = PTIME)",
+//!  "fragment": "uGF", "backend": "native",
 //!  "answers": [["ada"], ["grace"]],
 //!  "stats": {"compile_us": 412, "eval_us": 88, "rounds": 3, "derived": 6,
 //!            "cache_hit": false},
@@ -34,6 +35,20 @@
 //! dies on a bad line: panics inside compilation or evaluation are
 //! caught, reported as structured errors, and counted in the engine
 //! totals.
+//!
+//! ## Backends
+//!
+//! A query may carry `"backend": "native"` or `"backend": "sql"` (the
+//! session default is [`ServeConfig::default_backend`], settable with
+//! `gomq-serve --backend`). The native backend runs the stratified
+//! semi-naive fixpoint; the SQL backend executes the plan's eagerly
+//! emitted portable SQL on the in-process `gomq-sqlexec` executor —
+//! answer sets are identical (`tests/sql_crosscheck.rs` proves it on
+//! random OMQs). A plan whose rewriting is recursive has no SQL form
+//! and is refused with `"status": "non-rewritable-to-sql"`; the native
+//! backend still answers it. The SQL path serves exactly one
+//! request-supplied ABox: certificates, `"aboxes"` batches and
+//! `"session": true` are native-only.
 //!
 //! ABox constants interned while serving a request are rolled back once
 //! no request is in flight, so a long-lived session's [`Vocab`] does not
@@ -65,6 +80,7 @@
 //! [`ServeConfig::max_line_bytes`] are refused as `"status":
 //! "malformed"` without being buffered in full ([`read_line_capped`]).
 
+use crate::backend::Backend;
 use crate::cache::{lock_recover, panic_message, PlanCache};
 use crate::engine::Engine;
 use crate::json::{self, Json};
@@ -151,6 +167,10 @@ pub struct ServeConfig {
     /// evicted beyond this); 0 disables incremental view maintenance
     /// and session queries fall back to from-scratch fixpoints.
     pub max_views: usize,
+    /// The backend answering queries that carry no per-request
+    /// `"backend"` field ([`Backend::Native`] unless `gomq-serve
+    /// --backend sql` says otherwise).
+    pub default_backend: Backend,
 }
 
 /// Default request-line cap: 16 MiB.
@@ -200,6 +220,7 @@ impl Default for ServeConfig {
             quarantine_after: 3,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             max_views: DEFAULT_MAX_VIEWS,
+            default_backend: Backend::default(),
         }
     }
 }
@@ -223,6 +244,7 @@ pub struct ServeShared {
     session: Mutex<DurableSession>,
     limits: Limits,
     max_line_bytes: usize,
+    default_backend: Backend,
 }
 
 impl ServeShared {
@@ -268,6 +290,7 @@ impl ServeShared {
                 session: Mutex::new(session),
                 limits: config.limits,
                 max_line_bytes: config.max_line_bytes,
+                default_backend: config.default_backend,
             },
             recovery,
         ))
@@ -283,6 +306,7 @@ impl ServeShared {
             session: Mutex::new(DurableSession::in_memory()),
             limits,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            default_backend: Backend::default(),
         }
     }
 
@@ -412,6 +436,10 @@ impl ServeSession {
                     }
                     EngineError::Malformed(_) => {
                         out.push_str("\"status\": \"malformed\", \"error\": ");
+                        json::write_str(&mut out, &format!("{e}"));
+                    }
+                    EngineError::NotSqlRewritable(_) => {
+                        out.push_str("\"status\": \"non-rewritable-to-sql\", \"error\": ");
                         json::write_str(&mut out, &format!("{e}"));
                     }
                     _ => {
@@ -552,6 +580,38 @@ impl ServeSession {
                     .into(),
             ));
         }
+        let backend = match obj.get("backend") {
+            None => self.shared.default_backend,
+            Some(Json::Str(name)) => Backend::from_name(name).map_err(EngineError::BadRequest)?,
+            Some(_) => {
+                return Err(EngineError::BadRequest(
+                    "\"backend\" must be \"native\" or \"sql\"".into(),
+                ))
+            }
+        };
+        if backend == Backend::Sql {
+            if want_cert {
+                return Err(EngineError::BadRequest(
+                    "\"backend\": \"sql\" cannot attach certificates \
+                     (the SQL executor records no derivations)"
+                        .into(),
+                ));
+            }
+            if obj.contains_key("aboxes") {
+                return Err(EngineError::BadRequest(
+                    "\"backend\": \"sql\" cannot be combined with \"aboxes\" \
+                     (batch one ABox per request)"
+                        .into(),
+                ));
+            }
+            if matches!(obj.get("session"), Some(Json::Bool(true))) {
+                return Err(EngineError::BadRequest(
+                    "\"backend\": \"sql\" cannot be combined with \"session\": true \
+                     (the session store is served natively)"
+                        .into(),
+                ));
+            }
+        }
         let budget = self
             .limits
             .clamp(&self.request_limits(obj)?)
@@ -627,6 +687,15 @@ impl ServeSession {
             Input::One(Box::new(parse_abox(field("abox")?)?))
         };
 
+        // The SQL backend's rewritability verdict is a compile-time
+        // property of the plan: refuse recursive plans before the
+        // breaker or the executor ever see the request.
+        if backend == Backend::Sql {
+            if let Err(e) = &plan.sql {
+                self.shared.engine.record_sql_refusal();
+                return Err(EngineError::NotSqlRewritable(e.clone()));
+            }
+        }
         // Circuit breaker: a plan that keeps failing evaluation is
         // refused before it can burn another budget.
         if let Some(n) = self.shared.engine.quarantine_reject(plan.key) {
@@ -652,15 +721,15 @@ impl ServeSession {
                         (payload, stats)
                     })
             }
-            Input::One(abox) => {
-                engine
-                    .answer_indexed_budgeted(&plan, abox, &budget)
-                    .map(|(answers, stats)| {
-                        let mut payload = String::from("\"answers\": ");
-                        self.write_answers(&mut payload, &answers);
-                        (payload, stats)
-                    })
+            Input::One(abox) => match backend {
+                Backend::Native => engine.answer_indexed_budgeted(&plan, abox, &budget),
+                Backend::Sql => engine.answer_indexed_sql(&plan, abox, &budget, &self.shared.vocab),
             }
+            .map(|(answers, stats)| {
+                let mut payload = String::from("\"answers\": ");
+                self.write_answers(&mut payload, &answers);
+                (payload, stats)
+            }),
             Input::Batch(aboxes) => {
                 engine
                     .answer_batch_budgeted(&plan, aboxes, &budget)
@@ -694,7 +763,15 @@ impl ServeSession {
             }
         };
 
-        Ok(self.query_response(id, &plan, cached, compile_elapsed, &payload, &stats))
+        Ok(self.query_response(
+            id,
+            &plan,
+            cached,
+            compile_elapsed,
+            backend,
+            &payload,
+            &stats,
+        ))
     }
 
     /// Answers a `"session": true` query over the session-resident
@@ -877,7 +954,15 @@ impl ServeSession {
                 std::panic::resume_unwind(panic)
             }
         };
-        Ok(self.query_response(id, plan, cached, compile_elapsed, &payload, &stats))
+        Ok(self.query_response(
+            id,
+            plan,
+            cached,
+            compile_elapsed,
+            Backend::Native,
+            &payload,
+            &stats,
+        ))
     }
 
     /// Assembles the certificate for a synced recording view, bound to
@@ -933,12 +1018,14 @@ impl ServeSession {
 
     /// The common `{"id": ..., "status": "ok", ..., "stats": ...,
     /// "engine": ...}` response of both query paths.
+    #[allow(clippy::too_many_arguments)]
     fn query_response(
         &self,
         id: Option<&str>,
         plan: &OmqPlan,
         cached: bool,
         compile_elapsed: Duration,
+        backend: Backend,
         payload: &str,
         stats: &RequestStats,
     ) -> String {
@@ -952,6 +1039,14 @@ impl ServeSession {
         let _ = write!(out, "\"cached\": {cached}, ");
         out.push_str("\"zone\": ");
         json::write_str(&mut out, &format!("{}", plan.report.zone));
+        out.push_str(", \"fragment\": ");
+        // The tightest containing Figure-1 fragment, or null when the
+        // classifier placed the ontology in no listed fragment.
+        match plan.report.fragments.first() {
+            Some(fr) => json::write_str(&mut out, &format!("{fr}")),
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ", \"backend\": \"{}\"", backend.name());
         out.push_str(", ");
         out.push_str(payload);
         let _ = write!(
@@ -1138,7 +1233,8 @@ impl ServeSession {
              \"conns_refused\": {}, \"conns_active\": {}, \"queue_depth\": {}, \
              \"queue_rejects\": {}, \"drains\": {}, \"ivm_maintained_hits\": {}, \
              \"ivm_deleted\": {}, \"ivm_rederived\": {}, \"views_active\": {}, \
-             \"views_evicted\": {}, \"certs_emitted\": {}, \"cert_bytes\": {}}}",
+             \"views_evicted\": {}, \"certs_emitted\": {}, \"cert_bytes\": {}, \
+             \"sql_compiles\": {}, \"sql_refusals\": {}}}",
             totals.requests,
             totals.cache_hits,
             totals.cache_misses,
@@ -1172,6 +1268,8 @@ impl ServeSession {
             totals.views_evicted,
             totals.certs_emitted,
             totals.cert_bytes,
+            totals.sql_compiles,
+            totals.sql_refusals,
         );
     }
 
@@ -1873,6 +1971,121 @@ mod tests {
         // itself and is refused rather than silently picking a winner.
         let err = resolve_view_flags(Some(false), Some(8)).unwrap_err();
         assert!(err.contains("contradicts"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn backend_names_resolve_like_flags() {
+        assert_eq!(Backend::from_name("native"), Ok(Backend::Native));
+        assert_eq!(Backend::from_name("sql"), Ok(Backend::Sql));
+        let err = Backend::from_name("postgres").unwrap_err();
+        assert!(
+            err.contains("unknown backend") && err.contains("\"native\" or \"sql\""),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn sql_backend_answers_match_native() {
+        let mut s = ServeSession::with_threads(2);
+        let req = |backend: &str| {
+            format!(
+                r#"{{"ontology": "Manager sub Employee\nEmployee sub Staff", "query": "Staff", "abox": "Manager(ada)\nEmployee(grace)"{backend}}}"#
+            )
+        };
+        let native = s.handle_line(&req(""));
+        ok_field(&native, "\"status\": \"ok\"");
+        ok_field(&native, "\"backend\": \"native\"");
+        let sql = s.handle_line(&req(r#", "backend": "sql""#));
+        ok_field(&sql, "\"status\": \"ok\"");
+        ok_field(&sql, "\"backend\": \"sql\"");
+        ok_field(&sql, r#"["ada"]"#);
+        ok_field(&sql, r#"["grace"]"#);
+        // Identical answer arrays on both backends.
+        let answers = |r: &str| {
+            let from = r.find("\"answers\": ").unwrap();
+            r[from..r.find(", \"stats\"").unwrap()].to_string()
+        };
+        assert_eq!(answers(&native), answers(&sql));
+        let totals = s.engine().stats();
+        assert_eq!(totals.sql_compiles, 1);
+        assert_eq!(totals.sql_refusals, 0);
+        ok_field(&sql, "\"sql_compiles\": 1, \"sql_refusals\": 0");
+        assert!(crate::json::parse(&sql).is_ok());
+    }
+
+    #[test]
+    fn recursive_plan_gets_typed_sql_refusal() {
+        let mut s = ServeSession::with_threads(1);
+        // The existential role makes the emitted rewriting recursive:
+        // SQL refuses, native still answers.
+        let req = |backend: &str| {
+            format!(
+                r#"{{"id": "r", "ontology": "A sub ex R.B\nB sub C", "query": "C", "abox": "B(x)", "backend": "{backend}"}}"#
+            )
+        };
+        let refused = s.handle_line(&req("sql"));
+        ok_field(&refused, "\"status\": \"non-rewritable-to-sql\"");
+        ok_field(&refused, "\"id\": \"r\"");
+        ok_field(&refused, "recursive");
+        assert!(crate::json::parse(&refused).is_ok());
+        let native = s.handle_line(&req("native"));
+        ok_field(&native, "\"status\": \"ok\"");
+        ok_field(&native, r#"["x"]"#);
+        let totals = s.engine().stats();
+        assert_eq!(totals.sql_refusals, 1);
+        assert_eq!(totals.sql_compiles, 0);
+    }
+
+    #[test]
+    fn sql_backend_default_comes_from_config() {
+        let mut s = ServeSession::with_config(ServeConfig {
+            threads: 1,
+            default_backend: Backend::Sql,
+            ..ServeConfig::default()
+        });
+        let resp = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        ok_field(&resp, "\"backend\": \"sql\"");
+        ok_field(&resp, r#"["x"]"#);
+        // A per-request field overrides the session default.
+        let resp = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)", "backend": "native"}"#,
+        );
+        ok_field(&resp, "\"backend\": \"native\"");
+    }
+
+    #[test]
+    fn bad_backend_requests_are_typed_errors() {
+        let mut s = ServeSession::with_threads(1);
+        let base = r#""ontology": "A sub B", "query": "B", "abox": "A(x)""#;
+        let unknown = s.handle_line(&format!(r#"{{{base}, "backend": "postgres"}}"#));
+        ok_field(&unknown, "\"status\": \"error\"");
+        ok_field(&unknown, "unknown backend");
+        let wrong_type = s.handle_line(&format!(r#"{{{base}, "backend": 7}}"#));
+        ok_field(&wrong_type, "must be \\\"native\\\" or \\\"sql\\\"");
+        let with_cert = s.handle_line(&format!(
+            r#"{{{base}, "backend": "sql", "certificate": true}}"#
+        ));
+        ok_field(&with_cert, "cannot attach certificates");
+        let with_batch = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "aboxes": ["A(x)"], "backend": "sql"}"#,
+        );
+        ok_field(&with_batch, "cannot be combined with \\\"aboxes\\\"");
+        let with_session = s.handle_line(
+            r#"{"ontology": "A sub B", "query": "B", "session": true, "backend": "sql"}"#,
+        );
+        ok_field(&with_session, "cannot be combined with \\\"session\\\"");
+        // The session still answers afterwards.
+        let good = s.handle_line(&format!(r#"{{{base}, "backend": "sql"}}"#));
+        ok_field(&good, "\"status\": \"ok\"");
+    }
+
+    #[test]
+    fn fragment_field_surfaces_classification() {
+        let mut s = ServeSession::with_threads(1);
+        let resp = s.handle_line(r#"{"ontology": "A sub B", "query": "B", "abox": "A(x)"}"#);
+        ok_field(&resp, "\"fragment\": ");
+        ok_field(&resp, "\"zone\": ");
+        assert!(crate::json::parse(&resp).is_ok());
     }
 
     #[test]

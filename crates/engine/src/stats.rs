@@ -144,6 +144,13 @@ pub struct EngineStats {
     pub certs_emitted: u64,
     /// Total certificate bytes emitted.
     pub cert_bytes: u64,
+    /// SQL-backend requests answered by executing the plan's emitted
+    /// SQL (the statement itself is compiled once per plan, alongside
+    /// the Datalog≠ rewriting).
+    pub sql_compiles: u64,
+    /// SQL-backend requests refused with `non-rewritable-to-sql`
+    /// because the plan's rewriting is recursive.
+    pub sql_refusals: u64,
 }
 
 impl EngineStats {

@@ -16,14 +16,19 @@
 //!   label and zone with materializability probes.
 //! * [`canon`] — canonical OMQ text and the stable 64-bit key under
 //!   which `gomq-engine` caches compiled plans.
+//! * [`sql`] — emits non-recursive plan IRs (UCQ-shaped rewritings and
+//!   acyclic Theorem-5 type programs) as portable SQL text for
+//!   relational backends; recursive IRs get a typed refusal.
 
 #![warn(missing_docs)]
 
 pub mod canon;
 pub mod classify;
 pub mod emit;
+pub mod sql;
 pub mod types;
 
 pub use canon::{canonical_omq_hash, canonical_omq_text, fnv1a};
 pub use classify::{classify_ontology, OntologyReport};
+pub use sql::{emit_sql, SqlEmitError, SqlPlan};
 pub use types::{ElementTypeSystem, RewriteError, TypeKernel, TypeStats};

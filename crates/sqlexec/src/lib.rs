@@ -1,0 +1,1138 @@
+//! # gomq-sqlexec
+//!
+//! A tiny, dependency-free, in-process executor for the portable SQL
+//! that `gomq-rewriting::emit_sql` produces from non-recursive plan
+//! IRs. It exists so the SQL backend can be cross-checked against the
+//! native fixpoint engine without an external database: the emitted
+//! text is executed here over a sorted-vec, string-valued table model
+//! (the shape of a SQLite file: named tables of fixed-arity rows kept
+//! in sorted order), and the answer sets must coincide.
+//!
+//! Like `gomq-cert`, the crate is deliberately standalone — it depends
+//! on nothing, engine crates included, so it cannot accidentally share
+//! evaluation code with the backend it is checking.
+//!
+//! ## Supported dialect
+//!
+//! `WITH name AS (…), … SELECT [DISTINCT] items FROM t alias, … WHERE
+//! cond AND … [UNION | EXCEPT …] [ORDER BY …]`, where conditions are
+//! `=` / `<>` comparisons over qualified column references and string
+//! literals, plus `NOT EXISTS (SELECT …)` with correlation to outer
+//! aliases. `--` line comments are skipped. Evaluation is nested-loop
+//! with conditions applied as early as their references are bound;
+//! `UNION`/`EXCEPT` have set semantics and every result is returned
+//! sorted and, under `DISTINCT`, deduplicated.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Table model
+// ---------------------------------------------------------------------------
+
+/// A named relation: fixed arity, string-valued rows kept sorted and
+/// deduplicated (a sorted-vec "file page", not a hash index).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Relation name as it appears in SQL (unquoted form).
+    pub name: String,
+    /// Number of columns; column `i` is addressed as `c{i}`.
+    pub arity: usize,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, arity: usize) -> Table {
+        Table {
+            name: name.to_string(),
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Inserts a row, keeping the sorted-unique invariant; returns
+    /// whether the row was new.
+    ///
+    /// # Panics
+    /// If the row's length differs from the table's arity.
+    pub fn insert(&mut self, row: Vec<String>) -> bool {
+        assert_eq!(row.len(), self.arity, "row arity mismatch on {}", self.name);
+        match self.rows.binary_search(&row) {
+            Ok(_) => false,
+            Err(at) => {
+                self.rows.insert(at, row);
+                true
+            }
+        }
+    }
+
+    /// The rows, sorted ascending.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A set of tables addressed by name.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates the table if absent and returns it.
+    ///
+    /// # Panics
+    /// If the table exists with a different arity.
+    pub fn create(&mut self, name: &str, arity: usize) -> &mut Table {
+        let t = self
+            .tables
+            .entry(name.to_string())
+            .or_insert_with(|| Table::new(name, arity));
+        assert_eq!(t.arity, arity, "table {name} redeclared with new arity");
+        t
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Iterates over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and limits
+// ---------------------------------------------------------------------------
+
+/// Why a statement could not be executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlError {
+    /// The text is not in the supported dialect.
+    Parse(String),
+    /// The text parsed but references something that does not exist
+    /// (table, column, alias) or is shape-inconsistent (arity).
+    Semantic(String),
+    /// More rows were materialized than `Limits::max_rows` allows.
+    RowLimit(usize),
+    /// The wall-clock deadline passed mid-evaluation.
+    Deadline,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            SqlError::Semantic(m) => write!(f, "SQL semantic error: {m}"),
+            SqlError::RowLimit(n) => write!(f, "row budget exceeded ({n} rows materialized)"),
+            SqlError::Deadline => write!(f, "deadline exceeded during SQL evaluation"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Cooperative resource limits for one `run` call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Limits {
+    /// Maximum rows materialized across all selects and CTEs.
+    pub max_rows: Option<usize>,
+    /// Wall-clock deadline, checked periodically.
+    pub deadline: Option<Instant>,
+}
+
+impl Limits {
+    /// No limits: every check passes.
+    pub const UNLIMITED: Limits = Limits {
+        max_rows: None,
+        deadline: None,
+    };
+}
+
+/// The rows a statement produced, with their output column names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultSet {
+    /// Output column names, in select-list order.
+    pub columns: Vec<String>,
+    /// Output rows, sorted ascending (by the `ORDER BY` keys first, if
+    /// any, then the full row).
+    pub rows: Vec<Vec<String>>,
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    /// Unquoted identifier or keyword (original spelling kept).
+    Word(String),
+    /// `"…"`-quoted identifier, quotes resolved.
+    Quoted(String),
+    /// `'…'` string literal, quotes resolved.
+    Str(String),
+    /// Digit run.
+    Num(String),
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Eq,
+    Neq,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            ';' => i += 1, // statement terminator: accepted, ignored
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                toks.push(Tok::Neq);
+                i += 2;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut out = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(SqlError::Parse(format!("unterminated {quote} quote"))),
+                        Some(&q) if q == quote => {
+                            if chars.get(i + 1) == Some(&quote) {
+                                out.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            out.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(if quote == '"' {
+                    Tok::Quoted(out)
+                } else {
+                    Tok::Str(out)
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                toks.push(Tok::Num(chars[start..i].iter().collect()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Word(chars[start..i].iter().collect()));
+            }
+            other => return Err(SqlError::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// AST + parser
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Expr {
+    /// `alias.col` or bare `col`.
+    Col(Option<String>, String),
+    /// A string (or numeric, normalized to its digits) literal.
+    Lit(String),
+}
+
+#[derive(Clone, Debug)]
+enum Cond {
+    /// `lhs = rhs` (`eq` true) or `lhs <> rhs` (`eq` false).
+    Cmp(Expr, bool, Expr),
+    NotExists(Box<Select>),
+}
+
+#[derive(Clone, Debug)]
+struct Select {
+    distinct: bool,
+    /// `(expr, output name)`; the name defaults per expression kind.
+    items: Vec<(Expr, String)>,
+    /// `(table name, alias)`; empty for `FROM`-less selects.
+    from: Vec<(String, String)>,
+    cond: Vec<Cond>,
+}
+
+#[derive(Clone, Debug)]
+enum SetExpr {
+    Select(Select),
+    Union(Box<SetExpr>, Box<SetExpr>),
+    Except(Box<SetExpr>, Box<SetExpr>),
+}
+
+#[derive(Clone, Debug)]
+struct Query {
+    ctes: Vec<(String, SetExpr)>,
+    body: SetExpr,
+    /// Output column names (or 1-based positions) to sort by first.
+    order: Vec<String>,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), SqlError> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// An identifier: bare word (non-keyword position) or quoted.
+    fn name(&mut self) -> Result<String, SqlError> {
+        match self.peek().cloned() {
+            Some(Tok::Word(w)) => {
+                self.pos += 1;
+                Ok(w)
+            }
+            Some(Tok::Quoted(q)) => {
+                self.pos += 1;
+                Ok(q)
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("WITH") {
+            loop {
+                let name = self.name()?;
+                self.expect_kw("AS")?;
+                self.expect(Tok::LParen)?;
+                let body = self.set_expr()?;
+                self.expect(Tok::RParen)?;
+                ctes.push((name, body));
+                if !matches!(self.peek(), Some(Tok::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let body = self.set_expr()?;
+        let mut order = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                match self.peek().cloned() {
+                    Some(Tok::Num(n)) => {
+                        self.pos += 1;
+                        order.push(n);
+                    }
+                    _ => order.push(self.name()?),
+                }
+                if !matches!(self.peek(), Some(Tok::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        if let Some(t) = self.peek() {
+            return Err(SqlError::Parse(format!("trailing input at {t:?}")));
+        }
+        Ok(Query { ctes, body, order })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr, SqlError> {
+        let mut left = SetExpr::Select(self.select()?);
+        loop {
+            if self.eat_kw("UNION") {
+                let right = self.select()?;
+                left = SetExpr::Union(Box::new(left), Box::new(SetExpr::Select(right)));
+            } else if self.eat_kw("EXCEPT") {
+                let right = self.select()?;
+                left = SetExpr::Except(Box::new(left), Box::new(SetExpr::Select(right)));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            let e = self.expr()?;
+            let name = if self.eat_kw("AS") {
+                self.name()?
+            } else {
+                match &e {
+                    Expr::Col(_, c) => c.clone(),
+                    Expr::Lit(_) => format!("col{}", items.len()),
+                }
+            };
+            items.push((e, name));
+            if !matches!(self.peek(), Some(Tok::Comma)) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            loop {
+                let table = self.name()?;
+                // Optional alias: a bare word that is not a clause keyword.
+                let alias = match self.peek() {
+                    Some(Tok::Word(w))
+                        if !["WHERE", "UNION", "EXCEPT", "ORDER", "AND"]
+                            .iter()
+                            .any(|k| w.eq_ignore_ascii_case(k)) =>
+                    {
+                        self.name()?
+                    }
+                    _ => table.clone(),
+                };
+                from.push((table, alias));
+                if !matches!(self.peek(), Some(Tok::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let mut cond = Vec::new();
+        if self.eat_kw("WHERE") {
+            loop {
+                cond.push(self.cond()?);
+                if !self.eat_kw("AND") {
+                    break;
+                }
+            }
+        }
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            cond,
+        })
+    }
+
+    fn cond(&mut self) -> Result<Cond, SqlError> {
+        if self.peek_kw("NOT") {
+            self.pos += 1;
+            self.expect_kw("EXISTS")?;
+            self.expect(Tok::LParen)?;
+            let sub = self.select()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Cond::NotExists(Box::new(sub)));
+        }
+        let lhs = self.expr()?;
+        let eq = match self.peek() {
+            Some(Tok::Eq) => true,
+            Some(Tok::Neq) => false,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected = or <>, found {other:?}"
+                )))
+            }
+        };
+        self.pos += 1;
+        let rhs = self.expr()?;
+        Ok(Cond::Cmp(lhs, eq, rhs))
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().cloned() {
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(s))
+            }
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(n))
+            }
+            Some(Tok::Word(_)) | Some(Tok::Quoted(_)) => {
+                let first = self.name()?;
+                if matches!(self.peek(), Some(Tok::Dot)) {
+                    self.pos += 1;
+                    let col = self.name()?;
+                    Ok(Expr::Col(Some(first), col))
+                } else {
+                    Ok(Expr::Col(None, first))
+                }
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// One bound from-item during nested-loop evaluation: alias, its
+/// column names, and the current row (empty before it is bound).
+struct Binding<'a> {
+    alias: &'a str,
+    columns: &'a [String],
+    row: &'a [String],
+}
+
+/// Row-fuel and deadline bookkeeping shared by the whole statement.
+struct Meter {
+    produced: usize,
+    ticks: u32,
+}
+
+impl Meter {
+    fn row(&mut self, limits: &Limits) -> Result<(), SqlError> {
+        self.produced += 1;
+        if limits.max_rows.is_some_and(|max| self.produced > max) {
+            return Err(SqlError::RowLimit(self.produced));
+        }
+        self.tick(limits)
+    }
+
+    fn tick(&mut self, limits: &Limits) -> Result<(), SqlError> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(4096) && limits.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(SqlError::Deadline);
+        }
+        Ok(())
+    }
+}
+
+/// A from-item's concrete rows: either a base table or a CTE result.
+struct Source<'a> {
+    alias: String,
+    columns: Vec<String>,
+    rows: &'a [Vec<String>],
+}
+
+fn resolve_sources<'a>(
+    sel: &Select,
+    db: &'a Database,
+    ctes: &'a BTreeMap<String, ResultSet>,
+) -> Result<Vec<Source<'a>>, SqlError> {
+    sel.from
+        .iter()
+        .map(|(table, alias)| {
+            if let Some(r) = ctes.get(table) {
+                Ok(Source {
+                    alias: alias.clone(),
+                    columns: r.columns.clone(),
+                    rows: &r.rows,
+                })
+            } else if let Some(t) = db.table(table) {
+                Ok(Source {
+                    alias: alias.clone(),
+                    columns: (0..t.arity).map(|i| format!("c{i}")).collect(),
+                    rows: t.rows(),
+                })
+            } else {
+                Err(SqlError::Semantic(format!("unknown table {table:?}")))
+            }
+        })
+        .collect()
+}
+
+/// Resolves a column reference against local bindings (innermost
+/// first), then the outer correlation scope. Returns the value.
+fn col_value(
+    alias: &Option<String>,
+    col: &str,
+    locals: &[Binding<'_>],
+    outer: &[Binding<'_>],
+) -> Result<String, SqlError> {
+    let scopes = locals.iter().chain(outer.iter());
+    let mut found = None;
+    for b in scopes {
+        if alias.as_deref().is_some_and(|a| a != b.alias) {
+            continue;
+        }
+        if let Some(i) = b.columns.iter().position(|c| c == col) {
+            found = Some(b.row[i].clone());
+            break;
+        }
+        if alias.is_some() {
+            return Err(SqlError::Semantic(format!(
+                "no column {col:?} in {:?}",
+                b.alias
+            )));
+        }
+    }
+    found.ok_or_else(|| match alias {
+        Some(a) => SqlError::Semantic(format!("unknown alias {a:?}")),
+        None => SqlError::Semantic(format!("unknown column {col:?}")),
+    })
+}
+
+/// The earliest local from-index after which every reference of `e` is
+/// bound (0 = before any local binding, i.e. outer/literal only).
+fn expr_level(e: &Expr, sources: &[Source<'_>]) -> usize {
+    match e {
+        Expr::Lit(_) => 0,
+        Expr::Col(Some(a), _) => sources
+            .iter()
+            .position(|s| &s.alias == a)
+            .map_or(0, |i| i + 1),
+        Expr::Col(None, c) => sources
+            .iter()
+            .position(|s| s.columns.iter().any(|col| col == c))
+            .map_or(0, |i| i + 1),
+    }
+}
+
+fn cond_level(c: &Cond, sources: &[Source<'_>]) -> usize {
+    match c {
+        Cond::Cmp(l, _, r) => expr_level(l, sources).max(expr_level(r, sources)),
+        Cond::NotExists(sub) => {
+            // A correlated reference is one whose qualifier is not a
+            // local alias of the subquery itself.
+            let local: Vec<&str> = sub.from.iter().map(|(_, a)| a.as_str()).collect();
+            let mut level = 0;
+            let visit_expr = |e: &Expr, level: &mut usize| {
+                if let Expr::Col(Some(a), _) = e {
+                    if !local.contains(&a.as_str()) {
+                        if let Some(i) = sources.iter().position(|s| &s.alias == a) {
+                            *level = (*level).max(i + 1);
+                        }
+                    }
+                }
+            };
+            for (e, _) in &sub.items {
+                visit_expr(e, &mut level);
+            }
+            for c in &sub.cond {
+                if let Cond::Cmp(l, _, r) = c {
+                    visit_expr(l, &mut level);
+                    visit_expr(r, &mut level);
+                }
+            }
+            level
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, locals: &[Binding<'_>], outer: &[Binding<'_>]) -> Result<String, SqlError> {
+    match e {
+        Expr::Lit(s) => Ok(s.clone()),
+        Expr::Col(alias, col) => col_value(alias, col, locals, outer),
+    }
+}
+
+fn eval_cond(
+    c: &Cond,
+    locals: &[Binding<'_>],
+    outer: &[Binding<'_>],
+    db: &Database,
+    ctes: &BTreeMap<String, ResultSet>,
+    meter: &mut Meter,
+    limits: &Limits,
+) -> Result<bool, SqlError> {
+    match c {
+        Cond::Cmp(l, eq, r) => {
+            let lv = eval_expr(l, locals, outer)?;
+            let rv = eval_expr(r, locals, outer)?;
+            Ok((lv == rv) == *eq)
+        }
+        Cond::NotExists(sub) => {
+            // The subquery's correlation scope is the current frame.
+            let mut scope: Vec<Binding<'_>> = Vec::new();
+            for b in locals.iter().chain(outer.iter()) {
+                scope.push(Binding {
+                    alias: b.alias,
+                    columns: b.columns,
+                    row: b.row,
+                });
+            }
+            let rows = eval_select(sub, db, ctes, &scope, meter, limits, true)?;
+            Ok(rows.rows.is_empty())
+        }
+    }
+}
+
+/// Evaluates one select block. With `first_only`, stops at the first
+/// accepted row (the `EXISTS` probe).
+fn eval_select(
+    sel: &Select,
+    db: &Database,
+    ctes: &BTreeMap<String, ResultSet>,
+    outer: &[Binding<'_>],
+    meter: &mut Meter,
+    limits: &Limits,
+    first_only: bool,
+) -> Result<ResultSet, SqlError> {
+    let sources = resolve_sources(sel, db, ctes)?;
+    let columns: Vec<String> = sel.items.iter().map(|(_, n)| n.clone()).collect();
+    // An inner cross product with an empty factor has no rows, wherever
+    // that factor sits in the FROM list. Plans join the seed tables of
+    // fresh IDB relations, which are usually empty — discovering that
+    // only at the innermost loop level would cost the whole product of
+    // the outer factors.
+    if !sources.is_empty() && sources.iter().any(|s| s.rows.is_empty()) {
+        return Ok(ResultSet {
+            columns,
+            rows: Vec::new(),
+        });
+    }
+    // Conditions bucketed by the earliest binding depth they can run at.
+    let mut cond_at: Vec<Vec<&Cond>> = vec![Vec::new(); sources.len() + 1];
+    for c in &sel.cond {
+        cond_at[cond_level(c, &sources)].push(c);
+    }
+    let mut out: Vec<Vec<String>> = Vec::new();
+
+    // Nested-loop product with early condition application: depth k has
+    // sources[..k] bound; conditions at bucket k run as soon as the
+    // k-th binding lands (bucket 0 before anything local binds).
+    #[allow(clippy::too_many_arguments)]
+    fn descend<'a>(
+        depth: usize,
+        sources: &'a [Source<'a>],
+        locals: &mut Vec<Binding<'a>>,
+        cond_at: &[Vec<&Cond>],
+        sel: &Select,
+        db: &Database,
+        ctes: &BTreeMap<String, ResultSet>,
+        outer: &[Binding<'_>],
+        meter: &mut Meter,
+        limits: &Limits,
+        first_only: bool,
+        out: &mut Vec<Vec<String>>,
+    ) -> Result<(), SqlError> {
+        for c in &cond_at[depth] {
+            if !eval_cond(c, locals, outer, db, ctes, meter, limits)? {
+                return Ok(());
+            }
+        }
+        if depth == sources.len() {
+            let mut row = Vec::with_capacity(sel.items.len());
+            for (e, _) in &sel.items {
+                row.push(eval_expr(e, locals, outer)?);
+            }
+            meter.row(limits)?;
+            out.push(row);
+            return Ok(());
+        }
+        let src = &sources[depth];
+        for row in src.rows {
+            meter.tick(limits)?;
+            locals.push(Binding {
+                alias: &src.alias,
+                columns: &src.columns,
+                row,
+            });
+            let r = descend(
+                depth + 1,
+                sources,
+                locals,
+                cond_at,
+                sel,
+                db,
+                ctes,
+                outer,
+                meter,
+                limits,
+                first_only,
+                out,
+            );
+            locals.pop();
+            r?;
+            if first_only && !out.is_empty() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    let mut locals: Vec<Binding<'_>> = Vec::new();
+    descend(
+        0,
+        &sources,
+        &mut locals,
+        &cond_at,
+        sel,
+        db,
+        ctes,
+        outer,
+        meter,
+        limits,
+        first_only,
+        &mut out,
+    )?;
+    if sel.distinct {
+        out.sort();
+        out.dedup();
+    }
+    Ok(ResultSet { columns, rows: out })
+}
+
+fn eval_set_expr(
+    e: &SetExpr,
+    db: &Database,
+    ctes: &BTreeMap<String, ResultSet>,
+    meter: &mut Meter,
+    limits: &Limits,
+) -> Result<ResultSet, SqlError> {
+    match e {
+        SetExpr::Select(s) => eval_select(s, db, ctes, &[], meter, limits, false),
+        SetExpr::Union(l, r) | SetExpr::Except(l, r) => {
+            let mut lv = eval_set_expr(l, db, ctes, meter, limits)?;
+            let rv = eval_set_expr(r, db, ctes, meter, limits)?;
+            if lv.columns.len() != rv.columns.len() {
+                return Err(SqlError::Semantic(format!(
+                    "set operands have {} vs {} columns",
+                    lv.columns.len(),
+                    rv.columns.len()
+                )));
+            }
+            lv.rows.sort();
+            lv.rows.dedup();
+            let mut right = rv.rows;
+            right.sort();
+            match e {
+                SetExpr::Union(_, _) => {
+                    lv.rows.extend(right);
+                    lv.rows.sort();
+                    lv.rows.dedup();
+                }
+                _ => lv.rows.retain(|row| right.binary_search(row).is_err()),
+            }
+            Ok(lv)
+        }
+    }
+}
+
+/// Parses and executes one statement against `db` under `limits`.
+pub fn run(sql: &str, db: &Database, limits: &Limits) -> Result<ResultSet, SqlError> {
+    let toks = lex(sql)?;
+    let query = Parser { toks, pos: 0 }.query()?;
+    let mut meter = Meter {
+        produced: 0,
+        ticks: 0,
+    };
+    let mut ctes: BTreeMap<String, ResultSet> = BTreeMap::new();
+    for (name, body) in &query.ctes {
+        if ctes.contains_key(name) {
+            return Err(SqlError::Semantic(format!("duplicate CTE {name:?}")));
+        }
+        let r = eval_set_expr(body, db, &ctes, &mut meter, limits)?;
+        ctes.insert(name.clone(), r);
+    }
+    let mut result = eval_set_expr(&query.body, db, &ctes, &mut meter, limits)?;
+    // ORDER BY keys first (name or 1-based position), full row after,
+    // so output is always deterministic.
+    let mut keys: Vec<usize> = Vec::new();
+    for k in &query.order {
+        let idx = if let Ok(n) = k.parse::<usize>() {
+            if n == 0 || n > result.columns.len() {
+                return Err(SqlError::Semantic(format!(
+                    "ORDER BY position {n} out of range"
+                )));
+            }
+            n - 1
+        } else {
+            result
+                .columns
+                .iter()
+                .position(|c| c == k)
+                .ok_or_else(|| SqlError::Semantic(format!("unknown ORDER BY column {k:?}")))?
+        };
+        keys.push(idx);
+    }
+    result.rows.sort_by(|a, b| {
+        for &k in &keys {
+            match a[k].cmp(&b[k]) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        a.cmp(b)
+    });
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let e = db.create("E", 2);
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c"), ("c", "c")] {
+            e.insert(vec![a.to_string(), b.to_string()]);
+        }
+        let n = db.create("N", 1);
+        n.insert(vec!["a".to_string()]);
+        n.insert(vec!["b".to_string()]);
+        n.insert(vec!["c".to_string()]);
+        db
+    }
+
+    fn rows(r: &ResultSet) -> Vec<Vec<&str>> {
+        r.rows
+            .iter()
+            .map(|row| row.iter().map(|s| s.as_str()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn table_keeps_sorted_unique_rows() {
+        let mut t = Table::new("T", 1);
+        assert!(t.insert(vec!["b".into()]));
+        assert!(t.insert(vec!["a".into()]));
+        assert!(!t.insert(vec!["b".into()]));
+        assert_eq!(t.rows(), &[vec!["a".to_string()], vec!["b".to_string()]]);
+    }
+
+    #[test]
+    fn select_join_where() {
+        let r = run(
+            "SELECT DISTINCT t0.c0 AS c0, t1.c1 AS c1 \
+             FROM \"E\" t0, \"E\" t1 WHERE t0.c1 = t1.c0 AND t0.c0 <> t1.c1 \
+             ORDER BY c0, c1",
+            &db(),
+            &Limits::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(r.columns, vec!["c0", "c1"]);
+        assert_eq!(rows(&r), vec![vec!["a", "c"], vec!["b", "c"]]);
+    }
+
+    #[test]
+    fn empty_factor_short_circuits_the_product() {
+        let mut db = db();
+        db.create("Empty", 1);
+        // An empty factor at the *end* of the FROM list still empties
+        // the product without enumerating the outer factors: six
+        // unconstrained E aliases tick past the 4096-tick deadline
+        // check, so with a deadline already in the past a passing run
+        // proves the loop never started.
+        let limits = Limits {
+            max_rows: None,
+            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+        };
+        let r = run(
+            "SELECT DISTINCT t0.c0 AS c0 \
+             FROM \"E\" t0, \"E\" t1, \"E\" t2, \"E\" t3, \"E\" t4, \"E\" t5, \"Empty\" t6 \
+             WHERE t6.c0 = t0.c0",
+            &db,
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(r.columns, vec!["c0"]);
+        assert!(r.rows.is_empty());
+        // NOT EXISTS over a provably empty subquery is vacuously true.
+        let r = run(
+            "SELECT DISTINCT t0.c0 AS c0 FROM \"N\" t0 WHERE NOT EXISTS (\
+               SELECT t1.c0 AS c0 FROM \"Empty\" t1, \"E\" t2 \
+               WHERE t1.c0 = t0.c0) \
+             ORDER BY c0",
+            &db,
+            &Limits::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(rows(&r), vec![vec!["a"], vec!["b"], vec!["c"]]);
+    }
+
+    #[test]
+    fn cte_union_and_ground_literal() {
+        let r = run(
+            "WITH \"good\" AS (\
+               SELECT DISTINCT t0.c0 AS c0 FROM \"E\" t0 WHERE t0.c1 = 'c' \
+               UNION \
+               SELECT DISTINCT t0.c0 AS c0 FROM \"N\" t0 WHERE t0.c0 = 'a') \
+             SELECT DISTINCT t0.c0 AS c0 FROM \"good\" t0 ORDER BY c0",
+            &db(),
+            &Limits::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(rows(&r), vec![vec!["a"], vec!["b"], vec!["c"]]);
+    }
+
+    #[test]
+    fn except_has_set_semantics() {
+        let r = run(
+            "SELECT t0.c0 AS c0 FROM \"N\" t0 \
+             EXCEPT \
+             SELECT t0.c0 AS c0 FROM \"E\" t0 WHERE t0.c0 = t0.c1",
+            &db(),
+            &Limits::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(rows(&r), vec![vec!["a"], vec!["b"]]);
+    }
+
+    #[test]
+    fn correlated_not_exists() {
+        // Nodes with no outgoing E-edge to a *different* node.
+        let r = run(
+            "SELECT DISTINCT n.c0 AS c0 FROM \"N\" n \
+             WHERE NOT EXISTS (\
+               SELECT e.c0 AS c0 FROM \"E\" e WHERE e.c0 = n.c0 AND e.c1 <> n.c0) \
+             ORDER BY c0",
+            &db(),
+            &Limits::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(rows(&r), vec![vec!["c"]]);
+    }
+
+    #[test]
+    fn fromless_select_and_false_where() {
+        let r = run("SELECT '' AS c0 WHERE 1 = 0", &db(), &Limits::UNLIMITED).unwrap();
+        assert!(r.rows.is_empty());
+        let r = run("SELECT 'x' AS c0", &db(), &Limits::UNLIMITED).unwrap();
+        assert_eq!(rows(&r), vec![vec!["x"]]);
+    }
+
+    #[test]
+    fn quoted_literals_resolve_escapes() {
+        let mut db = Database::new();
+        db.create("T", 1).insert(vec!["it's".to_string()]);
+        let r = run(
+            "SELECT t.c0 AS c0 FROM \"T\" t WHERE t.c0 = 'it''s'",
+            &db,
+            &Limits::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_table_and_column_are_semantic_errors() {
+        assert!(matches!(
+            run(
+                "SELECT t.c0 AS c0 FROM \"missing\" t",
+                &db(),
+                &Limits::UNLIMITED
+            ),
+            Err(SqlError::Semantic(_))
+        ));
+        assert!(matches!(
+            run("SELECT t.c9 AS c0 FROM \"N\" t", &db(), &Limits::UNLIMITED),
+            Err(SqlError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn row_limit_trips() {
+        let limits = Limits {
+            max_rows: Some(2),
+            deadline: None,
+        };
+        assert!(matches!(
+            run("SELECT t.c0 AS c0 FROM \"N\" t", &db(), &limits),
+            Err(SqlError::RowLimit(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_semicolon_are_skipped() {
+        let r = run(
+            "-- emitted by a test\nSELECT t.c0 AS c0 FROM \"N\" t ORDER BY 1;",
+            &db(),
+            &Limits::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+}

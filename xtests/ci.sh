@@ -49,6 +49,9 @@ cargo test -q --release -p gomq-engine --test cert_props
 echo "==> cargo test -q --release -p gomq-engine --features chaos --test cert_props (chaos build)"
 cargo test -q --release -p gomq-engine --features chaos --test cert_props
 
+echo "==> cargo test -q --release -p gomq-engine --test sql_crosscheck (native = SQL)"
+cargo test -q --release -p gomq-engine --test sql_crosscheck
+
 echo "==> cargo test -q -p gomq-xtests --test chaos (fixed-seed chaos smoke)"
 cargo test -q -p gomq-xtests --test chaos
 
@@ -63,6 +66,9 @@ E15_TINY=1 cargo bench -p gomq-bench --features gomq-engine/chaos --bench e15_iv
 
 echo "==> E16_TINY=1 cargo bench -p gomq-bench --bench e16_cert (smoke)"
 E16_TINY=1 cargo bench -p gomq-bench --bench e16_cert
+
+echo "==> E17_TINY=1 cargo bench -p gomq-bench --bench e17_sql (smoke)"
+E17_TINY=1 cargo bench -p gomq-bench --bench e17_sql
 
 # gomq-cert round-trip smoke on the committed example families: the
 # company OMQ is answered with a certificate on the request-ABox path
@@ -95,6 +101,56 @@ printf '{"ontology": "%s", "query": "partOf", "abox": "%s", "certificate": true}
     exit 1
 }
 rm -rf "$cert_dir"
+
+# gomq-sql round-trip smoke on the committed example families: the
+# role-free org hierarchy is emitted as SQL and executed in-process
+# (all three individuals are certainly Person), while the role-bearing
+# company ontology compiles to a recursive rewriting and must be
+# refused with the typed non-rewritable-to-sql status — also through
+# the serve path with "backend": "sql".
+echo "==> gomq-sql round-trip smoke (examples/data, release)"
+sql_out="$(target/release/gomq-sql --ontology examples/data/org.dl --query Person \
+    --abox examples/data/org.facts --execute)"
+for needle in 'WITH' '-- requires table "Person"(c0)' '(ada)' '(grace)' '(alan)'; do
+    case "$sql_out" in
+        *"$needle"*) ;;
+        *)
+            echo "gomq-sql org round trip is missing $needle:" >&2
+            echo "$sql_out" >&2
+            exit 1
+            ;;
+    esac
+done
+sql_err="$(mktemp)"
+if target/release/gomq-sql --ontology examples/data/company.dl --query Employee \
+    2>"$sql_err" >/dev/null; then
+    echo "company (role-bearing) should be refused as non-rewritable-to-sql" >&2
+    exit 1
+fi
+grep -q 'non-rewritable-to-sql' "$sql_err" || {
+    echo "company refusal is not typed:" >&2
+    cat "$sql_err" >&2
+    exit 1
+}
+rm -f "$sql_err"
+sql_onto="$(json_escape_file examples/data/company.dl)"
+sql_facts="$(json_escape_file examples/data/company.facts)"
+printf '{"ontology": "%s", "query": "Employee", "abox": "%s", "backend": "sql"}\n' \
+    "$sql_onto" "$sql_facts" \
+    | target/release/gomq-serve 2>/dev/null \
+    | grep -q '"status": "non-rewritable-to-sql"' || {
+    echo "serve should refuse the company OMQ on the SQL backend" >&2
+    exit 1
+}
+sql_onto="$(json_escape_file examples/data/org.dl)"
+sql_facts="$(json_escape_file examples/data/org.facts)"
+printf '{"ontology": "%s", "query": "Person", "abox": "%s", "backend": "sql"}\n' \
+    "$sql_onto" "$sql_facts" \
+    | target/release/gomq-serve --backend sql 2>/dev/null \
+    | grep -q '"backend": "sql".*"ada".*"grace".*"alan"' || {
+    echo "serve should answer the org OMQ on the SQL backend" >&2
+    exit 1
+}
 
 # Release-mode TCP smoke: an ephemeral-port listener driven by
 # gomq-bench for ~2s at low rate. The bench exits nonzero on any lost
