@@ -32,6 +32,14 @@ pub const SNAPSHOT_WRITE: &str = "snapshot.write";
 /// Seam at the entry of an incremental-view maintenance apply (panic
 /// faults — exercises the registry's drop-view-on-panic fence).
 pub const IVM_APPLY: &str = "ivm.apply";
+/// Seam in the primary's replication sender, before a frame is shipped
+/// to a replica (I/O error faults — the connection drops and the
+/// replica must reconnect and resume from its applied position).
+pub const REPL_SHIP: &str = "repl.ship";
+/// Seam in a replica's apply loop, before a shipped record is journaled
+/// locally (I/O error faults — the replica drops the feed and
+/// reconnects; the unapplied record must be re-shipped, never lost).
+pub const REPL_APPLY: &str = "repl.apply";
 
 /// One injectable fault kind.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,8 +101,10 @@ impl FaultPlan {
 
     /// The standard chaos mix used by `gomq-serve --chaos-seed` and the
     /// CI smoke: occasional eval panics and delays, short WAL writes,
-    /// fsync failures, compile panics, a generous arena alloc cap and
-    /// occasional view-maintenance panics.
+    /// fsync failures, compile panics, a generous arena alloc cap,
+    /// occasional view-maintenance panics, and replication stream drops
+    /// on both the shipping and applying side (exercising reconnect and
+    /// resume-from-position).
     pub fn standard(seed: u64) -> Self {
         FaultPlan::new(seed)
             .rule(EVAL_ROUND, FaultKind::Panic, 17)
@@ -104,6 +114,8 @@ impl FaultPlan {
             .rule(CACHE_COMPILE, FaultKind::Panic, 13)
             .rule(STORE_INTERN, FaultKind::AllocCap(1 << 22), 1)
             .rule(IVM_APPLY, FaultKind::Panic, 19)
+            .rule(REPL_SHIP, FaultKind::IoError, 31)
+            .rule(REPL_APPLY, FaultKind::IoError, 37)
     }
 }
 

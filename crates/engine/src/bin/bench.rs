@@ -30,10 +30,15 @@ const USAGE: &str = "gomq-bench — open-loop JSONL load generator for gomq-serv
 
 Usage: gomq-bench --addr ADDR [--rate N] [--duration-ms N] [--conns LIST]
                   [--session-frac-pct N] [--assert-frac-pct N] [--seed N]
-                  [--out FILE]
+                  [--target primary|replica] [--out FILE]
        gomq-bench --validate FILE
 
   --addr ADDR          the gomq-serve listener, e.g. 127.0.0.1:7401
+  --target KIND        what the address points at (default primary). With
+                       \"replica\" the session slice of the workload is all
+                       \"session\": true queries — a read replica refuses
+                       asserts — and every scenario in the report carries a
+                       \"target\" label
   --rate N             offered load in requests/second, spread across the
                        connections (default 200)
   --duration-ms N      length of each scenario in milliseconds (default 2000)
@@ -110,10 +115,15 @@ fn gen_request(
     seq: usize,
     session_frac_pct: u64,
     assert_frac_pct: u64,
+    replica: bool,
 ) -> String {
     let id = format!("c{conn}-{seq}");
     if rng.below(100) < session_frac_pct {
-        if rng.below(100) < assert_frac_pct {
+        // A read replica refuses writes, so against a replica the whole
+        // session slice turns into "session": true queries. The assert
+        // draw still happens, keeping the RNG stream aligned with a
+        // primary-targeted run of the same seed.
+        if rng.below(100) < assert_frac_pct && !replica {
             let k = rng.below(50);
             format!(r#"{{"id": "{id}", "op": "assert", "abox": "Manager(m{k})\nStaff(s{k})"}}"#)
         } else {
@@ -178,6 +188,7 @@ struct ConnPlan {
     seed: u64,
     session_frac_pct: u64,
     assert_frac_pct: u64,
+    replica: bool,
 }
 
 /// Runs one connection's slice of the open-loop schedule.
@@ -191,6 +202,7 @@ fn run_connection(addr: &str, plan: ConnPlan) -> ConnResult {
         seed,
         session_frac_pct,
         assert_frac_pct,
+        replica,
     } = plan;
     let stream = match TcpStream::connect(addr) {
         Ok(s) => s,
@@ -228,7 +240,14 @@ fn run_connection(addr: &str, plan: ConnPlan) -> ConnResult {
         if let Some(wait) = at.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        let line = gen_request(&mut rng, conn, seq, session_frac_pct, assert_frac_pct);
+        let line = gen_request(
+            &mut rng,
+            conn,
+            seq,
+            session_frac_pct,
+            assert_frac_pct,
+            replica,
+        );
         if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| {
             writer.write_all(b"\n")?;
             writer.flush()
@@ -269,6 +288,7 @@ fn run_connection(addr: &str, plan: ConnPlan) -> ConnResult {
 
 /// One concurrency level's aggregated outcome.
 struct Scenario {
+    target: &'static str,
     conns: usize,
     offered: usize,
     sent: u64,
@@ -281,17 +301,20 @@ struct Scenario {
     errors: Vec<String>,
 }
 
-fn run_scenario(
-    addr: &str,
-    conns: usize,
+/// The workload knobs shared by every scenario of a run.
+#[derive(Clone, Copy)]
+struct Workload {
     rate: u64,
     duration_ms: u64,
     seed: u64,
     session_frac_pct: u64,
     assert_frac_pct: u64,
-) -> Scenario {
-    let total = ((rate * duration_ms) / 1000).max(conns as u64) as usize;
-    let interval = Duration::from_secs_f64(1.0 / rate as f64);
+    target: &'static str,
+}
+
+fn run_scenario(addr: &str, conns: usize, w: Workload) -> Scenario {
+    let total = ((w.rate * w.duration_ms) / 1000).max(conns as u64) as usize;
+    let interval = Duration::from_secs_f64(1.0 / w.rate as f64);
     let start = Instant::now();
     let workers: Vec<_> = (0..conns)
         .map(|c| {
@@ -302,14 +325,16 @@ fn run_scenario(
                 conn: c,
                 conns,
                 total,
-                seed,
-                session_frac_pct,
-                assert_frac_pct,
+                seed: w.seed,
+                session_frac_pct: w.session_frac_pct,
+                assert_frac_pct: w.assert_frac_pct,
+                replica: w.target == "replica",
             };
             std::thread::spawn(move || run_connection(&addr, plan))
         })
         .collect();
     let mut scenario = Scenario {
+        target: w.target,
         conns,
         offered: total,
         sent: 0,
@@ -360,9 +385,9 @@ fn scenario_json(s: &Scenario) -> String {
     let mut out = String::new();
     out.push_str("    {");
     out.push_str(&format!(
-        "\"conns\": {}, \"offered\": {}, \"sent\": {}, \"received\": {}, \
-         \"lost\": {}, \"malformed\": {}, ",
-        s.conns, s.offered, s.sent, s.received, s.lost, s.malformed
+        "\"target\": \"{}\", \"conns\": {}, \"offered\": {}, \"sent\": {}, \
+         \"received\": {}, \"lost\": {}, \"malformed\": {}, ",
+        s.target, s.conns, s.offered, s.sent, s.received, s.lost, s.malformed
     ));
     out.push_str("\"statuses\": {");
     for (i, (status, n)) in s.statuses.iter().enumerate() {
@@ -391,22 +416,16 @@ fn scenario_json(s: &Scenario) -> String {
     out
 }
 
-fn report_json(
-    addr: &str,
-    rate: u64,
-    duration_ms: u64,
-    seed: u64,
-    session_frac_pct: u64,
-    assert_frac_pct: u64,
-    scenarios: &[Scenario],
-) -> String {
+fn report_json(addr: &str, w: Workload, scenarios: &[Scenario]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"gomq-serve\",\n  \"addr\": ");
     json::write_str(&mut out, addr);
     out.push_str(&format!(
-        ",\n  \"rate_hz\": {rate},\n  \"duration_ms\": {duration_ms},\n  \
-         \"seed\": {seed},\n  \"session_frac_pct\": {session_frac_pct},\n  \
-         \"assert_frac_pct\": {assert_frac_pct},\n  \"scenarios\": [\n"
+        ",\n  \"target\": \"{}\",\n  \
+         \"rate_hz\": {},\n  \"duration_ms\": {},\n  \
+         \"seed\": {},\n  \"session_frac_pct\": {},\n  \
+         \"assert_frac_pct\": {},\n  \"scenarios\": [\n",
+        w.target, w.rate, w.duration_ms, w.seed, w.session_frac_pct, w.assert_frac_pct
     ));
     for (i, s) in scenarios.iter().enumerate() {
         out.push_str(&scenario_json(s));
@@ -470,6 +489,12 @@ fn validate(path: &str) -> ! {
         }
         num(s, "throughput_rps");
         num(s, "conns");
+        if let Some(target) = s.get("target") {
+            match target.as_str() {
+                Some("primary" | "replica") => {}
+                _ => fail("scenario \"target\" must be \"primary\" or \"replica\"".into()),
+            }
+        }
     }
     eprintln!(
         "gomq-bench: {path}: valid report, {} scenario(s)",
@@ -486,6 +511,7 @@ fn main() {
     let mut session_frac_pct = 25u64;
     let mut assert_frac_pct = 70u64;
     let mut seed = 42u64;
+    let mut target: &'static str = "primary";
     let mut out_path = "BENCH_serve.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -538,6 +564,15 @@ fn main() {
                 n => assert_frac_pct = n,
             },
             "--seed" => seed = numeric(&mut args, "--seed"),
+            "--target" => {
+                target = match args.next().as_deref() {
+                    Some("primary") => "primary",
+                    Some("replica") => "replica",
+                    other => usage_error(&format!(
+                        "--target must be primary or replica, got {other:?}"
+                    )),
+                };
+            }
             "--out" => {
                 let Some(path) = args.next() else {
                     usage_error("--out needs a file path");
@@ -554,22 +589,23 @@ fn main() {
         usage_error("--addr is required (the gomq-serve --listen address)");
     };
 
+    let workload = Workload {
+        rate,
+        duration_ms,
+        seed,
+        session_frac_pct,
+        assert_frac_pct,
+        target,
+    };
     let mut scenarios = Vec::new();
     let mut failures = 0u64;
     for &conns in &conns_list {
         eprintln!(
-            "gomq-bench: {addr}: {conns} conn(s), {rate} req/s offered for {duration_ms} ms \
-             (seed {seed}, {session_frac_pct}% session traffic, {assert_frac_pct}% of it asserts)"
+            "gomq-bench: {addr} ({target}): {conns} conn(s), {rate} req/s offered for \
+             {duration_ms} ms (seed {seed}, {session_frac_pct}% session traffic, \
+             {assert_frac_pct}% of it asserts)"
         );
-        let s = run_scenario(
-            &addr,
-            conns,
-            rate,
-            duration_ms,
-            seed,
-            session_frac_pct,
-            assert_frac_pct,
-        );
+        let s = run_scenario(&addr, conns, workload);
         let l = &s.latencies_us;
         eprintln!(
             "gomq-bench:   sent {} received {} lost {} malformed {} | p50 {}us p99 {}us \
@@ -589,15 +625,7 @@ fn main() {
         failures += s.lost + s.malformed + s.errors.len() as u64;
         scenarios.push(s);
     }
-    let report = report_json(
-        &addr,
-        rate,
-        duration_ms,
-        seed,
-        session_frac_pct,
-        assert_frac_pct,
-        &scenarios,
-    );
+    let report = report_json(&addr, workload, &scenarios);
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("gomq-bench: cannot write {out_path}: {e}");
         std::process::exit(1);

@@ -38,6 +38,9 @@ Usage: gomq-serve [--threads N] [--cache N] [--max-rounds N]
                   [--listen ADDR] [--workers N] [--queue-depth N]
                   [--max-conns N] [--max-conns-per-ip N]
                   [--idle-timeout-ms N] [--drain-timeout-ms N]
+                  [--replicate-to ADDR | --follow ADDR]
+                  [--promote-on-disconnect] [--max-staleness-lsn N]
+                  [--epoch N]
 
   --threads N          worker threads for evaluation (default: all cores;
                        0 also means all cores, with a warning)
@@ -94,6 +97,31 @@ TCP mode (the flags below require --listen):
                        connections to finish before abandoning them
                        (default 5000)
 
+Replication (requires --listen and --data-dir):
+  --replicate-to ADDR  primary: accept replica connections on ADDR and
+                       ship every journaled WAL frame (port 0 binds an
+                       ephemeral port, printed to stderr as
+                       \"replication listening on <addr>\"). Drain
+                       waits for replicas to acknowledge before exit
+  --follow ADDR        follower: bootstrap from the primary's
+                       replication listener at ADDR (snapshot if
+                       behind, then tail the log), serve reads locally,
+                       and refuse writes with \"status\": \"read-only\".
+                       {\"op\": \"promote\"} promotes this node: it
+                       stamps the next epoch into its WAL and fences
+                       the old primary
+  --promote-on-disconnect
+                       with --follow: promote automatically once the
+                       primary has been unreachable past the reconnect
+                       window (8 x 125ms)
+  --max-staleness-lsn N
+                       with --follow: refuse session reads lagging more
+                       than N lsns behind the primary with \"status\":
+                       \"stale\" (default: serve at any lag; the lag is
+                       always reported as \"staleness\")
+  --epoch N            start with epoch floor N (operator override for
+                       resurrecting a node at a known fencing point)
+
 Each request line is a JSON object:
   {\"ontology\": \"<dl axioms>\", \"query\": \"<relation>\", \"abox\": \"<facts>\"}
 with optional \"id\", optional \"limits\" ({\"max_rounds\", \"max_derived\",
@@ -132,6 +160,10 @@ fn main() {
     let mut max_views_flag: Option<u64> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut listen: Option<String> = None;
+    let mut replicate_to: Option<String> = None;
+    let mut follow: Option<String> = None;
+    let mut promote_on_disconnect = false;
+    let mut epoch_floor: Option<u64> = None;
     let mut net = NetConfig::default();
     // Flags that only make sense with --listen, remembered for the
     // "--workers requires --listen" usage error.
@@ -240,6 +272,23 @@ fn main() {
                 net_flag = Some("--drain-timeout-ms");
                 net.drain_timeout = Duration::from_millis(numeric(&mut args, "--drain-timeout-ms"));
             }
+            "--replicate-to" => {
+                let Some(addr) = args.next() else {
+                    usage_error("--replicate-to needs an address, e.g. 127.0.0.1:7402");
+                };
+                replicate_to = Some(addr);
+            }
+            "--follow" => {
+                let Some(addr) = args.next() else {
+                    usage_error("--follow needs the primary's replication address");
+                };
+                follow = Some(addr);
+            }
+            "--promote-on-disconnect" => promote_on_disconnect = true,
+            "--max-staleness-lsn" => {
+                config.max_staleness_lsn = Some(numeric(&mut args, "--max-staleness-lsn"))
+            }
+            "--epoch" => epoch_floor = Some(numeric(&mut args, "--epoch")),
             other => {
                 eprintln!("unknown argument: {other}\n\n{USAGE}");
                 std::process::exit(2);
@@ -250,6 +299,27 @@ fn main() {
         if let Some(flag) = net_flag {
             usage_error(&format!("{flag} requires --listen"));
         }
+        if replicate_to.is_some() {
+            usage_error("--replicate-to requires --listen");
+        }
+        if follow.is_some() {
+            usage_error("--follow requires --listen");
+        }
+    }
+    if replicate_to.is_some() && follow.is_some() {
+        usage_error("--replicate-to and --follow are mutually exclusive (one role per node)");
+    }
+    if (replicate_to.is_some() || follow.is_some()) && config.data_dir.is_none() {
+        usage_error("replication ships the WAL: --replicate-to/--follow require --data-dir");
+    }
+    if promote_on_disconnect && follow.is_none() {
+        usage_error("--promote-on-disconnect requires --follow");
+    }
+    if config.max_staleness_lsn.is_some() && follow.is_none() {
+        usage_error("--max-staleness-lsn requires --follow");
+    }
+    if epoch_floor.is_some() && replicate_to.is_none() && follow.is_none() {
+        usage_error("--epoch requires --replicate-to or --follow");
     }
     match resolve_view_flags(views_flag, max_views_flag) {
         Ok(n) => config.max_views = n,
@@ -261,6 +331,22 @@ fn main() {
             eprintln!("gomq-serve: chaos plan installed (seed {seed})");
         } else {
             eprintln!("gomq-serve: --chaos-seed ignored (built without the chaos feature)");
+        }
+    }
+    // Follower bootstrap runs before the session opens: if the local
+    // log is behind the primary's retained window, the shipped snapshot
+    // replaces the data directory's contents and recovery below starts
+    // from it ("copy immutable objects, then flip HEAD").
+    if let Some(addr) = &follow {
+        let dir = config.data_dir.clone().expect("validated above");
+        match gomq_engine::repl::bootstrap_follower(&dir, addr) {
+            Ok((lsn, epoch)) => {
+                eprintln!("gomq-serve: follower bootstrapped at lsn {lsn} (epoch {epoch})")
+            }
+            Err(e) => {
+                eprintln!("gomq-serve: cannot bootstrap from {addr}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     let (shared, recovery) = match ServeShared::try_with_config(config) {
@@ -285,16 +371,32 @@ fn main() {
         );
     }
     let shared = Arc::new(shared);
+    if let Some(epoch) = epoch_floor {
+        gomq_engine::repl::force_epoch(&shared, epoch);
+        eprintln!("gomq-serve: epoch floor forced to {epoch}");
+    }
+    let repl = ReplOptions {
+        replicate_to,
+        follow,
+        promote_on_disconnect,
+    };
     match listen {
-        Some(addr) => serve_tcp(&addr, shared.clone(), net),
+        Some(addr) => serve_tcp(&addr, shared.clone(), net, repl),
         None => serve_stdin(shared.clone()),
     }
     print_summary(&shared);
 }
 
+/// Replication role flags forwarded into TCP mode.
+struct ReplOptions {
+    replicate_to: Option<String>,
+    follow: Option<String>,
+    promote_on_disconnect: bool,
+}
+
 /// TCP mode: accept loop + worker pool until SIGTERM/SIGINT, then a
 /// graceful drain (finish in-flight, fsync WAL, final snapshot).
-fn serve_tcp(addr: &str, shared: Arc<ServeShared>, net: NetConfig) {
+fn serve_tcp(addr: &str, shared: Arc<ServeShared>, net: NetConfig, repl: ReplOptions) {
     let drain = match DrainToken::with_signals() {
         Ok(token) => token,
         Err(e) => {
@@ -310,6 +412,26 @@ fn serve_tcp(addr: &str, shared: Arc<ServeShared>, net: NetConfig) {
         }
     };
     eprintln!("gomq-serve: listening on {}", server.local_addr());
+    if let Some(repl_addr) = &repl.replicate_to {
+        match gomq_engine::repl::start_primary(&shared, repl_addr, drain.clone()) {
+            Ok(bound) => eprintln!("gomq-serve: replication listening on {bound}"),
+            Err(e) => {
+                eprintln!("gomq-serve: cannot listen for replicas on {repl_addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(primary) = &repl.follow {
+        gomq_engine::repl::start_follower(
+            &shared,
+            gomq_engine::repl::FollowConfig {
+                addr: primary.clone(),
+                promote_on_disconnect: repl.promote_on_disconnect,
+            },
+            drain.clone(),
+        );
+        eprintln!("gomq-serve: following {primary}");
+    }
     match server.serve(shared, net, drain) {
         Ok(report) => {
             eprintln!(
@@ -370,7 +492,10 @@ fn print_summary(shared: &ServeShared) {
          ({} breakers tripped), {} faults injected, {} conns accepted \
          ({} refused), {} queue rejects, {} drains, {} maintained hits, \
          {} views active ({} evicted), {} certificates ({} bytes), \
-         {} SQL answers, {} SQL refusals",
+         {} SQL answers, {} SQL refusals, {} repl frames shipped \
+         ({} bytes, {} snapshots), {} repl records applied, \
+         {} reconnects, {} promotions, {} write refusals ({} stale), \
+         lag {}",
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
@@ -400,5 +525,14 @@ fn print_summary(shared: &ServeShared) {
         stats.cert_bytes,
         stats.sql_compiles,
         stats.sql_refusals,
+        stats.repl_frames_shipped,
+        stats.repl_bytes_shipped,
+        stats.repl_snapshots_shipped,
+        stats.repl_records_applied,
+        stats.repl_reconnects,
+        stats.repl_promotions,
+        stats.repl_write_refusals,
+        stats.repl_stale_refusals,
+        stats.repl_lag_lsn,
     );
 }

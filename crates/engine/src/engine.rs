@@ -564,6 +564,63 @@ impl Engine {
         stats.ivm_rederived = stats.ivm_rederived.saturating_add(rederived);
     }
 
+    /// Records record frames shipped to a replica (primary side).
+    pub fn record_repl_ship(&self, frames: u64, bytes: u64) {
+        let mut stats = lock_recover(&self.stats);
+        stats.repl_frames_shipped = stats.repl_frames_shipped.saturating_add(frames);
+        stats.repl_bytes_shipped = stats.repl_bytes_shipped.saturating_add(bytes);
+    }
+
+    /// Records one bootstrap snapshot shipped to a replica.
+    pub fn record_repl_snapshot_shipped(&self, bytes: u64) {
+        let mut stats = lock_recover(&self.stats);
+        stats.repl_snapshots_shipped = stats.repl_snapshots_shipped.saturating_add(1);
+        stats.repl_bytes_shipped = stats.repl_bytes_shipped.saturating_add(bytes);
+    }
+
+    /// Records one replicated record processed by a follower: `fresh`
+    /// is 1 unless the record was a duplicate re-shipped after a
+    /// reconnect; `lag` samples the lsn gap behind the primary.
+    pub fn record_repl_apply(&self, fresh: u64, bytes: u64, lag: u64) {
+        let mut stats = lock_recover(&self.stats);
+        stats.repl_records_applied = stats.repl_records_applied.saturating_add(fresh);
+        stats.repl_bytes_applied = stats.repl_bytes_applied.saturating_add(bytes);
+        stats.repl_lag_lsn = lag;
+    }
+
+    /// Samples the follower's lsn lag behind the primary (gauge).
+    pub fn record_repl_lag(&self, lag: u64) {
+        lock_recover(&self.stats).repl_lag_lsn = lag;
+    }
+
+    /// Records one follower reconnect attempt after a dropped primary
+    /// connection.
+    pub fn record_repl_reconnect(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.repl_reconnects = stats.repl_reconnects.saturating_add(1);
+    }
+
+    /// Records one promotion to primary.
+    pub fn record_repl_promotion(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.repl_promotions = stats.repl_promotions.saturating_add(1);
+    }
+
+    /// Records one write refused for replication-role reasons
+    /// (`"read-only"` on a follower, `"fenced"` on a superseded
+    /// primary).
+    pub fn record_repl_write_refusal(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.repl_write_refusals = stats.repl_write_refusals.saturating_add(1);
+    }
+
+    /// Records one replica read refused for exceeding the staleness
+    /// bound.
+    pub fn record_repl_stale_refusal(&self) {
+        let mut stats = lock_recover(&self.stats);
+        stats.repl_stale_refusals = stats.repl_stale_refusals.saturating_add(1);
+    }
+
     /// Records what startup recovery rebuilt from the data directory.
     pub fn record_recovery(&self, info: &crate::session::RecoveryInfo) {
         let mut stats = lock_recover(&self.stats);

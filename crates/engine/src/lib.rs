@@ -42,6 +42,13 @@
 //!   `"overloaded"` refusals), connection caps, idle timeouts, and
 //!   graceful drain on SIGTERM ([`DrainToken`]): in-flight requests
 //!   finish, the WAL is fsynced and a final snapshot cut.
+//! * [`repl`] — primary/replica replication (`gomq-serve
+//!   --replicate-to` / `--follow`): the primary ships checksummed WAL
+//!   frames (snapshot bootstrap for replicas behind the retained log),
+//!   replicas serve session reads with a per-request `"staleness"` lsn
+//!   lag bounded by `--max-staleness-lsn`, and failover promotes a
+//!   replica via a `promote` op or `--promote-on-disconnect`, stamping
+//!   an epoch into the WAL that fences the old primary.
 //!
 //! The executor is answer-equivalent to the reference
 //! [`gomq_datalog::Program::eval`]; `tests/engine_props.rs` checks this
@@ -60,6 +67,7 @@ pub mod faults;
 pub mod json;
 pub mod net;
 pub mod plan;
+pub mod repl;
 pub mod serve;
 pub mod session;
 pub mod stats;
@@ -77,6 +85,7 @@ pub use exec::{
 pub use gomq_datalog::{Budget, BudgetExceeded, LimitKind};
 pub use net::{NetConfig, NetReport, NetServer};
 pub use plan::{EngineError, OmqPlan};
+pub use repl::{FollowConfig, ReplContext, ReplHub, ReplServer, Role};
 pub use serve::{
     handle_connection, read_line_capped, resolve_view_flags, CappedLineReader, ConnClose,
     ConnControl, ConnOutcome, Limits, LineRead, ServeConfig, ServeSession, ServeShared,

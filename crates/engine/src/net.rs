@@ -264,8 +264,13 @@ impl ConnTable {
     fn release(&self, ip: IpAddr) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.active = inner.active.saturating_sub(1);
+        // Zero-count entries are dropped, not kept: the map must not
+        // accumulate an entry per IP ever seen for the life of the
+        // process. The decrement saturates for the same reason the
+        // active count does — an unpaired release (a bug upstream)
+        // must skew accounting, never panic the accept loop.
         if let Some(n) = inner.per_ip.get_mut(&ip) {
-            *n -= 1;
+            *n = n.saturating_sub(1);
             if *n == 0 {
                 inner.per_ip.remove(&ip);
             }
@@ -273,6 +278,16 @@ impl ConnTable {
         if inner.active == 0 {
             self.emptied.notify_all();
         }
+    }
+
+    /// Per-IP map entries currently tracked (tests: pruning invariant).
+    #[cfg(test)]
+    fn tracked_ips(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .per_ip
+            .len()
     }
 
     /// Waits until no connection is active; `false` on timeout.
@@ -561,6 +576,51 @@ mod tests {
     use super::*;
     use crate::serve::ServeConfig;
     use std::io::{BufRead, Write};
+
+    #[test]
+    fn conn_table_prunes_departed_ips() {
+        let table = ConnTable::default();
+        let config = NetConfig::default();
+        let ips: Vec<IpAddr> = (0..16u8)
+            .map(|i| IpAddr::from([127, 0, 0, i + 1]))
+            .collect();
+        for ip in &ips {
+            assert!(table.try_admit(*ip, &config));
+            assert!(table.try_admit(*ip, &config));
+        }
+        assert_eq!(table.tracked_ips(), ips.len());
+        // One of two connections per IP closes: entries must survive.
+        for ip in &ips {
+            table.release(*ip);
+        }
+        assert_eq!(table.tracked_ips(), ips.len());
+        // The last connection per IP closes: the entry must go with it,
+        // not accumulate for the life of the process.
+        for ip in &ips {
+            table.release(*ip);
+        }
+        assert_eq!(table.tracked_ips(), 0);
+        assert!(table.wait_empty(Duration::from_millis(10)));
+        // A departed IP admits again from a clean slate.
+        assert!(table.try_admit(ips[0], &config));
+        assert_eq!(table.tracked_ips(), 1);
+        table.release(ips[0]);
+        assert_eq!(table.tracked_ips(), 0);
+    }
+
+    #[test]
+    fn conn_table_release_tolerates_unpaired_calls() {
+        let table = ConnTable::default();
+        let config = NetConfig::default();
+        let ip = IpAddr::from([127, 0, 0, 1]);
+        assert!(table.try_admit(ip, &config));
+        table.release(ip);
+        // An unpaired release (upstream bug) must not panic or
+        // resurrect the entry.
+        table.release(ip);
+        assert_eq!(table.tracked_ips(), 0);
+        assert!(table.try_admit(ip, &config));
+    }
 
     fn start_server(
         config: NetConfig,

@@ -171,6 +171,11 @@ pub struct ServeConfig {
     /// `"backend"` field ([`Backend::Native`] unless `gomq-serve
     /// --backend sql` says otherwise).
     pub default_backend: Backend,
+    /// Follower staleness bound: replica session queries whose lsn lag
+    /// behind the primary exceeds this are refused with `"status":
+    /// "stale"`. `None` serves at any lag (the lag is still reported in
+    /// the per-request `"staleness"` field).
+    pub max_staleness_lsn: Option<u64>,
 }
 
 /// Default request-line cap: 16 MiB.
@@ -221,6 +226,7 @@ impl Default for ServeConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             max_views: DEFAULT_MAX_VIEWS,
             default_backend: Backend::default(),
+            max_staleness_lsn: None,
         }
     }
 }
@@ -245,6 +251,7 @@ pub struct ServeShared {
     limits: Limits,
     max_line_bytes: usize,
     default_backend: Backend,
+    repl: crate::repl::ReplContext,
 }
 
 impl ServeShared {
@@ -282,6 +289,11 @@ impl ServeShared {
             None => (DurableSession::in_memory(), None),
         };
         session.set_view_capacity(config.max_views);
+        let repl = crate::repl::ReplContext::default();
+        if let Some(bound) = config.max_staleness_lsn {
+            repl.set_max_staleness(bound);
+        }
+        repl.observe_epoch(session.repl_epoch());
         Ok((
             ServeShared {
                 engine,
@@ -291,6 +303,7 @@ impl ServeShared {
                 limits: config.limits,
                 max_line_bytes: config.max_line_bytes,
                 default_backend: config.default_backend,
+                repl,
             },
             recovery,
         ))
@@ -307,12 +320,29 @@ impl ServeShared {
             limits,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             default_backend: Backend::default(),
+            repl: crate::repl::ReplContext::default(),
         }
     }
 
     /// The underlying engine (for statistics inspection).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Replication state: role, observed epoch, staleness bound.
+    pub fn repl(&self) -> &crate::repl::ReplContext {
+        &self.repl
+    }
+
+    /// The session mutex, poison-recovered (replication internals; the
+    /// `session → vocab` nesting order applies here too).
+    pub(crate) fn session_lock(&self) -> std::sync::MutexGuard<'_, DurableSession> {
+        lock_recover(&self.session)
+    }
+
+    /// The vocabulary mutex, poison-recovered (replication internals).
+    pub(crate) fn vocab_lock(&self) -> std::sync::MutexGuard<'_, Vocab> {
+        lock_recover(&self.vocab)
     }
 
     /// The configured request-line byte cap.
@@ -327,6 +357,15 @@ impl ServeShared {
     /// the snapshot, when one was cut) in the engine totals.
     pub fn drain_persist(&self) -> Result<bool, SessionError> {
         self.engine.record_drain();
+        // Primary drain flushes to replicas first: every journaled frame
+        // must be acknowledged by every connected replica (bounded wait)
+        // before the process lets go, so a drain-then-promote loses
+        // nothing.
+        if let Some(hub) = self.repl.hub() {
+            if !hub.wait_replicated(std::time::Duration::from_secs(5)) {
+                eprintln!("gomq-serve: repl: drain proceeding with unacknowledged replica frames");
+            }
+        }
         let result = {
             let mut session = lock_recover(&self.session);
             if !session.is_durable() {
@@ -544,8 +583,9 @@ impl ServeSession {
                 Some("assert") => self.run_assert(obj, id),
                 Some("mark") => self.run_mark(id),
                 Some("rollback") => self.run_rollback(obj, id),
+                Some("promote") => self.run_promote(id),
                 Some(other) => Err(EngineError::BadRequest(format!(
-                    "unknown op \"{other}\" (expected query, assert, mark, rollback)"
+                    "unknown op \"{other}\" (expected query, assert, mark, rollback, promote)"
                 ))),
                 None => Err(EngineError::BadRequest("\"op\" must be a string".into())),
             },
@@ -797,6 +837,42 @@ impl ServeSession {
         if let Some(n) = engine.quarantine_reject(plan.key) {
             return Err(EngineError::Quarantined(n));
         }
+        // Replica reads carry their lsn lag behind the primary's head
+        // (`"staleness"`), and lag past the `--max-staleness-lsn` bound
+        // is refused with a typed `"stale"` status before any view is
+        // checked out.
+        let staleness = match self.shared.repl().role() {
+            crate::repl::Role::Follower => Some(
+                self.shared
+                    .repl()
+                    .primary_lsn()
+                    .saturating_sub(lock_recover(&self.shared.session).position().0),
+            ),
+            _ => None,
+        };
+        if let Some(lag) = staleness {
+            let bound = self.shared.repl().max_staleness();
+            if lag > bound {
+                engine.record_repl_stale_refusal();
+                let mut out = String::from("{");
+                if let Some(id) = id {
+                    out.push_str("\"id\": ");
+                    json::write_str(&mut out, id);
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "\"status\": \"stale\", \"staleness\": {lag}, \"max_staleness\": {bound}, "
+                );
+                out.push_str("\"error\": ");
+                json::write_str(
+                    &mut out,
+                    "replica lag exceeds --max-staleness-lsn; retry on the primary or relax the bound",
+                );
+                out.push('}');
+                return Ok(out);
+            }
+        }
         // Check the view out (and snapshot the store) under one lock
         // hold; evaluation runs lock-free on the snapshot. The epoch is
         // remembered so a rollback racing this request invalidates the
@@ -954,6 +1030,10 @@ impl ServeSession {
                 std::panic::resume_unwind(panic)
             }
         };
+        let mut payload = payload;
+        if let Some(lag) = staleness {
+            let _ = write!(payload, ", \"staleness\": {lag}");
+        }
         Ok(self.query_response(
             id,
             plan,
@@ -1066,6 +1146,68 @@ impl ServeSession {
         out
     }
 
+    /// Refuses a write on a node that is not writable: followers answer
+    /// a typed `"read-only"` status, fenced ex-primaries a typed
+    /// `"fenced"` status carrying the superseding epoch. Returns `None`
+    /// when writes are allowed (single-node or primary role).
+    fn refuse_write(&self, id: Option<&str>, op: &str) -> Option<String> {
+        use crate::repl::Role;
+        let ctx = self.shared.repl();
+        let role = ctx.role();
+        let (status, detail) = match role {
+            Role::Single | Role::Primary => return None,
+            Role::Follower => (
+                "read-only",
+                "this node is a read replica; send writes to the primary".to_owned(),
+            ),
+            Role::Fenced => (
+                "fenced",
+                format!(
+                    "this node was superseded at epoch {}; it no longer accepts writes",
+                    ctx.epoch()
+                ),
+            ),
+        };
+        self.shared.engine.record_repl_write_refusal();
+        let mut out = String::from("{");
+        if let Some(id) = id {
+            out.push_str("\"id\": ");
+            json::write_str(&mut out, id);
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"status\": \"{status}\", \"op\": \"{op}\", ");
+        if role == Role::Fenced {
+            let _ = write!(out, "\"epoch\": {}, ", ctx.epoch());
+        }
+        out.push_str("\"error\": ");
+        json::write_str(&mut out, &detail);
+        out.push('}');
+        Some(out)
+    }
+
+    /// Handles `{"op": "promote"}`: a follower stamps the next epoch
+    /// into its own WAL, becomes the primary, and keeps fencing its old
+    /// primary's replication address from here on.
+    fn run_promote(&mut self, id: Option<&str>) -> Result<String, EngineError> {
+        use crate::repl::Role;
+        match self.shared.repl().role() {
+            Role::Follower => {}
+            r => {
+                return Err(EngineError::BadRequest(format!(
+                    "\"promote\" requires a follower (this node is {})",
+                    r.name()
+                )))
+            }
+        }
+        let (epoch, lsn) = crate::repl::promote(&self.shared, "operator promote op")
+            .map_err(|e| EngineError::Internal(format!("promotion: {e}")))?;
+        let mut out = self.mutation_head(id, "promote");
+        let _ = write!(out, "\"epoch\": {epoch}, \"lsn\": {lsn}");
+        self.engine_block(&mut out);
+        out.push('}');
+        Ok(out)
+    }
+
     /// Handles `{"op": "assert", "abox": "..."}`: journal the batch to
     /// the WAL (when durable), apply it to the session store, and
     /// snapshot if the policy says so.
@@ -1074,6 +1216,9 @@ impl ServeSession {
         obj: &std::collections::BTreeMap<String, Json>,
         id: Option<&str>,
     ) -> Result<String, EngineError> {
+        if let Some(refusal) = self.refuse_write(id, "assert") {
+            return Ok(refusal);
+        }
         let text = obj
             .get("abox")
             .and_then(Json::as_str)
@@ -1117,6 +1262,9 @@ impl ServeSession {
 
     /// Handles `{"op": "mark"}`.
     fn run_mark(&mut self, id: Option<&str>) -> Result<String, EngineError> {
+        if let Some(refusal) = self.refuse_write(id, "mark") {
+            return Ok(refusal);
+        }
         let (mark, info, snapshotted) = {
             let mut session = lock_recover(&self.shared.session);
             let (mark, info) = session.mark()?;
@@ -1140,6 +1288,9 @@ impl ServeSession {
         obj: &std::collections::BTreeMap<String, Json>,
         id: Option<&str>,
     ) -> Result<String, EngineError> {
+        if let Some(refusal) = self.refuse_write(id, "rollback") {
+            return Ok(refusal);
+        }
         let mark = match obj.get("mark") {
             Some(Json::Num(n)) if *n >= 0.0 && n.is_finite() => *n as u64,
             _ => {
@@ -1234,7 +1385,12 @@ impl ServeSession {
              \"queue_rejects\": {}, \"drains\": {}, \"ivm_maintained_hits\": {}, \
              \"ivm_deleted\": {}, \"ivm_rederived\": {}, \"views_active\": {}, \
              \"views_evicted\": {}, \"certs_emitted\": {}, \"cert_bytes\": {}, \
-             \"sql_compiles\": {}, \"sql_refusals\": {}}}",
+             \"sql_compiles\": {}, \"sql_refusals\": {}, \
+             \"repl_frames_shipped\": {}, \"repl_bytes_shipped\": {}, \
+             \"repl_snapshots_shipped\": {}, \"repl_records_applied\": {}, \
+             \"repl_bytes_applied\": {}, \"repl_reconnects\": {}, \
+             \"repl_promotions\": {}, \"repl_write_refusals\": {}, \
+             \"repl_stale_refusals\": {}, \"repl_lag_lsn\": {}}}",
             totals.requests,
             totals.cache_hits,
             totals.cache_misses,
@@ -1270,6 +1426,16 @@ impl ServeSession {
             totals.cert_bytes,
             totals.sql_compiles,
             totals.sql_refusals,
+            totals.repl_frames_shipped,
+            totals.repl_bytes_shipped,
+            totals.repl_snapshots_shipped,
+            totals.repl_records_applied,
+            totals.repl_bytes_applied,
+            totals.repl_reconnects,
+            totals.repl_promotions,
+            totals.repl_write_refusals,
+            totals.repl_stale_refusals,
+            totals.repl_lag_lsn,
         );
     }
 
@@ -1948,6 +2114,103 @@ mod tests {
         let refusal = s.refuse_oversized_line(1024);
         assert!(refusal.contains("\"status\": \"malformed\""));
         assert!(crate::json::parse(&refusal).is_ok());
+    }
+
+    /// A [`BufRead`] replaying a script of chunks and injected errors,
+    /// for driving [`CappedLineReader`] through timeout ticks at exact
+    /// chunk boundaries.
+    struct ScriptedReader {
+        script: std::collections::VecDeque<std::io::Result<Vec<u8>>>,
+        current: Vec<u8>,
+        pos: usize,
+    }
+
+    impl ScriptedReader {
+        fn new(script: Vec<std::io::Result<Vec<u8>>>) -> Self {
+            ScriptedReader {
+                script: script.into_iter().collect(),
+                current: Vec::new(),
+                pos: 0,
+            }
+        }
+    }
+
+    impl std::io::Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let chunk = self.fill_buf()?;
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl std::io::BufRead for ScriptedReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.pos >= self.current.len() {
+                match self.script.pop_front() {
+                    Some(Ok(bytes)) => {
+                        self.current = bytes;
+                        self.pos = 0;
+                    }
+                    Some(Err(e)) => return Err(e),
+                    None => return Ok(&[]),
+                }
+            }
+            Ok(&self.current[self.pos..])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn capped_reader_discard_state_survives_timeout_tick_at_chunk_boundary() {
+        use std::io::{Error, ErrorKind};
+        // An oversized line arrives in two chunks with a read-timeout
+        // tick landing exactly on the boundary between them — i.e.
+        // after the discarding reader consumed the first chunk in full,
+        // with nothing buffered. The partial-discard state must survive
+        // the tick: the line's tail must still be refused as TooLong,
+        // never surfaced as a truncated Line.
+        let cap = 8;
+        let mut framer = CappedLineReader::new(
+            ScriptedReader::new(vec![
+                Ok(b"0123456789abcdef".to_vec()), // > cap, no newline yet
+                Err(Error::new(ErrorKind::TimedOut, "tick")),
+                Ok(b"tail\nnext\n".to_vec()),
+            ]),
+            cap,
+        );
+        assert_eq!(framer.poll_line().unwrap(), None, "tick yields no frame");
+        assert_eq!(
+            framer.poll_line().unwrap(),
+            Some(LineRead::TooLong { limit: cap }),
+            "discard state was lost across the timeout tick"
+        );
+        assert_eq!(
+            framer.poll_line().unwrap(),
+            Some(LineRead::Line("next".into())),
+            "stream must resync after the refused line"
+        );
+        assert_eq!(framer.poll_line().unwrap(), Some(LineRead::Eof));
+
+        // Same boundary condition at EOF: a tick, then the stream ends
+        // mid-discard — still a refusal, not a phantom empty line.
+        let mut framer = CappedLineReader::new(
+            ScriptedReader::new(vec![
+                Ok(b"0123456789abcdef".to_vec()),
+                Err(Error::new(ErrorKind::TimedOut, "tick")),
+            ]),
+            cap,
+        );
+        assert_eq!(framer.poll_line().unwrap(), None);
+        assert_eq!(
+            framer.poll_line().unwrap(),
+            Some(LineRead::TooLong { limit: cap })
+        );
+        assert_eq!(framer.poll_line().unwrap(), Some(LineRead::Eof));
     }
 
     #[test]

@@ -31,8 +31,9 @@ use std::sync::Arc;
 
 /// Magic prefix of `snapshot.bin`.
 const SNAP_MAGIC: &[u8; 8] = b"GOMQSNAP";
-/// Snapshot format version.
-const SNAP_VERSION: u32 = 1;
+/// Snapshot format version. Version 2 added the replication epoch;
+/// version-1 snapshots are still read (epoch 0).
+const SNAP_VERSION: u32 = 2;
 /// Snapshot file name inside the data directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// WAL file name inside the data directory.
@@ -340,6 +341,15 @@ impl Default for PersistOptions {
     }
 }
 
+/// A sink for successfully journaled WAL frames. The replication hub
+/// implements this: every acknowledged record is published to connected
+/// replicas right after it becomes durable locally.
+pub trait RecordSink: Send + Sync {
+    /// Hands over one journaled frame (complete wire encoding, exactly
+    /// the bytes appended to the log) at its lsn.
+    fn publish(&self, lsn: u64, frame: Vec<u8>);
+}
+
 /// The session store, optionally journaled to disk. In-memory sessions
 /// ([`DurableSession::in_memory`]) share the same mutation API with all
 /// persistence calls skipped.
@@ -347,6 +357,11 @@ pub struct DurableSession {
     store: SessionStore,
     persist: Option<Persistence>,
     views: ViewRegistry,
+    /// Highest replication epoch seen (journaled, snapshotted, or
+    /// learned from a peer's promotion).
+    repl_epoch: u64,
+    /// Where journaled frames are published for replica shipping.
+    publisher: Option<Arc<dyn RecordSink>>,
 }
 
 impl Default for DurableSession {
@@ -362,6 +377,8 @@ impl DurableSession {
             store: SessionStore::default(),
             persist: None,
             views: ViewRegistry::default(),
+            repl_epoch: 0,
+            publisher: None,
         }
     }
 
@@ -380,8 +397,10 @@ impl DurableSession {
         let mut info = RecoveryInfo::default();
         let mut store = SessionStore::default();
         let mut last_lsn = 0u64;
+        let mut repl_epoch = 0u64;
         if let Some(snap) = read_snapshot(&dir.join(SNAPSHOT_FILE))? {
             last_lsn = snap.last_lsn;
+            repl_epoch = snap.epoch;
             restore_snapshot(snap, vocab, &mut store)?;
             info.snapshot_facts = store.facts.len() as u64;
         }
@@ -401,6 +420,7 @@ impl DurableSession {
                 }
                 WalRecord::Mark(id) => store.apply_mark(*id),
                 WalRecord::Rollback(id) => store.apply_rollback(*id)?,
+                WalRecord::Epoch(e) => repl_epoch = repl_epoch.max(*e),
             }
             last_lsn = last_lsn.max(*lsn);
         }
@@ -418,6 +438,8 @@ impl DurableSession {
                     records_since_snapshot: replayed.records.len() as u64,
                     poisoned: None,
                 }),
+                repl_epoch,
+                publisher: None,
             },
             info,
         ))
@@ -519,7 +541,10 @@ impl DurableSession {
     }
 
     /// Journals one record, rolling the mutation attempt back on
-    /// failure.
+    /// failure. A durably journaled record is republished to the
+    /// replication sink (if one is attached) — publication happens only
+    /// *after* the append succeeded, so replicas can never hold a frame
+    /// the primary rolled back.
     fn journal(&mut self, record: &WalRecord) -> Result<(u64, u64), SessionError> {
         let Some(p) = self.persist.as_mut() else {
             return Ok((0, 0));
@@ -528,7 +553,12 @@ impl DurableSession {
             return Err(SessionError::Poisoned(why.clone()));
         }
         match p.wal.append(record) {
-            Ok(ok) => Ok(ok),
+            Ok((lsn, bytes)) => {
+                if let Some(sink) = &self.publisher {
+                    sink.publish(lsn, record.encode_frame(lsn));
+                }
+                Ok((lsn, bytes))
+            }
             Err(e) => {
                 let msg = e.to_string();
                 if msg.contains("could not be rolled back") {
@@ -537,6 +567,86 @@ impl DurableSession {
                 Err(SessionError::Io(msg))
             }
         }
+    }
+
+    /// Attaches the sink journaled frames are republished to (the
+    /// primary's replication hub).
+    pub fn set_publisher(&mut self, sink: Arc<dyn RecordSink>) {
+        self.publisher = Some(sink);
+    }
+
+    /// The highest replication epoch this session has seen (0 when the
+    /// node never took part in a failover).
+    pub fn repl_epoch(&self) -> u64 {
+        self.repl_epoch
+    }
+
+    /// Raises the in-memory epoch without journaling — used when a node
+    /// *learns* of a peer's higher epoch (fencing) rather than
+    /// promoting itself.
+    pub fn observe_epoch(&mut self, epoch: u64) {
+        self.repl_epoch = self.repl_epoch.max(epoch);
+    }
+
+    /// Journals an epoch bump (promotion): the record fences any
+    /// resurrected primary still on a lower epoch, and survives crash
+    /// and snapshot like every other mutation.
+    pub fn stamp_epoch(&mut self, epoch: u64) -> Result<MutationInfo, SessionError> {
+        let (lsn, wal_bytes) = self.journal(&WalRecord::Epoch(epoch))?;
+        self.repl_epoch = self.repl_epoch.max(epoch);
+        self.bump_record_count();
+        Ok(MutationInfo {
+            lsn,
+            wal_bytes,
+            added: 0,
+            facts: self.store.facts.len() as u64,
+            snapshotted: false,
+        })
+    }
+
+    /// Applies one record shipped from the primary, journaling it
+    /// locally at the *primary's* lsn so the replica's durable position
+    /// (and certificate bindings) match the primary's byte-for-byte.
+    ///
+    /// Records must arrive in lsn order: one at or below the local
+    /// position is a duplicate (already applied — `Ok(false)`), one
+    /// past the expected next lsn is a gap and refuses with
+    /// [`SessionError::Corrupt`] rather than silently diverging.
+    pub fn apply_replicated(
+        &mut self,
+        lsn: u64,
+        record: &WalRecord,
+        vocab: &mut Vocab,
+    ) -> Result<bool, SessionError> {
+        let Some(p) = self.persist.as_ref() else {
+            return Err(SessionError::Io(
+                "replica apply requires a durable session".into(),
+            ));
+        };
+        let expected = p.wal.next_lsn();
+        if lsn < expected {
+            return Ok(false); // duplicate re-ship after a reconnect
+        }
+        if lsn > expected {
+            return Err(SessionError::Corrupt(format!(
+                "replication gap: expected lsn {expected}, got {lsn}"
+            )));
+        }
+        self.journal(record)?;
+        match record {
+            WalRecord::Assert(syms) => {
+                let facts: Vec<Fact> = syms.iter().map(|sf| resolve_sym_fact(vocab, sf)).collect();
+                self.store.apply_assert(facts.iter());
+            }
+            WalRecord::Mark(id) => self.store.apply_mark(*id),
+            WalRecord::Rollback(id) => {
+                self.store.apply_rollback(*id)?;
+                self.views.bump_epoch();
+            }
+            WalRecord::Epoch(e) => self.repl_epoch = self.repl_epoch.max(*e),
+        }
+        self.bump_record_count();
+        Ok(true)
     }
 
     /// Asserts a batch of facts: journal first, then apply. `syms` and
@@ -626,7 +736,7 @@ impl DurableSession {
             return Err(SessionError::Poisoned(why.clone()));
         }
         let last_lsn = p.wal.next_lsn() - 1;
-        let bytes = encode_snapshot(vocab, &self.store, last_lsn);
+        let bytes = encode_snapshot(vocab, &self.store, last_lsn, self.repl_epoch);
         if let Some(gomq_core::faults::IoFault::Error | gomq_core::faults::IoFault::Short) =
             gomq_core::faults::io_point(gomq_core::faults::SNAPSHOT_WRITE)
         {
@@ -650,9 +760,23 @@ impl DurableSession {
             Ok(())
         };
         write().map_err(|e| SessionError::Io(e.to_string()))?;
-        p.wal.reset().map_err(|e| SessionError::Io(e.to_string()))?;
+        // Rotate rather than truncate: the pre-snapshot records are
+        // sealed aside as `wal.old` for shipping and triage; they are
+        // never replayed (all at or below the snapshot's lsn).
+        p.wal
+            .rotate()
+            .map_err(|e| SessionError::Io(e.to_string()))?;
         p.records_since_snapshot = 0;
         Ok(())
+    }
+
+    /// Encodes the session's current state as snapshot bytes — exactly
+    /// what `snapshot.bin` would contain — without touching disk. The
+    /// primary ships this to a bootstrapping replica, which installs it
+    /// as its local snapshot and tails the log from the embedded lsn.
+    pub fn encode_current_snapshot(&self, vocab: &Vocab) -> Vec<u8> {
+        let last_lsn = self.position().0;
+        encode_snapshot(vocab, &self.store, last_lsn, self.repl_epoch)
     }
 
     /// Orderly-shutdown flush: fsync the WAL (so every acknowledged
@@ -670,6 +794,45 @@ impl DurableSession {
         p.wal.sync().map_err(|e| SessionError::Io(e.to_string()))?;
         self.snapshot_now(vocab)
     }
+}
+
+/// Probes a data directory for its durable replication position without
+/// opening a session: `(last applied lsn, highest epoch)` from the
+/// snapshot header plus any WAL records past it. A missing directory or
+/// empty log probes as `(0, 0)`. The follower sends this in its HELLO
+/// before recovery runs, so the primary can decide between shipping a
+/// snapshot and tailing the log.
+pub(crate) fn local_log_position(dir: &Path) -> Result<(u64, u64), SessionError> {
+    let mut last = 0u64;
+    let mut epoch = 0u64;
+    if let Some(snap) = read_snapshot(&dir.join(SNAPSHOT_FILE))? {
+        last = snap.last_lsn;
+        epoch = snap.epoch;
+    }
+    let replayed = Wal::replay(&dir.join(WAL_FILE)).map_err(|e| SessionError::Io(e.to_string()))?;
+    for (lsn, record) in &replayed.records {
+        if *lsn <= last {
+            continue;
+        }
+        if let WalRecord::Epoch(e) = record {
+            epoch = epoch.max(*e);
+        }
+    }
+    Ok((last.max(replayed.last_lsn), epoch))
+}
+
+/// Reads `(last lsn, epoch)` out of a snapshot byte image's header
+/// (checksum is *not* verified here — installation replays through the
+/// fully validating [`read_snapshot`] on the next open).
+pub(crate) fn snapshot_position(bytes: &[u8]) -> Option<(u64, u64)> {
+    if bytes.len() < 8 + 4 + 16 || &bytes[..8] != SNAP_MAGIC {
+        return None;
+    }
+    let mut c = Cursor::new(&bytes[8..]);
+    let version = c.take_u32().ok()?;
+    let last_lsn = c.take_u64().ok()?;
+    let epoch = if version >= 2 { c.take_u64().ok()? } else { 0 };
+    Some((last_lsn, epoch))
 }
 
 /// Resolves a symbolic fact against the vocabulary, interning names as
@@ -708,6 +871,7 @@ pub fn sym_fact(vocab: &Vocab, rel: RelId, args: &[Term]) -> SymFact {
 
 struct Snapshot {
     last_lsn: u64,
+    epoch: u64,
     next_mark: u64,
     null_horizon: u32,
     consts: Vec<String>,
@@ -718,11 +882,12 @@ struct Snapshot {
     marks: Vec<(u64, u64)>,
 }
 
-fn encode_snapshot(vocab: &Vocab, store: &SessionStore, last_lsn: u64) -> Vec<u8> {
+fn encode_snapshot(vocab: &Vocab, store: &SessionStore, last_lsn: u64, epoch: u64) -> Vec<u8> {
     let mut b = Vec::with_capacity(4096);
     b.extend_from_slice(SNAP_MAGIC);
     put_u32(&mut b, SNAP_VERSION);
     put_u64(&mut b, last_lsn);
+    put_u64(&mut b, epoch);
     put_u64(&mut b, store.next_mark);
     put_u32(&mut b, vocab.null_count());
     put_u32(&mut b, vocab.const_count() as u32);
@@ -789,10 +954,11 @@ fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, SessionError> {
     let mut c = Cursor::new(&body[8..]);
     let mut parse = || -> Result<Snapshot, String> {
         let version = c.take_u32()?;
-        if version != SNAP_VERSION {
+        if version != 1 && version != SNAP_VERSION {
             return Err(format!("unsupported version {version}"));
         }
         let last_lsn = c.take_u64()?;
+        let epoch = if version >= 2 { c.take_u64()? } else { 0 };
         let next_mark = c.take_u64()?;
         let null_horizon = c.take_u32()?;
         let n_consts = c.take_u32()? as usize;
@@ -837,6 +1003,7 @@ fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, SessionError> {
         }
         Ok(Snapshot {
             last_lsn,
+            epoch,
             next_mark,
             null_horizon,
             consts,
@@ -1198,5 +1365,153 @@ mod tests {
         assert_eq!(maint.over_budget, 1);
         assert!(s.views().is_empty(), "the failed view was dropped");
         assert_eq!(s.views().evicted(), before + 1, "the drop is counted");
+    }
+
+    #[test]
+    fn epoch_survives_replay_and_snapshot() {
+        let dir = tmpdir("epoch");
+        {
+            let mut vocab = Vocab::new();
+            let (mut s, _) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            assert_eq!(s.repl_epoch(), 0);
+            assert_text(&mut s, &mut vocab, "R(a,b)\n");
+            s.stamp_epoch(3).unwrap();
+            assert_eq!(s.repl_epoch(), 3);
+        }
+        // WAL replay rebuilds the epoch.
+        {
+            let mut vocab = Vocab::new();
+            let (mut s, _) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            assert_eq!(s.repl_epoch(), 3);
+            // A snapshot carries the epoch even after the log rotates.
+            let vocab_now = vocab.clone();
+            s.snapshot_now(&vocab_now).unwrap();
+        }
+        {
+            let mut vocab = Vocab::new();
+            let (s, info) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            assert_eq!(info.replayed_records, 0, "snapshot covers the log");
+            assert_eq!(s.repl_epoch(), 3);
+        }
+        // The pre-open probe agrees with a full recovery.
+        let (lsn, epoch) = local_log_position(&dir).unwrap();
+        assert_eq!(epoch, 3);
+        assert!(lsn >= 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observe_epoch_is_in_memory_until_stamped() {
+        let dir = tmpdir("observe");
+        {
+            let mut vocab = Vocab::new();
+            let (mut s, _) =
+                DurableSession::open(&dir, PersistOptions::default(), &mut vocab).unwrap();
+            s.observe_epoch(7);
+            assert_eq!(s.repl_epoch(), 7);
+            s.observe_epoch(5);
+            assert_eq!(s.repl_epoch(), 7, "observation is monotone");
+        }
+        let (_, epoch) = local_log_position(&dir).unwrap();
+        assert_eq!(epoch, 0, "an observed epoch is not journaled");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn apply_replicated_roundtrips_duplicates_and_gaps() {
+        let primary_dir = tmpdir("repl-primary");
+        let replica_dir = tmpdir("repl-replica");
+        // The primary journals mutations and we capture the exact
+        // frames its publisher would ship.
+        struct Captured(std::sync::Mutex<Vec<(u64, Vec<u8>)>>);
+        impl RecordSink for Captured {
+            fn publish(&self, lsn: u64, frame: Vec<u8>) {
+                self.0.lock().unwrap().push((lsn, frame));
+            }
+        }
+        let sink = Arc::new(Captured(std::sync::Mutex::new(Vec::new())));
+        let mut primary_vocab = Vocab::new();
+        let (mut primary, _) =
+            DurableSession::open(&primary_dir, PersistOptions::default(), &mut primary_vocab)
+                .unwrap();
+        primary.set_publisher(Arc::clone(&sink) as Arc<dyn RecordSink>);
+        assert_text(&mut primary, &mut primary_vocab, "R(a,b)\nS(c)\n");
+        let (mark, _) = primary.mark().unwrap();
+        assert_text(&mut primary, &mut primary_vocab, "S(doomed)\n");
+        primary.rollback(mark).unwrap();
+        let frames = sink.0.lock().unwrap().clone();
+        assert_eq!(frames.len(), 4, "assert, mark, assert, rollback");
+
+        // A replica applies the shipped frames and converges to the
+        // same store and position.
+        let mut replica_vocab = Vocab::new();
+        let (mut replica, _) =
+            DurableSession::open(&replica_dir, PersistOptions::default(), &mut replica_vocab)
+                .unwrap();
+        for (lsn, frame) in &frames {
+            let (flsn, record, _) = WalRecord::decode_frame(frame).unwrap();
+            assert_eq!(flsn, *lsn);
+            assert!(replica
+                .apply_replicated(*lsn, &record, &mut replica_vocab)
+                .unwrap());
+        }
+        assert_eq!(replica.position(), primary.position());
+        assert_eq!(
+            store_shape(&replica, &replica_vocab),
+            store_shape(&primary, &primary_vocab)
+        );
+        // A duplicate (re-shipped after reconnect) is a no-op.
+        let (lsn, record, _) = WalRecord::decode_frame(&frames[0].1).unwrap();
+        assert!(!replica
+            .apply_replicated(lsn, &record, &mut replica_vocab)
+            .unwrap());
+        assert_eq!(replica.position(), primary.position());
+        // A gap (skipped lsn) is refused as corrupt, not silently
+        // applied out of order.
+        let next = replica.position().0 + 5;
+        match replica.apply_replicated(next, &record, &mut replica_vocab) {
+            Err(SessionError::Corrupt(msg)) => {
+                assert!(msg.contains("replication gap"), "{msg}")
+            }
+            other => panic!("gap must be Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&primary_dir).unwrap();
+        std::fs::remove_dir_all(&replica_dir).unwrap();
+    }
+
+    #[test]
+    fn shipped_snapshot_bootstraps_a_replica() {
+        let primary_dir = tmpdir("snapship-primary");
+        let replica_dir = tmpdir("snapship-replica");
+        let mut vocab = Vocab::new();
+        let (mut primary, _) =
+            DurableSession::open(&primary_dir, PersistOptions::default(), &mut vocab).unwrap();
+        assert_text(&mut primary, &mut vocab, "R(a,b)\nS(c)\n");
+        primary.stamp_epoch(2).unwrap();
+        let image = primary.encode_current_snapshot(&vocab);
+        assert_eq!(
+            snapshot_position(&image),
+            Some((primary.position().0, 2)),
+            "header probe must agree with the session position"
+        );
+        // Install the image the way `repl::bootstrap_follower` does.
+        std::fs::create_dir_all(&replica_dir).unwrap();
+        std::fs::write(replica_dir.join(SNAPSHOT_FILE), &image).unwrap();
+        let mut replica_vocab = Vocab::new();
+        let (replica, info) =
+            DurableSession::open(&replica_dir, PersistOptions::default(), &mut replica_vocab)
+                .unwrap();
+        assert_eq!(info.snapshot_facts, 2);
+        assert_eq!(replica.position().0, primary.position().0);
+        assert_eq!(replica.repl_epoch(), 2);
+        assert_eq!(
+            store_shape(&replica, &replica_vocab),
+            store_shape(&primary, &vocab)
+        );
+        std::fs::remove_dir_all(&primary_dir).unwrap();
+        std::fs::remove_dir_all(&replica_dir).unwrap();
     }
 }

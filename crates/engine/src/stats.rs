@@ -151,6 +151,31 @@ pub struct EngineStats {
     /// SQL-backend requests refused with `non-rewritable-to-sql`
     /// because the plan's rewriting is recursive.
     pub sql_refusals: u64,
+    /// WAL record frames shipped to replicas (primary side).
+    pub repl_frames_shipped: u64,
+    /// Bytes shipped to replicas (record frames plus snapshots).
+    pub repl_bytes_shipped: u64,
+    /// Bootstrap snapshots shipped to replicas.
+    pub repl_snapshots_shipped: u64,
+    /// Replicated WAL records applied locally (follower side;
+    /// duplicates re-shipped after a reconnect are not counted).
+    pub repl_records_applied: u64,
+    /// Record-frame bytes received and applied (follower side).
+    pub repl_bytes_applied: u64,
+    /// Follower reconnect attempts after a dropped primary connection.
+    pub repl_reconnects: u64,
+    /// Promotions to primary (operator `promote` op or
+    /// `--promote-on-disconnect`).
+    pub repl_promotions: u64,
+    /// Writes refused because this node is a follower (`"read-only"`)
+    /// or a fenced ex-primary (`"fenced"`).
+    pub repl_write_refusals: u64,
+    /// Replica reads refused because the lsn lag exceeded
+    /// `--max-staleness-lsn` (`"stale"`).
+    pub repl_stale_refusals: u64,
+    /// Lsn lag behind the primary at the last applied record or
+    /// heartbeat (gauge, follower side; 0 on a primary).
+    pub repl_lag_lsn: u64,
 }
 
 impl EngineStats {

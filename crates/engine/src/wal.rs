@@ -33,7 +33,7 @@ use gomq_core::faults;
 use gomq_rewriting::fnv1a;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Upper bound on one frame's payload; larger length prefixes are
 /// treated as corruption (a torn or garbage length word would otherwise
@@ -68,11 +68,17 @@ pub enum WalRecord {
     Mark(u64),
     /// A rollback to a previously created mark.
     Rollback(u64),
+    /// A replication-epoch bump, stamped when a replica promotes to
+    /// primary. Replaying it raises the session's epoch; a node whose
+    /// epoch is below another's is *fenced* — a resurrected old primary
+    /// that learns of a higher epoch refuses writes.
+    Epoch(u64),
 }
 
 const TAG_ASSERT: u8 = 1;
 const TAG_MARK: u8 = 2;
 const TAG_ROLLBACK: u8 = 3;
+const TAG_EPOCH: u8 = 4;
 
 // ---- byte-level helpers (shared with the snapshot encoder) ----
 
@@ -183,7 +189,9 @@ impl WalRecord {
                     encode_sym_fact(buf, f);
                 }
             }
-            WalRecord::Mark(id) | WalRecord::Rollback(id) => put_u64(buf, *id),
+            WalRecord::Mark(id) | WalRecord::Rollback(id) | WalRecord::Epoch(id) => {
+                put_u64(buf, *id)
+            }
         }
     }
 
@@ -192,6 +200,7 @@ impl WalRecord {
             WalRecord::Assert(_) => TAG_ASSERT,
             WalRecord::Mark(_) => TAG_MARK,
             WalRecord::Rollback(_) => TAG_ROLLBACK,
+            WalRecord::Epoch(_) => TAG_EPOCH,
         }
     }
 
@@ -210,8 +219,26 @@ impl WalRecord {
             }
             TAG_MARK => Ok(WalRecord::Mark(c.take_u64()?)),
             TAG_ROLLBACK => Ok(WalRecord::Rollback(c.take_u64()?)),
+            TAG_EPOCH => Ok(WalRecord::Epoch(c.take_u64()?)),
             t => Err(format!("unknown record tag {t}")),
         }
+    }
+
+    /// Validates and decodes one complete frame from the start of
+    /// `bytes`, returning `(lsn, record, frame length)`. The replication
+    /// stream ships exactly these frames, so a replica re-checks the
+    /// checksum end-to-end before journaling.
+    pub fn decode_frame(bytes: &[u8]) -> Result<(u64, WalRecord, usize), String> {
+        let end =
+            Wal::validate_frame(bytes).ok_or_else(|| "torn or corrupt wal frame".to_owned())?;
+        let mut c = Cursor::new(&bytes[12..end]);
+        let lsn = c.take_u64()?;
+        let tag = c.take_u8()?;
+        let rec = WalRecord::decode(tag, &mut c)?;
+        if !c.done() {
+            return Err("trailing bytes in payload".to_owned());
+        }
+        Ok((lsn, rec, end))
     }
 
     /// Encodes one full frame: length prefix, checksum, payload.
@@ -244,9 +271,17 @@ pub struct Replayed {
 /// An append-only handle on the session WAL.
 pub struct Wal {
     file: File,
+    path: PathBuf,
     fsync: bool,
     next_lsn: u64,
     len: u64,
+}
+
+/// Wraps an I/O error with the journal path and the failing operation,
+/// so chaos-test triage reads `wal append wal.log: ...` instead of a
+/// bare `No space left on device`.
+fn io_ctx(op: &str, path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("wal {op} {}: {e}", path.display()))
 }
 
 impl Wal {
@@ -259,10 +294,14 @@ impl Wal {
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path)?;
-        let len = file.seek(SeekFrom::End(0))?;
+            .open(path)
+            .map_err(|e| io_ctx("open", path, e))?;
+        let len = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_ctx("seek", path, e))?;
         Ok(Wal {
             file,
+            path: path.to_owned(),
             fsync,
             next_lsn,
             len,
@@ -277,6 +316,13 @@ impl Wal {
     /// Current byte length of the log.
     pub fn len_bytes(&self) -> u64 {
         self.len
+    }
+
+    /// The log's replication position: `(next lsn, live segment bytes)`.
+    /// A replica that has applied everything up to `next lsn - 1` is
+    /// exactly caught up.
+    pub fn position(&self) -> (u64, u64) {
+        (self.next_lsn, self.len)
     }
 
     /// Rolls the file back to `len` after a failed append. Failure here
@@ -331,10 +377,11 @@ impl Wal {
             Err(e) => {
                 self.unwind(start).map_err(|u| {
                     io::Error::other(format!(
-                        "append failed ({e}) and the log could not be rolled back ({u})"
+                        "wal append {}: append failed ({e}) and the log could not be rolled back ({u})",
+                        self.path.display()
                     ))
                 })?;
-                Err(e)
+                Err(io_ctx("append", &self.path, e))
             }
         }
     }
@@ -347,9 +394,15 @@ impl Wal {
         if let Some(faults::IoFault::Error | faults::IoFault::Short) =
             faults::io_point(faults::WAL_FSYNC)
         {
-            return Err(io::Error::other("chaos: injected fsync failure"));
+            return Err(io_ctx(
+                "fsync",
+                &self.path,
+                io::Error::other("chaos: injected fsync failure"),
+            ));
         }
-        self.file.sync_data()
+        self.file
+            .sync_data()
+            .map_err(|e| io_ctx("fsync", &self.path, e))
     }
 
     /// Truncates the log to empty (called right after a snapshot made
@@ -357,13 +410,47 @@ impl Wal {
     /// snapshot rename and this truncation is covered by recovery
     /// skipping records at or below the snapshot's lsn.
     pub fn reset(&mut self) -> io::Result<()> {
-        self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        if self.fsync {
-            self.file.sync_data()?;
-        }
+        self.file
+            .set_len(0)
+            .and_then(|()| self.file.seek(SeekFrom::Start(0)))
+            .and_then(|_| {
+                if self.fsync {
+                    self.file.sync_data()
+                } else {
+                    Ok(())
+                }
+            })
+            .map_err(|e| io_ctx("reset", &self.path, e))?;
         self.len = 0;
         Ok(())
+    }
+
+    /// Rotates the live log out as a sealed segment: the current file is
+    /// renamed to `<stem>.old` (replacing any previous sealed segment)
+    /// and a fresh empty log takes its place. Called right after a
+    /// snapshot made the live records redundant — the sealed segment is
+    /// kept for replication shipping and post-mortem triage, never
+    /// replayed (every record in it is at or below the snapshot's lsn).
+    /// Lsns keep counting across rotations, exactly as with [`reset`].
+    ///
+    /// [`reset`]: Wal::reset
+    pub fn rotate(&mut self) -> io::Result<PathBuf> {
+        let sealed = self.path.with_extension("old");
+        std::fs::rename(&self.path, &sealed).map_err(|e| io_ctx("rotate-rename", &self.path, e))?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.path)
+            .map_err(|e| io_ctx("rotate-open", &self.path, e))?;
+        if self.fsync {
+            file.sync_data()
+                .map_err(|e| io_ctx("rotate-fsync", &self.path, e))?;
+        }
+        self.file = file;
+        self.len = 0;
+        Ok(sealed)
     }
 
     /// Reads and validates a WAL file, truncating any torn or corrupt
@@ -566,6 +653,70 @@ mod tests {
         let replayed = Wal::replay(&dir.join("nope.log")).unwrap();
         assert!(replayed.records.is_empty());
         assert!(!replayed.truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_records_roundtrip() {
+        let dir = tmpdir("epoch");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, false, 1).unwrap();
+        wal.append(&WalRecord::Mark(1)).unwrap();
+        wal.append(&WalRecord::Epoch(7)).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert!(!replayed.truncated);
+        assert_eq!(
+            replayed
+                .records
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect::<Vec<_>>(),
+            vec![WalRecord::Mark(1), WalRecord::Epoch(7)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotate_seals_segment_and_lsns_keep_counting() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::open(&path, false, 1).unwrap();
+        wal.append(&WalRecord::Mark(1)).unwrap();
+        assert_eq!(wal.position(), (2, wal.len_bytes()));
+        let sealed = wal.rotate().unwrap();
+        assert_eq!(sealed, dir.join("wal.old"));
+        assert_eq!(wal.len_bytes(), 0);
+        // The sealed segment still replays the pre-rotation records.
+        let old = Wal::replay(&sealed).unwrap();
+        assert_eq!(old.records.len(), 1);
+        assert_eq!(old.last_lsn, 1);
+        // The live log is fresh and lsns continue counting.
+        let (lsn, _) = wal.append(&WalRecord::Mark(2)).unwrap();
+        assert_eq!(lsn, 2, "lsns must survive rotations");
+        let live = Wal::replay(&path).unwrap();
+        assert_eq!(live.records.len(), 1);
+        assert_eq!(live.last_lsn, 2);
+        // A second rotation replaces the previous sealed segment.
+        wal.rotate().unwrap();
+        let old = Wal::replay(&sealed).unwrap();
+        assert_eq!(old.last_lsn, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_errors_carry_path_and_operation() {
+        let dir = tmpdir("errctx");
+        let missing = dir.join("no-such-subdir").join("wal.log");
+        let err = match Wal::open(&missing, false, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("open in a missing directory must fail"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("wal open"), "operation missing: {msg}");
+        assert!(
+            msg.contains("no-such-subdir"),
+            "journal path missing: {msg}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -190,8 +190,96 @@ tcp_smoke() {
 echo "==> TCP smoke: gomq-serve --listen + gomq-bench (release)"
 tcp_smoke "" smoke
 
+# Two-process replication smoke: a primary ships its WAL to a follower
+# on ephemeral ports, gomq-bench drives read-only load at the replica
+# (--target replica labels the report), the primary is SIGKILLed, the
+# follower promotes itself (--promote-on-disconnect), and the promoted
+# node must take writes — both bench reports pass --validate.
+repl_smoke() {
+    repl_extra=$1
+    repl_tag=$2
+    repl_dir="$(mktemp -d)"
+    # shellcheck disable=SC2086  # word-splitting of $repl_extra is intended
+    target/release/gomq-serve --listen 127.0.0.1:0 --data-dir "$repl_dir/primary" \
+        --replicate-to 127.0.0.1:0 $repl_extra 2>"$repl_dir/primary.err" &
+    repl_pri=$!
+    repl_ship=""
+    for _ in $(seq 1 50); do
+        repl_ship="$(sed -n 's/^gomq-serve: replication listening on //p' "$repl_dir/primary.err")"
+        [ -n "$repl_ship" ] && break
+        sleep 0.1
+    done
+    if [ -z "$repl_ship" ]; then
+        echo "primary never announced its replication address:" >&2
+        cat "$repl_dir/primary.err" >&2
+        exit 1
+    fi
+    repl_pri_addr="$(sed -n 's/^gomq-serve: listening on //p' "$repl_dir/primary.err")"
+    # shellcheck disable=SC2086
+    target/release/gomq-serve --listen 127.0.0.1:0 --data-dir "$repl_dir/replica" \
+        --follow "$repl_ship" --promote-on-disconnect $repl_extra 2>"$repl_dir/replica.err" &
+    repl_fol=$!
+    repl_fol_addr=""
+    for _ in $(seq 1 50); do
+        repl_fol_addr="$(sed -n 's/^gomq-serve: listening on //p' "$repl_dir/replica.err")"
+        [ -n "$repl_fol_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$repl_fol_addr" ]; then
+        echo "follower never announced its client address:" >&2
+        cat "$repl_dir/replica.err" >&2
+        exit 1
+    fi
+    # Writes land at the primary, reads at the replica.
+    target/release/gomq-bench --addr "$repl_pri_addr" --rate 100 --duration-ms 1000 \
+        --conns 1 --seed 42 --out "$repl_dir/BENCH_primary_$repl_tag.json"
+    target/release/gomq-bench --addr "$repl_fol_addr" --target replica --rate 100 \
+        --duration-ms 2000 --conns 1,4 --seed 42 \
+        --out "$repl_dir/BENCH_replica_$repl_tag.json"
+    grep -q '"target": "replica"' "$repl_dir/BENCH_replica_$repl_tag.json" || {
+        echo "replica bench report is missing the target label" >&2
+        exit 1
+    }
+    # SIGKILL the primary; the follower must promote itself.
+    kill -KILL "$repl_pri"
+    wait "$repl_pri" 2>/dev/null || true
+    repl_up=""
+    for _ in $(seq 1 100); do
+        if grep -q "promoted to primary" "$repl_dir/replica.err"; then
+            repl_up=yes
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$repl_up" ]; then
+        echo "follower never promoted itself after the primary died:" >&2
+        cat "$repl_dir/replica.err" >&2
+        exit 1
+    fi
+    # The promoted node takes writes again; --validate gates both reports.
+    target/release/gomq-bench --addr "$repl_fol_addr" --rate 100 --duration-ms 1000 \
+        --conns 1 --seed 43 --out "$repl_dir/BENCH_promoted_$repl_tag.json"
+    target/release/gomq-bench --validate "$repl_dir/BENCH_replica_$repl_tag.json"
+    target/release/gomq-bench --validate "$repl_dir/BENCH_promoted_$repl_tag.json"
+    kill -TERM "$repl_fol"
+    wait "$repl_fol"
+    rm -rf "$repl_dir"
+}
+
+echo "==> replication smoke: primary + follower, SIGKILL failover (release)"
+repl_smoke "" repl
+
 echo "==> TCP smoke under deterministic chaos (--chaos-seed, release chaos build)"
 cargo build --release -p gomq-engine --features chaos --bins
 tcp_smoke "--chaos-seed 20260808" chaos
+
+echo "==> replication smoke under deterministic chaos (--chaos-seed, release chaos build)"
+repl_smoke "--chaos-seed 20260808" repl_chaos
+
+echo "==> cargo test -q --release -p gomq-engine --test repl_chaos (failover equivalence)"
+cargo test -q --release -p gomq-engine --test repl_chaos
+
+echo "==> cargo test -q --release -p gomq-engine --features chaos --test repl_chaos (repl.ship/repl.apply faults)"
+cargo test -q --release -p gomq-engine --features chaos --test repl_chaos
 
 echo "CI gate passed."
