@@ -310,6 +310,9 @@ pub struct ReplContext {
     /// The address a promoted node fences (its old primary's
     /// replication listener).
     fence_target: Mutex<Option<String>>,
+    /// The process drain token, so replication-spawned threads (the
+    /// [`fencer`]) terminate on shutdown instead of leaking.
+    drain: Mutex<Option<DrainToken>>,
 }
 
 impl Default for ReplContext {
@@ -321,6 +324,7 @@ impl Default for ReplContext {
             max_staleness: AtomicU64::new(u64::MAX),
             hub: Mutex::new(None),
             fence_target: Mutex::new(None),
+            drain: Mutex::new(None),
         }
     }
 }
@@ -390,21 +394,62 @@ impl ReplContext {
     pub fn set_fence_target(&self, addr: String) {
         *lock_recover(&self.fence_target) = Some(addr);
     }
+
+    /// The process drain token (set at replication startup). Falls back
+    /// to a never-tripping token for contexts that never registered one.
+    pub fn drain_token(&self) -> DrainToken {
+        lock_recover(&self.drain).clone().unwrap_or_default()
+    }
+
+    /// Registers the process drain token replication threads observe.
+    pub fn set_drain_token(&self, token: DrainToken) {
+        *lock_recover(&self.drain) = Some(token);
+    }
 }
 
 struct HubInner {
-    /// Lsn floor: frames with lsn ≤ `base_lsn` predate the hub and can
-    /// only be obtained via snapshot.
-    base_lsn: u64,
-    /// All published frames since startup, ascending lsn. Retained for
-    /// the process lifetime so a late replica can always tail from
-    /// `base_lsn` without a mid-life snapshot install; memory is
-    /// bounded by the same WAL the primary already holds on disk.
+    /// Lsn floor: frames with lsn ≤ `floor_lsn` predate the hub or have
+    /// been pruned after every connected replica acknowledged them, and
+    /// can only be obtained via snapshot bootstrap.
+    floor_lsn: u64,
+    /// Published frames past `floor_lsn`, ascending lsn (publishes come
+    /// off the journal under the session lock, so lsns arrive in
+    /// order). Pruned up to `min(acks)` as replicas acknowledge — or,
+    /// with no replica connected, up to the last durable snapshot — so
+    /// memory is bounded by the furthest-behind connected replica plus
+    /// one snapshot interval, not the process lifetime.
     frames: Vec<(u64, Vec<u8>)>,
+    /// Lsn of the primary's most recent durable snapshot. Frames at or
+    /// below it are recoverable via snapshot bootstrap, so they need no
+    /// retention once no connected replica still wants them.
+    snapshot_lsn: u64,
     last_lsn: u64,
     acks: HashMap<u64, u64>,
     next_conn: u64,
     closed: bool,
+}
+
+impl HubInner {
+    /// Drops frames every connected replica has acknowledged — or, with
+    /// no replica connected, frames the last durable snapshot covers —
+    /// and advances the floor. A replica that later HELLOs from below
+    /// the floor is routed through snapshot bootstrap instead; a
+    /// *connected* replica's cursor can never fall below the floor,
+    /// because its own ack entry pins `min(acks)`.
+    fn prune(&mut self) {
+        let target = self
+            .acks
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(self.snapshot_lsn)
+            .min(self.last_lsn);
+        if target > self.floor_lsn {
+            let keep = self.frames.partition_point(|(l, _)| *l <= target);
+            self.frames.drain(..keep);
+            self.floor_lsn = target;
+        }
+    }
 }
 
 /// The primary's fan-out buffer: the durable session publishes every
@@ -432,8 +477,9 @@ impl ReplHub {
     pub fn new(base_lsn: u64) -> Self {
         ReplHub {
             inner: Mutex::new(HubInner {
-                base_lsn,
+                floor_lsn: base_lsn,
                 frames: Vec::new(),
+                snapshot_lsn: base_lsn,
                 last_lsn: base_lsn,
                 acks: HashMap::new(),
                 next_conn: 0,
@@ -443,9 +489,10 @@ impl ReplHub {
         }
     }
 
-    /// The lsn floor below which only a snapshot can catch a replica up.
-    pub fn base_lsn(&self) -> u64 {
-        lock_recover(&self.inner).base_lsn
+    /// The lsn floor below which only a snapshot can catch a replica up
+    /// (advances as acknowledged frames are pruned).
+    pub fn retained_floor(&self) -> u64 {
+        lock_recover(&self.inner).floor_lsn
     }
 
     /// The highest lsn published to the hub.
@@ -462,7 +509,10 @@ impl ReplHub {
     }
 
     fn deregister(&self, id: u64) {
-        lock_recover(&self.inner).acks.remove(&id);
+        let mut g = lock_recover(&self.inner);
+        g.acks.remove(&id);
+        g.prune();
+        drop(g);
         self.cv.notify_all();
     }
 
@@ -471,6 +521,7 @@ impl ReplHub {
         if let Some(a) = g.acks.get_mut(&id) {
             *a = (*a).max(lsn);
         }
+        g.prune();
         drop(g);
         self.cv.notify_all();
     }
@@ -499,31 +550,32 @@ impl ReplHub {
         }
     }
 
-    /// Marks the hub closed: senders drain out and publishes become
-    /// no-ops (drain-time teardown).
+    /// Marks the hub closed: senders ship any remaining backlog and
+    /// then drain out; further publishes become no-ops. Call only after
+    /// [`ReplHub::wait_replicated`] — [`crate::ServeShared::drain_persist`]
+    /// owns this ordering — so closing never strands frames a client was
+    /// already acknowledged for.
     pub fn close(&self) {
         lock_recover(&self.inner).closed = true;
         self.cv.notify_all();
     }
 
     /// Waits up to [`HEARTBEAT_EVERY`] for frames past `cursor`.
+    /// Pending frames are delivered even on a closed hub — `Closed`
+    /// only surfaces once nothing past the cursor remains, so a
+    /// drain-time close cannot drop acknowledged-but-unshipped frames.
     fn wait_past(&self, cursor: u64) -> HubWait {
         let deadline = Instant::now() + HEARTBEAT_EVERY;
         let mut g = lock_recover(&self.inner);
         loop {
+            if g.last_lsn > cursor {
+                let from = g.frames.partition_point(|(l, _)| *l <= cursor);
+                if from < g.frames.len() {
+                    return HubWait::Frames(g.frames[from..].to_vec());
+                }
+            }
             if g.closed {
                 return HubWait::Closed;
-            }
-            if g.last_lsn > cursor {
-                let frames: Vec<_> = g
-                    .frames
-                    .iter()
-                    .filter(|(l, _)| *l > cursor)
-                    .cloned()
-                    .collect();
-                if !frames.is_empty() {
-                    return HubWait::Frames(frames);
-                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -551,6 +603,12 @@ impl RecordSink for ReplHub {
         drop(g);
         self.cv.notify_all();
     }
+
+    fn note_snapshot(&self, lsn: u64) {
+        let mut g = lock_recover(&self.inner);
+        g.snapshot_lsn = g.snapshot_lsn.max(lsn);
+        g.prune();
+    }
 }
 
 /// The primary's replication listener. Bind first (so the caller can
@@ -573,11 +631,16 @@ impl ReplServer {
     }
 
     /// Accept loop: one sender thread + one ack-reader thread per
-    /// replica connection. Blocks until drain.
+    /// replica connection. Blocks until drain. Deliberately does NOT
+    /// close the hub on drain: in-flight requests may still be
+    /// journaling acknowledged writes, and the senders must keep
+    /// shipping until replicas ack them. The hub is closed by
+    /// [`crate::ServeShared::drain_persist`] after its replication
+    /// flush.
     pub fn serve(self, shared: Arc<ServeShared>, hub: Arc<ReplHub>, token: DrainToken) {
         loop {
             if token.is_draining() {
-                break;
+                return;
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -590,7 +653,6 @@ impl ReplServer {
                 Err(_) => std::thread::sleep(Duration::from_millis(25)),
             }
         }
-        hub.close();
     }
 }
 
@@ -683,8 +745,10 @@ fn serve_replica(
     let mut cursor = replica_lsn;
     // Bootstrap: a replica behind the hub's retained window gets the
     // current snapshot ("copy immutable objects, then flip HEAD"), and
-    // resumes tailing from the snapshot's lsn.
-    if cursor < hub.base_lsn() {
+    // resumes tailing from the snapshot's lsn. Checked after register:
+    // our ack entry pins the prune floor, so the floor cannot race past
+    // a cursor it was just observed at or below.
+    if cursor < hub.retained_floor() {
         let (bytes, snap_lsn) = {
             let session = shared.session_lock();
             let vocab = shared.vocab_lock();
@@ -791,7 +855,8 @@ pub fn promote(shared: &Arc<ServeShared>, reason: &str) -> Result<(u64, u64), Se
     shared.engine().record_repl_promotion();
     eprintln!("gomq-serve: repl: promoted to primary at epoch {epoch} (lsn {lsn}): {reason}");
     if let Some(addr) = ctx.fence_target() {
-        std::thread::spawn(move || fencer(addr, epoch));
+        let token = ctx.drain_token();
+        std::thread::spawn(move || fencer(addr, epoch, token));
     }
     Ok((epoch, lsn))
 }
@@ -819,6 +884,7 @@ pub fn start_primary(
     };
     shared.repl().set_hub(Arc::clone(&hub));
     shared.repl().set_role(Role::Primary);
+    shared.repl().set_drain_token(token.clone());
     let server = ReplServer::bind(addr)?;
     let bound = server.local_addr()?;
     let shared = Arc::clone(shared);
@@ -834,6 +900,7 @@ pub fn start_primary(
 pub fn start_follower(shared: &Arc<ServeShared>, cfg: FollowConfig, token: DrainToken) {
     shared.repl().set_fence_target(cfg.addr.clone());
     shared.repl().set_role(Role::Follower);
+    shared.repl().set_drain_token(token.clone());
     let shared = Arc::clone(shared);
     std::thread::spawn(move || run_follower(shared, cfg, token));
 }
@@ -845,11 +912,13 @@ pub fn force_epoch(shared: &Arc<ServeShared>, epoch: u64) {
     shared.session_lock().observe_epoch(epoch);
 }
 
-/// Forever pushes `FENCE(epoch)` at the old primary's replication
-/// address, so a resurrected process is fenced no matter when it comes
-/// back. One connection attempt every 250ms is negligible load.
-fn fencer(addr: String, epoch: u64) {
-    loop {
+/// Pushes `FENCE(epoch)` at the old primary's replication address until
+/// the process drains, so a resurrected process is fenced no matter
+/// when it comes back during this primary's lifetime. One connection
+/// attempt every 250ms is negligible load, and the drain token bounds
+/// the thread's life.
+fn fencer(addr: String, epoch: u64, token: DrainToken) {
+    while !token.is_draining() {
         if let Ok(mut stream) = TcpStream::connect_timeout_compat(&addr, Duration::from_millis(500))
         {
             let _ = write_msg(&mut stream, &ReplMsg::Fence(epoch));
@@ -958,12 +1027,25 @@ fn connect_with_retry(addr: &str, attempts: u32) -> io::Result<TcpStream> {
 }
 
 /// Atomically installs a shipped snapshot image and clears any stale
-/// journal, so the next open recovers exactly the snapshot state.
+/// journal, so the next open recovers exactly the snapshot state. The
+/// image and its rename are fsynced *before* the old journal is
+/// removed: a crash at any point leaves either the old (snapshot, wal)
+/// pair or a durable new snapshot — never a torn snapshot with the
+/// journal already gone.
 fn install_snapshot(dir: &Path, bytes: &[u8]) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join("snapshot.tmp");
-    std::fs::write(&tmp, bytes)?;
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
     std::fs::rename(&tmp, dir.join(session::SNAPSHOT_FILE))?;
+    // Durable rename needs the directory synced too; best effort on
+    // filesystems that refuse to fsync directories.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_data();
+    }
     for stale in [session::WAL_FILE, "wal.old"] {
         match std::fs::remove_file(dir.join(stale)) {
             Ok(()) => {}
@@ -1141,12 +1223,39 @@ fn follow_once(shared: &Arc<ServeShared>, addr: &str, token: &DrainToken) -> Fol
                     .engine()
                     .record_repl_lag(shared.repl().primary_lsn().saturating_sub(applied));
             }
-            Ok(ReadOutcome::Msg(ReplMsg::Snapshot(_))) => {
-                eprintln!(
-                    "gomq-serve: repl: primary shipped a mid-stream snapshot (unsupported); \
-                     restart this follower to re-bootstrap"
-                );
-                break FollowEnd::Stop;
+            Ok(ReadOutcome::Msg(ReplMsg::Snapshot(bytes))) => {
+                // The primary pruned its retained log past our position
+                // while we were disconnected: re-bootstrap in place by
+                // installing the shipped snapshot over the live session
+                // and tail from its lsn.
+                let installed = {
+                    let mut session = shared.session_lock();
+                    let mut vocab = shared.vocab_lock();
+                    session.install_replicated_snapshot(&bytes, &mut vocab)
+                };
+                match installed {
+                    Ok((lsn, _epoch)) => {
+                        eprintln!(
+                            "gomq-serve: repl: installed primary snapshot (lsn {lsn}, {} bytes)",
+                            bytes.len()
+                        );
+                        progressed = true;
+                        shared.repl().note_primary_lsn(lsn);
+                        if write_msg(&mut stream, &ReplMsg::Ack(lsn)).is_err() {
+                            break end(progressed);
+                        }
+                    }
+                    Err(SessionError::Io(msg)) => {
+                        // Disk trouble is transient; reconnecting re-ships
+                        // the snapshot.
+                        eprintln!("gomq-serve: repl: snapshot install I/O error: {msg}; reconnecting");
+                        break end(progressed);
+                    }
+                    Err(e) => {
+                        eprintln!("gomq-serve: repl: fatal snapshot install error: {e}");
+                        break FollowEnd::Stop;
+                    }
+                }
             }
             Ok(ReadOutcome::Msg(ReplMsg::Fence(epoch))) => {
                 fence_if_superseded(shared, epoch);
@@ -1240,20 +1349,79 @@ mod tests {
         hub.publish(11, vec![1]);
         hub.publish(12, vec![2]);
         assert!(!hub.wait_replicated(Duration::from_millis(10)));
-        hub.record_ack(a, 12);
-        assert!(hub.wait_replicated(Duration::from_millis(10)));
         match hub.wait_past(10) {
             HubWait::Frames(f) => {
                 assert_eq!(f.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![11, 12]);
             }
             _ => panic!("expected frames"),
         }
+        hub.record_ack(a, 12);
+        assert!(hub.wait_replicated(Duration::from_millis(10)));
         match hub.wait_past(12) {
             HubWait::Quiet { last_lsn } => assert_eq!(last_lsn, 12),
             _ => panic!("expected quiet"),
         }
         hub.deregister(a);
         assert!(hub.wait_replicated(Duration::from_millis(0)));
+    }
+
+    #[test]
+    fn hub_prunes_acknowledged_frames() {
+        let hub = ReplHub::new(0);
+        // No replica connected, no snapshot yet: frames are retained so
+        // a reconnecting replica can still tail the log.
+        hub.publish(1, vec![1]);
+        assert_eq!(hub.retained_floor(), 0);
+        // A durable snapshot releases everything it covers.
+        hub.note_snapshot(1);
+        assert_eq!(hub.retained_floor(), 1);
+        let a = hub.register(1);
+        hub.publish(2, vec![2]);
+        hub.publish(3, vec![3]);
+        // Retained while the connected replica is behind...
+        assert_eq!(hub.retained_floor(), 1);
+        hub.record_ack(a, 2);
+        // ...pruned up to its ack...
+        assert_eq!(hub.retained_floor(), 2);
+        match hub.wait_past(2) {
+            HubWait::Frames(f) => {
+                assert_eq!(f.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![3]);
+            }
+            _ => panic!("expected frames"),
+        }
+        // A connected-but-behind replica pins the floor across a
+        // snapshot cut (no gap can open under its cursor)...
+        hub.note_snapshot(3);
+        assert_eq!(hub.retained_floor(), 2);
+        hub.deregister(a);
+        // ...and departure releases the snapshot-covered remainder: a
+        // newcomer below the floor bootstraps from a snapshot.
+        assert_eq!(hub.retained_floor(), 3);
+    }
+
+    #[test]
+    fn hub_close_delivers_backlog_before_closed() {
+        let hub = ReplHub::new(0);
+        let a = hub.register(0);
+        hub.publish(1, vec![1]);
+        hub.publish(2, vec![2]);
+        hub.close();
+        // A sender on a closed hub still receives the backlog — a
+        // drain-time close must not strand acknowledged frames...
+        match hub.wait_past(0) {
+            HubWait::Frames(f) => {
+                assert_eq!(f.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1, 2]);
+            }
+            _ => panic!("backlog must be delivered on a closed hub"),
+        }
+        hub.record_ack(a, 2);
+        // ...while publishes after close are dropped, and Closed only
+        // surfaces once nothing past the cursor remains.
+        hub.publish(3, vec![3]);
+        match hub.wait_past(2) {
+            HubWait::Closed => {}
+            _ => panic!("expected closed"),
+        }
     }
 
     #[test]

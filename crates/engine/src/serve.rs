@@ -360,11 +360,14 @@ impl ServeShared {
         // Primary drain flushes to replicas first: every journaled frame
         // must be acknowledged by every connected replica (bounded wait)
         // before the process lets go, so a drain-then-promote loses
-        // nothing.
+        // nothing. Only then is the hub closed — closing earlier would
+        // stop the senders (and drop publishes) with acknowledged
+        // frames still unshipped.
         if let Some(hub) = self.repl.hub() {
             if !hub.wait_replicated(std::time::Duration::from_secs(5)) {
                 eprintln!("gomq-serve: repl: drain proceeding with unacknowledged replica frames");
             }
+            hub.close();
         }
         let result = {
             let mut session = lock_recover(&self.session);

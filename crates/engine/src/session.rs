@@ -348,6 +348,11 @@ pub trait RecordSink: Send + Sync {
     /// Hands over one journaled frame (complete wire encoding, exactly
     /// the bytes appended to the log) at its lsn.
     fn publish(&self, lsn: u64, frame: Vec<u8>);
+
+    /// Notes that a durable snapshot covering everything up to `lsn`
+    /// was cut: frames at or below it are recoverable via snapshot
+    /// bootstrap, so a sink may release them.
+    fn note_snapshot(&self, _lsn: u64) {}
 }
 
 /// The session store, optionally journaled to disk. In-memory sessions
@@ -649,6 +654,97 @@ impl DurableSession {
         Ok(true)
     }
 
+    /// Installs a snapshot shipped by the primary over the *live*
+    /// session: the replica's catch-up fallback when it reconnects from
+    /// behind the primary's retained log window and tailing is no
+    /// longer possible ("copy immutable objects, then flip HEAD",
+    /// mid-life edition).
+    ///
+    /// The image's dense symbol ids assume a fresh vocabulary, but a
+    /// serving replica's vocabulary holds extra names interned by
+    /// queries — so every dumped id is remapped through the live tables
+    /// by name. The raw image is persisted as the local snapshot (its
+    /// ids are self-consistent for a fresh recovery), the journal is
+    /// emptied and fast-forwarded to the snapshot's position, and the
+    /// store is swapped. Returns the installed `(lsn, epoch)`.
+    pub fn install_replicated_snapshot(
+        &mut self,
+        bytes: &[u8],
+        vocab: &mut Vocab,
+    ) -> Result<(u64, u64), SessionError> {
+        let Some(p) = self.persist.as_ref() else {
+            return Err(SessionError::Io(
+                "snapshot install requires a durable session".into(),
+            ));
+        };
+        if let Some(why) = &p.poisoned {
+            return Err(SessionError::Poisoned(why.clone()));
+        }
+        let snap = parse_snapshot(bytes)?;
+        let corrupt = |why: &str| SessionError::Corrupt(format!("snapshot: {why}"));
+        let const_map: Vec<gomq_core::ConstId> =
+            snap.consts.iter().map(|n| vocab.constant(n)).collect();
+        let rel_map: Vec<RelId> = snap
+            .rels
+            .iter()
+            .map(|(n, a)| vocab.rel(n, *a as usize))
+            .collect();
+        vocab.ensure_nulls(snap.null_horizon);
+        let arena = snap
+            .store_arena
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => const_map
+                    .get(c.0 as usize)
+                    .map(|&id| Term::Const(id))
+                    .ok_or("dangling constant id"),
+                Term::Null(n) if n.0 < snap.null_horizon => Ok(Term::Null(*n)),
+                Term::Null(_) => Err("dangling null id"),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(corrupt)?;
+        let rels = snap
+            .store_rels
+            .iter()
+            .map(|r| rel_map.get(r.0 as usize).copied().ok_or("dangling relation id"))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(corrupt)?;
+        let fact_store =
+            FactStore::from_columns(rels, snap.store_starts, arena).map_err(|e| corrupt(&e))?;
+        let len = fact_store.len();
+        if snap.marks.iter().any(|&(_, l)| l as usize > len) {
+            return Err(corrupt("mark past the end of the store"));
+        }
+        // Persist the image before flipping in-memory state, with the
+        // same temp-write / fsync / rename / dir-sync discipline as
+        // snapshot_now — a crash mid-install recovers either the old or
+        // the new position, never a torn mix.
+        let p = self.persist.as_mut().expect("checked durable above");
+        let tmp = p.dir.join("snapshot.tmp");
+        let target = p.dir.join(SNAPSHOT_FILE);
+        let write = || -> std::io::Result<()> {
+            std::fs::write(&tmp, bytes)?;
+            std::fs::File::open(&tmp)?.sync_data()?;
+            std::fs::rename(&tmp, &target)?;
+            if let Ok(d) = std::fs::File::open(&p.dir) {
+                let _ = d.sync_data();
+            }
+            Ok(())
+        };
+        write().map_err(|e| SessionError::Io(e.to_string()))?;
+        p.wal
+            .reset_to(snap.last_lsn + 1)
+            .map_err(|e| SessionError::Io(e.to_string()))?;
+        p.records_since_snapshot = 0;
+        self.store.facts = Arc::new(IndexedInstance::from_store(fact_store));
+        self.store.marks = snap.marks.iter().map(|&(id, l)| (id, l as usize)).collect();
+        self.store.next_mark = snap.next_mark;
+        self.repl_epoch = self.repl_epoch.max(snap.epoch);
+        // Views synced against the replaced store must not survive it.
+        self.views.bump_epoch();
+        Ok((snap.last_lsn, snap.epoch))
+    }
+
     /// Asserts a batch of facts: journal first, then apply. `syms` and
     /// `facts` must describe the same batch (the serve layer builds both
     /// while holding the vocabulary lock).
@@ -767,6 +863,9 @@ impl DurableSession {
             .rotate()
             .map_err(|e| SessionError::Io(e.to_string()))?;
         p.records_since_snapshot = 0;
+        if let Some(sink) = &self.publisher {
+            sink.note_snapshot(last_lsn);
+        }
         Ok(())
     }
 
@@ -942,6 +1041,11 @@ fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, SessionError> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(SessionError::Io(e.to_string())),
     };
+    parse_snapshot(&bytes).map(Some)
+}
+
+/// Checksum-verifies and decodes one GOMQSNAP image.
+fn parse_snapshot(bytes: &[u8]) -> Result<Snapshot, SessionError> {
     let corrupt = |why: String| SessionError::Corrupt(format!("snapshot: {why}"));
     if bytes.len() < SNAP_MAGIC.len() + 12 || &bytes[..8] != SNAP_MAGIC {
         return Err(corrupt("bad magic".into()));
@@ -1014,7 +1118,7 @@ fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, SessionError> {
             marks,
         })
     };
-    parse().map(Some).map_err(corrupt)
+    parse().map_err(corrupt)
 }
 
 fn restore_snapshot(
@@ -1509,6 +1613,55 @@ mod tests {
         assert_eq!(replica.repl_epoch(), 2);
         assert_eq!(
             store_shape(&replica, &replica_vocab),
+            store_shape(&primary, &vocab)
+        );
+        std::fs::remove_dir_all(&primary_dir).unwrap();
+        std::fs::remove_dir_all(&replica_dir).unwrap();
+    }
+
+    #[test]
+    fn live_snapshot_install_remaps_a_polluted_vocab() {
+        let primary_dir = tmpdir("snapinstall-primary");
+        let replica_dir = tmpdir("snapinstall-replica");
+        let mut vocab = Vocab::new();
+        let (mut primary, _) =
+            DurableSession::open(&primary_dir, PersistOptions::default(), &mut vocab).unwrap();
+        assert_text(&mut primary, &mut vocab, "R(a,b)\nS(c)\n");
+        primary.stamp_epoch(3).unwrap();
+        let image = primary.encode_current_snapshot(&vocab);
+
+        // A live replica whose vocabulary interned extra names before
+        // the install (queries do this), so the dump's dense ids do not
+        // line up with the live ids and must be remapped by name.
+        let mut replica_vocab = Vocab::new();
+        replica_vocab.constant("zebra");
+        replica_vocab.rel("Query", 1);
+        let (mut replica, _) =
+            DurableSession::open(&replica_dir, PersistOptions::default(), &mut replica_vocab)
+                .unwrap();
+        assert_text(&mut replica, &mut replica_vocab, "Stale(x)\n");
+
+        let (lsn, epoch) = replica
+            .install_replicated_snapshot(&image, &mut replica_vocab)
+            .unwrap();
+        assert_eq!((lsn, epoch), (primary.position().0, 3));
+        assert_eq!(replica.position(), primary.position());
+        assert_eq!(replica.repl_epoch(), 3);
+        assert_eq!(
+            store_shape(&replica, &replica_vocab),
+            store_shape(&primary, &vocab)
+        );
+        // The installed state is durable: a fresh open recovers it with
+        // an empty journal (the stale pre-install log is gone).
+        drop(replica);
+        let mut fresh_vocab = Vocab::new();
+        let (recovered, info) =
+            DurableSession::open(&replica_dir, PersistOptions::default(), &mut fresh_vocab)
+                .unwrap();
+        assert_eq!(info.replayed_records, 0, "journal must be empty after install");
+        assert_eq!(recovered.position(), primary.position());
+        assert_eq!(
+            store_shape(&recovered, &fresh_vocab),
             store_shape(&primary, &vocab)
         );
         std::fs::remove_dir_all(&primary_dir).unwrap();

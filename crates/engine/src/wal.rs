@@ -425,6 +425,16 @@ impl Wal {
         Ok(())
     }
 
+    /// Empties the log and fast-forwards the lsn counter. Used when a
+    /// replica installs a snapshot shipped by the primary over its live
+    /// session: every local record is at or below the snapshot's lsn,
+    /// and the next shipped record continues from `next_lsn`.
+    pub fn reset_to(&mut self, next_lsn: u64) -> io::Result<()> {
+        self.reset()?;
+        self.next_lsn = next_lsn;
+        Ok(())
+    }
+
     /// Rotates the live log out as a sealed segment: the current file is
     /// renamed to `<stem>.old` (replacing any previous sealed segment)
     /// and a fresh empty log takes its place. Called right after a
